@@ -1,0 +1,80 @@
+//! Criterion: classifier-path costs — feature extraction over sample
+//! batches, channel association, CART training, and per-channel
+//! prediction. These all sit on DR-BW's online path, so they must stay
+//! negligible next to the profiled program.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drbw_core::channels::ChannelBatches;
+use drbw_core::classifier::ContentionClassifier;
+use drbw_core::features::{selected_features, FeatureCtx, NUM_SELECTED};
+use mldt::dataset::Dataset;
+use mldt::tree::TrainConfig;
+use numasim::hierarchy::DataSource;
+use numasim::topology::{CoreId, NodeId, ThreadId};
+use pebs::sample::MemSample;
+
+fn synth_samples(n: usize) -> Vec<MemSample> {
+    (0..n)
+        .map(|i| {
+            let node = (i % 4) as u8;
+            let home = ((i / 4) % 4) as u8;
+            MemSample {
+                time: i as f64,
+                addr: 0x1000_0000 + (i as u64) * 64,
+                cpu: CoreId(node as u32 * 8),
+                thread: ThreadId((i % 16) as u32),
+                node: NodeId(node),
+                source: match i % 5 {
+                    0 => DataSource::RemoteDram,
+                    1 => DataSource::LocalDram,
+                    2 => DataSource::Lfb,
+                    3 => DataSource::L1,
+                    _ => DataSource::L3,
+                },
+                home: (i % 5 < 3).then_some(NodeId(home)),
+                latency: 50.0 + (i % 700) as f64,
+                is_write: i % 7 == 0,
+            }
+        })
+        .collect()
+}
+
+fn synth_dataset(rows: usize) -> Dataset {
+    let mut d = Dataset::binary(drbw_core::features::selected_names());
+    for i in 0..rows {
+        let mut row = vec![0.0; NUM_SELECTED];
+        let rmc = i % 3 == 0;
+        row[5] = if rmc { 300.0 } else { 20.0 + (i % 40) as f64 };
+        row[6] = if rmc { 600.0 + (i % 300) as f64 } else { 280.0 + (i % 40) as f64 };
+        d.push(row, rmc as usize);
+    }
+    d
+}
+
+fn feature_extraction(c: &mut Criterion) {
+    let samples = synth_samples(10_000);
+    let ctx = FeatureCtx { duration_cycles: 1e7 };
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("selected_features_10k", |b| b.iter(|| selected_features(&samples, &ctx)));
+    g.bench_function("channel_split_10k", |b| b.iter(|| ChannelBatches::split(&samples, 4).iter().count()));
+    g.finish();
+}
+
+fn tree_train_predict(c: &mut Criterion) {
+    let data = synth_dataset(192);
+    let mut g = c.benchmark_group("tree");
+    g.bench_function("train_192x13", |b| b.iter(|| ContentionClassifier::train(&data, TrainConfig::default())));
+    let clf = ContentionClassifier::train(&data, TrainConfig::default());
+    let probe = {
+        let mut p = [0.0; NUM_SELECTED];
+        p[5] = 120.0;
+        p[6] = 500.0;
+        p
+    };
+    g.bench_function("predict", |b| b.iter(|| clf.predict(&probe)));
+    g.finish();
+}
+
+criterion_group!(benches, feature_extraction, tree_train_predict);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion: diagnoser costs — allocation-range attribution and
+//! Contribution-Fraction computation over realistic sample volumes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drbw_core::diagnoser::diagnose;
+use drbw_core::profiler::Profile;
+use numasim::hierarchy::DataSource;
+use numasim::topology::{ChannelId, CoreId, NodeId, ThreadId};
+use pebs::alloc::AllocationTracker;
+use pebs::sample::MemSample;
+
+fn tracker_with_objects(n: u64) -> AllocationTracker {
+    let mut t = AllocationTracker::new();
+    for i in 0..n {
+        let s = t.intern_site(&format!("array_{i}"), 100 + i as u32);
+        t.record_alloc(s, 0x1000_0000 + i * 0x10_0000, 0x8_0000);
+    }
+    t
+}
+
+fn synth_profile(samples: usize, objects: u64) -> Profile {
+    let tracker = tracker_with_objects(objects);
+    let samples = (0..samples)
+        .map(|i| MemSample {
+            time: i as f64,
+            addr: 0x1000_0000 + (i as u64 % objects) * 0x10_0000 + (i as u64 * 64) % 0x8_0000,
+            cpu: CoreId(8 + (i % 8) as u32),
+            thread: ThreadId((i % 8) as u32),
+            node: NodeId(1),
+            source: DataSource::RemoteDram,
+            home: Some(NodeId(0)),
+            latency: 700.0,
+            is_write: false,
+        })
+        .collect();
+    Profile { samples, tracker, phases: vec![], observed_accesses: 0, wall: std::time::Duration::ZERO }
+}
+
+fn bench_diagnose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diagnoser");
+    for &(samples, objects) in &[(2_000usize, 4u64), (10_000, 40)] {
+        let p = synth_profile(samples, objects);
+        let contended = vec![ChannelId { src: NodeId(1), dst: NodeId(0) }];
+        g.throughput(Throughput::Elements(samples as u64));
+        g.bench_function(format!("cf_{samples}samples_{objects}objs"), |b| {
+            b.iter(|| diagnose(&p, &contended).overall.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let tracker = tracker_with_objects(40);
+    let mut g = c.benchmark_group("attribution");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("range_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..10_000u64 {
+                if tracker.attribute(0x1000_0000 + (i % 40) * 0x10_0000 + i % 0x8_0000).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_diagnose, bench_attribution);
+criterion_main!(benches);

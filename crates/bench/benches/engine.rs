@@ -1,0 +1,65 @@
+//! Criterion: simulator engine throughput for the canonical access
+//! patterns. These benches guard the hot path (cache walk + placement +
+//! bandwidth accounting per event) against regressions — the whole
+//! evaluation's wall-clock budget rides on it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use numasim::prelude::*;
+
+fn run_pattern(kind: &str, accesses: u64) -> f64 {
+    let cfg = MachineConfig::scaled();
+    let mut mm = MemoryMap::new(&cfg);
+    let a = mm.alloc("a", 8 << 20, PlacementPolicy::interleave_all(4));
+    let stream: Box<dyn AccessStream> = match kind {
+        "stream" => Box::new(SeqStream::new(a.base, a.size, 1 + accesses * 64 / a.size, AccessMix::read_only())),
+        "random" => Box::new(RandomStream::new(a.base, a.size, accesses, 7, AccessMix::read_only())),
+        "chase" => Box::new(PointerChaseStream::new(a.base, 2048, 64 * 64, accesses, 7)),
+        _ => unreachable!(),
+    };
+    let mut eng = Engine::new(&cfg, mm, NullObserver);
+    let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), stream)]);
+    stats.cycles
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    for kind in ["stream", "random", "chase"] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, kind| {
+            b.iter(|| run_pattern(kind, N));
+        });
+    }
+    g.finish();
+}
+
+fn multithreaded_contended(c: &mut Criterion) {
+    // 32 simulated threads hammering one node: the worst-case accounting
+    // load (hot bandwidth model, congested rounds).
+    let mut g = c.benchmark_group("engine_contended");
+    g.sample_size(20);
+    g.bench_function("sumv_like_T32N4", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::scaled();
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 8 << 20, PlacementPolicy::Bind(NodeId(0)));
+            let binding = cfg.topology.bind_threads(32, 4);
+            let threads: Vec<ThreadSpec> = binding
+                .iter()
+                .enumerate()
+                .map(|(t, core)| {
+                    let share = a.size / 32;
+                    let s = SeqStream::new(a.base + t as u64 * share, share, 2, AccessMix::read_only())
+                        .with_reps(4);
+                    ThreadSpec::new(t as u32, *core, Box::new(s))
+                })
+                .collect();
+            let mut eng = Engine::new(&cfg, mm, NullObserver);
+            eng.run_phase(threads).cycles
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, multithreaded_contended);
+criterion_main!(benches);

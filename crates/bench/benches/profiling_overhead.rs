@@ -1,0 +1,33 @@
+//! Criterion: the statistically sound version of Table VII — simulation
+//! wall-time with the PEBS sampler attached vs detached, per contended
+//! benchmark. The ratio of the two medians is DR-BW's profiling overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numasim::config::MachineConfig;
+use pebs::sampler::SamplerConfig;
+use workloads::config::RunConfig;
+use workloads::runner::run;
+use workloads::suite::by_name;
+
+fn overhead(c: &mut Criterion) {
+    let mcfg = MachineConfig::scaled();
+    let mut g = c.benchmark_group("profiling_overhead");
+    g.sample_size(10);
+    // A representative pair from Table VII, at a reduced configuration so
+    // the bench suite stays fast; `table7_overhead` runs the full set.
+    for name in ["IRSmk", "Streamcluster"] {
+        let w = by_name(name).unwrap();
+        let input = *w.inputs().first().unwrap();
+        let rcfg = RunConfig::new(16, 4, input);
+        g.bench_with_input(BenchmarkId::new("unprofiled", name), &rcfg, |b, rcfg| {
+            b.iter(|| run(w, &mcfg, rcfg, None).observed_accesses);
+        });
+        g.bench_with_input(BenchmarkId::new("profiled", name), &rcfg, |b, rcfg| {
+            b.iter(|| run(w, &mcfg, rcfg, Some(SamplerConfig::default())).samples.len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ad-hoc inspection of per-case features vs ground truth for calibration.
+
+use drbw_bench::sweep::train_classifier;
+use drbw_core::profiler::profile;
+use drbw_core::training::case_features;
+use drbw_core::Mode;
+use numasim::config::MachineConfig;
+use workloads::config::{cases_for, Variant};
+use workloads::runner::run;
+use workloads::suite::by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "NW".into());
+    let mcfg = MachineConfig::scaled();
+    let clf = train_classifier(&mcfg);
+    let w = by_name(&name).expect("unknown benchmark");
+    println!("{:<22} {:>8} {:>8} {:>9} {:>9} {:>8} {:>6} {:>6}", "case", "gt_speed", "remote‰", "rem_lat", "avg_lat", "gt>50", "GT", "DRBW");
+    for rcfg in cases_for(&w.inputs()) {
+        let p = profile(w, &mcfg, &rcfg);
+        let base = run(w, &mcfg, &rcfg, None).cycles();
+        let inter = run(w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+        let speedup = base / inter.cycles();
+        let f = case_features(&p, 4);
+        let det = clf.classify_case(&p, 4);
+        println!(
+            "{:<22} {:>8.3} {:>8.1} {:>9.1} {:>9.1} {:>8.3} {:>6} {:>6}",
+            format!("{}-{}", rcfg.shape_label(), rcfg.input.name()),
+            speedup,
+            f[5],
+            f[6],
+            f[10],
+            f[4],
+            if speedup > 1.1 { "rmc" } else { "good" },
+            if det.mode() == Mode::Rmc { "rmc" } else { "good" },
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Ad-hoc: per-phase cycles of a benchmark under each variant.
+
+use numasim::config::MachineConfig;
+use workloads::config::{Input, RunConfig, Variant};
+use workloads::runner::run;
+use workloads::suite::by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "IRSmk".into());
+    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let input = match args.next().as_deref() {
+        Some("small") => Input::Small,
+        Some("large") => Input::Large,
+        Some("native") => Input::Native,
+        _ => Input::Medium,
+    };
+    let mcfg = MachineConfig::scaled();
+    let w = by_name(&name).expect("unknown benchmark");
+    let rcfg = RunConfig::new(threads, nodes, input);
+    let base = run(w, &mcfg, &rcfg, None);
+    let inter = run(w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+    println!("{} T{threads}-N{nodes} {}:", w.name(), input.name());
+    for (i, p) in base.phases.iter().enumerate() {
+        let ip = &inter.phases[i];
+        println!(
+            "  {:<12}{} base {:>12.0} (rem {:>8}) inter {:>12.0} (rem {:>8}) ratio {:.3}",
+            p.name,
+            if p.warmup { "*" } else { " " },
+            p.stats.cycles,
+            p.stats.counts.remote_dram,
+            ip.stats.cycles,
+            ip.stats.counts.remote_dram,
+            p.stats.cycles / ip.stats.cycles,
+        );
+    }
+    println!("  measured: base {:.0} inter {:.0} speedup {:.3}", base.cycles(), inter.cycles(), inter.speedup_over(&base));
+    let rho = |o: &workloads::runner::RunOutcome| {
+        o.phases.iter().flat_map(|p| p.stats.channel_max_rho.iter().cloned()).fold(0.0, f64::max)
+    };
+    println!("  max channel rho: base {:.2} inter {:.2}", rho(&base), rho(&inter));
+    let solve_b = base.phases.last().unwrap();
+    let solve_i = inter.phases.last().unwrap();
+    println!("  solve channel GB: base {:?}", solve_b.stats.channel_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
+    println!("  solve channel GB: intr {:?}", solve_i.stats.channel_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
+    println!("  solve mc MB:      base {:?}", solve_b.stats.mc_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
+    println!("  solve mc MB:      intr {:?}", solve_i.stats.mc_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
+    println!("  solve ch maxrho:  base {:?}", solve_b.stats.channel_max_rho.iter().map(|b| (b * 100.0).round()).collect::<Vec<_>>());
+    println!("  solve ch maxrho:  intr {:?}", solve_i.stats.channel_max_rho.iter().map(|b| (b * 100.0).round()).collect::<Vec<_>>());
+}

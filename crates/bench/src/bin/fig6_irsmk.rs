@@ -1,0 +1,41 @@
+//! Regenerates Figure 6: IRSmk speedups with co-locate and interleave
+//! across input sizes and execution configurations.
+//!
+//! Expected shape (paper §VIII.B): little gain at small inputs / few
+//! threads per node; gains grow with input size up to ~6×; with all four
+//! nodes and few threads per node interleave can edge out co-locate, but
+//! co-locate wins clearly at fewer nodes.
+
+use numasim::config::MachineConfig;
+use workloads::config::{paper_shapes, Input, RunConfig, Variant};
+use workloads::runner::run;
+use workloads::suite::Irsmk;
+
+fn main() {
+    let mcfg = MachineConfig::scaled();
+    println!("=== Figure 6: IRSmk speedups (interleave / co-locate) ===");
+    println!("{:<10} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}", "", "small", "", "medium", "", "large", "");
+    println!("{:<10} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}", "config", "intl", "colo", "intl", "colo", "intl", "colo");
+    for (t, n) in paper_shapes() {
+        let mut cells = Vec::new();
+        for input in [Input::Small, Input::Medium, Input::Large] {
+            let rcfg = RunConfig::new(t, n, input);
+            let base = run(&Irsmk, &mcfg, &rcfg, None);
+            let inter = run(&Irsmk, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+            let colo = run(&Irsmk, &mcfg, &rcfg.with_variant(Variant::CoLocate), None);
+            cells.push((inter.speedup_over(&base), colo.speedup_over(&base)));
+        }
+        println!(
+            "{:<10} | {:>7.2} {:>7.2} | {:>7.2} {:>7.2} | {:>7.2} {:>7.2}",
+            RunConfig::new(t, n, Input::Small).shape_label(),
+            cells[0].0,
+            cells[0].1,
+            cells[1].0,
+            cells[1].1,
+            cells[2].0,
+            cells[2].1,
+        );
+    }
+    println!("\n(paper: max ~6.2x; co-locate and interleave close at 4 nodes, co-locate much");
+    println!(" better at 2 nodes; T16-N4 shows no significant speedup)");
+}

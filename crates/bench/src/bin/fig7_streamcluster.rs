@@ -1,0 +1,40 @@
+//! Regenerates Figure 7: Streamcluster speedups with the *replicate*
+//! optimization (per-node copies of the read-only `block` array, as the
+//! DR-BW diagnosis suggests) vs whole-program interleave, for the simLarge
+//! and native inputs.
+//!
+//! Expected shape (paper §VIII.C): similar gains at 3–4 nodes; replicate
+//! clearly better at 2 nodes / few threads, where interleave's extra
+//! remote accesses outweigh the contention it relieves.
+
+use numasim::config::MachineConfig;
+use workloads::config::{paper_shapes, Input, RunConfig, Variant};
+use workloads::runner::run;
+use workloads::suite::Streamcluster;
+
+fn main() {
+    let mcfg = MachineConfig::scaled();
+    println!("=== Figure 7: Streamcluster speedups (interleave / replicate) ===");
+    println!("{:<10} | {:>8} {:>8} | {:>8} {:>8}", "", "simLarge", "", "native", "");
+    println!("{:<10} | {:>8} {:>8} | {:>8} {:>8}", "config", "intl", "repl", "intl", "repl");
+    for (t, n) in paper_shapes() {
+        let mut cells = Vec::new();
+        for input in [Input::Large, Input::Native] {
+            let rcfg = RunConfig::new(t, n, input);
+            let base = run(&Streamcluster, &mcfg, &rcfg, None);
+            let inter = run(&Streamcluster, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+            let repl = run(&Streamcluster, &mcfg, &rcfg.with_variant(Variant::Replicate), None);
+            cells.push((inter.speedup_over(&base), repl.speedup_over(&base)));
+        }
+        println!(
+            "{:<10} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2}",
+            RunConfig::new(t, n, Input::Large).shape_label(),
+            cells[0].0,
+            cells[0].1,
+            cells[1].0,
+            cells[1].1,
+        );
+    }
+    println!("\n(paper: interleave ~ replicate at 3-4 nodes; replicate wins at 2 nodes / few");
+    println!(" threads because interleave adds remote accesses where contention was mild)");
+}

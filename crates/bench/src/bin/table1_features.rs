@@ -1,0 +1,105 @@
+//! Regenerates Table I and the §V.B feature-selection procedure: every
+//! candidate feature is measured across the mini-programs' `good` and
+//! `rmc` runs; candidates whose statistics differ significantly between
+//! the modes for a majority of mini-programs are selected.
+//!
+//! Also demonstrates the paper's negative finding: the raw
+//! `MEM_LOAD_UOPS_LLC_MISS_RETIRED.REMOTE_DRAM`-style count (our
+//! `raw_remote_dram_count` candidate) is *not* discriminative.
+
+use drbw_core::channels::ChannelBatches;
+use drbw_core::features::{candidate_features, candidate_names, FeatureCtx, NUM_SELECTED};
+use drbw_core::training::{training_specs, MicroProgram, TrainingSpec};
+use drbw_core::Mode;
+use mldt::stats::cohens_d;
+use numasim::config::MachineConfig;
+
+/// Candidate feature values of one run's hottest channel.
+fn run_candidates(mcfg: &MachineConfig, spec: &TrainingSpec) -> Vec<f64> {
+    let p = drbw_core::profile(spec.program.workload(), mcfg, &spec.rcfg);
+    let batches = ChannelBatches::split(&p.samples, mcfg.topology.num_nodes());
+    let ctx = FeatureCtx { duration_cycles: p.duration_cycles() };
+    let hottest = batches
+        .iter()
+        .max_by_key(|(ch, _)| batches.remote_samples(*ch).count())
+        .map(|(_, b)| b)
+        .unwrap_or(&[]);
+    candidate_features(hottest, &ctx)
+}
+
+fn main() {
+    let mcfg = MachineConfig::scaled();
+    let names = candidate_names();
+    let specs = training_specs();
+
+    eprintln!("profiling {} mini-program runs for feature selection...", specs.len());
+    // Collect per (program, mode, feature) samples.
+    let mut values: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); names.len()]; 8]; // [program*2+mode][feature]
+    let prog_index = |p: MicroProgram| match p {
+        MicroProgram::Sumv => 0usize,
+        MicroProgram::Dotv => 1,
+        MicroProgram::Countv => 2,
+        MicroProgram::Bandit => 3,
+    };
+    for spec in &specs {
+        let feats = run_candidates(&mcfg, spec);
+        let slot = prog_index(spec.program) * 2 + spec.label.class_index();
+        for (f, v) in feats.iter().enumerate() {
+            values[slot][f].push(*v);
+        }
+    }
+
+    // A candidate is relevant for a mini-program when the good/rmc effect
+    // size is large; it is selected when a majority of the (contended)
+    // mini-programs agree. The bandit has no rmc runs, so the vote is over
+    // the three vector kernels, as in the paper.
+    const EFFECT_THRESHOLD: f64 = 0.8; // "large" on Cohen's scale
+
+    println!("=== §V.B feature selection over the candidate list ===");
+    println!("{:<28} {:>8} {:>8} {:>8} {:>6} {}", "candidate", "sumv |d|", "dotv |d|", "countv|d|", "votes", "selected?");
+    let mut selected = Vec::new();
+    for f in 0..names.len() {
+        let mut votes = 0;
+        let mut ds = Vec::new();
+        for prog in 0..3 {
+            let good = &values[prog * 2][f];
+            let rmc = &values[prog * 2 + 1][f];
+            let d = cohens_d(good, rmc).abs();
+            if d > EFFECT_THRESHOLD {
+                votes += 1;
+            }
+            ds.push(d);
+        }
+        let take = votes >= 2;
+        if take {
+            selected.push(f);
+        }
+        println!(
+            "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>6} {}",
+            names[f],
+            ds[0],
+            ds[1],
+            ds[2],
+            votes,
+            if take { "yes" } else { "no" }
+        );
+    }
+
+    println!("\n=== Table I: the selected features ===");
+    for (i, name) in names.iter().take(NUM_SELECTED).enumerate() {
+        let marker = if selected.contains(&i) { "(selected by the vote too)" } else { "(kept per Table I)" };
+        println!("{:>2}  {:<28} {}", i + 1, name, marker);
+    }
+    let raw_idx = names.iter().position(|n| n == "raw_remote_dram_count").unwrap();
+    println!(
+        "\nnote: `raw_remote_dram_count` {} the vote — the paper's finding that the raw\n\
+         LLC_MISS_RETIRED.REMOTE_DRAM count is not discriminative ({:?} kernel effect sizes).",
+        if selected.contains(&raw_idx) { "unexpectedly passed" } else { "fails" },
+        (0..3)
+            .map(|p| format!("{:.2}", cohens_d(&values[p * 2][raw_idx], &values[p * 2 + 1][raw_idx]).abs()))
+            .collect::<Vec<_>>()
+    );
+
+    // Mark Mode as used in both branches for clippy friendliness.
+    let _ = Mode::Good;
+}

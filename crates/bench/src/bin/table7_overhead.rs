@@ -1,0 +1,44 @@
+//! Regenerates Table VII: DR-BW's runtime overhead — execution with and
+//! without profiling on the six contended benchmarks, at 64 threads over
+//! four NUMA nodes, averaged over four executions.
+//!
+//! The measured quantity is **simulated execution time** with profiling on
+//! vs off. Each recorded sample charges its software cost (PEBS buffer
+//! drain + the tool's allocation-table and libnuma lookups, ~2000 cycles)
+//! to the profiled thread — the same mechanism that makes the paper's
+//! profiled runs slower. The paper reports ≤10% overhead, 3.3% average —
+//! and a *negative* value for Streamcluster (profiling perturbed its
+//! memory timing favourably); our simulated timing is deterministic, so
+//! overheads here are all small and positive.
+
+use numasim::config::MachineConfig;
+use pebs::sampler::SamplerConfig;
+use workloads::config::{Input, RunConfig};
+use workloads::runner::run;
+use workloads::suite::by_name;
+
+fn main() {
+    let mcfg = MachineConfig::scaled();
+    let cases = [
+        ("IRSmk", 64, 4, Input::Large),
+        ("AMG2006", 64, 4, Input::Medium),
+        ("Streamcluster", 64, 4, Input::Native),
+        ("NW", 64, 4, Input::Large),
+        ("SP", 64, 4, Input::Large),
+        ("LULESH", 64, 4, Input::Large),
+    ];
+    println!("=== Table VII: DR-BW runtime overhead (simulated execution time) ===");
+    println!("{:<15} {:>16} {:>16} {:>9}", "code", "w/o prof (Mcyc)", "with prof (Mcyc)", "overhead");
+    let mut sum = 0.0;
+    for (name, t, n, input) in cases {
+        let w = by_name(name).unwrap();
+        let rcfg = RunConfig::new(t, n, input);
+        let base = run(w, &mcfg, &rcfg, None).cycles();
+        let prof = run(w, &mcfg, &rcfg, Some(SamplerConfig::default())).cycles();
+        let overhead = (prof - base) / base * 100.0;
+        sum += overhead;
+        println!("{:<15} {:>16.2} {:>16.2} {:>+8.1}%", name, base / 1e6, prof / 1e6, overhead);
+    }
+    println!("{:<15} {:>16} {:>16} {:>+8.1}%", "Average", "-", "-", sum / cases.len() as f64);
+    println!("\n(paper: +0.9% to +10.0%, average +3.3%, with Streamcluster at -9.2%)");
+}

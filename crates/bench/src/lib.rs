@@ -1,0 +1,11 @@
+//! Evaluation harness shared by the table/figure regeneration binaries.
+//!
+//! The expensive artifact is the **benchmark sweep** (§VII): for each of
+//! the 512 cases of Table V we need a profiled baseline run (detection),
+//! an interleaved run (the ground-truth probe), and the baseline verdicts
+//! of the heuristic detectors. [`sweep`] computes it once and caches the
+//! records as TSV under `results/`, so the Table IV/V/VI binaries and the
+//! ablations all share one pass.
+
+pub mod sweep;
+pub mod tables;

@@ -1,0 +1,235 @@
+//! The §VII benchmark sweep: detection vs ground truth over all 512 cases.
+
+use drbw_core::classifier::ContentionClassifier;
+use drbw_core::heuristics::{AllSocketsTouch, Detector, LatencyThreshold, RemoteCount};
+use drbw_core::profiler::profile;
+use drbw_core::training;
+use drbw_core::Mode;
+use mldt::tree::TrainConfig;
+use numasim::config::MachineConfig;
+use workloads::config::{cases_for, RunConfig, Variant};
+use workloads::ground_truth::GT_SPEEDUP_THRESHOLD;
+use workloads::runner::run;
+use workloads::spec::Workload;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Everything measured for one case of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Input-class name.
+    pub input: String,
+    /// Threads.
+    pub threads: usize,
+    /// Nodes.
+    pub nodes: usize,
+    /// Interleave-probe speedup over baseline (the ground-truth signal).
+    pub interleave_speedup: f64,
+    /// Ground truth: speedup above the 10% threshold.
+    pub actual_rmc: bool,
+    /// DR-BW's verdict.
+    pub drbw_rmc: bool,
+    /// Number of channels DR-BW flagged.
+    pub contended_channels: usize,
+    /// Latency-threshold heuristic verdict (ablation).
+    pub lat_rmc: bool,
+    /// Remote-count heuristic verdict (ablation).
+    pub cnt_rmc: bool,
+    /// All-sockets-touch heuristic verdict (ablation).
+    pub ast_rmc: bool,
+}
+
+impl CaseRecord {
+    fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.benchmark,
+            self.input,
+            self.threads,
+            self.nodes,
+            self.interleave_speedup,
+            self.actual_rmc as u8,
+            self.drbw_rmc as u8,
+            self.contended_channels,
+            self.lat_rmc as u8,
+            self.cnt_rmc as u8,
+            self.ast_rmc as u8,
+        )
+    }
+
+    fn from_tsv(line: &str) -> Option<CaseRecord> {
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 11 {
+            return None;
+        }
+        Some(CaseRecord {
+            benchmark: f[0].to_string(),
+            input: f[1].to_string(),
+            threads: f[2].parse().ok()?,
+            nodes: f[3].parse().ok()?,
+            interleave_speedup: f[4].parse().ok()?,
+            actual_rmc: f[5] == "1",
+            drbw_rmc: f[6] == "1",
+            contended_channels: f[7].parse().ok()?,
+            lat_rmc: f[8] == "1",
+            cnt_rmc: f[9] == "1",
+            ast_rmc: f[10] == "1",
+        })
+    }
+}
+
+/// Train DR-BW's classifier on the full Table II grid.
+pub fn train_classifier(mcfg: &MachineConfig) -> ContentionClassifier {
+    let data = training::full_training_set(mcfg);
+    ContentionClassifier::train(&data, TrainConfig::default())
+}
+
+/// Evaluate every case of one benchmark: profiled baseline (detection +
+/// heuristics) plus the interleave ground-truth probe.
+pub fn evaluate_benchmark(
+    clf: &ContentionClassifier,
+    w: &dyn Workload,
+    mcfg: &MachineConfig,
+) -> Vec<CaseRecord> {
+    let nodes_total = mcfg.topology.num_nodes();
+    let lat = LatencyThreshold::default();
+    let cnt = RemoteCount::default();
+    let ast = AllSocketsTouch::default();
+    cases_for(&w.inputs())
+        .into_iter()
+        .map(|rcfg: RunConfig| {
+            let p = profile(w, mcfg, &rcfg);
+            let detection = clf.classify_case(&p, nodes_total);
+            // Ground truth compares *unprofiled* executions (profiling
+            // perturbs the baseline by its per-sample cost).
+            let base = run(w, mcfg, &rcfg, None);
+            let base_cycles: f64 = base.cycles();
+            let inter = run(w, mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+            let interleave_speedup = base_cycles / inter.cycles();
+            CaseRecord {
+                benchmark: w.name().to_string(),
+                input: rcfg.input.name().to_string(),
+                threads: rcfg.threads,
+                nodes: rcfg.nodes,
+                interleave_speedup,
+                actual_rmc: interleave_speedup > GT_SPEEDUP_THRESHOLD,
+                drbw_rmc: detection.mode() == Mode::Rmc,
+                contended_channels: detection.contended_channels.len(),
+                lat_rmc: lat.detect(&p, nodes_total),
+                cnt_rmc: cnt.detect(&p, nodes_total),
+                ast_rmc: ast.detect(&p, nodes_total),
+            }
+        })
+        .collect()
+}
+
+/// Run the full Table V sweep (512 cases), reporting progress on stderr.
+pub fn run_sweep(mcfg: &MachineConfig) -> Vec<CaseRecord> {
+    let clf = train_classifier(mcfg);
+    let mut out = Vec::new();
+    for w in workloads::suite::table_v_benchmarks() {
+        let t0 = std::time::Instant::now();
+        let records = evaluate_benchmark(&clf, w, mcfg);
+        eprintln!(
+            "{:<14} {:>3} cases in {:>6.1}s  (actual rmc {}, detected rmc {})",
+            w.name(),
+            records.len(),
+            t0.elapsed().as_secs_f64(),
+            records.iter().filter(|r| r.actual_rmc).count(),
+            records.iter().filter(|r| r.drbw_rmc).count(),
+        );
+        out.extend(records);
+    }
+    out
+}
+
+/// Write records as TSV.
+pub fn save(records: &[CaseRecord], path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    for r in records {
+        writeln!(f, "{}", r.to_tsv())?;
+    }
+    Ok(())
+}
+
+/// Read records from TSV; `None` if the file is missing or malformed.
+pub fn load(path: &Path) -> Option<Vec<CaseRecord>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let records: Vec<CaseRecord> = text.lines().filter(|l| !l.is_empty()).map(CaseRecord::from_tsv).collect::<Option<_>>()?;
+    (!records.is_empty()).then_some(records)
+}
+
+/// Default cache location, relative to the workspace root.
+pub const CACHE_PATH: &str = "results/sweep.tsv";
+
+/// Load the cached sweep or compute and cache it.
+pub fn cached_sweep(mcfg: &MachineConfig) -> Vec<CaseRecord> {
+    let path = Path::new(CACHE_PATH);
+    if let Some(records) = load(path) {
+        eprintln!("loaded {} cached case records from {CACHE_PATH}", records.len());
+        return records;
+    }
+    let records = run_sweep(mcfg);
+    if let Err(e) = save(&records, path) {
+        eprintln!("warning: could not cache sweep results: {e}");
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> CaseRecord {
+        CaseRecord {
+            benchmark: "IRSmk".into(),
+            input: "large".into(),
+            threads: 64,
+            nodes: 4,
+            interleave_speedup: 3.21,
+            actual_rmc: true,
+            drbw_rmc: true,
+            contended_channels: 3,
+            lat_rmc: true,
+            cnt_rmc: false,
+            ast_rmc: true,
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let r = record();
+        let parsed = CaseRecord::from_tsv(&r.to_tsv()).unwrap();
+        assert_eq!(parsed.benchmark, r.benchmark);
+        assert_eq!(parsed.threads, 64);
+        assert!((parsed.interleave_speedup - 3.21).abs() < 1e-6);
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn malformed_tsv_rejected() {
+        assert!(CaseRecord::from_tsv("only\tthree\tfields").is_none());
+        assert!(CaseRecord::from_tsv("").is_none());
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join(format!("drbw_sweep_test_{}", std::process::id()));
+        let path = dir.join("sweep.tsv");
+        let records = vec![record(), record()];
+        save(&records, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_is_none() {
+        assert!(load(Path::new("/nonexistent/sweep.tsv")).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared-cache contention detection — the first of the paper's §IX
+//! future-work extensions ("contention in … different level of caches"),
+//! built on the same supervised recipe as the bandwidth classifier.
+//!
+//! The phenomenon: co-located threads whose individual working sets fit
+//! the node's shared L3 evict each other once their *combined* footprint
+//! exceeds it. The symptom in the samples is compositional, not
+//! latency-driven: the L3-hit share collapses and the (local-)DRAM share
+//! surges, while latencies stay near unloaded DRAM levels — which is
+//! exactly why the *bandwidth* classifier stays silent on it and a
+//! dedicated detector is needed.
+//!
+//! Detection is **per NUMA node** (the L3 is the per-node shared
+//! resource, as the interconnect channel is the per-link one):
+//!
+//! * features: per-node sample composition (L1/L2/L3/DRAM shares, DRAM
+//!   latency, total rate);
+//! * training: the `cachemix` mini-program packed onto one node with
+//!   per-thread footprints swept across the fits/thrashes boundary;
+//! * ground truth: the *isolation* probe — spreading the same threads
+//!   across nodes removes only the cache sharing, so an isolation speedup
+//!   above 10% marks real cache contention (the cache analog of the
+//!   paper's interleave probe).
+
+use crate::classifier::Mode;
+use crate::profiler::{profile, Profile};
+use mldt::dataset::Dataset;
+use mldt::tree::{DecisionTree, TrainConfig};
+use numasim::config::MachineConfig;
+use numasim::hierarchy::DataSource;
+use numasim::topology::NodeId;
+use pebs::sample::MemSample;
+use workloads::config::{Input, RunConfig};
+use workloads::micro::CacheMix;
+use workloads::runner::run;
+
+/// Number of per-node features.
+pub const NUM_CACHE_FEATURES: usize = 6;
+
+/// Feature names, index-aligned with [`node_features`].
+pub fn cache_feature_names() -> Vec<String> {
+    ["l2_hit_share", "l3_hit_share", "dram_share", "avg_dram_latency", "lfb_share", "samples_per_mcycle"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Per-node sample-composition features (shares are per mille of the
+/// node's samples).
+pub fn node_features(samples: &[MemSample], node: NodeId, duration_cycles: f64) -> [f64; NUM_CACHE_FEATURES] {
+    assert!(duration_cycles > 0.0, "duration must be positive");
+    let batch: Vec<&MemSample> = samples.iter().filter(|s| s.node == node).collect();
+    let total = batch.len();
+    let share = |n: usize| if total == 0 { 0.0 } else { 1000.0 * n as f64 / total as f64 };
+    let count = |src: DataSource| batch.iter().filter(|s| s.source == src).count();
+    let (l2, l3, lfb) = (count(DataSource::L2), count(DataSource::L3), count(DataSource::Lfb));
+    let dram: Vec<&&MemSample> = batch.iter().filter(|s| s.source.is_dram()).collect();
+    let avg_dram = if dram.is_empty() { 0.0 } else { dram.iter().map(|s| s.latency).sum::<f64>() / dram.len() as f64 };
+    [
+        share(l2),
+        share(l3),
+        share(dram.len()),
+        avg_dram,
+        share(lfb),
+        total as f64 / (duration_cycles / 1e6),
+    ]
+}
+
+/// A trained per-node cache-contention detector.
+#[derive(Debug, Clone)]
+pub struct CacheContentionDetector {
+    tree: DecisionTree,
+}
+
+/// Threads-per-node grid used for training (all packed onto node 0).
+fn training_threads() -> [usize; 4] {
+    [4, 6, 8, 12]
+}
+
+impl CacheContentionDetector {
+    /// Train on the `cachemix` grid: per-thread footprints from
+    /// cache-friendly to thrashing, each at several packed thread counts,
+    /// labelled by whether the combined footprint exceeds the node L3.
+    pub fn train(mcfg: &MachineConfig) -> Self {
+        let mut data = Dataset::new(cache_feature_names(), vec!["good".into(), "thrash".into()]);
+        let l3 = mcfg.cache.l3.size;
+        for input in Input::ALL {
+            for threads in training_threads() {
+                let per = workloads::micro::cachemix_bytes(input);
+                let rcfg = RunConfig::new(threads, 1, input);
+                let p = profile(&CacheMix, mcfg, &rcfg);
+                let f = node_features(&p.samples, NodeId(0), p.duration_cycles());
+                let label = usize::from(per * threads as u64 > l3);
+                data.push(f.to_vec(), label);
+            }
+        }
+        Self { tree: DecisionTree::train(&data, TrainConfig { min_samples_leaf: 2, min_samples_split: 4, ..TrainConfig::default() }) }
+    }
+
+    /// Verdict for one node of a profile.
+    pub fn detect_node(&self, profile: &Profile, node: NodeId) -> Mode {
+        let f = node_features(&profile.samples, node, profile.duration_cycles().max(1.0));
+        // No meaningful traffic on this node ⇒ nothing to contend.
+        if f[5] < 1.0 {
+            return Mode::Good;
+        }
+        match self.tree.predict(&f) {
+            0 => Mode::Good,
+            _ => Mode::Rmc,
+        }
+    }
+
+    /// Per-node verdicts; the case is contended if any node is.
+    pub fn detect_case(&self, profile: &Profile, nodes: usize) -> (Vec<(NodeId, Mode)>, Mode) {
+        let per: Vec<(NodeId, Mode)> =
+            (0..nodes).map(|n| (NodeId(n as u8), self.detect_node(profile, NodeId(n as u8)))).collect();
+        let overall = if per.iter().any(|(_, m)| *m == Mode::Rmc) { Mode::Rmc } else { Mode::Good };
+        (per, overall)
+    }
+
+    /// The learned tree.
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+}
+
+/// The isolation ground-truth probe: pack vs spread the same threads.
+/// Returns the isolation speedup; above 1.10 means real cache contention.
+pub fn isolation_speedup(mcfg: &MachineConfig, threads: usize, input: Input) -> f64 {
+    let packed = run(&CacheMix, mcfg, &RunConfig::new(threads, 1, input), None);
+    // Spread over as many nodes as divide the thread count evenly.
+    let nodes = (1..=mcfg.topology.num_nodes().min(threads)).rev().find(|n| threads % n == 0).unwrap();
+    let spread = run(&CacheMix, mcfg, &RunConfig::new(threads, nodes, input), None);
+    packed.cycles() / spread.cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_separates_thrash_from_fit() {
+        let mcfg = MachineConfig::scaled();
+        let det = CacheContentionDetector::train(&mcfg);
+        // 8 x 512K packed = 4M > 2M L3: thrash.
+        let p = profile(&CacheMix, &mcfg, &RunConfig::new(8, 1, Input::Large));
+        assert_eq!(det.detect_node(&p, NodeId(0)), Mode::Rmc);
+        // 8 x 64K packed = 512K: fits.
+        let p = profile(&CacheMix, &mcfg, &RunConfig::new(8, 1, Input::Small));
+        assert_eq!(det.detect_node(&p, NodeId(0)), Mode::Good);
+        // Idle nodes report good.
+        assert_eq!(det.detect_node(&p, NodeId(3)), Mode::Good);
+    }
+
+    #[test]
+    fn detection_matches_isolation_ground_truth() {
+        let mcfg = MachineConfig::scaled();
+        let det = CacheContentionDetector::train(&mcfg);
+        for (threads, input) in [(8, Input::Small), (8, Input::Large), (4, Input::Native), (12, Input::Medium)] {
+            let gt = isolation_speedup(&mcfg, threads, input) > 1.10;
+            let p = profile(&CacheMix, &mcfg, &RunConfig::new(threads, 1, input));
+            let (_, overall) = det.detect_case(&p, 4);
+            assert_eq!(overall == Mode::Rmc, gt, "{threads} threads, {} input", input.name());
+        }
+    }
+
+    #[test]
+    fn bandwidth_classifier_is_blind_to_cache_contention() {
+        // The phenomena are disjoint: a thrashing-but-local workload must
+        // not trip the remote-bandwidth classifier (its hot channels carry
+        // no remote traffic at all).
+        use crate::classifier::ContentionClassifier;
+        use crate::training;
+        let mcfg = MachineConfig::scaled();
+        let data = training::quick_training_set(&mcfg);
+        let bw = ContentionClassifier::train(&data, mldt::tree::TrainConfig::default());
+        let p = profile(&CacheMix, &mcfg, &RunConfig::new(8, 1, Input::Native));
+        assert_eq!(bw.classify_case(&p, 4).mode(), Mode::Good, "no remote traffic, no rmc");
+        // ...while the cache detector fires.
+        let det = CacheContentionDetector::train(&mcfg);
+        assert_eq!(det.detect_node(&p, NodeId(0)), Mode::Rmc);
+    }
+
+    #[test]
+    fn node_features_well_formed() {
+        let mcfg = MachineConfig::scaled();
+        let p = profile(&CacheMix, &mcfg, &RunConfig::new(8, 1, Input::Medium));
+        let f = node_features(&p.samples, NodeId(0), p.duration_cycles());
+        for v in f {
+            assert!(v.is_finite() && v >= 0.0);
+        }
+        assert!(f[0] + f[1] + f[2] + f[4] <= 1000.0 + 1e-9, "shares bounded");
+        assert_eq!(cache_feature_names().len(), NUM_CACHE_FEATURES);
+    }
+}

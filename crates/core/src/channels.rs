@@ -1,0 +1,203 @@
+//! Associating samples with interconnect channels (§IV.B).
+//!
+//! The *source* of a sample is the accessing node (from its CPU id); the
+//! *target* is the locating node of the sampled address (on real hardware
+//! found via libnuma; here the sampler already carries the page's home).
+//! "Bandwidth issues on one channel are mainly identified by accesses on
+//! that channel", so detection happens per directed channel.
+//!
+//! The batch for channel `a → b` contains:
+//!
+//! * the samples that actually traversed it — node `a`, home `b`
+//!   (remote DRAM accesses and LFB hits of remote fills);
+//! * node `a`'s *local* traffic (home `a`) and cache-hit samples, as
+//!   context. These carry the local-DRAM and total-sample features of
+//!   Table I; without them a channel's feature vector could not express
+//!   "lots of accesses, none of them remote", which is what separates a
+//!   busy-but-friendly program from a contended one.
+//!
+//! Local/cache-hit samples therefore appear in every outgoing batch of
+//! their node; samples of `a → c` traffic never appear in the `a → b`
+//! batch.
+
+use numasim::topology::{ChannelId, NodeId};
+use pebs::sample::MemSample;
+
+/// Per-channel sample batches for one profile.
+#[derive(Debug, Clone)]
+pub struct ChannelBatches {
+    nodes: usize,
+    batches: Vec<Vec<MemSample>>,
+}
+
+impl ChannelBatches {
+    /// Split `samples` into per-channel batches for an `nodes`-node
+    /// machine.
+    ///
+    /// # Panics
+    /// Panics if `nodes < 2` or a sample references an out-of-range node.
+    pub fn split(samples: &[MemSample], nodes: usize) -> Self {
+        assert!(nodes >= 2, "channel association needs at least two nodes");
+        let nch = nodes * (nodes - 1);
+        let mut batches = vec![Vec::new(); nch];
+        for s in samples {
+            let a = s.node.0 as usize;
+            assert!(a < nodes, "sample from out-of-range node {a}");
+            match s.home {
+                Some(h) if h != s.node => {
+                    // Remote traffic: exactly one channel.
+                    let idx = dense_index(nodes, a, h.0 as usize);
+                    batches[idx].push(*s);
+                }
+                _ => {
+                    // Local or cache-hit: context for every outgoing
+                    // channel of node a.
+                    for d in (0..nodes).filter(|&d| d != a) {
+                        batches[dense_index(nodes, a, d)].push(*s);
+                    }
+                }
+            }
+        }
+        Self { nodes, batches }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The batch of one channel.
+    pub fn batch(&self, ch: ChannelId) -> &[MemSample] {
+        &self.batches[dense_index(self.nodes, ch.src.0 as usize, ch.dst.0 as usize)]
+    }
+
+    /// Iterate over `(channel, batch)` pairs, dense order.
+    pub fn iter(&self) -> impl Iterator<Item = (ChannelId, &[MemSample])> {
+        let n = self.nodes;
+        self.batches.iter().enumerate().map(move |(i, b)| (channel_at(n, i), b.as_slice()))
+    }
+
+    /// Samples that actually traversed `ch` (remote only, no context).
+    pub fn remote_samples(&self, ch: ChannelId) -> impl Iterator<Item = &MemSample> {
+        self.batch(ch).iter().filter(move |s| s.home == Some(ch.dst) && ch.dst != ch.src)
+    }
+}
+
+/// Dense index of channel `src → dst` on an `n`-node machine.
+///
+/// # Panics
+/// Panics if `src == dst` or either is out of range.
+pub fn dense_index(n: usize, src: usize, dst: usize) -> usize {
+    assert!(src != dst, "no channel from a node to itself");
+    assert!(src < n && dst < n, "node out of range");
+    src * (n - 1) + if dst > src { dst - 1 } else { dst }
+}
+
+/// Inverse of [`dense_index`].
+pub fn channel_at(n: usize, index: usize) -> ChannelId {
+    assert!(index < n * (n - 1), "channel index out of range");
+    let s = index / (n - 1);
+    let r = index % (n - 1);
+    let d = if r >= s { r + 1 } else { r };
+    ChannelId { src: NodeId(s as u8), dst: NodeId(d as u8) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numasim::hierarchy::DataSource;
+    use numasim::topology::{CoreId, ThreadId};
+
+    fn sample(node: u8, home: Option<u8>, source: DataSource, latency: f64) -> MemSample {
+        MemSample {
+            time: 0.0,
+            addr: 0x1000,
+            cpu: CoreId(node as u32 * 8),
+            thread: ThreadId(0),
+            node: NodeId(node),
+            source,
+            home: home.map(NodeId),
+            latency,
+            is_write: false,
+        }
+    }
+
+    fn ch(src: u8, dst: u8) -> ChannelId {
+        ChannelId { src: NodeId(src), dst: NodeId(dst) }
+    }
+
+    #[test]
+    fn remote_sample_lands_on_exactly_one_channel() {
+        let s = vec![sample(0, Some(2), DataSource::RemoteDram, 400.0)];
+        let b = ChannelBatches::split(&s, 4);
+        assert_eq!(b.batch(ch(0, 2)).len(), 1);
+        assert_eq!(b.batch(ch(0, 1)).len(), 0);
+        assert_eq!(b.batch(ch(2, 0)).len(), 0);
+        assert_eq!(b.remote_samples(ch(0, 2)).count(), 1);
+    }
+
+    #[test]
+    fn local_sample_is_context_for_all_outgoing_channels() {
+        let s = vec![sample(1, Some(1), DataSource::LocalDram, 200.0)];
+        let b = ChannelBatches::split(&s, 4);
+        for d in [0u8, 2, 3] {
+            assert_eq!(b.batch(ch(1, d)).len(), 1);
+            assert_eq!(b.remote_samples(ch(1, d)).count(), 0, "context is not remote traffic");
+        }
+        // Channels not originating at node 1 see nothing.
+        assert_eq!(b.batch(ch(0, 1)).len(), 0);
+    }
+
+    #[test]
+    fn cache_hit_sample_is_context() {
+        let s = vec![sample(3, None, DataSource::L1, 4.0)];
+        let b = ChannelBatches::split(&s, 4);
+        assert_eq!(b.batch(ch(3, 0)).len(), 1);
+        assert_eq!(b.batch(ch(3, 1)).len(), 1);
+        assert_eq!(b.batch(ch(3, 2)).len(), 1);
+        assert_eq!(b.batch(ch(0, 3)).len(), 0);
+    }
+
+    #[test]
+    fn remote_lfb_counts_as_channel_traffic() {
+        let s = vec![sample(0, Some(1), DataSource::Lfb, 90.0)];
+        let b = ChannelBatches::split(&s, 2);
+        assert_eq!(b.remote_samples(ch(0, 1)).count(), 1);
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        for n in [2usize, 3, 4, 8] {
+            let mut seen = vec![false; n * (n - 1)];
+            for s in 0..n {
+                for d in (0..n).filter(|&d| d != s) {
+                    let i = dense_index(n, s, d);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                    let c = channel_at(n, i);
+                    assert_eq!((c.src.0 as usize, c.dst.0 as usize), (s, d));
+                }
+            }
+            assert!(seen.iter().all(|&x| x));
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_channels() {
+        let b = ChannelBatches::split(&[], 3);
+        assert_eq!(b.iter().count(), 6);
+        assert_eq!(b.num_nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_rejected() {
+        ChannelBatches::split(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel from a node to itself")]
+    fn self_channel_rejected() {
+        dense_index(4, 2, 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! The contention classifier (§V) and the case-level decision rules
+//! (§VII.A).
+
+use crate::channels::ChannelBatches;
+use crate::features::{selected_features, selected_names, FeatureCtx, NUM_SELECTED};
+use crate::profiler::Profile;
+use mldt::dataset::Dataset;
+use mldt::export;
+use mldt::tree::{DecisionTree, TrainConfig};
+use numasim::topology::ChannelId;
+
+/// Contention verdict for a run, channel, or program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No remote-memory bandwidth contention.
+    Good,
+    /// Remote-memory bandwidth contention.
+    Rmc,
+}
+
+impl Mode {
+    /// Class index used in datasets and confusion matrices (good = 0,
+    /// rmc = 1).
+    pub fn class_index(self) -> usize {
+        match self {
+            Mode::Good => 0,
+            Mode::Rmc => 1,
+        }
+    }
+
+    /// Inverse of [`Mode::class_index`].
+    ///
+    /// # Panics
+    /// Panics for indices other than 0 or 1.
+    pub fn from_class_index(i: usize) -> Self {
+        match i {
+            0 => Mode::Good,
+            1 => Mode::Rmc,
+            _ => panic!("unknown class index {i}"),
+        }
+    }
+
+    /// Display name matching the paper's labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Good => "good",
+            Mode::Rmc => "rmc",
+        }
+    }
+}
+
+/// Detection result for one case (§VII.A rule 1: a case is `rmc` if at
+/// least one remote channel is detected contended).
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Verdict per channel, dense channel order.
+    pub channel_modes: Vec<(ChannelId, Mode)>,
+    /// The channels detected contended.
+    pub contended_channels: Vec<ChannelId>,
+}
+
+impl CaseResult {
+    /// The case verdict.
+    pub fn mode(&self) -> Mode {
+        if self.contended_channels.is_empty() {
+            Mode::Good
+        } else {
+            Mode::Rmc
+        }
+    }
+}
+
+/// Fewer remote samples than this on a channel ⇒ the channel is `good`
+/// without consulting the tree (there is no traffic to contend; PEBS-based
+/// tools use the same guard against classifying noise).
+pub const MIN_REMOTE_SAMPLES: usize = 8;
+
+/// Minimum remote-DRAM share (per mille of the channel batch) before the
+/// tree is consulted. This is the role feature #6 plays at the root of the
+/// paper's tree (Figure 3): a channel whose traffic is almost entirely
+/// cache hits cannot be bandwidth-contended, no matter how noisy the
+/// latencies of its few stray remote samples are — with a handful of
+/// samples, an average latency is not statistically meaningful.
+pub const MIN_REMOTE_SHARE: f64 = 25.0;
+
+/// The trained decision-tree classifier over the 13 Table I features.
+#[derive(Debug, Clone)]
+pub struct ContentionClassifier {
+    tree: DecisionTree,
+    feature_names: Vec<String>,
+}
+
+impl ContentionClassifier {
+    /// Train on a dataset whose rows are the 13 selected features and
+    /// whose classes are `good`/`rmc` (see [`crate::training`]).
+    ///
+    /// # Panics
+    /// Panics if the dataset's arity is not [`NUM_SELECTED`].
+    pub fn train(data: &Dataset, cfg: TrainConfig) -> Self {
+        assert_eq!(data.num_features(), NUM_SELECTED, "expected the 13 Table I features");
+        Self { tree: DecisionTree::train(data, cfg), feature_names: data.feature_names().to_vec() }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// Classify one feature vector.
+    pub fn predict(&self, features: &[f64; NUM_SELECTED]) -> Mode {
+        Mode::from_class_index(self.tree.predict(features))
+    }
+
+    /// Classify every channel of a profile, applying the §VII.A rules.
+    pub fn classify_case(&self, profile: &Profile, nodes: usize) -> CaseResult {
+        let batches = ChannelBatches::split(&profile.samples, nodes);
+        let ctx = FeatureCtx { duration_cycles: profile.duration_cycles() };
+        let mut channel_modes = Vec::new();
+        let mut contended = Vec::new();
+        for (ch, batch) in batches.iter() {
+            let remote = batches.remote_samples(ch).count();
+            let feats = selected_features(batch, &ctx);
+            let mode = if remote < MIN_REMOTE_SAMPLES
+                || feats[crate::features::REMOTE_COUNT] < MIN_REMOTE_SHARE
+            {
+                Mode::Good
+            } else {
+                self.predict(&feats)
+            };
+            if mode == Mode::Rmc {
+                contended.push(ch);
+            }
+            channel_modes.push((ch, mode));
+        }
+        CaseResult { channel_modes, contended_channels: contended }
+    }
+
+    /// Serialize the trained classifier (tree + feature names) to the
+    /// portable text model format, so a pretrained model can ship with a
+    /// release and be loaded without rerunning the training grid.
+    pub fn to_model_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("drbw-classifier v1\n");
+        for name in &self.feature_names {
+            out.push_str("feature ");
+            out.push_str(name);
+            out.push('\n');
+        }
+        out.push_str(&mldt::serialize::tree_to_string(&self.tree));
+        out
+    }
+
+    /// Load a classifier saved by [`ContentionClassifier::to_model_string`].
+    ///
+    /// # Errors
+    /// Returns a message when the header, feature list, or embedded tree
+    /// is malformed or does not carry the 13 Table I features.
+    pub fn from_model_string(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("drbw-classifier v1") => {}
+            other => return Err(format!("bad model header {other:?}")),
+        }
+        let mut feature_names = Vec::new();
+        let mut rest = String::new();
+        for line in lines {
+            if let Some(name) = line.strip_prefix("feature ") {
+                feature_names.push(name.to_string());
+            } else {
+                rest.push_str(line);
+                rest.push('\n');
+            }
+        }
+        if feature_names.len() != NUM_SELECTED {
+            return Err(format!("expected {NUM_SELECTED} features, got {}", feature_names.len()));
+        }
+        let tree = mldt::serialize::tree_from_string(&rest).map_err(|e| e.to_string())?;
+        if tree.num_features() != NUM_SELECTED {
+            return Err("tree arity does not match the Table I features".into());
+        }
+        Ok(Self { tree, feature_names })
+    }
+
+    /// Text rendering of the learned tree (Figure 3).
+    pub fn render_tree(&self) -> String {
+        export::to_text(&self.tree, &self.feature_names, &["good".into(), "rmc".into()])
+    }
+
+    /// Graphviz rendering of the learned tree.
+    pub fn render_dot(&self) -> String {
+        export::to_dot(&self.tree, &self.feature_names, &["good".into(), "rmc".into()])
+    }
+}
+
+/// Build an empty 13-feature `good`/`rmc` dataset (helper shared by
+/// training and the benchmark sweep).
+pub fn empty_feature_dataset() -> Dataset {
+    Dataset::binary(selected_names())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{REMOTE_COUNT, REMOTE_LATENCY};
+
+    /// A synthetic training set with the paper's structure: rmc rows have
+    /// many remote samples at high latency.
+    fn synthetic() -> Dataset {
+        let mut d = empty_feature_dataset();
+        for i in 0..30 {
+            let mut good = [0.0; NUM_SELECTED];
+            good[REMOTE_COUNT] = 2.0 + (i % 5) as f64;
+            good[REMOTE_LATENCY] = 280.0 + i as f64;
+            good[9] = 100.0;
+            d.push(good.to_vec(), 0);
+            let mut rmc = [0.0; NUM_SELECTED];
+            rmc[REMOTE_COUNT] = 60.0 + i as f64;
+            rmc[REMOTE_LATENCY] = 900.0 + 10.0 * i as f64;
+            rmc[9] = 100.0;
+            d.push(rmc.to_vec(), 1);
+        }
+        d
+    }
+
+    #[test]
+    fn classifier_learns_remote_features() {
+        let c = ContentionClassifier::train(&synthetic(), TrainConfig::default());
+        let used = c.tree().features_used();
+        assert!(
+            used.iter().all(|&f| f == REMOTE_COUNT || f == REMOTE_LATENCY),
+            "tree should split on features 6/7, used {used:?}"
+        );
+        let mut probe = [0.0; NUM_SELECTED];
+        probe[REMOTE_COUNT] = 3.0;
+        probe[REMOTE_LATENCY] = 290.0;
+        assert_eq!(c.predict(&probe), Mode::Good);
+        probe[REMOTE_COUNT] = 80.0;
+        probe[REMOTE_LATENCY] = 1100.0;
+        assert_eq!(c.predict(&probe), Mode::Rmc);
+    }
+
+    #[test]
+    fn render_tree_mentions_feature_names() {
+        let c = ContentionClassifier::train(&synthetic(), TrainConfig::default());
+        let txt = c.render_tree();
+        assert!(txt.contains("num_remote_dram_samples") || txt.contains("avg_remote_dram_latency"), "{txt}");
+        assert!(c.render_dot().starts_with("digraph"));
+    }
+
+    #[test]
+    fn mode_roundtrip() {
+        assert_eq!(Mode::from_class_index(Mode::Rmc.class_index()), Mode::Rmc);
+        assert_eq!(Mode::Good.name(), "good");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown class index")]
+    fn bad_class_index_panics() {
+        Mode::from_class_index(2);
+    }
+
+    #[test]
+    fn case_rule_any_contended_channel() {
+        let r = CaseResult {
+            channel_modes: vec![],
+            contended_channels: vec![ChannelId {
+                src: numasim::topology::NodeId(1),
+                dst: numasim::topology::NodeId(0),
+            }],
+        };
+        assert_eq!(r.mode(), Mode::Rmc);
+        let g = CaseResult { channel_modes: vec![], contended_channels: vec![] };
+        assert_eq!(g.mode(), Mode::Good);
+    }
+
+    #[test]
+    fn model_roundtrip() {
+        let c = ContentionClassifier::train(&synthetic(), TrainConfig::default());
+        let text = c.to_model_string();
+        let c2 = ContentionClassifier::from_model_string(&text).expect("roundtrip");
+        let mut probe = [0.0; NUM_SELECTED];
+        for v in [1.0, 50.0, 80.0, 200.0] {
+            probe[REMOTE_COUNT] = v;
+            probe[REMOTE_LATENCY] = v * 12.0;
+            assert_eq!(c.predict(&probe), c2.predict(&probe));
+        }
+        assert_eq!(c.render_tree(), c2.render_tree(), "feature names preserved");
+    }
+
+    #[test]
+    fn model_load_rejects_garbage() {
+        assert!(ContentionClassifier::from_model_string("").is_err());
+        assert!(ContentionClassifier::from_model_string("drbw-classifier v1\nfeature x\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "13 Table I features")]
+    fn wrong_arity_rejected() {
+        let d = Dataset::binary(vec!["x".into()]);
+        ContentionClassifier::train(&d, TrainConfig::default());
+    }
+}

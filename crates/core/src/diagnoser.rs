@@ -1,0 +1,237 @@
+//! The root-cause diagnoser (§VI): Contribution Fractions over data
+//! objects.
+//!
+//! For a contended channel `c`, every sample that traversed it is
+//! attributed (via the allocation intercept table) to the data object it
+//! touched; the Contribution Fraction of object `A` is
+//! `CF_c(A) = Samples(c, A) / Samples(c, ALL)`. Across channels, only
+//! contended channels are counted:
+//! `CF(A) = Σ_c Samples(c, A) / Σ_c Samples(c, ALL)`. The CFs over all
+//! objects (including the *untracked* remainder — static or stack data the
+//! profiler does not trace, §VIII.D/F) sum to 1 per channel and overall.
+//!
+//! Objects are aggregated by **allocation site**, so the forty LULESH
+//! arrays allocated at lines 2158–2238 fold into site-level entries, as in
+//! Figure 4(c).
+
+use crate::channels::ChannelBatches;
+use crate::profiler::Profile;
+use numasim::topology::ChannelId;
+use std::collections::HashMap;
+
+/// Label used for samples that hit no tracked allocation (static/stack
+/// data, which DR-BW does not trace).
+pub const UNTRACKED: &str = "(untracked)";
+
+/// One object's (or site's) contribution to contention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectCf {
+    /// Object label (allocation-site label, or [`UNTRACKED`]).
+    pub label: String,
+    /// Source line of the allocation site (0 for untracked).
+    pub line: u32,
+    /// Samples attributed on the channel(s) considered.
+    pub samples: u64,
+    /// Contribution Fraction in `[0, 1]`.
+    pub cf: f64,
+}
+
+/// CF ranking for one contended channel.
+#[derive(Debug, Clone)]
+pub struct ChannelDiagnosis {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Objects ranked by CF, descending.
+    pub objects: Vec<ObjectCf>,
+}
+
+/// Full diagnosis of a case.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnosis {
+    /// Per contended channel, ranked objects.
+    pub per_channel: Vec<ChannelDiagnosis>,
+    /// Cross-channel CF ranking (§VI.A-b), descending.
+    pub overall: Vec<ObjectCf>,
+}
+
+impl Diagnosis {
+    /// The top root cause, if any samples were attributed.
+    pub fn top_object(&self) -> Option<&ObjectCf> {
+        self.overall.first()
+    }
+
+    /// The overall CF of a labelled object (0 if absent).
+    pub fn cf_of(&self, label: &str) -> f64 {
+        self.overall.iter().find(|o| o.label == label).map_or(0.0, |o| o.cf)
+    }
+}
+
+fn rank(counts: HashMap<(String, u32), u64>) -> Vec<ObjectCf> {
+    let total: u64 = counts.values().sum();
+    let mut out: Vec<ObjectCf> = counts
+        .into_iter()
+        .map(|((label, line), samples)| ObjectCf {
+            label,
+            line,
+            samples,
+            cf: if total == 0 { 0.0 } else { samples as f64 / total as f64 },
+        })
+        .collect();
+    // Descending CF; deterministic tie-break by label.
+    out.sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.label.cmp(&b.label)));
+    out
+}
+
+/// Diagnose the root causes of contention on the given channels.
+///
+/// Only samples that actually traversed a contended channel are counted
+/// ("for channels that do not have any contention issue, we do not further
+/// analyze their samples"). Returns an empty diagnosis when no channel is
+/// contended.
+pub fn diagnose(profile: &Profile, contended: &[ChannelId]) -> Diagnosis {
+    if contended.is_empty() {
+        return Diagnosis::default();
+    }
+    let nodes = contended
+        .iter()
+        .flat_map(|c| [c.src.0, c.dst.0])
+        .chain(profile.samples.iter().flat_map(|s| s.home.map(|h| h.0).into_iter().chain(Some(s.node.0))))
+        .max()
+        .unwrap() as usize
+        + 1;
+    let batches = ChannelBatches::split(&profile.samples, nodes.max(2));
+    let mut overall: HashMap<(String, u32), u64> = HashMap::new();
+    let mut per_channel = Vec::with_capacity(contended.len());
+    for &ch in contended {
+        let mut counts: HashMap<(String, u32), u64> = HashMap::new();
+        for s in batches.remote_samples(ch) {
+            let key = match profile.tracker.attribute_site(s.addr) {
+                Some(site) => {
+                    let info = profile.tracker.site(site);
+                    (info.label.clone(), info.line)
+                }
+                None => (UNTRACKED.to_string(), 0),
+            };
+            *counts.entry(key.clone()).or_insert(0) += 1;
+            *overall.entry(key).or_insert(0) += 1;
+        }
+        per_channel.push(ChannelDiagnosis { channel: ch, objects: rank(counts) });
+    }
+    Diagnosis { per_channel, overall: rank(overall) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numasim::hierarchy::DataSource;
+    use numasim::topology::{CoreId, NodeId, ThreadId};
+    use pebs::alloc::AllocationTracker;
+    use pebs::sample::MemSample;
+
+    fn sample(node: u8, home: u8, addr: u64) -> MemSample {
+        MemSample {
+            time: 0.0,
+            addr,
+            cpu: CoreId(node as u32 * 8),
+            thread: ThreadId(0),
+            node: NodeId(node),
+            source: DataSource::RemoteDram,
+            home: Some(NodeId(home)),
+            latency: 900.0,
+            is_write: false,
+        }
+    }
+
+    fn ch(src: u8, dst: u8) -> ChannelId {
+        ChannelId { src: NodeId(src), dst: NodeId(dst) }
+    }
+
+    fn make_profile(samples: Vec<MemSample>, tracker: AllocationTracker) -> Profile {
+        Profile { samples, tracker, phases: vec![], observed_accesses: 0, wall: std::time::Duration::ZERO }
+    }
+
+    fn tracker_with(objs: &[(&str, u32, u64, u64)]) -> AllocationTracker {
+        let mut t = AllocationTracker::new();
+        for &(label, line, base, size) in objs {
+            let s = t.intern_site(label, line);
+            t.record_alloc(s, base, size);
+        }
+        t
+    }
+
+    #[test]
+    fn cf_sums_to_one_and_ranks() {
+        let tracker = tracker_with(&[("hot", 10, 0x1000, 0x1000), ("cold", 20, 0x3000, 0x1000)]);
+        let mut samples = Vec::new();
+        for _ in 0..9 {
+            samples.push(sample(1, 0, 0x1500));
+        }
+        samples.push(sample(1, 0, 0x3500));
+        let p = make_profile(samples, tracker);
+        let d = diagnose(&p, &[ch(1, 0)]);
+        assert_eq!(d.overall.len(), 2);
+        assert_eq!(d.top_object().unwrap().label, "hot");
+        assert!((d.cf_of("hot") - 0.9).abs() < 1e-12);
+        assert!((d.cf_of("cold") - 0.1).abs() < 1e-12);
+        let total: f64 = d.overall.iter().map(|o| o.cf).sum();
+        assert!((total - 1.0).abs() < 1e-12, "CFs sum to 1");
+    }
+
+    #[test]
+    fn untracked_samples_get_their_own_bucket() {
+        let tracker = tracker_with(&[("heap", 1, 0x1000, 0x1000)]);
+        let samples = vec![sample(1, 0, 0x1500), sample(1, 0, 0x9000), sample(1, 0, 0x9040)];
+        let p = make_profile(samples, tracker);
+        let d = diagnose(&p, &[ch(1, 0)]);
+        assert!((d.cf_of(UNTRACKED) - 2.0 / 3.0).abs() < 1e-12, "static data shows as untracked");
+        assert!((d.cf_of("heap") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_contended_channels_counted() {
+        let tracker = tracker_with(&[("a", 1, 0x1000, 0x1000), ("b", 2, 0x3000, 0x1000)]);
+        // Channel 1->0 touches object a; channel 2->0 touches object b.
+        let samples = vec![sample(1, 0, 0x1500), sample(2, 0, 0x3500)];
+        let p = make_profile(samples, tracker);
+        let d = diagnose(&p, &[ch(1, 0)]);
+        assert_eq!(d.cf_of("a"), 1.0);
+        assert_eq!(d.cf_of("b"), 0.0, "uncontended channel's samples ignored");
+        assert_eq!(d.per_channel.len(), 1);
+    }
+
+    #[test]
+    fn cross_channel_accumulates() {
+        let tracker = tracker_with(&[("a", 1, 0x1000, 0x1000)]);
+        let samples = vec![sample(1, 0, 0x1500), sample(2, 0, 0x1600), sample(3, 0, 0x1700)];
+        let p = make_profile(samples, tracker);
+        let d = diagnose(&p, &[ch(1, 0), ch(2, 0), ch(3, 0)]);
+        assert_eq!(d.cf_of("a"), 1.0);
+        assert_eq!(d.overall[0].samples, 3);
+        assert_eq!(d.per_channel.len(), 3);
+        for pc in &d.per_channel {
+            assert_eq!(pc.objects[0].samples, 1);
+        }
+    }
+
+    #[test]
+    fn sites_aggregate_multiple_allocations() {
+        // Two arrays from the same site (label + line) merge into one CF
+        // entry — the LULESH pattern.
+        let tracker = tracker_with(&[("domain", 2158, 0x1000, 0x1000), ("domain", 2158, 0x3000, 0x1000)]);
+        let samples = vec![sample(1, 0, 0x1100), sample(1, 0, 0x3100)];
+        let p = make_profile(samples, tracker);
+        let d = diagnose(&p, &[ch(1, 0)]);
+        assert_eq!(d.overall.len(), 1);
+        assert_eq!(d.overall[0].samples, 2);
+        assert_eq!(d.overall[0].line, 2158);
+    }
+
+    #[test]
+    fn empty_when_no_contention() {
+        let p = make_profile(vec![sample(1, 0, 0x1000)], AllocationTracker::new());
+        let d = diagnose(&p, &[]);
+        assert!(d.per_channel.is_empty());
+        assert!(d.overall.is_empty());
+        assert!(d.top_object().is_none());
+    }
+}

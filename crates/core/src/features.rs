@@ -1,0 +1,323 @@
+//! Performance features (§V.B, Table I).
+//!
+//! From a batch of memory samples (one interconnect channel's batch), DR-BW
+//! derives statistics in three categories — identification, location, and
+//! latency — into a **candidate list**, from which 13 features were
+//! selected because they separate `good` from `rmc` runs across the
+//! mini-programs. Table I:
+//!
+//! | #  | description                                       |
+//! |----|---------------------------------------------------|
+//! | 1  | ratio of latency above 1000 among all samples     |
+//! | 2  | ratio of latency above 500                        |
+//! | 3  | ratio of latency above 200                        |
+//! | 4  | ratio of latency above 100                        |
+//! | 5  | ratio of latency above 50                         |
+//! | 6  | # of remote-DRAM access samples                   |
+//! | 7  | average remote-DRAM access latency                |
+//! | 8  | # of local-DRAM access samples                    |
+//! | 9  | average local-DRAM access latency                 |
+//! | 10 | total # of memory-access samples                  |
+//! | 11 | average memory-access latency                     |
+//! | 12 | total # of line-fill-buffer access samples        |
+//! | 13 | line-fill-buffer access latency                   |
+//!
+//! **Normalisation.** The paper normalises feature values before
+//! thresholding in its tree (Fig. 3). Here the per-source count features
+//! (6, 8, 12) are reported per 1000 samples of the batch — i.e. the
+//! *composition* of the channel's traffic — which makes them independent
+//! of run length and of how many threads happen to stream (an
+//! uncontended 64-thread streaming run and a contended one have similar
+//! LFB/DRAM *fractions*; what differs is the remote share and its
+//! latency). The total-sample feature (10) is a rate per million
+//! simulated cycles, average-latency features are plain cycle values, and
+//! ratio features are in `[0, 1]`.
+
+use numasim::hierarchy::DataSource;
+use pebs::sample::MemSample;
+
+/// Number of selected features (Table I).
+pub const NUM_SELECTED: usize = 13;
+
+/// Table I indices (0-based) of the two features the paper's learned tree
+/// actually uses: #6 (remote-DRAM sample count) and #7 (average remote
+/// latency).
+pub const REMOTE_COUNT: usize = 5;
+/// See [`REMOTE_COUNT`].
+pub const REMOTE_LATENCY: usize = 6;
+
+/// Context needed to normalise count features.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureCtx {
+    /// Total simulated cycles of the profiled execution.
+    pub duration_cycles: f64,
+}
+
+impl FeatureCtx {
+    /// Rate per million cycles.
+    fn rate(&self, count: usize) -> f64 {
+        count as f64 / (self.duration_cycles / 1e6)
+    }
+}
+
+/// Per-mille of the batch: `1000 * count / total` (0 for an empty batch).
+fn per_mille(count: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        1000.0 * count as f64 / total as f64
+    }
+}
+
+/// Names of the 13 selected features, Table I order.
+pub fn selected_names() -> Vec<String> {
+    [
+        "ratio_latency_gt_1000",
+        "ratio_latency_gt_500",
+        "ratio_latency_gt_200",
+        "ratio_latency_gt_100",
+        "ratio_latency_gt_50",
+        "num_remote_dram_samples",
+        "avg_remote_dram_latency",
+        "num_local_dram_samples",
+        "avg_local_dram_latency",
+        "num_total_samples",
+        "avg_latency",
+        "num_lfb_samples",
+        "avg_lfb_latency",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn avg(sum: f64, n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Compute the 13 selected features over a sample batch.
+///
+/// # Panics
+/// Panics if `ctx.duration_cycles <= 0`.
+pub fn selected_features(batch: &[MemSample], ctx: &FeatureCtx) -> [f64; NUM_SELECTED] {
+    assert!(ctx.duration_cycles > 0.0, "profile duration must be positive");
+    let total = batch.len();
+    let mut above = [0usize; 5]; // 1000, 500, 200, 100, 50
+    let thresholds = [1000.0, 500.0, 200.0, 100.0, 50.0];
+    let (mut n_rem, mut lat_rem) = (0usize, 0.0);
+    let (mut n_loc, mut lat_loc) = (0usize, 0.0);
+    let (mut n_lfb, mut lat_lfb) = (0usize, 0.0);
+    let mut lat_all = 0.0;
+    for s in batch {
+        lat_all += s.latency;
+        for (i, &t) in thresholds.iter().enumerate() {
+            if s.latency > t {
+                above[i] += 1;
+            }
+        }
+        match s.source {
+            DataSource::RemoteDram => {
+                n_rem += 1;
+                lat_rem += s.latency;
+            }
+            DataSource::LocalDram => {
+                n_loc += 1;
+                lat_loc += s.latency;
+            }
+            DataSource::Lfb => {
+                n_lfb += 1;
+                lat_lfb += s.latency;
+            }
+            _ => {}
+        }
+    }
+    let ratio = |c: usize| if total == 0 { 0.0 } else { c as f64 / total as f64 };
+    [
+        ratio(above[0]),
+        ratio(above[1]),
+        ratio(above[2]),
+        ratio(above[3]),
+        ratio(above[4]),
+        per_mille(n_rem, total),
+        avg(lat_rem, n_rem),
+        per_mille(n_loc, total),
+        avg(lat_loc, n_loc),
+        ctx.rate(total),
+        avg(lat_all, total),
+        per_mille(n_lfb, total),
+        avg(lat_lfb, n_lfb),
+    ]
+}
+
+/// Names of the full candidate list: the 13 selected features plus the
+/// rest of the statistics categories of §V.B (per-level hit rates, write
+/// fraction, remote fraction, CPU spread, and the raw
+/// `MEM_LOAD_UOPS_LLC_MISS_RETIRED.REMOTE_DRAM`-style unnormalised remote
+/// count the paper calls out as *not* discriminative).
+pub fn candidate_names() -> Vec<String> {
+    let mut names = selected_names();
+    names.extend(
+        [
+            "num_l1_hit_samples",
+            "num_l2_hit_samples",
+            "num_l3_hit_samples",
+            "num_l3_miss_samples",
+            "write_sample_fraction",
+            "remote_fraction_of_dram",
+            "num_distinct_cpus",
+            "raw_remote_dram_count",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    );
+    names
+}
+
+/// Indices of the selected features within the candidate vector
+/// (they come first).
+pub fn selected_indices() -> Vec<usize> {
+    (0..NUM_SELECTED).collect()
+}
+
+/// Compute the full candidate vector.
+pub fn candidate_features(batch: &[MemSample], ctx: &FeatureCtx) -> Vec<f64> {
+    let mut out = selected_features(batch, ctx).to_vec();
+    let total = batch.len();
+    let count = |src: DataSource| batch.iter().filter(|s| s.source == src).count();
+    let (l1, l2, l3) = (count(DataSource::L1), count(DataSource::L2), count(DataSource::L3));
+    let loc = count(DataSource::LocalDram);
+    let rem = count(DataSource::RemoteDram);
+    let writes = batch.iter().filter(|s| s.is_write).count();
+    let mut cpus: Vec<u32> = batch.iter().map(|s| s.cpu.0).collect();
+    cpus.sort_unstable();
+    cpus.dedup();
+    out.push(per_mille(l1, total));
+    out.push(per_mille(l2, total));
+    out.push(per_mille(l3, total));
+    out.push(per_mille(loc + rem, total)); // L3 misses reach DRAM
+    out.push(if total == 0 { 0.0 } else { writes as f64 / total as f64 });
+    out.push(if loc + rem == 0 { 0.0 } else { rem as f64 / (loc + rem) as f64 });
+    out.push(cpus.len() as f64);
+    out.push(rem as f64); // raw, unnormalised
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numasim::topology::{CoreId, NodeId, ThreadId};
+
+    fn sample(source: DataSource, latency: f64, cpu: u32, is_write: bool) -> MemSample {
+        MemSample {
+            time: 0.0,
+            addr: 0,
+            cpu: CoreId(cpu),
+            thread: ThreadId(0),
+            node: NodeId(0),
+            source,
+            home: None,
+            latency,
+            is_write,
+        }
+    }
+
+    const CTX: FeatureCtx = FeatureCtx { duration_cycles: 1e6 };
+
+    #[test]
+    fn empty_batch_is_all_zero() {
+        let f = selected_features(&[], &CTX);
+        assert!(f.iter().all(|&v| v == 0.0));
+        let c = candidate_features(&[], &CTX);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn latency_ratios_are_nested() {
+        let batch: Vec<_> = [30.0, 60.0, 150.0, 300.0, 700.0, 1500.0]
+            .iter()
+            .map(|&l| sample(DataSource::RemoteDram, l, 0, false))
+            .collect();
+        let f = selected_features(&batch, &CTX);
+        // gt1000: 1/6, gt500: 2/6, gt200: 3/6, gt100: 4/6, gt50: 5/6.
+        assert!((f[0] - 1.0 / 6.0).abs() < 1e-12);
+        assert!((f[1] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((f[2] - 3.0 / 6.0).abs() < 1e-12);
+        assert!((f[3] - 4.0 / 6.0).abs() < 1e-12);
+        assert!((f[4] - 5.0 / 6.0).abs() < 1e-12);
+        // Ratios must be monotone by construction.
+        assert!(f[0] <= f[1] && f[1] <= f[2] && f[2] <= f[3] && f[3] <= f[4]);
+    }
+
+    #[test]
+    fn per_source_counts_and_latencies() {
+        let batch = vec![
+            sample(DataSource::RemoteDram, 400.0, 0, false),
+            sample(DataSource::RemoteDram, 600.0, 0, false),
+            sample(DataSource::LocalDram, 180.0, 0, false),
+            sample(DataSource::Lfb, 90.0, 0, false),
+            sample(DataSource::L1, 4.0, 0, false),
+        ];
+        let f = selected_features(&batch, &CTX);
+        assert_eq!(f[REMOTE_COUNT], 400.0, "2 of 5 samples are remote DRAM");
+        assert_eq!(f[REMOTE_LATENCY], 500.0);
+        assert_eq!(f[7], 200.0);
+        assert_eq!(f[8], 180.0);
+        assert_eq!(f[9], 5.0, "5 samples per Mcycle");
+        assert!((f[10] - (400.0 + 600.0 + 180.0 + 90.0 + 4.0) / 5.0).abs() < 1e-9);
+        assert_eq!(f[11], 200.0);
+        assert_eq!(f[12], 90.0);
+    }
+
+    #[test]
+    fn normalisation_split_between_composition_and_rate() {
+        let batch = vec![sample(DataSource::RemoteDram, 400.0, 0, false)];
+        let short = selected_features(&batch, &FeatureCtx { duration_cycles: 1e6 });
+        let long = selected_features(&batch, &FeatureCtx { duration_cycles: 2e6 });
+        // Composition features are duration-invariant...
+        assert_eq!(short[REMOTE_COUNT], long[REMOTE_COUNT]);
+        assert_eq!(short[REMOTE_LATENCY], long[REMOTE_LATENCY]);
+        // ...the total-sample feature is a rate.
+        assert_eq!(short[9], 2.0 * long[9]);
+    }
+
+    #[test]
+    fn candidate_vector_extends_selected() {
+        let batch = vec![
+            sample(DataSource::L1, 4.0, 0, true),
+            sample(DataSource::L2, 12.0, 3, false),
+            sample(DataSource::L3, 40.0, 3, false),
+            sample(DataSource::LocalDram, 180.0, 5, false),
+            sample(DataSource::RemoteDram, 300.0, 5, false),
+        ];
+        let c = candidate_features(&batch, &CTX);
+        assert_eq!(c.len(), candidate_names().len());
+        let sel = selected_features(&batch, &CTX);
+        assert_eq!(&c[..NUM_SELECTED], &sel[..]);
+        let base = NUM_SELECTED;
+        assert_eq!(c[base], 200.0); // l1
+        assert_eq!(c[base + 1], 200.0); // l2
+        assert_eq!(c[base + 2], 200.0); // l3
+        assert_eq!(c[base + 3], 400.0); // l3 misses
+        assert!((c[base + 4] - 0.2).abs() < 1e-12); // write fraction
+        assert_eq!(c[base + 5], 0.5); // remote fraction of dram
+        assert_eq!(c[base + 6], 3.0); // distinct cpus
+        assert_eq!(c[base + 7], 1.0); // raw remote count
+    }
+
+    #[test]
+    fn names_align_with_arity() {
+        assert_eq!(selected_names().len(), NUM_SELECTED);
+        assert_eq!(selected_indices(), (0..13).collect::<Vec<_>>());
+        assert!(candidate_names().len() > NUM_SELECTED);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        selected_features(&[], &FeatureCtx { duration_cycles: 0.0 });
+    }
+}

@@ -1,0 +1,101 @@
+//! # drbw-core — the DR-BW profiler, classifier, and diagnoser
+//!
+//! This crate is the paper's contribution: a lightweight profiler that
+//! **identifies remote-memory bandwidth contention in NUMA architectures
+//! with supervised learning** and pinpoints the data objects responsible.
+//!
+//! The pipeline mirrors Figure 2 of the paper:
+//!
+//! 1. **Profiler** ([`profiler`]) — runs a program under PEBS-style address
+//!    sampling, collecting memory samples and the allocation intercept
+//!    table.
+//! 2. **Channel association** ([`channels`]) — each sample is associated
+//!    with the directed interconnect channel from its *accessing node*
+//!    (the CPU's node) to its *locating node* (the sampled address's home,
+//!    via the libnuma facade). Detection is per channel, not per program.
+//! 3. **Feature extraction** ([`features`]) — per-channel sample batches
+//!    are reduced to the statistics of Table I (latency-ratio features,
+//!    remote/local DRAM sample rates and latencies, line-fill-buffer
+//!    statistics).
+//! 4. **Classifier** ([`classifier`], [`training`]) — a CART decision tree
+//!    trained on the §V.A mini-programs (sumv/dotv/countv in good and
+//!    contended modes, plus the bandit) labels each channel `good` or
+//!    `rmc`; a case is `rmc` if any channel is (§VII.A rule 1), a program
+//!    if any case is (rule 2).
+//! 5. **Diagnoser** ([`diagnoser`]) — for contended channels, samples are
+//!    attributed to heap data objects and ranked by Contribution Fraction
+//!    `CF_c(A) = Samples(c, A) / Samples(c, ALL)` (§VI); the top objects
+//!    are the root causes, and co-locating/interleaving/replicating them
+//!    is the optimization guidance.
+//!
+//! [`heuristics`] implements the single-heuristic baselines DR-BW is
+//! compared against in §II (latency thresholds, remote-access counts,
+//! all-sockets-touch, bandit interference probing) for the ablation
+//! experiments, and [`report`] renders human-readable analyses.
+//!
+//! The top-level [`DrBw`] type wires the whole pipeline together.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache_contention;
+pub mod channels;
+pub mod classifier;
+pub mod diagnoser;
+pub mod features;
+pub mod heuristics;
+pub mod profiler;
+pub mod report;
+pub mod training;
+
+pub use classifier::{CaseResult, ContentionClassifier, Mode};
+pub use diagnoser::{diagnose, Diagnosis};
+pub use profiler::{profile, Profile};
+
+use mldt::tree::TrainConfig;
+use numasim::config::MachineConfig;
+use workloads::config::RunConfig;
+use workloads::spec::Workload;
+
+/// The assembled DR-BW tool: a trained classifier plus the
+/// profile → detect → diagnose pipeline.
+pub struct DrBw {
+    classifier: ContentionClassifier,
+}
+
+/// Result of analysing one case end to end.
+pub struct Analysis {
+    /// The raw profile (samples, attribution, timing).
+    pub profile: Profile,
+    /// Per-channel detection and the case verdict.
+    pub detection: CaseResult,
+    /// Root-cause diagnosis (empty if no channel is contended).
+    pub diagnosis: Diagnosis,
+}
+
+impl DrBw {
+    /// Wrap an already-trained classifier.
+    pub fn new(classifier: ContentionClassifier) -> Self {
+        Self { classifier }
+    }
+
+    /// Train DR-BW on the full §V mini-program training set (192 runs —
+    /// takes a while; see [`training::quick_training_set`] for tests).
+    pub fn train(mcfg: &MachineConfig) -> Self {
+        let data = training::full_training_set(mcfg);
+        Self::new(ContentionClassifier::train(&data, TrainConfig::default()))
+    }
+
+    /// The trained classifier.
+    pub fn classifier(&self) -> &ContentionClassifier {
+        &self.classifier
+    }
+
+    /// Profile one case and run detection + diagnosis on it.
+    pub fn analyze(&self, workload: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConfig) -> Analysis {
+        let profile = profile(workload, mcfg, rcfg);
+        let detection = self.classifier.classify_case(&profile, mcfg.topology.num_nodes());
+        let diagnosis = diagnose(&profile, &detection.contended_channels);
+        Analysis { profile, detection, diagnosis }
+    }
+}

@@ -1,0 +1,95 @@
+//! The profiler front end: run a workload under sampling and package what
+//! the rest of the pipeline needs.
+
+use numasim::config::MachineConfig;
+use pebs::alloc::AllocationTracker;
+use pebs::sample::MemSample;
+use pebs::sampler::SamplerConfig;
+use workloads::config::RunConfig;
+use workloads::runner::{self, PhaseOutcome};
+use workloads::spec::Workload;
+
+/// A profiled execution: samples, the allocation intercept table, and
+/// timing.
+#[derive(Debug)]
+pub struct Profile {
+    /// Memory samples, in collection order.
+    pub samples: Vec<MemSample>,
+    /// The malloc-interception record (for attribution).
+    pub tracker: AllocationTracker,
+    /// Per-phase engine statistics.
+    pub phases: Vec<PhaseOutcome>,
+    /// Total simulated access events.
+    pub observed_accesses: u64,
+    /// Host wall-clock time of the profiled run.
+    pub wall: std::time::Duration,
+}
+
+impl Profile {
+    /// Total simulated cycles over all measured (non-warmup) phases.
+    pub fn duration_cycles(&self) -> f64 {
+        self.phases.iter().filter(|p| !p.warmup).map(|p| p.stats.cycles).sum()
+    }
+
+    /// Achieved sampling rate (samples per observed access).
+    pub fn sampling_rate(&self) -> f64 {
+        if self.observed_accesses == 0 {
+            0.0
+        } else {
+            self.samples.len() as f64 / self.observed_accesses as f64
+        }
+    }
+}
+
+/// Profile a workload with the paper's default sampling (1 in 2000 per
+/// thread, latency threshold 3).
+pub fn profile(workload: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConfig) -> Profile {
+    profile_with(workload, mcfg, rcfg, SamplerConfig::default())
+}
+
+/// Profile with an explicit sampler configuration (the sampling-period
+/// ablation uses this).
+pub fn profile_with(
+    workload: &dyn Workload,
+    mcfg: &MachineConfig,
+    rcfg: &RunConfig,
+    scfg: SamplerConfig,
+) -> Profile {
+    let out = runner::run(workload, mcfg, rcfg, Some(scfg));
+    Profile {
+        samples: out.samples,
+        tracker: out.tracker,
+        phases: out.phases,
+        observed_accesses: out.observed_accesses,
+        wall: out.wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::config::Input;
+    use workloads::micro::Sumv;
+
+    #[test]
+    fn profile_collects_everything() {
+        let mcfg = MachineConfig::scaled();
+        let p = profile(&Sumv, &mcfg, &RunConfig::new(16, 4, Input::Medium));
+        assert!(!p.samples.is_empty());
+        assert!(p.duration_cycles() > 0.0);
+        assert!(p.observed_accesses > 0);
+        // 1-in-2000 sampling with a small latency threshold.
+        let rate = p.sampling_rate();
+        assert!(rate > 1.0 / 4000.0 && rate < 1.0 / 1000.0, "rate {rate}");
+        assert_eq!(p.tracker.sites().count(), 1, "sumv allocates one vector");
+    }
+
+    #[test]
+    fn custom_period_changes_sample_count() {
+        let mcfg = MachineConfig::scaled();
+        let rcfg = RunConfig::new(16, 4, Input::Medium);
+        let coarse = profile_with(&Sumv, &mcfg, &rcfg, SamplerConfig { period: 8000, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let fine = profile_with(&Sumv, &mcfg, &rcfg, SamplerConfig { period: 500, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        assert!(fine.samples.len() > coarse.samples.len() * 8);
+    }
+}

@@ -1,0 +1,86 @@
+//! Human-readable analysis reports: what DR-BW prints for a case.
+
+use crate::classifier::CaseResult;
+use crate::diagnoser::Diagnosis;
+use crate::profiler::Profile;
+use std::fmt::Write as _;
+
+/// Render a full case report: detection verdict per channel, and — when
+/// contention was found — the ranked root causes with optimization
+/// guidance.
+pub fn render(name: &str, profile: &Profile, detection: &CaseResult, diagnosis: &Diagnosis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== DR-BW analysis: {name} ===");
+    let _ = writeln!(
+        out,
+        "samples: {} ({} accesses observed, rate 1/{:.0})",
+        profile.samples.len(),
+        profile.observed_accesses,
+        if profile.sampling_rate() > 0.0 { 1.0 / profile.sampling_rate() } else { 0.0 },
+    );
+    let _ = writeln!(out, "verdict: {}", detection.mode().name());
+    for (ch, mode) in &detection.channel_modes {
+        let _ = writeln!(out, "  channel {ch}: {}", mode.name());
+    }
+    if detection.contended_channels.is_empty() {
+        let _ = writeln!(out, "no remote bandwidth contention detected.");
+        return out;
+    }
+    let _ = writeln!(out, "root causes (Contribution Fraction over contended channels):");
+    for o in &diagnosis.overall {
+        let _ = writeln!(out, "  {:<24} line {:>5}  CF {:>6.2}%  ({} samples)", o.label, o.line, o.cf * 100.0, o.samples);
+    }
+    if let Some(top) = diagnosis.top_object() {
+        let _ = writeln!(
+            out,
+            "guidance: co-locate, interleave, or replicate `{}` (CF {:.1}%) with its computation.",
+            top.label,
+            top.cf * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Mode;
+    use numasim::topology::{ChannelId, NodeId};
+    use pebs::alloc::AllocationTracker;
+
+    fn empty_profile() -> Profile {
+        Profile {
+            samples: vec![],
+            tracker: AllocationTracker::new(),
+            phases: vec![],
+            observed_accesses: 1000,
+            wall: std::time::Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn good_case_report() {
+        let det = CaseResult {
+            channel_modes: vec![(ChannelId { src: NodeId(0), dst: NodeId(1) }, Mode::Good)],
+            contended_channels: vec![],
+        };
+        let r = render("blackscholes", &empty_profile(), &det, &Diagnosis::default());
+        assert!(r.contains("verdict: good"));
+        assert!(r.contains("no remote bandwidth contention"));
+    }
+
+    #[test]
+    fn rmc_case_report_lists_causes() {
+        let ch = ChannelId { src: NodeId(1), dst: NodeId(0) };
+        let det = CaseResult { channel_modes: vec![(ch, Mode::Rmc)], contended_channels: vec![ch] };
+        let diag = Diagnosis {
+            per_channel: vec![],
+            overall: vec![crate::diagnoser::ObjectCf { label: "block".into(), line: 42, samples: 90, cf: 0.9 }],
+        };
+        let r = render("streamcluster", &empty_profile(), &det, &diag);
+        assert!(r.contains("verdict: rmc"));
+        assert!(r.contains("block"));
+        assert!(r.contains("90.00%"));
+        assert!(r.contains("guidance"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Training-set generation (§V.A–C, Table II).
+//!
+//! The classifier is trained on the four mini-programs, each run under many
+//! configurations whose contention mode is known **by construction**:
+//!
+//! * `sumv`, `dotv`, `countv` — 24 *good* runs (small/medium vectors, which
+//!   cache well or demand little bandwidth) and 24 *rmc* runs (large/native
+//!   vectors streamed by many threads across nodes into the master node's
+//!   memory) each;
+//! * `bandit` — 48 runs, all *good*: one or two instances chasing remote
+//!   memory never saturate a channel, but they produce **many
+//!   remote-DRAM samples at uncontended latency**. This is what forces the
+//!   tree to learn that a high remote-access count alone is not contention
+//!   — it must also consult the remote latency, exactly the two-feature
+//!   structure of the paper's Figure 3.
+//!
+//! One training instance = the Table I features of the run's *hottest*
+//! channel (the one with the most remote samples), labelled with the run's
+//! mode. Totals match Table II: 120 good + 72 rmc = 192 instances.
+
+use crate::classifier::{empty_feature_dataset, Mode};
+use crate::features::{selected_features, FeatureCtx, NUM_SELECTED};
+use crate::profiler::{profile, Profile};
+use mldt::dataset::Dataset;
+use numasim::config::MachineConfig;
+use workloads::config::{Input, RunConfig};
+use workloads::micro::{Bandit, Countv, Dotv, Sumv};
+use workloads::spec::Workload;
+
+/// Which mini-program a training run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroProgram {
+    /// Vector summation.
+    Sumv,
+    /// Vector dot product.
+    Dotv,
+    /// Vector value count.
+    Countv,
+    /// The bandwidth-bandit probe.
+    Bandit,
+}
+
+static SUMV: Sumv = Sumv;
+static DOTV: Dotv = Dotv;
+static COUNTV: Countv = Countv;
+static BANDIT: Bandit = Bandit;
+
+impl MicroProgram {
+    /// The workload implementation.
+    pub fn workload(&self) -> &'static dyn Workload {
+        match self {
+            MicroProgram::Sumv => &SUMV,
+            MicroProgram::Dotv => &DOTV,
+            MicroProgram::Countv => &COUNTV,
+            MicroProgram::Bandit => &BANDIT,
+        }
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &'static str {
+        self.workload().name()
+    }
+
+    /// The three vector kernels.
+    pub const KERNELS: [MicroProgram; 3] = [MicroProgram::Sumv, MicroProgram::Dotv, MicroProgram::Countv];
+}
+
+/// One training run: program, configuration, and its mode by construction.
+#[derive(Debug, Clone)]
+pub struct TrainingSpec {
+    /// Which mini-program.
+    pub program: MicroProgram,
+    /// Run configuration.
+    pub rcfg: RunConfig,
+    /// Ground-truth label.
+    pub label: Mode,
+}
+
+/// `Tt-Nn` shapes whose runs stay bandwidth-friendly at small/medium
+/// inputs (which cache): anything up to full machine width.
+fn good_shapes_cached() -> [(usize, usize); 6] {
+    [(2, 2), (4, 2), (8, 2), (16, 2), (8, 4), (16, 4)]
+}
+
+/// Shapes that stream large inputs from DRAM **without** contention: one
+/// node, or very few threads per node. These teach the classifier that
+/// heavy DRAM streaming (high LFB and DRAM sample rates) is not by itself
+/// contention — only inflated remote latency under load is.
+fn good_shapes_streaming() -> [(usize, usize); 6] {
+    [(1, 1), (2, 1), (4, 1), (8, 1), (2, 2), (4, 2)]
+}
+
+/// Shapes that drive enough remote traffic into the master node to contend
+/// at large/native inputs (≥ 6 threads per node with multiple nodes).
+fn rmc_shapes() -> [(usize, usize); 12] {
+    // (16,4) and (20,4) contend only mildly (4–5 threads per node share
+    // one victim controller): they teach the tree the low end of the
+    // contended latency range.
+    [(16, 4), (20, 4), (16, 2), (24, 2), (32, 2), (24, 3), (48, 3), (32, 4), (40, 4), (48, 4), (56, 4), (64, 4)]
+}
+
+/// The full Table II grid: 48 runs per vector kernel (24 good + 24 rmc)
+/// plus 48 good bandit runs — 192 training instances.
+pub fn training_specs() -> Vec<TrainingSpec> {
+    let mut specs = Vec::with_capacity(192);
+    for program in MicroProgram::KERNELS {
+        for input in [Input::Small, Input::Medium] {
+            for (t, n) in good_shapes_cached() {
+                specs.push(TrainingSpec { program, rcfg: RunConfig::new(t, n, input), label: Mode::Good });
+            }
+        }
+        for input in [Input::Large, Input::Native] {
+            for (t, n) in good_shapes_streaming() {
+                specs.push(TrainingSpec { program, rcfg: RunConfig::new(t, n, input), label: Mode::Good });
+            }
+        }
+        for input in [Input::Large, Input::Native] {
+            for (t, n) in rmc_shapes() {
+                specs.push(TrainingSpec { program, rcfg: RunConfig::new(t, n, input), label: Mode::Rmc });
+            }
+        }
+    }
+    // Bandit: 1–2 co-running instances, all stream counts, six seeds each —
+    // 48 good runs.
+    for instances in [1usize, 2] {
+        for input in Input::ALL {
+            for seed in 0..6u64 {
+                let rcfg = RunConfig::new(instances, 2, input).with_seed(0xBA2D17 + seed);
+                specs.push(TrainingSpec { program: MicroProgram::Bandit, rcfg, label: Mode::Good });
+            }
+        }
+    }
+    specs
+}
+
+/// A small subset (stride 8 over the full grid, 24 instances) for tests.
+pub fn quick_training_specs() -> Vec<TrainingSpec> {
+    training_specs().into_iter().step_by(8).collect()
+}
+
+/// Features of a profiled run's hottest channel (most remote samples).
+pub fn case_features(profile: &Profile, nodes: usize) -> [f64; NUM_SELECTED] {
+    let batches = crate::channels::ChannelBatches::split(&profile.samples, nodes);
+    let ctx = FeatureCtx { duration_cycles: profile.duration_cycles() };
+    let hottest = batches
+        .iter()
+        .max_by_key(|(ch, _)| batches.remote_samples(*ch).count())
+        .map(|(_, b)| b)
+        .unwrap_or(&[]);
+    selected_features(hottest, &ctx)
+}
+
+/// Run a list of specs and assemble the labelled dataset.
+pub fn collect_training_set(mcfg: &MachineConfig, specs: &[TrainingSpec]) -> Dataset {
+    let nodes = mcfg.topology.num_nodes();
+    let mut data = empty_feature_dataset();
+    for spec in specs {
+        let p = profile(spec.program.workload(), mcfg, &spec.rcfg);
+        data.push(case_features(&p, nodes).to_vec(), spec.label.class_index());
+    }
+    data
+}
+
+/// The full 192-instance training set (Table II). Runs 192 simulations.
+pub fn full_training_set(mcfg: &MachineConfig) -> Dataset {
+    collect_training_set(mcfg, &training_specs())
+}
+
+/// The reduced training set for tests.
+pub fn quick_training_set(mcfg: &MachineConfig) -> Dataset {
+    collect_training_set(mcfg, &quick_training_specs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_table_ii() {
+        let specs = training_specs();
+        assert_eq!(specs.len(), 192, "Table II total");
+        let count = |p: MicroProgram, m: Mode| {
+            specs.iter().filter(|s| s.program == p && s.label == m).count()
+        };
+        for k in MicroProgram::KERNELS {
+            assert_eq!(count(k, Mode::Good), 24, "{}", k.name());
+            assert_eq!(count(k, Mode::Rmc), 24, "{}", k.name());
+        }
+        assert_eq!(count(MicroProgram::Bandit, Mode::Good), 48);
+        assert_eq!(count(MicroProgram::Bandit, Mode::Rmc), 0);
+        let good: usize = specs.iter().filter(|s| s.label == Mode::Good).count();
+        assert_eq!(good, 120);
+    }
+
+    #[test]
+    fn shapes_are_valid_bindings() {
+        // Every shape must be realisable on the 4x8x2 machine.
+        let mcfg = MachineConfig::scaled();
+        for (t, n) in good_shapes_cached().iter().chain(good_shapes_streaming().iter()).chain(rmc_shapes().iter()) {
+            let binding = mcfg.topology.bind_threads(*t, *n);
+            assert_eq!(binding.len(), *t);
+        }
+    }
+
+    #[test]
+    fn features_separate_good_from_rmc() {
+        // One representative run per mode: the rmc run must show a clearly
+        // higher remote latency on its hottest channel.
+        use crate::features::{REMOTE_COUNT, REMOTE_LATENCY};
+        let mcfg = MachineConfig::scaled();
+        let good_p = profile(&Sumv, &mcfg, &RunConfig::new(16, 4, Input::Small));
+        let rmc_p = profile(&Sumv, &mcfg, &RunConfig::new(48, 4, Input::Large));
+        let g = case_features(&good_p, 4);
+        let r = case_features(&rmc_p, 4);
+        assert!(
+            r[REMOTE_COUNT] > g[REMOTE_COUNT] * 2.0,
+            "remote rate: rmc {} vs good {}",
+            r[REMOTE_COUNT],
+            g[REMOTE_COUNT]
+        );
+        assert!(
+            r[REMOTE_LATENCY] > g[REMOTE_LATENCY] + 100.0,
+            "remote latency: rmc {} vs good {}",
+            r[REMOTE_LATENCY],
+            g[REMOTE_LATENCY]
+        );
+    }
+
+    #[test]
+    fn bandit_runs_have_high_remote_rate_but_low_latency() {
+        use crate::features::{REMOTE_COUNT, REMOTE_LATENCY};
+        let mcfg = MachineConfig::scaled();
+        let p = profile(&Bandit, &mcfg, &RunConfig::new(2, 2, Input::Native));
+        let f = case_features(&p, 4);
+        assert!(f[REMOTE_COUNT] > 5.0, "bandit hammers remote memory: {}", f[REMOTE_COUNT]);
+        assert!(f[REMOTE_LATENCY] < 500.0, "but stays uncontended: {}", f[REMOTE_LATENCY]);
+    }
+
+    #[test]
+    fn quick_set_trains_a_sane_classifier() {
+        use crate::classifier::ContentionClassifier;
+        use mldt::tree::TrainConfig;
+        let mcfg = MachineConfig::scaled();
+        let data = quick_training_set(&mcfg);
+        assert_eq!(data.len(), quick_training_specs().len());
+        assert!(data.class_counts().iter().all(|&c| c > 0), "both classes present");
+        let c = ContentionClassifier::train(&data, TrainConfig::default());
+        // Resubstitution accuracy should be high on this easy subset.
+        let mut correct = 0;
+        for i in 0..data.len() {
+            if c.tree().predict(data.row(i)) == data.label(i) {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / data.len() as f64 > 0.85, "{correct}/{}", data.len());
+    }
+}

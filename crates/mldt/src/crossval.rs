@@ -1,0 +1,102 @@
+//! Stratified k-fold cross-validation (the paper's §V.D validation).
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::tree::{DecisionTree, TrainConfig};
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CrossValResult {
+    /// Confusion matrix accumulated over all held-out folds.
+    pub confusion: ConfusionMatrix,
+    /// Per-fold accuracies, in fold order.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CrossValResult {
+    /// Overall accuracy across all held-out predictions.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+}
+
+/// Stratified k-fold cross-validation of a CART tree on `data`.
+///
+/// Each fold is held out once; a tree is trained on the remaining rows and
+/// evaluated on the fold. Deterministic under `seed`.
+///
+/// # Panics
+/// Panics if `k < 2` or a class has fewer rows than `k`.
+pub fn stratified_kfold(data: &Dataset, k: usize, seed: u64, cfg: TrainConfig) -> CrossValResult {
+    let folds = data.stratified_folds(k, seed);
+    let mut confusion = ConfusionMatrix::new(data.class_names().to_vec());
+    let mut fold_accuracies = Vec::with_capacity(k);
+    for held_out in &folds {
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .filter(|f| !std::ptr::eq(*f, held_out))
+            .flatten()
+            .copied()
+            .collect();
+        let train = data.subset(&train_idx);
+        let tree = DecisionTree::train(&train, cfg);
+        let mut fold_cm = ConfusionMatrix::new(data.class_names().to_vec());
+        for &i in held_out {
+            fold_cm.record(data.label(i), tree.predict(data.row(i)));
+        }
+        fold_accuracies.push(fold_cm.accuracy());
+        confusion.merge(&fold_cm);
+    }
+    CrossValResult { confusion, fold_accuracies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> Dataset {
+        let mut d = Dataset::binary(vec!["f".into()]);
+        for i in 0..n {
+            d.push(vec![i as f64], 0);
+            d.push(vec![1000.0 + i as f64], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn separable_data_validates_perfectly() {
+        let d = separable(30);
+        let r = stratified_kfold(&d, 10, 0, TrainConfig::default());
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.fold_accuracies.len(), 10);
+        assert!(r.fold_accuracies.iter().all(|&a| a == 1.0));
+        assert_eq!(r.confusion.total() as usize, d.len(), "every row predicted exactly once");
+    }
+
+    #[test]
+    fn noisy_data_degrades_gracefully() {
+        let mut d = separable(30);
+        // Inject label noise: a few rmc rows that look good.
+        for i in 0..4 {
+            d.push(vec![i as f64 + 0.5], 1);
+        }
+        let r = stratified_kfold(&d, 4, 1, TrainConfig::default());
+        assert!(r.accuracy() < 1.0, "noise must cost accuracy");
+        assert!(r.accuracy() > 0.8, "but the signal dominates");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = separable(20);
+        let r1 = stratified_kfold(&d, 5, 9, TrainConfig::default());
+        let r2 = stratified_kfold(&d, 5, 9, TrainConfig::default());
+        assert_eq!(r1.confusion, r2.confusion);
+        assert_eq!(r1.fold_accuracies, r2.fold_accuracies);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn k_must_be_at_least_two() {
+        stratified_kfold(&separable(10), 1, 0, TrainConfig::default());
+    }
+}

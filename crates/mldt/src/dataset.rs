@@ -1,0 +1,279 @@
+//! Feature datasets with class labels.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A table of feature vectors with class labels.
+///
+/// Rows are dense `f64` vectors; labels are small dense class indices with
+/// human-readable names (the paper's classes are `good` and `rmc`).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    class_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// An empty dataset with the given feature and class names.
+    ///
+    /// # Panics
+    /// Panics if either name list is empty.
+    pub fn new(feature_names: Vec<String>, class_names: Vec<String>) -> Self {
+        assert!(!feature_names.is_empty(), "dataset needs at least one feature");
+        assert!(class_names.len() >= 2, "dataset needs at least two classes");
+        Self { feature_names, class_names, rows: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Convenience: a binary `good`/`rmc` dataset, the paper's setting.
+    pub fn binary(feature_names: Vec<String>) -> Self {
+        Self::new(feature_names, vec!["good".into(), "rmc".into()])
+    }
+
+    /// Append a labelled row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch, out-of-range label, or non-finite values.
+    pub fn push(&mut self, row: Vec<f64>, label: usize) {
+        assert_eq!(row.len(), self.feature_names.len(), "feature arity mismatch");
+        assert!(label < self.class_names.len(), "label {label} out of range");
+        assert!(row.iter().all(|v| v.is_finite()), "non-finite feature value");
+        self.rows.push(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Class names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// A row's features.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// A row's label.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Rows per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.class_names.len()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing the rows at `indices` (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut d = Dataset::new(self.feature_names.clone(), self.class_names.clone());
+        for &i in indices {
+            d.push(self.rows[i].clone(), self.labels[i]);
+        }
+        d
+    }
+
+    /// Values of one feature restricted to one class — the raw material of
+    /// the paper's feature-selection step.
+    pub fn feature_by_class(&self, feature: usize, class: usize) -> Vec<f64> {
+        self.rows
+            .iter()
+            .zip(&self.labels)
+            .filter(|(_, &l)| l == class)
+            .map(|(r, _)| r[feature])
+            .collect()
+    }
+
+    /// Project the dataset onto a subset of features (in the given order).
+    pub fn select_features(&self, features: &[usize]) -> Dataset {
+        let names = features.iter().map(|&f| self.feature_names[f].clone()).collect();
+        let mut d = Dataset::new(names, self.class_names.clone());
+        for (row, &label) in self.rows.iter().zip(&self.labels) {
+            d.push(features.iter().map(|&f| row[f]).collect(), label);
+        }
+        d
+    }
+
+    /// Stratified k-fold partition: returns `k` disjoint index sets whose
+    /// union is `0..len`, each with (as close as possible) the overall
+    /// class proportions. Deterministic under `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` or `k` exceeds the smallest class count.
+    pub fn stratified_folds(&self, k: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(k >= 2, "need at least two folds");
+        let counts = self.class_counts();
+        for (c, &n) in counts.iter().enumerate() {
+            assert!(n == 0 || n >= k, "class {c} has {n} rows, fewer than {k} folds");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut folds = vec![Vec::new(); k];
+        for class in 0..self.num_classes() {
+            let mut idx: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            idx.shuffle(&mut rng);
+            for (j, i) in idx.into_iter().enumerate() {
+                folds[j % k].push(i);
+            }
+        }
+        for f in &mut folds {
+            f.sort_unstable();
+        }
+        folds
+    }
+
+    /// Stratified train/test split with `test_frac` of each class held
+    /// out. Returns `(train_indices, test_indices)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < test_frac < 1`.
+    pub fn stratified_split(&self, test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        assert!(test_frac > 0.0 && test_frac < 1.0, "test fraction must be in (0, 1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut train, mut test) = (Vec::new(), Vec::new());
+        for class in 0..self.num_classes() {
+            let mut idx: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            idx.shuffle(&mut rng);
+            let n_test = ((idx.len() as f64) * test_frac).round() as usize;
+            test.extend_from_slice(&idx[..n_test]);
+            train.extend_from_slice(&idx[n_test..]);
+        }
+        train.sort_unstable();
+        test.sort_unstable();
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_good: usize, n_rmc: usize) -> Dataset {
+        let mut d = Dataset::binary(vec!["f0".into(), "f1".into()]);
+        for i in 0..n_good {
+            d.push(vec![i as f64, 0.0], 0);
+        }
+        for i in 0..n_rmc {
+            d.push(vec![i as f64, 1.0], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let d = toy(3, 2);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.class_counts(), vec![3, 2]);
+        assert_eq!(d.label(4), 1);
+        assert_eq!(d.row(0), &[0.0, 0.0]);
+        assert_eq!(d.class_names(), &["good".to_string(), "rmc".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut d = toy(1, 1);
+        d.push(vec![1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let mut d = toy(1, 1);
+        d.push(vec![f64::NAN, 0.0], 0);
+    }
+
+    #[test]
+    fn folds_partition_and_stratify() {
+        let d = toy(20, 10);
+        let folds = d.stratified_folds(5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>(), "folds must partition the dataset");
+        for f in &folds {
+            let rmc = f.iter().filter(|&&i| d.label(i) == 1).count();
+            assert_eq!(f.len(), 6);
+            assert_eq!(rmc, 2, "each fold keeps the 2:1 class ratio");
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_under_seed() {
+        let d = toy(20, 10);
+        assert_eq!(d.stratified_folds(5, 1), d.stratified_folds(5, 1));
+        assert_ne!(d.stratified_folds(5, 1), d.stratified_folds(5, 2));
+    }
+
+    #[test]
+    fn split_fractions() {
+        let d = toy(20, 10);
+        let (train, test) = d.stratified_split(0.2, 7);
+        assert_eq!(test.len(), 6);
+        assert_eq!(train.len(), 24);
+        let rmc_test = test.iter().filter(|&&i| d.label(i) == 1).count();
+        assert_eq!(rmc_test, 2);
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = toy(3, 3);
+        let s = d.subset(&[0, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(0), 0);
+        assert_eq!(s.label(1), 1);
+        assert_eq!(s.row(1), d.row(5));
+    }
+
+    #[test]
+    fn feature_by_class_filters() {
+        let d = toy(2, 3);
+        assert_eq!(d.feature_by_class(1, 0), vec![0.0, 0.0]);
+        assert_eq!(d.feature_by_class(1, 1), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn select_features_projects() {
+        let d = toy(2, 2);
+        let p = d.select_features(&[1]);
+        assert_eq!(p.num_features(), 1);
+        assert_eq!(p.feature_names(), &["f1".to_string()]);
+        assert_eq!(p.row(3), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than")]
+    fn folds_reject_tiny_classes() {
+        let d = toy(20, 3);
+        d.stratified_folds(5, 0);
+    }
+}

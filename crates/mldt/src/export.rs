@@ -1,0 +1,112 @@
+//! Render trained trees as text or Graphviz — the reproduction of the
+//! paper's Figure 3, which shows the learned decision tree with feature
+//! numbers on internal nodes and `good`/`rmc` on leaves.
+
+use crate::tree::{DecisionTree, Node};
+
+/// Indented text rendering. Feature and class names are taken from the
+/// slices provided (use the training dataset's names).
+///
+/// # Panics
+/// Panics if the name slices are shorter than the tree's feature/class
+/// counts.
+pub fn to_text(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> String {
+    assert!(feature_names.len() >= tree.num_features(), "missing feature names");
+    assert!(class_names.len() >= tree.num_classes(), "missing class names");
+    let mut out = String::new();
+    render_text(tree, 0, 0, feature_names, class_names, &mut out, "");
+    out
+}
+
+fn render_text(
+    tree: &DecisionTree,
+    node: usize,
+    depth: usize,
+    features: &[String],
+    classes: &[String],
+    out: &mut String,
+    edge: &str,
+) {
+    let pad = "  ".repeat(depth);
+    match &tree.nodes()[node] {
+        Node::Leaf { label, counts } => {
+            let total: usize = counts.iter().sum();
+            out.push_str(&format!("{pad}{edge}[{}] (n={total})\n", classes[*label]));
+        }
+        Node::Split { feature, threshold, left, right } => {
+            out.push_str(&format!("{pad}{edge}{} <= {threshold:.4} ?\n", features[*feature]));
+            render_text(tree, *left, depth + 1, features, classes, out, "yes: ");
+            render_text(tree, *right, depth + 1, features, classes, out, "no:  ");
+        }
+    }
+}
+
+/// Graphviz `dot` rendering.
+pub fn to_dot(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> String {
+    assert!(feature_names.len() >= tree.num_features(), "missing feature names");
+    assert!(class_names.len() >= tree.num_classes(), "missing class names");
+    let mut out = String::from("digraph decision_tree {\n  node [shape=box];\n");
+    for (i, node) in tree.nodes().iter().enumerate() {
+        match node {
+            Node::Leaf { label, counts } => {
+                let total: usize = counts.iter().sum();
+                out.push_str(&format!(
+                    "  n{i} [label=\"{}\\nn={total}\", style=filled, fillcolor=\"{}\"];\n",
+                    class_names[*label],
+                    if *label == 0 { "palegreen" } else { "lightcoral" }
+                ));
+            }
+            Node::Split { feature, threshold, left, right } => {
+                out.push_str(&format!("  n{i} [label=\"{} <= {threshold:.4}\"];\n", feature_names[*feature]));
+                out.push_str(&format!("  n{i} -> n{left} [label=\"yes\"];\n"));
+                out.push_str(&format!("  n{i} -> n{right} [label=\"no\"];\n"));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::tree::TrainConfig;
+
+    fn tree_and_names() -> (DecisionTree, Vec<String>, Vec<String>) {
+        let mut d = Dataset::binary(vec!["remote_count".into(), "remote_latency".into()]);
+        for i in 0..10 {
+            d.push(vec![i as f64, 50.0], 0);
+            d.push(vec![100.0 + i as f64, 900.0], 1);
+        }
+        let t = DecisionTree::train(&d, TrainConfig::default());
+        (t, d.feature_names().to_vec(), d.class_names().to_vec())
+    }
+
+    #[test]
+    fn text_contains_feature_and_classes() {
+        let (t, f, c) = tree_and_names();
+        let s = to_text(&t, &f, &c);
+        assert!(s.contains("remote_count"), "{s}");
+        assert!(s.contains("[good]"));
+        assert!(s.contains("[rmc]"));
+        assert!(s.contains("yes: "));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let (t, f, c) = tree_and_names();
+        let s = to_dot(&t, &f, &c);
+        assert!(s.starts_with("digraph"));
+        assert!(s.ends_with("}\n"));
+        assert_eq!(s.matches("->").count(), 2, "one split, two edges");
+        assert!(s.contains("palegreen") && s.contains("lightcoral"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing feature names")]
+    fn text_checks_names() {
+        let (t, _, c) = tree_and_names();
+        to_text(&t, &[], &c);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mldt — decision-tree supervised learning
+//!
+//! The machine-learning substrate of the DR-BW reproduction. The paper
+//! trains its bandwidth-contention classifier with the decision-tree
+//! algorithm of MATLAB 2016a's Statistics and Machine Learning toolbox and
+//! validates it with stratified 10-fold cross-validation (§V.C–D); this
+//! crate provides the same pieces, written from scratch:
+//!
+//! * [`dataset::Dataset`] — named features, rows, class labels, stratified
+//!   splitting;
+//! * [`tree::DecisionTree`] — CART with Gini impurity, depth/leaf-size
+//!   controls, deterministic tie-breaking;
+//! * [`metrics::ConfusionMatrix`] — accuracy, false-positive/negative
+//!   rates (Table III / Table VI of the paper);
+//! * [`crossval`] — stratified k-fold cross-validation;
+//! * [`export`] — text and Graphviz renderings of a trained tree
+//!   (Figure 3);
+//! * [`stats`] — Welch's t statistic and effect sizes, used by the
+//!   feature-selection step (§V.B).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod crossval;
+pub mod dataset;
+pub mod export;
+pub mod metrics;
+pub mod serialize;
+pub mod stats;
+pub mod tree;
+
+pub use crossval::stratified_kfold;
+pub use dataset::Dataset;
+pub use metrics::ConfusionMatrix;
+pub use tree::{DecisionTree, TrainConfig};

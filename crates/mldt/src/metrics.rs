@@ -1,0 +1,253 @@
+//! Classification metrics: confusion matrices, accuracy, error rates.
+//!
+//! The paper reports a confusion matrix over the training data (Table III)
+//! and, for the benchmark sweep, overall correctness with false-positive
+//! and false-negative rates (Table VI). Rates follow the paper's
+//! definitions: with `rmc` as the positive class,
+//! `FPR = FP / (FP + TN)` and `FNR = FN / (FN + TP)`.
+
+/// A square confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    class_names: Vec<String>,
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// An all-zero matrix over the given classes.
+    ///
+    /// # Panics
+    /// Panics with fewer than two classes.
+    pub fn new(class_names: Vec<String>) -> Self {
+        assert!(class_names.len() >= 2, "need at least two classes");
+        let n = class_names.len();
+        Self { class_names, counts: vec![vec![0; n]; n] }
+    }
+
+    /// Record one prediction.
+    ///
+    /// # Panics
+    /// Panics on out-of-range class indices.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Merge another matrix into this one (fold accumulation).
+    ///
+    /// # Panics
+    /// Panics if the class sets differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.class_names, other.class_names, "incompatible matrices");
+        for (a, row) in other.counts.iter().enumerate() {
+            for (p, &c) in row.iter().enumerate() {
+                self.counts[a][p] += c;
+            }
+        }
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual][predicted]
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Fraction of predictions on the diagonal.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of class `c`: TP / (TP + FP); 1.0 when nothing was
+    /// predicted as `c` (vacuous).
+    pub fn precision(&self, c: usize) -> f64 {
+        let tp = self.counts[c][c];
+        let predicted: u64 = self.counts.iter().map(|row| row[c]).sum();
+        if predicted == 0 {
+            1.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c`: TP / (TP + FN); 1.0 when class `c` never
+    /// occurred.
+    pub fn recall(&self, c: usize) -> f64 {
+        let tp = self.counts[c][c];
+        let actual: u64 = self.counts[c].iter().sum();
+        if actual == 0 {
+            1.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// False-positive rate treating class `positive` as positive:
+    /// `FP / (FP + TN)` — the paper's Table VI definition.
+    pub fn false_positive_rate(&self, positive: usize) -> f64 {
+        let mut fp = 0;
+        let mut tn = 0;
+        for (a, row) in self.counts.iter().enumerate() {
+            if a == positive {
+                continue;
+            }
+            for (p, &c) in row.iter().enumerate() {
+                if p == positive {
+                    fp += c;
+                } else {
+                    tn += c;
+                }
+            }
+        }
+        if fp + tn == 0 {
+            0.0
+        } else {
+            fp as f64 / (fp + tn) as f64
+        }
+    }
+
+    /// False-negative rate treating class `positive` as positive:
+    /// `FN / (FN + TP)`.
+    pub fn false_negative_rate(&self, positive: usize) -> f64 {
+        let row = &self.counts[positive];
+        let tp = row[positive];
+        let fn_: u64 = row.iter().enumerate().filter(|(p, _)| *p != positive).map(|(_, &c)| c).sum();
+        if tp + fn_ == 0 {
+            0.0
+        } else {
+            fn_ as f64 / (tp + fn_) as f64
+        }
+    }
+
+    /// Class names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Render as an aligned text table (rows = actual, columns = predicted).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .class_names
+            .iter()
+            .map(|n| n.len())
+            .chain(self.counts.iter().flatten().map(|c| c.to_string().len()))
+            .max()
+            .unwrap()
+            .max(9);
+        out.push_str(&format!("{:>w$} |", "actual\\pred", w = width + 2));
+        for n in &self.class_names {
+            out.push_str(&format!(" {n:>width$}"));
+        }
+        out.push('\n');
+        for (a, row) in self.counts.iter().enumerate() {
+            out.push_str(&format!("{:>w$} |", self.class_names[a], w = width + 2));
+            for &c in row {
+                out.push_str(&format!(" {c:>width$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table III: actual good (118 correct, 2 as rmc),
+    /// actual rmc (3 as good, 69 correct).
+    fn table_iii() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(vec!["good".into(), "rmc".into()]);
+        for _ in 0..118 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..3 {
+            m.record(1, 0);
+        }
+        for _ in 0..69 {
+            m.record(1, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn accuracy_matches_paper_table_iii() {
+        let m = table_iii();
+        assert_eq!(m.total(), 192);
+        assert!((m.accuracy() - 187.0 / 192.0).abs() < 1e-12, "97.4% success rate");
+    }
+
+    /// The paper's Table VI: 63 TP, 0 FN, 19 FP, 430 TN.
+    #[test]
+    fn rates_match_paper_table_vi() {
+        let mut m = ConfusionMatrix::new(vec!["good".into(), "rmc".into()]);
+        for _ in 0..430 {
+            m.record(0, 0);
+        }
+        for _ in 0..19 {
+            m.record(0, 1);
+        }
+        for _ in 0..63 {
+            m.record(1, 1);
+        }
+        assert!((m.accuracy() - 493.0 / 512.0).abs() < 1e-12, "96.3% correctness");
+        assert!((m.false_positive_rate(1) - 19.0 / 449.0).abs() < 1e-12, "4.2% FPR");
+        assert_eq!(m.false_negative_rate(1), 0.0, "0% FNR");
+    }
+
+    #[test]
+    fn precision_recall() {
+        let m = table_iii();
+        assert!((m.recall(1) - 69.0 / 72.0).abs() < 1e-12);
+        assert!((m.precision(1) - 69.0 / 71.0).abs() < 1e-12);
+        assert!((m.recall(0) - 118.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = table_iii();
+        let b = table_iii();
+        a.merge(&b);
+        assert_eq!(a.total(), 384);
+        assert_eq!(a.count(1, 1), 138);
+    }
+
+    #[test]
+    fn empty_matrix_is_defined() {
+        let m = ConfusionMatrix::new(vec!["good".into(), "rmc".into()]);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.false_positive_rate(1), 0.0);
+        assert_eq!(m.false_negative_rate(1), 0.0);
+        assert_eq!(m.precision(1), 1.0);
+        assert_eq!(m.recall(1), 1.0);
+    }
+
+    #[test]
+    fn table_rendering_contains_counts() {
+        let m = table_iii();
+        let t = m.to_table();
+        assert!(t.contains("118"));
+        assert!(t.contains("69"));
+        assert!(t.contains("good"));
+        assert!(t.contains("rmc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_different_classes() {
+        let mut a = ConfusionMatrix::new(vec!["good".into(), "rmc".into()]);
+        let b = ConfusionMatrix::new(vec!["x".into(), "y".into()]);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,191 @@
+//! Plain-text model persistence for trained trees.
+//!
+//! A released profiler ships its pretrained classifier so users do not
+//! rerun the training grid; DR-BW's GitHub release does the same. The
+//! format is a deliberately simple line-oriented text file (no external
+//! dependencies, stable across versions, human-diffable):
+//!
+//! ```text
+//! drbw-tree v1
+//! features 13
+//! classes 2
+//! nodes 3
+//! split 0 6 312.5 1 2        # node 0: feature 6, threshold, left, right
+//! leaf 1 0 117 2             # node 1: label 0, per-class counts
+//! leaf 2 1 3 69
+//! ```
+
+use crate::tree::{DecisionTree, Node};
+use std::fmt::Write as _;
+
+/// Serialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a trained tree.
+pub fn tree_to_string(tree: &DecisionTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "drbw-tree v1");
+    let _ = writeln!(out, "features {}", tree.num_features());
+    let _ = writeln!(out, "classes {}", tree.num_classes());
+    let _ = writeln!(out, "nodes {}", tree.nodes().len());
+    for (i, node) in tree.nodes().iter().enumerate() {
+        match node {
+            Node::Split { feature, threshold, left, right } => {
+                // {:e} keeps full f64 precision without locale issues.
+                let _ = writeln!(out, "split {i} {feature} {threshold:e} {left} {right}");
+            }
+            Node::Leaf { label, counts } => {
+                let _ = write!(out, "leaf {i} {label}");
+                for c in counts {
+                    let _ = write!(out, " {c}");
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parse a tree serialized by [`tree_to_string`]. Validates structure:
+/// node ids dense and in order, children in range, labels within the
+/// class count.
+pub fn tree_from_string(text: &str) -> Result<DecisionTree, ParseError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| err("empty input"))?;
+    if header.trim() != "drbw-tree v1" {
+        return Err(err(format!("bad header {header:?}")));
+    }
+    let mut field = |name: &str| -> Result<usize, ParseError> {
+        let line = lines.next().ok_or_else(|| err(format!("missing {name}")))?;
+        let mut it = line.split_whitespace();
+        if it.next() != Some(name) {
+            return Err(err(format!("expected {name}, got {line:?}")));
+        }
+        it.next().ok_or_else(|| err(format!("{name}: missing value")))?.parse().map_err(|e| err(format!("{name}: {e}")))
+    };
+    let num_features = field("features")?;
+    let num_classes = field("classes")?;
+    let num_nodes = field("nodes")?;
+    if num_features == 0 || num_classes < 2 || num_nodes == 0 {
+        return Err(err("degenerate dimensions"));
+    }
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for (expect_id, line) in lines.enumerate() {
+        let mut it = line.split_whitespace();
+        let kind = it.next().ok_or_else(|| err("empty node line"))?;
+        let id: usize = it.next().ok_or_else(|| err("missing node id"))?.parse().map_err(|e| err(format!("id: {e}")))?;
+        if id != expect_id {
+            return Err(err(format!("node ids must be dense and ordered, got {id} at position {expect_id}")));
+        }
+        match kind {
+            "split" => {
+                let feature: usize =
+                    it.next().ok_or_else(|| err("split: feature"))?.parse().map_err(|e| err(format!("feature: {e}")))?;
+                let threshold: f64 =
+                    it.next().ok_or_else(|| err("split: threshold"))?.parse().map_err(|e| err(format!("threshold: {e}")))?;
+                let left: usize =
+                    it.next().ok_or_else(|| err("split: left"))?.parse().map_err(|e| err(format!("left: {e}")))?;
+                let right: usize =
+                    it.next().ok_or_else(|| err("split: right"))?.parse().map_err(|e| err(format!("right: {e}")))?;
+                if feature >= num_features {
+                    return Err(err(format!("feature {feature} out of range")));
+                }
+                if left >= num_nodes || right >= num_nodes || left == id || right == id {
+                    return Err(err(format!("child out of range at node {id}")));
+                }
+                if !threshold.is_finite() {
+                    return Err(err("non-finite threshold"));
+                }
+                nodes.push(Node::Split { feature, threshold, left, right });
+            }
+            "leaf" => {
+                let label: usize =
+                    it.next().ok_or_else(|| err("leaf: label"))?.parse().map_err(|e| err(format!("label: {e}")))?;
+                if label >= num_classes {
+                    return Err(err(format!("label {label} out of range")));
+                }
+                let counts: Result<Vec<usize>, _> = it.map(|t| t.parse()).collect();
+                nodes.push(Node::Leaf { label, counts: counts.map_err(|e| err(format!("counts: {e}")))? });
+            }
+            other => return Err(err(format!("unknown node kind {other:?}"))),
+        }
+    }
+    if nodes.len() != num_nodes {
+        return Err(err(format!("expected {num_nodes} nodes, got {}", nodes.len())));
+    }
+    DecisionTree::from_parts(nodes, num_features, num_classes).map_err(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::tree::TrainConfig;
+
+    fn trained() -> DecisionTree {
+        let mut d = Dataset::binary(vec!["f0".into(), "f1".into()]);
+        for i in 0..20 {
+            d.push(vec![i as f64, 0.0], 0);
+            d.push(vec![100.0 + i as f64, 1.0], 1);
+        }
+        DecisionTree::train(&d, TrainConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let t = trained();
+        let text = tree_to_string(&t);
+        let t2 = tree_from_string(&text).unwrap();
+        assert_eq!(t.nodes(), t2.nodes());
+        for x in [0.0, 5.0, 59.0, 60.0, 119.0, 500.0] {
+            assert_eq!(t.predict(&[x, 0.5]), t2.predict(&[x, 0.5]));
+        }
+    }
+
+    #[test]
+    fn threshold_precision_survives() {
+        let t = trained();
+        let t2 = tree_from_string(&tree_to_string(&t)).unwrap();
+        // Probe exactly at the learned threshold boundary.
+        if let Node::Split { threshold, .. } = &t.nodes()[0] {
+            assert_eq!(t.predict(&[*threshold, 0.0]), t2.predict(&[*threshold, 0.0]));
+            let eps = threshold * 1e-15;
+            assert_eq!(t.predict(&[threshold + eps, 0.0]), t2.predict(&[threshold + eps, 0.0]));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tree_from_string("").is_err());
+        assert!(tree_from_string("not-a-model").is_err());
+        assert!(tree_from_string("drbw-tree v1\nfeatures 0\nclasses 2\nnodes 1\nleaf 0 0 1").is_err());
+        // Out-of-range child.
+        let bad = "drbw-tree v1\nfeatures 2\nclasses 2\nnodes 1\nsplit 0 0 1.0 5 6";
+        assert!(tree_from_string(bad).is_err());
+        // Out-of-range label.
+        let bad = "drbw-tree v1\nfeatures 2\nclasses 2\nnodes 1\nleaf 0 7 1";
+        assert!(tree_from_string(bad).is_err());
+        // Non-dense ids.
+        let bad = "drbw-tree v1\nfeatures 2\nclasses 2\nnodes 2\nleaf 1 0 1\nleaf 0 0 1";
+        assert!(tree_from_string(bad).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = tree_from_string("nope").unwrap_err();
+        assert!(e.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Small statistics helpers for feature selection.
+//!
+//! The paper selects a feature when its statistics differ *significantly*
+//! between the `good` and `rmc` runs of a majority of mini-programs
+//! (§V.B). We quantify "significantly" with Welch's t statistic and
+//! Cohen's d effect size over the two groups.
+
+/// Sample mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance; 0 with fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Welch's t statistic between two samples (unequal variances).
+/// Returns 0 when either sample has fewer than two points or both
+/// variances vanish with equal means; returns infinity when variances
+/// vanish but means differ.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let se2 = variance(a) / a.len() as f64 + variance(b) / b.len() as f64;
+    if se2 == 0.0 {
+        return if ma == mb { 0.0 } else { f64::INFINITY.copysign(ma - mb) };
+    }
+    (ma - mb) / se2.sqrt()
+}
+
+/// Cohen's d effect size (pooled standard deviation).
+/// Same degenerate-case conventions as [`welch_t`].
+pub fn cohens_d(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let pooled = (((na - 1.0) * variance(a) + (nb - 1.0) * variance(b)) / (na + nb - 2.0)).sqrt();
+    let diff = mean(a) - mean(b);
+    if pooled == 0.0 {
+        return if diff == 0.0 { 0.0 } else { f64::INFINITY.copysign(diff) };
+    }
+    diff / pooled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[2.0, 4.0]), 2.0);
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn welch_detects_separation() {
+        let good = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let rmc = [10.0, 10.2, 9.8, 10.1, 9.9];
+        let t = welch_t(&good, &rmc).abs();
+        assert!(t > 50.0, "clear separation gives a large statistic, got {t}");
+    }
+
+    #[test]
+    fn welch_near_zero_for_same_distribution() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 1.9, 3.1, 3.9, 5.0];
+        assert!(welch_t(&a, &b).abs() < 1.0);
+    }
+
+    #[test]
+    fn welch_degenerate_cases() {
+        assert_eq!(welch_t(&[1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(welch_t(&[2.0, 2.0], &[2.0, 2.0]), 0.0);
+        assert_eq!(welch_t(&[2.0, 2.0], &[3.0, 3.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cohens_d_sign_and_magnitude() {
+        let a = [1.0, 1.2, 0.8];
+        let b = [5.0, 5.2, 4.8];
+        let d = cohens_d(&a, &b);
+        assert!(d < -10.0, "large negative effect, got {d}");
+        assert!(cohens_d(&b, &a) > 10.0);
+    }
+}

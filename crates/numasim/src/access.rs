@@ -1,0 +1,763 @@
+//! Memory access streams: the workload side of the simulator.
+//!
+//! A simulated thread is driven by an [`AccessStream`] — an iterator of
+//! [`Access`]es at cache-line granularity. Streams carry two performance
+//! attributes the engine consults:
+//!
+//! * `compute_cycles` — arithmetic work between memory operations
+//!   (compute-bound codes like Blackscholes have high values; streaming
+//!   kernels ~1–4 cycles);
+//! * `mlp` — memory-level parallelism. Independent loads (array scans)
+//!   overlap several outstanding misses; dependent loads (pointer chasing,
+//!   as in the bandit micro-benchmark) expose the full miss latency.
+//!
+//! `reps` on an [`Access`] models multiple loads landing in the same cache
+//! line (e.g. eight 8-byte elements per 64-byte line): the line is fetched
+//! once and the remaining loads are satisfied by the line-fill buffer,
+//! which is exactly how PEBS attributes them on real hardware.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One memory operation at line granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address touched.
+    pub addr: u64,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+    /// Number of element accesses this line-granular operation represents
+    /// (≥ 1). Loads beyond the first hit the line-fill buffer when the
+    /// first missed to DRAM.
+    pub reps: u16,
+}
+
+/// Read/write composition of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessMix {
+    /// Every `write_every`-th access is a write; 0 means read-only.
+    pub write_every: u32,
+}
+
+impl AccessMix {
+    /// All loads.
+    pub fn read_only() -> Self {
+        Self { write_every: 0 }
+    }
+
+    /// All stores.
+    pub fn write_only() -> Self {
+        Self { write_every: 1 }
+    }
+
+    /// One store per `n` accesses (n ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (use [`AccessMix::read_only`] for no writes).
+    pub fn write_every(n: u32) -> Self {
+        assert!(n >= 1, "write_every(0) is ambiguous; use read_only()");
+        Self { write_every: n }
+    }
+
+    #[inline]
+    fn is_write(&self, counter: u64) -> bool {
+        self.write_every != 0 && counter % self.write_every as u64 == 0
+    }
+}
+
+/// A source of memory accesses for one simulated thread.
+///
+/// Streams must be deterministic: all randomness is seeded.
+pub trait AccessStream: Send {
+    /// The next access, or `None` when the thread has finished its work.
+    fn next_access(&mut self) -> Option<Access>;
+
+    /// Arithmetic cycles between consecutive memory operations.
+    fn compute_cycles(&self) -> f64 {
+        2.0
+    }
+
+    /// Memory-level parallelism override; `None` uses the machine default.
+    fn mlp(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Sequential scan over `[base, base + len)` with a fixed stride,
+/// repeated for a number of passes. The canonical streaming kernel
+/// (sumv/dotv/countv shares, stencil sweeps).
+#[derive(Debug, Clone)]
+pub struct SeqStream {
+    base: u64,
+    len: u64,
+    stride: u64,
+    passes: u64,
+    mix: AccessMix,
+    reps: u16,
+    compute: f64,
+    mlp: Option<f64>,
+    cursor: u64,
+    start: u64,
+    wrap_to: u64,
+    steps_per_pass: u64,
+    step: u64,
+    pass: u64,
+    counter: u64,
+}
+
+impl SeqStream {
+    /// Scan `len` bytes starting at `base`, `passes` times, touching one
+    /// line (64 bytes) per step.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `passes == 0`.
+    pub fn new(base: u64, len: u64, passes: u64, mix: AccessMix) -> Self {
+        assert!(len > 0 && passes > 0, "empty scan");
+        let mut s = Self {
+            base,
+            len,
+            stride: 64,
+            passes,
+            mix,
+            reps: 1,
+            compute: 2.0,
+            mlp: None,
+            cursor: 0,
+            start: 0,
+            wrap_to: 0,
+            steps_per_pass: 0,
+            step: 0,
+            pass: 0,
+            counter: 0,
+        };
+        s.recompute_steps();
+        s
+    }
+
+    fn recompute_steps(&mut self) {
+        // The phase within a stride is preserved across wraps, so a pass
+        // visits the offsets `wrap_to, wrap_to + stride, …` below `len`.
+        self.wrap_to = self.start % self.stride;
+        self.cursor = self.start;
+        self.steps_per_pass = (self.len - self.wrap_to).div_ceil(self.stride);
+    }
+
+    /// Set the step in bytes (defaults to one 64-byte line).
+    pub fn with_stride(mut self, stride: u64) -> Self {
+        assert!(stride > 0);
+        self.stride = stride;
+        self.recompute_steps();
+        self
+    }
+
+    /// Start the traversal at byte offset `start` instead of 0, wrapping at
+    /// the end. Two uses: rotating co-running threads' traversals so they
+    /// do not move through memory in lockstep, and (with a stride larger
+    /// than `start`) giving each thread its own disjoint interleaved line
+    /// set — the sub-stride phase `start % stride` is preserved across
+    /// wraps.
+    ///
+    /// # Panics
+    /// Panics if `start >= len`.
+    pub fn with_start(mut self, start: u64) -> Self {
+        assert!(start < self.len, "start offset beyond scan length");
+        self.start = start;
+        self.recompute_steps();
+        self
+    }
+
+    /// Set element accesses per line (see [`Access::reps`]).
+    pub fn with_reps(mut self, reps: u16) -> Self {
+        assert!(reps >= 1);
+        self.reps = reps;
+        self
+    }
+
+    /// Set compute cycles between memory operations.
+    pub fn with_compute(mut self, cycles: f64) -> Self {
+        assert!(cycles >= 0.0);
+        self.compute = cycles;
+        self
+    }
+
+    /// Override memory-level parallelism.
+    pub fn with_mlp(mut self, mlp: f64) -> Self {
+        assert!(mlp >= 1.0);
+        self.mlp = Some(mlp);
+        self
+    }
+}
+
+impl AccessStream for SeqStream {
+    #[inline]
+    fn next_access(&mut self) -> Option<Access> {
+        if self.pass == self.passes {
+            return None;
+        }
+        let addr = self.base + self.cursor;
+        self.cursor += self.stride;
+        if self.cursor >= self.len {
+            self.cursor = self.wrap_to;
+        }
+        self.step += 1;
+        if self.step == self.steps_per_pass {
+            self.step = 0;
+            self.pass += 1;
+        }
+        self.counter += 1;
+        Some(Access { addr, is_write: self.mix.is_write(self.counter), reps: self.reps })
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.compute
+    }
+
+    fn mlp(&self) -> Option<f64> {
+        self.mlp
+    }
+}
+
+/// Alias emphasising a non-unit stride; construct via
+/// [`SeqStream::with_stride`].
+pub type StridedStream = SeqStream;
+
+/// Uniform random line accesses within `[base, base + len)` — the pattern
+/// of Streamcluster's distance computations over the shared `block` array.
+#[derive(Debug, Clone)]
+pub struct RandomStream {
+    base: u64,
+    lines: u64,
+    remaining: u64,
+    mix: AccessMix,
+    reps: u16,
+    compute: f64,
+    mlp: Option<f64>,
+    rng: StdRng,
+    counter: u64,
+}
+
+impl RandomStream {
+    /// `count` random line-granular accesses over `len` bytes at `base`,
+    /// deterministic under `seed`.
+    ///
+    /// # Panics
+    /// Panics if `len < 64` or `count == 0`.
+    pub fn new(base: u64, len: u64, count: u64, seed: u64, mix: AccessMix) -> Self {
+        assert!(len >= 64 && count > 0, "degenerate random stream");
+        Self {
+            base,
+            lines: len / 64,
+            remaining: count,
+            mix,
+            reps: 1,
+            compute: 4.0,
+            mlp: None,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    /// Set element accesses per line.
+    pub fn with_reps(mut self, reps: u16) -> Self {
+        assert!(reps >= 1);
+        self.reps = reps;
+        self
+    }
+
+    /// Set compute cycles between memory operations.
+    pub fn with_compute(mut self, cycles: f64) -> Self {
+        assert!(cycles >= 0.0);
+        self.compute = cycles;
+        self
+    }
+
+    /// Override memory-level parallelism.
+    pub fn with_mlp(mut self, mlp: f64) -> Self {
+        assert!(mlp >= 1.0);
+        self.mlp = Some(mlp);
+        self
+    }
+}
+
+impl AccessStream for RandomStream {
+    #[inline]
+    fn next_access(&mut self) -> Option<Access> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.counter += 1;
+        let line = self.rng.gen_range(0..self.lines);
+        Some(Access { addr: self.base + line * 64, is_write: self.mix.is_write(self.counter), reps: self.reps })
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.compute
+    }
+
+    fn mlp(&self) -> Option<f64> {
+        self.mlp
+    }
+}
+
+/// Dependent pointer chasing over a fixed set of conflicting lines — the
+/// bandit micro-benchmark's engine. Every access conflicts with its
+/// predecessors in the cache (same set), so each goes to memory, and the
+/// chain dependency exposes full latency (`mlp == 1`).
+#[derive(Debug, Clone)]
+pub struct PointerChaseStream {
+    /// Line addresses in chase order (a random cycle).
+    ring: Vec<u64>,
+    pos: usize,
+    remaining: u64,
+    compute: f64,
+}
+
+impl PointerChaseStream {
+    /// Build a chase over `num_lines` lines spaced `stride` bytes apart
+    /// starting at `base` (choose `stride = sets × 64` to land every line
+    /// in one cache set), shuffled deterministically by `seed`, visited
+    /// `count` times in total.
+    ///
+    /// # Panics
+    /// Panics if `num_lines < 2` or `count == 0`.
+    pub fn new(base: u64, num_lines: usize, stride: u64, count: u64, seed: u64) -> Self {
+        assert!(num_lines >= 2 && count > 0, "degenerate pointer chase");
+        let mut ring: Vec<u64> = (0..num_lines as u64).map(|i| base + i * stride).collect();
+        // Fisher–Yates with a seeded RNG: a deterministic random cycle.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..ring.len()).rev() {
+            ring.swap(i, rng.gen_range(0..=i));
+        }
+        Self { ring, pos: 0, remaining: count, compute: 1.0 }
+    }
+
+    /// Set compute cycles between chase steps.
+    pub fn with_compute(mut self, cycles: f64) -> Self {
+        assert!(cycles >= 0.0);
+        self.compute = cycles;
+        self
+    }
+}
+
+impl AccessStream for PointerChaseStream {
+    #[inline]
+    fn next_access(&mut self) -> Option<Access> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let addr = self.ring[self.pos];
+        self.pos += 1;
+        if self.pos == self.ring.len() {
+            self.pos = 0;
+        }
+        Some(Access { addr, is_write: false, reps: 1 })
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.compute
+    }
+
+    fn mlp(&self) -> Option<f64> {
+        Some(1.0) // dependent loads: no overlap
+    }
+}
+
+/// Round-robin interleaving of several streams — models loops touching
+/// multiple arrays per iteration (dotv's `a[i] * b[i]`, IRSmk's 27-array
+/// stencil update). Finishes when every sub-stream is exhausted.
+pub struct ZipStream {
+    streams: Vec<Box<dyn AccessStream>>,
+    next: usize,
+}
+
+impl ZipStream {
+    /// Interleave the given streams one access at a time.
+    ///
+    /// # Panics
+    /// Panics if `streams` is empty.
+    pub fn new(streams: Vec<Box<dyn AccessStream>>) -> Self {
+        assert!(!streams.is_empty(), "ZipStream needs at least one stream");
+        Self { streams, next: 0 }
+    }
+}
+
+impl AccessStream for ZipStream {
+    fn next_access(&mut self) -> Option<Access> {
+        let n = self.streams.len();
+        for _ in 0..n {
+            let i = self.next;
+            self.next = (self.next + 1) % n;
+            if let Some(a) = self.streams[i].next_access() {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.streams[self.next].compute_cycles()
+    }
+
+    fn mlp(&self) -> Option<f64> {
+        self.streams[self.next].mlp()
+    }
+}
+
+/// Block-cyclic traversal: of the blocks of `block` bytes tiling
+/// `[base, base + len)`, this stream visits blocks `phase, phase + way,
+/// phase + 2·way, …`, scanning each block line by line. With `way` set to
+/// the thread count and `phase` to the thread id, co-running threads cover
+/// the whole range with disjoint line sets and no cache-set aliasing —
+/// the shape of a wavefront sweep over a shared matrix.
+#[derive(Debug, Clone)]
+pub struct BlockCyclicStream {
+    base: u64,
+    len: u64,
+    block: u64,
+    way: u64,
+    phase: u64,
+    passes: u64,
+    mix: AccessMix,
+    reps: u16,
+    compute: f64,
+    /// Current block index and byte offset within it.
+    cur_block: u64,
+    cur_off: u64,
+    pass: u64,
+    counter: u64,
+}
+
+impl BlockCyclicStream {
+    /// Build a block-cyclic stream.
+    ///
+    /// # Panics
+    /// Panics if dimensions are degenerate, `phase >= way`, or the range
+    /// has no block for this phase.
+    pub fn new(base: u64, len: u64, block: u64, way: u64, phase: u64, passes: u64, mix: AccessMix) -> Self {
+        assert!(len > 0 && block > 0 && passes > 0 && way > 0, "degenerate block-cyclic stream");
+        assert!(phase < way, "phase must be below the way count");
+        assert!(phase * block < len, "no block for this phase in the range");
+        Self {
+            base,
+            len,
+            block,
+            way,
+            phase,
+            passes,
+            mix,
+            reps: 1,
+            compute: 2.0,
+            cur_block: phase,
+            cur_off: 0,
+            pass: 0,
+            counter: 0,
+        }
+    }
+
+    /// Set element accesses per line.
+    pub fn with_reps(mut self, reps: u16) -> Self {
+        assert!(reps >= 1);
+        self.reps = reps;
+        self
+    }
+
+    /// Set compute cycles between memory operations.
+    pub fn with_compute(mut self, cycles: f64) -> Self {
+        assert!(cycles >= 0.0);
+        self.compute = cycles;
+        self
+    }
+}
+
+impl AccessStream for BlockCyclicStream {
+    #[inline]
+    fn next_access(&mut self) -> Option<Access> {
+        if self.pass == self.passes {
+            return None;
+        }
+        let block_start = self.cur_block * self.block;
+        let addr = self.base + block_start + self.cur_off;
+        self.counter += 1;
+        let acc = Access { addr, is_write: self.mix.is_write(self.counter), reps: self.reps };
+        // Advance: next line in block, next owned block, or next pass.
+        self.cur_off += 64;
+        if self.cur_off >= self.block || block_start + self.cur_off >= self.len {
+            self.cur_off = 0;
+            self.cur_block += self.way;
+            if self.cur_block * self.block >= self.len {
+                self.cur_block = self.phase;
+                self.pass += 1;
+            }
+        }
+        Some(acc)
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.compute
+    }
+}
+
+/// Wraps a stream, overriding its memory-level parallelism — e.g. a bandit
+/// instance running `k` independent pointer-chase streams keeps `k` misses
+/// in flight even though each chain alone has `mlp == 1`.
+pub struct WithMlp<S> {
+    inner: S,
+    mlp: f64,
+}
+
+impl<S: AccessStream> WithMlp<S> {
+    /// Override `inner`'s MLP.
+    ///
+    /// # Panics
+    /// Panics if `mlp < 1`.
+    pub fn new(inner: S, mlp: f64) -> Self {
+        assert!(mlp >= 1.0, "mlp must be at least 1");
+        Self { inner, mlp }
+    }
+}
+
+impl<S: AccessStream> AccessStream for WithMlp<S> {
+    fn next_access(&mut self) -> Option<Access> {
+        self.inner.next_access()
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.inner.compute_cycles()
+    }
+
+    fn mlp(&self) -> Option<f64> {
+        Some(self.mlp)
+    }
+}
+
+/// Sequential composition of streams — phases within one thread.
+pub struct ChainStream {
+    streams: Vec<Box<dyn AccessStream>>,
+    current: usize,
+}
+
+impl ChainStream {
+    /// Run the given streams back to back.
+    ///
+    /// # Panics
+    /// Panics if `streams` is empty.
+    pub fn new(streams: Vec<Box<dyn AccessStream>>) -> Self {
+        assert!(!streams.is_empty(), "ChainStream needs at least one stream");
+        Self { streams, current: 0 }
+    }
+}
+
+impl AccessStream for ChainStream {
+    fn next_access(&mut self) -> Option<Access> {
+        while self.current < self.streams.len() {
+            if let Some(a) = self.streams[self.current].next_access() {
+                return Some(a);
+            }
+            self.current += 1;
+        }
+        None
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.streams[self.current.min(self.streams.len() - 1)].compute_cycles()
+    }
+
+    fn mlp(&self) -> Option<f64> {
+        self.streams[self.current.min(self.streams.len() - 1)].mlp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut s: impl AccessStream) -> Vec<Access> {
+        let mut v = Vec::new();
+        while let Some(a) = s.next_access() {
+            v.push(a);
+            assert!(v.len() < 1_000_000, "stream failed to terminate");
+        }
+        v
+    }
+
+    #[test]
+    fn seq_stream_visits_every_line_once_per_pass() {
+        let accs = drain(SeqStream::new(0, 64 * 10, 2, AccessMix::read_only()));
+        assert_eq!(accs.len(), 20);
+        assert_eq!(accs[0].addr, 0);
+        assert_eq!(accs[9].addr, 64 * 9);
+        assert_eq!(accs[10].addr, 0, "second pass restarts");
+        assert!(accs.iter().all(|a| !a.is_write));
+    }
+
+    #[test]
+    fn seq_stream_stride_and_reps() {
+        let accs = drain(SeqStream::new(0, 1024, 1, AccessMix::read_only()).with_stride(256).with_reps(8));
+        assert_eq!(accs.len(), 4);
+        assert!(accs.iter().all(|a| a.reps == 8));
+        assert_eq!(accs[1].addr, 256);
+    }
+
+    #[test]
+    fn write_mix_period() {
+        let accs = drain(SeqStream::new(0, 64 * 8, 1, AccessMix::write_every(4)));
+        let writes = accs.iter().filter(|a| a.is_write).count();
+        assert_eq!(writes, 2);
+        let all_writes = drain(SeqStream::new(0, 64 * 8, 1, AccessMix::write_only()));
+        assert!(all_writes.iter().all(|a| a.is_write));
+    }
+
+    #[test]
+    fn random_stream_in_bounds_and_deterministic() {
+        let a1 = drain(RandomStream::new(4096, 64 * 100, 500, 42, AccessMix::read_only()));
+        let a2 = drain(RandomStream::new(4096, 64 * 100, 500, 42, AccessMix::read_only()));
+        assert_eq!(a1, a2, "same seed, same stream");
+        assert_eq!(a1.len(), 500);
+        for a in &a1 {
+            assert!(a.addr >= 4096 && a.addr < 4096 + 6400);
+            assert_eq!(a.addr % 64, 0);
+        }
+        let a3 = drain(RandomStream::new(4096, 64 * 100, 500, 43, AccessMix::read_only()));
+        assert_ne!(a1, a3, "different seed, different stream");
+    }
+
+    #[test]
+    fn pointer_chase_is_a_cycle_over_all_lines() {
+        let n = 16;
+        let accs = drain(PointerChaseStream::new(0, n, 4096, n as u64, 7));
+        let mut addrs: Vec<u64> = accs.iter().map(|a| a.addr).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), n, "one pass visits every line exactly once");
+        // Dependent chain: mlp forced to 1.
+        assert_eq!(PointerChaseStream::new(0, 4, 64, 1, 0).mlp(), Some(1.0));
+    }
+
+    #[test]
+    fn pointer_chase_conflicting_stride() {
+        // stride chosen so all lines share cache set 0 for a 64-set cache
+        let accs = drain(PointerChaseStream::new(0, 8, 64 * 64, 8, 1));
+        for a in &accs {
+            assert_eq!((a.addr / 64) % 64, 0, "all lines map to set 0");
+        }
+    }
+
+    #[test]
+    fn zip_alternates() {
+        let s1 = SeqStream::new(0, 64 * 2, 1, AccessMix::read_only());
+        let s2 = SeqStream::new(1 << 20, 64 * 2, 1, AccessMix::read_only());
+        let accs = drain(ZipStream::new(vec![Box::new(s1), Box::new(s2)]));
+        assert_eq!(accs.len(), 4);
+        assert!(accs[0].addr < 1 << 20);
+        assert!(accs[1].addr >= 1 << 20);
+        assert!(accs[2].addr < 1 << 20);
+    }
+
+    #[test]
+    fn zip_drains_uneven_streams() {
+        let s1 = SeqStream::new(0, 64, 1, AccessMix::read_only()); // 1 access
+        let s2 = SeqStream::new(1 << 20, 64 * 5, 1, AccessMix::read_only()); // 5
+        let accs = drain(ZipStream::new(vec![Box::new(s1), Box::new(s2)]));
+        assert_eq!(accs.len(), 6);
+    }
+
+    #[test]
+    fn chain_runs_phases_in_order() {
+        let s1 = SeqStream::new(0, 64 * 3, 1, AccessMix::read_only());
+        let s2 = SeqStream::new(1 << 20, 64 * 2, 1, AccessMix::read_only());
+        let accs = drain(ChainStream::new(vec![Box::new(s1), Box::new(s2)]));
+        assert_eq!(accs.len(), 5);
+        assert!(accs[..3].iter().all(|a| a.addr < 1 << 20));
+        assert!(accs[3..].iter().all(|a| a.addr >= 1 << 20));
+    }
+
+    #[test]
+    fn with_start_rotates_and_keeps_pass_length() {
+        let accs = drain(SeqStream::new(0, 64 * 4, 2, AccessMix::read_only()).with_start(64 * 2));
+        assert_eq!(accs.len(), 8, "rotation must not change total work");
+        let addrs: Vec<u64> = accs.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, [128, 192, 0, 64, 128, 192, 0, 64]);
+    }
+
+    #[test]
+    fn with_start_and_stride_gives_disjoint_phases() {
+        // Four threads interleave-partitioning 16 lines: thread 1 touches
+        // lines 1, 5, 9, 13 in every pass.
+        let accs = drain(
+            SeqStream::new(0, 64 * 16, 2, AccessMix::read_only()).with_stride(64 * 4).with_start(64),
+        );
+        assert_eq!(accs.len(), 8);
+        let addrs: Vec<u64> = accs.iter().map(|a| a.addr / 64).collect();
+        assert_eq!(addrs, [1, 5, 9, 13, 1, 5, 9, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond scan length")]
+    fn with_start_bounds_checked() {
+        SeqStream::new(0, 64, 1, AccessMix::read_only()).with_start(64);
+    }
+
+    #[test]
+    fn block_cyclic_visits_owned_blocks_line_by_line() {
+        // 4 blocks of 2 lines; way 2, phase 1 => blocks 1 and 3.
+        let accs = drain(BlockCyclicStream::new(0, 8 * 64, 128, 2, 1, 2, AccessMix::read_only()));
+        let lines: Vec<u64> = accs.iter().map(|a| a.addr / 64).collect();
+        assert_eq!(lines, [2, 3, 6, 7, 2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn block_cyclic_partitions_are_disjoint_and_cover() {
+        let way = 4u64;
+        let mut all: Vec<u64> = Vec::new();
+        for phase in 0..way {
+            let accs = drain(BlockCyclicStream::new(0, 64 * 64, 256, way, phase, 1, AccessMix::read_only()));
+            all.extend(accs.iter().map(|a| a.addr / 64));
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..64).collect();
+        assert_eq!(all, expect, "phases must partition every line exactly once");
+    }
+
+    #[test]
+    fn block_cyclic_handles_partial_tail_block() {
+        // 3.5 blocks: the tail block is shorter but still visited.
+        let accs = drain(BlockCyclicStream::new(0, 7 * 64, 128, 2, 1, 1, AccessMix::read_only()));
+        let lines: Vec<u64> = accs.iter().map(|a| a.addr / 64).collect();
+        assert_eq!(lines, [2, 3, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase must be below")]
+    fn block_cyclic_phase_bound() {
+        BlockCyclicStream::new(0, 1024, 64, 2, 2, 1, AccessMix::read_only());
+    }
+
+    #[test]
+    fn with_mlp_overrides_only_mlp() {
+        let chase = PointerChaseStream::new(0, 4, 64, 8, 0).with_compute(3.0);
+        let wrapped = WithMlp::new(chase, 6.0);
+        assert_eq!(wrapped.mlp(), Some(6.0));
+        assert_eq!(wrapped.compute_cycles(), 3.0);
+        assert_eq!(drain(wrapped).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "mlp must be at least 1")]
+    fn with_mlp_rejects_fractional() {
+        WithMlp::new(SeqStream::new(0, 64, 1, AccessMix::read_only()), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scan")]
+    fn seq_rejects_zero_len() {
+        SeqStream::new(0, 0, 1, AccessMix::read_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "ambiguous")]
+    fn mix_rejects_zero_period() {
+        AccessMix::write_every(0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Set-associative LRU cache model.
+//!
+//! The model tracks tags only — the simulator never stores data values. A
+//! lookup either hits (the line is resident) or misses and installs the
+//! line, evicting the least-recently-used way. Within a set, ways are kept
+//! in recency order, so a hit is a short scan plus a rotate; with
+//! associativity ≤ 20 this is a handful of nanoseconds and keeps the
+//! engine's hot path allocation-free.
+
+/// Hit/miss counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed (and installed the line).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no accesses were made.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// A set-associative cache with true-LRU replacement, addressed by cache
+/// line number (byte address divided by line size).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Tags in recency order per set: `tags[set * assoc]` is the MRU way.
+    tags: Vec<u64>,
+    assoc: usize,
+    set_mask: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Create a cache with `sets` sets (must be a power of two) and
+    /// `assoc` ways.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(assoc > 0, "associativity must be positive");
+        Self { tags: vec![INVALID; sets * assoc], assoc, set_mask: (sets - 1) as u64, stats: CacheStats::default() }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        (self.set_mask + 1) as usize
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// The set a line maps to.
+    #[inline]
+    pub fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Look up `line`; on miss, install it as MRU and evict the LRU way.
+    /// Returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, line: u64) -> bool {
+        debug_assert_ne!(line, INVALID, "line number reserved as invalid marker");
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        let ways = &mut self.tags[base..base + self.assoc];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Hit: rotate [0..=pos] right by one to make `line` MRU.
+            ways[..=pos].rotate_right(1);
+            self.stats.hits += 1;
+            true
+        } else {
+            // Miss: drop the LRU (last) way, shift, install as MRU.
+            ways.rotate_right(1);
+            ways[0] = line;
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Whether `line` is resident, without touching LRU state or stats.
+    pub fn probe(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc].contains(&line)
+    }
+
+    /// Invalidate every line (e.g. between workload phases).
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters (residency is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(4, 2);
+        assert!(!c.access(10));
+        assert!(c.access(10));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::new(1, 2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 1 is now MRU, 2 is LRU
+        c.access(3); // evicts 2
+        assert!(c.probe(1));
+        assert!(c.probe(3));
+        assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = Cache::new(4, 1);
+        for line in 0..4 {
+            c.access(line);
+        }
+        for line in 0..4 {
+            assert!(c.probe(line), "line {line} should still be resident");
+        }
+    }
+
+    #[test]
+    fn same_set_conflicts() {
+        let mut c = Cache::new(4, 1);
+        c.access(0);
+        c.access(4); // same set (4 % 4 == 0), evicts 0
+        assert!(!c.probe(0));
+        assert!(c.probe(4));
+    }
+
+    #[test]
+    fn flush_clears_residency_keeps_stats() {
+        let mut c = Cache::new(4, 2);
+        c.access(7);
+        c.flush();
+        assert!(!c.probe(7));
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn probe_does_not_count() {
+        let c = Cache::new(4, 2);
+        c.probe(3);
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = Cache::new(2, 2);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        Cache::new(3, 2);
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        // 8 sets * 4 ways = 32 lines capacity; touch 32 distinct lines twice.
+        let mut c = Cache::new(8, 4);
+        for line in 0..32 {
+            c.access(line);
+        }
+        c.reset_stats();
+        for line in 0..32 {
+            assert!(c.access(line));
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn working_set_exceeding_capacity_thrashes() {
+        // Capacity 32 lines; cyclic scan of 64 distinct lines never hits
+        // under LRU.
+        let mut c = Cache::new(8, 4);
+        for _ in 0..3 {
+            for line in 0..64 {
+                c.access(line);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+}

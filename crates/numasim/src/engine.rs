@@ -1,0 +1,536 @@
+//! The execution engine: advances simulated threads through their access
+//! streams in deterministic rounds, modelling latency, bandwidth
+//! contention, and cache behaviour, and reporting every access event to a
+//! pluggable [`Observer`] (the PEBS sampler in `drbw-pebs`).
+//!
+//! ## Scheduling model
+//!
+//! Time advances in rounds of `round_cycles`. Within a round each thread
+//! issues accesses until its private clock passes the round boundary; the
+//! bandwidth model aggregates the round's DRAM traffic and derives latency
+//! inflation factors for the *next* round (a closed-loop fluid
+//! approximation — see [`crate::bandwidth`]). Threads are visited in a
+//! fixed order, so runs are bit-for-bit deterministic regardless of host
+//! parallelism.
+//!
+//! ## Clock accounting
+//!
+//! Per access: `clock += compute + latency / mlp`. `mlp` is the stream's
+//! memory-level parallelism (dependent pointer chases use 1). Extra loads
+//! to the same line (`reps > 1`) that hit the line-fill buffer advance the
+//! clock by their compute only — their latency is hidden under the in-flight
+//! fill — but are still reported to the observer with the LFB latency, just
+//! as PEBS reports load-to-use latency for overlapped loads.
+
+use crate::access::AccessStream;
+use crate::bandwidth::BandwidthModel;
+use crate::config::MachineConfig;
+use crate::hierarchy::{DataSource, Hierarchy};
+use crate::memmap::MemoryMap;
+use crate::stats::{AccessCounts, RunStats};
+use crate::topology::{CoreId, NodeId, ThreadId};
+
+/// One access event, as seen by an [`Observer`].
+#[derive(Debug, Clone, Copy)]
+pub struct AccessEvent {
+    /// Simulated time (cycles) at which the access retires.
+    pub time: f64,
+    /// Issuing software thread.
+    pub thread: ThreadId,
+    /// Core the thread is bound to.
+    pub core: CoreId,
+    /// NUMA node of that core (the channel *source*).
+    pub node: NodeId,
+    /// Byte address.
+    pub addr: u64,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+    /// Where the access was satisfied.
+    pub source: DataSource,
+    /// Home node of the page for DRAM and LFB events (the channel
+    /// *target*); `None` for cache hits, where no off-core transfer
+    /// happened.
+    pub home: Option<NodeId>,
+    /// Observed load-to-use latency in cycles (congestion included).
+    pub latency: f64,
+}
+
+/// Receives every access event. Implementations must be cheap: the engine
+/// calls this once per simulated access.
+pub trait Observer {
+    /// Called for each retired access event. The returned value is a
+    /// *perturbation cost* in cycles charged to the issuing thread's
+    /// clock — a profiler that records this access (PEBS buffer drain,
+    /// interception bookkeeping) slows the program down by that much,
+    /// which is how profiling overhead becomes measurable in simulated
+    /// time. Pure observers return 0.
+    fn on_access(&mut self, ev: &AccessEvent) -> f64;
+
+    /// Called when a phase completes, with its final statistics.
+    fn on_phase_end(&mut self, _stats: &RunStats) {}
+
+    /// Pause/resume observation (warmup phases are not measured). The
+    /// engine never calls this itself; drivers do, around phases they do
+    /// not want observed. Default: ignored.
+    fn set_enabled(&mut self, _enabled: bool) {}
+}
+
+/// An observer that ignores everything (profiling disabled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn on_access(&mut self, _ev: &AccessEvent) -> f64 {
+        0.0
+    }
+}
+
+/// A software thread bound to a core, with its access stream.
+pub struct ThreadSpec {
+    /// Thread id (dense, unique within a phase).
+    pub thread: ThreadId,
+    /// Core binding.
+    pub core: CoreId,
+    /// The access stream driving this thread.
+    pub stream: Box<dyn AccessStream>,
+}
+
+impl ThreadSpec {
+    /// Convenience constructor.
+    pub fn new(thread: u32, core: CoreId, stream: Box<dyn AccessStream>) -> Self {
+        Self { thread: ThreadId(thread), core, stream }
+    }
+}
+
+struct ThreadCtx {
+    thread: ThreadId,
+    core: CoreId,
+    node: NodeId,
+    stream: Box<dyn AccessStream>,
+    clock: f64,
+    compute: f64,
+    mlp: f64,
+    done: bool,
+}
+
+/// The simulator. Owns the machine state (caches, bandwidth accounting,
+/// memory map) across phases; see [`Engine::run_phase`].
+pub struct Engine<O: Observer> {
+    cfg: MachineConfig,
+    hierarchy: Hierarchy,
+    bw: BandwidthModel,
+    memmap: MemoryMap,
+    observer: O,
+}
+
+impl<O: Observer> Engine<O> {
+    /// Build an engine for `cfg` over an allocated `memmap`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: &MachineConfig, memmap: MemoryMap, observer: O) -> Self {
+        cfg.validate();
+        Self {
+            cfg: cfg.clone(),
+            hierarchy: Hierarchy::new(cfg),
+            bw: BandwidthModel::new(cfg),
+            memmap,
+            observer,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Read access to the memory map (e.g. for page queries).
+    pub fn memmap(&self) -> &MemoryMap {
+        &self.memmap
+    }
+
+    /// Mutable access to the memory map (e.g. to re-place objects between
+    /// phases, as the co-locate optimization does).
+    pub fn memmap_mut(&mut self) -> &mut MemoryMap {
+        &mut self.memmap
+    }
+
+    /// The observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer (e.g. to drain collected samples).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Flush all caches (cold-start the next phase).
+    pub fn flush_caches(&mut self) {
+        self.hierarchy.flush();
+    }
+
+    /// Tear down, returning the memory map and observer.
+    pub fn into_parts(self) -> (MemoryMap, O) {
+        (self.memmap, self.observer)
+    }
+
+    /// Execute one phase: run every thread to stream exhaustion.
+    ///
+    /// Machine state (cache contents, first-touch placements) persists
+    /// across phases; bandwidth aggregates are reset per phase.
+    ///
+    /// # Panics
+    /// Panics if thread specs reference out-of-range cores or duplicate
+    /// thread ids, or if a stream accesses unallocated memory.
+    pub fn run_phase(&mut self, threads: Vec<ThreadSpec>) -> RunStats {
+        assert!(!threads.is_empty(), "phase needs at least one thread");
+        let topo = &self.cfg.topology;
+        let default_mlp = self.cfg.engine.default_mlp;
+        let mut ctxs: Vec<ThreadCtx> = threads
+            .into_iter()
+            .map(|spec| {
+                assert!(topo.core_in_range(spec.core), "thread {:?} bound to invalid {:?}", spec.thread, spec.core);
+                let node = topo.node_of_core(spec.core);
+                let compute = spec.stream.compute_cycles();
+                let mlp = spec.stream.mlp().unwrap_or(default_mlp).max(1.0);
+                ThreadCtx { thread: spec.thread, core: spec.core, node, stream: spec.stream, clock: 0.0, compute, mlp, done: false }
+            })
+            .collect();
+        {
+            let mut ids: Vec<u32> = ctxs.iter().map(|c| c.thread.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), ctxs.len(), "duplicate thread ids in phase");
+        }
+
+        self.bw.reset();
+        let round = self.cfg.engine.round_cycles;
+        let lfb_latency = self.cfg.latency.lfb;
+        let l1_latency = self.cfg.latency.l1;
+        let line_bytes = self.cfg.cache.line_size as f64;
+        let mut counts = AccessCounts::default();
+        let mut round_end = round;
+        let mut live = ctxs.len();
+
+        while live > 0 {
+            for t in ctxs.iter_mut().filter(|t| !t.done) {
+                while t.clock < round_end {
+                    let Some(acc) = t.stream.next_access() else {
+                        t.done = true;
+                        live -= 1;
+                        break;
+                    };
+                    // Streams may change compute/mlp across chained phases.
+                    let compute = t.compute;
+                    let (source, home, latency) = match self.hierarchy.cache_access(t.core, acc.addr) {
+                        Some(src) => (src, None, self.cfg.base_latency(src)),
+                        None => {
+                            let home = self.memmap.home_node(acc.addr, t.node);
+                            let (src, service) = if home == t.node {
+                                (DataSource::LocalDram, self.cfg.latency.dram_local_service)
+                            } else {
+                                (DataSource::RemoteDram, self.cfg.latency.dram_remote_service)
+                            };
+                            let f = self.bw.factor_for(t.node, home);
+                            self.bw.record_dram(t.node, home, line_bytes);
+                            (src, Some(home), self.cfg.latency.dram_fixed + service * f)
+                        }
+                    };
+                    t.clock += compute + latency / t.mlp;
+                    counts.record(source);
+                    t.clock += self.observer.on_access(&AccessEvent {
+                        time: t.clock,
+                        thread: t.thread,
+                        core: t.core,
+                        node: t.node,
+                        addr: acc.addr,
+                        is_write: acc.is_write,
+                        source,
+                        home,
+                        latency,
+                    });
+                    // Remaining element loads within the same line.
+                    for _ in 1..acc.reps {
+                        let (rep_source, rep_latency, rep_home) = if source.is_dram() {
+                            // Satisfied by the in-flight fill: LFB.
+                            (DataSource::Lfb, lfb_latency, home)
+                        } else {
+                            // Line resident: they hit L1.
+                            (DataSource::L1, l1_latency, None)
+                        };
+                        // LFB latency is overlapped with the fill; L1 hits
+                        // are charged like any hit.
+                        t.clock += compute
+                            + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / t.mlp };
+                        counts.record(rep_source);
+                        t.clock += self.observer.on_access(&AccessEvent {
+                            time: t.clock,
+                            thread: t.thread,
+                            core: t.core,
+                            node: t.node,
+                            addr: acc.addr,
+                            is_write: acc.is_write,
+                            source: rep_source,
+                            home: rep_home,
+                            latency: rep_latency,
+                        });
+                    }
+                }
+            }
+            self.bw.end_round();
+            round_end += round;
+        }
+
+        let cycles = ctxs.iter().map(|t| t.clock).fold(0.0, f64::max);
+        let stats = RunStats {
+            cycles,
+            thread_cycles: ctxs.iter().map(|t| t.clock).collect(),
+            counts,
+            channel_bytes: self.bw.channel_bytes(),
+            mc_bytes: self.bw.mc_bytes_total(),
+            channel_max_rho: self.bw.channel_max_rho(),
+            mc_max_rho: self.bw.mc_max_rho(),
+            channel_avg_rho: self.bw.channel_avg_rho(),
+            rounds: self.bw.rounds(),
+        };
+        self.observer.on_phase_end(&stats);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessMix, SeqStream};
+    use crate::memmap::PlacementPolicy;
+
+    fn scaled() -> MachineConfig {
+        MachineConfig::scaled()
+    }
+
+    /// All-local streaming: one thread scanning an array bound to its node.
+    #[test]
+    fn local_stream_counts_and_time() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 1 << 20, PlacementPolicy::Bind(NodeId(0)));
+        let stream = SeqStream::new(a.base, a.size, 1, AccessMix::read_only());
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]);
+        let lines = (1u64 << 20) / 64;
+        assert_eq!(stats.counts.total(), lines);
+        // 1 MiB footprint vs 2 MiB L3: cold misses only, all local.
+        assert_eq!(stats.counts.remote_dram, 0);
+        assert!(stats.counts.local_dram > lines / 2);
+        assert!(stats.cycles > 0.0);
+    }
+
+    /// Remote streaming takes longer than local streaming of the same work.
+    #[test]
+    fn remote_slower_than_local() {
+        let cfg = scaled();
+        let run = |bind: NodeId| {
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 4 << 20, PlacementPolicy::Bind(bind));
+            let stream = SeqStream::new(a.base, a.size, 2, AccessMix::read_only());
+            let mut eng = Engine::new(&cfg, mm, NullObserver);
+            eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))])
+        };
+        let local = run(NodeId(0));
+        let remote = run(NodeId(1));
+        assert_eq!(local.counts.remote_dram, 0);
+        assert!(remote.counts.remote_dram > 0);
+        assert!(remote.cycles > local.cycles * 1.2, "remote {} vs local {}", remote.cycles, local.cycles);
+    }
+
+    /// Many threads hammering one node's memory contend; the same threads
+    /// on interleaved memory do not. This is the paper's core phenomenon.
+    #[test]
+    fn contention_and_interleave_relief() {
+        let cfg = scaled();
+        let run = |policy: PlacementPolicy| {
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 32 << 20, PlacementPolicy::FirstTouch);
+            mm.set_policy(a.id, policy);
+            let nthreads = 32u64;
+            let binding = cfg.topology.bind_threads(nthreads as usize, 4);
+            let threads: Vec<ThreadSpec> = binding
+                .iter()
+                .enumerate()
+                .map(|(i, core)| {
+                    let share = a.size / nthreads;
+                    let stream =
+                        SeqStream::new(a.base + i as u64 * share, share, 4, AccessMix::read_only()).with_compute(0.5);
+                    ThreadSpec::new(i as u32, *core, Box::new(stream))
+                })
+                .collect();
+            let mut eng = Engine::new(&cfg, mm, NullObserver);
+            eng.run_phase(threads)
+        };
+        let master_alloc = run(PlacementPolicy::Bind(NodeId(0)));
+        let interleaved = run(PlacementPolicy::interleave_all(4));
+        // Master allocation: 3/4 of threads remote into node 0.
+        assert!(master_alloc.counts.remote_dram > 0);
+        let speedup = master_alloc.cycles / interleaved.cycles;
+        assert!(speedup > 1.5, "interleave should relieve contention, speedup {speedup}");
+        // Contended channels into node 0 ran hot.
+        assert!(master_alloc.channel_max_rho.iter().cloned().fold(0.0, f64::max) > 0.8);
+    }
+
+    /// Cache-resident working set never touches DRAM after warmup.
+    #[test]
+    fn cache_resident_is_fast() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 16 << 10, PlacementPolicy::Bind(NodeId(0)));
+        let stream = SeqStream::new(a.base, a.size, 50, AccessMix::read_only());
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]);
+        let lines = (16u64 << 10) / 64;
+        assert_eq!(stats.counts.dram(), lines, "only cold misses reach DRAM");
+        assert!(stats.counts.l1 + stats.counts.l2 > lines * 40);
+    }
+
+    /// reps > 1 produces LFB events exactly when lines come from DRAM.
+    #[test]
+    fn reps_generate_lfb_on_dram_fills() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 4 << 20, PlacementPolicy::Bind(NodeId(0)));
+        let stream = SeqStream::new(a.base, a.size, 1, AccessMix::read_only()).with_reps(8);
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]);
+        let lines = (4u64 << 20) / 64;
+        // Footprint (4 MiB) exceeds L3 (2 MiB): the scan is all cold misses,
+        // so each line contributes 1 DRAM event + 7 LFB events.
+        assert_eq!(stats.counts.dram(), lines);
+        assert_eq!(stats.counts.lfb, lines * 7);
+        assert_eq!(stats.counts.total(), lines * 8);
+    }
+
+    /// Events arrive at the observer in thread-local time order with
+    /// plausible fields.
+    #[test]
+    fn observer_sees_coherent_events() {
+        struct Check {
+            last_time: f64,
+            events: u64,
+        }
+        impl Observer for Check {
+            fn on_access(&mut self, ev: &AccessEvent) -> f64 {
+                assert!(ev.time >= self.last_time, "single thread: time must not go backwards");
+                self.last_time = ev.time;
+                assert!(ev.latency > 0.0);
+                assert_eq!(ev.node, NodeId(0));
+                if ev.source.is_dram() || ev.source == DataSource::Lfb {
+                    assert!(ev.home.is_some());
+                } else {
+                    assert!(ev.home.is_none());
+                }
+                self.events += 1;
+                0.0
+            }
+        }
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 1 << 20, PlacementPolicy::Bind(NodeId(1)));
+        let stream = SeqStream::new(a.base, a.size, 1, AccessMix::read_only()).with_reps(2);
+        let mut eng = Engine::new(&cfg, mm, Check { last_time: 0.0, events: 0 });
+        let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]);
+        assert_eq!(eng.observer().events, stats.counts.total());
+    }
+
+    /// Determinism: identical configs give identical stats.
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = scaled();
+        let run = || {
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 2 << 20, PlacementPolicy::interleave_all(4));
+            let binding = cfg.topology.bind_threads(8, 2);
+            let threads: Vec<ThreadSpec> = binding
+                .iter()
+                .enumerate()
+                .map(|(i, core)| {
+                    let s = crate::access::RandomStream::new(a.base, a.size, 20_000, i as u64, AccessMix::read_only());
+                    ThreadSpec::new(i as u32, *core, Box::new(s))
+                })
+                .collect();
+            let mut eng = Engine::new(&cfg, mm, NullObserver);
+            eng.run_phase(threads)
+        };
+        let s1 = run();
+        let s2 = run();
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.counts, s2.counts);
+        assert_eq!(s1.channel_bytes, s2.channel_bytes);
+    }
+
+    /// Phases share first-touch state: a master-thread init phase pins
+    /// pages to node 0, and the parallel phase then suffers remote traffic.
+    #[test]
+    fn first_touch_persists_across_phases() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 4 << 20, PlacementPolicy::FirstTouch);
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        // Phase 1: master thread on node 0 writes the whole array.
+        let init = SeqStream::new(a.base, a.size, 1, AccessMix::write_only());
+        eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(init))]);
+        eng.flush_caches();
+        // Phase 2: a thread on node 2 scans it — every DRAM access remote.
+        let scan = SeqStream::new(a.base, a.size, 1, AccessMix::read_only());
+        let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(16), Box::new(scan))]);
+        assert_eq!(stats.counts.local_dram, 0);
+        assert!(stats.counts.remote_dram > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate thread ids")]
+    fn duplicate_thread_ids_rejected() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 1 << 20, PlacementPolicy::Bind(NodeId(0)));
+        let mk = || -> Box<dyn AccessStream> { Box::new(SeqStream::new(a.base, a.size, 1, AccessMix::read_only())) };
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), mk()), ThreadSpec::new(0, CoreId(1), mk())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn out_of_range_core_rejected() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 1 << 20, PlacementPolicy::Bind(NodeId(0)));
+        let stream = SeqStream::new(a.base, a.size, 1, AccessMix::read_only());
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        eng.run_phase(vec![ThreadSpec::new(0, CoreId(999), Box::new(stream))]);
+    }
+
+    /// Pointer chasing (mlp 1) is slower per access than streaming (mlp 4)
+    /// over the same uncached footprint.
+    #[test]
+    fn dependent_chain_exposes_latency() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        // 4096 lines spaced one L2-set apart => conflict misses everywhere.
+        let span = 4096u64 * 64 * 64;
+        let a = mm.alloc("a", span, PlacementPolicy::Bind(NodeId(0)));
+        let n = 4096;
+        let chase = crate::access::PointerChaseStream::new(a.base, n, 64 * 64, n as u64 * 4, 3);
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        let chase_stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(chase))]);
+
+        let mut mm2 = MemoryMap::new(&cfg);
+        let b = mm2.alloc("b", span, PlacementPolicy::Bind(NodeId(0)));
+        let stream = SeqStream::new(b.base, b.size, 1, AccessMix::read_only());
+        let mut eng2 = Engine::new(&cfg, mm2, NullObserver);
+        let stream_stats = eng2.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]);
+
+        let chase_per = chase_stats.cycles / chase_stats.counts.total() as f64;
+        let stream_per = stream_stats.cycles / stream_stats.counts.total() as f64;
+        assert!(chase_per > stream_per * 1.5, "chase {chase_per} vs stream {stream_per}");
+    }
+}

@@ -1,0 +1,485 @@
+//! The simulated address space: object allocation and page placement.
+//!
+//! Data values are never stored — an "allocation" reserves a range of the
+//! synthetic address space and records *which NUMA node owns each page* of
+//! it. The placement vocabulary matches what libnuma gives the paper:
+//!
+//! * [`PlacementPolicy::FirstTouch`] — Linux default; the node of the first
+//!   core to touch a page becomes its home. A master thread initialising an
+//!   array therefore lands every page on its own node — the root cause of
+//!   most contention the paper diagnoses.
+//! * [`PlacementPolicy::Bind`] — `numa_alloc_onnode`.
+//! * [`PlacementPolicy::Interleave`] — `numa_alloc_interleaved`, the
+//!   paper's coarse-grained *interleave* optimization and its ground-truth
+//!   probe (§VII.B).
+//! * [`PlacementPolicy::Segmented`] — the paper's *co-locate* optimization:
+//!   each contiguous segment is placed on the node whose threads compute on
+//!   it.
+//! * [`PlacementPolicy::Replicated`] — the paper's *replicate* optimization
+//!   for read-mostly data (Streamcluster's `block`): every node has a local
+//!   copy, so each access resolves to the reader's own node.
+
+use crate::config::MachineConfig;
+use crate::topology::NodeId;
+
+/// Identifier of an allocated data object, dense per [`MemoryMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+/// Where the pages of an object live.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementPolicy {
+    /// Page homed on the node of the first accessor (Linux default).
+    FirstTouch,
+    /// Every page on one node.
+    Bind(NodeId),
+    /// Pages round-robined over the given nodes (must be non-empty).
+    Interleave(Vec<NodeId>),
+    /// Contiguous segments, each bound to a node. Entries are
+    /// `(end_offset_exclusive, node)` with strictly increasing offsets; the
+    /// last entry must cover the whole object.
+    Segmented(Vec<(u64, NodeId)>),
+    /// A read-only copy on every node: accesses resolve to the reader's
+    /// node (writes are allowed but modelled as local, matching the
+    /// paper's use on data that is never overwritten after initialisation).
+    Replicated,
+}
+
+impl PlacementPolicy {
+    /// Interleave over all `n` nodes.
+    pub fn interleave_all(n: usize) -> Self {
+        PlacementPolicy::Interleave((0..n as u8).map(NodeId).collect())
+    }
+
+    /// Split `size` bytes into `n` equal segments, segment `i` on node `i` —
+    /// the co-locate layout for a loop whose iteration space is divided
+    /// evenly over nodes.
+    pub fn colocate_even(size: u64, n: usize) -> Self {
+        assert!(n > 0);
+        let mut segs = Vec::with_capacity(n);
+        for i in 0..n {
+            let end = if i + 1 == n { size } else { size * (i as u64 + 1) / n as u64 };
+            segs.push((end, NodeId(i as u8)));
+        }
+        PlacementPolicy::Segmented(segs)
+    }
+}
+
+/// A successfully allocated object: its id and address range.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectHandle {
+    /// Object id for registry lookups.
+    pub id: ObjectId,
+    /// First byte address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl ObjectHandle {
+    /// Address of byte `off` within the object.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `off` is out of range.
+    #[inline]
+    pub fn at(&self, off: u64) -> u64 {
+        debug_assert!(off < self.size, "offset {off} out of object of {} bytes", self.size);
+        self.base + off
+    }
+}
+
+/// Registry entry for one object.
+#[derive(Debug, Clone)]
+pub struct ObjectInfo {
+    /// Human-readable name (the variable name in the paper's case studies,
+    /// e.g. `RAP_diag_j`, `block`, `reference`).
+    pub label: String,
+    /// First byte address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Current placement policy.
+    pub policy: PlacementPolicy,
+    /// Page size used for placement of this object.
+    pub page_size: u64,
+    /// First-touch record: home node per page, `u8::MAX` = untouched.
+    /// Only populated for [`PlacementPolicy::FirstTouch`].
+    first_touch: Vec<u8>,
+}
+
+impl ObjectInfo {
+    fn page_count(&self) -> usize {
+        (self.size.div_ceil(self.page_size)) as usize
+    }
+}
+
+const UNTOUCHED: u8 = u8::MAX;
+/// Allocations start above zero so a null-ish address is never valid.
+const BASE_ADDR: u64 = 0x1000_0000;
+
+/// The simulated address space: a bump allocator plus the page-placement
+/// registry. Owned by the engine during a run.
+#[derive(Debug, Clone)]
+pub struct MemoryMap {
+    objects: Vec<ObjectInfo>,
+    /// Object bases, for binary search; `bases[i]` belongs to `objects[i]`.
+    bases: Vec<u64>,
+    next_addr: u64,
+    page_size: u64,
+    huge_page_size: u64,
+    num_nodes: usize,
+    /// One-entry lookup cache: index of the last object hit.
+    last_hit: std::cell::Cell<usize>,
+}
+
+impl MemoryMap {
+    /// An empty address space for the given machine.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Self {
+            objects: Vec::new(),
+            bases: Vec::new(),
+            next_addr: BASE_ADDR,
+            page_size: cfg.mem.page_size,
+            huge_page_size: cfg.mem.huge_page_size,
+            num_nodes: cfg.topology.num_nodes(),
+            last_hit: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Allocate `size` bytes on base (4 KiB) pages.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or the policy is invalid for this machine.
+    pub fn alloc(&mut self, label: &str, size: u64, policy: PlacementPolicy) -> ObjectHandle {
+        self.alloc_with_page_size(label, size, policy, self.page_size)
+    }
+
+    /// Allocate `size` bytes on huge (2 MiB) pages — the bandit
+    /// micro-benchmark needs the deterministic page-offset → cache-set
+    /// mapping huge pages provide.
+    pub fn alloc_huge(&mut self, label: &str, size: u64, policy: PlacementPolicy) -> ObjectHandle {
+        self.alloc_with_page_size(label, size, policy, self.huge_page_size)
+    }
+
+    fn alloc_with_page_size(&mut self, label: &str, size: u64, policy: PlacementPolicy, page_size: u64) -> ObjectHandle {
+        assert!(size > 0, "zero-sized allocation for {label:?}");
+        self.validate_policy(&policy, size);
+        // Align the base so page 0 of the object starts a fresh page, then
+        // apply cache-set coloring: successive allocations are offset by a
+        // varying number of lines so that same-sized arrays do not land on
+        // identical cache sets. Without this, a program allocating many
+        // arrays whose size is a multiple of a cache's way size (e.g.
+        // IRSmk's 29 equal coefficient arrays) would thrash every set-
+        // associative level — real allocators and padded HPC codes avoid
+        // exactly this pathological alignment.
+        let color = (self.objects.len() as u64 % 61) * 64;
+        let base = self.next_addr.next_multiple_of(page_size) + color;
+        self.next_addr = base + size;
+        let id = ObjectId(self.objects.len() as u32);
+        let mut info = ObjectInfo {
+            label: label.to_string(),
+            base,
+            size,
+            policy,
+            page_size,
+            first_touch: Vec::new(),
+        };
+        if matches!(info.policy, PlacementPolicy::FirstTouch) {
+            info.first_touch = vec![UNTOUCHED; info.page_count()];
+        }
+        self.objects.push(info);
+        self.bases.push(base);
+        ObjectHandle { id, base, size }
+    }
+
+    fn validate_policy(&self, policy: &PlacementPolicy, size: u64) {
+        match policy {
+            PlacementPolicy::Bind(n) => assert!((n.0 as usize) < self.num_nodes, "bind to nonexistent {n}"),
+            PlacementPolicy::Interleave(nodes) => {
+                assert!(!nodes.is_empty(), "interleave over no nodes");
+                assert!(nodes.iter().all(|n| (n.0 as usize) < self.num_nodes), "interleave over nonexistent node");
+            }
+            PlacementPolicy::Segmented(segs) => {
+                assert!(!segs.is_empty(), "empty segment list");
+                let mut prev = 0;
+                for &(end, n) in segs {
+                    assert!(end > prev, "segment ends must strictly increase");
+                    assert!((n.0 as usize) < self.num_nodes, "segment on nonexistent {n}");
+                    prev = end;
+                }
+                assert_eq!(prev, size, "segments must cover the object exactly");
+            }
+            PlacementPolicy::FirstTouch | PlacementPolicy::Replicated => {}
+        }
+    }
+
+    /// Change an object's placement (the optimizations re-place data).
+    /// Resets any first-touch history for the object.
+    ///
+    /// # Panics
+    /// Panics if the policy is invalid.
+    pub fn set_policy(&mut self, id: ObjectId, policy: PlacementPolicy) {
+        let size = self.objects[id.0 as usize].size;
+        self.validate_policy(&policy, size);
+        let info = &mut self.objects[id.0 as usize];
+        info.first_touch = if matches!(policy, PlacementPolicy::FirstTouch) {
+            vec![UNTOUCHED; info.page_count()]
+        } else {
+            Vec::new()
+        };
+        info.policy = policy;
+    }
+
+    /// Forget all first-touch placements (fresh run on the same layout).
+    pub fn reset_first_touch(&mut self) {
+        for info in &mut self.objects {
+            info.first_touch.fill(UNTOUCHED);
+        }
+    }
+
+    /// The object containing `addr`, if any.
+    #[inline]
+    pub fn object_at(&self, addr: u64) -> Option<ObjectId> {
+        self.index_of(addr).map(|i| ObjectId(i as u32))
+    }
+
+    #[inline]
+    fn index_of(&self, addr: u64) -> Option<usize> {
+        // Fast path: the object hit by the previous lookup.
+        let cached = self.last_hit.get();
+        if let Some(info) = self.objects.get(cached) {
+            if addr >= info.base && addr < info.base + info.size {
+                return Some(cached);
+            }
+        }
+        let i = self.bases.partition_point(|&b| b <= addr);
+        if i == 0 {
+            return None;
+        }
+        let info = &self.objects[i - 1];
+        if addr < info.base + info.size {
+            self.last_hit.set(i - 1);
+            Some(i - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Home node of the page containing `addr`, as seen by a core on
+    /// `accessor`. For first-touch objects this *establishes* the placement
+    /// on the first call for a page (hence `&mut`).
+    ///
+    /// # Panics
+    /// Panics if `addr` is outside every allocation.
+    #[inline]
+    pub fn home_node(&mut self, addr: u64, accessor: NodeId) -> NodeId {
+        let idx = self.index_of(addr).unwrap_or_else(|| panic!("access to unallocated address {addr:#x}"));
+        let info = &mut self.objects[idx];
+        let off = addr - info.base;
+        let page = (off / info.page_size) as usize;
+        match &info.policy {
+            PlacementPolicy::Bind(n) => *n,
+            PlacementPolicy::Replicated => accessor,
+            PlacementPolicy::Interleave(nodes) => nodes[page % nodes.len()],
+            PlacementPolicy::Segmented(segs) => {
+                let i = segs.partition_point(|&(end, _)| end <= off);
+                segs[i].1
+            }
+            PlacementPolicy::FirstTouch => {
+                let slot = &mut info.first_touch[page];
+                if *slot == UNTOUCHED {
+                    *slot = accessor.0;
+                }
+                NodeId(*slot)
+            }
+        }
+    }
+
+    /// Read-only view of the home node, without establishing first touch.
+    /// Untouched first-touch pages report `None` — the analogue of libnuma's
+    /// "page not yet faulted in".
+    pub fn query_node(&self, addr: u64) -> Option<NodeId> {
+        let idx = self.index_of(addr)?;
+        let info = &self.objects[idx];
+        let off = addr - info.base;
+        let page = (off / info.page_size) as usize;
+        match &info.policy {
+            PlacementPolicy::Bind(n) => Some(*n),
+            PlacementPolicy::Replicated => None,
+            PlacementPolicy::Interleave(nodes) => Some(nodes[page % nodes.len()]),
+            PlacementPolicy::Segmented(segs) => {
+                let i = segs.partition_point(|&(end, _)| end <= off);
+                Some(segs[i].1)
+            }
+            PlacementPolicy::FirstTouch => {
+                let n = info.first_touch[page];
+                (n != UNTOUCHED).then_some(NodeId(n))
+            }
+        }
+    }
+
+    /// Registry entry for an object.
+    pub fn object(&self, id: ObjectId) -> &ObjectInfo {
+        &self.objects[id.0 as usize]
+    }
+
+    /// All objects in allocation order.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjectId, &ObjectInfo)> {
+        self.objects.iter().enumerate().map(|(i, o)| (ObjectId(i as u32), o))
+    }
+
+    /// Number of allocated objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether no objects have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn mm() -> MemoryMap {
+        MemoryMap::new(&MachineConfig::scaled())
+    }
+
+    #[test]
+    fn alloc_is_line_aligned_disjoint_and_colored() {
+        let mut m = mm();
+        let a = m.alloc("a", 100, PlacementPolicy::Bind(NodeId(0)));
+        let b = m.alloc("b", 100, PlacementPolicy::Bind(NodeId(1)));
+        assert_eq!(a.base % 64, 0, "line aligned");
+        assert_eq!(b.base % 64, 0);
+        assert!(b.base >= a.base + a.size, "disjoint");
+        // Coloring: equal-sized back-to-back allocations land on different
+        // cache-set offsets.
+        let sets = |h: ObjectHandle| (h.base / 64) % 2048;
+        assert_ne!(sets(a), sets(b), "cache-set coloring applied");
+    }
+
+    #[test]
+    fn object_at_finds_interior_and_rejects_gaps() {
+        let mut m = mm();
+        let a = m.alloc("a", 100, PlacementPolicy::Bind(NodeId(0)));
+        let _b = m.alloc("b", 100, PlacementPolicy::Bind(NodeId(0)));
+        assert_eq!(m.object_at(a.base + 50), Some(a.id));
+        assert_eq!(m.object_at(a.base + 150), None, "gap between objects");
+        assert_eq!(m.object_at(0), None);
+    }
+
+    #[test]
+    fn bind_policy() {
+        let mut m = mm();
+        let a = m.alloc("a", 1 << 20, PlacementPolicy::Bind(NodeId(2)));
+        assert_eq!(m.home_node(a.at(0), NodeId(0)), NodeId(2));
+        assert_eq!(m.home_node(a.at(a.size - 1), NodeId(3)), NodeId(2));
+    }
+
+    #[test]
+    fn first_touch_sticks() {
+        let mut m = mm();
+        let a = m.alloc("a", 1 << 20, PlacementPolicy::FirstTouch);
+        assert_eq!(m.query_node(a.at(0)), None, "untouched page has no home");
+        assert_eq!(m.home_node(a.at(0), NodeId(3)), NodeId(3));
+        // A later accessor from another node does not move the page.
+        assert_eq!(m.home_node(a.at(1), NodeId(1)), NodeId(3));
+        assert_eq!(m.query_node(a.at(0)), Some(NodeId(3)));
+        // A different page is touched independently.
+        assert_eq!(m.home_node(a.at(4096), NodeId(1)), NodeId(1));
+    }
+
+    #[test]
+    fn interleave_round_robins_pages() {
+        let mut m = mm();
+        let a = m.alloc("a", 4 * 4096, PlacementPolicy::interleave_all(4));
+        for p in 0..4u64 {
+            assert_eq!(m.home_node(a.at(p * 4096), NodeId(0)), NodeId(p as u8));
+        }
+        // Within one page, same node.
+        assert_eq!(m.home_node(a.at(4096 + 7), NodeId(0)), NodeId(1));
+    }
+
+    #[test]
+    fn segmented_covers_exactly() {
+        let mut m = mm();
+        let pol = PlacementPolicy::colocate_even(1 << 20, 4);
+        let a = m.alloc("a", 1 << 20, pol);
+        assert_eq!(m.home_node(a.at(0), NodeId(3)), NodeId(0));
+        assert_eq!(m.home_node(a.at((1 << 20) - 1), NodeId(0)), NodeId(3));
+        assert_eq!(m.home_node(a.at(1 << 19), NodeId(0)), NodeId(2));
+    }
+
+    #[test]
+    fn replicated_resolves_to_reader() {
+        let mut m = mm();
+        let a = m.alloc("a", 4096, PlacementPolicy::Replicated);
+        assert_eq!(m.home_node(a.at(0), NodeId(0)), NodeId(0));
+        assert_eq!(m.home_node(a.at(0), NodeId(3)), NodeId(3));
+    }
+
+    #[test]
+    fn set_policy_resets_first_touch() {
+        let mut m = mm();
+        let a = m.alloc("a", 4096, PlacementPolicy::FirstTouch);
+        m.home_node(a.at(0), NodeId(2));
+        m.set_policy(a.id, PlacementPolicy::interleave_all(4));
+        assert_eq!(m.home_node(a.at(0), NodeId(0)), NodeId(0));
+        m.set_policy(a.id, PlacementPolicy::FirstTouch);
+        assert_eq!(m.query_node(a.at(0)), None);
+    }
+
+    #[test]
+    fn huge_pages_interleave_coarser() {
+        let mut m = mm();
+        let a = m.alloc_huge("a", 4 << 20, PlacementPolicy::interleave_all(2));
+        // 2 MiB pages: first 2 MiB on node 0, next on node 1.
+        assert_eq!(m.home_node(a.at(0), NodeId(0)), NodeId(0));
+        assert_eq!(m.home_node(a.at((2 << 20) - 1), NodeId(0)), NodeId(0));
+        assert_eq!(m.home_node(a.at(2 << 20), NodeId(0)), NodeId(1));
+    }
+
+    #[test]
+    fn reset_first_touch_forgets() {
+        let mut m = mm();
+        let a = m.alloc("a", 4096, PlacementPolicy::FirstTouch);
+        m.home_node(a.at(0), NodeId(1));
+        m.reset_first_touch();
+        assert_eq!(m.home_node(a.at(0), NodeId(2)), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn home_node_panics_outside_allocations() {
+        let mut m = mm();
+        m.home_node(42, NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the object exactly")]
+    fn segmented_must_cover() {
+        let mut m = mm();
+        m.alloc("a", 100, PlacementPolicy::Segmented(vec![(50, NodeId(0))]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_alloc_rejected() {
+        mm().alloc("z", 0, PlacementPolicy::FirstTouch);
+    }
+
+    #[test]
+    fn labels_and_iteration() {
+        let mut m = mm();
+        m.alloc("x", 10, PlacementPolicy::FirstTouch);
+        m.alloc("y", 10, PlacementPolicy::FirstTouch);
+        let labels: Vec<_> = m.objects().map(|(_, o)| o.label.clone()).collect();
+        assert_eq!(labels, ["x", "y"]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+}

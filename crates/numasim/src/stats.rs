@@ -1,0 +1,135 @@
+//! Run statistics reported by the engine.
+
+use crate::hierarchy::DataSource;
+
+/// Counts of access events by satisfying source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// L1 hits.
+    pub l1: u64,
+    /// L2 hits.
+    pub l2: u64,
+    /// L3 hits.
+    pub l3: u64,
+    /// Line-fill-buffer hits.
+    pub lfb: u64,
+    /// Local DRAM accesses.
+    pub local_dram: u64,
+    /// Remote DRAM accesses.
+    pub remote_dram: u64,
+}
+
+impl AccessCounts {
+    /// Bump the counter for `source`.
+    #[inline]
+    pub fn record(&mut self, source: DataSource) {
+        match source {
+            DataSource::L1 => self.l1 += 1,
+            DataSource::L2 => self.l2 += 1,
+            DataSource::L3 => self.l3 += 1,
+            DataSource::Lfb => self.lfb += 1,
+            DataSource::LocalDram => self.local_dram += 1,
+            DataSource::RemoteDram => self.remote_dram += 1,
+        }
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.l3 + self.lfb + self.local_dram + self.remote_dram
+    }
+
+    /// All DRAM events (local + remote).
+    pub fn dram(&self) -> u64 {
+        self.local_dram + self.remote_dram
+    }
+
+    /// Fraction of DRAM accesses that were remote; 0 with no DRAM traffic.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.dram() == 0 {
+            0.0
+        } else {
+            self.remote_dram as f64 / self.dram() as f64
+        }
+    }
+}
+
+/// Result of executing one phase on the engine.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Simulated cycles: the finish time of the slowest thread.
+    pub cycles: f64,
+    /// Finish time per thread, indexed by thread position in the spec list.
+    pub thread_cycles: Vec<f64>,
+    /// Access counts by source.
+    pub counts: AccessCounts,
+    /// Total bytes per directed channel (dense channel index order).
+    pub channel_bytes: Vec<f64>,
+    /// Total bytes per memory controller.
+    pub mc_bytes: Vec<f64>,
+    /// Peak per-round utilization per channel.
+    pub channel_max_rho: Vec<f64>,
+    /// Peak per-round utilization per memory controller.
+    pub mc_max_rho: Vec<f64>,
+    /// Time-averaged utilization per channel.
+    pub channel_avg_rho: Vec<f64>,
+    /// Accounting rounds executed.
+    pub rounds: u64,
+}
+
+impl RunStats {
+    /// Mean access latency implied by counts and cycles is not tracked here;
+    /// this helper gives throughput in access events per kilocycle.
+    pub fn events_per_kcycle(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.counts.total() as f64 / self.cycles * 1000.0
+        }
+    }
+
+    /// Speedup of `self` relative to a `baseline` run of the same work.
+    pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
+        baseline.cycles / self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_record_and_total() {
+        let mut c = AccessCounts::default();
+        for s in DataSource::ALL {
+            c.record(s);
+        }
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.dram(), 2);
+        assert_eq!(c.remote_fraction(), 0.5);
+    }
+
+    #[test]
+    fn remote_fraction_no_dram() {
+        let c = AccessCounts { l1: 10, ..Default::default() };
+        assert_eq!(c.remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn speedup() {
+        let mk = |cycles| RunStats {
+            cycles,
+            thread_cycles: vec![],
+            counts: AccessCounts::default(),
+            channel_bytes: vec![],
+            mc_bytes: vec![],
+            channel_max_rho: vec![],
+            mc_max_rho: vec![],
+            channel_avg_rho: vec![],
+            rounds: 0,
+        };
+        let base = mk(1000.0);
+        let opt = mk(250.0);
+        assert_eq!(opt.speedup_over(&base), 4.0);
+        assert_eq!(base.speedup_over(&base), 1.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! NUMA topology: nodes, cores, hardware threads, and interconnect channels.
+//!
+//! The paper's machine (Figure 1) is four fully interconnected sockets, each
+//! with its own memory controller. A *channel* here is a **directed** link
+//! between an ordered pair of distinct nodes, matching the paper's
+//! observation that bandwidths differ even for opposing directions of the
+//! same physical link.
+
+use std::fmt;
+
+/// Identifier of a NUMA node (socket). Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u8);
+
+/// Identifier of a physical core, global across the machine. Dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u32);
+
+/// Identifier of a simulated software thread. Dense per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+/// A directed interconnect channel between two distinct NUMA nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId {
+    /// The node issuing the traffic (where the accessing core lives).
+    pub src: NodeId,
+    /// The node owning the memory being accessed.
+    pub dst: NodeId,
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+/// Static description of the machine's NUMA layout.
+///
+/// All lookups used on the engine's hot path (`node_of_core`) are O(1)
+/// arithmetic; the topology is fully connected, so every ordered pair of
+/// distinct nodes has exactly one channel.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: u8,
+    cores_per_node: u32,
+    smt: u32,
+}
+
+impl Topology {
+    /// Build a fully connected topology.
+    ///
+    /// * `nodes` — number of sockets (the paper's machine has 4).
+    /// * `cores_per_node` — physical cores per socket (8).
+    /// * `smt` — hardware threads per core (2 with Hyper-Threading).
+    ///
+    /// # Panics
+    /// Panics if any argument is zero or `nodes > 64`.
+    pub fn new(nodes: u8, cores_per_node: u32, smt: u32) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0 && smt > 0, "topology dimensions must be positive");
+        assert!(nodes <= 64, "at most 64 nodes supported");
+        Self { nodes, cores_per_node, smt }
+    }
+
+    /// Number of NUMA nodes (sockets).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Physical cores per node.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node as usize
+    }
+
+    /// Hardware threads per core (SMT ways).
+    #[inline]
+    pub fn smt(&self) -> usize {
+        self.smt as usize
+    }
+
+    /// Total physical cores in the machine.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.num_nodes() * self.cores_per_node()
+    }
+
+    /// Total hardware threads (cores × SMT).
+    #[inline]
+    pub fn num_hw_threads(&self) -> usize {
+        self.num_cores() * self.smt()
+    }
+
+    /// The NUMA node a core belongs to.
+    ///
+    /// Cores are numbered node-major: cores `0..cores_per_node` are on node
+    /// 0, the next `cores_per_node` on node 1, and so on.
+    ///
+    /// # Panics
+    /// Panics if the core id is out of range.
+    #[inline]
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        let n = core.0 / self.cores_per_node;
+        assert!(n < self.nodes as u32, "core {core:?} out of range");
+        NodeId(n as u8)
+    }
+
+    /// Whether `core` is a valid core id on this machine.
+    #[inline]
+    pub fn core_in_range(&self, core: CoreId) -> bool {
+        (core.0 as usize) < self.num_cores()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+
+    /// Iterator over all directed channels (ordered pairs of distinct nodes).
+    pub fn channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        let n = self.nodes;
+        (0..n).flat_map(move |s| {
+            (0..n).filter(move |&d| d != s).map(move |d| ChannelId { src: NodeId(s), dst: NodeId(d) })
+        })
+    }
+
+    /// Number of directed channels: `n * (n - 1)`.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        let n = self.num_nodes();
+        n * (n - 1)
+    }
+
+    /// Dense index of a directed channel, in `0..num_channels()`.
+    ///
+    /// Returns `None` for the degenerate "channel" from a node to itself
+    /// (local accesses do not traverse the interconnect).
+    #[inline]
+    pub fn channel_index(&self, ch: ChannelId) -> Option<usize> {
+        if ch.src == ch.dst {
+            return None;
+        }
+        let n = self.num_nodes();
+        let (s, d) = (ch.src.0 as usize, ch.dst.0 as usize);
+        debug_assert!(s < n && d < n);
+        // Row-major over (src, dst) with the diagonal removed.
+        Some(s * (n - 1) + if d > s { d - 1 } else { d })
+    }
+
+    /// Inverse of [`Topology::channel_index`].
+    #[inline]
+    pub fn channel_at(&self, index: usize) -> ChannelId {
+        let n = self.num_nodes();
+        assert!(index < self.num_channels(), "channel index out of range");
+        let s = index / (n - 1);
+        let r = index % (n - 1);
+        let d = if r >= s { r + 1 } else { r };
+        ChannelId { src: NodeId(s as u8), dst: NodeId(d as u8) }
+    }
+
+    /// Number of interconnect hops between two nodes (0 if equal, else 1:
+    /// the machine is fully connected).
+    #[inline]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        u32::from(a != b)
+    }
+
+    /// Distribute `t` threads over the first `n` nodes in the paper's
+    /// `Tt-Nn` scheme: threads are split evenly, each group bound to
+    /// consecutive cores of its node (SMT siblings used once the physical
+    /// cores of a node are exhausted).
+    ///
+    /// Returns, for each thread id in `0..t`, the core it is bound to.
+    /// Matches the paper's example: for T16-N4, threads 0–3 go to node 0,
+    /// 4–7 to node 1, and so on.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the node count, `t` is not divisible by `n`,
+    /// or a node would need more threads than it has hardware threads.
+    pub fn bind_threads(&self, t: usize, n: usize) -> Vec<CoreId> {
+        assert!(n >= 1 && n <= self.num_nodes(), "node count {n} out of range");
+        assert!(t >= n && t % n == 0, "thread count {t} must be a positive multiple of node count {n}");
+        let per_node = t / n;
+        assert!(
+            per_node <= self.cores_per_node() * self.smt(),
+            "{per_node} threads per node exceeds hardware threads per node"
+        );
+        let mut out = Vec::with_capacity(t);
+        for tid in 0..t {
+            let node = tid / per_node;
+            let slot = tid % per_node;
+            // Fill physical cores first, then wrap onto SMT siblings.
+            let core_in_node = slot % self.cores_per_node();
+            let core = node * self.cores_per_node() + core_in_node;
+            out.push(CoreId(core as u32));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(4, 8, 2)
+    }
+
+    #[test]
+    fn counts() {
+        let t = topo();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_cores(), 32);
+        assert_eq!(t.num_hw_threads(), 64);
+        assert_eq!(t.num_channels(), 12);
+    }
+
+    #[test]
+    fn node_of_core_is_node_major() {
+        let t = topo();
+        assert_eq!(t.node_of_core(CoreId(0)), NodeId(0));
+        assert_eq!(t.node_of_core(CoreId(7)), NodeId(0));
+        assert_eq!(t.node_of_core(CoreId(8)), NodeId(1));
+        assert_eq!(t.node_of_core(CoreId(31)), NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_core_rejects_bogus_core() {
+        topo().node_of_core(CoreId(32));
+    }
+
+    #[test]
+    fn channel_index_roundtrip() {
+        let t = topo();
+        let mut seen = vec![false; t.num_channels()];
+        for ch in t.channels() {
+            let i = t.channel_index(ch).expect("distinct nodes");
+            assert!(!seen[i], "duplicate index {i} for {ch}");
+            seen[i] = true;
+            assert_eq!(t.channel_at(i), ch);
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn local_channel_has_no_index() {
+        let t = topo();
+        assert_eq!(t.channel_index(ChannelId { src: NodeId(2), dst: NodeId(2) }), None);
+    }
+
+    #[test]
+    fn hops_fully_connected() {
+        let t = topo();
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn bind_t16_n4_matches_paper_example() {
+        let t = topo();
+        let binding = t.bind_threads(16, 4);
+        // Threads 0-3 on node 0, 4-7 on node 1, 8-11 on node 2, 12-15 on node 3.
+        for (tid, core) in binding.iter().enumerate() {
+            assert_eq!(t.node_of_core(*core), NodeId((tid / 4) as u8));
+        }
+    }
+
+    #[test]
+    fn bind_t64_n4_uses_smt() {
+        let t = topo();
+        let binding = t.bind_threads(64, 4);
+        assert_eq!(binding.len(), 64);
+        // 16 threads per node over 8 cores: SMT siblings share a core.
+        assert_eq!(binding[0], binding[8]);
+        assert_ne!(binding[0], binding[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of node count")]
+    fn bind_rejects_uneven_split() {
+        topo().bind_threads(10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds hardware threads")]
+    fn bind_rejects_oversubscription() {
+        topo().bind_threads(68, 2);
+    }
+
+    #[test]
+    fn channels_iter_unique_and_directed() {
+        let t = topo();
+        let chans: Vec<_> = t.channels().collect();
+        assert_eq!(chans.len(), 12);
+        assert!(chans.contains(&ChannelId { src: NodeId(0), dst: NodeId(1) }));
+        assert!(chans.contains(&ChannelId { src: NodeId(1), dst: NodeId(0) }));
+    }
+}

@@ -1,0 +1,152 @@
+//! A libnuma-like facade over the simulator's memory map.
+//!
+//! The paper uses libnuma twice: the profiler calls it to find the
+//! *locating node* of a sampled address (§IV.B), and the optimizations call
+//! `numa_alloc_onnode`-style placement to co-locate data with computation
+//! (§VIII.A). These helpers provide the same vocabulary, plus the combined
+//! "allocate and register with the intercept table" entry points the
+//! workloads use.
+
+use crate::alloc::{AllocId, AllocationTracker, SiteId};
+use numasim::memmap::{MemoryMap, ObjectHandle, PlacementPolicy};
+use numasim::topology::NodeId;
+
+/// `numa_node_of_addr`: the home node of the page containing `addr`, or
+/// `None` for unallocated, replicated, or not-yet-touched first-touch
+/// pages.
+pub fn numa_node_of_addr(mm: &MemoryMap, addr: u64) -> Option<NodeId> {
+    mm.query_node(addr)
+}
+
+/// A tracked allocation: the address-space object plus its intercept-table
+/// record.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackedAlloc {
+    /// The object in the simulated address space.
+    pub handle: ObjectHandle,
+    /// Its record in the allocation tracker.
+    pub alloc: AllocId,
+    /// The allocation site it was charged to.
+    pub site: SiteId,
+}
+
+/// `malloc` + interception: allocate first-touch memory and record it.
+pub fn tracked_malloc(
+    mm: &mut MemoryMap,
+    tracker: &mut AllocationTracker,
+    label: &str,
+    line: u32,
+    size: u64,
+) -> TrackedAlloc {
+    tracked_alloc_with(mm, tracker, label, line, size, PlacementPolicy::FirstTouch)
+}
+
+/// `numa_alloc_onnode` + interception.
+pub fn tracked_alloc_onnode(
+    mm: &mut MemoryMap,
+    tracker: &mut AllocationTracker,
+    label: &str,
+    line: u32,
+    size: u64,
+    node: NodeId,
+) -> TrackedAlloc {
+    tracked_alloc_with(mm, tracker, label, line, size, PlacementPolicy::Bind(node))
+}
+
+/// `numa_alloc_interleaved` + interception.
+pub fn tracked_alloc_interleaved(
+    mm: &mut MemoryMap,
+    tracker: &mut AllocationTracker,
+    label: &str,
+    line: u32,
+    size: u64,
+    nodes: usize,
+) -> TrackedAlloc {
+    tracked_alloc_with(mm, tracker, label, line, size, PlacementPolicy::interleave_all(nodes))
+}
+
+/// Allocate with an explicit policy and record it in the intercept table.
+pub fn tracked_alloc_with(
+    mm: &mut MemoryMap,
+    tracker: &mut AllocationTracker,
+    label: &str,
+    line: u32,
+    size: u64,
+    policy: PlacementPolicy,
+) -> TrackedAlloc {
+    let handle = mm.alloc(label, size, policy);
+    let site = tracker.intern_site(label, line);
+    let alloc = tracker.record_alloc(site, handle.base, handle.size);
+    TrackedAlloc { handle, alloc, site }
+}
+
+/// Huge-page variant (the bandit micro-benchmark's allocation path).
+pub fn tracked_alloc_huge(
+    mm: &mut MemoryMap,
+    tracker: &mut AllocationTracker,
+    label: &str,
+    line: u32,
+    size: u64,
+    policy: PlacementPolicy,
+) -> TrackedAlloc {
+    let handle = mm.alloc_huge(label, size, policy);
+    let site = tracker.intern_site(label, line);
+    let alloc = tracker.record_alloc(site, handle.base, handle.size);
+    TrackedAlloc { handle, alloc, site }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numasim::config::MachineConfig;
+
+    #[test]
+    fn tracked_malloc_registers_both_sides() {
+        let cfg = MachineConfig::scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let mut tr = AllocationTracker::new();
+        let a = tracked_malloc(&mut mm, &mut tr, "buf", 42, 4096);
+        assert_eq!(mm.object_at(a.handle.base), Some(a.handle.id));
+        assert_eq!(tr.attribute(a.handle.base + 100), Some(a.alloc));
+        assert_eq!(tr.site(a.site).line, 42);
+    }
+
+    #[test]
+    fn onnode_places_and_node_of_addr_agrees() {
+        let cfg = MachineConfig::scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let mut tr = AllocationTracker::new();
+        let a = tracked_alloc_onnode(&mut mm, &mut tr, "buf", 1, 8192, NodeId(2));
+        assert_eq!(numa_node_of_addr(&mm, a.handle.at(0)), Some(NodeId(2)));
+        assert_eq!(numa_node_of_addr(&mm, a.handle.at(8191)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn interleaved_pages_round_robin() {
+        let cfg = MachineConfig::scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let mut tr = AllocationTracker::new();
+        let a = tracked_alloc_interleaved(&mut mm, &mut tr, "buf", 1, 4 * 4096, 4);
+        let nodes: Vec<_> = (0..4).map(|p| numa_node_of_addr(&mm, a.handle.at(p * 4096)).unwrap()).collect();
+        assert_eq!(nodes, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn node_of_unallocated_is_none() {
+        let cfg = MachineConfig::scaled();
+        let mm = MemoryMap::new(&cfg);
+        assert_eq!(numa_node_of_addr(&mm, 0xDEAD), None);
+    }
+
+    #[test]
+    fn huge_alloc_uses_huge_pages() {
+        let cfg = MachineConfig::scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let mut tr = AllocationTracker::new();
+        let a = tracked_alloc_huge(&mut mm, &mut tr, "bandit", 1, 4 << 20, PlacementPolicy::interleave_all(2));
+        // 2 MiB pages: addresses within the first 2 MiB share node 0.
+        assert_eq!(numa_node_of_addr(&mm, a.handle.at(0)), Some(NodeId(0)));
+        assert_eq!(numa_node_of_addr(&mm, a.handle.at((2 << 20) - 1)), Some(NodeId(0)));
+        assert_eq!(numa_node_of_addr(&mm, a.handle.at(2 << 20)), Some(NodeId(1)));
+    }
+}

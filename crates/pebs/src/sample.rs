@@ -1,0 +1,69 @@
+//! The memory-sample record.
+
+use numasim::hierarchy::DataSource;
+use numasim::topology::{CoreId, NodeId, ThreadId};
+
+/// One sampled memory access — the information a PEBS record carries
+/// (§IV.A of the paper): the effective address, the memory layer that
+/// satisfied the access, latency in cycles, and the CPU/thread that issued
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSample {
+    /// Simulated time the access retired.
+    pub time: f64,
+    /// Effective byte address read or written.
+    pub addr: u64,
+    /// CPU (core) the instruction executed on.
+    pub cpu: CoreId,
+    /// Software thread.
+    pub thread: ThreadId,
+    /// NUMA node of `cpu` — the *accessing node* (channel source).
+    pub node: NodeId,
+    /// Memory layer the access touched.
+    pub source: DataSource,
+    /// Home node of the page for DRAM/LFB sources — the *locating node*
+    /// (channel target). `None` for cache hits.
+    pub home: Option<NodeId>,
+    /// Load-to-use latency in cycles.
+    pub latency: f64,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+}
+
+impl MemSample {
+    /// Whether this sample crossed the interconnect: a remote-DRAM access,
+    /// or an LFB hit whose underlying fill was remote.
+    pub fn is_remote(&self) -> bool {
+        match self.home {
+            Some(h) => h != self.node,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: u8, home: Option<u8>, source: DataSource) -> MemSample {
+        MemSample {
+            time: 0.0,
+            addr: 0x1000,
+            cpu: CoreId(0),
+            thread: ThreadId(0),
+            node: NodeId(node),
+            source,
+            home: home.map(NodeId),
+            latency: 100.0,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn remote_detection() {
+        assert!(sample(0, Some(1), DataSource::RemoteDram).is_remote());
+        assert!(!sample(0, Some(0), DataSource::LocalDram).is_remote());
+        assert!(!sample(0, None, DataSource::L1).is_remote());
+        assert!(sample(2, Some(0), DataSource::Lfb).is_remote());
+    }
+}

@@ -1,0 +1,157 @@
+//! Run configurations: the paper's `Tt-Nn` scheme, input classes, and
+//! optimization variants.
+
+/// Input-size class. Benchmarks map these onto their own input sets
+/// (PARSEC's simSmall…native, NPB's CLASS A/B/C, mesh sizes for the
+/// Sequoia codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Input {
+    /// Smallest input (simSmall / CLASS A / small mesh).
+    Small,
+    /// Medium input (simMedium / CLASS B).
+    Medium,
+    /// Large input (simLarge / CLASS C).
+    Large,
+    /// The largest input (PARSEC's native).
+    Native,
+}
+
+impl Input {
+    /// All classes, ascending.
+    pub const ALL: [Input; 4] = [Input::Small, Input::Medium, Input::Large, Input::Native];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Input::Small => "small",
+            Input::Medium => "medium",
+            Input::Large => "large",
+            Input::Native => "native",
+        }
+    }
+}
+
+/// Which memory-placement treatment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The program as written (typically master-thread first touch for the
+    /// problematic arrays).
+    Baseline,
+    /// Every heap object's pages interleaved over all nodes — the paper's
+    /// coarse *interleave* optimization, also used as its ground-truth
+    /// probe (§VII.B). Applied generically by the runner.
+    InterleaveAll,
+    /// The paper's *co-locate* optimization: the diagnosed hot arrays are
+    /// split into segments placed with the threads that compute on them.
+    /// Implemented per workload.
+    CoLocate,
+    /// The paper's *replicate* optimization: diagnosed read-mostly arrays
+    /// get a copy on every node. Implemented per workload.
+    Replicate,
+}
+
+/// One execution configuration: `Tt-Nn` thread/node shape plus input and
+/// variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Total thread count `t` (evenly split over the nodes).
+    pub threads: usize,
+    /// Number of NUMA nodes `n` used.
+    pub nodes: usize,
+    /// Input-size class.
+    pub input: Input,
+    /// Placement treatment.
+    pub variant: Variant,
+    /// Base RNG seed; per-thread stream seeds derive from it.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A baseline run of the given shape.
+    pub fn new(threads: usize, nodes: usize, input: Input) -> Self {
+        Self { threads, nodes, input, variant: Variant::Baseline, seed: 0x5EED }
+    }
+
+    /// Same configuration with a different variant.
+    pub fn with_variant(&self, variant: Variant) -> Self {
+        Self { variant, ..self.clone() }
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        Self { seed, ..self.clone() }
+    }
+
+    /// The paper's label for this shape, e.g. `T16-N4`.
+    pub fn shape_label(&self) -> String {
+        format!("T{}-N{}", self.threads, self.nodes)
+    }
+
+    /// Threads bound to each node.
+    pub fn threads_per_node(&self) -> usize {
+        self.threads / self.nodes
+    }
+
+    /// Per-thread deterministic seed.
+    pub fn thread_seed(&self, thread: usize) -> u64 {
+        self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(thread as u64)
+    }
+}
+
+/// The paper's eight `Tt-Nn` configurations (§VII.A): T16-N4, T24-N4,
+/// T32-N4, T64-N4, T24-N3, T16-N2, T24-N2, T32-N2.
+pub fn paper_shapes() -> Vec<(usize, usize)> {
+    vec![(16, 4), (24, 4), (32, 4), (64, 4), (24, 3), (16, 2), (24, 2), (32, 2)]
+}
+
+/// Full case list for a benchmark: every paper shape × every given input.
+pub fn cases_for(inputs: &[Input]) -> Vec<RunConfig> {
+    let mut out = Vec::new();
+    for &input in inputs {
+        for (t, n) in paper_shapes() {
+            out.push(RunConfig::new(t, n, input));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let shapes = paper_shapes();
+        assert_eq!(shapes.len(), 8);
+        assert!(shapes.contains(&(64, 4)));
+        assert!(shapes.contains(&(24, 3)));
+        let c = RunConfig::new(16, 4, Input::Small);
+        assert_eq!(c.shape_label(), "T16-N4");
+        assert_eq!(c.threads_per_node(), 4);
+    }
+
+    #[test]
+    fn cases_cross_product() {
+        let cases = cases_for(&[Input::Medium, Input::Large, Input::Native]);
+        assert_eq!(cases.len(), 24, "3 inputs x 8 shapes, an NPB-style 24-case benchmark");
+        let cases2 = cases_for(&[Input::Large, Input::Native]);
+        assert_eq!(cases2.len(), 16, "2 inputs x 8 shapes, a Bodytrack-style 16-case benchmark");
+    }
+
+    #[test]
+    fn variant_and_seed_builders() {
+        let c = RunConfig::new(32, 2, Input::Native);
+        let i = c.with_variant(Variant::InterleaveAll);
+        assert_eq!(i.threads, 32);
+        assert_eq!(i.variant, Variant::InterleaveAll);
+        assert_eq!(c.variant, Variant::Baseline);
+        assert_ne!(c.thread_seed(0), c.thread_seed(1));
+        assert_ne!(c.thread_seed(0), c.with_seed(9).thread_seed(0));
+    }
+
+    #[test]
+    fn input_names() {
+        assert_eq!(Input::Native.name(), "native");
+        assert_eq!(Input::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! # workloads — benchmarks for the DR-BW reproduction
+//!
+//! Two families of programs run on the `numasim` machine:
+//!
+//! * the **training mini-programs** of §V.A — the OpenMP-style vector
+//!   kernels `sumv`, `dotv`, `countv` (tunable between bandwidth-friendly
+//!   and contended) and the single-threaded `bandit` pointer-chasing
+//!   program ([`micro`]);
+//! * **analogs of the 21 evaluated benchmarks** of §VII from NPB, PARSEC,
+//!   Rodinia, Sequoia and LULESH ([`suite`]). Each analog reproduces the
+//!   memory behaviour that determines its contention class: who
+//!   first-touches the data, how threads traverse it, footprint relative
+//!   to cache, and arithmetic intensity.
+//!
+//! A [`spec::Workload`] is a *builder*: it allocates objects into a fresh
+//! [`numasim::MemoryMap`] (registering them with the PEBS allocation
+//! tracker) and produces phases of per-thread access streams for a given
+//! [`config::RunConfig`]. The [`runner`] executes phases on the engine —
+//! optionally with PEBS sampling attached — and the paper's two coarse
+//! optimizations are applied there: [`config::Variant::InterleaveAll`]
+//! interleaves every page of the program (the paper's *interleave*
+//! optimization and its ground-truth probe), while `CoLocate`/`Replicate`
+//! are implemented per workload on the objects its diagnosis names.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod ground_truth;
+pub mod micro;
+pub mod runner;
+pub mod spec;
+pub mod suite;
+
+pub use config::{Input, RunConfig, Variant};
+pub use runner::{run, RunOutcome};
+pub use spec::{BuiltWorkload, Phase, Workload};

@@ -1,0 +1,462 @@
+//! The training mini-programs of §V.A.
+//!
+//! * [`Sumv`], [`Dotv`], [`Countv`] — OpenMP-style multithreaded vector
+//!   kernels. Each thread works on its own contiguous share of the
+//!   vector(s), but the vectors are **initialised by the master thread**,
+//!   so first-touch places every page on node 0 — the classic NUMA
+//!   anti-pattern. Tuning the vector size (input class) moves each kernel
+//!   between bandwidth-friendly (fits in cache / light demand) and
+//!   remote-bandwidth-contended (streams from one node's DRAM).
+//! * [`Bandit`] — the single-threaded bandwidth probe of Eklov et al. that
+//!   the paper reimplements: pointer-chasing streams over huge pages whose
+//!   lines all map to the same cache set, so every access conflicts in
+//!   cache and goes to (remote) main memory. The number of streams per
+//!   instance and of co-running instances tunes its bandwidth demand.
+
+use crate::config::{Input, RunConfig};
+use crate::spec::{BuiltWorkload, Phase, Suite, Workload};
+use numasim::access::{AccessMix, AccessStream, PointerChaseStream, SeqStream, WithMlp, ZipStream};
+use numasim::config::MachineConfig;
+use numasim::engine::ThreadSpec;
+use numasim::memmap::MemoryMap;
+use numasim::topology::NodeId;
+use pebs::alloc::AllocationTracker;
+use pebs::numa_api::{tracked_alloc_huge, tracked_malloc};
+
+/// Vector footprint for the kernels, by input class.
+pub fn vector_bytes(input: Input) -> u64 {
+    match input {
+        Input::Small => 512 << 10,
+        Input::Medium => 4 << 20,
+        Input::Large => 16 << 20,
+        Input::Native => 32 << 20,
+    }
+}
+
+/// Scan passes over the data in the compute phase.
+const PASSES: u64 = 4;
+/// Element loads per cache line (8-byte elements would be 8; 4 keeps event
+/// counts moderate while still exercising the line-fill buffer).
+const REPS: u16 = 4;
+
+/// Build the common master-init + partitioned-scan shape shared by the
+/// three vector kernels.
+fn vector_kernel(
+    mcfg: &MachineConfig,
+    run: &RunConfig,
+    arrays: &[&'static str],
+    compute: f64,
+) -> BuiltWorkload {
+    let mut mm = MemoryMap::new(mcfg);
+    let mut tracker = AllocationTracker::new();
+    let size = vector_bytes(run.input);
+    let handles: Vec<_> = arrays
+        .iter()
+        .enumerate()
+        .map(|(i, label)| tracked_malloc(&mut mm, &mut tracker, label, 100 + i as u32, size))
+        .collect();
+
+    // Phase 1: the master thread (core 0, node 0) initialises every array —
+    // first touch pins all pages to node 0. One touch per page suffices to
+    // establish placement; striding by the page size keeps the (cheap, in
+    // real programs) init phase from dominating simulated time.
+    let page = mcfg.mem.page_size;
+    let init_threads = vec![ThreadSpec::new(
+        0,
+        numasim::topology::CoreId(0),
+        Box::new(ZipStream::new(
+            handles
+                .iter()
+                .map(|h| {
+                    Box::new(
+                        SeqStream::new(h.handle.base, h.handle.size, 1, AccessMix::write_only())
+                            .with_stride(page)
+                            .with_compute(1.0),
+                    ) as Box<dyn AccessStream>
+                })
+                .collect(),
+        )),
+    )];
+
+    // Phase 2 (warmup) and phase 3 (measured): each thread scans its own
+    // share of every array. One unmeasured warmup pass fills the caches so
+    // the scaled-down run measures steady-state behaviour, as a
+    // minutes-long run on the paper's machine would.
+    let binding = mcfg.topology.bind_threads(run.threads, run.nodes);
+    let share = size / run.threads as u64;
+    let scan_threads = |passes: u64| -> Vec<ThreadSpec> {
+        binding
+            .iter()
+            .enumerate()
+            .map(|(t, core)| {
+                let streams: Vec<Box<dyn AccessStream>> = handles
+                    .iter()
+                    .map(|h| {
+                        let base = h.handle.base + t as u64 * share;
+                        // Page-scaled stagger: decorrelates the threads'
+                        // page phases (threads never run in lockstep on
+                        // real machines).
+                        let start = if share > page { (t as u64).wrapping_mul(page) % share } else { 0 };
+                        Box::new(
+                            SeqStream::new(base, share, passes, AccessMix::read_only())
+                                .with_reps(REPS)
+                                .with_compute(compute)
+                                .with_start(start),
+                        ) as Box<dyn AccessStream>
+                    })
+                    .collect();
+                ThreadSpec::new(t as u32, *core, Box::new(ZipStream::new(streams)))
+            })
+            .collect()
+    };
+
+    BuiltWorkload {
+        mm,
+        tracker,
+        phases: vec![
+            Phase::new("init", init_threads),
+            Phase::warmup("warmup", scan_threads(1)),
+            Phase::new("compute", scan_threads(PASSES)),
+        ],
+    }
+}
+
+/// `sumv`: each thread computes the sum of its share of one vector.
+pub struct Sumv;
+
+impl Workload for Sumv {
+    fn name(&self) -> &'static str {
+        "sumv"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        Input::ALL.to_vec()
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        vector_kernel(mcfg, run, &["v"], 1.5)
+    }
+}
+
+/// `dotv`: each thread computes the dot product of its shares of two
+/// vectors (twice the footprint, slightly more arithmetic per element).
+pub struct Dotv;
+
+impl Workload for Dotv {
+    fn name(&self) -> &'static str {
+        "dotv"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        Input::ALL.to_vec()
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        vector_kernel(mcfg, run, &["a", "b"], 2.0)
+    }
+}
+
+/// `countv`: each thread counts occurrences of a value in its share — the
+/// least arithmetic per byte, hence the hungriest for bandwidth.
+pub struct Countv;
+
+impl Workload for Countv {
+    fn name(&self) -> &'static str {
+        "countv"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        Input::ALL.to_vec()
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        vector_kernel(mcfg, run, &["v"], 0.8)
+    }
+}
+
+/// Streams per bandit instance, by input class (the paper tunes this).
+pub fn bandit_streams(input: Input) -> usize {
+    match input {
+        Input::Small => 1,
+        Input::Medium => 2,
+        Input::Large => 4,
+        Input::Native => 8,
+    }
+}
+
+/// Chase steps each stream performs.
+const BANDIT_STEPS: u64 = 30_000;
+/// Conflicting lines per stream.
+const BANDIT_LINES: usize = 64;
+
+/// The bandwidth-bandit probe. `run.threads` is the number of co-running
+/// single-threaded instances (bound to consecutive cores of node 0);
+/// `run.nodes` is ignored except that the chased huge pages are placed on
+/// the *remote* node 1, as in the paper's remote-bandwidth study.
+pub struct Bandit;
+
+impl Workload for Bandit {
+    fn name(&self) -> &'static str {
+        "bandit"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        Input::ALL.to_vec()
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        let mut mm = MemoryMap::new(mcfg);
+        let mut tracker = AllocationTracker::new();
+        let instances = run.threads;
+        assert!(
+            instances <= mcfg.topology.cores_per_node() * mcfg.topology.smt(),
+            "bandit instances exceed node 0's hardware threads"
+        );
+        let streams = bandit_streams(run.input);
+        // Stride that lands every line in the same L3 set (and, being a
+        // multiple of the smaller caches' sizes, the same L1/L2 sets too).
+        let line = mcfg.cache.line_size;
+        let stride = mcfg.cache.l3.num_sets(line) as u64 * line;
+        let span = BANDIT_LINES as u64 * stride;
+
+        let mut threads = Vec::with_capacity(instances);
+        for inst in 0..instances {
+            let chases: Vec<Box<dyn AccessStream>> = (0..streams)
+                .map(|s| {
+                    let region = tracked_alloc_huge(
+                        &mut mm,
+                        &mut tracker,
+                        "bandit_stream",
+                        200,
+                        span,
+                        numasim::memmap::PlacementPolicy::Bind(NodeId(1)),
+                    );
+                    Box::new(
+                        PointerChaseStream::new(
+                            region.handle.base,
+                            BANDIT_LINES,
+                            stride,
+                            BANDIT_STEPS,
+                            run.thread_seed(inst * 16 + s),
+                        )
+                        .with_compute(1.0),
+                    ) as Box<dyn AccessStream>
+                })
+                .collect();
+            // k independent chains keep k misses in flight.
+            let stream = WithMlp::new(ZipStream::new(chases), streams as f64);
+            threads.push(ThreadSpec::new(inst as u32, numasim::topology::CoreId(inst as u32), Box::new(stream)));
+        }
+
+        BuiltWorkload { mm, tracker, phases: vec![Phase::new("chase", threads)] }
+    }
+}
+
+/// Per-thread footprint of the cache-contention mini-program.
+pub fn cachemix_bytes(input: Input) -> u64 {
+    match input {
+        Input::Small => 64 << 10,
+        Input::Medium => 128 << 10,
+        Input::Large => 512 << 10,
+        Input::Native => 1 << 20,
+    }
+}
+
+/// `cachemix` — the mini-program for the *shared-cache* contention
+/// extension (the paper's §IX future work). Each thread loops over its own
+/// parallel-initialised array with real arithmetic in between, so the
+/// bandwidth demand is light; what varies is whether the co-located
+/// threads' footprints fit the node's shared L3 together. With
+/// `run.nodes == 1` all threads pack onto node 0 (the contention
+/// scenario); spreading the same threads over more nodes isolates them —
+/// the ground-truth probe for cache contention.
+pub struct CacheMix;
+
+impl Workload for CacheMix {
+    fn name(&self) -> &'static str {
+        "cachemix"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        Input::ALL.to_vec()
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        let mut mm = MemoryMap::new(mcfg);
+        let mut tracker = AllocationTracker::new();
+        let per = cachemix_bytes(run.input);
+        let arr = tracked_malloc(&mut mm, &mut tracker, "work", 400, per * run.threads as u64);
+        let binding = mcfg.topology.bind_threads(run.threads, run.nodes);
+        let page = mcfg.mem.page_size;
+        let mk = |passes: u64| -> Vec<ThreadSpec> {
+            binding
+                .iter()
+                .enumerate()
+                .map(|(t, core)| {
+                    let base = arr.handle.base + t as u64 * per;
+                    let start = (t as u64).wrapping_mul(page) % per;
+                    let s = SeqStream::new(base, per, passes, AccessMix::write_every(8))
+                        .with_reps(4)
+                        .with_compute(6.0)
+                        .with_start(start);
+                    ThreadSpec::new(t as u32, *core, Box::new(s))
+                })
+                .collect()
+        };
+        // Parallel first touch: each thread's array is local wherever the
+        // thread runs, so remote bandwidth is never the issue.
+        let init = binding
+            .iter()
+            .enumerate()
+            .map(|(t, core)| {
+                let base = arr.handle.base + t as u64 * per;
+                let s = SeqStream::new(base, per, 1, AccessMix::write_only()).with_stride(page).with_compute(1.0);
+                ThreadSpec::new(t as u32, *core, Box::new(s))
+            })
+            .collect();
+        BuiltWorkload {
+            mm,
+            tracker,
+            phases: vec![Phase::new("init", init), Phase::warmup("warmup", mk(1)), Phase::new("loop", mk(6))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::runner::run;
+
+    fn mcfg() -> MachineConfig {
+        MachineConfig::scaled()
+    }
+
+    #[test]
+    fn sumv_small_is_bandwidth_friendly() {
+        // Small input, threads over 4 nodes: per-node share caches after
+        // the first pass, so the interleave probe finds nothing to fix.
+        let rcfg = RunConfig::new(16, 4, Input::Small);
+        let base = run(&Sumv, &mcfg(), &rcfg, None);
+        let inter = run(&Sumv, &mcfg(), &rcfg.with_variant(Variant::InterleaveAll), None);
+        let speedup = inter.speedup_over(&base);
+        assert!(speedup < 1.10, "small sumv should not benefit from interleave, got {speedup}");
+    }
+
+    #[test]
+    fn sumv_large_multinode_contends() {
+        let rcfg = RunConfig::new(32, 4, Input::Large);
+        let base = run(&Sumv, &mcfg(), &rcfg, None);
+        // All pages on node 0 => channels into node 0 run hot.
+        let max_rho = base.phases[1].stats.channel_max_rho.iter().cloned().fold(0.0, f64::max);
+        assert!(max_rho > 0.85, "expected saturated channel, rho {max_rho}");
+        let inter = run(&Sumv, &mcfg(), &rcfg.with_variant(Variant::InterleaveAll), None);
+        assert!(inter.speedup_over(&base) > 1.10);
+    }
+
+    #[test]
+    fn init_phase_pins_pages_to_node_zero() {
+        let rcfg = RunConfig::new(16, 4, Input::Medium);
+        let out = run(&Sumv, &mcfg(), &rcfg, None);
+        // During compute, every DRAM access from nodes 1-3 must be remote:
+        // local DRAM traffic can only come from node 0's threads.
+        let compute = &out.phases[1].stats;
+        assert!(compute.counts.remote_dram > compute.counts.local_dram);
+    }
+
+    #[test]
+    fn dotv_has_two_arrays_countv_one() {
+        let rcfg = RunConfig::new(8, 2, Input::Small);
+        let d = Dotv.build(&mcfg(), &rcfg);
+        assert_eq!(d.mm.len(), 2);
+        let c = Countv.build(&mcfg(), &rcfg);
+        assert_eq!(c.mm.len(), 1);
+        assert_eq!(d.tracker.sites().count(), 2);
+    }
+
+    #[test]
+    fn kernels_differ_in_arithmetic_intensity() {
+        // countv (less compute per byte) finishes its scan faster than
+        // sumv per byte at small input where memory is not the bottleneck.
+        let rcfg = RunConfig::new(8, 2, Input::Small);
+        let s = run(&Sumv, &mcfg(), &rcfg, None);
+        let c = run(&Countv, &mcfg(), &rcfg, None);
+        assert!(c.phase_cycles("compute") < s.phase_cycles("compute"));
+    }
+
+    #[test]
+    fn bandit_chases_remote_memory() {
+        let rcfg = RunConfig::new(1, 2, Input::Medium);
+        let out = run(&Bandit, &mcfg(), &rcfg, None);
+        let stats = &out.phases[0].stats;
+        // Conflict misses: essentially every chase step reaches DRAM, and
+        // the pages are on node 1 while the instance runs on node 0.
+        let dram = stats.counts.dram();
+        let total = stats.counts.total();
+        assert!(dram as f64 / total as f64 > 0.95, "conflict chase must miss caches: {dram}/{total}");
+        assert_eq!(stats.counts.local_dram, 0);
+    }
+
+    #[test]
+    fn bandit_demand_scales_with_streams() {
+        let one = run(&Bandit, &mcfg(), &RunConfig::new(1, 2, Input::Small), None);
+        let eight = run(&Bandit, &mcfg(), &RunConfig::new(1, 2, Input::Native), None);
+        // Eight interleaved chains overlap misses: much higher bandwidth.
+        let bw = |o: &crate::runner::RunOutcome| {
+            let s = &o.phases[0].stats;
+            s.channel_bytes.iter().sum::<f64>() / s.cycles
+        };
+        assert!(bw(&eight) > bw(&one) * 3.0, "{} vs {}", bw(&eight), bw(&one));
+    }
+
+    #[test]
+    fn single_bandit_stays_uncontended() {
+        // The training set labels all its bandit runs "good": verify a
+        // typical configuration stays below the saturation threshold.
+        let out = run(&Bandit, &mcfg(), &RunConfig::new(2, 2, Input::Large), None);
+        let max_rho = out.phases[0].stats.channel_max_rho.iter().cloned().fold(0.0, f64::max);
+        assert!(max_rho < 0.85, "bandit good-mode should not saturate, rho {max_rho}");
+    }
+
+    #[test]
+    fn cachemix_packed_thrashes_isolated_does_not() {
+        // 8 threads x 512 KiB: 4 MiB packed onto node 0's 2 MiB L3
+        // thrashes; the same threads spread over 4 nodes (1 MiB per L3)
+        // run cache-resident.
+        let packed = run(&CacheMix, &mcfg(), &RunConfig::new(8, 1, Input::Large), None);
+        let spread = run(&CacheMix, &mcfg(), &RunConfig::new(8, 4, Input::Large), None);
+        let pc = packed.total_counts();
+        let sc = spread.total_counts();
+        assert!(pc.dram() > sc.dram() * 5, "packed must miss L3: {} vs {}", pc.dram(), sc.dram());
+        assert!(
+            packed.cycles() > spread.cycles() * 1.2,
+            "isolation speedup: packed {} vs spread {}",
+            packed.cycles(),
+            spread.cycles()
+        );
+        // And it is not a bandwidth problem: all traffic is node-local.
+        assert_eq!(pc.remote_dram, 0);
+    }
+
+    #[test]
+    fn cachemix_small_fits_even_packed() {
+        let packed = run(&CacheMix, &mcfg(), &RunConfig::new(8, 1, Input::Small), None);
+        let spread = run(&CacheMix, &mcfg(), &RunConfig::new(8, 4, Input::Small), None);
+        let ratio = packed.cycles() / spread.cycles();
+        assert!(ratio < 1.1, "small footprints cache either way, ratio {ratio}");
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let rcfg = RunConfig::new(16, 4, Input::Medium);
+        let a = run(&Dotv, &mcfg(), &rcfg, None);
+        let b = run(&Dotv, &mcfg(), &rcfg, None);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.observed_accesses, b.observed_accesses);
+    }
+}

@@ -1,0 +1,120 @@
+//! The workload abstraction: a builder producing allocations + phases of
+//! per-thread access streams for a given run configuration.
+
+use crate::config::{Input, RunConfig, Variant};
+use numasim::config::MachineConfig;
+use numasim::engine::ThreadSpec;
+use numasim::memmap::MemoryMap;
+use pebs::alloc::AllocationTracker;
+
+/// One execution phase: a named set of threads run to completion on the
+/// engine. Multi-phase programs (AMG2006's init/setup/solve) return several.
+pub struct Phase {
+    /// Phase name (used in per-phase speedup reports, Figure 5).
+    pub name: &'static str,
+    /// The threads of this phase.
+    pub threads: Vec<ThreadSpec>,
+    /// Warmup phases populate the caches but are excluded from measured
+    /// cycles and from sampling — the cold start of a scaled-down
+    /// simulation would otherwise be a far larger share of the run than on
+    /// the paper's minutes-long executions.
+    pub warmup: bool,
+}
+
+impl Phase {
+    /// A measured phase.
+    pub fn new(name: &'static str, threads: Vec<ThreadSpec>) -> Self {
+        Self { name, threads, warmup: false }
+    }
+
+    /// An unmeasured cache-warming phase.
+    pub fn warmup(name: &'static str, threads: Vec<ThreadSpec>) -> Self {
+        Self { name, threads, warmup: true }
+    }
+}
+
+/// A fully instantiated workload, ready to run.
+pub struct BuiltWorkload {
+    /// The allocated address space with placement policies applied.
+    pub mm: MemoryMap,
+    /// The malloc-interception record for sample attribution.
+    pub tracker: AllocationTracker,
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+/// Benchmark suite provenance, mirroring §VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// The training mini-programs (§V.A).
+    Micro,
+    /// NAS Parallel Benchmarks.
+    Npb,
+    /// PARSEC.
+    Parsec,
+    /// Rodinia.
+    Rodinia,
+    /// LLNL Sequoia.
+    Sequoia,
+    /// LULESH (LLNL).
+    Lulesh,
+}
+
+/// A benchmark program that can be instantiated for any run configuration.
+///
+/// `build` must be deterministic: the same `(machine, run)` pair yields the
+/// same allocations and streams.
+pub trait Workload: Sync {
+    /// Program name as the paper spells it (e.g. `Streamcluster`, `IRSmk`).
+    fn name(&self) -> &'static str;
+
+    /// Which suite the program comes from.
+    fn suite(&self) -> Suite;
+
+    /// The input classes this benchmark is evaluated with (§VII.A: PARSEC
+    /// runs four input sets, NPB three classes, and so on).
+    fn inputs(&self) -> Vec<Input>;
+
+    /// Instantiate allocations and phases for one run.
+    ///
+    /// Implementations handle `Variant::Baseline`, `Variant::CoLocate`,
+    /// and `Variant::Replicate` themselves (the latter two only if
+    /// supported); `Variant::InterleaveAll` is applied generically by the
+    /// runner after `build` returns, so `build` may treat it as baseline.
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload;
+
+    /// Which variants this workload implements.
+    fn supports(&self, v: Variant) -> bool {
+        matches!(v, Variant::Baseline | Variant::InterleaveAll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Workload for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn suite(&self) -> Suite {
+            Suite::Micro
+        }
+        fn inputs(&self) -> Vec<Input> {
+            vec![Input::Small]
+        }
+        fn build(&self, mcfg: &MachineConfig, _run: &RunConfig) -> BuiltWorkload {
+            BuiltWorkload { mm: MemoryMap::new(mcfg), tracker: AllocationTracker::new(), phases: vec![] }
+        }
+    }
+
+    #[test]
+    fn default_supports_baseline_and_interleave() {
+        let d = Dummy;
+        assert!(d.supports(Variant::Baseline));
+        assert!(d.supports(Variant::InterleaveAll));
+        assert!(!d.supports(Variant::CoLocate));
+        assert!(!d.supports(Variant::Replicate));
+    }
+}

@@ -1,0 +1,387 @@
+//! Shared building blocks for the benchmark analogs.
+//!
+//! Every analog is assembled from the same vocabulary the paper's case
+//! studies use to explain their benchmarks:
+//!
+//! * arrays **master-allocated** (first-touched by thread 0 ⇒ homed on
+//!   node 0 — the root cause of every contended benchmark) vs
+//!   **parallel-initialised** (each thread first-touches its own share ⇒
+//!   naturally co-located);
+//! * **partitioned** traversal (each thread scans its own contiguous
+//!   share), **shared** traversal (every thread reads the whole array),
+//!   and **random** access over a shared array;
+//! * a **co-locate** placement that segments an array to match the thread
+//!   partition, and **replication** for read-mostly data;
+//! * **untracked** objects standing in for static/global data, which the
+//!   DR-BW profiler does not trace (§VIII.D/F).
+
+use crate::config::{RunConfig, Variant};
+use crate::spec::{BuiltWorkload, Phase};
+use numasim::access::{AccessMix, AccessStream, RandomStream, SeqStream, ZipStream};
+use numasim::config::MachineConfig;
+use numasim::engine::ThreadSpec;
+use numasim::memmap::{MemoryMap, ObjectHandle, PlacementPolicy};
+use numasim::topology::CoreId;
+use pebs::alloc::AllocationTracker;
+use pebs::numa_api::tracked_alloc_with;
+
+/// Incremental builder for a benchmark instance.
+pub struct Builder<'a> {
+    /// Machine description.
+    pub mcfg: &'a MachineConfig,
+    /// Run configuration.
+    pub run: &'a RunConfig,
+    mm: MemoryMap,
+    tracker: AllocationTracker,
+    phases: Vec<Phase>,
+    binding: Vec<CoreId>,
+}
+
+impl<'a> Builder<'a> {
+    /// Start building for one run.
+    pub fn new(mcfg: &'a MachineConfig, run: &'a RunConfig) -> Self {
+        Self {
+            mcfg,
+            run,
+            mm: MemoryMap::new(mcfg),
+            tracker: AllocationTracker::new(),
+            phases: Vec::new(),
+            binding: mcfg.topology.bind_threads(run.threads, run.nodes),
+        }
+    }
+
+    /// Thread→core binding for this run.
+    pub fn binding(&self) -> &[CoreId] {
+        &self.binding
+    }
+
+    /// Allocate a tracked heap object.
+    pub fn alloc(&mut self, label: &str, line: u32, size: u64, policy: PlacementPolicy) -> ObjectHandle {
+        tracked_alloc_with(&mut self.mm, &mut self.tracker, label, line, size, policy).handle
+    }
+
+    /// Allocate an *untracked* object — static/global data the profiler's
+    /// malloc interception never sees. Its samples attribute to nothing.
+    pub fn alloc_untracked(&mut self, label: &str, size: u64, policy: PlacementPolicy) -> ObjectHandle {
+        self.mm.alloc(label, size, policy)
+    }
+
+    /// The co-locate placement for an array traversed in thread partitions:
+    /// one segment per thread, placed on that thread's node.
+    pub fn colocate_policy(&self, size: u64) -> PlacementPolicy {
+        let t = self.run.threads as u64;
+        let mut segs = Vec::with_capacity(self.run.threads);
+        for (i, core) in self.binding.iter().enumerate() {
+            let end = if i as u64 + 1 == t { size } else { size * (i as u64 + 1) / t };
+            segs.push((end, self.mcfg.topology.node_of_core(*core)));
+        }
+        // Merge zero-length segments away (possible when size < threads).
+        segs.dedup_by(|b, a| a.0 == b.0);
+        PlacementPolicy::Segmented(segs)
+    }
+
+    /// Placement for a hot array under the run's variant: first touch for
+    /// the baseline (the master-init phase will pin it to node 0),
+    /// segmented for co-locate, replicated for replicate.
+    pub fn hot_policy(&self, size: u64) -> PlacementPolicy {
+        match self.run.variant {
+            Variant::CoLocate => self.colocate_policy(size),
+            Variant::Replicate => PlacementPolicy::Replicated,
+            _ => PlacementPolicy::FirstTouch,
+        }
+    }
+
+    /// The `(base, len)` of thread `t`'s share of an object.
+    pub fn share(&self, h: ObjectHandle, t: usize) -> (u64, u64) {
+        let n = self.run.threads as u64;
+        let start = h.size * t as u64 / n;
+        let end = h.size * (t as u64 + 1) / n;
+        (h.base + start, (end - start).max(64))
+    }
+
+    /// Append a phase.
+    pub fn phase(&mut self, name: &'static str, threads: Vec<ThreadSpec>) {
+        self.phases.push(Phase::new(name, threads));
+    }
+
+    /// Append an unmeasured cache-warming phase.
+    pub fn warmup_phase(&mut self, name: &'static str, threads: Vec<ThreadSpec>) {
+        self.phases.push(Phase::warmup(name, threads));
+    }
+
+    /// Append a master-init phase: thread 0 (node 0) touches one line per
+    /// page of each object, pinning first-touch pages to node 0.
+    pub fn master_init(&mut self, name: &'static str, handles: &[ObjectHandle]) {
+        let page = self.mcfg.mem.page_size;
+        let streams: Vec<Box<dyn AccessStream>> = handles
+            .iter()
+            .map(|h| {
+                Box::new(
+                    SeqStream::new(h.base, h.size, 1, AccessMix::write_only()).with_stride(page).with_compute(1.0),
+                ) as Box<dyn AccessStream>
+            })
+            .collect();
+        let t = vec![ThreadSpec::new(0, CoreId(0), Box::new(ZipStream::new(streams)))];
+        self.phase(name, t);
+    }
+
+    /// Append a parallel-init phase: every thread touches one line per page
+    /// of its own share of each object — the NUMA-friendly first touch.
+    pub fn parallel_init(&mut self, name: &'static str, handles: &[ObjectHandle]) {
+        let page = self.mcfg.mem.page_size;
+        let threads = self.threads_from(|b, t| {
+            let streams: Vec<Box<dyn AccessStream>> = handles
+                .iter()
+                .map(|h| {
+                    let (base, len) = b.share(*h, t);
+                    Box::new(
+                        SeqStream::new(base, len, 1, AccessMix::write_only()).with_stride(page).with_compute(1.0),
+                    ) as Box<dyn AccessStream>
+                })
+                .collect();
+            Box::new(ZipStream::new(streams)) as Box<dyn AccessStream>
+        });
+        self.phase(name, threads);
+    }
+
+    /// Build one thread per binding slot from a stream factory.
+    pub fn threads_from(&self, mut f: impl FnMut(&Self, usize) -> Box<dyn AccessStream>) -> Vec<ThreadSpec> {
+        self.binding
+            .iter()
+            .enumerate()
+            .map(|(t, core)| ThreadSpec::new(t as u32, *core, f(self, t)))
+            .collect()
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> BuiltWorkload {
+        assert!(!self.phases.is_empty(), "workload built no phases");
+        BuiltWorkload { mm: self.mm, tracker: self.tracker, phases: self.phases }
+    }
+}
+
+/// Parameters of a streaming traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanParams {
+    /// Full passes over the data.
+    pub passes: u64,
+    /// Element loads per line (line-fill-buffer realism).
+    pub reps: u16,
+    /// Arithmetic cycles between loads.
+    pub compute: f64,
+    /// One store per this many accesses (0 = read-only).
+    pub write_every: u32,
+    /// Memory-level parallelism override (None = machine default of 4).
+    pub mlp: Option<f64>,
+}
+
+impl ScanParams {
+    /// A read-only streaming scan.
+    pub fn read(passes: u64, reps: u16, compute: f64) -> Self {
+        Self { passes, reps, compute, write_every: 0, mlp: None }
+    }
+
+    fn mix(&self) -> AccessMix {
+        if self.write_every == 0 {
+            AccessMix::read_only()
+        } else {
+            AccessMix::write_every(self.write_every)
+        }
+    }
+}
+
+/// Threads that each scan **their own share** of every given array
+/// (zip-interleaved across arrays) — the partitioned OpenMP-for pattern.
+///
+/// Each thread's traversal is rotated by a page-scaled offset. In a
+/// deterministic simulator, share-aligned threads would otherwise march
+/// through their pages in lockstep — and under an interleaved placement
+/// the whole machine would hammer node 0, then node 1, … in phase,
+/// nullifying the interleave. Real threads drift apart within a few
+/// scheduler ticks; the stagger models that steady state.
+pub fn partitioned_scan(b: &Builder<'_>, handles: &[ObjectHandle], p: ScanParams) -> Vec<ThreadSpec> {
+    let page = b.mcfg.mem.page_size;
+    b.threads_from(|b, t| {
+        let streams: Vec<Box<dyn AccessStream>> = handles
+            .iter()
+            .map(|h| {
+                let (base, len) = b.share(*h, t);
+                let start = if len > page { (t as u64).wrapping_mul(page) % len } else { 0 };
+                let mut s = SeqStream::new(base, len, p.passes, p.mix())
+                    .with_reps(p.reps)
+                    .with_compute(p.compute)
+                    .with_start(start);
+                if let Some(mlp) = p.mlp {
+                    s = s.with_mlp(mlp);
+                }
+                Box::new(s) as Box<dyn AccessStream>
+            })
+            .collect();
+        Box::new(ZipStream::new(streams)) as Box<dyn AccessStream>
+    })
+}
+
+/// Threads that each scan the **whole** of every given array — the shared
+/// read pattern (NW's `reference`, wavefront sweeps). Each thread's
+/// traversal is rotated to its own starting offset: co-running wavefront
+/// threads work on different diagonals, not the same bytes, so they must
+/// not ride each other's L3 fills.
+pub fn shared_scan(b: &Builder<'_>, handles: &[ObjectHandle], p: ScanParams) -> Vec<ThreadSpec> {
+    let n = b.run.threads as u64;
+    b.threads_from(|_, t| {
+        let streams: Vec<Box<dyn AccessStream>> = handles
+            .iter()
+            .map(|h| {
+                let start = h.size * (t as u64) / n;
+                Box::new(
+                    SeqStream::new(h.base, h.size, p.passes, p.mix())
+                        .with_reps(p.reps)
+                        .with_compute(p.compute)
+                        .with_start(start),
+                ) as Box<dyn AccessStream>
+            })
+            .collect();
+        Box::new(ZipStream::new(streams)) as Box<dyn AccessStream>
+    })
+}
+
+/// Threads that share every array with a **page-block-cyclic partition**:
+/// thread `t` of `T` owns pages `t, t+T, t+2T, …` and scans each of its
+/// pages line by line. Every thread's traffic spreads over the whole array
+/// (so one-node-homed arrays draw traffic from all sockets, and a
+/// contiguous co-locate segmentation only partially matches it), the line
+/// sets are disjoint (threads cannot ride each other's cache fills), and
+/// lines within a page are consecutive (no cache-set aliasing). This is
+/// the shape of a wavefront sweep like NW's, where co-running threads work
+/// distinct diagonals. Total work equals one scan per pass regardless of
+/// thread count.
+pub fn wavefront_partition_scan(b: &Builder<'_>, handles: &[ObjectHandle], p: ScanParams) -> Vec<ThreadSpec> {
+    let way = b.run.threads as u64;
+    b.threads_from(|b, t| {
+        let streams: Vec<Box<dyn AccessStream>> = handles
+            .iter()
+            .map(|h| {
+                // One page plus one line per block: the extra line staggers
+                // successive blocks across cache sets. With an exact page
+                // (64 lines) and a power-of-two thread count, every block
+                // of a thread would land on the same 64 L3 sets
+                // (64 lines × 32 ways wraps the 2048-set L3 exactly) and
+                // thrash. Shrink the block if the array is too small for
+                // one block per thread (keeps every phase non-empty).
+                let mut block = b.mcfg.mem.page_size + 64;
+                while (way - 1) * block >= h.size && block > 64 {
+                    block /= 2;
+                }
+                Box::new(
+                    numasim::access::BlockCyclicStream::new(h.base, h.size, block, way, t as u64, p.passes, p.mix())
+                        .with_reps(p.reps)
+                        .with_compute(p.compute),
+                ) as Box<dyn AccessStream>
+            })
+            .collect();
+        Box::new(ZipStream::new(streams)) as Box<dyn AccessStream>
+    })
+}
+
+/// Threads that each make `count` uniform random accesses over a shared
+/// array — Streamcluster's distance computations over `block`.
+pub fn shared_random(
+    b: &Builder<'_>,
+    h: ObjectHandle,
+    count: u64,
+    reps: u16,
+    compute: f64,
+) -> Vec<ThreadSpec> {
+    b.threads_from(|b, t| {
+        Box::new(
+            RandomStream::new(h.base, h.size, count, b.run.thread_seed(t), AccessMix::read_only())
+                .with_reps(reps)
+                .with_compute(compute),
+        ) as Box<dyn AccessStream>
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Input;
+    use numasim::topology::NodeId;
+
+    fn setup() -> (MachineConfig, RunConfig) {
+        (MachineConfig::scaled(), RunConfig::new(16, 4, Input::Medium))
+    }
+
+    #[test]
+    fn colocate_policy_matches_binding() {
+        let (mcfg, run) = setup();
+        let b = Builder::new(&mcfg, &run);
+        let pol = b.colocate_policy(16 << 20);
+        let PlacementPolicy::Segmented(segs) = &pol else { panic!("expected segments") };
+        // 16 threads over 4 nodes: 4 consecutive shares per node.
+        assert_eq!(segs.len(), 16);
+        assert_eq!(segs[0].1, NodeId(0));
+        assert_eq!(segs[4].1, NodeId(1));
+        assert_eq!(segs[15].1, NodeId(3));
+        assert_eq!(segs.last().unwrap().0, 16 << 20);
+    }
+
+    #[test]
+    fn shares_partition_exactly() {
+        let (mcfg, run) = setup();
+        let mut b = Builder::new(&mcfg, &run);
+        let h = b.alloc("x", 1, 1 << 20, PlacementPolicy::FirstTouch);
+        let mut covered = 0;
+        for t in 0..16 {
+            let (base, len) = b.share(h, t);
+            assert_eq!(base, h.base + covered);
+            covered += len;
+        }
+        assert_eq!(covered, 1 << 20);
+    }
+
+    #[test]
+    fn untracked_objects_not_in_tracker() {
+        let (mcfg, run) = setup();
+        let mut b = Builder::new(&mcfg, &run);
+        let tracked = b.alloc("heap", 1, 4096, PlacementPolicy::FirstTouch);
+        let untracked = b.alloc_untracked("static", 4096, PlacementPolicy::Bind(NodeId(0)));
+        b.master_init("init", &[tracked, untracked]);
+        let built = b.finish();
+        assert!(built.tracker.attribute(tracked.base).is_some());
+        assert!(built.tracker.attribute(untracked.base).is_none());
+        assert_eq!(built.mm.len(), 2, "both live in the address space");
+    }
+
+    #[test]
+    fn hot_policy_follows_variant() {
+        let (mcfg, run) = setup();
+        let b = Builder::new(&mcfg, &run);
+        assert_eq!(b.hot_policy(4096), PlacementPolicy::FirstTouch);
+        let colo = run.with_variant(Variant::CoLocate);
+        let b = Builder::new(&mcfg, &colo);
+        assert!(matches!(b.hot_policy(1 << 20), PlacementPolicy::Segmented(_)));
+        let repl = run.with_variant(Variant::Replicate);
+        let b = Builder::new(&mcfg, &repl);
+        assert_eq!(b.hot_policy(4096), PlacementPolicy::Replicated);
+    }
+
+    #[test]
+    fn partitioned_and_shared_scans_build_threads() {
+        let (mcfg, run) = setup();
+        let mut b = Builder::new(&mcfg, &run);
+        let h = b.alloc("x", 1, 1 << 20, PlacementPolicy::FirstTouch);
+        let threads = partitioned_scan(&b, &[h], ScanParams::read(2, 4, 2.0));
+        assert_eq!(threads.len(), 16);
+        let threads = shared_scan(&b, &[h], ScanParams::read(1, 4, 2.0));
+        assert_eq!(threads.len(), 16);
+        let threads = shared_random(&b, h, 1000, 2, 5.0);
+        assert_eq!(threads.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_build_rejected() {
+        let (mcfg, run) = setup();
+        Builder::new(&mcfg, &run).finish();
+    }
+}

@@ -1,0 +1,159 @@
+//! Analogs of the paper's 23 evaluated benchmarks (§VII), grouped by
+//! suite, plus the registry used by the evaluation harnesses.
+//!
+//! Each analog reproduces the *memory behaviour* that determines its
+//! contention class on the simulated machine: allocation placement
+//! (master-thread first touch vs parallel first touch vs static data),
+//! traversal (partitioned, shared, random, bursty), footprint relative to
+//! the cache ladder, and arithmetic intensity. DESIGN.md documents the
+//! substitution per benchmark.
+
+pub mod common;
+pub mod lulesh;
+pub mod npb;
+pub mod parsec;
+pub mod rodinia;
+pub mod sequoia;
+
+use crate::spec::Workload;
+
+pub use lulesh::Lulesh;
+pub use npb::{Bt, Cg, Dc, Ep, Ft, Is, Lu, Mg, Sp, Ua};
+pub use parsec::{
+    Blackscholes, Bodytrack, Ferret, Fluidanimate, Freqmine, Raytrace, Streamcluster, Swaptions, X264,
+};
+pub use rodinia::Nw;
+pub use sequoia::{Amg2006, Irsmk};
+
+static SWAPTIONS: Swaptions = Swaptions;
+static BLACKSCHOLES: Blackscholes = Blackscholes;
+static BODYTRACK: Bodytrack = Bodytrack;
+static FREQMINE: Freqmine = Freqmine;
+static FERRET: Ferret = Ferret;
+static FLUIDANIMATE: Fluidanimate = Fluidanimate;
+static X264_W: X264 = X264;
+static STREAMCLUSTER: Streamcluster = Streamcluster;
+static RAYTRACE: Raytrace = Raytrace;
+static IRSMK: Irsmk = Irsmk;
+static AMG2006_W: Amg2006 = Amg2006;
+static NW: Nw = Nw;
+static BT: Bt = Bt;
+static CG: Cg = Cg;
+static DC: Dc = Dc;
+static EP: Ep = Ep;
+static FT: Ft = Ft;
+static IS: Is = Is;
+static LU: Lu = Lu;
+static MG: Mg = Mg;
+static UA: Ua = Ua;
+static SP: Sp = Sp;
+static LULESH_W: Lulesh = Lulesh;
+
+/// The 21 benchmarks of the paper's Table V, in its row order. With the
+/// paper's per-benchmark input sets this yields exactly 512 cases.
+pub fn table_v_benchmarks() -> Vec<&'static dyn Workload> {
+    vec![
+        &SWAPTIONS,
+        &BLACKSCHOLES,
+        &BODYTRACK,
+        &FREQMINE,
+        &FERRET,
+        &FLUIDANIMATE,
+        &X264_W,
+        &STREAMCLUSTER,
+        &IRSMK,
+        &AMG2006_W,
+        &NW,
+        &BT,
+        &CG,
+        &DC,
+        &EP,
+        &FT,
+        &IS,
+        &LU,
+        &MG,
+        &UA,
+        &SP,
+    ]
+}
+
+/// All 23 evaluated benchmarks (Table IV): the Table V set plus Raytrace
+/// and LULESH.
+pub fn all_benchmarks() -> Vec<&'static dyn Workload> {
+    let mut v = table_v_benchmarks();
+    v.push(&RAYTRACE);
+    v.push(&LULESH_W);
+    v
+}
+
+/// Look a benchmark up by its paper name (case-insensitive).
+pub fn by_name(name: &str) -> Option<&'static dyn Workload> {
+    all_benchmarks().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+/// The benchmarks the paper's Table IV classifies as `rmc` overall.
+pub const RMC_BENCHMARKS: [&str; 6] = ["SP", "Streamcluster", "NW", "AMG2006", "IRSmk", "LULESH"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::cases_for;
+
+    #[test]
+    fn table_v_has_512_cases() {
+        let total: usize = table_v_benchmarks().iter().map(|w| cases_for(&w.inputs()).len()).sum();
+        assert_eq!(total, 512, "the paper sweeps 512 cases");
+    }
+
+    #[test]
+    fn registry_names_unique_and_lookup_works() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 23, "the paper investigates 23 benchmarks");
+        let mut names: Vec<_> = all.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 23);
+        assert!(by_name("streamcluster").is_some());
+        assert!(by_name("IRSMK").is_some());
+        assert!(by_name("nothere").is_none());
+    }
+
+    #[test]
+    fn rmc_list_matches_table_iv() {
+        for name in RMC_BENCHMARKS {
+            assert!(by_name(name).is_some(), "{name} must be in the registry");
+        }
+        assert_eq!(RMC_BENCHMARKS.len(), 6, "six contended programs in Table IV");
+    }
+
+    #[test]
+    fn per_benchmark_case_counts_match_table_v() {
+        let expect = [
+            ("Swaptions", 32),
+            ("Blackscholes", 32),
+            ("Bodytrack", 16),
+            ("Freqmine", 32),
+            ("Ferret", 32),
+            ("Fluidanimate", 32),
+            ("X264", 32),
+            ("Streamcluster", 16),
+            ("IRSmk", 24),
+            ("AMG2006", 8),
+            ("NW", 24),
+            ("BT", 24),
+            ("CG", 24),
+            ("DC", 16),
+            ("EP", 24),
+            ("FT", 24),
+            ("IS", 24),
+            ("LU", 24),
+            ("MG", 24),
+            ("UA", 24),
+            ("SP", 24),
+        ];
+        for (name, n) in expect {
+            let w = by_name(name).unwrap();
+            assert_eq!(cases_for(&w.inputs()).len(), n, "{name}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! LLNL Sequoia analogs: IRSmk and AMG2006 — the paper's co-location case
+//! studies (§VIII.A–B).
+
+use crate::config::{Input, RunConfig, Variant};
+use crate::spec::{BuiltWorkload, Suite, Workload};
+use crate::suite::common::{partitioned_scan, Builder, ScanParams};
+use numasim::access::{AccessMix, AccessStream, SeqStream, ZipStream};
+use numasim::config::MachineConfig;
+use numasim::memmap::{ObjectHandle, PlacementPolicy};
+use numasim::topology::CoreId;
+
+/// The 29 problematic IRSmk arrays the diagnoser finds (§VIII.B): `b`,
+/// `k`, and 27 stencil-coefficient arrays of identical size and access
+/// pattern.
+pub const IRSMK_ARRAYS: [&str; 29] = [
+    "b", "k", "dbl", "dbc", "dbr", "dcl", "dcc", "dcr", "dfl", "dfc", "dfr", "cbl", "cbc", "cbr", "ccl", "ccc",
+    "ccr", "cfl", "cfc", "cfr", "ubl", "ubc", "ubr", "ucl", "ucc", "ucr", "ufl", "ufc", "ufr",
+];
+
+/// IRSmk: the implicit radiation solver's 27-point stencil kernel. All 29
+/// arrays are master-allocated; each thread updates its own row range but
+/// reads every coefficient array over that range. Co-locating the arrays
+/// with the row partition makes the whole kernel node-local (up to ~6×,
+/// Figure 6).
+pub struct Irsmk;
+
+/// Per-array bytes for IRSmk. The paper's medium/large are 64³ and 96³
+/// meshes; scaled to our machine they become sub-MiB to low-MiB arrays.
+fn irsmk_array_bytes(input: Input) -> u64 {
+    match input {
+        Input::Small => 128 << 10,
+        Input::Medium => 512 << 10,
+        _ => 1 << 20,
+    }
+}
+
+impl Workload for Irsmk {
+    fn name(&self) -> &'static str {
+        "IRSmk"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Sequoia
+    }
+    fn inputs(&self) -> Vec<Input> {
+        vec![Input::Small, Input::Medium, Input::Large]
+    }
+    fn supports(&self, v: Variant) -> bool {
+        !matches!(v, Variant::Replicate)
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        let mut b = Builder::new(mcfg, run);
+        let per = irsmk_array_bytes(run.input);
+        let policy = b.hot_policy(per);
+        let handles: Vec<_> = IRSMK_ARRAYS
+            .iter()
+            .enumerate()
+            .map(|(i, l)| b.alloc(l, 2000 + i as u32, per, policy.clone()))
+            .collect();
+        b.master_init("init", &handles);
+        let params = ScanParams { passes: 1, reps: 4, compute: 1.2, write_every: 29, mlp: Some(8.0) };
+        b.warmup_phase("warmup", partitioned_scan(&b, &handles, params));
+        let threads = partitioned_scan(&b, &handles, ScanParams { passes: 3, ..params });
+        b.phase("solve", threads);
+        b.finish()
+    }
+}
+
+/// The four hot AMG2006 arrays of Figure 4(a), in CF order.
+pub const AMG_HOT_ARRAYS: [&str; 4] = ["RAP_diag_j", "diag_j", "diag_data", "A_offd_j"];
+
+/// AMG2006: the algebraic multigrid solver, in its three phases.
+///
+/// * `init` — every thread builds its own first-touched work arrays
+///   (NUMA-friendly as written; *interleaving hurts this phase*, Fig. 5);
+/// * `setup` — the master thread constructs the coarse-grid products
+///   (`RAP_diag_j` & friends), first-touching them onto node 0;
+/// * `solver` — all threads sweep their segments of the hot arrays many
+///   times: the contended phase. Co-locating the four diagnosed arrays
+///   fixes it without the interleave penalty on init/setup.
+pub struct Amg2006;
+
+impl Workload for Amg2006 {
+    fn name(&self) -> &'static str {
+        "AMG2006"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Sequoia
+    }
+    fn inputs(&self) -> Vec<Input> {
+        vec![Input::Medium] // the paper evaluates one 30x30x30-per-task grid
+    }
+    fn supports(&self, v: Variant) -> bool {
+        !matches!(v, Variant::Replicate)
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        let mut b = Builder::new(mcfg, run);
+        // Hot coarse-grid arrays, produced by the master during setup.
+        let hot_sizes: [u64; 4] = [8 << 20, 3 << 20, 3 << 20, 2 << 20];
+        let hot: Vec<ObjectHandle> = AMG_HOT_ARRAYS
+            .iter()
+            .zip(hot_sizes)
+            .enumerate()
+            .map(|(i, (l, sz))| {
+                let policy = b.hot_policy(sz);
+                b.alloc(l, 3000 + i as u32 * 7, sz, policy)
+            })
+            .collect();
+        // The original fine-grid matrix the master reads while building the
+        // coarse grids: master-local scratch, *not* a diagnosed array.
+        let fine = b.alloc("A_diag_i", 3050, 3 << 19, PlacementPolicy::FirstTouch);
+        // Thread-local work arrays (fine under first touch as written).
+        let work = b.alloc("grid_work", 3100, (128 << 10) * run.threads as u64, PlacementPolicy::FirstTouch);
+
+        // Phase 1: init — parallel first touch of work + one sweep over it.
+        b.parallel_init("init_touch", &[work]);
+        let init_threads = b.threads_from(|b, t| {
+            let (wb, wl) = b.share(work, t);
+            Box::new(SeqStream::new(wb, wl, 1, AccessMix::write_every(3)).with_reps(4).with_compute(3.0))
+                as Box<dyn AccessStream>
+        });
+        b.phase("init", init_threads);
+
+        // Phase 2: setup — the master crunches the fine-grid matrix (its
+        // own node-0-local data: interleave-all wrecks this, surgical
+        // co-location of the four hot arrays leaves it alone) and
+        // first-writes the coarse-grid products.
+        let mut setup_streams: Vec<Box<dyn AccessStream>> =
+            vec![Box::new(SeqStream::new(fine.base, fine.size, 1, AccessMix::read_only()).with_reps(4).with_compute(2.0))];
+        let page = mcfg.mem.page_size;
+        for h in &hot {
+            setup_streams.push(Box::new(
+                SeqStream::new(h.base, h.size, 1, AccessMix::write_only()).with_stride(page).with_compute(2.0),
+            ));
+        }
+        let setup_threads =
+            vec![numasim::engine::ThreadSpec::new(0, CoreId(0), Box::new(ZipStream::new(setup_streams)))];
+        b.phase("setup", setup_threads);
+
+        // Phase 3: solver — partitioned sweeps over the hot arrays. The
+        // multigrid smoother keeps several independent loads in flight
+        // (high MLP), so even four threads per node draw enough remote
+        // bandwidth to contend — AMG is `rmc` in all eight of the paper's
+        // configurations.
+        let solver_threads = b.threads_from(|b, t| {
+            let streams: Vec<Box<dyn AccessStream>> = hot
+                .iter()
+                .map(|h| {
+                    let (hb, hl) = b.share(*h, t);
+                    let start = if hl > 4096 { (t as u64 * 4096) % hl } else { 0 };
+                    Box::new(
+                        SeqStream::new(hb, hl, 6, AccessMix::read_only())
+                            .with_reps(4)
+                            .with_compute(1.0)
+                            .with_start(start),
+                    ) as Box<dyn AccessStream>
+                })
+                .collect();
+            Box::new(numasim::access::WithMlp::new(ZipStream::new(streams), 8.0)) as Box<dyn AccessStream>
+        });
+        b.phase("solver", solver_threads);
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::actual_contention;
+    use crate::runner::run;
+
+    fn mcfg() -> MachineConfig {
+        MachineConfig::scaled()
+    }
+
+    #[test]
+    fn irsmk_large_contends_and_colocate_fixes_it() {
+        let rcfg = RunConfig::new(64, 4, Input::Large);
+        let gt = actual_contention(&Irsmk, &mcfg(), &rcfg);
+        assert!(gt.is_rmc, "speedup {}", gt.interleave_speedup);
+        let base = run(&Irsmk, &mcfg(), &rcfg, None);
+        let colo = run(&Irsmk, &mcfg(), &rcfg.with_variant(Variant::CoLocate), None);
+        let speedup = colo.speedup_over(&base);
+        assert!(speedup > 2.0, "co-locate should be a large win, got {speedup}");
+        // Co-location makes the solve node-local.
+        assert!(colo.total_counts().remote_dram * 5 < base.total_counts().remote_dram);
+    }
+
+    #[test]
+    fn irsmk_small_input_is_mild() {
+        let gt = actual_contention(&Irsmk, &mcfg(), &RunConfig::new(16, 4, Input::Small));
+        assert!(gt.interleave_speedup < 1.25, "speedup {}", gt.interleave_speedup);
+    }
+
+    #[test]
+    fn amg_has_three_phases() {
+        let out = run(&Amg2006, &mcfg(), &RunConfig::new(16, 4, Input::Medium), None);
+        let names: Vec<_> = out.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["init_touch", "init", "setup", "solver"]);
+    }
+
+    #[test]
+    fn amg_solver_contends_interleave_hurts_init() {
+        let rcfg = RunConfig::new(32, 4, Input::Medium);
+        let base = run(&Amg2006, &mcfg(), &rcfg, None);
+        let inter = run(&Amg2006, &mcfg(), &rcfg.with_variant(Variant::InterleaveAll), None);
+        let colo = run(&Amg2006, &mcfg(), &rcfg.with_variant(Variant::CoLocate), None);
+        // Interleave speeds the solver...
+        let s_inter = base.phase_cycles("solver") / inter.phase_cycles("solver");
+        assert!(s_inter > 1.2, "interleave solver speedup {s_inter}");
+        // ...but hurts the init phase (work arrays lose locality).
+        let s_init = base.phase_cycles("init") / inter.phase_cycles("init");
+        assert!(s_init < 0.95, "interleave must hurt init, got {s_init}");
+        // Co-locate matches the solver win without the init penalty.
+        let c_solver = base.phase_cycles("solver") / colo.phase_cycles("solver");
+        let c_init = base.phase_cycles("init") / colo.phase_cycles("init");
+        assert!(c_solver > 1.2, "co-locate solver speedup {c_solver}");
+        assert!(c_init > 0.97, "co-locate must not hurt init, got {c_init}");
+        // Overall, co-locate beats interleave (Figure 5's bottom line).
+        assert!(colo.cycles() < inter.cycles());
+    }
+
+    #[test]
+    fn amg_always_rmc_in_paper_shapes() {
+        // Table V: AMG2006 is contended in all 8 cases.
+        for (t, n) in [(16, 4), (32, 2)] {
+            let gt = actual_contention(&Amg2006, &mcfg(), &RunConfig::new(t, n, Input::Medium));
+            assert!(gt.is_rmc, "T{t}-N{n} speedup {}", gt.interleave_speedup);
+        }
+    }
+}

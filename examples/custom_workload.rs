@@ -1,0 +1,128 @@
+//! Bring-your-own-workload scenario: define a new program against the
+//! `Workload` trait, run it on the simulated machine, and let DR-BW judge
+//! and diagnose it — the path a user takes to study their *own*
+//! application's NUMA behaviour.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! The example implements a tiny "graph analytics" kernel: a frontier
+//! array partitioned across threads (fine) and one master-allocated edge
+//! list every thread gathers from at random (the bug). DR-BW flags the
+//! channels into node 0 and ranks `edges` first, after which re-placing
+//! the edge list interleaved fixes the slowdown.
+
+use drbw::core::classifier::ContentionClassifier;
+use drbw::core::{diagnose, profile, training};
+use drbw::prelude::*;
+use mldt::tree::TrainConfig;
+use numasim::access::{AccessMix, AccessStream, RandomStream, SeqStream, ZipStream};
+use numasim::memmap::{MemoryMap, PlacementPolicy};
+use pebs::alloc::AllocationTracker;
+use pebs::numa_api::tracked_alloc_with;
+use workloads::runner::run;
+use workloads::spec::{BuiltWorkload, Phase, Suite};
+
+/// A deliberately NUMA-oblivious graph kernel.
+struct GraphKernel;
+
+impl Workload for GraphKernel {
+    fn name(&self) -> &'static str {
+        "graph-kernel"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        vec![Input::Large]
+    }
+    fn build(&self, mcfg: &MachineConfig, rcfg: &RunConfig) -> BuiltWorkload {
+        let mut mm = MemoryMap::new(mcfg);
+        let mut tracker = AllocationTracker::new();
+        // The bug: the edge list is allocated (and first-touched) by the
+        // master thread, so all of it lands on node 0.
+        let edges = tracked_alloc_with(&mut mm, &mut tracker, "edges", 71, 12 << 20, PlacementPolicy::FirstTouch);
+        let frontier =
+            tracked_alloc_with(&mut mm, &mut tracker, "frontier", 85, 2 << 20, PlacementPolicy::FirstTouch);
+
+        // Master loads the graph: one touch per page pins the pages.
+        let page = mcfg.mem.page_size;
+        let load = SeqStream::new(edges.handle.base, edges.handle.size, 1, AccessMix::write_only())
+            .with_stride(page)
+            .with_compute(1.0);
+        let load_phase =
+            Phase::new("load_graph", vec![numasim::engine::ThreadSpec::new(0, numasim::topology::CoreId(0), Box::new(load))]);
+
+        // Traversal: threads sweep their own frontier slice and gather
+        // edges at random — from everyone, into node 0.
+        let binding = mcfg.topology.bind_threads(rcfg.threads, rcfg.nodes);
+        let threads = binding
+            .iter()
+            .enumerate()
+            .map(|(t, core)| {
+                let share = frontier.handle.size / rcfg.threads as u64;
+                let fbase = frontier.handle.base + t as u64 * share;
+                let local = SeqStream::new(fbase, share, 6, AccessMix::write_every(4)).with_reps(4).with_compute(3.0);
+                let gather = RandomStream::new(
+                    edges.handle.base,
+                    edges.handle.size,
+                    60_000,
+                    rcfg.thread_seed(t),
+                    AccessMix::read_only(),
+                )
+                .with_reps(2)
+                .with_compute(2.0);
+                numasim::engine::ThreadSpec::new(
+                    t as u32,
+                    *core,
+                    Box::new(ZipStream::new(vec![Box::new(local) as Box<dyn AccessStream>, Box::new(gather)])),
+                )
+            })
+            .collect();
+
+        BuiltWorkload { mm, tracker, phases: vec![load_phase, Phase::new("traverse", threads)] }
+    }
+}
+
+fn main() {
+    let machine = MachineConfig::scaled();
+    println!("training classifier (quick subset)...");
+    let data = training::quick_training_set(&machine);
+    let classifier = ContentionClassifier::train(&data, TrainConfig::default());
+
+    let rcfg = RunConfig::new(32, 4, Input::Large);
+    println!("profiling the custom graph kernel at {}...", rcfg.shape_label());
+    let p = profile(&GraphKernel, &machine, &rcfg);
+    let detection = classifier.classify_case(&p, 4);
+    println!("verdict: {}", detection.mode().name());
+    let diagnosis = diagnose(&p, &detection.contended_channels);
+    for o in diagnosis.overall.iter().take(4) {
+        println!("  {:<10} CF {:>6.2}%", o.label, o.cf * 100.0);
+    }
+
+    // Fix what DR-BW blames: interleave the edge list only.
+    println!("\nre-placing `edges` interleaved (the fix DR-BW suggests)...");
+    let base = run(&GraphKernel, &machine, &rcfg, None);
+    // Rebuild with the fix applied by hand: same kernel, edges interleaved.
+    struct Fixed;
+    impl Workload for Fixed {
+        fn name(&self) -> &'static str {
+            "graph-kernel-fixed"
+        }
+        fn suite(&self) -> Suite {
+            Suite::Micro
+        }
+        fn inputs(&self) -> Vec<Input> {
+            vec![Input::Large]
+        }
+        fn build(&self, mcfg: &MachineConfig, rcfg: &RunConfig) -> BuiltWorkload {
+            let mut built = GraphKernel.build(mcfg, rcfg);
+            let edges = built.mm.objects().find(|(_, o)| o.label == "edges").map(|(id, _)| id).unwrap();
+            built.mm.set_policy(edges, PlacementPolicy::interleave_all(mcfg.topology.num_nodes()));
+            built
+        }
+    }
+    let fixed = run(&Fixed, &machine, &rcfg, None);
+    println!("speedup from the fix: {:.2}x", fixed.speedup_over(&base));
+}

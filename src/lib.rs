@@ -1,0 +1,58 @@
+//! # drbw — DR-BW: Identifying Bandwidth Contention in NUMA Architectures
+//! with Supervised Learning
+//!
+//! A full Rust reproduction of the IPDPS 2017 paper by Xu, Wen, Gimenez,
+//! Gamblin, and Liu. This facade crate re-exports the workspace:
+//!
+//! * [`numasim`] — the simulated 4-socket NUMA machine (topology, caches,
+//!   page placement, bandwidth contention, execution engine);
+//! * [`pebs`] — PEBS-style address sampling and malloc interception;
+//! * [`mldt`] — decision trees, cross-validation, confusion matrices;
+//! * [`core`] — DR-BW itself: profiler, channel association, Table I
+//!   features, the contention classifier, and the CF diagnoser;
+//! * [`workloads`] — the training mini-programs and analogs of the 23
+//!   evaluated benchmarks, with the co-locate / interleave / replicate
+//!   optimizations.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use drbw::prelude::*;
+//!
+//! let machine = MachineConfig::scaled();
+//! // Train the classifier on the §V mini-program grid (192 runs).
+//! let tool = DrBw::train(&machine);
+//! // Analyze a benchmark case end to end.
+//! let workload = drbw::workloads::suite::by_name("Streamcluster").unwrap();
+//! let analysis = tool.analyze(workload, &machine, &RunConfig::new(32, 4, Input::Native));
+//! println!("{}", drbw::core::report::render("streamcluster", &analysis.profile,
+//!     &analysis.detection, &analysis.diagnosis));
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the binaries regenerating every table and figure of the paper.
+
+pub use drbw_core as core;
+pub use mldt;
+pub use numasim;
+pub use pebs;
+pub use workloads;
+
+/// The most common imports for using DR-BW end to end.
+pub mod prelude {
+    pub use drbw_core::{diagnose, profile, Analysis, CaseResult, ContentionClassifier, Diagnosis, DrBw, Mode, Profile};
+    pub use numasim::config::MachineConfig;
+    pub use workloads::config::{Input, RunConfig, Variant};
+    pub use workloads::spec::Workload;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_line_up() {
+        let cfg = crate::prelude::MachineConfig::scaled();
+        assert_eq!(cfg.topology.num_nodes(), 4);
+        assert!(crate::workloads::suite::by_name("IRSmk").is_some());
+        assert_eq!(crate::core::features::NUM_SELECTED, 13);
+    }
+}

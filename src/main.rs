@@ -1,0 +1,137 @@
+//! `drbw` — the command-line front end of the DR-BW reproduction.
+//!
+//! ```text
+//! drbw train [--quick] [--out PATH]      train the classifier, save the model
+//! drbw analyze BENCH [-t T] [-n N] [-i INPUT] [--model PATH]
+//!                                        detect + diagnose one case
+//! drbw list                              list the available benchmarks
+//! drbw tree [--model PATH]               print the learned decision tree
+//! drbw help                              this text
+//! ```
+//!
+//! The model file defaults to `results/drbw.model`; `analyze` trains a
+//! quick model on the fly when none exists.
+
+use drbw::core::classifier::ContentionClassifier;
+use drbw::core::{diagnose, report, training};
+use drbw::prelude::*;
+use mldt::tree::TrainConfig;
+use std::process::ExitCode;
+
+const DEFAULT_MODEL: &str = "results/drbw.model";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  drbw train [--quick] [--out PATH]\n  drbw analyze BENCH [-t THREADS] [-n NODES] [-i small|medium|large|native] [--model PATH]\n  drbw list\n  drbw tree [--model PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_or_train(mcfg: &MachineConfig, path: &str) -> ContentionClassifier {
+    if let Ok(text) = std::fs::read_to_string(path) {
+        match ContentionClassifier::from_model_string(&text) {
+            Ok(c) => {
+                eprintln!("loaded model from {path}");
+                return c;
+            }
+            Err(e) => eprintln!("ignoring unreadable model {path}: {e}"),
+        }
+    }
+    eprintln!("no model at {path}; training a quick one (use `drbw train` for the full grid)");
+    let data = training::quick_training_set(mcfg);
+    ContentionClassifier::train(&data, TrainConfig::default())
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let mcfg = MachineConfig::scaled();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = flag_value(args, "--out").unwrap_or_else(|| DEFAULT_MODEL.into());
+    let specs = if quick { training::quick_training_specs() } else { training::training_specs() };
+    eprintln!("running {} training simulations...", specs.len());
+    let data = training::collect_training_set(&mcfg, &specs);
+    let clf = ContentionClassifier::train(&data, TrainConfig::default());
+    println!("{}", clf.render_tree());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out, clf.to_model_string()) {
+        Ok(()) => {
+            println!("model written to {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let Some(name) = args.first().filter(|a| !a.starts_with('-')) else {
+        return usage();
+    };
+    let Some(workload) = drbw::workloads::suite::by_name(name) else {
+        eprintln!("unknown benchmark {name:?}; `drbw list` shows the options");
+        return ExitCode::FAILURE;
+    };
+    let threads = flag_value(args, "-t").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let nodes = flag_value(args, "-n").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let input = match flag_value(args, "-i").as_deref() {
+        Some("small") => Input::Small,
+        Some("medium") => Input::Medium,
+        Some("large") => Input::Large,
+        Some("native") => Input::Native,
+        None => *workload.inputs().last().unwrap(),
+        Some(other) => {
+            eprintln!("unknown input {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !workload.inputs().contains(&input) {
+        eprintln!("{name} defines inputs {:?}", workload.inputs().iter().map(|i| i.name()).collect::<Vec<_>>());
+        return ExitCode::FAILURE;
+    }
+    let mcfg = MachineConfig::scaled();
+    let model_path = flag_value(args, "--model").unwrap_or_else(|| DEFAULT_MODEL.into());
+    let clf = load_or_train(&mcfg, &model_path);
+
+    let rcfg = RunConfig::new(threads, nodes, input);
+    eprintln!("profiling {name} at {} ({})...", rcfg.shape_label(), input.name());
+    let p = drbw::core::profile(workload, &mcfg, &rcfg);
+    let det = clf.classify_case(&p, mcfg.topology.num_nodes());
+    let diag = diagnose(&p, &det.contended_channels);
+    print!("{}", report::render(&format!("{name} {}", rcfg.shape_label()), &p, &det, &diag));
+    ExitCode::SUCCESS
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<16} {:<9} inputs", "benchmark", "suite");
+    for w in drbw::workloads::suite::all_benchmarks() {
+        let inputs: Vec<&str> = w.inputs().iter().map(|i| i.name()).collect();
+        println!("{:<16} {:<9?} {}", w.name(), w.suite(), inputs.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_tree(args: &[String]) -> ExitCode {
+    let mcfg = MachineConfig::scaled();
+    let model_path = flag_value(args, "--model").unwrap_or_else(|| DEFAULT_MODEL.into());
+    let clf = load_or_train(&mcfg, &model_path);
+    print!("{}", clf.render_tree());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("tree") => cmd_tree(&args[1..]),
+        _ => usage(),
+    }
+}

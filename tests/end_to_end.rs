@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the full DR-BW pipeline
+//! (simulate → sample → associate → classify → diagnose → optimize)
+//! exercised end to end on the public API.
+
+use drbw::core::classifier::ContentionClassifier;
+use drbw::core::{diagnose, profile, training};
+use drbw::prelude::*;
+use mldt::tree::TrainConfig;
+use workloads::runner::run;
+use workloads::suite::by_name;
+
+fn machine() -> MachineConfig {
+    MachineConfig::scaled()
+}
+
+fn quick_classifier(mcfg: &MachineConfig) -> ContentionClassifier {
+    let data = training::quick_training_set(mcfg);
+    ContentionClassifier::train(&data, TrainConfig::default())
+}
+
+#[test]
+fn contended_case_detected_diagnosed_and_fixed() {
+    let mcfg = machine();
+    let clf = quick_classifier(&mcfg);
+    let w = by_name("Streamcluster").unwrap();
+    let rcfg = RunConfig::new(32, 4, Input::Native);
+
+    // Detect.
+    let p = profile(w, &mcfg, &rcfg);
+    let det = clf.classify_case(&p, 4);
+    assert_eq!(det.mode(), Mode::Rmc, "streamcluster native at T32-N4 must be flagged");
+    assert!(!det.contended_channels.is_empty());
+    // All contended channels point into node 0, where block lives.
+    for ch in &det.contended_channels {
+        assert_eq!(ch.dst.0, 0, "contention must target the master node, got {ch}");
+    }
+
+    // Diagnose: block is the top object, block + point.p dominate.
+    let diag = diagnose(&p, &det.contended_channels);
+    assert_eq!(diag.top_object().unwrap().label, "block");
+    assert!(diag.cf_of("block") + diag.cf_of("point.p") > 0.9);
+    let total: f64 = diag.overall.iter().map(|o| o.cf).sum();
+    assert!((total - 1.0).abs() < 1e-9, "CF must sum to 1");
+
+    // Fix: replication of the diagnosed object speeds the program up.
+    let base = run(w, &mcfg, &rcfg, None);
+    let repl = run(w, &mcfg, &rcfg.with_variant(Variant::Replicate), None);
+    assert!(repl.speedup_over(&base) > 1.2, "got {}", repl.speedup_over(&base));
+}
+
+#[test]
+fn clean_case_stays_clean_end_to_end() {
+    let mcfg = machine();
+    let clf = quick_classifier(&mcfg);
+    let w = by_name("Swaptions").unwrap();
+    let p = profile(w, &mcfg, &RunConfig::new(64, 4, Input::Native));
+    let det = clf.classify_case(&p, 4);
+    assert_eq!(det.mode(), Mode::Good);
+    let diag = diagnose(&p, &det.contended_channels);
+    assert!(diag.overall.is_empty(), "no contended channels, no diagnosis");
+}
+
+#[test]
+fn detection_tracks_ground_truth_on_a_mixed_set() {
+    // A miniature Table V: a handful of cases with known ground truth.
+    let mcfg = machine();
+    let clf = quick_classifier(&mcfg);
+    let cases = [
+        ("Streamcluster", 64, 4, Input::Native, true),
+        ("IRSmk", 64, 4, Input::Large, true),
+        ("AMG2006", 32, 4, Input::Medium, true),
+        ("Blackscholes", 64, 4, Input::Native, false),
+        ("EP", 32, 4, Input::Large, false),
+        ("MG", 64, 4, Input::Large, false),
+    ];
+    for (name, t, n, input, expect_rmc) in cases {
+        let w = by_name(name).unwrap();
+        let p = profile(w, &mcfg, &RunConfig::new(t, n, input));
+        let got = clf.classify_case(&p, 4).mode() == Mode::Rmc;
+        assert_eq!(got, expect_rmc, "{name} T{t}-N{n}");
+    }
+}
+
+#[test]
+fn profile_is_deterministic_across_calls() {
+    let mcfg = machine();
+    let w = by_name("NW").unwrap();
+    let rcfg = RunConfig::new(16, 4, Input::Medium);
+    let p1 = profile(w, &mcfg, &rcfg);
+    let p2 = profile(w, &mcfg, &rcfg);
+    assert_eq!(p1.samples.len(), p2.samples.len());
+    assert_eq!(p1.duration_cycles(), p2.duration_cycles());
+    assert_eq!(p1.samples.first().map(|s| s.addr), p2.samples.first().map(|s| s.addr));
+}
+
+#[test]
+fn drbw_facade_full_pipeline() {
+    // The DrBw convenience type, with a quick classifier injected.
+    let mcfg = machine();
+    let tool = DrBw::new(quick_classifier(&mcfg));
+    let w = by_name("AMG2006").unwrap();
+    let analysis = tool.analyze(w, &mcfg, &RunConfig::new(32, 4, Input::Medium));
+    assert_eq!(analysis.detection.mode(), Mode::Rmc);
+    assert_eq!(analysis.diagnosis.top_object().unwrap().label, "RAP_diag_j");
+    let rendered = drbw::core::report::render("amg", &analysis.profile, &analysis.detection, &analysis.diagnosis);
+    assert!(rendered.contains("RAP_diag_j"));
+    assert!(rendered.contains("verdict: rmc"));
+}
+
+#[test]
+fn interleave_ground_truth_rule_is_usable_from_outside() {
+    let mcfg = machine();
+    let gt = workloads::ground_truth::actual_contention(
+        by_name("SP").unwrap(),
+        &mcfg,
+        &RunConfig::new(64, 4, Input::Large),
+    );
+    assert!(gt.is_rmc);
+    let gt2 = workloads::ground_truth::actual_contention(
+        by_name("LU").unwrap(),
+        &mcfg,
+        &RunConfig::new(64, 4, Input::Large),
+    );
+    assert!(!gt2.is_rmc);
+}
