@@ -49,8 +49,7 @@ fn multithreaded_contended(c: &mut Criterion) {
                 .enumerate()
                 .map(|(t, core)| {
                     let share = a.size / 32;
-                    let s = SeqStream::new(a.base + t as u64 * share, share, 2, AccessMix::read_only())
-                        .with_reps(4);
+                    let s = SeqStream::new(a.base + t as u64 * share, share, 2, AccessMix::read_only()).with_reps(4);
                     ThreadSpec::new(t as u32, *core, Box::new(s))
                 })
                 .collect();

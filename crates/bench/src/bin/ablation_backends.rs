@@ -28,7 +28,11 @@ use workloads::runner::{run, run_observed};
 use workloads::spec::Workload;
 use workloads::suite::by_name;
 
-fn profile_from(phases: Vec<workloads::runner::PhaseOutcome>, tracker: pebs::AllocationTracker, samples: Vec<pebs::MemSample>) -> Profile {
+fn profile_from(
+    phases: Vec<workloads::runner::PhaseOutcome>,
+    tracker: pebs::AllocationTracker,
+    samples: Vec<pebs::MemSample>,
+) -> Profile {
     let observed = phases.iter().filter(|p| !p.warmup).map(|p| p.stats.counts.total()).sum();
     Profile { samples, tracker, phases, observed_accesses: observed, wall: std::time::Duration::ZERO }
 }

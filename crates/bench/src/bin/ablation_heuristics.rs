@@ -13,11 +13,13 @@ use drbw_bench::sweep::{self, CaseRecord};
 use drbw_bench::tables;
 use numasim::config::MachineConfig;
 
+type RecordPredicate = fn(&CaseRecord) -> bool;
+
 fn main() {
     let mcfg = MachineConfig::scaled();
     let records = sweep::cached_sweep(&mcfg);
 
-    let detectors: [(&str, fn(&CaseRecord) -> bool); 4] = [
+    let detectors: [(&str, RecordPredicate); 4] = [
         ("DR-BW (decision tree)", |r| r.drbw_rmc),
         ("latency-threshold", |r| r.lat_rmc),
         ("remote-count", |r| r.cnt_rmc),

@@ -55,9 +55,8 @@ fn main() {
     );
 
     // Degrade N1->N0 to 40% of nominal (a weak or shared link).
-    let weak = numasim::topology::Topology::new(4, 8, 2)
-        .channel_index(ChannelId { src: NodeId(1), dst: NodeId(0) })
-        .unwrap();
+    let weak =
+        numasim::topology::Topology::new(4, 8, 2).channel_index(ChannelId { src: NodeId(1), dst: NodeId(0) }).unwrap();
     mcfg.interconnect.overrides = vec![(weak, mcfg.interconnect.channel_bandwidth * 0.4)];
     let p = profile_on(&mcfg, &rcfg);
     let asym_verdicts = verdicts(&clf, &p);
@@ -74,6 +73,10 @@ fn main() {
         println!("workload's traffic into node 0 is symmetric across all three source nodes.");
         println!("A whole-program heuristic sees identical aggregate statistics in both runs.");
     } else {
-        println!("(observed: baseline {:?}, asymmetric {:?} — see analysis above)", base_verdicts.len(), asym_verdicts.len());
+        println!(
+            "(observed: baseline {:?}, asymmetric {:?} — see analysis above)",
+            base_verdicts.len(),
+            asym_verdicts.len()
+        );
     }
 }

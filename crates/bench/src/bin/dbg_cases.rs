@@ -14,7 +14,10 @@ fn main() {
     let mcfg = MachineConfig::scaled();
     let clf = train_classifier(&mcfg);
     let w = by_name(&name).expect("unknown benchmark");
-    println!("{:<22} {:>8} {:>8} {:>9} {:>9} {:>8} {:>6} {:>6}", "case", "gt_speed", "remote‰", "rem_lat", "avg_lat", "gt>50", "GT", "DRBW");
+    println!(
+        "{:<22} {:>8} {:>8} {:>9} {:>9} {:>8} {:>6} {:>6}",
+        "case", "gt_speed", "remote‰", "rem_lat", "avg_lat", "gt>50", "GT", "DRBW"
+    );
     for rcfg in cases_for(&w.inputs()) {
         let p = profile(w, &mcfg, &rcfg);
         let base = run(w, &mcfg, &rcfg, None).cycles();

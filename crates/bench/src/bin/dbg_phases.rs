@@ -35,17 +35,40 @@ fn main() {
             p.stats.cycles / ip.stats.cycles,
         );
     }
-    println!("  measured: base {:.0} inter {:.0} speedup {:.3}", base.cycles(), inter.cycles(), inter.speedup_over(&base));
+    println!(
+        "  measured: base {:.0} inter {:.0} speedup {:.3}",
+        base.cycles(),
+        inter.cycles(),
+        inter.speedup_over(&base)
+    );
     let rho = |o: &workloads::runner::RunOutcome| {
         o.phases.iter().flat_map(|p| p.stats.channel_max_rho.iter().cloned()).fold(0.0, f64::max)
     };
     println!("  max channel rho: base {:.2} inter {:.2}", rho(&base), rho(&inter));
     let solve_b = base.phases.last().unwrap();
     let solve_i = inter.phases.last().unwrap();
-    println!("  solve channel GB: base {:?}", solve_b.stats.channel_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
-    println!("  solve channel GB: intr {:?}", solve_i.stats.channel_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
-    println!("  solve mc MB:      base {:?}", solve_b.stats.mc_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
-    println!("  solve mc MB:      intr {:?}", solve_i.stats.mc_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>());
-    println!("  solve ch maxrho:  base {:?}", solve_b.stats.channel_max_rho.iter().map(|b| (b * 100.0).round()).collect::<Vec<_>>());
-    println!("  solve ch maxrho:  intr {:?}", solve_i.stats.channel_max_rho.iter().map(|b| (b * 100.0).round()).collect::<Vec<_>>());
+    println!(
+        "  solve channel GB: base {:?}",
+        solve_b.stats.channel_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  solve channel GB: intr {:?}",
+        solve_i.stats.channel_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  solve mc MB:      base {:?}",
+        solve_b.stats.mc_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  solve mc MB:      intr {:?}",
+        solve_i.stats.mc_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  solve ch maxrho:  base {:?}",
+        solve_b.stats.channel_max_rho.iter().map(|b| (b * 100.0).round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  solve ch maxrho:  intr {:?}",
+        solve_i.stats.channel_max_rho.iter().map(|b| (b * 100.0).round()).collect::<Vec<_>>()
+    );
 }

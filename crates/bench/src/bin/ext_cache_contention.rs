@@ -41,7 +41,7 @@ fn main() {
             println!(
                 "{:<22} {:>7}KiB {:>9} {:>11} {:>13}",
                 format!("{}t x {}", threads, input.name()),
-                per * threads as u64 >> 10,
+                (per * threads as u64) >> 10,
                 if gt { "thrash" } else { "good" },
                 if cd { "thrash" } else { "good" },
                 if bd { "rmc" } else { "good" },

@@ -21,13 +21,7 @@ fn show(name: &str, rcfg: &RunConfig, mcfg: &MachineConfig, clf: &drbw_core::Con
     let p = profile(w, mcfg, rcfg);
     let det = clf.classify_case(&p, mcfg.topology.num_nodes());
     let diag = diagnose(&p, &det.contended_channels);
-    println!(
-        "--- {} ({} {}, verdict {}) ---",
-        name,
-        rcfg.shape_label(),
-        rcfg.input.name(),
-        det.mode().name()
-    );
+    println!("--- {} ({} {}, verdict {}) ---", name, rcfg.shape_label(), rcfg.input.name(), det.mode().name());
     if diag.overall.is_empty() {
         println!("  (no contended channels)");
         return;

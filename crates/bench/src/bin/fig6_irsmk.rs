@@ -15,7 +15,10 @@ fn main() {
     let mcfg = MachineConfig::scaled();
     println!("=== Figure 6: IRSmk speedups (interleave / co-locate) ===");
     println!("{:<10} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}", "", "small", "", "medium", "", "large", "");
-    println!("{:<10} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}", "config", "intl", "colo", "intl", "colo", "intl", "colo");
+    println!(
+        "{:<10} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}",
+        "config", "intl", "colo", "intl", "colo", "intl", "colo"
+    );
     for (t, n) in paper_shapes() {
         let mut cells = Vec::new();
         for input in [Input::Small, Input::Medium, Input::Large] {

@@ -19,11 +19,8 @@ fn run_candidates(mcfg: &MachineConfig, spec: &TrainingSpec) -> Vec<f64> {
     let p = drbw_core::profile(spec.program.workload(), mcfg, &spec.rcfg);
     let batches = ChannelBatches::split(&p.samples, mcfg.topology.num_nodes());
     let ctx = FeatureCtx { duration_cycles: p.duration_cycles() };
-    let hottest = batches
-        .iter()
-        .max_by_key(|(ch, _)| batches.remote_samples(*ch).count())
-        .map(|(_, b)| b)
-        .unwrap_or(&[]);
+    let hottest =
+        batches.iter().max_by_key(|(ch, _)| batches.remote_samples(*ch).count()).map(|(_, b)| b).unwrap_or(&[]);
     candidate_features(hottest, &ctx)
 }
 
@@ -56,7 +53,7 @@ fn main() {
     const EFFECT_THRESHOLD: f64 = 0.8; // "large" on Cohen's scale
 
     println!("=== §V.B feature selection over the candidate list ===");
-    println!("{:<28} {:>8} {:>8} {:>8} {:>6} {}", "candidate", "sumv |d|", "dotv |d|", "countv|d|", "votes", "selected?");
+    println!("{:<28} {:>8} {:>8} {:>8} {:>6} selected?", "candidate", "sumv |d|", "dotv |d|", "countv|d|", "votes");
     let mut selected = Vec::new();
     for f in 0..names.len() {
         let mut votes = 0;

@@ -65,13 +65,7 @@ fn main() {
     println!("\n=== Restricted tree: only the paper's two features (#6, #7) ===");
     let restricted = data.select_features(&[drbw_core::features::REMOTE_COUNT, drbw_core::features::REMOTE_LATENCY]);
     let cv2 = stratified_kfold(&restricted, 10, 0xC4055, cfg);
-    println!(
-        "10-fold CV with only num_remote_dram_samples + avg_remote_dram_latency: {:.1}%",
-        cv2.accuracy() * 100.0
-    );
+    println!("10-fold CV with only num_remote_dram_samples + avg_remote_dram_latency: {:.1}%", cv2.accuracy() * 100.0);
     let tree2 = mldt::tree::DecisionTree::train(&restricted, cfg);
-    print!(
-        "{}",
-        mldt::export::to_text(&tree2, restricted.feature_names(), &["good".into(), "rmc".into()])
-    );
+    print!("{}", mldt::export::to_text(&tree2, restricted.feature_names(), &["good".into(), "rmc".into()]));
 }

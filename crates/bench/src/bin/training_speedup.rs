@@ -1,0 +1,38 @@
+//! Measure the parallel training-set speedup (the batch engine's headline
+//! number): the full 192-run Table II grid, serial vs. parallel, plus a
+//! row-by-row equality check of the two datasets.
+//!
+//! ```text
+//! cargo run --release -p drbw-bench --bin training_speedup [threads]
+//! ```
+
+use drbw_core::training;
+use numasim::config::MachineConfig;
+use std::time::Instant;
+
+fn main() {
+    let threads: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or_else(rayon::current_num_threads);
+    let mcfg = MachineConfig::scaled();
+    let specs = training::training_specs();
+    eprintln!("grid: {} runs, {threads} worker threads", specs.len());
+
+    let t0 = Instant::now();
+    let serial = training::collect_training_set_serial(&mcfg, &specs);
+    let serial_s = t0.elapsed().as_secs_f64();
+    eprintln!("serial:   {serial_s:>7.2}s");
+
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
+    let t0 = Instant::now();
+    let parallel = pool.install(|| training::collect_training_set(&mcfg, &specs));
+    let parallel_s = t0.elapsed().as_secs_f64();
+    eprintln!("parallel: {parallel_s:>7.2}s");
+
+    assert_eq!(serial.len(), parallel.len());
+    for i in 0..serial.len() {
+        assert_eq!(serial.label(i), parallel.label(i), "label of instance {i}");
+        assert_eq!(serial.row(i), parallel.row(i), "features of instance {i}");
+    }
+    println!("datasets bit-identical: yes ({} instances)", serial.len());
+    println!("speedup: {:.2}x on {threads} threads", serial_s / parallel_s);
+}

@@ -2,17 +2,15 @@
 
 use drbw_core::classifier::ContentionClassifier;
 use drbw_core::heuristics::{AllSocketsTouch, Detector, LatencyThreshold, RemoteCount};
-use drbw_core::profiler::profile;
-use drbw_core::training;
-use drbw_core::Mode;
-use mldt::tree::TrainConfig;
+use drbw_core::{Case, DrBw, Mode};
 use numasim::config::MachineConfig;
+use rayon::prelude::*;
+use std::io::Write as _;
+use std::path::Path;
 use workloads::config::{cases_for, RunConfig, Variant};
 use workloads::ground_truth::GT_SPEEDUP_THRESHOLD;
 use workloads::runner::run;
 use workloads::spec::Workload;
-use std::io::Write as _;
-use std::path::Path;
 
 /// Everything measured for one case of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,58 +78,79 @@ impl CaseRecord {
     }
 }
 
-/// Train DR-BW's classifier on the full Table II grid.
+/// Where the sweep caches its trained model (shared with the `drbw` CLI).
+pub const MODEL_CACHE_PATH: &str = "results/drbw.model";
+
+/// Build the DR-BW tool the sweep runs on: load the cached model from
+/// [`MODEL_CACHE_PATH`] when present, otherwise train the full Table II
+/// grid in parallel and cache it. A malformed cache falls back to an
+/// uncached retrain with a warning.
+pub fn train_tool(mcfg: &MachineConfig) -> DrBw {
+    match DrBw::builder().machine(mcfg.clone()).model_cache(MODEL_CACHE_PATH).build() {
+        Ok(tool) => tool,
+        Err(e) => {
+            eprintln!("warning: model cache unusable ({e}); retraining without it");
+            DrBw::builder().machine(mcfg.clone()).build().expect("the full Table II grid always trains")
+        }
+    }
+}
+
+/// Train DR-BW's classifier on the full Table II grid (kept for the
+/// figure/ablation binaries; [`train_tool`] returns the whole engine).
 pub fn train_classifier(mcfg: &MachineConfig) -> ContentionClassifier {
-    let data = training::full_training_set(mcfg);
-    ContentionClassifier::train(&data, TrainConfig::default())
+    train_tool(mcfg).classifier().clone()
 }
 
 /// Evaluate every case of one benchmark: profiled baseline (detection +
-/// heuristics) plus the interleave ground-truth probe.
-pub fn evaluate_benchmark(
-    clf: &ContentionClassifier,
-    w: &dyn Workload,
-    mcfg: &MachineConfig,
-) -> Vec<CaseRecord> {
+/// heuristics) plus the interleave ground-truth probe. Detection runs
+/// through the engine's parallel [`DrBw::analyze_batch`]; the unprofiled
+/// ground-truth probes are parallelized alongside. Both halves are
+/// deterministic per case, so the records match a serial evaluation.
+pub fn evaluate_benchmark(tool: &DrBw, w: &dyn Workload) -> Vec<CaseRecord> {
+    let mcfg = tool.machine();
     let nodes_total = mcfg.topology.num_nodes();
     let lat = LatencyThreshold::default();
     let cnt = RemoteCount::default();
     let ast = AllSocketsTouch::default();
-    cases_for(&w.inputs())
-        .into_iter()
-        .map(|rcfg: RunConfig| {
-            let p = profile(w, mcfg, &rcfg);
-            let detection = clf.classify_case(&p, nodes_total);
-            // Ground truth compares *unprofiled* executions (profiling
-            // perturbs the baseline by its per-sample cost).
-            let base = run(w, mcfg, &rcfg, None);
-            let base_cycles: f64 = base.cycles();
+    let rcfgs: Vec<RunConfig> = cases_for(&w.inputs());
+    let cases: Vec<Case<'_>> = rcfgs.iter().map(|rcfg| Case::new(w, rcfg)).collect();
+    let analyses = tool.analyze_batch(&cases);
+    // Ground truth compares *unprofiled* executions (profiling perturbs
+    // the baseline by its per-sample cost).
+    let speedups: Vec<f64> = rcfgs
+        .par_iter()
+        .map(|rcfg| {
+            let base = run(w, mcfg, rcfg, None);
             let inter = run(w, mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
-            let interleave_speedup = base_cycles / inter.cycles();
-            CaseRecord {
-                benchmark: w.name().to_string(),
-                input: rcfg.input.name().to_string(),
-                threads: rcfg.threads,
-                nodes: rcfg.nodes,
-                interleave_speedup,
-                actual_rmc: interleave_speedup > GT_SPEEDUP_THRESHOLD,
-                drbw_rmc: detection.mode() == Mode::Rmc,
-                contended_channels: detection.contended_channels.len(),
-                lat_rmc: lat.detect(&p, nodes_total),
-                cnt_rmc: cnt.detect(&p, nodes_total),
-                ast_rmc: ast.detect(&p, nodes_total),
-            }
+            base.cycles() / inter.cycles()
+        })
+        .collect();
+    rcfgs
+        .iter()
+        .zip(analyses.iter().zip(&speedups))
+        .map(|(rcfg, (analysis, &interleave_speedup))| CaseRecord {
+            benchmark: w.name().to_string(),
+            input: rcfg.input.name().to_string(),
+            threads: rcfg.threads,
+            nodes: rcfg.nodes,
+            interleave_speedup,
+            actual_rmc: interleave_speedup > GT_SPEEDUP_THRESHOLD,
+            drbw_rmc: analysis.detection.mode() == Mode::Rmc,
+            contended_channels: analysis.detection.contended_channels.len(),
+            lat_rmc: lat.detect(&analysis.profile, nodes_total),
+            cnt_rmc: cnt.detect(&analysis.profile, nodes_total),
+            ast_rmc: ast.detect(&analysis.profile, nodes_total),
         })
         .collect()
 }
 
 /// Run the full Table V sweep (512 cases), reporting progress on stderr.
 pub fn run_sweep(mcfg: &MachineConfig) -> Vec<CaseRecord> {
-    let clf = train_classifier(mcfg);
+    let tool = train_tool(mcfg);
     let mut out = Vec::new();
     for w in workloads::suite::table_v_benchmarks() {
         let t0 = std::time::Instant::now();
-        let records = evaluate_benchmark(&clf, w, mcfg);
+        let records = evaluate_benchmark(&tool, w);
         eprintln!(
             "{:<14} {:>3} cases in {:>6.1}s  (actual rmc {}, detected rmc {})",
             w.name(),
@@ -160,7 +179,8 @@ pub fn save(records: &[CaseRecord], path: &Path) -> std::io::Result<()> {
 /// Read records from TSV; `None` if the file is missing or malformed.
 pub fn load(path: &Path) -> Option<Vec<CaseRecord>> {
     let text = std::fs::read_to_string(path).ok()?;
-    let records: Vec<CaseRecord> = text.lines().filter(|l| !l.is_empty()).map(CaseRecord::from_tsv).collect::<Option<_>>()?;
+    let records: Vec<CaseRecord> =
+        text.lines().filter(|l| !l.is_empty()).map(CaseRecord::from_tsv).collect::<Option<_>>()?;
     (!records.is_empty()).then_some(records)
 }
 

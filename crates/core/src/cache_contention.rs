@@ -56,14 +56,7 @@ pub fn node_features(samples: &[MemSample], node: NodeId, duration_cycles: f64) 
     let (l2, l3, lfb) = (count(DataSource::L2), count(DataSource::L3), count(DataSource::Lfb));
     let dram: Vec<&&MemSample> = batch.iter().filter(|s| s.source.is_dram()).collect();
     let avg_dram = if dram.is_empty() { 0.0 } else { dram.iter().map(|s| s.latency).sum::<f64>() / dram.len() as f64 };
-    [
-        share(l2),
-        share(l3),
-        share(dram.len()),
-        avg_dram,
-        share(lfb),
-        total as f64 / (duration_cycles / 1e6),
-    ]
+    [share(l2), share(l3), share(dram.len()), avg_dram, share(lfb), total as f64 / (duration_cycles / 1e6)]
 }
 
 /// A trained per-node cache-contention detector.
@@ -94,7 +87,12 @@ impl CacheContentionDetector {
                 data.push(f.to_vec(), label);
             }
         }
-        Self { tree: DecisionTree::train(&data, TrainConfig { min_samples_leaf: 2, min_samples_split: 4, ..TrainConfig::default() }) }
+        Self {
+            tree: DecisionTree::train(
+                &data,
+                TrainConfig { min_samples_leaf: 2, min_samples_split: 4, ..TrainConfig::default() },
+            ),
+        }
     }
 
     /// Verdict for one node of a profile.
@@ -129,7 +127,7 @@ impl CacheContentionDetector {
 pub fn isolation_speedup(mcfg: &MachineConfig, threads: usize, input: Input) -> f64 {
     let packed = run(&CacheMix, mcfg, &RunConfig::new(threads, 1, input), None);
     // Spread over as many nodes as divide the thread count evenly.
-    let nodes = (1..=mcfg.topology.num_nodes().min(threads)).rev().find(|n| threads % n == 0).unwrap();
+    let nodes = (1..=mcfg.topology.num_nodes().min(threads)).rev().find(|n| threads.is_multiple_of(*n)).unwrap();
     let spread = run(&CacheMix, mcfg, &RunConfig::new(threads, nodes, input), None);
     packed.cycles() / spread.cycles()
 }

@@ -2,6 +2,7 @@
 //! (§VII.A).
 
 use crate::channels::ChannelBatches;
+use crate::error::DrbwError;
 use crate::features::{selected_features, selected_names, FeatureCtx, NUM_SELECTED};
 use crate::profiler::Profile;
 use mldt::dataset::Dataset;
@@ -32,12 +33,12 @@ impl Mode {
     ///
     /// # Panics
     /// Panics for indices other than 0 or 1.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Mode::try_from(index)`, which returns a typed error instead of panicking"
+    )]
     pub fn from_class_index(i: usize) -> Self {
-        match i {
-            0 => Mode::Good,
-            1 => Mode::Rmc,
-            _ => panic!("unknown class index {i}"),
-        }
+        Mode::try_from(i).unwrap_or_else(|_| panic!("unknown class index {i}"))
     }
 
     /// Display name matching the paper's labels.
@@ -45,6 +46,20 @@ impl Mode {
         match self {
             Mode::Good => "good",
             Mode::Rmc => "rmc",
+        }
+    }
+}
+
+impl TryFrom<usize> for Mode {
+    type Error = DrbwError;
+
+    /// Inverse of [`Mode::class_index`]: 0 is `good`, 1 is `rmc`, anything
+    /// else is a typed [`DrbwError::InvalidClassIndex`].
+    fn try_from(i: usize) -> Result<Self, DrbwError> {
+        match i {
+            0 => Ok(Mode::Good),
+            1 => Ok(Mode::Rmc),
+            _ => Err(DrbwError::InvalidClassIndex(i)),
         }
     }
 }
@@ -95,10 +110,28 @@ impl ContentionClassifier {
     /// whose classes are `good`/`rmc` (see [`crate::training`]).
     ///
     /// # Panics
-    /// Panics if the dataset's arity is not [`NUM_SELECTED`].
+    /// Panics if the dataset's arity is not [`NUM_SELECTED`]; use
+    /// [`ContentionClassifier::try_train`] for a typed error instead.
     pub fn train(data: &Dataset, cfg: TrainConfig) -> Self {
-        assert_eq!(data.num_features(), NUM_SELECTED, "expected the 13 Table I features");
-        Self { tree: DecisionTree::train(data, cfg), feature_names: data.feature_names().to_vec() }
+        Self::try_train(data, cfg).unwrap_or_else(|e| panic!("expected the 13 Table I features: {e}"))
+    }
+
+    /// Train, reporting bad training data as a [`DrbwError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// [`DrbwError::FeatureArity`] if the dataset's arity is not
+    /// [`NUM_SELECTED`]; [`DrbwError::EmptyTrainingSet`] if either class
+    /// has no instances (a one-sided set trains a degenerate
+    /// constant-answer tree).
+    pub fn try_train(data: &Dataset, cfg: TrainConfig) -> Result<Self, DrbwError> {
+        if data.num_features() != NUM_SELECTED {
+            return Err(DrbwError::FeatureArity { expected: NUM_SELECTED, got: data.num_features() });
+        }
+        if data.class_counts().contains(&0) {
+            return Err(DrbwError::EmptyTrainingSet);
+        }
+        Ok(Self { tree: DecisionTree::train(data, cfg), feature_names: data.feature_names().to_vec() })
     }
 
     /// The underlying tree.
@@ -108,7 +141,9 @@ impl ContentionClassifier {
 
     /// Classify one feature vector.
     pub fn predict(&self, features: &[f64; NUM_SELECTED]) -> Mode {
-        Mode::from_class_index(self.tree.predict(features))
+        // A trained binary tree only emits labels 0/1; a violation is an
+        // internal invariant breach, not a malformed-input condition.
+        Mode::try_from(self.tree.predict(features)).expect("binary tree emits class 0 or 1")
     }
 
     /// Classify every channel of a profile, applying the §VII.A rules.
@@ -120,9 +155,7 @@ impl ContentionClassifier {
         for (ch, batch) in batches.iter() {
             let remote = batches.remote_samples(ch).count();
             let feats = selected_features(batch, &ctx);
-            let mode = if remote < MIN_REMOTE_SAMPLES
-                || feats[crate::features::REMOTE_COUNT] < MIN_REMOTE_SHARE
-            {
+            let mode = if remote < MIN_REMOTE_SAMPLES || feats[crate::features::REMOTE_COUNT] < MIN_REMOTE_SHARE {
                 Mode::Good
             } else {
                 self.predict(&feats)
@@ -153,13 +186,15 @@ impl ContentionClassifier {
     /// Load a classifier saved by [`ContentionClassifier::to_model_string`].
     ///
     /// # Errors
-    /// Returns a message when the header, feature list, or embedded tree
-    /// is malformed or does not carry the 13 Table I features.
-    pub fn from_model_string(text: &str) -> Result<Self, String> {
+    /// [`DrbwError::ModelFormat`] when the header is wrong,
+    /// [`DrbwError::FeatureArity`] when the feature list or embedded tree
+    /// does not carry the 13 Table I features, and [`DrbwError::Model`]
+    /// when the tree text itself is malformed.
+    pub fn from_model_string(text: &str) -> Result<Self, DrbwError> {
         let mut lines = text.lines();
         match lines.next() {
             Some("drbw-classifier v1") => {}
-            other => return Err(format!("bad model header {other:?}")),
+            other => return Err(DrbwError::ModelFormat(format!("bad model header {other:?}"))),
         }
         let mut feature_names = Vec::new();
         let mut rest = String::new();
@@ -172,11 +207,11 @@ impl ContentionClassifier {
             }
         }
         if feature_names.len() != NUM_SELECTED {
-            return Err(format!("expected {NUM_SELECTED} features, got {}", feature_names.len()));
+            return Err(DrbwError::FeatureArity { expected: NUM_SELECTED, got: feature_names.len() });
         }
-        let tree = mldt::serialize::tree_from_string(&rest).map_err(|e| e.to_string())?;
+        let tree = mldt::serialize::tree_from_string(&rest)?;
         if tree.num_features() != NUM_SELECTED {
-            return Err("tree arity does not match the Table I features".into());
+            return Err(DrbwError::FeatureArity { expected: NUM_SELECTED, got: tree.num_features() });
         }
         Ok(Self { tree, feature_names })
     }
@@ -249,13 +284,23 @@ mod tests {
 
     #[test]
     fn mode_roundtrip() {
-        assert_eq!(Mode::from_class_index(Mode::Rmc.class_index()), Mode::Rmc);
+        assert_eq!(Mode::try_from(Mode::Rmc.class_index()).unwrap(), Mode::Rmc);
+        assert_eq!(Mode::try_from(Mode::Good.class_index()).unwrap(), Mode::Good);
         assert_eq!(Mode::Good.name(), "good");
     }
 
     #[test]
+    fn bad_class_index_is_a_typed_error() {
+        match Mode::try_from(2) {
+            Err(crate::error::DrbwError::InvalidClassIndex(2)) => {}
+            other => panic!("expected InvalidClassIndex(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "unknown class index")]
-    fn bad_class_index_panics() {
+    fn deprecated_shim_still_panics() {
         Mode::from_class_index(2);
     }
 

@@ -42,6 +42,7 @@ pub mod cache_contention;
 pub mod channels;
 pub mod classifier;
 pub mod diagnoser;
+pub mod error;
 pub mod features;
 pub mod heuristics;
 pub mod profiler;
@@ -50,17 +51,27 @@ pub mod training;
 
 pub use classifier::{CaseResult, ContentionClassifier, Mode};
 pub use diagnoser::{diagnose, Diagnosis};
-pub use profiler::{profile, Profile};
+pub use error::DrbwError;
+pub use profiler::{profile, profile_with, Profile};
 
 use mldt::tree::TrainConfig;
 use numasim::config::MachineConfig;
+use pebs::sampler::SamplerConfig;
+use rayon::prelude::*;
+use std::path::Path;
+use training::TrainingSpec;
 use workloads::config::RunConfig;
 use workloads::spec::Workload;
 
-/// The assembled DR-BW tool: a trained classifier plus the
-/// profile → detect → diagnose pipeline.
+/// The assembled DR-BW tool: a trained classifier plus the machine and
+/// sampler configuration under which the profile → detect → diagnose
+/// pipeline runs. Construct one with [`DrBw::builder`] (or [`DrBw::new`] /
+/// [`DrBw::load`] when a classifier already exists).
 pub struct DrBw {
     classifier: ContentionClassifier,
+    machine: MachineConfig,
+    sampler: SamplerConfig,
+    pool: Option<rayon::ThreadPool>,
 }
 
 /// Result of analysing one case end to end.
@@ -73,17 +84,228 @@ pub struct Analysis {
     pub diagnosis: Diagnosis,
 }
 
-impl DrBw {
-    /// Wrap an already-trained classifier.
-    pub fn new(classifier: ContentionClassifier) -> Self {
-        Self { classifier }
+/// One unit of batch work: a workload plus the run shape to profile it
+/// under (see [`DrBw::analyze_batch`]).
+#[derive(Clone, Copy)]
+pub struct Case<'a> {
+    /// The program to profile.
+    pub workload: &'a dyn Workload,
+    /// Thread/node/input shape (and seed) of the run.
+    pub rcfg: &'a RunConfig,
+}
+
+impl<'a> Case<'a> {
+    /// Bundle a workload with a run configuration.
+    pub fn new(workload: &'a dyn Workload, rcfg: &'a RunConfig) -> Self {
+        Self { workload, rcfg }
+    }
+}
+
+/// Which training grid [`DrBwBuilder::build`] runs when it has to train.
+#[derive(Debug, Clone)]
+pub enum TrainingSet {
+    /// The full §V Table II grid: 192 simulations (see
+    /// [`training::training_specs`]).
+    Full,
+    /// The stride-8 subset (24 simulations) — fast, for tests and smoke
+    /// runs (see [`training::quick_training_specs`]).
+    Quick,
+    /// Caller-provided specs.
+    Custom(Vec<TrainingSpec>),
+}
+
+impl TrainingSet {
+    fn specs(&self) -> Vec<TrainingSpec> {
+        match self {
+            TrainingSet::Full => training::training_specs(),
+            TrainingSet::Quick => training::quick_training_specs(),
+            TrainingSet::Custom(specs) => specs.clone(),
+        }
+    }
+}
+
+/// Configures and constructs a [`DrBw`] instance.
+///
+/// ```no_run
+/// use drbw_core::{DrBw, TrainingSet};
+///
+/// let tool = DrBw::builder()
+///     .training_set(TrainingSet::Full)
+///     .threads(8)
+///     .model_cache("results/drbw.model")
+///     .build()
+///     .expect("train or load DR-BW");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrBwBuilder {
+    machine: MachineConfig,
+    training_set: TrainingSet,
+    train_cfg: TrainConfig,
+    sampler: SamplerConfig,
+    threads: Option<usize>,
+    model_cache: Option<std::path::PathBuf>,
+}
+
+impl Default for DrBwBuilder {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::scaled(),
+            training_set: TrainingSet::Full,
+            train_cfg: TrainConfig::default(),
+            sampler: SamplerConfig::default(),
+            threads: None,
+            model_cache: None,
+        }
+    }
+}
+
+impl DrBwBuilder {
+    /// The simulated machine to train on and analyze under (default:
+    /// [`MachineConfig::scaled`], the paper's 4-socket box).
+    pub fn machine(mut self, mcfg: MachineConfig) -> Self {
+        self.machine = mcfg;
+        self
     }
 
-    /// Train DR-BW on the full §V mini-program training set (192 runs —
-    /// takes a while; see [`training::quick_training_set`] for tests).
+    /// Which training grid to run when no cached model is available
+    /// (default: [`TrainingSet::Full`]).
+    pub fn training_set(mut self, set: TrainingSet) -> Self {
+        self.training_set = set;
+        self
+    }
+
+    /// Decision-tree training hyperparameters (default:
+    /// [`TrainConfig::default`]).
+    pub fn train_config(mut self, cfg: TrainConfig) -> Self {
+        self.train_cfg = cfg;
+        self
+    }
+
+    /// Full sampler configuration for every profiled run (default: the
+    /// paper's 1-in-2000 PEBS setup).
+    pub fn sampler(mut self, scfg: SamplerConfig) -> Self {
+        self.sampler = scfg;
+        self
+    }
+
+    /// Sampling period only — one address sample per `period` accesses per
+    /// thread. Convenience over [`DrBwBuilder::sampler`] for the common
+    /// overhead-versus-precision knob (§VIII.D ablation).
+    pub fn sampling_period(mut self, period: u64) -> Self {
+        self.sampler.period = period;
+        self
+    }
+
+    /// Cap the worker threads used for training-set generation and
+    /// [`DrBw::analyze_batch`]. Defaults to rayon's global choice
+    /// (`RAYON_NUM_THREADS` or all cores). The dataset and analyses do not
+    /// depend on this — see the determinism note on
+    /// [`training::collect_training_set`].
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Load the model from this path if present; otherwise train and save
+    /// the result there (creating parent directories).
+    pub fn model_cache(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.model_cache = Some(path.into());
+        self
+    }
+
+    /// Produce the configured tool: load the cached model when one exists,
+    /// else run the training grid (in parallel) and cache the result.
+    ///
+    /// # Errors
+    /// [`DrbwError::Model`] / [`DrbwError::ModelFormat`] /
+    /// [`DrbwError::FeatureArity`] when a cached model exists but is
+    /// malformed (delete the file to retrain), [`DrbwError::Io`] when the
+    /// trained model cannot be written back, and
+    /// [`DrbwError::EmptyTrainingSet`] when a custom spec list covers only
+    /// one class.
+    pub fn build(self) -> Result<DrBw, DrbwError> {
+        let pool = match self.threads {
+            Some(n) => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| DrbwError::Io(std::io::Error::other(format!("cannot build thread pool: {e}"))))?,
+            ),
+            None => None,
+        };
+        if let Some(path) = &self.model_cache {
+            if path.exists() {
+                let text = std::fs::read_to_string(path)?;
+                let classifier = ContentionClassifier::from_model_string(&text)?;
+                return Ok(DrBw { classifier, machine: self.machine, sampler: self.sampler, pool });
+            }
+        }
+        let specs = self.training_set.specs();
+        let collect = || training::collect_training_set(&self.machine, &specs);
+        let data = match &pool {
+            Some(p) => p.install(collect),
+            None => collect(),
+        };
+        let classifier = ContentionClassifier::try_train(&data, self.train_cfg)?;
+        let tool = DrBw { classifier, machine: self.machine, sampler: self.sampler, pool };
+        if let Some(path) = &self.model_cache {
+            tool.save(path)?;
+        }
+        Ok(tool)
+    }
+}
+
+impl DrBw {
+    /// Start configuring a DR-BW instance.
+    pub fn builder() -> DrBwBuilder {
+        DrBwBuilder::default()
+    }
+
+    /// Wrap an already-trained classifier, with the default machine and
+    /// sampler configuration.
+    pub fn new(classifier: ContentionClassifier) -> Self {
+        Self { classifier, machine: MachineConfig::scaled(), sampler: SamplerConfig::default(), pool: None }
+    }
+
+    /// Train DR-BW on the full §V mini-program training set (192 runs,
+    /// simulated in parallel). Shorthand for
+    /// `DrBw::builder().machine(mcfg.clone()).build()`.
+    ///
+    /// # Panics
+    /// Panics when training produces a degenerate dataset; use
+    /// [`DrBw::builder`] for a fallible construction.
     pub fn train(mcfg: &MachineConfig) -> Self {
-        let data = training::full_training_set(mcfg);
-        Self::new(ContentionClassifier::train(&data, TrainConfig::default()))
+        Self::builder().machine(mcfg.clone()).build().expect("the full Table II grid always trains")
+    }
+
+    /// Load a tool whose classifier was saved with [`DrBw::save`] (the
+    /// portable `drbw-classifier v1` text format). Machine and sampler
+    /// configuration take their defaults; use
+    /// `DrBw::builder().model_cache(path)` to combine loading with other
+    /// knobs.
+    ///
+    /// # Errors
+    /// [`DrbwError::Io`] when the file cannot be read, or a model-format
+    /// error when its contents are not a valid classifier.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, DrbwError> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::new(ContentionClassifier::from_model_string(&text)?))
+    }
+
+    /// Save the trained classifier to `path` in the portable text model
+    /// format, creating parent directories as needed.
+    ///
+    /// # Errors
+    /// [`DrbwError::Io`] when the directories or file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DrbwError> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.classifier.to_model_string())?;
+        Ok(())
     }
 
     /// The trained classifier.
@@ -91,11 +313,34 @@ impl DrBw {
         &self.classifier
     }
 
-    /// Profile one case and run detection + diagnosis on it.
-    pub fn analyze(&self, workload: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConfig) -> Analysis {
-        let profile = profile(workload, mcfg, rcfg);
-        let detection = self.classifier.classify_case(&profile, mcfg.topology.num_nodes());
+    /// The machine configuration analyses run under.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The sampler configuration analyses run under.
+    pub fn sampler(&self) -> &SamplerConfig {
+        &self.sampler
+    }
+
+    /// Profile one case and run detection + diagnosis on it, under this
+    /// tool's machine and sampler configuration.
+    pub fn analyze(&self, workload: &dyn Workload, rcfg: &RunConfig) -> Analysis {
+        let profile = profile_with(workload, &self.machine, rcfg, self.sampler);
+        let detection = self.classifier.classify_case(&profile, self.machine.topology.num_nodes());
         let diagnosis = diagnose(&profile, &detection.contended_channels);
         Analysis { profile, detection, diagnosis }
+    }
+
+    /// Analyze a batch of cases in parallel, respecting the builder's
+    /// thread cap. Results come back in input order, and each equals what
+    /// [`DrBw::analyze`] returns for the same case (runs are seeded by
+    /// their `RunConfig`, so scheduling cannot perturb them).
+    pub fn analyze_batch(&self, cases: &[Case<'_>]) -> Vec<Analysis> {
+        let run = || cases.par_iter().map(|c| self.analyze(c.workload, c.rcfg)).collect();
+        match &self.pool {
+            Some(p) => p.install(run),
+            None => run(),
+        }
     }
 }

@@ -49,12 +49,7 @@ pub fn profile(workload: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConfig) 
 
 /// Profile with an explicit sampler configuration (the sampling-period
 /// ablation uses this).
-pub fn profile_with(
-    workload: &dyn Workload,
-    mcfg: &MachineConfig,
-    rcfg: &RunConfig,
-    scfg: SamplerConfig,
-) -> Profile {
+pub fn profile_with(workload: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConfig, scfg: SamplerConfig) -> Profile {
     let out = runner::run(workload, mcfg, rcfg, Some(scfg));
     Profile {
         samples: out.samples,
@@ -88,8 +83,18 @@ mod tests {
     fn custom_period_changes_sample_count() {
         let mcfg = MachineConfig::scaled();
         let rcfg = RunConfig::new(16, 4, Input::Medium);
-        let coarse = profile_with(&Sumv, &mcfg, &rcfg, SamplerConfig { period: 8000, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
-        let fine = profile_with(&Sumv, &mcfg, &rcfg, SamplerConfig { period: 500, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let coarse = profile_with(
+            &Sumv,
+            &mcfg,
+            &rcfg,
+            SamplerConfig { period: 8000, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 },
+        );
+        let fine = profile_with(
+            &Sumv,
+            &mcfg,
+            &rcfg,
+            SamplerConfig { period: 500, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 },
+        );
         assert!(fine.samples.len() > coarse.samples.len() * 8);
     }
 }

@@ -28,7 +28,8 @@ pub fn render(name: &str, profile: &Profile, detection: &CaseResult, diagnosis: 
     }
     let _ = writeln!(out, "root causes (Contribution Fraction over contended channels):");
     for o in &diagnosis.overall {
-        let _ = writeln!(out, "  {:<24} line {:>5}  CF {:>6.2}%  ({} samples)", o.label, o.line, o.cf * 100.0, o.samples);
+        let _ =
+            writeln!(out, "  {:<24} line {:>5}  CF {:>6.2}%  ({} samples)", o.label, o.line, o.cf * 100.0, o.samples);
     }
     if let Some(top) = diagnosis.top_object() {
         let _ = writeln!(

@@ -142,16 +142,41 @@ pub fn quick_training_specs() -> Vec<TrainingSpec> {
 pub fn case_features(profile: &Profile, nodes: usize) -> [f64; NUM_SELECTED] {
     let batches = crate::channels::ChannelBatches::split(&profile.samples, nodes);
     let ctx = FeatureCtx { duration_cycles: profile.duration_cycles() };
-    let hottest = batches
-        .iter()
-        .max_by_key(|(ch, _)| batches.remote_samples(*ch).count())
-        .map(|(_, b)| b)
-        .unwrap_or(&[]);
+    let hottest =
+        batches.iter().max_by_key(|(ch, _)| batches.remote_samples(*ch).count()).map(|(_, b)| b).unwrap_or(&[]);
     selected_features(hottest, &ctx)
 }
 
-/// Run a list of specs and assemble the labelled dataset.
+/// Run a list of specs and assemble the labelled dataset, simulating the
+/// runs in parallel.
+///
+/// # Determinism
+/// The parallel dataset is **bit-identical** to the serial one
+/// ([`collect_training_set_serial`]): every simulation's randomness derives
+/// only from its own `RunConfig::seed` (no shared RNG, no global state),
+/// and the parallel map preserves input order, so instance `i` of the
+/// result is always the features of `specs[i]` regardless of thread count
+/// or scheduling.
 pub fn collect_training_set(mcfg: &MachineConfig, specs: &[TrainingSpec]) -> Dataset {
+    use rayon::prelude::*;
+    let nodes = mcfg.topology.num_nodes();
+    let rows: Vec<(Vec<f64>, usize)> = specs
+        .par_iter()
+        .map(|spec| {
+            let p = profile(spec.program.workload(), mcfg, &spec.rcfg);
+            (case_features(&p, nodes).to_vec(), spec.label.class_index())
+        })
+        .collect();
+    let mut data = empty_feature_dataset();
+    for (features, label) in rows {
+        data.push(features, label);
+    }
+    data
+}
+
+/// Single-threaded reference implementation of [`collect_training_set`];
+/// the determinism test compares the two instance for instance.
+pub fn collect_training_set_serial(mcfg: &MachineConfig, specs: &[TrainingSpec]) -> Dataset {
     let nodes = mcfg.topology.num_nodes();
     let mut data = empty_feature_dataset();
     for spec in specs {
@@ -179,9 +204,7 @@ mod tests {
     fn grid_matches_table_ii() {
         let specs = training_specs();
         assert_eq!(specs.len(), 192, "Table II total");
-        let count = |p: MicroProgram, m: Mode| {
-            specs.iter().filter(|s| s.program == p && s.label == m).count()
-        };
+        let count = |p: MicroProgram, m: Mode| specs.iter().filter(|s| s.program == p && s.label == m).count();
         for k in MicroProgram::KERNELS {
             assert_eq!(count(k, Mode::Good), 24, "{}", k.name());
             assert_eq!(count(k, Mode::Rmc), 24, "{}", k.name());

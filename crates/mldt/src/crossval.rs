@@ -32,12 +32,7 @@ pub fn stratified_kfold(data: &Dataset, k: usize, seed: u64, cfg: TrainConfig) -
     let mut confusion = ConfusionMatrix::new(data.class_names().to_vec());
     let mut fold_accuracies = Vec::with_capacity(k);
     for held_out in &folds {
-        let train_idx: Vec<usize> = folds
-            .iter()
-            .filter(|f| !std::ptr::eq(*f, held_out))
-            .flatten()
-            .copied()
-            .collect();
+        let train_idx: Vec<usize> = folds.iter().filter(|f| !std::ptr::eq(*f, held_out)).flatten().copied().collect();
         let train = data.subset(&train_idx);
         let tree = DecisionTree::train(&train, cfg);
         let mut fold_cm = ConfusionMatrix::new(data.class_names().to_vec());

@@ -105,12 +105,7 @@ impl Dataset {
     /// Values of one feature restricted to one class — the raw material of
     /// the paper's feature-selection step.
     pub fn feature_by_class(&self, feature: usize, class: usize) -> Vec<f64> {
-        self.rows
-            .iter()
-            .zip(&self.labels)
-            .filter(|(_, &l)| l == class)
-            .map(|(r, _)| r[feature])
-            .collect()
+        self.rows.iter().zip(&self.labels).filter(|(_, &l)| l == class).map(|(r, _)| r[feature]).collect()
     }
 
     /// Project the dataset onto a subset of features (in the given order).

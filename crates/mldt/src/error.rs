@@ -1,0 +1,59 @@
+//! Typed errors for model parsing, tree reconstruction, and export.
+//!
+//! Everything fallible in this crate reports an [`MldtError`] instead of a
+//! bare `String`, so downstream crates (notably `drbw-core`'s `DrbwError`)
+//! can convert with `From` and callers can match on the failure class.
+
+/// Errors produced by the decision-tree library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MldtError {
+    /// The serialized model text is malformed (bad header, truncated
+    /// fields, unparsable numbers).
+    Parse(String),
+    /// A node arena does not form a proper binary tree (cycles, orphans,
+    /// out-of-range children or features).
+    InvalidTree(String),
+    /// A render was asked to label more features/classes than names were
+    /// provided for.
+    MissingNames {
+        /// What kind of name ran short (`"feature"` or `"class"`).
+        kind: &'static str,
+        /// How many names the tree requires.
+        required: usize,
+        /// How many names the caller supplied.
+        supplied: usize,
+    },
+}
+
+impl std::fmt::Display for MldtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MldtError::Parse(msg) => write!(f, "model parse error: {msg}"),
+            MldtError::InvalidTree(msg) => write!(f, "invalid tree: {msg}"),
+            MldtError::MissingNames { kind, required, supplied } => {
+                write!(f, "missing {kind} names: tree needs {required}, got {supplied}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MldtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_states_the_failure_class() {
+        assert!(MldtError::Parse("x".into()).to_string().contains("parse error"));
+        assert!(MldtError::InvalidTree("orphan".into()).to_string().contains("invalid tree: orphan"));
+        let e = MldtError::MissingNames { kind: "feature", required: 13, supplied: 2 };
+        assert_eq!(e.to_string(), "missing feature names: tree needs 13, got 2");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(MldtError::Parse("x".into()));
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -2,20 +2,49 @@
 //! paper's Figure 3, which shows the learned decision tree with feature
 //! numbers on internal nodes and `good`/`rmc` on leaves.
 
+use crate::error::MldtError;
 use crate::tree::{DecisionTree, Node};
+
+/// Check that the caller supplied enough feature and class names for this
+/// tree (shared guard of the fallible render entry points).
+fn check_names(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> Result<(), MldtError> {
+    if feature_names.len() < tree.num_features() {
+        return Err(MldtError::MissingNames {
+            kind: "feature",
+            required: tree.num_features(),
+            supplied: feature_names.len(),
+        });
+    }
+    if class_names.len() < tree.num_classes() {
+        return Err(MldtError::MissingNames {
+            kind: "class",
+            required: tree.num_classes(),
+            supplied: class_names.len(),
+        });
+    }
+    Ok(())
+}
 
 /// Indented text rendering. Feature and class names are taken from the
 /// slices provided (use the training dataset's names).
+///
+/// # Errors
+/// Fails if the name slices are shorter than the tree's feature/class
+/// counts.
+pub fn try_to_text(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> Result<String, MldtError> {
+    check_names(tree, feature_names, class_names)?;
+    let mut out = String::new();
+    render_text(tree, 0, 0, feature_names, class_names, &mut out, "");
+    Ok(out)
+}
+
+/// Indented text rendering (see [`try_to_text`]).
 ///
 /// # Panics
 /// Panics if the name slices are shorter than the tree's feature/class
 /// counts.
 pub fn to_text(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> String {
-    assert!(feature_names.len() >= tree.num_features(), "missing feature names");
-    assert!(class_names.len() >= tree.num_classes(), "missing class names");
-    let mut out = String::new();
-    render_text(tree, 0, 0, feature_names, class_names, &mut out, "");
-    out
+    try_to_text(tree, feature_names, class_names).expect("missing feature names or class names")
 }
 
 fn render_text(
@@ -42,9 +71,12 @@ fn render_text(
 }
 
 /// Graphviz `dot` rendering.
-pub fn to_dot(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> String {
-    assert!(feature_names.len() >= tree.num_features(), "missing feature names");
-    assert!(class_names.len() >= tree.num_classes(), "missing class names");
+///
+/// # Errors
+/// Fails if the name slices are shorter than the tree's feature/class
+/// counts.
+pub fn try_to_dot(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> Result<String, MldtError> {
+    check_names(tree, feature_names, class_names)?;
     let mut out = String::from("digraph decision_tree {\n  node [shape=box];\n");
     for (i, node) in tree.nodes().iter().enumerate() {
         match node {
@@ -64,7 +96,16 @@ pub fn to_dot(tree: &DecisionTree, feature_names: &[String], class_names: &[Stri
         }
     }
     out.push_str("}\n");
-    out
+    Ok(out)
+}
+
+/// Graphviz `dot` rendering (see [`try_to_dot`]).
+///
+/// # Panics
+/// Panics if the name slices are shorter than the tree's feature/class
+/// counts.
+pub fn to_dot(tree: &DecisionTree, feature_names: &[String], class_names: &[String]) -> String {
+    try_to_dot(tree, feature_names, class_names).expect("missing feature names or class names")
 }
 
 #[cfg(test)]
@@ -108,5 +149,21 @@ mod tests {
     fn text_checks_names() {
         let (t, _, c) = tree_and_names();
         to_text(&t, &[], &c);
+    }
+
+    #[test]
+    fn fallible_renders_report_which_names_ran_short() {
+        use crate::error::MldtError;
+        let (t, f, c) = tree_and_names();
+        assert_eq!(try_to_text(&t, &f, &c).unwrap(), to_text(&t, &f, &c));
+        assert_eq!(try_to_dot(&t, &f, &c).unwrap(), to_dot(&t, &f, &c));
+        match try_to_text(&t, &[], &c) {
+            Err(MldtError::MissingNames { kind: "feature", supplied: 0, .. }) => {}
+            other => panic!("expected MissingNames for features, got {other:?}"),
+        }
+        match try_to_dot(&t, &f, &[]) {
+            Err(MldtError::MissingNames { kind: "class", supplied: 0, .. }) => {}
+            other => panic!("expected MissingNames for classes, got {other:?}"),
+        }
     }
 }

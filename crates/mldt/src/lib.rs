@@ -17,12 +17,16 @@
 //!   (Figure 3);
 //! * [`stats`] — Welch's t statistic and effect sizes, used by the
 //!   feature-selection step (§V.B).
+//!
+//! Fallible operations return [`error::MldtError`] (a `std::error::Error`),
+//! never a bare `String`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod crossval;
 pub mod dataset;
+pub mod error;
 pub mod export;
 pub mod metrics;
 pub mod serialize;
@@ -31,5 +35,6 @@ pub mod tree;
 
 pub use crossval::stratified_kfold;
 pub use dataset::Dataset;
+pub use error::MldtError;
 pub use metrics::ConfusionMatrix;
 pub use tree::{DecisionTree, TrainConfig};

@@ -15,20 +15,9 @@
 //! leaf 2 1 3 69
 //! ```
 
+use crate::error::MldtError;
 use crate::tree::{DecisionTree, Node};
 use std::fmt::Write as _;
-
-/// Serialization failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError(pub String);
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "model parse error: {}", self.0)
-    }
-}
-
-impl std::error::Error for ParseError {}
 
 /// Serialize a trained tree.
 pub fn tree_to_string(tree: &DecisionTree) -> String {
@@ -55,20 +44,20 @@ pub fn tree_to_string(tree: &DecisionTree) -> String {
     out
 }
 
-fn err(msg: impl Into<String>) -> ParseError {
-    ParseError(msg.into())
+fn err(msg: impl Into<String>) -> MldtError {
+    MldtError::Parse(msg.into())
 }
 
 /// Parse a tree serialized by [`tree_to_string`]. Validates structure:
 /// node ids dense and in order, children in range, labels within the
 /// class count.
-pub fn tree_from_string(text: &str) -> Result<DecisionTree, ParseError> {
+pub fn tree_from_string(text: &str) -> Result<DecisionTree, MldtError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or_else(|| err("empty input"))?;
     if header.trim() != "drbw-tree v1" {
         return Err(err(format!("bad header {header:?}")));
     }
-    let mut field = |name: &str| -> Result<usize, ParseError> {
+    let mut field = |name: &str| -> Result<usize, MldtError> {
         let line = lines.next().ok_or_else(|| err(format!("missing {name}")))?;
         let mut it = line.split_whitespace();
         if it.next() != Some(name) {
@@ -86,16 +75,23 @@ pub fn tree_from_string(text: &str) -> Result<DecisionTree, ParseError> {
     for (expect_id, line) in lines.enumerate() {
         let mut it = line.split_whitespace();
         let kind = it.next().ok_or_else(|| err("empty node line"))?;
-        let id: usize = it.next().ok_or_else(|| err("missing node id"))?.parse().map_err(|e| err(format!("id: {e}")))?;
+        let id: usize =
+            it.next().ok_or_else(|| err("missing node id"))?.parse().map_err(|e| err(format!("id: {e}")))?;
         if id != expect_id {
             return Err(err(format!("node ids must be dense and ordered, got {id} at position {expect_id}")));
         }
         match kind {
             "split" => {
-                let feature: usize =
-                    it.next().ok_or_else(|| err("split: feature"))?.parse().map_err(|e| err(format!("feature: {e}")))?;
-                let threshold: f64 =
-                    it.next().ok_or_else(|| err("split: threshold"))?.parse().map_err(|e| err(format!("threshold: {e}")))?;
+                let feature: usize = it
+                    .next()
+                    .ok_or_else(|| err("split: feature"))?
+                    .parse()
+                    .map_err(|e| err(format!("feature: {e}")))?;
+                let threshold: f64 = it
+                    .next()
+                    .ok_or_else(|| err("split: threshold"))?
+                    .parse()
+                    .map_err(|e| err(format!("threshold: {e}")))?;
                 let left: usize =
                     it.next().ok_or_else(|| err("split: left"))?.parse().map_err(|e| err(format!("left: {e}")))?;
                 let right: usize =
@@ -126,7 +122,7 @@ pub fn tree_from_string(text: &str) -> Result<DecisionTree, ParseError> {
     if nodes.len() != num_nodes {
         return Err(err(format!("expected {num_nodes} nodes, got {}", nodes.len())));
     }
-    DecisionTree::from_parts(nodes, num_features, num_classes).map_err(err)
+    DecisionTree::from_parts(nodes, num_features, num_classes)
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! limits around 3–4 match it well.
 
 use crate::dataset::Dataset;
+use crate::error::MldtError;
 
 /// Stopping rules and regularisation for training.
 #[derive(Debug, Clone, Copy)]
@@ -107,12 +108,7 @@ impl DecisionTree {
 
     fn make_leaf(&mut self, counts: Vec<usize>) -> usize {
         // Deterministic argmax: first class with the maximal count.
-        let label = counts
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-            .map(|(i, _)| i)
-            .unwrap();
+        let label = counts.iter().enumerate().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0))).map(|(i, _)| i).unwrap();
         self.nodes.push(Node::Leaf { label, counts });
         self.nodes.len() - 1
     }
@@ -166,8 +162,7 @@ impl DecisionTree {
                 if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
                     continue;
                 }
-                let right_counts: Vec<usize> =
-                    counts.iter().zip(&left_counts).map(|(&c, &l)| c - l).collect();
+                let right_counts: Vec<usize> = counts.iter().zip(&left_counts).map(|(&c, &l)| c - l).collect();
                 let child_gini = (n_left as f64 * gini(&left_counts, n_left)
                     + n_right as f64 * gini(&right_counts, n_right))
                     / total as f64;
@@ -192,27 +187,28 @@ impl DecisionTree {
     /// Rebuild a tree from a node arena (deserialization). Validates that
     /// every node is reachable from the root exactly once (a proper binary
     /// tree: no cycles, no sharing, no orphans).
-    pub fn from_parts(nodes: Vec<Node>, num_features: usize, num_classes: usize) -> Result<Self, String> {
+    pub fn from_parts(nodes: Vec<Node>, num_features: usize, num_classes: usize) -> Result<Self, MldtError> {
+        let invalid = |msg: String| MldtError::InvalidTree(msg);
         if nodes.is_empty() {
-            return Err("empty node arena".into());
+            return Err(invalid("empty node arena".into()));
         }
         let mut seen = vec![false; nodes.len()];
         let mut stack = vec![0usize];
         while let Some(i) = stack.pop() {
             if seen[i] {
-                return Err(format!("node {i} reachable twice (cycle or sharing)"));
+                return Err(invalid(format!("node {i} reachable twice (cycle or sharing)")));
             }
             seen[i] = true;
             if let Node::Split { left, right, feature, .. } = &nodes[i] {
                 if *feature >= num_features {
-                    return Err(format!("feature {feature} out of range at node {i}"));
+                    return Err(invalid(format!("feature {feature} out of range at node {i}")));
                 }
                 stack.push(*left);
                 stack.push(*right);
             }
         }
         if let Some(orphan) = seen.iter().position(|&s| !s) {
-            return Err(format!("node {orphan} unreachable from the root"));
+            return Err(invalid(format!("node {orphan} unreachable from the root")));
         }
         Ok(Self { nodes, num_features, num_classes })
     }
@@ -404,7 +400,8 @@ mod tests {
         for i in 0..12 {
             d.push(vec![i as f64], (i / 4) as usize);
         }
-        let t = DecisionTree::train(&d, TrainConfig { min_samples_leaf: 2, min_samples_split: 4, ..Default::default() });
+        let t =
+            DecisionTree::train(&d, TrainConfig { min_samples_leaf: 2, min_samples_split: 4, ..Default::default() });
         assert_eq!(t.predict(&[1.0]), 0);
         assert_eq!(t.predict(&[5.0]), 1);
         assert_eq!(t.predict(&[11.0]), 2);

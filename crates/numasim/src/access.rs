@@ -61,7 +61,7 @@ impl AccessMix {
 
     #[inline]
     fn is_write(&self, counter: u64) -> bool {
-        self.write_every != 0 && counter % self.write_every as u64 == 0
+        self.write_every != 0 && counter.is_multiple_of(self.write_every as u64)
     }
 }
 
@@ -685,9 +685,7 @@ mod tests {
     fn with_start_and_stride_gives_disjoint_phases() {
         // Four threads interleave-partitioning 16 lines: thread 1 touches
         // lines 1, 5, 9, 13 in every pass.
-        let accs = drain(
-            SeqStream::new(0, 64 * 16, 2, AccessMix::read_only()).with_stride(64 * 4).with_start(64),
-        );
+        let accs = drain(SeqStream::new(0, 64 * 16, 2, AccessMix::read_only()).with_stride(64 * 4).with_start(64));
         assert_eq!(accs.len(), 8);
         let addrs: Vec<u64> = accs.iter().map(|a| a.addr / 64).collect();
         assert_eq!(addrs, [1, 5, 9, 13, 1, 5, 9, 13]);

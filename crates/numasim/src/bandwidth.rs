@@ -220,12 +220,7 @@ impl BandwidthModel {
     /// detect contention from sample features, as on real hardware where no
     /// such oracle exists.
     pub fn saturated_channels(&self) -> Vec<usize> {
-        self.ch_agg
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.max_rho >= self.saturation)
-            .map(|(i, _)| i)
-            .collect()
+        self.ch_agg.iter().enumerate().filter(|(_, a)| a.max_rho >= self.saturation).map(|(i, _)| i).collect()
     }
 
     /// Reset all per-phase aggregates and factors (start of a new phase).

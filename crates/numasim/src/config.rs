@@ -101,11 +101,7 @@ pub struct InterconnectConfig {
 impl InterconnectConfig {
     /// Bandwidth of the channel with dense index `idx`.
     pub fn bandwidth_of(&self, idx: usize) -> f64 {
-        self.overrides
-            .iter()
-            .find(|(i, _)| *i == idx)
-            .map(|(_, bw)| *bw)
-            .unwrap_or(self.channel_bandwidth)
+        self.overrides.iter().find(|(i, _)| *i == idx).map(|(_, bw)| *bw).unwrap_or(self.channel_bandwidth)
     }
 }
 
@@ -182,7 +178,13 @@ impl MachineConfig {
             },
             mem: MemConfig { page_size: 4 << 10, huge_page_size: 2 << 20, mc_bandwidth: 20.0 },
             interconnect: InterconnectConfig { channel_bandwidth: 6.0, overrides: Vec::new() },
-            congestion: CongestionConfig { knee: 0.55, rho_cap: 0.97, max_factor: 8.0, ctrl_target: 0.92, saturation: 0.85 },
+            congestion: CongestionConfig {
+                knee: 0.55,
+                rho_cap: 0.97,
+                max_factor: 8.0,
+                ctrl_target: 0.92,
+                saturation: 0.85,
+            },
             engine: EngineConfig { round_cycles: 20_000.0, default_mlp: 4.0 },
         }
     }

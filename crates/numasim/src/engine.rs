@@ -131,13 +131,7 @@ impl<O: Observer> Engine<O> {
     /// Panics if the configuration fails validation.
     pub fn new(cfg: &MachineConfig, memmap: MemoryMap, observer: O) -> Self {
         cfg.validate();
-        Self {
-            cfg: cfg.clone(),
-            hierarchy: Hierarchy::new(cfg),
-            bw: BandwidthModel::new(cfg),
-            memmap,
-            observer,
-        }
+        Self { cfg: cfg.clone(), hierarchy: Hierarchy::new(cfg), bw: BandwidthModel::new(cfg), memmap, observer }
     }
 
     /// The machine configuration.
@@ -195,7 +189,16 @@ impl<O: Observer> Engine<O> {
                 let node = topo.node_of_core(spec.core);
                 let compute = spec.stream.compute_cycles();
                 let mlp = spec.stream.mlp().unwrap_or(default_mlp).max(1.0);
-                ThreadCtx { thread: spec.thread, core: spec.core, node, stream: spec.stream, clock: 0.0, compute, mlp, done: false }
+                ThreadCtx {
+                    thread: spec.thread,
+                    core: spec.core,
+                    node,
+                    stream: spec.stream,
+                    clock: 0.0,
+                    compute,
+                    mlp,
+                    done: false,
+                }
             })
             .collect();
         {
@@ -262,8 +265,7 @@ impl<O: Observer> Engine<O> {
                         };
                         // LFB latency is overlapped with the fill; L1 hits
                         // are charged like any hit.
-                        t.clock += compute
-                            + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / t.mlp };
+                        t.clock += compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / t.mlp };
                         counts.record(rep_source);
                         t.clock += self.observer.on_access(&AccessEvent {
                             time: t.clock,

@@ -45,8 +45,14 @@ impl DataSource {
     }
 
     /// All six sources, in hierarchy order.
-    pub const ALL: [DataSource; 6] =
-        [DataSource::L1, DataSource::L2, DataSource::L3, DataSource::Lfb, DataSource::LocalDram, DataSource::RemoteDram];
+    pub const ALL: [DataSource; 6] = [
+        DataSource::L1,
+        DataSource::L2,
+        DataSource::L3,
+        DataSource::Lfb,
+        DataSource::LocalDram,
+        DataSource::RemoteDram,
+    ];
 }
 
 impl std::fmt::Display for DataSource {

@@ -161,7 +161,13 @@ impl MemoryMap {
         self.alloc_with_page_size(label, size, policy, self.huge_page_size)
     }
 
-    fn alloc_with_page_size(&mut self, label: &str, size: u64, policy: PlacementPolicy, page_size: u64) -> ObjectHandle {
+    fn alloc_with_page_size(
+        &mut self,
+        label: &str,
+        size: u64,
+        policy: PlacementPolicy,
+        page_size: u64,
+    ) -> ObjectHandle {
         assert!(size > 0, "zero-sized allocation for {label:?}");
         self.validate_policy(&policy, size);
         // Align the base so page 0 of the object starts a fresh page, then
@@ -176,14 +182,7 @@ impl MemoryMap {
         let base = self.next_addr.next_multiple_of(page_size) + color;
         self.next_addr = base + size;
         let id = ObjectId(self.objects.len() as u32);
-        let mut info = ObjectInfo {
-            label: label.to_string(),
-            base,
-            size,
-            policy,
-            page_size,
-            first_touch: Vec::new(),
-        };
+        let mut info = ObjectInfo { label: label.to_string(), base, size, policy, page_size, first_touch: Vec::new() };
         if matches!(info.policy, PlacementPolicy::FirstTouch) {
             info.first_touch = vec![UNTOUCHED; info.page_count()];
         }
@@ -222,11 +221,8 @@ impl MemoryMap {
         let size = self.objects[id.0 as usize].size;
         self.validate_policy(&policy, size);
         let info = &mut self.objects[id.0 as usize];
-        info.first_touch = if matches!(policy, PlacementPolicy::FirstTouch) {
-            vec![UNTOUCHED; info.page_count()]
-        } else {
-            Vec::new()
-        };
+        info.first_touch =
+            if matches!(policy, PlacementPolicy::FirstTouch) { vec![UNTOUCHED; info.page_count()] } else { Vec::new() };
         info.policy = policy;
     }
 

@@ -186,7 +186,7 @@ impl Topology {
     /// or a node would need more threads than it has hardware threads.
     pub fn bind_threads(&self, t: usize, n: usize) -> Vec<CoreId> {
         assert!(n >= 1 && n <= self.num_nodes(), "node count {n} out of range");
-        assert!(t >= n && t % n == 0, "thread count {t} must be a positive multiple of node count {n}");
+        assert!(t >= n && t.is_multiple_of(n), "thread count {t} must be a positive multiple of node count {n}");
         let per_node = t / n;
         assert!(
             per_node <= self.cores_per_node() * self.smt(),

@@ -200,7 +200,8 @@ mod tests {
 
     #[test]
     fn samples_at_roughly_the_op_period() {
-        let cfg = IbsConfig { op_period: 512, dither_bits: 4, ops_per_access: 1, latency_jitter: 0.0, per_sample_cost: 0.0 };
+        let cfg =
+            IbsConfig { op_period: 512, dither_bits: 4, ops_per_access: 1, latency_jitter: 0.0, per_sample_cost: 0.0 };
         let mut s = IbsSampler::new(cfg);
         for _ in 0..100_000 {
             s.on_access(&event(0, 300.0));
@@ -212,7 +213,13 @@ mod tests {
 
     #[test]
     fn no_latency_threshold_records_l1_hits() {
-        let mut s = IbsSampler::new(IbsConfig { op_period: 16, dither_bits: 2, ops_per_access: 0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let mut s = IbsSampler::new(IbsConfig {
+            op_period: 16,
+            dither_bits: 2,
+            ops_per_access: 0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
         for _ in 0..1000 {
             s.on_access(&event(0, 4.0)); // L1-hit latency
         }

@@ -197,7 +197,12 @@ mod tests {
 
     #[test]
     fn samples_once_per_period() {
-        let mut s = AddressSampler::new(SamplerConfig { period: 100, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let mut s = AddressSampler::new(SamplerConfig {
+            period: 100,
+            latency_threshold: 0.0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
         for _ in 0..1000 {
             s.on_access(&event(0, 50.0));
         }
@@ -208,7 +213,12 @@ mod tests {
 
     #[test]
     fn per_thread_independence_and_phase() {
-        let mut s = AddressSampler::new(SamplerConfig { period: 100, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let mut s = AddressSampler::new(SamplerConfig {
+            period: 100,
+            latency_threshold: 0.0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
         for _ in 0..500 {
             s.on_access(&event(0, 50.0));
             s.on_access(&event(1, 50.0));
@@ -219,16 +229,17 @@ mod tests {
         assert_eq!(by_thread(1), 5);
         // Phases differ: the first samples of each thread are at different
         // positions in their streams.
-        assert_ne!(
-            s.initial_countdown(0),
-            s.initial_countdown(1),
-            "threads should not sample in lockstep"
-        );
+        assert_ne!(s.initial_countdown(0), s.initial_countdown(1), "threads should not sample in lockstep");
     }
 
     #[test]
     fn latency_threshold_suppresses() {
-        let mut s = AddressSampler::new(SamplerConfig { period: 10, latency_threshold: 100.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let mut s = AddressSampler::new(SamplerConfig {
+            period: 10,
+            latency_threshold: 100.0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
         for _ in 0..100 {
             s.on_access(&event(0, 50.0)); // below threshold
         }
@@ -242,7 +253,12 @@ mod tests {
 
     #[test]
     fn drain_empties_but_keeps_counters() {
-        let mut s = AddressSampler::new(SamplerConfig { period: 5, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let mut s = AddressSampler::new(SamplerConfig {
+            period: 5,
+            latency_threshold: 0.0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
         for _ in 0..25 {
             s.on_access(&event(0, 50.0));
         }
@@ -254,7 +270,12 @@ mod tests {
 
     #[test]
     fn sample_fields_copied_from_event() {
-        let mut s = AddressSampler::new(SamplerConfig { period: 1, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let mut s = AddressSampler::new(SamplerConfig {
+            period: 1,
+            latency_threshold: 0.0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
         let ev = AccessEvent {
             time: 42.0,
             thread: ThreadId(3),
@@ -285,7 +306,12 @@ mod tests {
         let mut mm = MemoryMap::new(&cfg);
         let a = mm.alloc("a", 4 << 20, PlacementPolicy::Bind(NodeId(1)));
         let stream = SeqStream::new(a.base, a.size, 2, AccessMix::read_only());
-        let sampler = AddressSampler::new(SamplerConfig { period: 200, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        let sampler = AddressSampler::new(SamplerConfig {
+            period: 200,
+            latency_threshold: 0.0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
         let mut eng = Engine::new(&cfg, mm, sampler);
         let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]);
         let s = eng.observer();
@@ -299,6 +325,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "period must be positive")]
     fn zero_period_rejected() {
-        AddressSampler::new(SamplerConfig { period: 0, latency_threshold: 0.0, latency_jitter: 0.0, per_sample_cost: 0.0 });
+        AddressSampler::new(SamplerConfig {
+            period: 0,
+            latency_threshold: 0.0,
+            latency_jitter: 0.0,
+            per_sample_cost: 0.0,
+        });
     }
 }

@@ -41,12 +41,7 @@ const REPS: u16 = 4;
 
 /// Build the common master-init + partitioned-scan shape shared by the
 /// three vector kernels.
-fn vector_kernel(
-    mcfg: &MachineConfig,
-    run: &RunConfig,
-    arrays: &[&'static str],
-    compute: f64,
-) -> BuiltWorkload {
+fn vector_kernel(mcfg: &MachineConfig, run: &RunConfig, arrays: &[&'static str], compute: f64) -> BuiltWorkload {
     let mut mm = MemoryMap::new(mcfg);
     let mut tracker = AllocationTracker::new();
     let size = vector_bytes(run.input);

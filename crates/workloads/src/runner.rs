@@ -49,12 +49,7 @@ impl RunOutcome {
     /// # Panics
     /// Panics if no phase has that name.
     pub fn phase_cycles(&self, name: &str) -> f64 {
-        self.phases
-            .iter()
-            .find(|p| p.name == name)
-            .unwrap_or_else(|| panic!("no phase named {name:?}"))
-            .stats
-            .cycles
+        self.phases.iter().find(|p| p.name == name).unwrap_or_else(|| panic!("no phase named {name:?}")).stats.cycles
     }
 
     /// Speedup of `self` over a baseline run of the same work.
@@ -84,12 +79,7 @@ fn execute<O: Observer>(
     run: &RunConfig,
     observer: O,
 ) -> (Vec<PhaseOutcome>, AllocationTracker, O) {
-    assert!(
-        workload.supports(run.variant),
-        "{} does not support {:?}",
-        workload.name(),
-        run.variant
-    );
+    assert!(workload.supports(run.variant), "{} does not support {:?}", workload.name(), run.variant);
     let built = workload.build(mcfg, run);
     let mut mm = built.mm;
     if run.variant == Variant::InterleaveAll {
@@ -178,12 +168,7 @@ mod tests {
         assert!(profiled.cycles() >= plain.cycles());
         assert!(profiled.cycles() < plain.cycles() * 1.30, "overhead should stay bounded on a short run");
         // With the perturbation disabled, sampling is pure observation.
-        let pure = run(
-            &Sumv,
-            &mcfg,
-            &rcfg,
-            Some(SamplerConfig { per_sample_cost: 0.0, ..SamplerConfig::default() }),
-        );
+        let pure = run(&Sumv, &mcfg, &rcfg, Some(SamplerConfig { per_sample_cost: 0.0, ..SamplerConfig::default() }));
         assert_eq!(pure.cycles(), plain.cycles());
     }
 

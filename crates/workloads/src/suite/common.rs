@@ -116,9 +116,8 @@ impl<'a> Builder<'a> {
         let streams: Vec<Box<dyn AccessStream>> = handles
             .iter()
             .map(|h| {
-                Box::new(
-                    SeqStream::new(h.base, h.size, 1, AccessMix::write_only()).with_stride(page).with_compute(1.0),
-                ) as Box<dyn AccessStream>
+                Box::new(SeqStream::new(h.base, h.size, 1, AccessMix::write_only()).with_stride(page).with_compute(1.0))
+                    as Box<dyn AccessStream>
             })
             .collect();
         let t = vec![ThreadSpec::new(0, CoreId(0), Box::new(ZipStream::new(streams)))];
@@ -134,9 +133,8 @@ impl<'a> Builder<'a> {
                 .iter()
                 .map(|h| {
                     let (base, len) = b.share(*h, t);
-                    Box::new(
-                        SeqStream::new(base, len, 1, AccessMix::write_only()).with_stride(page).with_compute(1.0),
-                    ) as Box<dyn AccessStream>
+                    Box::new(SeqStream::new(base, len, 1, AccessMix::write_only()).with_stride(page).with_compute(1.0))
+                        as Box<dyn AccessStream>
                 })
                 .collect();
             Box::new(ZipStream::new(streams)) as Box<dyn AccessStream>
@@ -146,11 +144,7 @@ impl<'a> Builder<'a> {
 
     /// Build one thread per binding slot from a stream factory.
     pub fn threads_from(&self, mut f: impl FnMut(&Self, usize) -> Box<dyn AccessStream>) -> Vec<ThreadSpec> {
-        self.binding
-            .iter()
-            .enumerate()
-            .map(|(t, core)| ThreadSpec::new(t as u32, *core, f(self, t)))
-            .collect()
+        self.binding.iter().enumerate().map(|(t, core)| ThreadSpec::new(t as u32, *core, f(self, t))).collect()
     }
 
     /// Finish building.
@@ -285,13 +279,7 @@ pub fn wavefront_partition_scan(b: &Builder<'_>, handles: &[ObjectHandle], p: Sc
 
 /// Threads that each make `count` uniform random accesses over a shared
 /// array — Streamcluster's distance computations over `block`.
-pub fn shared_random(
-    b: &Builder<'_>,
-    h: ObjectHandle,
-    count: u64,
-    reps: u16,
-    compute: f64,
-) -> Vec<ThreadSpec> {
+pub fn shared_random(b: &Builder<'_>, h: ObjectHandle, count: u64, reps: u16, compute: f64) -> Vec<ThreadSpec> {
     b.threads_from(|b, t| {
         Box::new(
             RandomStream::new(h.base, h.size, count, b.run.thread_seed(t), AccessMix::read_only())

@@ -19,9 +19,7 @@ use crate::spec::Workload;
 
 pub use lulesh::Lulesh;
 pub use npb::{Bt, Cg, Dc, Ep, Ft, Is, Lu, Mg, Sp, Ua};
-pub use parsec::{
-    Blackscholes, Bodytrack, Ferret, Fluidanimate, Freqmine, Raytrace, Streamcluster, Swaptions, X264,
-};
+pub use parsec::{Blackscholes, Bodytrack, Ferret, Fluidanimate, Freqmine, Raytrace, Streamcluster, Swaptions, X264};
 pub use rodinia::Nw;
 pub use sequoia::{Amg2006, Irsmk};
 

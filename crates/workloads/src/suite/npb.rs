@@ -41,11 +41,8 @@ fn stencil_kernel(
 ) -> BuiltWorkload {
     let mut b = Builder::new(mcfg, run);
     let per = total / labels.len() as u64;
-    let handles: Vec<_> = labels
-        .iter()
-        .enumerate()
-        .map(|(i, l)| b.alloc(l, 400 + i as u32, per, PlacementPolicy::FirstTouch))
-        .collect();
+    let handles: Vec<_> =
+        labels.iter().enumerate().map(|(i, l)| b.alloc(l, 400 + i as u32, per, PlacementPolicy::FirstTouch)).collect();
     b.parallel_init("init", &handles);
     let threads = partitioned_scan(&b, &handles, ScanParams { passes, reps: 4, compute, write_every: 5, mlp: None });
     b.phase("solve", threads);
@@ -194,8 +191,9 @@ impl Workload for Is {
         let threads = b.threads_from(|b, t| {
             let (kb, kl) = b.share(keys, t);
             let scan = SeqStream::new(kb, kl, 3, AccessMix::read_only()).with_reps(4).with_compute(4.0);
-            let scatter = RandomStream::new(buckets.base, buckets.size, 15_000, b.run.thread_seed(t), AccessMix::write_only())
-                .with_compute(4.0);
+            let scatter =
+                RandomStream::new(buckets.base, buckets.size, 15_000, b.run.thread_seed(t), AccessMix::write_only())
+                    .with_compute(4.0);
             Box::new(ZipStream::new(vec![Box::new(scan), Box::new(scatter)])) as Box<dyn AccessStream>
         });
         b.phase("rank", threads);
@@ -225,8 +223,9 @@ impl Workload for Dc {
         let threads = b.threads_from(|b, t| {
             let (base, len) = b.share(views, t);
             let lines = (len / 64).max(2) as usize;
-            Box::new(PointerChaseStream::new(base, lines, 64, lines as u64 * 4, b.run.thread_seed(t)).with_compute(20.0))
-                as Box<dyn AccessStream>
+            Box::new(
+                PointerChaseStream::new(base, lines, 64, lines as u64 * 4, b.run.thread_seed(t)).with_compute(20.0),
+            ) as Box<dyn AccessStream>
         });
         b.phase("aggregate", threads);
         b.finish()
@@ -267,10 +266,8 @@ impl Workload for Ua {
             let assembly = SeqStream::new(pb, pl, 24, AccessMix::write_every(4)).with_reps(4).with_compute(15.0);
             let gather = RandomStream::new(mesh.base, mesh.size, 4_000, b.run.thread_seed(t), AccessMix::read_only())
                 .with_compute(2.0);
-            Box::new(ZipStream::new(vec![
-                Box::new(assembly) as Box<dyn AccessStream>,
-                Box::new(gather),
-            ])) as Box<dyn AccessStream>
+            Box::new(ZipStream::new(vec![Box::new(assembly) as Box<dyn AccessStream>, Box::new(gather)]))
+                as Box<dyn AccessStream>
         });
         b.phase("adapt", threads);
         b.finish()
@@ -308,8 +305,7 @@ impl Workload for Sp {
         let params = ScanParams { passes: 1, reps: 4, compute: 2.0, write_every: 5, mlp: None };
         let warm = partitioned_scan(&b, &[u, rhs], params);
         b.warmup_phase("warmup", warm);
-        let threads =
-            partitioned_scan(&b, &[u, rhs], ScanParams { passes: 6, ..params });
+        let threads = partitioned_scan(&b, &[u, rhs], ScanParams { passes: 6, ..params });
         b.phase("adi", threads);
         b.finish()
     }
@@ -328,18 +324,7 @@ mod tests {
     #[test]
     fn all_npb_build_and_run() {
         let rcfg = RunConfig::new(16, 4, Input::Small);
-        for w in [
-            &Bt as &dyn Workload,
-            &Cg,
-            &Dc,
-            &Ep,
-            &Ft,
-            &Is,
-            &Lu,
-            &Mg,
-            &Ua,
-            &Sp,
-        ] {
+        for w in [&Bt as &dyn Workload, &Cg, &Dc, &Ep, &Ft, &Is, &Lu, &Mg, &Ua, &Sp] {
             let out = run(w, &mcfg(), &rcfg, None);
             assert!(out.cycles() > 0.0, "{}", w.name());
         }
@@ -351,13 +336,7 @@ mod tests {
         for w in [&Bt as &dyn Workload, &Lu, &Mg] {
             let out = run(w, &mcfg(), &rcfg, None);
             let c = out.total_counts();
-            assert!(
-                c.remote_dram < c.local_dram / 10,
-                "{}: remote {} local {}",
-                w.name(),
-                c.remote_dram,
-                c.local_dram
-            );
+            assert!(c.remote_dram < c.local_dram / 10, "{}: remote {} local {}", w.name(), c.remote_dram, c.local_dram);
         }
     }
 

@@ -114,8 +114,7 @@ impl Workload for Bodytrack {
                 .with_reps(2)
                 .with_compute(15.0);
                 let (pb, pl) = b.share(particles, t);
-                let part =
-                    SeqStream::new(pb, pl, passes, AccessMix::write_every(4)).with_reps(4).with_compute(8.0);
+                let part = SeqStream::new(pb, pl, passes, AccessMix::write_every(4)).with_reps(4).with_compute(8.0);
                 Box::new(ZipStream::new(vec![Box::new(img), Box::new(part)])) as Box<dyn AccessStream>
             })
         };
@@ -271,7 +270,11 @@ impl Workload for X264 {
         let size = scale4(run.input, 1 << 20, 2 << 20, 4 << 20, 8 << 20);
         let frames = b.alloc("frames", 2210, size, PlacementPolicy::FirstTouch);
         b.parallel_init("read_frames", &[frames]);
-        let threads = partitioned_scan(&b, &[frames], ScanParams { passes: 6, reps: 4, compute: 12.0, write_every: 8, mlp: None });
+        let threads = partitioned_scan(
+            &b,
+            &[frames],
+            ScanParams { passes: 6, reps: 4, compute: 12.0, write_every: 8, mlp: None },
+        );
         b.phase("encode", threads);
         b.finish()
     }

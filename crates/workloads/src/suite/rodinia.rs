@@ -53,11 +53,7 @@ impl Workload for Nw {
         let params = ScanParams { passes: 1, reps: 2, compute: 4.0, write_every: 6, mlp: None };
         let warm = wavefront_partition_scan(&b, &[reference, itemsets], params);
         b.warmup_phase("warmup", warm);
-        let threads = wavefront_partition_scan(
-            &b,
-            &[reference, itemsets],
-            ScanParams { passes: 4, ..params },
-        );
+        let threads = wavefront_partition_scan(&b, &[reference, itemsets], ScanParams { passes: 4, ..params });
         b.phase("align", threads);
         b.finish()
     }

@@ -13,8 +13,8 @@ use numasim::topology::CoreId;
 /// `k`, and 27 stencil-coefficient arrays of identical size and access
 /// pattern.
 pub const IRSMK_ARRAYS: [&str; 29] = [
-    "b", "k", "dbl", "dbc", "dbr", "dcl", "dcc", "dcr", "dfl", "dfc", "dfr", "cbl", "cbc", "cbr", "ccl", "ccc",
-    "ccr", "cfl", "cfc", "cfr", "ubl", "ubc", "ubr", "ucl", "ucc", "ucr", "ufl", "ufc", "ufr",
+    "b", "k", "dbl", "dbc", "dbr", "dcl", "dcc", "dcr", "dfl", "dfc", "dfr", "cbl", "cbc", "cbr", "ccl", "ccc", "ccr",
+    "cfl", "cfc", "cfr", "ubl", "ubc", "ubr", "ucl", "ucc", "ucr", "ufl", "ufc", "ufr",
 ];
 
 /// IRSmk: the implicit radiation solver's 27-point stencil kernel. All 29
@@ -51,11 +51,8 @@ impl Workload for Irsmk {
         let mut b = Builder::new(mcfg, run);
         let per = irsmk_array_bytes(run.input);
         let policy = b.hot_policy(per);
-        let handles: Vec<_> = IRSMK_ARRAYS
-            .iter()
-            .enumerate()
-            .map(|(i, l)| b.alloc(l, 2000 + i as u32, per, policy.clone()))
-            .collect();
+        let handles: Vec<_> =
+            IRSMK_ARRAYS.iter().enumerate().map(|(i, l)| b.alloc(l, 2000 + i as u32, per, policy.clone())).collect();
         b.master_init("init", &handles);
         let params = ScanParams { passes: 1, reps: 4, compute: 1.2, write_every: 29, mlp: Some(8.0) };
         b.warmup_phase("warmup", partitioned_scan(&b, &handles, params));
@@ -124,8 +121,9 @@ impl Workload for Amg2006 {
         // own node-0-local data: interleave-all wrecks this, surgical
         // co-location of the four hot arrays leaves it alone) and
         // first-writes the coarse-grid products.
-        let mut setup_streams: Vec<Box<dyn AccessStream>> =
-            vec![Box::new(SeqStream::new(fine.base, fine.size, 1, AccessMix::read_only()).with_reps(4).with_compute(2.0))];
+        let mut setup_streams: Vec<Box<dyn AccessStream>> = vec![Box::new(
+            SeqStream::new(fine.base, fine.size, 1, AccessMix::read_only()).with_reps(4).with_compute(2.0),
+        )];
         let page = mcfg.mem.page_size;
         for h in &hot {
             setup_streams.push(Box::new(

@@ -43,16 +43,17 @@ impl Workload for GraphKernel {
         // The bug: the edge list is allocated (and first-touched) by the
         // master thread, so all of it lands on node 0.
         let edges = tracked_alloc_with(&mut mm, &mut tracker, "edges", 71, 12 << 20, PlacementPolicy::FirstTouch);
-        let frontier =
-            tracked_alloc_with(&mut mm, &mut tracker, "frontier", 85, 2 << 20, PlacementPolicy::FirstTouch);
+        let frontier = tracked_alloc_with(&mut mm, &mut tracker, "frontier", 85, 2 << 20, PlacementPolicy::FirstTouch);
 
         // Master loads the graph: one touch per page pins the pages.
         let page = mcfg.mem.page_size;
         let load = SeqStream::new(edges.handle.base, edges.handle.size, 1, AccessMix::write_only())
             .with_stride(page)
             .with_compute(1.0);
-        let load_phase =
-            Phase::new("load_graph", vec![numasim::engine::ThreadSpec::new(0, numasim::topology::CoreId(0), Box::new(load))]);
+        let load_phase = Phase::new(
+            "load_graph",
+            vec![numasim::engine::ThreadSpec::new(0, numasim::topology::CoreId(0), Box::new(load))],
+        );
 
         // Traversal: threads sweep their own frontier slice and gather
         // edges at random — from everyone, into node 0.

@@ -11,10 +11,7 @@
 //! the guidance by applying the co-locate optimization and measuring the
 //! speedup (and the drop in remote accesses), like Figures 4–5.
 
-use drbw::core::classifier::ContentionClassifier;
-use drbw::core::{diagnose, profile, training};
 use drbw::prelude::*;
-use mldt::tree::TrainConfig;
 use workloads::runner::run;
 
 fn main() {
@@ -35,12 +32,14 @@ fn main() {
     let rcfg = RunConfig::new(threads, nodes, input);
 
     println!("training classifier (quick subset)...");
-    let data = training::quick_training_set(&machine);
-    let classifier = ContentionClassifier::train(&data, TrainConfig::default());
+    let tool = DrBw::builder()
+        .machine(machine.clone())
+        .training_set(TrainingSet::Quick)
+        .build()
+        .expect("the quick training grid always trains");
 
     println!("profiling {} at {} ({})...", workload.name(), rcfg.shape_label(), input.name());
-    let p = profile(workload, &machine, &rcfg);
-    let detection = classifier.classify_case(&p, machine.topology.num_nodes());
+    let Analysis { detection, diagnosis, .. } = tool.analyze(workload, &rcfg);
 
     println!("\nper-channel verdicts:");
     for (ch, mode) in &detection.channel_modes {
@@ -51,7 +50,6 @@ fn main() {
         return;
     }
 
-    let diagnosis = diagnose(&p, &detection.contended_channels);
     println!("\nroot causes (cross-channel Contribution Fraction):");
     for o in diagnosis.overall.iter().take(8) {
         println!("  {:<22} line {:>5}  CF {:>6.2}%", o.label, o.line, o.cf * 100.0);

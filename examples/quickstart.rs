@@ -5,30 +5,38 @@
 //! ```
 //!
 //! This trains the classifier on a reduced version of the paper's §V
-//! mini-program grid (fast), profiles Streamcluster with native input on
-//! 32 threads over 4 NUMA nodes, detects the remote-bandwidth contention
-//! per interconnect channel, and prints the Contribution-Fraction ranking
-//! of the responsible data objects — DR-BW's optimization guidance.
+//! mini-program grid (fast; the runs are simulated in parallel), profiles
+//! Streamcluster with native input on 32 threads over 4 NUMA nodes,
+//! detects the remote-bandwidth contention per interconnect channel, and
+//! prints the Contribution-Fraction ranking of the responsible data
+//! objects — DR-BW's optimization guidance. It then sweeps the remaining
+//! run shapes in one parallel batch.
 
-use drbw::core::classifier::ContentionClassifier;
-use drbw::core::{diagnose, profile, report, training};
+use drbw::core::report;
 use drbw::prelude::*;
-use mldt::tree::TrainConfig;
 
 fn main() {
-    let machine = MachineConfig::scaled();
-
     println!("training on the mini-program grid (quick subset)...");
-    let data = training::quick_training_set(&machine);
-    let classifier = ContentionClassifier::train(&data, TrainConfig::default());
-    println!("learned tree:\n{}", classifier.render_tree());
+    let tool = DrBw::builder().training_set(TrainingSet::Quick).build().expect("the quick training grid always trains");
+    println!("learned tree:\n{}", tool.classifier().render_tree());
 
     let workload = drbw::workloads::suite::by_name("Streamcluster").unwrap();
     let rcfg = RunConfig::new(32, 4, Input::Native);
     println!("profiling {} at {} (native input)...", workload.name(), rcfg.shape_label());
-    let p = profile(workload, &machine, &rcfg);
+    let analysis = tool.analyze(workload, &rcfg);
+    println!("{}", report::render("streamcluster-native", &analysis.profile, &analysis.detection, &analysis.diagnosis));
 
-    let detection = classifier.classify_case(&p, machine.topology.num_nodes());
-    let diagnosis = diagnose(&p, &detection.contended_channels);
-    println!("{}", report::render("streamcluster-native", &p, &detection, &diagnosis));
+    // Batch mode: every shape of the scaling study, analyzed in parallel.
+    let shapes: Vec<RunConfig> =
+        [(8, 1), (16, 2), (32, 4), (64, 4)].iter().map(|&(t, n)| RunConfig::new(t, n, Input::Native)).collect();
+    let cases: Vec<Case> = shapes.iter().map(|r| Case::new(workload, r)).collect();
+    println!("sweeping {} shapes in one batch...", cases.len());
+    for (rcfg, a) in shapes.iter().zip(tool.analyze_batch(&cases)) {
+        println!(
+            "  {:<8} verdict: {:<4}  contended channels: {}",
+            rcfg.shape_label(),
+            a.detection.mode().name(),
+            a.detection.contended_channels.len()
+        );
+    }
 }

@@ -21,7 +21,11 @@ fn main() {
     let machine = MachineConfig::scaled();
 
     let specs = if full { training::training_specs() } else { training::quick_training_specs() };
-    println!("collecting {} training runs ({})...", specs.len(), if full { "full Table II grid" } else { "quick subset" });
+    println!(
+        "collecting {} training runs ({})...",
+        specs.len(),
+        if full { "full Table II grid" } else { "quick subset" }
+    );
     let data = training::collect_training_set(&machine, &specs);
     println!(
         "dataset: {} instances ({} good, {} rmc), {} features",

@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `Throughput`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a calibrated batch loop
+//! reporting median / mean per-iteration time (no statistics engine, no
+//! HTML reports). Swap the path dependency back to crates.io criterion on
+//! a networked machine for the full harness; bench sources compile
+//! unchanged.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a group (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Just the parameter (for groups benchmarking one function over
+    /// several inputs).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations collected by [`Bencher::iter`].
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly. Warmup runs calibrate an iteration batch so
+    /// each timed sample is long enough for the clock to resolve.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + batch calibration: aim for samples of >= 1ms.
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(10));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            self.times.push(start.elapsed() / batch);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.times.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.times.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!("{id:<40} median {median:>12.3?}  mean {mean:>12.3?}{rate}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    /// Finish the group (printing is eager; this is a no-op for
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup { name, throughput: None, sample_size: 30, _criterion: self }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: 30, times: Vec::new() };
+        f(&mut b);
+        b.report(&id.id, None);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher { samples: 5, times: Vec::new() };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(black_box(3));
+            n
+        });
+        assert_eq!(b.times.len(), 5);
+        assert!(b.times.iter().all(|t| *t > Duration::ZERO));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("seq").id, "seq");
+    }
+}

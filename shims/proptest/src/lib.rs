@@ -1,0 +1,384 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the subset of the proptest 1.x API its property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, range / `Just` / tuple /
+//! [`collection::vec`] / [`option::of`] strategies, `any::<T>()`, and the
+//! `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!` macros. Each `proptest!` test runs its body over
+//! [`CASES`] deterministically seeded random inputs (seeded from the test
+//! name, so failures reproduce); there is no shrinking. Swap the path
+//! dependency back to crates.io proptest on a networked machine and the
+//! test sources compile unchanged.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of random cases each `proptest!` test runs.
+pub const CASES: u64 = 64;
+
+/// Deterministic per-test RNG: seed derived from the test's name and the
+/// case number (FNV-1a over the name).
+fn case_rng(name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Test-runner entry used by the `proptest!` macro: run `body` once per
+/// case with a fresh deterministically seeded RNG.
+pub fn run_proptest<F: FnMut(&mut StdRng)>(name: &str, mut body: F) {
+    for case in 0..CASES {
+        let mut rng = case_rng(name, case);
+        body(&mut rng);
+    }
+}
+
+/// Input-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+
+        /// Type-erase (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Mapped strategy (`prop_map`).
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, T, F> Strategy for Map<B, F>
+    where
+        B: Strategy,
+        F: Fn(B::Value) -> T,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Uniform choice among type-erased strategies (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Build from the `prop_oneof!` arms.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a default full-range strategy.
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            (rng.next_u64() & 1 == 1).then(|| self.0.sample(rng))
+        }
+    }
+
+    /// `Some` of the inner strategy half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Assert inside a property (alias for `assert!`; no shrinking, so a plain
+/// panic carries the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property (alias for `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define a function returning a composed strategy:
+/// `fn name(args..)(bindings in strategies..) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)($($var:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(($($strat,)+), move |($($var,)+)| $body)
+        }
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies,
+/// run over [`CASES`] deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($var:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(stringify!($name), |rng| {
+                    $(let $var = $crate::strategy::Strategy::sample(&($strat), rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_shape() {
+        super::run_proptest("shape", |rng| {
+            let v: u64 = (10u64..20).sample(rng);
+            assert!((10..20).contains(&v));
+            let f: f64 = (0.5f64..1.5).sample(rng);
+            assert!((0.5..1.5).contains(&f));
+            let j = Just(7u8).sample(rng);
+            assert_eq!(j, 7);
+            let t = (0u8..4, 100u64..200).sample(rng);
+            assert!(t.0 < 4 && (100..200).contains(&t.1));
+            let vs = super::collection::vec(0u32..5, 2..6).sample(rng);
+            assert!((2..6).contains(&vs.len()));
+            assert!(vs.iter().all(|&x| x < 5));
+            let o = super::option::of(1u8..3).sample(rng);
+            assert!(o.is_none() || o == Some(1) || o == Some(2));
+        });
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        super::run_proptest("oneof", |rng| {
+            seen[s.sample(rng) as usize] = true;
+        });
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    prop_compose! {
+        fn arb_pair(hi: u8)(a in 0..hi, b in 0..hi) -> (u8, u8) { (a, b) }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategies_work(p in arb_pair(9), xs in super::collection::vec(any::<u32>(), 0..4)) {
+            prop_assert!(p.0 < 9 && p.1 < 9);
+            prop_assert_eq!(xs.len() < 4, true);
+        }
+
+        #[test]
+        fn mapped_values_transform(v in (0u8..5).prop_map(|x| x * 10)) {
+            prop_assert!(v % 10 == 0 && v < 50);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        super::run_proptest("det", |rng| a.push((0u64..1000).sample(rng)));
+        super::run_proptest("det", |rng| b.push((0u64..1000).sample(rng)));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), super::CASES as usize);
+    }
+}

@@ -19,14 +19,23 @@
 //! ```no_run
 //! use drbw::prelude::*;
 //!
-//! let machine = MachineConfig::scaled();
-//! // Train the classifier on the §V mini-program grid (192 runs).
-//! let tool = DrBw::train(&machine);
+//! // Train on the §V mini-program grid (192 parallel simulations),
+//! // caching the model so later runs load instead of retraining.
+//! let tool = DrBw::builder()
+//!     .model_cache("results/drbw.model")
+//!     .build()
+//!     .expect("train or load the DR-BW model");
 //! // Analyze a benchmark case end to end.
 //! let workload = drbw::workloads::suite::by_name("Streamcluster").unwrap();
-//! let analysis = tool.analyze(workload, &machine, &RunConfig::new(32, 4, Input::Native));
+//! let analysis = tool.analyze(workload, &RunConfig::new(32, 4, Input::Native));
 //! println!("{}", drbw::core::report::render("streamcluster", &analysis.profile,
 //!     &analysis.detection, &analysis.diagnosis));
+//! // Or sweep many cases at once on all cores:
+//! let shapes = [RunConfig::new(16, 2, Input::Large), RunConfig::new(64, 4, Input::Native)];
+//! let cases: Vec<Case> = shapes.iter().map(|r| Case::new(workload, r)).collect();
+//! for a in tool.analyze_batch(&cases) {
+//!     println!("{}", a.detection.mode().name());
+//! }
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench`
@@ -39,9 +48,32 @@ pub use pebs;
 pub use workloads;
 
 /// The most common imports for using DR-BW end to end.
+///
+/// One `use drbw::prelude::*;` brings in:
+///
+/// * the engine — [`DrBw`], [`DrBwBuilder`], [`TrainingSet`], batch
+///   analysis via [`Case`] / [`DrBw::analyze_batch`], and the [`Analysis`]
+///   bundle it returns;
+/// * the pipeline pieces for à-la-carte use — [`profile`],
+///   [`ContentionClassifier`], [`diagnose`], with their [`Profile`],
+///   [`CaseResult`], [`Mode`], and [`Diagnosis`] types;
+/// * every error the public surface reports, as [`DrbwError`];
+/// * the configuration types those entry points take —
+///   [`MachineConfig`], [`RunConfig`] ([`Input`], [`Variant`]),
+///   [`SamplerConfig`], [`TrainConfig`] — and the [`Workload`] trait
+///   implemented by every profiled program.
+///
+/// Anything rarer (feature indices, report rendering, heuristic
+/// baselines, the training grid) stays behind the full module paths,
+/// e.g. [`crate::core::training`].
 pub mod prelude {
-    pub use drbw_core::{diagnose, profile, Analysis, CaseResult, ContentionClassifier, Diagnosis, DrBw, Mode, Profile};
+    pub use drbw_core::{
+        diagnose, profile, Analysis, Case, CaseResult, ContentionClassifier, Diagnosis, DrBw, DrBwBuilder, DrbwError,
+        Mode, Profile, TrainingSet,
+    };
+    pub use mldt::tree::TrainConfig;
     pub use numasim::config::MachineConfig;
+    pub use pebs::sampler::SamplerConfig;
     pub use workloads::config::{Input, RunConfig, Variant};
     pub use workloads::spec::Workload;
 }

@@ -12,17 +12,15 @@
 //! The model file defaults to `results/drbw.model`; `analyze` trains a
 //! quick model on the fly when none exists.
 
-use drbw::core::classifier::ContentionClassifier;
-use drbw::core::{diagnose, report, training};
+use drbw::core::report;
 use drbw::prelude::*;
-use mldt::tree::TrainConfig;
 use std::process::ExitCode;
 
 const DEFAULT_MODEL: &str = "results/drbw.model";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drbw train [--quick] [--out PATH]\n  drbw analyze BENCH [-t THREADS] [-n NODES] [-i small|medium|large|native] [--model PATH]\n  drbw list\n  drbw tree [--model PATH]"
+        "usage:\n  drbw train [--quick] [--out PATH] [-j THREADS]\n  drbw analyze BENCH [-t THREADS] [-n NODES] [-i small|medium|large|native] [--model PATH]\n  drbw list\n  drbw tree [--model PATH]"
     );
     ExitCode::from(2)
 }
@@ -31,34 +29,38 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
-fn load_or_train(mcfg: &MachineConfig, path: &str) -> ContentionClassifier {
-    if let Ok(text) = std::fs::read_to_string(path) {
-        match ContentionClassifier::from_model_string(&text) {
-            Ok(c) => {
-                eprintln!("loaded model from {path}");
-                return c;
-            }
-            Err(e) => eprintln!("ignoring unreadable model {path}: {e}"),
+fn load_or_train(path: &str) -> DrBw {
+    match DrBw::load(path) {
+        Ok(tool) => {
+            eprintln!("loaded model from {path}");
+            return tool;
         }
+        Err(DrbwError::Io(_)) => {
+            eprintln!("no model at {path}; training a quick one (use `drbw train` for the full grid)")
+        }
+        Err(e) => eprintln!("ignoring unreadable model {path}: {e}"),
     }
-    eprintln!("no model at {path}; training a quick one (use `drbw train` for the full grid)");
-    let data = training::quick_training_set(mcfg);
-    ContentionClassifier::train(&data, TrainConfig::default())
+    DrBw::builder().training_set(TrainingSet::Quick).build().expect("the quick grid always trains")
 }
 
 fn cmd_train(args: &[String]) -> ExitCode {
-    let mcfg = MachineConfig::scaled();
     let quick = args.iter().any(|a| a == "--quick");
     let out = flag_value(args, "--out").unwrap_or_else(|| DEFAULT_MODEL.into());
-    let specs = if quick { training::quick_training_specs() } else { training::training_specs() };
-    eprintln!("running {} training simulations...", specs.len());
-    let data = training::collect_training_set(&mcfg, &specs);
-    let clf = ContentionClassifier::train(&data, TrainConfig::default());
-    println!("{}", clf.render_tree());
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        let _ = std::fs::create_dir_all(dir);
+    let set = if quick { TrainingSet::Quick } else { TrainingSet::Full };
+    let mut builder = DrBw::builder().training_set(set);
+    if let Some(j) = flag_value(args, "-j").and_then(|v| v.parse().ok()) {
+        builder = builder.threads(j);
     }
-    match std::fs::write(&out, clf.to_model_string()) {
+    eprintln!("running the {} training simulations...", if quick { "quick (24)" } else { "full (192)" });
+    let tool = match builder.build() {
+        Ok(tool) => tool,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", tool.classifier().render_tree());
+    match tool.save(&out) {
         Ok(()) => {
             println!("model written to {out}");
             ExitCode::SUCCESS
@@ -95,16 +97,13 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!("{name} defines inputs {:?}", workload.inputs().iter().map(|i| i.name()).collect::<Vec<_>>());
         return ExitCode::FAILURE;
     }
-    let mcfg = MachineConfig::scaled();
     let model_path = flag_value(args, "--model").unwrap_or_else(|| DEFAULT_MODEL.into());
-    let clf = load_or_train(&mcfg, &model_path);
+    let tool = load_or_train(&model_path);
 
     let rcfg = RunConfig::new(threads, nodes, input);
     eprintln!("profiling {name} at {} ({})...", rcfg.shape_label(), input.name());
-    let p = drbw::core::profile(workload, &mcfg, &rcfg);
-    let det = clf.classify_case(&p, mcfg.topology.num_nodes());
-    let diag = diagnose(&p, &det.contended_channels);
-    print!("{}", report::render(&format!("{name} {}", rcfg.shape_label()), &p, &det, &diag));
+    let a = tool.analyze(workload, &rcfg);
+    print!("{}", report::render(&format!("{name} {}", rcfg.shape_label()), &a.profile, &a.detection, &a.diagnosis));
     ExitCode::SUCCESS
 }
 
@@ -118,10 +117,9 @@ fn cmd_list() -> ExitCode {
 }
 
 fn cmd_tree(args: &[String]) -> ExitCode {
-    let mcfg = MachineConfig::scaled();
     let model_path = flag_value(args, "--model").unwrap_or_else(|| DEFAULT_MODEL.into());
-    let clf = load_or_train(&mcfg, &model_path);
-    print!("{}", clf.render_tree());
+    let tool = load_or_train(&model_path);
+    print!("{}", tool.classifier().render_tree());
     ExitCode::SUCCESS
 }
 

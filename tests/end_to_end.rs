@@ -99,7 +99,7 @@ fn drbw_facade_full_pipeline() {
     let mcfg = machine();
     let tool = DrBw::new(quick_classifier(&mcfg));
     let w = by_name("AMG2006").unwrap();
-    let analysis = tool.analyze(w, &mcfg, &RunConfig::new(32, 4, Input::Medium));
+    let analysis = tool.analyze(w, &RunConfig::new(32, 4, Input::Medium));
     assert_eq!(analysis.detection.mode(), Mode::Rmc);
     assert_eq!(analysis.diagnosis.top_object().unwrap().label, "RAP_diag_j");
     let rendered = drbw::core::report::render("amg", &analysis.profile, &analysis.detection, &analysis.diagnosis);
@@ -110,16 +110,10 @@ fn drbw_facade_full_pipeline() {
 #[test]
 fn interleave_ground_truth_rule_is_usable_from_outside() {
     let mcfg = machine();
-    let gt = workloads::ground_truth::actual_contention(
-        by_name("SP").unwrap(),
-        &mcfg,
-        &RunConfig::new(64, 4, Input::Large),
-    );
+    let gt =
+        workloads::ground_truth::actual_contention(by_name("SP").unwrap(), &mcfg, &RunConfig::new(64, 4, Input::Large));
     assert!(gt.is_rmc);
-    let gt2 = workloads::ground_truth::actual_contention(
-        by_name("LU").unwrap(),
-        &mcfg,
-        &RunConfig::new(64, 4, Input::Large),
-    );
+    let gt2 =
+        workloads::ground_truth::actual_contention(by_name("LU").unwrap(), &mcfg, &RunConfig::new(64, 4, Input::Large));
     assert!(!gt2.is_rmc);
 }
