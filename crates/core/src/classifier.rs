@@ -29,18 +29,6 @@ impl Mode {
         }
     }
 
-    /// Inverse of [`Mode::class_index`].
-    ///
-    /// # Panics
-    /// Panics for indices other than 0 or 1.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Mode::try_from(index)`, which returns a typed error instead of panicking"
-    )]
-    pub fn from_class_index(i: usize) -> Self {
-        Mode::try_from(i).unwrap_or_else(|_| panic!("unknown class index {i}"))
-    }
-
     /// Display name matching the paper's labels.
     pub fn name(self) -> &'static str {
         match self {
@@ -295,13 +283,6 @@ mod tests {
             Err(crate::error::DrbwError::InvalidClassIndex(2)) => {}
             other => panic!("expected InvalidClassIndex(2), got {other:?}"),
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "unknown class index")]
-    fn deprecated_shim_still_panics() {
-        Mode::from_class_index(2);
     }
 
     #[test]

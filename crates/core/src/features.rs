@@ -33,6 +33,17 @@
 //! simulated cycles, average-latency features are plain cycle values, and
 //! ratio features are in `[0, 1]`.
 
+//!
+//! **Batch/stream equivalence.** [`selected_features`] is implemented as
+//! "feed every sample into a [`FeatureAccumulator`], then
+//! [`FeatureAccumulator::finalize`]". The accumulator is *mergeable* and
+//! its latency sums are kept in an order-independent fixed-point form
+//! ([`ExactSum`]), so splitting a batch at any point, accumulating the
+//! parts separately, and merging yields the **bit-identical** feature
+//! vector — the property the streaming detector's tumbling/sliding
+//! windows (`drbw-stream`) are built on.
+
+use mldt::stats::Welford;
 use numasim::hierarchy::DataSource;
 use pebs::sample::MemSample;
 
@@ -99,58 +110,204 @@ fn avg(sum: f64, n: usize) -> f64 {
     }
 }
 
+/// The latency thresholds of Table I features 1–5, in feature order.
+pub const LATENCY_THRESHOLDS: [f64; 5] = [1000.0, 500.0, 200.0, 100.0, 50.0];
+
+/// Fractional bits of [`ExactSum`]'s fixed-point representation.
+const EXACT_FRAC_BITS: u32 = 75;
+/// 2⁷⁵ as an `f64` (exact: powers of two are representable).
+const EXACT_SCALE: f64 = (1u128 << EXACT_FRAC_BITS) as f64;
+
+/// An order-independent, mergeable sum of latencies.
+///
+/// Values are converted **once, per observation**, to a signed 128-bit
+/// fixed-point integer in units of 2⁻⁷⁵ and summed with integer addition,
+/// which is associative and commutative. Two accumulators built over the
+/// two halves of a stream therefore merge to the *bit-identical* state an
+/// accumulator fed the whole stream reaches — the property that lets
+/// windowed streaming feature extraction reproduce batch extraction
+/// exactly, for any window split.
+///
+/// The conversion is exact for values whose lowest mantissa bit is at
+/// 2⁻⁷⁵ or above — every latency the simulator can produce (|x| in
+/// [2⁻²³, 2⁵²] is always exact) — and faithfully rounded to the nearest
+/// unit otherwise, identically on every path. The i128 saturates at
+/// roughly 4.5 × 10¹⁵ cycle-units of accumulated latency, far beyond any
+/// window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactSum {
+    units: i128,
+}
+
+impl ExactSum {
+    /// The empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one value.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "latency sums are over finite values");
+        // Multiplying by a power of two is exact (no mantissa rounding);
+        // `round` then resolves sub-unit bits, identically wherever the
+        // same value is pushed.
+        let scaled = (x * EXACT_SCALE).round();
+        self.units = self.units.saturating_add(scaled as i128);
+    }
+
+    /// Fold another sum into this one (exact: integer addition).
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.units = self.units.saturating_add(other.units);
+    }
+
+    /// The sum as an `f64` (one rounding, at the very end).
+    pub fn value(&self) -> f64 {
+        self.units as f64 / EXACT_SCALE
+    }
+}
+
+/// Per-source running state: a count and an exact latency sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct SourceAccum {
+    n: usize,
+    lat: ExactSum,
+}
+
+impl SourceAccum {
+    fn push(&mut self, latency: f64) {
+        self.n += 1;
+        self.lat.push(latency);
+    }
+
+    fn merge(&mut self, other: &SourceAccum) {
+        self.n += other.n;
+        self.lat.merge(&other.lat);
+    }
+}
+
+/// Incremental, mergeable state from which the 13 Table I features are
+/// produced.
+///
+/// Feed samples with [`FeatureAccumulator::push`]; combine accumulators
+/// built over disjoint sub-streams with [`FeatureAccumulator::merge`];
+/// produce the feature vector with [`FeatureAccumulator::finalize`].
+/// Counts are integers and latency sums are [`ExactSum`]s, so any
+/// push/merge schedule that covers each sample exactly once finalizes to
+/// the bit-identical vector [`selected_features`] computes over the whole
+/// batch. The accumulator additionally tracks the running latency moments
+/// ([`mldt::stats::Welford`]) for monitoring surfaces; the moments are not
+/// part of the feature vector (their merge is subject to ordinary
+/// floating-point rounding).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FeatureAccumulator {
+    total: usize,
+    above: [usize; 5],
+    remote: SourceAccum,
+    local: SourceAccum,
+    lfb: SourceAccum,
+    lat_all: ExactSum,
+    moments: Welford,
+}
+
+impl FeatureAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate a whole batch (the batch pipeline's path).
+    pub fn from_batch(batch: &[MemSample]) -> Self {
+        let mut acc = Self::new();
+        for s in batch {
+            acc.push(s);
+        }
+        acc
+    }
+
+    /// Ingest one sample.
+    pub fn push(&mut self, s: &MemSample) {
+        self.total += 1;
+        self.lat_all.push(s.latency);
+        self.moments.push(s.latency);
+        for (i, &t) in LATENCY_THRESHOLDS.iter().enumerate() {
+            if s.latency > t {
+                self.above[i] += 1;
+            }
+        }
+        match s.source {
+            DataSource::RemoteDram => self.remote.push(s.latency),
+            DataSource::LocalDram => self.local.push(s.latency),
+            DataSource::Lfb => self.lfb.push(s.latency),
+            _ => {}
+        }
+    }
+
+    /// Fold an accumulator built over a disjoint sub-stream into this one.
+    pub fn merge(&mut self, other: &FeatureAccumulator) {
+        self.total += other.total;
+        for (a, b) in self.above.iter_mut().zip(other.above) {
+            *a += b;
+        }
+        self.remote.merge(&other.remote);
+        self.local.merge(&other.local);
+        self.lfb.merge(&other.lfb);
+        self.lat_all.merge(&other.lat_all);
+        self.moments.merge(&other.moments);
+    }
+
+    /// Samples accumulated so far.
+    pub fn count(&self) -> usize {
+        self.total
+    }
+
+    /// Remote-DRAM samples accumulated so far (the count behind Table I
+    /// feature #6 before per-mille normalisation).
+    pub fn remote_dram_count(&self) -> usize {
+        self.remote.n
+    }
+
+    /// Running latency moments (count / mean / variance) of everything
+    /// accumulated — a monitoring by-product, not a Table I feature.
+    pub fn latency_moments(&self) -> Welford {
+        self.moments
+    }
+
+    /// Produce the 13 selected features (Table I order).
+    ///
+    /// # Panics
+    /// Panics if `ctx.duration_cycles <= 0`.
+    pub fn finalize(&self, ctx: &FeatureCtx) -> [f64; NUM_SELECTED] {
+        assert!(ctx.duration_cycles > 0.0, "profile duration must be positive");
+        let total = self.total;
+        let ratio = |c: usize| if total == 0 { 0.0 } else { c as f64 / total as f64 };
+        [
+            ratio(self.above[0]),
+            ratio(self.above[1]),
+            ratio(self.above[2]),
+            ratio(self.above[3]),
+            ratio(self.above[4]),
+            per_mille(self.remote.n, total),
+            avg(self.remote.lat.value(), self.remote.n),
+            per_mille(self.local.n, total),
+            avg(self.local.lat.value(), self.local.n),
+            ctx.rate(total),
+            avg(self.lat_all.value(), total),
+            per_mille(self.lfb.n, total),
+            avg(self.lfb.lat.value(), self.lfb.n),
+        ]
+    }
+}
+
 /// Compute the 13 selected features over a sample batch.
+///
+/// Implemented via [`FeatureAccumulator`], so a windowed/streaming
+/// extraction that covers the same samples produces the bit-identical
+/// vector (see the module docs).
 ///
 /// # Panics
 /// Panics if `ctx.duration_cycles <= 0`.
 pub fn selected_features(batch: &[MemSample], ctx: &FeatureCtx) -> [f64; NUM_SELECTED] {
-    assert!(ctx.duration_cycles > 0.0, "profile duration must be positive");
-    let total = batch.len();
-    let mut above = [0usize; 5]; // 1000, 500, 200, 100, 50
-    let thresholds = [1000.0, 500.0, 200.0, 100.0, 50.0];
-    let (mut n_rem, mut lat_rem) = (0usize, 0.0);
-    let (mut n_loc, mut lat_loc) = (0usize, 0.0);
-    let (mut n_lfb, mut lat_lfb) = (0usize, 0.0);
-    let mut lat_all = 0.0;
-    for s in batch {
-        lat_all += s.latency;
-        for (i, &t) in thresholds.iter().enumerate() {
-            if s.latency > t {
-                above[i] += 1;
-            }
-        }
-        match s.source {
-            DataSource::RemoteDram => {
-                n_rem += 1;
-                lat_rem += s.latency;
-            }
-            DataSource::LocalDram => {
-                n_loc += 1;
-                lat_loc += s.latency;
-            }
-            DataSource::Lfb => {
-                n_lfb += 1;
-                lat_lfb += s.latency;
-            }
-            _ => {}
-        }
-    }
-    let ratio = |c: usize| if total == 0 { 0.0 } else { c as f64 / total as f64 };
-    [
-        ratio(above[0]),
-        ratio(above[1]),
-        ratio(above[2]),
-        ratio(above[3]),
-        ratio(above[4]),
-        per_mille(n_rem, total),
-        avg(lat_rem, n_rem),
-        per_mille(n_loc, total),
-        avg(lat_loc, n_loc),
-        ctx.rate(total),
-        avg(lat_all, total),
-        per_mille(n_lfb, total),
-        avg(lat_lfb, n_lfb),
-    ]
+    FeatureAccumulator::from_batch(batch).finalize(ctx)
 }
 
 /// Names of the full candidate list: the 13 selected features plus the
@@ -319,5 +476,70 @@ mod tests {
     #[should_panic(expected = "duration must be positive")]
     fn zero_duration_rejected() {
         selected_features(&[], &FeatureCtx { duration_cycles: 0.0 });
+    }
+
+    /// A batch with awkward latencies (the jittered values real sampling
+    /// produces).
+    fn jittery_batch() -> Vec<MemSample> {
+        let sources = [
+            DataSource::RemoteDram,
+            DataSource::LocalDram,
+            DataSource::Lfb,
+            DataSource::L1,
+            DataSource::L2,
+            DataSource::L3,
+        ];
+        (0..97)
+            .map(|i| {
+                let lat = 3.0 + (i as f64 * 0.731).sin().abs() * 1700.0 + i as f64 / 7.0;
+                sample(sources[i % sources.len()], lat, (i % 13) as u32, i % 3 == 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accumulator_split_merge_is_bit_identical_to_batch() {
+        let batch = jittery_batch();
+        let whole = selected_features(&batch, &CTX);
+        for split in [0, 1, 13, 48, 96, 97] {
+            let mut a = FeatureAccumulator::from_batch(&batch[..split]);
+            let b = FeatureAccumulator::from_batch(&batch[split..]);
+            a.merge(&b);
+            assert_eq!(a.finalize(&CTX), whole, "split at {split}");
+        }
+        // Three-way and reversed merge orders too: exact sums commute.
+        let (x, y, z) = (&batch[..20], &batch[20..70], &batch[70..]);
+        let mut m = FeatureAccumulator::from_batch(z);
+        m.merge(&FeatureAccumulator::from_batch(x));
+        m.merge(&FeatureAccumulator::from_batch(y));
+        assert_eq!(m.finalize(&CTX), whole, "merge order must not matter");
+    }
+
+    #[test]
+    fn exact_sum_is_order_independent() {
+        let vals = [1013.75, 3.0000001, 880.125, 42.625, 1999.99, 0.5];
+        let mut fwd = ExactSum::new();
+        let mut rev = ExactSum::new();
+        for v in vals {
+            fwd.push(v);
+        }
+        for v in vals.iter().rev() {
+            rev.push(*v);
+        }
+        assert_eq!(fwd, rev);
+        assert!((fwd.value() - vals.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_exposes_counts_and_moments() {
+        let batch = jittery_batch();
+        let acc = FeatureAccumulator::from_batch(&batch);
+        assert_eq!(acc.count(), batch.len());
+        assert_eq!(acc.remote_dram_count(), batch.iter().filter(|s| s.source == DataSource::RemoteDram).count());
+        let m = acc.latency_moments();
+        assert_eq!(m.count(), batch.len() as u64);
+        let lat: Vec<f64> = batch.iter().map(|s| s.latency).collect();
+        assert!((m.mean() - mldt::stats::mean(&lat)).abs() < 1e-9);
+        assert!((m.variance() - mldt::stats::variance(&lat)).abs() * 1e-9 < m.variance().max(1.0));
     }
 }

@@ -5,16 +5,16 @@
 //! model. To quantify that, we implement the heuristics the paper surveys:
 //!
 //! * **latency threshold** — accesses above a fixed latency are deemed
-//!   contentious (Dashti et al. [7]; HPCToolkit-NUMA [19] picks its
+//!   contentious (Dashti et al. \[7\]; HPCToolkit-NUMA \[19\] picks its
 //!   threshold "via simple experiments");
 //! * **remote-access count** — high remote-DRAM traffic means trouble
 //!   (what raw `MEM_LOAD_UOPS_LLC_MISS_RETIRED.REMOTE_DRAM`-style counting
 //!   gives you — the paper found it non-discriminative);
 //! * **all-sockets-touch** — data allocated on one node but accessed from
-//!   every socket is flagged (Liu & Mellor-Crummey [20]);
+//!   every socket is flagged (Liu & Mellor-Crummey \[20\]);
 //! * **bandit interference probe** — co-run tunable interference threads
 //!   and call the program bandwidth-bound if it slows down (Eklov et al.
-//!   [10]); needs spare cores and gives only a whole-program answer.
+//!   \[10\]); needs spare cores and gives only a whole-program answer.
 
 use crate::features::{selected_features, FeatureCtx, REMOTE_COUNT};
 use crate::profiler::Profile;

@@ -16,7 +16,9 @@
 //! * [`export`] — text and Graphviz renderings of a trained tree
 //!   (Figure 3);
 //! * [`stats`] — Welch's t statistic and effect sizes, used by the
-//!   feature-selection step (§V.B).
+//!   feature-selection step (§V.B), plus [`stats::Welford`], the
+//!   workspace's shared mergeable running-moment accumulator (also used by
+//!   the `drbw-stream` window accumulators).
 //!
 //! Fallible operations return [`error::MldtError`] (a `std::error::Error`),
 //! never a bare `String`.
@@ -37,4 +39,5 @@ pub use crossval::stratified_kfold;
 pub use dataset::Dataset;
 pub use error::MldtError;
 pub use metrics::ConfusionMatrix;
+pub use stats::Welford;
 pub use tree::{DecisionTree, TrainConfig};

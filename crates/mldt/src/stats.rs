@@ -1,26 +1,103 @@
-//! Small statistics helpers for feature selection.
+//! Small statistics helpers for feature selection, plus the workspace's
+//! one mergeable running-moment accumulator.
 //!
 //! The paper selects a feature when its statistics differ *significantly*
 //! between the `good` and `rmc` runs of a majority of mini-programs
 //! (§V.B). We quantify "significantly" with Welch's t statistic and
 //! Cohen's d effect size over the two groups.
+//!
+//! [`Welford`] is the single shared implementation of running
+//! mean/variance: the slice helpers here delegate to it, and the streaming
+//! detector's per-window accumulators (`drbw-stream`) reuse it rather than
+//! keeping a second copy of the moment math.
+
+/// Mergeable running mean and variance (Welford's online algorithm, with
+/// Chan et al.'s pairwise update for [`Welford::merge`]).
+///
+/// Numerically stable single-pass moments: push values one at a time, or
+/// combine two accumulators built over disjoint sub-streams. Merging is
+/// exact for the counts and agrees with sequential pushing up to
+/// floating-point rounding for the moments.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate every value of a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut w = Self::new();
+        for &x in xs {
+            w.push(x);
+        }
+        w
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Fold another accumulator (built over a disjoint sub-stream) into
+    /// this one.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64 / n as f64);
+        self.n = n;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            // Rounding can leave a tiny negative m2 on near-constant data.
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        }
+    }
+}
 
 /// Sample mean; 0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
+    Welford::from_slice(xs).mean()
 }
 
 /// Unbiased sample variance; 0 with fewer than two points.
 pub fn variance(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+    Welford::from_slice(xs).variance()
 }
 
 /// Welch's t statistic between two samples (unequal variances).
@@ -87,6 +164,36 @@ mod tests {
         assert_eq!(welch_t(&[1.0], &[2.0, 3.0]), 0.0);
         assert_eq!(welch_t(&[2.0, 2.0], &[2.0, 2.0]), 0.0);
         assert_eq!(welch_t(&[2.0, 2.0], &[3.0, 3.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn welford_matches_two_pass_helpers() {
+        let xs = [3.0, 1.5, 9.25, -2.0, 7.125, 0.5];
+        let w = Welford::from_slice(&xs);
+        assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        let two_pass = xs.iter().map(|x| (x - mean(&xs)).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.variance() - two_pass).abs() < 1e-9);
+        assert_eq!(Welford::new().mean(), 0.0);
+        assert_eq!(Welford::from_slice(&[7.0]).variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_agrees_with_sequential() {
+        let xs = [10.0, -4.0, 2.5, 2.5, 100.0, 0.125, 3.0];
+        for split in 0..=xs.len() {
+            let mut a = Welford::from_slice(&xs[..split]);
+            let b = Welford::from_slice(&xs[split..]);
+            a.merge(&b);
+            let seq = Welford::from_slice(&xs);
+            assert_eq!(a.count(), seq.count());
+            assert!((a.mean() - seq.mean()).abs() < 1e-9, "split {split}");
+            assert!((a.variance() - seq.variance()).abs() < 1e-9, "split {split}");
+        }
+        // Merging into/with an empty accumulator is the identity.
+        let mut e = Welford::new();
+        e.merge(&Welford::from_slice(&xs));
+        assert_eq!(e, Welford::from_slice(&xs));
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //!   attributed to data objects by range lookup;
 //! * [`numa_api`] is the libnuma facade (`numa_node_of_addr`,
 //!   `alloc_onnode`, interleaving) used both by the profiler (to find a
-//!   sample's locating node) and by the optimizations.
+//!   sample's locating node) and by the optimizations;
+//! * [`ring::SampleRing`] and [`stream::StreamingSampler`] are the online
+//!   path: a bounded ring with explicit backpressure/drop accounting and
+//!   an observer adapter that feeds it, so a live consumer (the
+//!   `drbw-stream` detector) can watch a run without retaining its full
+//!   sample log.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,11 +31,15 @@ pub mod alloc;
 pub mod ibs;
 pub mod mrk;
 pub mod numa_api;
+pub mod ring;
 pub mod sample;
 pub mod sampler;
+pub mod stream;
 
 pub use alloc::{AllocId, AllocationTracker, SiteId};
 pub use ibs::{IbsConfig, IbsSampler};
 pub use mrk::{MrkConfig, MrkSampler};
+pub use ring::{Offer, OverflowPolicy, SampleRing};
 pub use sample::MemSample;
 pub use sampler::{AddressSampler, SamplerConfig};
+pub use stream::StreamingSampler;

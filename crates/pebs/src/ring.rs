@@ -1,0 +1,240 @@
+//! A bounded sample ring buffer with explicit backpressure and drop
+//! accounting.
+//!
+//! Online monitors cannot retain the full sample log: between the sampler
+//! (producer) and the streaming detector (consumer) sits a fixed-capacity
+//! ring. When the consumer falls behind, the ring either **rejects the
+//! newest** sample (backpressure: the producer sees the refusal and the
+//! sample is accounted as dropped) or **evicts the oldest** (the PEBS
+//! hardware buffer's own overwrite discipline). Either way, every sample
+//! ever offered is accounted for: `offered() == accepted() + dropped()`,
+//! and `accepted() == len() + popped()`.
+
+use crate::sample::MemSample;
+use std::collections::VecDeque;
+
+/// What the ring does when a sample is offered while full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Refuse the newest sample (explicit backpressure to the producer).
+    #[default]
+    RejectNewest,
+    /// Evict the oldest queued sample to make room (hardware-buffer
+    /// overwrite semantics).
+    DropOldest,
+}
+
+/// Outcome of one [`SampleRing::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The sample was queued.
+    Accepted,
+    /// The ring was full and the offered sample was refused
+    /// ([`OverflowPolicy::RejectNewest`]).
+    RejectedNewest,
+    /// The ring was full; the oldest queued sample was evicted and the
+    /// offered one queued ([`OverflowPolicy::DropOldest`]).
+    EvictedOldest,
+}
+
+/// Fixed-capacity FIFO of [`MemSample`]s with loss accounting.
+#[derive(Debug, Clone)]
+pub struct SampleRing {
+    buf: VecDeque<MemSample>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    offered: u64,
+    dropped: u64,
+    popped: u64,
+    peak: usize,
+}
+
+impl SampleRing {
+    /// A ring holding at most `capacity` samples, rejecting the newest on
+    /// overflow.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, OverflowPolicy::RejectNewest)
+    }
+
+    /// A ring with an explicit overflow policy.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_policy(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self { buf: VecDeque::with_capacity(capacity), capacity, policy, offered: 0, dropped: 0, popped: 0, peak: 0 }
+    }
+
+    /// Offer one sample; the outcome says whether it (or an older one) was
+    /// lost. Every offer increments either the accepted or the dropped
+    /// account.
+    pub fn offer(&mut self, s: MemSample) -> Offer {
+        self.offered += 1;
+        if self.buf.len() == self.capacity {
+            match self.policy {
+                OverflowPolicy::RejectNewest => {
+                    self.dropped += 1;
+                    return Offer::RejectedNewest;
+                }
+                OverflowPolicy::DropOldest => {
+                    self.buf.pop_front();
+                    self.dropped += 1;
+                    self.buf.push_back(s);
+                    return Offer::EvictedOldest;
+                }
+            }
+        }
+        self.buf.push_back(s);
+        self.peak = self.peak.max(self.buf.len());
+        Offer::Accepted
+    }
+
+    /// Dequeue the oldest queued sample.
+    pub fn pop(&mut self) -> Option<MemSample> {
+        let s = self.buf.pop_front();
+        if s.is_some() {
+            self.popped += 1;
+        }
+        s
+    }
+
+    /// Samples currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the next offer will overflow.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Maximum number of queued samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Samples ever offered.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Samples lost to overflow (refused or evicted).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Samples the consumer has dequeued.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Samples accepted into the ring (`offered - dropped`; for
+    /// `DropOldest` an accepted sample may still be evicted later, which
+    /// then moves it to the dropped account).
+    pub fn accepted(&self) -> u64 {
+        self.offered - self.dropped
+    }
+
+    /// High-water mark of queued samples — the ring's actual retention
+    /// ceiling over its lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numasim::hierarchy::DataSource;
+    use numasim::topology::{CoreId, NodeId, ThreadId};
+
+    fn sample(addr: u64) -> MemSample {
+        MemSample {
+            time: addr as f64,
+            addr,
+            cpu: CoreId(0),
+            thread: ThreadId(0),
+            node: NodeId(0),
+            source: DataSource::LocalDram,
+            home: Some(NodeId(0)),
+            latency: 100.0,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let mut r = SampleRing::new(4);
+        for a in 0..3 {
+            assert_eq!(r.offer(sample(a)), Offer::Accepted);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pop().unwrap().addr, 0);
+        assert_eq!(r.pop().unwrap().addr, 1);
+        assert_eq!((r.offered(), r.dropped(), r.popped()), (3, 0, 2));
+        assert_eq!(r.accepted(), 3);
+        assert_eq!(r.peak_len(), 3);
+    }
+
+    #[test]
+    fn reject_newest_accounts_every_drop() {
+        let mut r = SampleRing::new(2);
+        assert_eq!(r.offer(sample(0)), Offer::Accepted);
+        assert_eq!(r.offer(sample(1)), Offer::Accepted);
+        assert!(r.is_full());
+        for a in 2..7 {
+            assert_eq!(r.offer(sample(a)), Offer::RejectedNewest);
+        }
+        assert_eq!(r.dropped(), 5);
+        assert_eq!(r.offered(), 7);
+        assert_eq!(r.accepted(), 2);
+        // The survivors are the oldest two.
+        assert_eq!(r.pop().unwrap().addr, 0);
+        assert_eq!(r.pop().unwrap().addr, 1);
+        assert!(r.pop().is_none());
+        assert_eq!(r.popped(), 2);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_newest() {
+        let mut r = SampleRing::with_policy(2, OverflowPolicy::DropOldest);
+        r.offer(sample(0));
+        r.offer(sample(1));
+        assert_eq!(r.offer(sample(2)), Offer::EvictedOldest);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.pop().unwrap().addr, 1);
+        assert_eq!(r.pop().unwrap().addr, 2);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_not_current() {
+        let mut r = SampleRing::new(8);
+        for a in 0..5 {
+            r.offer(sample(a));
+        }
+        for _ in 0..5 {
+            r.pop();
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.peak_len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SampleRing::new(0);
+    }
+}

@@ -1,0 +1,548 @@
+//! The streaming detector: windowed per-channel classification with
+//! hysteresis and live top-K diagnosis.
+//!
+//! [`StreamingDetector::ingest`] routes each sample to its interconnect
+//! channel exactly as the batch pipeline's channel association does
+//! (remote traffic to the one channel it traversed, local/cache-hit
+//! samples as context for every outgoing channel of their node), into
+//! **pane accumulators** (`drbw_core::features::FeatureAccumulator`).
+//! When the sample clock crosses a pane boundary, sealed panes are merged
+//! into windows, each channel's 13 Table I features are finalized —
+//! bit-identical to batch extraction over the window's samples — and the
+//! loaded decision tree plus the batch pipeline's minimum-traffic guards
+//! produce a raw window verdict. Raw verdicts pass through per-channel
+//! [`Hysteresis`] so the stable verdict doesn't flap; transitions are
+//! emitted as [`VerdictEvent`]s. Remote samples also feed per-channel
+//! space-saving sketches, so culprit data objects can be named live
+//! without retaining any sample log.
+//!
+//! Memory is `O(panes × channels + channels × sketch_k)` — independent of
+//! run length.
+
+use crate::hysteresis::{Hysteresis, HysteresisConfig};
+use crate::metrics::StreamMetrics;
+use crate::topk::{SpaceSaving, TopEntry};
+use crate::window::WindowConfig;
+use drbw_core::channels::{channel_at, dense_index};
+use drbw_core::classifier::{ContentionClassifier, MIN_REMOTE_SAMPLES, MIN_REMOTE_SHARE};
+use drbw_core::features::{FeatureAccumulator, FeatureCtx, NUM_SELECTED, REMOTE_COUNT};
+use drbw_core::{DrBw, Mode};
+use numasim::topology::ChannelId;
+use pebs::alloc::SiteId;
+use pebs::sample::MemSample;
+use std::collections::VecDeque;
+
+/// Attribution key for the live diagnosis sketches: the allocation site a
+/// remote sample touched, or `None` for untracked (static/stack) data.
+pub type SketchKey = Option<SiteId>;
+
+/// Streaming detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Nodes of the machine (channels are every ordered pair).
+    pub nodes: usize,
+    /// Window geometry.
+    pub window: WindowConfig,
+    /// Verdict debounce thresholds.
+    pub hysteresis: HysteresisConfig,
+    /// Counters per channel in the live-diagnosis sketch.
+    pub sketch_capacity: usize,
+    /// Cycle timestamp the window grid is anchored at.
+    pub origin_cycles: f64,
+    /// Record a [`WindowSummary`] (features and raw verdicts per channel)
+    /// for every closed window, for callers that audit window equivalence.
+    /// The summaries queue until drained, so leave this off for unbounded
+    /// monitoring.
+    pub record_windows: bool,
+}
+
+impl StreamConfig {
+    /// A config for an `nodes`-node machine with the given window and all
+    /// other knobs at their defaults.
+    pub fn new(nodes: usize, window: WindowConfig) -> Self {
+        Self {
+            nodes,
+            window,
+            hysteresis: HysteresisConfig::default(),
+            sketch_capacity: 16,
+            origin_cycles: 0.0,
+            record_windows: false,
+        }
+    }
+}
+
+/// A stable-verdict transition on one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictEvent {
+    /// The channel whose stable verdict changed.
+    pub channel: ChannelId,
+    /// The new stable mode.
+    pub mode: Mode,
+    /// Index of the window that triggered the flip.
+    pub window_index: u64,
+    /// Cycle timestamp of that window's end boundary.
+    pub at_cycles: f64,
+}
+
+/// One channel's state in a closed window.
+#[derive(Debug, Clone)]
+pub struct ChannelWindow {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Its 13 Table I features over the window.
+    pub features: [f64; NUM_SELECTED],
+    /// Samples that actually traversed the channel in the window (remote
+    /// DRAM plus remote LFB fills — the batch guard's count).
+    pub traversed: usize,
+    /// The un-debounced window verdict.
+    pub raw_mode: Mode,
+}
+
+/// Everything a closed window produced (recorded only when
+/// [`StreamConfig::record_windows`] is set).
+#[derive(Debug, Clone)]
+pub struct WindowSummary {
+    /// Window sequence number (0-based).
+    pub index: u64,
+    /// Start boundary, cycles.
+    pub start_cycles: f64,
+    /// End boundary, cycles.
+    pub end_cycles: f64,
+    /// Whether this window was cut short by [`StreamingDetector::flush`].
+    pub partial: bool,
+    /// Per-channel features and raw verdicts, dense channel order.
+    pub channels: Vec<ChannelWindow>,
+}
+
+/// Per-channel, per-pane accumulation state.
+#[derive(Debug, Clone, Default)]
+struct ChannelPane {
+    acc: FeatureAccumulator,
+    traversed: usize,
+}
+
+/// The online contention detector.
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    classifier: ContentionClassifier,
+    cfg: StreamConfig,
+    nch: usize,
+    /// Grid index of the open pane (`None` until the first sample).
+    cur_pane: Option<i64>,
+    /// The open pane, one slot per channel.
+    open: Vec<ChannelPane>,
+    /// Sealed panes awaiting window closure, oldest first (≤ `panes`),
+    /// each tagged with its grid index.
+    sealed: VecDeque<(i64, Vec<ChannelPane>)>,
+    hysteresis: Vec<Hysteresis>,
+    sketches: Vec<SpaceSaving<SketchKey>>,
+    metrics: StreamMetrics,
+    windows_closed: u64,
+    events: Vec<VerdictEvent>,
+    windows: Vec<WindowSummary>,
+}
+
+impl StreamingDetector {
+    /// A detector running `classifier` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.nodes < 2`, a hysteresis threshold is zero, or the
+    /// sketch capacity is zero.
+    pub fn new(classifier: ContentionClassifier, cfg: StreamConfig) -> Self {
+        assert!(cfg.nodes >= 2, "channel association needs at least two nodes");
+        let nch = cfg.nodes * (cfg.nodes - 1);
+        Self {
+            classifier,
+            cfg,
+            nch,
+            cur_pane: None,
+            open: vec![ChannelPane::default(); nch],
+            sealed: VecDeque::with_capacity(cfg.window.panes()),
+            hysteresis: vec![Hysteresis::new(cfg.hysteresis); nch],
+            sketches: vec![SpaceSaving::new(cfg.sketch_capacity); nch],
+            metrics: StreamMetrics::default(),
+            windows_closed: 0,
+            events: Vec::new(),
+            windows: Vec::new(),
+        }
+    }
+
+    /// A detector borrowing a trained [`DrBw`] tool's classifier and
+    /// machine shape, with the given window and defaults otherwise.
+    pub fn for_tool(tool: &DrBw, window: WindowConfig) -> Self {
+        Self::new(tool.classifier().clone(), StreamConfig::new(tool.machine().topology.num_nodes(), window))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> StreamMetrics {
+        self.metrics
+    }
+
+    /// The stable (debounced) mode of one channel.
+    pub fn current_mode(&self, ch: ChannelId) -> Mode {
+        self.hysteresis[dense_index(self.cfg.nodes, ch.src.0 as usize, ch.dst.0 as usize)].state()
+    }
+
+    /// Channels whose stable verdict is currently `rmc`, dense order.
+    pub fn contended_channels(&self) -> Vec<ChannelId> {
+        (0..self.nch)
+            .filter(|&i| self.hysteresis[i].state() == Mode::Rmc)
+            .map(|i| channel_at(self.cfg.nodes, i))
+            .collect()
+    }
+
+    /// Live diagnosis: the top `n` attribution keys of one channel's
+    /// sketch, by estimated sample count.
+    pub fn live_top(&self, ch: ChannelId, n: usize) -> Vec<TopEntry<SketchKey>> {
+        self.sketches[dense_index(self.cfg.nodes, ch.src.0 as usize, ch.dst.0 as usize)].top(n)
+    }
+
+    /// Live Contribution-Fraction estimate of one attribution key on one
+    /// channel.
+    pub fn live_cf(&self, ch: ChannelId, key: &SketchKey) -> f64 {
+        self.sketches[dense_index(self.cfg.nodes, ch.src.0 as usize, ch.dst.0 as usize)].cf_estimate(key)
+    }
+
+    /// Verdict transitions emitted since the last drain.
+    pub fn drain_events(&mut self) -> Vec<VerdictEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Window summaries recorded since the last drain (empty unless
+    /// [`StreamConfig::record_windows`]).
+    pub fn drain_windows(&mut self) -> Vec<WindowSummary> {
+        std::mem::take(&mut self.windows)
+    }
+
+    /// Bytes of state currently retained (pane accumulators, sketches,
+    /// hysteresis, queued events) — the streaming pipeline's whole memory
+    /// footprint, constant in run length.
+    pub fn retained_bytes(&self) -> usize {
+        let pane = self.nch * std::mem::size_of::<ChannelPane>();
+        let panes = (1 + self.sealed.len()) * pane;
+        let sketches = self.nch * self.cfg.sketch_capacity * (std::mem::size_of::<(SketchKey, (u64, u64))>());
+        let fixed = self.nch * std::mem::size_of::<Hysteresis>();
+        let queued = self.events.capacity() * std::mem::size_of::<VerdictEvent>();
+        panes + sketches + fixed + queued
+    }
+
+    /// Ingest one sample, attributed to `site` when it hit tracked heap
+    /// data (drive attribution through
+    /// `AllocationTracker::attribute_site`; pass `None` when unknown).
+    /// Window closures triggered by this sample's timestamp run before it
+    /// is accumulated.
+    pub fn ingest(&mut self, s: &MemSample, site: SketchKey) {
+        let pane = self.cfg.window.pane_index(self.cfg.origin_cycles, s.time);
+        match self.cur_pane {
+            None => self.cur_pane = Some(pane),
+            Some(cur) if pane > cur => {
+                for k in cur..pane {
+                    self.seal_pane(k, false);
+                }
+                self.cur_pane = Some(pane);
+            }
+            Some(cur) if pane < cur => {
+                // Out-of-order arrival for a sealed pane: fold into the
+                // open one rather than losing the sample, and account it.
+                self.metrics.late_samples += 1;
+            }
+            Some(_) => {}
+        }
+        self.metrics.samples_ingested += 1;
+        let a = s.node.0 as usize;
+        assert!(a < self.cfg.nodes, "sample from out-of-range node {a}");
+        match s.home {
+            Some(h) if h != s.node => {
+                let idx = dense_index(self.cfg.nodes, a, h.0 as usize);
+                self.open[idx].acc.push(s);
+                self.open[idx].traversed += 1;
+                self.sketches[idx].offer(site);
+            }
+            _ => {
+                for d in (0..self.cfg.nodes).filter(|&d| d != a) {
+                    self.open[dense_index(self.cfg.nodes, a, d)].acc.push(s);
+                }
+            }
+        }
+    }
+
+    /// Seal the open pane and close whatever window the stream has
+    /// accumulated, even a partial one (end of run). No-op before the
+    /// first sample.
+    pub fn flush(&mut self) {
+        let Some(cur) = self.cur_pane else { return };
+        self.seal_pane(cur, true);
+        self.cur_pane = None;
+        self.sealed.clear();
+    }
+
+    /// Seal the open pane onto the queue as grid pane `index`; when a full
+    /// window (or, on `flush`, any window) is available, classify it.
+    fn seal_pane(&mut self, index: i64, flushing: bool) {
+        let pane = std::mem::replace(&mut self.open, vec![ChannelPane::default(); self.nch]);
+        self.sealed.push_back((index, pane));
+        let full = self.sealed.len() == self.cfg.window.panes();
+        if full || flushing {
+            self.classify_window(flushing && !full);
+        }
+        if full {
+            self.sealed.pop_front();
+        }
+    }
+
+    /// Merge the sealed panes into one window per channel and classify.
+    fn classify_window(&mut self, partial: bool) {
+        let &(last, _) = self.sealed.back().expect("windows close only after a pane is sealed");
+        let end_cycles = self.cfg.window.pane_end(self.cfg.origin_cycles, last);
+        // Both boundaries come from the pane grid, and the normalisation
+        // duration is exactly their difference — so batch extraction over
+        // [start, end) with `duration = end - start` reproduces these
+        // features bit for bit even when the pane width is not exactly
+        // representable.
+        let start_cycles = self.cfg.window.pane_end(self.cfg.origin_cycles, last - self.sealed.len() as i64);
+        let ctx = FeatureCtx { duration_cycles: end_cycles - start_cycles };
+        let index = self.windows_closed;
+        self.windows_closed += 1;
+        self.metrics.windows_classified += 1;
+        let mut channels = Vec::with_capacity(if self.cfg.record_windows { self.nch } else { 0 });
+        for i in 0..self.nch {
+            let mut merged = ChannelPane::default();
+            for (_, pane) in &self.sealed {
+                merged.acc.merge(&pane[i].acc);
+                merged.traversed += pane[i].traversed;
+            }
+            let feats = merged.acc.finalize(&ctx);
+            let raw = if merged.traversed < MIN_REMOTE_SAMPLES || feats[REMOTE_COUNT] < MIN_REMOTE_SHARE {
+                Mode::Good
+            } else {
+                self.classifier.predict(&feats)
+            };
+            if let Some(stable) = self.hysteresis[i].observe(raw) {
+                self.metrics.verdict_transitions += 1;
+                if stable == Mode::Rmc && self.metrics.first_rmc_verdict_cycles.is_none() {
+                    self.metrics.first_rmc_verdict_cycles = Some(end_cycles);
+                }
+                self.events.push(VerdictEvent {
+                    channel: channel_at(self.cfg.nodes, i),
+                    mode: stable,
+                    window_index: index,
+                    at_cycles: end_cycles,
+                });
+            }
+            if self.cfg.record_windows {
+                channels.push(ChannelWindow {
+                    channel: channel_at(self.cfg.nodes, i),
+                    features: feats,
+                    traversed: merged.traversed,
+                    raw_mode: raw,
+                });
+            }
+        }
+        if self.cfg.record_windows {
+            self.windows.push(WindowSummary { index, start_cycles, end_cycles, partial, channels });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mldt::dataset::Dataset;
+    use mldt::tree::TrainConfig;
+    use numasim::hierarchy::DataSource;
+    use numasim::topology::{CoreId, NodeId, ThreadId};
+
+    /// A classifier whose tree splits on the remote count/latency
+    /// features, like the paper's (synthetic training rows).
+    fn classifier() -> ContentionClassifier {
+        let mut d = Dataset::binary(drbw_core::features::selected_names());
+        for i in 0..30 {
+            let mut good = [0.0; NUM_SELECTED];
+            good[REMOTE_COUNT] = 2.0 + (i % 5) as f64;
+            good[REMOTE_COUNT + 1] = 280.0 + i as f64;
+            d.push(good.to_vec(), 0);
+            let mut rmc = [0.0; NUM_SELECTED];
+            rmc[REMOTE_COUNT] = 600.0 + i as f64;
+            rmc[REMOTE_COUNT + 1] = 900.0 + 10.0 * i as f64;
+            d.push(rmc.to_vec(), 1);
+        }
+        ContentionClassifier::train(&d, TrainConfig::default())
+    }
+
+    fn sample(time: f64, node: u8, home: Option<u8>, source: DataSource, latency: f64) -> MemSample {
+        MemSample {
+            time,
+            addr: 0x1000,
+            cpu: CoreId(node as u32 * 8),
+            thread: ThreadId(0),
+            node: NodeId(node),
+            source,
+            home: home.map(NodeId),
+            latency,
+            is_write: false,
+        }
+    }
+
+    fn ch(src: u8, dst: u8) -> ChannelId {
+        ChannelId { src: NodeId(src), dst: NodeId(dst) }
+    }
+
+    /// Feed `n` contended-looking remote samples per window into channel
+    /// 1→0 for `windows` windows of 1000 cycles.
+    fn feed_contended(det: &mut StreamingDetector, windows: usize, n: usize) {
+        for w in 0..windows {
+            for i in 0..n {
+                let t = w as f64 * 1000.0 + (i as f64 + 0.5) * 1000.0 / n as f64;
+                det.ingest(&sample(t, 1, Some(0), DataSource::RemoteDram, 950.0), None);
+            }
+        }
+    }
+
+    #[test]
+    fn contended_stream_raises_after_hysteresis() {
+        let cfg = StreamConfig::new(4, WindowConfig::tumbling(1000.0));
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        // Three windows of heavy remote traffic; window closures fire on
+        // the first sample past each boundary, so raise a fourth window's
+        // worth to close the third.
+        feed_contended(&mut det, 4, 64);
+        let events = det.drain_events();
+        assert_eq!(events.len(), 1, "one transition: good → rmc, debounced by 2 windows");
+        assert_eq!(events[0].mode, Mode::Rmc);
+        assert_eq!(events[0].channel, ch(1, 0));
+        assert_eq!(events[0].window_index, 1, "second closed window flips the default up=2 hysteresis");
+        assert_eq!(events[0].at_cycles, 2000.0);
+        assert_eq!(det.current_mode(ch(1, 0)), Mode::Rmc);
+        assert_eq!(det.contended_channels(), vec![ch(1, 0)]);
+        assert_eq!(det.metrics().first_rmc_verdict_cycles, Some(2000.0));
+        assert!(det.metrics().windows_classified >= 3);
+    }
+
+    #[test]
+    fn quiet_stream_stays_good() {
+        let cfg = StreamConfig::new(4, WindowConfig::tumbling(1000.0));
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        for w in 0..4 {
+            for i in 0..64 {
+                let t = w as f64 * 1000.0 + i as f64 * 15.0;
+                det.ingest(&sample(t, 1, Some(1), DataSource::LocalDram, 180.0), None);
+            }
+        }
+        det.flush();
+        assert!(det.drain_events().is_empty());
+        assert!(det.contended_channels().is_empty());
+        assert_eq!(det.metrics().first_rmc_verdict_cycles, None);
+    }
+
+    #[test]
+    fn sparse_remote_traffic_is_guarded_not_classified() {
+        let cfg = StreamConfig::new(4, WindowConfig::tumbling(1000.0));
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        // High-latency remote samples, but fewer than MIN_REMOTE_SAMPLES
+        // per window: the guard keeps the tree out of it.
+        for w in 0..5 {
+            for i in 0..(MIN_REMOTE_SAMPLES - 1) {
+                let t = w as f64 * 1000.0 + i as f64 * 10.0;
+                det.ingest(&sample(t, 2, Some(0), DataSource::RemoteDram, 1500.0), None);
+            }
+        }
+        det.flush();
+        assert!(det.drain_events().is_empty());
+        assert_eq!(det.current_mode(ch(2, 0)), Mode::Good);
+    }
+
+    #[test]
+    fn flush_closes_a_partial_window() {
+        let cfg = StreamConfig { record_windows: true, ..StreamConfig::new(2, WindowConfig::sliding(1000.0, 4)) };
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        det.ingest(&sample(100.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        det.ingest(&sample(300.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        det.flush();
+        let windows = det.drain_windows();
+        assert_eq!(windows.len(), 1);
+        assert!(windows[0].partial);
+        assert_eq!(windows[0].channels.len(), 2);
+        assert_eq!(windows[0].channels[dense_index(2, 0, 1)].traversed, 2);
+        // Flush resets the stream; new samples start a fresh grid.
+        det.ingest(&sample(9000.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        assert_eq!(det.metrics().late_samples, 0);
+    }
+
+    #[test]
+    fn live_sketch_tracks_heavy_site() {
+        let cfg = StreamConfig { sketch_capacity: 4, ..StreamConfig::new(2, WindowConfig::tumbling(1000.0)) };
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        for i in 0..90 {
+            det.ingest(&sample(i as f64, 0, Some(1), DataSource::RemoteDram, 900.0), Some(SiteId(7)));
+        }
+        for i in 0..10 {
+            det.ingest(&sample(90.0 + i as f64, 0, Some(1), DataSource::RemoteDram, 900.0), None);
+        }
+        let top = det.live_top(ch(0, 1), 2);
+        assert_eq!(top[0].key, Some(SiteId(7)));
+        assert_eq!(top[0].count, 90);
+        assert!((det.live_cf(ch(0, 1), &Some(SiteId(7))) - 0.9).abs() < 1e-12);
+        assert!((det.live_cf(ch(0, 1), &None) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_gaps_close_empty_windows_with_correct_boundaries() {
+        let cfg = StreamConfig { record_windows: true, ..StreamConfig::new(2, WindowConfig::tumbling(1000.0)) };
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        det.ingest(&sample(100.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        // A long idle gap: the next sample lands in pane 3, closing panes
+        // 0..=2 as three windows (two of them empty).
+        det.ingest(&sample(3400.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        let windows = det.drain_windows();
+        assert_eq!(windows.len(), 3);
+        for (w, end) in windows.iter().zip([1000.0, 2000.0, 3000.0]) {
+            assert_eq!((w.start_cycles, w.end_cycles), (end - 1000.0, end));
+            assert!(!w.partial);
+        }
+        assert_eq!(windows[0].channels[dense_index(2, 0, 1)].traversed, 1);
+        assert_eq!(windows[1].channels[dense_index(2, 0, 1)].traversed, 0, "idle window is empty");
+    }
+
+    #[test]
+    fn sliding_window_boundaries_track_the_last_pane() {
+        let cfg = StreamConfig { record_windows: true, ..StreamConfig::new(2, WindowConfig::sliding(1000.0, 4)) };
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        // One sample per 250-cycle pane; the first window closes when pane
+        // 4 opens (sealing pane 3), spanning [0, 1000).
+        for k in 0..6 {
+            det.ingest(&sample(k as f64 * 250.0 + 10.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        }
+        let windows = det.drain_windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!((windows[0].start_cycles, windows[0].end_cycles), (0.0, 1000.0));
+        assert_eq!((windows[1].start_cycles, windows[1].end_cycles), (250.0, 1250.0), "slides by one pane");
+        assert_eq!(windows[0].channels[dense_index(2, 0, 1)].traversed, 4, "four panes of one sample each");
+    }
+
+    #[test]
+    fn late_samples_are_counted() {
+        let cfg = StreamConfig::new(2, WindowConfig::tumbling(100.0));
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        det.ingest(&sample(250.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        det.ingest(&sample(50.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        assert_eq!(det.metrics().late_samples, 1);
+        assert_eq!(det.metrics().samples_ingested, 2);
+    }
+
+    #[test]
+    fn retained_bytes_is_constant_in_stream_length() {
+        let cfg = StreamConfig::new(4, WindowConfig::sliding(1000.0, 4));
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        feed_contended(&mut det, 2, 32);
+        det.drain_events();
+        let early = det.retained_bytes();
+        feed_contended(&mut det, 50, 32);
+        det.drain_events();
+        assert_eq!(det.retained_bytes(), early, "state must not grow with the stream");
+    }
+}

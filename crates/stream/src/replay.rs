@@ -1,0 +1,100 @@
+//! Replay a recorded simulator run as a live stream.
+//!
+//! The batch pipeline retains the entire sample log, sorts it once, and
+//! classifies at end of run. This harness replays the same log through
+//! the streaming path — producer bursts into a bounded
+//! [`SampleRing`], consumer drains into the [`StreamingDetector`] —
+//! measuring what an online deployment would see: detection latency from
+//! contention onset, the ring's loss accounting, and the peak number of
+//! samples retained at any instant (ring high-water mark), to compare
+//! against the batch pipeline's full-log retention.
+
+use crate::detector::{StreamingDetector, VerdictEvent, WindowSummary};
+use crate::metrics::StreamMetrics;
+use pebs::ring::{OverflowPolicy, SampleRing};
+use workloads::runner::RunOutcome;
+
+/// Replay pacing and ring sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Ring capacity between the replayed producer and the detector.
+    pub ring_capacity: usize,
+    /// Samples the producer bursts before the consumer drains (models the
+    /// PEBS buffer flush granularity; the ring only backs up when this
+    /// exceeds its capacity).
+    pub burst: usize,
+    /// What the ring does when a burst overruns it.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for ReplayConfig {
+    /// A 256-sample ring fed in bursts of 64, rejecting overflow.
+    fn default() -> Self {
+        Self { ring_capacity: 256, burst: 64, policy: OverflowPolicy::RejectNewest }
+    }
+}
+
+/// Everything one replay produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Detector counters at end of replay.
+    pub metrics: StreamMetrics,
+    /// Verdict transitions, in emission order.
+    pub events: Vec<VerdictEvent>,
+    /// Closed windows (populated when the detector records them).
+    pub windows: Vec<WindowSummary>,
+    /// Samples the producer offered to the ring.
+    pub offered: u64,
+    /// Samples lost to ring overflow.
+    pub dropped: u64,
+    /// Ring high-water mark — the most samples the streaming pipeline ever
+    /// held at once.
+    pub peak_ring_len: usize,
+    /// Bytes of detector state retained at end of replay.
+    pub detector_bytes: usize,
+    /// Samples the batch pipeline would have retained for the same run
+    /// (the full log).
+    pub batch_log_samples: usize,
+}
+
+impl ReplayOutcome {
+    /// Peak samples retained by the streaming pipeline (its whole
+    /// retention is the ring; the detector keeps only accumulators).
+    pub fn peak_retained_samples(&self) -> usize {
+        self.peak_ring_len
+    }
+}
+
+/// Replay `outcome`'s sample log through `detector` under `cfg`.
+///
+/// Samples are replayed in time order (the log of a threaded run is not
+/// globally sorted), attributed to allocation sites through the run's
+/// tracker, burst into the ring, and drained into the detector. At end of
+/// stream the detector is flushed so the trailing partial window is
+/// classified too.
+pub fn replay(outcome: &RunOutcome, detector: &mut StreamingDetector, cfg: ReplayConfig) -> ReplayOutcome {
+    assert!(cfg.burst >= 1, "burst must be at least one sample");
+    let mut order: Vec<usize> = (0..outcome.samples.len()).collect();
+    order.sort_by(|&a, &b| outcome.samples[a].time.total_cmp(&outcome.samples[b].time));
+    let mut ring = SampleRing::with_policy(cfg.ring_capacity, cfg.policy);
+    for burst in order.chunks(cfg.burst) {
+        for &i in burst {
+            ring.offer(outcome.samples[i]);
+        }
+        while let Some(s) = ring.pop() {
+            let site = outcome.tracker.attribute_site(s.addr);
+            detector.ingest(&s, site);
+        }
+    }
+    detector.flush();
+    ReplayOutcome {
+        metrics: detector.metrics(),
+        events: detector.drain_events(),
+        windows: detector.drain_windows(),
+        offered: ring.offered(),
+        dropped: ring.dropped(),
+        peak_ring_len: ring.peak_len(),
+        detector_bytes: detector.retained_bytes(),
+        batch_log_samples: outcome.samples.len(),
+    }
+}

@@ -1,0 +1,162 @@
+//! Space-saving top-K sketch for live Contribution Fractions.
+//!
+//! The batch diagnoser ranks data objects by Contribution Fraction
+//! `CF_c(A) = Samples(c, A) / Samples(c, ALL)` over the retained sample
+//! log. A streaming monitor has no log, so each channel keeps a
+//! **space-saving** sketch (Metwally, Agrawal, El Abbadi 2005): at most
+//! `k` counters; a hit increments its counter; a miss while full evicts
+//! the minimum counter and inherits its count as the new key's
+//! *overestimate*. Guarantees: any key with true frequency above `N/k` is
+//! present, each counter bounds the true count within
+//! `[count - overestimate, count]`, and memory is `O(k)` regardless of
+//! stream length — which is what lets the diagnoser name culprit objects
+//! while the run is still going.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One sketch counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopEntry<K> {
+    /// The tracked key.
+    pub key: K,
+    /// Upper bound on the key's true occurrence count.
+    pub count: u64,
+    /// Count inherited from the evicted predecessor (error bound).
+    pub overestimate: u64,
+}
+
+impl<K> TopEntry<K> {
+    /// Lower bound on the key's true occurrence count.
+    pub fn guaranteed(&self) -> u64 {
+        self.count - self.overestimate
+    }
+}
+
+/// A space-saving sketch over keys of type `K`.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Eq + Hash + Copy + Ord> {
+    capacity: usize,
+    counters: HashMap<K, (u64, u64)>, // key -> (count, overestimate)
+    total: u64,
+}
+
+impl<K: Eq + Hash + Copy + Ord> SpaceSaving<K> {
+    /// A sketch with at most `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sketch capacity must be positive");
+        Self { capacity, counters: HashMap::with_capacity(capacity), total: 0 }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn offer(&mut self, key: K) {
+        self.total += 1;
+        if let Some((count, _)) = self.counters.get_mut(&key) {
+            *count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, (1, 0));
+            return;
+        }
+        // Evict the minimum counter (deterministic tie-break on the key)
+        // and inherit its count as the newcomer's overestimate.
+        let (&victim, &(min, _)) =
+            self.counters.iter().min_by(|(ka, (ca, _)), (kb, (cb, _))| ca.cmp(cb).then(ka.cmp(kb))).expect("non-empty");
+        self.counters.remove(&victim);
+        self.counters.insert(key, (min + 1, min));
+    }
+
+    /// Total observations offered.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Counters currently tracked (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether nothing has been tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The top `n` keys by estimated count, descending (deterministic
+    /// tie-break on the key).
+    pub fn top(&self, n: usize) -> Vec<TopEntry<K>> {
+        let mut out: Vec<TopEntry<K>> =
+            self.counters.iter().map(|(&key, &(count, overestimate))| TopEntry { key, count, overestimate }).collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        out.truncate(n);
+        out
+    }
+
+    /// Estimated Contribution Fraction of `key`: its count upper bound
+    /// over the total stream (0 when untracked or the stream is empty).
+    pub fn cf_estimate(&self, key: &K) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counters.get(key).map_or(0.0, |&(count, _)| count as f64 / self.total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(4);
+        for _ in 0..9 {
+            s.offer("hot");
+        }
+        s.offer("cold");
+        let top = s.top(10);
+        assert_eq!(top[0], TopEntry { key: "hot", count: 9, overestimate: 0 });
+        assert_eq!(top[1], TopEntry { key: "cold", count: 1, overestimate: 0 });
+        assert!((s.cf_estimate(&"hot") - 0.9).abs() < 1e-12);
+        assert_eq!(s.total(), 10);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_eviction_pressure() {
+        let mut s = SpaceSaving::new(3);
+        // 300 occurrences of the heavy key interleaved with 100 distinct
+        // one-off keys that constantly force evictions.
+        for i in 0..100u32 {
+            for _ in 0..3 {
+                s.offer(0u32);
+            }
+            s.offer(1000 + i);
+        }
+        assert_eq!(s.len(), 3);
+        let top = s.top(1);
+        assert_eq!(top[0].key, 0);
+        assert!(top[0].count >= 300, "upper bound covers the true count, got {}", top[0].count);
+        assert!(top[0].guaranteed() >= 200, "heavy hitter's guaranteed count stays dominant");
+        assert_eq!(s.total(), 400);
+    }
+
+    #[test]
+    fn count_bounds_hold() {
+        let mut s = SpaceSaving::new(2);
+        for k in [1u32, 2, 3, 1, 4, 1, 5, 1] {
+            s.offer(k);
+        }
+        for e in s.top(2) {
+            assert!(e.count >= e.guaranteed());
+            assert!(e.count <= s.total());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SpaceSaving::<u32>::new(0);
+    }
+}

@@ -12,7 +12,10 @@
 //!   features, the contention classifier, and the CF diagnoser;
 //! * [`workloads`] — the training mini-programs and analogs of the 23
 //!   evaluated benchmarks, with the co-locate / interleave / replicate
-//!   optimizations.
+//!   optimizations;
+//! * [`stream`] — the online counterpart of the batch pipeline: windowed
+//!   streaming ingestion, incremental feature extraction, live contention
+//!   verdicts with hysteresis, and top-K Contribution-Fraction sketches.
 //!
 //! ## Quickstart
 //!
@@ -42,35 +45,40 @@
 //! for the binaries regenerating every table and figure of the paper.
 
 pub use drbw_core as core;
+pub use drbw_stream as stream;
 pub use mldt;
 pub use numasim;
 pub use pebs;
 pub use workloads;
 
-/// The most common imports for using DR-BW end to end.
-///
-/// One `use drbw::prelude::*;` brings in:
-///
-/// * the engine — [`DrBw`], [`DrBwBuilder`], [`TrainingSet`], batch
-///   analysis via [`Case`] / [`DrBw::analyze_batch`], and the [`Analysis`]
-///   bundle it returns;
-/// * the pipeline pieces for à-la-carte use — [`profile`],
-///   [`ContentionClassifier`], [`diagnose`], with their [`Profile`],
-///   [`CaseResult`], [`Mode`], and [`Diagnosis`] types;
-/// * every error the public surface reports, as [`DrbwError`];
-/// * the configuration types those entry points take —
-///   [`MachineConfig`], [`RunConfig`] ([`Input`], [`Variant`]),
-///   [`SamplerConfig`], [`TrainConfig`] — and the [`Workload`] trait
-///   implemented by every profiled program.
-///
-/// Anything rarer (feature indices, report rendering, heuristic
-/// baselines, the training grid) stays behind the full module paths,
-/// e.g. [`crate::core::training`].
 pub mod prelude {
+    //! The most common imports for using DR-BW end to end.
+    //!
+    //! One `use drbw::prelude::*;` brings in:
+    //!
+    //! * the engine — [`DrBw`], [`DrBwBuilder`], [`TrainingSet`], batch
+    //!   analysis via [`Case`] / [`DrBw::analyze_batch`], and the [`Analysis`]
+    //!   bundle it returns;
+    //! * the pipeline pieces for à-la-carte use — [`profile`],
+    //!   [`ContentionClassifier`], [`diagnose`], with their [`Profile`],
+    //!   [`CaseResult`], [`Mode`], and [`Diagnosis`] types;
+    //! * every error the public surface reports, as [`DrbwError`];
+    //! * the configuration types those entry points take —
+    //!   [`MachineConfig`], [`RunConfig`] ([`Input`], [`Variant`]),
+    //!   [`SamplerConfig`], [`TrainConfig`] — and the [`Workload`] trait
+    //!   implemented by every profiled program;
+    //! * the streaming detector — [`StreamingDetector`], its
+    //!   [`StreamConfig`] / [`WindowConfig`], and the [`VerdictEvent`]s it
+    //!   emits.
+    //!
+    //! Anything rarer (feature indices, report rendering, heuristic
+    //! baselines, the training grid) stays behind the full module paths,
+    //! e.g. [`crate::core::training`].
     pub use drbw_core::{
         diagnose, profile, Analysis, Case, CaseResult, ContentionClassifier, Diagnosis, DrBw, DrBwBuilder, DrbwError,
         Mode, Profile, TrainingSet,
     };
+    pub use drbw_stream::{StreamConfig, StreamingDetector, VerdictEvent, WindowConfig};
     pub use mldt::tree::TrainConfig;
     pub use numasim::config::MachineConfig;
     pub use pebs::sampler::SamplerConfig;
@@ -86,5 +94,6 @@ mod tests {
         assert_eq!(cfg.topology.num_nodes(), 4);
         assert!(crate::workloads::suite::by_name("IRSmk").is_some());
         assert_eq!(crate::core::features::NUM_SELECTED, 13);
+        assert_eq!(crate::prelude::WindowConfig::tumbling(1000.0).panes(), 1);
     }
 }
