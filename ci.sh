@@ -6,8 +6,15 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (per-package, timed)"
+suite_start=$SECONDS
+for manifest in crates/*/Cargo.toml shims/*/Cargo.toml Cargo.toml; do
+    pkg=$(grep -m1 '^name = ' "$manifest" | cut -d'"' -f2)
+    pkg_start=$SECONDS
+    cargo test -q -p "$pkg"
+    echo "    ${pkg}: $((SECONDS - pkg_start))s"
+done
+echo "    total test wall time: $((SECONDS - suite_start))s"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -60,5 +60,38 @@ fn multithreaded_contended(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_throughput, multithreaded_contended);
+fn exec_mode_speedup(c: &mut Criterion) {
+    // The tentpole comparison: identical contended phase under the
+    // strictly per-access reference loop vs. the run-batched loop. Both
+    // produce bit-identical results (see tests/differential.rs); only the
+    // wall time may differ.
+    let mut g = c.benchmark_group("engine_exec");
+    g.sample_size(10);
+    for exec in [ExecMode::Reference, ExecMode::Batched] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{exec:?}")), &exec, |b, &exec| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::scaled();
+                cfg.engine.exec = exec;
+                let mut mm = MemoryMap::new(&cfg);
+                let a = mm.alloc("a", 8 << 20, PlacementPolicy::Bind(NodeId(0)));
+                let binding = cfg.topology.bind_threads(8, 4);
+                let threads: Vec<ThreadSpec> = binding
+                    .iter()
+                    .enumerate()
+                    .map(|(t, core)| {
+                        let share = a.size / 8;
+                        let s =
+                            SeqStream::new(a.base + t as u64 * share, share, 2, AccessMix::read_only()).with_reps(8);
+                        ThreadSpec::new(t as u32, *core, Box::new(s))
+                    })
+                    .collect();
+                let mut eng = Engine::new(&cfg, mm, NullObserver);
+                eng.run_phase(threads).cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, multithreaded_contended, exec_mode_speedup);
 criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Batched-vs-reference engine speedup, measured where it matters: the
+//! quick training grid (serial collection) and `analyze_batch` over the
+//! same grid. Verifies bit-identity of everything it times, then writes
+//! the numbers as JSON (default `BENCH_engine.json`).
+//!
+//! ```text
+//! cargo run --release -p drbw-bench --bin bench_engine [out.json]
+//! ```
+//!
+//! Externally measured numbers can be embedded in the report through
+//! environment variables (all in seconds, each pair optional):
+//! `DRBW_TIER1_BASELINE_S` / `DRBW_TIER1_CURRENT_S` — tier-1 suite wall
+//! times before/after; `DRBW_SEED_GRID_S` / `DRBW_SEED_ANALYZE_S` — the
+//! pre-batching engine on the same grid (see the seed commit);
+//! `DRBW_UNOPT_REFERENCE_S` / `DRBW_UNOPT_BATCHED_S` — analyze_batch in
+//! an opt-level 0 build, the conditions the tier-1 suite used to run
+//! under.
+
+use drbw_core::training;
+use drbw_core::{Case, DrBw, TrainingSet};
+use numasim::config::{ExecMode, MachineConfig};
+use std::time::Instant;
+
+fn mcfg(exec: ExecMode) -> MachineConfig {
+    let mut m = MachineConfig::scaled();
+    m.engine.exec = exec;
+    m
+}
+
+/// Run `f` three times and report the fastest, which is the standard
+/// noise-robust statistic on a shared machine (slowdowns are one-sided).
+fn time<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best: Option<(T, f64)> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let v = f();
+        let s = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| s < *b) {
+            best = Some((v, s));
+        }
+    }
+    best.unwrap()
+}
+
+fn env_secs(var: &str) -> Option<f64> {
+    std::env::var(var).ok()?.parse().ok()
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".into());
+    let specs = training::quick_training_specs();
+
+    // 1. Serial collection of the quick training grid under each mode.
+    let (ref_set, grid_ref_s) = time(|| training::collect_training_set_serial(&mcfg(ExecMode::Reference), &specs));
+    let (bat_set, grid_bat_s) = time(|| training::collect_training_set_serial(&mcfg(ExecMode::Batched), &specs));
+    assert_eq!(ref_set.len(), bat_set.len());
+    for i in 0..ref_set.len() {
+        assert_eq!(ref_set.label(i), bat_set.label(i), "label of instance {i}");
+        assert_eq!(ref_set.row(i), bat_set.row(i), "features of instance {i} diverged");
+    }
+    let grid_speedup = grid_ref_s / grid_bat_s;
+    eprintln!(
+        "quick grid ({} runs, serial): reference {grid_ref_s:.2}s, batched {grid_bat_s:.2}s ({grid_speedup:.2}x)",
+        specs.len()
+    );
+
+    // 2. analyze_batch of the same grid's cases, single-threaded so the
+    //    ratio measures the inner loop, not the pool.
+    let run_batch = |exec: ExecMode| {
+        let tool = DrBw::builder()
+            .machine(mcfg(exec))
+            .training_set(TrainingSet::Quick)
+            .threads(1)
+            .build()
+            .expect("quick grid trains");
+        let cases: Vec<Case> = specs.iter().map(|s| Case::new(s.program.workload(), &s.rcfg)).collect();
+        time(move || tool.analyze_batch(&cases))
+    };
+    let (ref_analyses, analyze_ref_s) = run_batch(ExecMode::Reference);
+    let (bat_analyses, analyze_bat_s) = run_batch(ExecMode::Batched);
+    assert_eq!(ref_analyses.len(), bat_analyses.len());
+    for (i, (r, b)) in ref_analyses.iter().zip(&bat_analyses).enumerate() {
+        assert_eq!(r.profile.samples, b.profile.samples, "case {i}: sample logs diverged");
+        assert_eq!(r.detection.mode(), b.detection.mode(), "case {i}: mode diverged");
+        assert_eq!(r.detection.contended_channels, b.detection.contended_channels, "case {i}: channels diverged");
+    }
+    let analyze_speedup = analyze_ref_s / analyze_bat_s;
+    eprintln!(
+        "analyze_batch ({} cases, 1 thread): reference {analyze_ref_s:.2}s, batched {analyze_bat_s:.2}s ({analyze_speedup:.2}x)",
+        specs.len()
+    );
+
+    let pair = |a: &str, b: &str, ka: &str, kb: &str| match (env_secs(a), env_secs(b)) {
+        (Some(x), Some(y)) => {
+            format!("{{ \"{ka}\": {x:.2}, \"{kb}\": {y:.2}, \"speedup\": {:.2} }}", x / y)
+        }
+        _ => "null".to_string(),
+    };
+    let tier1 = pair("DRBW_TIER1_BASELINE_S", "DRBW_TIER1_CURRENT_S", "baseline_s", "current_s");
+    let seed = match (env_secs("DRBW_SEED_GRID_S"), env_secs("DRBW_SEED_ANALYZE_S")) {
+        (Some(g), Some(a)) => format!(
+            "{{ \"grid_s\": {g:.2}, \"analyze_s\": {a:.2}, \"batched_vs_seed_grid\": {:.2}, \"batched_vs_seed_analyze\": {:.2} }}",
+            g / grid_bat_s,
+            a / analyze_bat_s
+        ),
+        _ => "null".to_string(),
+    };
+    let unopt = pair("DRBW_UNOPT_REFERENCE_S", "DRBW_UNOPT_BATCHED_S", "reference_s", "batched_s");
+    let json = format!(
+        r#"{{
+  "bench": "engine batched vs reference (ExecMode)",
+  "machine": "MachineConfig::scaled",
+  "grid_runs": {runs},
+  "bit_identical": true,
+  "quick_grid_serial": {{
+    "reference_s": {grid_ref_s:.2},
+    "batched_s": {grid_bat_s:.2},
+    "speedup": {grid_speedup:.2}
+  }},
+  "analyze_batch_1thread": {{
+    "reference_s": {analyze_ref_s:.2},
+    "batched_s": {analyze_bat_s:.2},
+    "speedup": {analyze_speedup:.2}
+  }},
+  "seed_engine": {seed},
+  "analyze_batch_unoptimized": {unopt},
+  "tier1_suite": {tier1}
+}}
+"#,
+        runs = specs.len(),
+    );
+    std::fs::write(&out, &json).expect("write report");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -14,9 +14,9 @@
 //! arrays allocated at lines 2158–2238 fold into site-level entries, as in
 //! Figure 4(c).
 
-use crate::channels::ChannelBatches;
 use crate::profiler::Profile;
 use numasim::topology::ChannelId;
+use pebs::alloc::{AllocationTracker, SiteId};
 use std::collections::HashMap;
 
 /// Label used for samples that hit no tracked allocation (static/stack
@@ -66,15 +66,21 @@ impl Diagnosis {
     }
 }
 
-fn rank(counts: HashMap<(String, u32), u64>) -> Vec<ObjectCf> {
+/// Turn site-keyed counts into a ranked CF list. Labels are resolved here,
+/// once per distinct site, rather than cloned per attributed sample.
+fn rank(counts: HashMap<Option<SiteId>, u64>, tracker: &AllocationTracker) -> Vec<ObjectCf> {
     let total: u64 = counts.values().sum();
     let mut out: Vec<ObjectCf> = counts
         .into_iter()
-        .map(|((label, line), samples)| ObjectCf {
-            label,
-            line,
-            samples,
-            cf: if total == 0 { 0.0 } else { samples as f64 / total as f64 },
+        .map(|(site, samples)| {
+            let (label, line) = match site {
+                Some(s) => {
+                    let info = tracker.site(s);
+                    (info.label.clone(), info.line)
+                }
+                None => (UNTRACKED.to_string(), 0),
+            };
+            ObjectCf { label, line, samples, cf: if total == 0 { 0.0 } else { samples as f64 / total as f64 } }
         })
         .collect();
     // Descending CF; deterministic tie-break by label.
@@ -88,36 +94,42 @@ fn rank(counts: HashMap<(String, u32), u64>) -> Vec<ObjectCf> {
 /// ("for channels that do not have any contention issue, we do not further
 /// analyze their samples"). Returns an empty diagnosis when no channel is
 /// contended.
+///
+/// A single pass over the samples does all the attribution: each remote
+/// sample is routed to the contended channel it traversed (duplicate
+/// entries in `contended` each count it) and tallied under its
+/// [`SiteId`]; labels are materialised only for the handful of ranked
+/// sites, not per sample.
 pub fn diagnose(profile: &Profile, contended: &[ChannelId]) -> Diagnosis {
     if contended.is_empty() {
         return Diagnosis::default();
     }
-    let nodes = contended
-        .iter()
-        .flat_map(|c| [c.src.0, c.dst.0])
-        .chain(profile.samples.iter().flat_map(|s| s.home.map(|h| h.0).into_iter().chain(Some(s.node.0))))
-        .max()
-        .unwrap() as usize
-        + 1;
-    let batches = ChannelBatches::split(&profile.samples, nodes.max(2));
-    let mut overall: HashMap<(String, u32), u64> = HashMap::new();
-    let mut per_channel = Vec::with_capacity(contended.len());
-    for &ch in contended {
-        let mut counts: HashMap<(String, u32), u64> = HashMap::new();
-        for s in batches.remote_samples(ch) {
-            let key = match profile.tracker.attribute_site(s.addr) {
-                Some(site) => {
-                    let info = profile.tracker.site(site);
-                    (info.label.clone(), info.line)
-                }
-                None => (UNTRACKED.to_string(), 0),
-            };
-            *counts.entry(key.clone()).or_insert(0) += 1;
-            *overall.entry(key).or_insert(0) += 1;
-        }
-        per_channel.push(ChannelDiagnosis { channel: ch, objects: rank(counts) });
+    // Where each contended channel sits in the output; duplicates keep
+    // every position so their tallies stay per-occurrence.
+    let mut positions: HashMap<ChannelId, Vec<usize>> = HashMap::new();
+    for (i, &ch) in contended.iter().enumerate() {
+        positions.entry(ch).or_default().push(i);
     }
-    Diagnosis { per_channel, overall: rank(overall) }
+    let mut per: Vec<HashMap<Option<SiteId>, u64>> = vec![HashMap::new(); contended.len()];
+    let mut overall: HashMap<Option<SiteId>, u64> = HashMap::new();
+    for s in &profile.samples {
+        let Some(h) = s.home else { continue };
+        if h == s.node {
+            continue;
+        }
+        let Some(slots) = positions.get(&ChannelId { src: s.node, dst: h }) else { continue };
+        let site = profile.tracker.attribute_site(s.addr);
+        for &i in slots {
+            *per[i].entry(site).or_insert(0) += 1;
+            *overall.entry(site).or_insert(0) += 1;
+        }
+    }
+    let per_channel = contended
+        .iter()
+        .zip(per)
+        .map(|(&channel, counts)| ChannelDiagnosis { channel, objects: rank(counts, &profile.tracker) })
+        .collect();
+    Diagnosis { per_channel, overall: rank(overall, &profile.tracker) }
 }
 
 #[cfg(test)]

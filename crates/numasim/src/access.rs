@@ -63,6 +63,67 @@ impl AccessMix {
     fn is_write(&self, counter: u64) -> bool {
         self.write_every != 0 && counter.is_multiple_of(self.write_every as u64)
     }
+
+    /// Longest prefix of accesses with uniform write-ness, starting at
+    /// counter value `counter + 1` (the value [`AccessMix::is_write`] sees
+    /// for the next access) and capped at `max`. Returns `(len, is_write)`.
+    #[inline]
+    fn run_len(&self, counter: u64, max: u64) -> (u64, bool) {
+        let we = self.write_every as u64;
+        if we == 0 {
+            return (max, false);
+        }
+        if we == 1 {
+            return (max, true);
+        }
+        let next = counter + 1;
+        let rem = next % we;
+        if rem == 0 {
+            (1, true)
+        } else {
+            ((we - rem).min(max), false)
+        }
+    }
+}
+
+/// A run of homogeneous accesses: `len` line-granular operations at
+/// `base, base + stride, base + 2·stride, …`, all sharing the same
+/// direction, `reps`, and — crucially — the *current* `compute`/`mlp` of
+/// the producing stream. Runs are the unit of the engine's batched hot
+/// path: an O(1) descriptor stands in for up to `len` virtual
+/// [`AccessStream::next_access`] calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessRun {
+    /// Address of the first access.
+    pub base: u64,
+    /// Byte distance between consecutive accesses (ignored when `len == 1`).
+    pub stride: u64,
+    /// Number of accesses in the run (≥ 1).
+    pub len: u64,
+    /// Store (true) or load (false), uniform over the run.
+    pub is_write: bool,
+    /// Element accesses per line (see [`Access::reps`]), uniform over the run.
+    pub reps: u16,
+    /// Arithmetic cycles between memory operations for these accesses.
+    pub compute: f64,
+    /// Memory-level parallelism for these accesses; `None` uses the
+    /// machine default.
+    pub mlp: Option<f64>,
+}
+
+impl AccessRun {
+    /// A single-access run with explicit cost attributes.
+    #[inline]
+    pub fn single(acc: Access, compute: f64, mlp: Option<f64>) -> Self {
+        Self { base: acc.addr, stride: 0, len: 1, is_write: acc.is_write, reps: acc.reps, compute, mlp }
+    }
+
+    /// The `i`-th address of the run (`i < len`).
+    #[inline]
+    pub fn addr(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len);
+        self.base + i * self.stride
+    }
 }
 
 /// A source of memory accesses for one simulated thread.
@@ -80,6 +141,32 @@ pub trait AccessStream: Send {
     /// Memory-level parallelism override; `None` uses the machine default.
     fn mlp(&self) -> Option<f64> {
         None
+    }
+
+    /// The next *run* of up to `max` accesses (`max ≥ 1`), or `None` when
+    /// the thread has finished its work.
+    ///
+    /// Contract: interleaving `next_run` calls of arbitrary `max` values
+    /// must reproduce exactly the access sequence `next_access` would
+    /// yield, and the run's `compute`/`mlp` must be the values in effect
+    /// for *those* accesses (not whatever a later segment would report).
+    /// The default wraps `next_access` into single-access runs and is
+    /// correct for any stream whose cost attributes are constant over its
+    /// lifetime; streams that change `compute`/`mlp` mid-stream (chained
+    /// or interleaved segments) must override it.
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        debug_assert!(max >= 1, "next_run needs room for at least one access");
+        let acc = self.next_access()?;
+        Some(AccessRun::single(acc, self.compute_cycles(), self.mlp()))
+    }
+
+    /// True when the stream will certainly yield no further accesses.
+    ///
+    /// Advisory: combinators use it to avoid advertising the
+    /// `compute_cycles`/`mlp` of a drained member. The conservative
+    /// default (`false`, i.e. "unknown") is always safe.
+    fn is_done(&self) -> bool {
+        false
     }
 }
 
@@ -215,6 +302,72 @@ impl AccessStream for SeqStream {
     fn mlp(&self) -> Option<f64> {
         self.mlp
     }
+
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        if self.pass == self.passes {
+            return None;
+        }
+        // A run may not cross the wrap point (cursor reset), the pass
+        // boundary (step reset), or a change of write-ness.
+        let to_wrap = (self.len - self.cursor).div_ceil(self.stride);
+        let to_pass_end = self.steps_per_pass - self.step;
+        let cap = max.max(1).min(to_wrap).min(to_pass_end);
+        let (len, is_write) = self.mix.run_len(self.counter, cap);
+        let run = AccessRun {
+            base: self.base + self.cursor,
+            stride: self.stride,
+            len,
+            is_write,
+            reps: self.reps,
+            compute: self.compute,
+            mlp: self.mlp,
+        };
+        self.cursor += len * self.stride;
+        if self.cursor >= self.len {
+            self.cursor = self.wrap_to;
+        }
+        self.step += len;
+        if self.step == self.steps_per_pass {
+            self.step = 0;
+            self.pass += 1;
+        }
+        self.counter += len;
+        Some(run)
+    }
+
+    fn is_done(&self) -> bool {
+        self.pass == self.passes
+    }
+}
+
+/// Boxed streams delegate every method — crucially including
+/// [`AccessStream::next_run`], so boxing never silently downgrades an
+/// overridden batched path back to the one-access default.
+impl<S: AccessStream + ?Sized> AccessStream for Box<S> {
+    #[inline]
+    fn next_access(&mut self) -> Option<Access> {
+        (**self).next_access()
+    }
+
+    #[inline]
+    fn compute_cycles(&self) -> f64 {
+        (**self).compute_cycles()
+    }
+
+    #[inline]
+    fn mlp(&self) -> Option<f64> {
+        (**self).mlp()
+    }
+
+    #[inline]
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        (**self).next_run(max)
+    }
+
+    #[inline]
+    fn is_done(&self) -> bool {
+        (**self).is_done()
+    }
 }
 
 /// Alias emphasising a non-unit stride; construct via
@@ -298,6 +451,10 @@ impl AccessStream for RandomStream {
     fn mlp(&self) -> Option<f64> {
         self.mlp
     }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
 }
 
 /// Dependent pointer chasing over a fixed set of conflicting lines — the
@@ -362,6 +519,10 @@ impl AccessStream for PointerChaseStream {
     fn mlp(&self) -> Option<f64> {
         Some(1.0) // dependent loads: no overlap
     }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
 }
 
 /// Round-robin interleaving of several streams — models loops touching
@@ -370,6 +531,8 @@ impl AccessStream for PointerChaseStream {
 pub struct ZipStream {
     streams: Vec<Box<dyn AccessStream>>,
     next: usize,
+    exhausted: Vec<bool>,
+    live: usize,
 }
 
 impl ZipStream {
@@ -379,7 +542,22 @@ impl ZipStream {
     /// Panics if `streams` is empty.
     pub fn new(streams: Vec<Box<dyn AccessStream>>) -> Self {
         assert!(!streams.is_empty(), "ZipStream needs at least one stream");
-        Self { streams, next: 0 }
+        let n = streams.len();
+        Self { streams, next: 0, exhausted: vec![false; n], live: n }
+    }
+
+    /// Index of the member that will produce the next access: the first
+    /// non-drained stream at or after the round-robin cursor. Falls back
+    /// to the cursor itself once everything is drained.
+    fn live_index(&self) -> usize {
+        let n = self.streams.len();
+        for k in 0..n {
+            let i = (self.next + k) % n;
+            if !self.exhausted[i] && !self.streams[i].is_done() {
+                return i;
+            }
+        }
+        self.next
     }
 }
 
@@ -389,19 +567,49 @@ impl AccessStream for ZipStream {
         for _ in 0..n {
             let i = self.next;
             self.next = (self.next + 1) % n;
+            if self.exhausted[i] {
+                continue;
+            }
             if let Some(a) = self.streams[i].next_access() {
                 return Some(a);
             }
+            self.exhausted[i] = true;
+            self.live -= 1;
         }
         None
     }
 
     fn compute_cycles(&self) -> f64 {
-        self.streams[self.next].compute_cycles()
+        self.streams[self.live_index()].compute_cycles()
     }
 
     fn mlp(&self) -> Option<f64> {
-        self.streams[self.next].mlp()
+        self.streams[self.live_index()].mlp()
+    }
+
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        let n = self.streams.len();
+        for _ in 0..n {
+            let i = self.next;
+            self.next = (self.next + 1) % n;
+            if self.exhausted[i] {
+                continue;
+            }
+            // With several live members the interleaving itself limits a
+            // run to one access; once only one member remains it may hand
+            // out full runs.
+            let cap = if self.live == 1 { max } else { 1 };
+            if let Some(r) = self.streams[i].next_run(cap) {
+                return Some(r);
+            }
+            self.exhausted[i] = true;
+            self.live -= 1;
+        }
+        None
+    }
+
+    fn is_done(&self) -> bool {
+        self.streams.iter().zip(&self.exhausted).all(|(s, &e)| e || s.is_done())
     }
 }
 
@@ -497,6 +705,43 @@ impl AccessStream for BlockCyclicStream {
     fn compute_cycles(&self) -> f64 {
         self.compute
     }
+
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        if self.pass == self.passes {
+            return None;
+        }
+        let block_start = self.cur_block * self.block;
+        // A run stays within the current block's in-range lines and must
+        // have uniform write-ness.
+        let in_block = (self.block - self.cur_off).div_ceil(64);
+        let in_range = (self.len - block_start - self.cur_off).div_ceil(64);
+        let cap = max.max(1).min(in_block).min(in_range);
+        let (len, is_write) = self.mix.run_len(self.counter, cap);
+        let run = AccessRun {
+            base: self.base + block_start + self.cur_off,
+            stride: 64,
+            len,
+            is_write,
+            reps: self.reps,
+            compute: self.compute,
+            mlp: None,
+        };
+        self.counter += len;
+        self.cur_off += 64 * len;
+        if self.cur_off >= self.block || block_start + self.cur_off >= self.len {
+            self.cur_off = 0;
+            self.cur_block += self.way;
+            if self.cur_block * self.block >= self.len {
+                self.cur_block = self.phase;
+                self.pass += 1;
+            }
+        }
+        Some(run)
+    }
+
+    fn is_done(&self) -> bool {
+        self.pass == self.passes
+    }
 }
 
 /// Wraps a stream, overriding its memory-level parallelism — e.g. a bandit
@@ -530,6 +775,16 @@ impl<S: AccessStream> AccessStream for WithMlp<S> {
     fn mlp(&self) -> Option<f64> {
         Some(self.mlp)
     }
+
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        let mut r = self.inner.next_run(max)?;
+        r.mlp = Some(self.mlp);
+        Some(r)
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
 }
 
 /// Sequential composition of streams — phases within one thread.
@@ -547,6 +802,18 @@ impl ChainStream {
         assert!(!streams.is_empty(), "ChainStream needs at least one stream");
         Self { streams, current: 0 }
     }
+
+    /// Index of the segment that will produce the next access, skipping
+    /// segments already known to be drained. Falls back to the last
+    /// segment once the whole chain is done.
+    fn live_index(&self) -> usize {
+        let last = self.streams.len() - 1;
+        let mut i = self.current.min(last);
+        while i < last && self.streams[i].is_done() {
+            i += 1;
+        }
+        i
+    }
 }
 
 impl AccessStream for ChainStream {
@@ -561,11 +828,25 @@ impl AccessStream for ChainStream {
     }
 
     fn compute_cycles(&self) -> f64 {
-        self.streams[self.current.min(self.streams.len() - 1)].compute_cycles()
+        self.streams[self.live_index()].compute_cycles()
     }
 
     fn mlp(&self) -> Option<f64> {
-        self.streams[self.current.min(self.streams.len() - 1)].mlp()
+        self.streams[self.live_index()].mlp()
+    }
+
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        while self.current < self.streams.len() {
+            if let Some(r) = self.streams[self.current].next_run(max) {
+                return Some(r);
+            }
+            self.current += 1;
+        }
+        None
+    }
+
+    fn is_done(&self) -> bool {
+        self.streams[self.current.min(self.streams.len() - 1)..].iter().all(|s| s.is_done())
     }
 }
 
@@ -757,5 +1038,142 @@ mod tests {
     #[should_panic(expected = "ambiguous")]
     fn mix_rejects_zero_period() {
         AccessMix::write_every(0);
+    }
+
+    /// Drain a stream via `next_run`, cycling through a schedule of `max`
+    /// caps, and expand every run back into individual accesses.
+    fn drain_runs(s: &mut dyn AccessStream, schedule: &[u64]) -> Vec<(Access, f64, Option<f64>)> {
+        let mut v = Vec::new();
+        let mut k = 0;
+        while let Some(r) = s.next_run(schedule[k % schedule.len()]) {
+            k += 1;
+            assert!(r.len >= 1, "empty run");
+            assert!(r.len <= schedule[(k - 1) % schedule.len()].max(1), "run exceeds cap");
+            for i in 0..r.len {
+                v.push((Access { addr: r.addr(i), is_write: r.is_write, reps: r.reps }, r.compute, r.mlp));
+                assert!(v.len() < 1_000_000, "stream failed to terminate");
+            }
+        }
+        v
+    }
+
+    fn assert_runs_match_accesses(make: &dyn Fn() -> Box<dyn AccessStream>) {
+        let expect = drain(make());
+        for schedule in [&[1u64][..], &[7], &[64], &[u64::MAX], &[1, 7, 64, u64::MAX]] {
+            let mut s = make();
+            let got: Vec<Access> = drain_runs(s.as_mut(), schedule).into_iter().map(|(a, _, _)| a).collect();
+            assert_eq!(got, expect, "schedule {schedule:?} diverged from next_access");
+        }
+    }
+
+    #[test]
+    fn next_run_expands_to_next_access_sequence() {
+        let makers: Vec<Box<dyn Fn() -> Box<dyn AccessStream>>> = vec![
+            Box::new(|| Box::new(SeqStream::new(0, 64 * 37, 3, AccessMix::write_every(4)))),
+            Box::new(|| {
+                Box::new(SeqStream::new(0, 64 * 16, 2, AccessMix::write_only()).with_stride(64 * 4).with_start(64))
+            }),
+            Box::new(|| Box::new(SeqStream::new(0, 1024, 2, AccessMix::write_every(1)).with_stride(256).with_reps(8))),
+            Box::new(|| Box::new(BlockCyclicStream::new(0, 7 * 64, 128, 2, 1, 3, AccessMix::write_every(2)))),
+            Box::new(|| Box::new(BlockCyclicStream::new(0, 64 * 64, 256, 4, 3, 2, AccessMix::read_only()))),
+            Box::new(|| Box::new(RandomStream::new(0, 64 * 64, 100, 42, AccessMix::write_every(3)))),
+            Box::new(|| Box::new(PointerChaseStream::new(0, 8, 4096, 20, 7))),
+            Box::new(|| {
+                Box::new(ZipStream::new(vec![
+                    Box::new(SeqStream::new(0, 64 * 3, 1, AccessMix::read_only())),
+                    Box::new(SeqStream::new(1 << 20, 64 * 9, 1, AccessMix::write_every(2))),
+                ]))
+            }),
+            Box::new(|| {
+                Box::new(ChainStream::new(vec![
+                    Box::new(SeqStream::new(0, 64 * 5, 1, AccessMix::read_only())),
+                    Box::new(BlockCyclicStream::new(1 << 20, 8 * 64, 128, 2, 0, 1, AccessMix::write_every(3))),
+                ]))
+            }),
+            Box::new(|| Box::new(WithMlp::new(SeqStream::new(0, 64 * 11, 2, AccessMix::write_every(5)), 6.0))),
+        ];
+        for make in &makers {
+            assert_runs_match_accesses(&|| make());
+        }
+    }
+
+    #[test]
+    fn chain_runs_carry_per_segment_costs() {
+        let make = || {
+            ChainStream::new(vec![
+                Box::new(SeqStream::new(0, 64 * 3, 1, AccessMix::read_only()).with_compute(2.0))
+                    as Box<dyn AccessStream>,
+                Box::new(WithMlp::new(
+                    SeqStream::new(1 << 20, 64 * 2, 1, AccessMix::read_only()).with_compute(9.0),
+                    2.0,
+                )),
+            ])
+        };
+        for schedule in [&[1u64][..], &[u64::MAX]] {
+            let mut s = make();
+            let got = drain_runs(&mut s, schedule);
+            assert_eq!(got.len(), 5);
+            for (a, c, m) in &got[..3] {
+                assert!(a.addr < 1 << 20);
+                assert_eq!((*c, *m), (2.0, None), "first segment costs");
+            }
+            for (a, c, m) in &got[3..] {
+                assert!(a.addr >= 1 << 20);
+                assert_eq!((*c, *m), (9.0, Some(2.0)), "second segment costs");
+            }
+        }
+    }
+
+    #[test]
+    fn zip_skips_exhausted_member_when_reporting_costs() {
+        // One short expensive member, one long cheap member. After the
+        // short member drains, the advertised cost must be the cheap one's.
+        let mut zip = ZipStream::new(vec![
+            Box::new(SeqStream::new(0, 64 * 2, 1, AccessMix::read_only()).with_compute(10.0)) as Box<dyn AccessStream>,
+            Box::new(WithMlp::new(SeqStream::new(1 << 20, 64 * 6, 1, AccessMix::read_only()).with_compute(1.0), 3.0)),
+        ]);
+        // Interleaved prefix: short, long, short, long.
+        for expect in [10.0, 1.0, 10.0, 1.0] {
+            assert_eq!(zip.compute_cycles(), expect);
+            zip.next_access().unwrap();
+        }
+        // The short member is exhausted (the zip just doesn't know yet):
+        // the next access comes from the long member, so the advertised
+        // cost must be the long member's, not the drained short one's.
+        assert_eq!(zip.compute_cycles(), 1.0);
+        assert_eq!(zip.mlp(), Some(3.0));
+        let rest = drain(zip);
+        assert_eq!(rest.len(), 4, "long member finishes");
+    }
+
+    #[test]
+    fn zip_runs_carry_producing_member_costs() {
+        let make = || {
+            ZipStream::new(vec![
+                Box::new(SeqStream::new(0, 64 * 2, 1, AccessMix::read_only()).with_compute(10.0))
+                    as Box<dyn AccessStream>,
+                Box::new(SeqStream::new(1 << 20, 64 * 5, 1, AccessMix::read_only()).with_compute(1.0)),
+            ])
+        };
+        for schedule in [&[1u64][..], &[7], &[1, 7, 64, u64::MAX]] {
+            let mut s = make();
+            let got = drain_runs(&mut s, schedule);
+            assert_eq!(got.len(), 7);
+            for (a, c, _) in &got {
+                let expect = if a.addr < 1 << 20 { 10.0 } else { 1.0 };
+                assert_eq!(*c, expect, "run cost must come from the producing member");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_run_len_splits_at_write_boundaries() {
+        let mix = AccessMix::write_every(4);
+        // counter = 0: accesses 1, 2, 3 are reads, access 4 writes.
+        assert_eq!(mix.run_len(0, 100), (3, false));
+        assert_eq!(mix.run_len(3, 100), (1, true));
+        assert_eq!(mix.run_len(4, 2), (2, false));
+        assert_eq!(AccessMix::read_only().run_len(5, 9), (9, false));
+        assert_eq!(AccessMix::write_only().run_len(5, 9), (9, true));
     }
 }

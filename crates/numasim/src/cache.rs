@@ -2,10 +2,14 @@
 //!
 //! The model tracks tags only — the simulator never stores data values. A
 //! lookup either hits (the line is resident) or misses and installs the
-//! line, evicting the least-recently-used way. Within a set, ways are kept
-//! in recency order, so a hit is a short scan plus a rotate; with
-//! associativity ≤ 20 this is a handful of nanoseconds and keeps the
-//! engine's hot path allocation-free.
+//! line, evicting the least-recently-used way.
+//!
+//! Each set is a circular buffer in recency order: `head` points at the
+//! MRU way and recency decreases with distance from it. That makes the
+//! dominant streaming operations O(1) — a miss overwrites the LRU way and
+//! retreats `head` onto it; a hit on the LRU way (cyclic scans) advances
+//! recency the same way — while arbitrary hits shift at most the ways
+//! ahead of the hit. The engine's hot path stays allocation-free.
 
 /// Hit/miss counters for one cache instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,8 +42,12 @@ const INVALID: u64 = u64::MAX;
 /// line number (byte address divided by line size).
 #[derive(Debug, Clone)]
 pub struct Cache {
-    /// Tags in recency order per set: `tags[set * assoc]` is the MRU way.
+    /// Tags per set, a circular buffer in recency order: the MRU way of
+    /// set `s` is `tags[s * assoc + heads[s]]`, and recency decreases
+    /// walking forward (wrapping) from it.
     tags: Vec<u64>,
+    /// Physical index of each set's MRU way.
+    heads: Vec<u8>,
     assoc: usize,
     set_mask: u64,
     stats: CacheStats,
@@ -50,11 +58,19 @@ impl Cache {
     /// `assoc` ways.
     ///
     /// # Panics
-    /// Panics if `sets` is not a power of two or either dimension is zero.
+    /// Panics if `sets` is not a power of two or either dimension is zero
+    /// or `assoc` exceeds 32 (the membership scan is linear, so the limit
+    /// bounds the worst case; real caches stay well under it).
     pub fn new(sets: usize, assoc: usize) -> Self {
         assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two, got {sets}");
-        assert!(assoc > 0, "associativity must be positive");
-        Self { tags: vec![INVALID; sets * assoc], assoc, set_mask: (sets - 1) as u64, stats: CacheStats::default() }
+        assert!(assoc > 0 && assoc <= 32, "associativity must be in 1..=32");
+        Self {
+            tags: vec![INVALID; sets * assoc],
+            heads: vec![0; sets],
+            assoc,
+            set_mask: (sets - 1) as u64,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Number of sets.
@@ -80,16 +96,40 @@ impl Cache {
         debug_assert_ne!(line, INVALID, "line number reserved as invalid marker");
         let set = self.set_of(line);
         let base = set * self.assoc;
+        let head = self.heads[set] as usize;
         let ways = &mut self.tags[base..base + self.assoc];
-        if let Some(pos) = ways.iter().position(|&t| t == line) {
-            // Hit: rotate [0..=pos] right by one to make `line` MRU.
-            ways[..=pos].rotate_right(1);
+        // MRU fast path: sequential scans re-touch the most recent line
+        // (reps > 1) far more often than any other way.
+        if ways[head] == line {
             self.stats.hits += 1;
+            return true;
+        }
+        if let Some(phys) = ways.iter().position(|&t| t == line) {
+            self.stats.hits += 1;
+            // Logical recency position of the hit way.
+            let pos = (phys + self.assoc - head) % self.assoc;
+            if pos == self.assoc - 1 {
+                // Hit on the LRU way (cyclic scans): retreating the head
+                // onto it promotes it to MRU in O(1).
+                self.heads[set] = phys as u8;
+            } else {
+                // General hit: shift the more-recent ways back by one and
+                // put `line` at the head slot.
+                let mut i = phys;
+                while i != head {
+                    let prev = if i == 0 { self.assoc - 1 } else { i - 1 };
+                    ways[i] = ways[prev];
+                    i = prev;
+                }
+                ways[head] = line;
+            }
             true
         } else {
-            // Miss: drop the LRU (last) way, shift, install as MRU.
-            ways.rotate_right(1);
-            ways[0] = line;
+            // Miss: the way before the head is the LRU; overwrite it and
+            // make it the new head. O(1) regardless of associativity.
+            let lru = if head == 0 { self.assoc - 1 } else { head - 1 };
+            ways[lru] = line;
+            self.heads[set] = lru as u8;
             self.stats.misses += 1;
             false
         }
@@ -105,6 +145,7 @@ impl Cache {
     /// Invalidate every line (e.g. between workload phases).
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);
+        self.heads.fill(0);
     }
 
     /// Hit/miss counters.

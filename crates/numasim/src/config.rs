@@ -123,6 +123,23 @@ pub struct CongestionConfig {
     pub saturation: f64,
 }
 
+/// How [`crate::engine::Engine::run_phase`] walks each thread's stream.
+///
+/// Both modes produce bit-identical results (`RunStats`, channel bytes,
+/// observer event sequence); the reference mode exists so differential
+/// tests can prove it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Pull [`crate::access::AccessRun`]s of same-stride accesses and
+    /// amortize bounds checks, home-node resolution, and observer
+    /// dispatch over each run. The default.
+    #[default]
+    Batched,
+    /// Strictly one access at a time — the original inner loop, kept as
+    /// the differential-testing oracle.
+    Reference,
+}
+
 /// Engine scheduling parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -133,6 +150,8 @@ pub struct EngineConfig {
     /// overlaps. Thread clocks advance by `latency / mlp` per miss unless a
     /// stream declares dependent accesses (pointer chasing ⇒ mlp 1).
     pub default_mlp: f64,
+    /// Inner-loop execution strategy (see [`ExecMode`]).
+    pub exec: ExecMode,
 }
 
 /// Complete machine description handed to the [`crate::engine::Engine`].
@@ -185,7 +204,7 @@ impl MachineConfig {
                 ctrl_target: 0.92,
                 saturation: 0.85,
             },
-            engine: EngineConfig { round_cycles: 20_000.0, default_mlp: 4.0 },
+            engine: EngineConfig { round_cycles: 20_000.0, default_mlp: 4.0, exec: ExecMode::Batched },
         }
     }
 

@@ -22,9 +22,9 @@
 //! fill — but are still reported to the observer with the LFB latency, just
 //! as PEBS reports load-to-use latency for overlapped loads.
 
-use crate::access::AccessStream;
+use crate::access::{AccessRun, AccessStream};
 use crate::bandwidth::BandwidthModel;
-use crate::config::MachineConfig;
+use crate::config::{ExecMode, MachineConfig};
 use crate::hierarchy::{DataSource, Hierarchy};
 use crate::memmap::MemoryMap;
 use crate::stats::{AccessCounts, RunStats};
@@ -73,6 +73,29 @@ pub trait Observer {
     /// engine never calls this itself; drivers do, around phases they do
     /// not want observed. Default: ignored.
     fn set_enabled(&mut self, _enabled: bool) {}
+
+    /// Bulk fast path: how many upcoming events of `thread` the engine may
+    /// deliver via [`Observer::on_run`] instead of [`Observer::on_access`].
+    ///
+    /// The engine calls this right after each `on_access` and then skips up
+    /// to that many of the thread's next events, counting them, before the
+    /// next `on_access`. An observer may return `n > 0` only if (a) those
+    /// `n` events would each return a perturbation cost of 0 and leave no
+    /// externally visible record, and (b) a later `on_run(thread, k)` with
+    /// `k ≤ n` restores exactly the state per-event delivery would have
+    /// produced. The promise must stay valid until the thread's next
+    /// `on_access`/`on_run` — nothing else may consume its budget. The
+    /// default (0) delivers every event through `on_access`.
+    fn run_hint(&mut self, _thread: ThreadId) -> u64 {
+        0
+    }
+
+    /// Bulk-commit `n` events of `thread` that the engine skipped under a
+    /// [`Observer::run_hint`] promise. Called before the thread's next
+    /// `on_access` (and at the end of its scheduling slice), so observers
+    /// that count events globally see the same interleaving per-event
+    /// delivery would produce. Default: no-op.
+    fn on_run(&mut self, _thread: ThreadId, _n: u64) {}
 }
 
 /// An observer that ignores everything (profiling disabled).
@@ -83,6 +106,11 @@ impl Observer for NullObserver {
     #[inline]
     fn on_access(&mut self, _ev: &AccessEvent) -> f64 {
         0.0
+    }
+
+    #[inline]
+    fn run_hint(&mut self, _thread: ThreadId) -> u64 {
+        u64::MAX // never needs to see an event
     }
 }
 
@@ -109,9 +137,26 @@ struct ThreadCtx {
     node: NodeId,
     stream: Box<dyn AccessStream>,
     clock: f64,
-    compute: f64,
+    /// Effective mlp for the current run (resolved against the default).
     mlp: f64,
     done: bool,
+    /// Current (possibly partially consumed) run and the cursor into it.
+    run: AccessRun,
+    run_pos: u64,
+    /// Events the observer has promised not to need (see
+    /// [`Observer::run_hint`]).
+    quiet: u64,
+    /// Home-node span cache: every address in `span_start..span_end` is
+    /// homed on `span_home` for this thread.
+    span_start: u64,
+    span_end: u64,
+    span_home: NodeId,
+    /// Memo of the last `latency / mlp` quotient: streaming runs repeat
+    /// the same division for every line of a span within a round, and the
+    /// divide sits on the clock's dependency chain.
+    lat_memo: f64,
+    mlp_memo: f64,
+    quot_memo: f64,
 }
 
 /// The simulator. Owns the machine state (caches, bandwidth accounting,
@@ -122,6 +167,7 @@ pub struct Engine<O: Observer> {
     bw: BandwidthModel,
     memmap: MemoryMap,
     observer: O,
+    max_run: u64,
 }
 
 impl<O: Observer> Engine<O> {
@@ -131,7 +177,25 @@ impl<O: Observer> Engine<O> {
     /// Panics if the configuration fails validation.
     pub fn new(cfg: &MachineConfig, memmap: MemoryMap, observer: O) -> Self {
         cfg.validate();
-        Self { cfg: cfg.clone(), hierarchy: Hierarchy::new(cfg), bw: BandwidthModel::new(cfg), memmap, observer }
+        Self {
+            cfg: cfg.clone(),
+            hierarchy: Hierarchy::new(cfg),
+            bw: BandwidthModel::new(cfg),
+            memmap,
+            observer,
+            max_run: u64::MAX,
+        }
+    }
+
+    /// Cap the number of accesses pulled per [`AccessStream::next_run`]
+    /// call in [`ExecMode::Batched`]. Results are identical for any cap;
+    /// differential tests use this to exercise run-boundary handling.
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    pub fn set_max_run(&mut self, max: u64) {
+        assert!(max >= 1, "max_run must allow at least one access");
+        self.max_run = max;
     }
 
     /// The machine configuration.
@@ -173,31 +237,48 @@ impl<O: Observer> Engine<O> {
     /// Execute one phase: run every thread to stream exhaustion.
     ///
     /// Machine state (cache contents, first-touch placements) persists
-    /// across phases; bandwidth aggregates are reset per phase.
+    /// across phases; bandwidth aggregates are reset per phase. The inner
+    /// loop strategy is selected by [`crate::config::EngineConfig::exec`];
+    /// both strategies produce bit-identical results.
     ///
     /// # Panics
     /// Panics if thread specs reference out-of-range cores or duplicate
     /// thread ids, or if a stream accesses unallocated memory.
     pub fn run_phase(&mut self, threads: Vec<ThreadSpec>) -> RunStats {
+        match self.cfg.engine.exec {
+            ExecMode::Batched => self.run_phase_batched(threads),
+            ExecMode::Reference => self.run_phase_reference(threads),
+        }
+    }
+
+    fn make_ctxs(&self, threads: Vec<ThreadSpec>) -> Vec<ThreadCtx> {
         assert!(!threads.is_empty(), "phase needs at least one thread");
         let topo = &self.cfg.topology;
-        let default_mlp = self.cfg.engine.default_mlp;
-        let mut ctxs: Vec<ThreadCtx> = threads
+        let ctxs: Vec<ThreadCtx> = threads
             .into_iter()
             .map(|spec| {
                 assert!(topo.core_in_range(spec.core), "thread {:?} bound to invalid {:?}", spec.thread, spec.core);
                 let node = topo.node_of_core(spec.core);
-                let compute = spec.stream.compute_cycles();
-                let mlp = spec.stream.mlp().unwrap_or(default_mlp).max(1.0);
                 ThreadCtx {
                     thread: spec.thread,
                     core: spec.core,
                     node,
                     stream: spec.stream,
                     clock: 0.0,
-                    compute,
-                    mlp,
+                    mlp: 1.0,
                     done: false,
+                    // Empty run: the first loop iteration fetches one.
+                    run: AccessRun { base: 0, stride: 0, len: 0, is_write: false, reps: 1, compute: 0.0, mlp: None },
+                    run_pos: 0,
+                    quiet: 0,
+                    // Empty span: the first miss resolves one.
+                    span_start: 0,
+                    span_end: 0,
+                    span_home: NodeId(0),
+                    // NaN never compares equal: the first access computes.
+                    lat_memo: f64::NAN,
+                    mlp_memo: f64::NAN,
+                    quot_memo: 0.0,
                 }
             })
             .collect();
@@ -207,84 +288,10 @@ impl<O: Observer> Engine<O> {
             ids.dedup();
             assert_eq!(ids.len(), ctxs.len(), "duplicate thread ids in phase");
         }
+        ctxs
+    }
 
-        self.bw.reset();
-        let round = self.cfg.engine.round_cycles;
-        let lfb_latency = self.cfg.latency.lfb;
-        let l1_latency = self.cfg.latency.l1;
-        let line_bytes = self.cfg.cache.line_size as f64;
-        let mut counts = AccessCounts::default();
-        let mut round_end = round;
-        let mut live = ctxs.len();
-
-        while live > 0 {
-            for t in ctxs.iter_mut().filter(|t| !t.done) {
-                while t.clock < round_end {
-                    let Some(acc) = t.stream.next_access() else {
-                        t.done = true;
-                        live -= 1;
-                        break;
-                    };
-                    // Streams may change compute/mlp across chained phases.
-                    let compute = t.compute;
-                    let (source, home, latency) = match self.hierarchy.cache_access(t.core, acc.addr) {
-                        Some(src) => (src, None, self.cfg.base_latency(src)),
-                        None => {
-                            let home = self.memmap.home_node(acc.addr, t.node);
-                            let (src, service) = if home == t.node {
-                                (DataSource::LocalDram, self.cfg.latency.dram_local_service)
-                            } else {
-                                (DataSource::RemoteDram, self.cfg.latency.dram_remote_service)
-                            };
-                            let f = self.bw.factor_for(t.node, home);
-                            self.bw.record_dram(t.node, home, line_bytes);
-                            (src, Some(home), self.cfg.latency.dram_fixed + service * f)
-                        }
-                    };
-                    t.clock += compute + latency / t.mlp;
-                    counts.record(source);
-                    t.clock += self.observer.on_access(&AccessEvent {
-                        time: t.clock,
-                        thread: t.thread,
-                        core: t.core,
-                        node: t.node,
-                        addr: acc.addr,
-                        is_write: acc.is_write,
-                        source,
-                        home,
-                        latency,
-                    });
-                    // Remaining element loads within the same line.
-                    for _ in 1..acc.reps {
-                        let (rep_source, rep_latency, rep_home) = if source.is_dram() {
-                            // Satisfied by the in-flight fill: LFB.
-                            (DataSource::Lfb, lfb_latency, home)
-                        } else {
-                            // Line resident: they hit L1.
-                            (DataSource::L1, l1_latency, None)
-                        };
-                        // LFB latency is overlapped with the fill; L1 hits
-                        // are charged like any hit.
-                        t.clock += compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / t.mlp };
-                        counts.record(rep_source);
-                        t.clock += self.observer.on_access(&AccessEvent {
-                            time: t.clock,
-                            thread: t.thread,
-                            core: t.core,
-                            node: t.node,
-                            addr: acc.addr,
-                            is_write: acc.is_write,
-                            source: rep_source,
-                            home: rep_home,
-                            latency: rep_latency,
-                        });
-                    }
-                }
-            }
-            self.bw.end_round();
-            round_end += round;
-        }
-
+    fn finish_phase(&mut self, ctxs: &[ThreadCtx], counts: AccessCounts) -> RunStats {
         let cycles = ctxs.iter().map(|t| t.clock).fold(0.0, f64::max);
         let stats = RunStats {
             cycles,
@@ -300,6 +307,296 @@ impl<O: Observer> Engine<O> {
         self.observer.on_phase_end(&stats);
         stats
     }
+
+    /// The original strictly per-access inner loop, kept as the oracle the
+    /// differential tests compare [`Engine::run_phase_batched`] against.
+    /// Pulls single-access runs so per-segment `compute`/`mlp` are honoured
+    /// here too.
+    fn run_phase_reference(&mut self, threads: Vec<ThreadSpec>) -> RunStats {
+        let mut ctxs = self.make_ctxs(threads);
+        self.bw.reset();
+        let round = self.cfg.engine.round_cycles;
+        let lfb_latency = self.cfg.latency.lfb;
+        let l1_latency = self.cfg.latency.l1;
+        let line_bytes = self.cfg.cache.line_size as f64;
+        let default_mlp = self.cfg.engine.default_mlp;
+        let mut counts = AccessCounts::default();
+        let mut round_end = round;
+        let mut live = ctxs.len();
+
+        while live > 0 {
+            for t in ctxs.iter_mut().filter(|t| !t.done) {
+                while t.clock < round_end {
+                    let Some(run) = t.stream.next_run(1) else {
+                        t.done = true;
+                        live -= 1;
+                        break;
+                    };
+                    debug_assert_eq!(run.len, 1, "reference path requested single-access runs");
+                    let compute = run.compute;
+                    let mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
+                    let addr = run.base;
+                    let (source, home, latency) = match self.hierarchy.cache_access(t.core, addr) {
+                        Some(src) => (src, None, self.cfg.base_latency(src)),
+                        None => {
+                            let home = self.memmap.home_node(addr, t.node);
+                            let (src, service) = if home == t.node {
+                                (DataSource::LocalDram, self.cfg.latency.dram_local_service)
+                            } else {
+                                (DataSource::RemoteDram, self.cfg.latency.dram_remote_service)
+                            };
+                            let f = self.bw.factor_for(t.node, home);
+                            self.bw.record_dram(t.node, home, line_bytes);
+                            (src, Some(home), self.cfg.latency.dram_fixed + service * f)
+                        }
+                    };
+                    t.clock += compute + latency / mlp;
+                    counts.record(source);
+                    t.clock += self.observer.on_access(&AccessEvent {
+                        time: t.clock,
+                        thread: t.thread,
+                        core: t.core,
+                        node: t.node,
+                        addr,
+                        is_write: run.is_write,
+                        source,
+                        home,
+                        latency,
+                    });
+                    // Remaining element loads within the same line.
+                    for _ in 1..run.reps {
+                        let (rep_source, rep_latency, rep_home) = if source.is_dram() {
+                            // Satisfied by the in-flight fill: LFB.
+                            (DataSource::Lfb, lfb_latency, home)
+                        } else {
+                            // Line resident: they hit L1.
+                            (DataSource::L1, l1_latency, None)
+                        };
+                        // LFB latency is overlapped with the fill; L1 hits
+                        // are charged like any hit.
+                        t.clock += compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / mlp };
+                        counts.record(rep_source);
+                        t.clock += self.observer.on_access(&AccessEvent {
+                            time: t.clock,
+                            thread: t.thread,
+                            core: t.core,
+                            node: t.node,
+                            addr,
+                            is_write: run.is_write,
+                            source: rep_source,
+                            home: rep_home,
+                            latency: rep_latency,
+                        });
+                    }
+                }
+            }
+            self.bw.end_round();
+            round_end += round;
+        }
+        self.finish_phase(&ctxs, counts)
+    }
+
+    /// Run-batched inner loop: pulls [`AccessRun`]s, resolves the cache
+    /// handle once per thread slice, caches the home-node span across
+    /// misses, and delivers observer events through the
+    /// [`Observer::run_hint`]/[`Observer::on_run`] fast path. Performs the
+    /// identical sequence of floating-point operations as the reference
+    /// path, so results are bit-for-bit equal.
+    fn run_phase_batched(&mut self, threads: Vec<ThreadSpec>) -> RunStats {
+        let mut ctxs = self.make_ctxs(threads);
+        self.bw.reset();
+        let round = self.cfg.engine.round_cycles;
+        let lfb_latency = self.cfg.latency.lfb;
+        let l1_latency = self.cfg.latency.l1;
+        let line_bytes = self.cfg.cache.line_size as f64;
+        let default_mlp = self.cfg.engine.default_mlp;
+        let max_run = self.max_run;
+        let mut counts = AccessCounts::default();
+        let mut round_end = round;
+        let mut live = ctxs.len();
+
+        while live > 0 {
+            for t in ctxs.iter_mut().filter(|t| !t.done) {
+                // Disjoint field borrows: the cache handle pins
+                // `self.hierarchy` for the slice while the bandwidth
+                // model, memory map, and observer stay independently
+                // borrowable.
+                let cfg = &self.cfg;
+                let bw = &mut self.bw;
+                let memmap = &mut self.memmap;
+                let observer = &mut self.observer;
+                let mut caches = self.hierarchy.core_caches(t.core);
+                // Events skipped under `quiet` in this slice, not yet
+                // committed to the observer.
+                let mut pending: u64 = 0;
+                'slice: while t.clock < round_end {
+                    if t.run_pos == t.run.len {
+                        let Some(run) = t.stream.next_run(max_run) else {
+                            t.done = true;
+                            live -= 1;
+                            break 'slice;
+                        };
+                        t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
+                        t.run = run;
+                        t.run_pos = 0;
+                    }
+                    let run = t.run;
+                    let compute = run.compute;
+                    while t.run_pos < run.len && t.clock < round_end {
+                        let addr = run.base + t.run_pos * run.stride;
+                        t.run_pos += 1;
+                        let (source, home, latency) = match caches.access(addr) {
+                            Some(src) => (src, None, cfg.base_latency(src)),
+                            None => {
+                                let home = if addr >= t.span_start && addr < t.span_end {
+                                    t.span_home
+                                } else {
+                                    let (h, end) = memmap.home_node_span(addr, t.node);
+                                    t.span_start = addr;
+                                    t.span_end = end;
+                                    t.span_home = h;
+                                    h
+                                };
+                                let (src, service) = if home == t.node {
+                                    (DataSource::LocalDram, cfg.latency.dram_local_service)
+                                } else {
+                                    (DataSource::RemoteDram, cfg.latency.dram_remote_service)
+                                };
+                                let f = bw.factor_for(t.node, home);
+                                bw.record_dram(t.node, home, line_bytes);
+                                (src, Some(home), cfg.latency.dram_fixed + service * f)
+                            }
+                        };
+                        // `latency / mlp` is usually the same division as
+                        // on the previous line; reusing the quotient is
+                        // exact and takes the divide off the clock chain.
+                        let quot = if latency == t.lat_memo && t.mlp == t.mlp_memo {
+                            t.quot_memo
+                        } else {
+                            let q = latency / t.mlp;
+                            t.lat_memo = latency;
+                            t.mlp_memo = t.mlp;
+                            t.quot_memo = q;
+                            q
+                        };
+                        t.clock += compute + quot;
+                        counts.record(source);
+                        if t.quiet > 0 {
+                            t.quiet -= 1;
+                            pending += 1;
+                        } else {
+                            if pending > 0 {
+                                observer.on_run(t.thread, pending);
+                                pending = 0;
+                            }
+                            t.clock += observer.on_access(&AccessEvent {
+                                time: t.clock,
+                                thread: t.thread,
+                                core: t.core,
+                                node: t.node,
+                                addr,
+                                is_write: run.is_write,
+                                source,
+                                home,
+                                latency,
+                            });
+                            t.quiet = observer.run_hint(t.thread);
+                        }
+                        // Remaining element loads within the same line.
+                        let nreps = run.reps as u64 - 1;
+                        if nreps > 0 {
+                            let (rep_source, rep_latency, rep_home) = if source.is_dram() {
+                                (DataSource::Lfb, lfb_latency, home)
+                            } else {
+                                (DataSource::L1, l1_latency, None)
+                            };
+                            // Constant across the line's reps, so the
+                            // per-rep clock advance is one dependent add.
+                            let rep_delta =
+                                compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / t.mlp };
+                            if t.quiet >= nreps {
+                                // Every rep is covered by the observer's
+                                // promise: bulk-count them. Adding 0.0
+                                // never changes a non-negative clock, so
+                                // the chain itself is skippable then.
+                                counts.record_n(rep_source, nreps);
+                                t.quiet -= nreps;
+                                pending += nreps;
+                                if rep_delta != 0.0 {
+                                    t.clock = bulk_add(t.clock, rep_delta, nreps);
+                                }
+                            } else {
+                                for _ in 0..nreps {
+                                    t.clock += rep_delta;
+                                    counts.record(rep_source);
+                                    if t.quiet > 0 {
+                                        t.quiet -= 1;
+                                        pending += 1;
+                                    } else {
+                                        if pending > 0 {
+                                            observer.on_run(t.thread, pending);
+                                            pending = 0;
+                                        }
+                                        t.clock += observer.on_access(&AccessEvent {
+                                            time: t.clock,
+                                            thread: t.thread,
+                                            core: t.core,
+                                            node: t.node,
+                                            addr,
+                                            is_write: run.is_write,
+                                            source: rep_source,
+                                            home: rep_home,
+                                            latency: rep_latency,
+                                        });
+                                        t.quiet = observer.run_hint(t.thread);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Commit the slice's skipped events before any other
+                // thread's events reach the observer — this keeps global
+                // event ordering identical to per-event delivery.
+                if pending > 0 {
+                    observer.on_run(t.thread, pending);
+                }
+            }
+            self.bw.end_round();
+            round_end += round;
+        }
+        self.finish_phase(&ctxs, counts)
+    }
+}
+
+/// Advance `clock` by `n` sequential additions of `delta`, collapsing the
+/// dependent add chain to one fused update whenever that is bit-identical.
+///
+/// The collapse is exact when every partial sum lies in `clock`'s binade
+/// and on its ulp grid: `delta` must be a non-negative exact multiple of
+/// that ulp and the end value must not reach the next power of two. Every
+/// intermediate sum is then exactly representable, so each sequential add
+/// would round to the same grid point the fused form lands on. Otherwise
+/// (small clocks, sub-ulp deltas, binade crossings) the literal chain runs.
+#[inline]
+fn bulk_add(clock: f64, delta: f64, n: u64) -> f64 {
+    debug_assert!(clock >= 0.0 && delta >= 0.0, "clocks and costs are non-negative");
+    let bits = clock.to_bits();
+    let exp = bits >> 52; // clock >= 0.0 always: no sign bit to strip.
+    if exp > 52 && exp < 0x7fe {
+        let ulp = f64::from_bits((exp - 52) << 52);
+        let binade_top = f64::from_bits((exp + 1) << 52);
+        let steps = delta / ulp; // exact: ulp is a power of two
+        let end = clock + n as f64 * delta;
+        if steps.fract() == 0.0 && end < binade_top {
+            return end;
+        }
+    }
+    let mut c = clock;
+    for _ in 0..n {
+        c += delta;
+    }
+    c
 }
 
 #[cfg(test)]
@@ -310,6 +607,31 @@ mod tests {
 
     fn scaled() -> MachineConfig {
         MachineConfig::scaled()
+    }
+
+    /// `bulk_add` must equal the literal add chain bit-for-bit on every
+    /// input, whether or not the fused fast path fires: clocks on and off
+    /// the ulp grid, non-dyadic deltas, binade crossings, tiny clocks.
+    #[test]
+    fn bulk_add_matches_sequential_chain() {
+        let chain = |mut c: f64, d: f64, n: u64| {
+            for _ in 0..n {
+                c += d;
+            }
+            c
+        };
+        let clocks = [0.0, 1.0, 3.5, 1000.123456, 1e6 + 1.0 / 3.0, (1u64 << 52) as f64 - 1.5];
+        let deltas = [0.5, 1.5, 4.0 / 3.0, 0.1, 2e-20, 7.25];
+        let reps = [1u64, 3, 7, 100, 4095];
+        for &c in &clocks {
+            for &d in &deltas {
+                for &n in &reps {
+                    let want = chain(c, d, n);
+                    let got = bulk_add(c, d, n);
+                    assert_eq!(got.to_bits(), want.to_bits(), "bulk_add({c}, {d}, {n}) = {got}, chain = {want}");
+                }
+            }
+        }
     }
 
     /// All-local streaming: one thread scanning an array bound to its node.
@@ -509,6 +831,100 @@ mod tests {
         let stream = SeqStream::new(a.base, a.size, 1, AccessMix::read_only());
         let mut eng = Engine::new(&cfg, mm, NullObserver);
         eng.run_phase(vec![ThreadSpec::new(0, CoreId(999), Box::new(stream))]);
+    }
+
+    /// Regression (headline bugfix): the engine used to cache each
+    /// stream's `compute_cycles()`/`mlp()` once at phase start, so a chain
+    /// whose second segment is expensive was charged the *first* segment's
+    /// compute for every access. With per-run costs, the expensive
+    /// segment's cycles must show up in the clock.
+    #[test]
+    fn chained_segments_are_charged_their_own_compute() {
+        use crate::access::ChainStream;
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        // Cache-resident arrays so latency stays negligible next to compute.
+        let a = mm.alloc("a", 16 << 10, PlacementPolicy::Bind(NodeId(0)));
+        let b = mm.alloc("b", 16 << 10, PlacementPolicy::Bind(NodeId(0)));
+        let cheap = SeqStream::new(a.base, a.size, 1, AccessMix::read_only()).with_compute(0.0);
+        let costly = SeqStream::new(b.base, b.size, 2, AccessMix::read_only()).with_compute(500.0);
+        let n_costly = 2 * (16u64 << 10) / 64;
+        let chain = ChainStream::new(vec![Box::new(cheap), Box::new(costly)]);
+        let mut eng = Engine::new(&cfg, mm, NullObserver);
+        let stats = eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(chain))]);
+        // The stale-cost engine charged compute 0.0 throughout and finished
+        // in a few thousand cycles of pure latency.
+        assert!(
+            stats.cycles > n_costly as f64 * 500.0,
+            "second segment's compute not charged: {} cycles for {} costly accesses",
+            stats.cycles,
+            n_costly
+        );
+    }
+
+    /// Regression (headline bugfix, zip flavour): interleaving a costly
+    /// and a cheap stream must charge each access its own stream's
+    /// compute; the result cannot depend on which member happens to be
+    /// first. The stale engine charged member 0's compute for everything,
+    /// making the two orders differ by ~4×.
+    #[test]
+    fn zipped_members_are_charged_their_own_compute() {
+        use crate::access::ZipStream;
+        let cfg = scaled();
+        let run = |computes: [f64; 2]| {
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 8 << 10, PlacementPolicy::Bind(NodeId(0)));
+            let b = mm.alloc("b", 8 << 10, PlacementPolicy::Bind(NodeId(0)));
+            let s1 = SeqStream::new(a.base, a.size, 25, AccessMix::read_only()).with_compute(computes[0]);
+            let s2 = SeqStream::new(b.base, b.size, 25, AccessMix::read_only()).with_compute(computes[1]);
+            let zip = ZipStream::new(vec![Box::new(s1), Box::new(s2)]);
+            let mut eng = Engine::new(&cfg, mm, NullObserver);
+            eng.run_phase(vec![ThreadSpec::new(0, CoreId(0), Box::new(zip))]).cycles
+        };
+        let ab = run([8.0, 2.0]);
+        let ba = run([2.0, 8.0]);
+        let rel = (ab - ba).abs() / ab;
+        assert!(rel < 1e-9, "member order changed total cycles: {ab} vs {ba}");
+    }
+
+    /// The batched inner loop is bit-identical to the reference one, for
+    /// any `max_run` cap (here with the NullObserver; the differential
+    /// integration tests add samplers).
+    #[test]
+    fn batched_matches_reference_exactly() {
+        use crate::access::{BlockCyclicStream, ChainStream};
+        use crate::config::ExecMode;
+        let run = |exec: ExecMode, max_run: Option<u64>| {
+            let mut cfg = scaled();
+            cfg.engine.exec = exec;
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 8 << 20, PlacementPolicy::FirstTouch);
+            let b = mm.alloc("b", 2 << 20, PlacementPolicy::interleave_all(4));
+            let binding = cfg.topology.bind_threads(8, 4);
+            let threads: Vec<ThreadSpec> = binding
+                .iter()
+                .enumerate()
+                .map(|(i, core)| {
+                    let share = a.size / 8;
+                    let seq = SeqStream::new(a.base + i as u64 * share, share, 2, AccessMix::write_every(3))
+                        .with_compute(1.0 + i as f64)
+                        .with_reps(4);
+                    let blk = BlockCyclicStream::new(b.base, b.size, 4096, 8, i as u64, 1, AccessMix::read_only());
+                    let chain = ChainStream::new(vec![Box::new(seq), Box::new(blk)]);
+                    ThreadSpec::new(i as u32, *core, Box::new(chain))
+                })
+                .collect();
+            let mut eng = Engine::new(&cfg, mm, NullObserver);
+            if let Some(m) = max_run {
+                eng.set_max_run(m);
+            }
+            eng.run_phase(threads)
+        };
+        let reference = run(ExecMode::Reference, None);
+        for cap in [None, Some(1), Some(7), Some(64)] {
+            let batched = run(ExecMode::Batched, cap);
+            assert_eq!(batched, reference, "batched (cap {cap:?}) diverged from reference");
+        }
     }
 
     /// Pointer chasing (mlp 1) is slower per access than streaming (mlp 4)

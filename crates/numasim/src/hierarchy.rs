@@ -146,6 +146,21 @@ impl Hierarchy {
         }
     }
 
+    /// Borrow the three caches `core` can reach as one handle, so a hot
+    /// loop resolves the per-core indices once per thread slice instead of
+    /// once per access. Only the hierarchy is borrowed, leaving sibling
+    /// engine state (bandwidth model, memory map, observer) free.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    #[inline]
+    pub fn core_caches(&mut self, core: CoreId) -> CoreCaches<'_> {
+        let c = core.0 as usize;
+        let node = c / self.cores_per_node;
+        let (l1, l2, l3) = (&mut self.l1[c], &mut self.l2[c], &mut self.l3[node]);
+        CoreCaches { l1, l2, l3, line_shift: self.line_shift }
+    }
+
     /// The node a core belongs to (duplicated from [`crate::topology`] for
     /// hot-path use without a topology borrow).
     #[inline]
@@ -175,6 +190,35 @@ impl Hierarchy {
             hits: acc.hits + c.stats().hits,
             misses: acc.misses + c.stats().misses,
         })
+    }
+}
+
+/// Mutable view of one core's reachable caches (its L1/L2 and its node's
+/// L3), handed out by [`Hierarchy::core_caches`].
+#[derive(Debug)]
+pub struct CoreCaches<'a> {
+    l1: &'a mut Cache,
+    l2: &'a mut Cache,
+    l3: &'a mut Cache,
+    line_shift: u32,
+}
+
+impl CoreCaches<'_> {
+    /// Same walk as [`Hierarchy::cache_access`], with the per-core cache
+    /// resolution already done.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> Option<DataSource> {
+        let line = addr >> self.line_shift;
+        if self.l1.access(line) {
+            return Some(DataSource::L1);
+        }
+        if self.l2.access(line) {
+            return Some(DataSource::L2);
+        }
+        if self.l3.access(line) {
+            return Some(DataSource::L3);
+        }
+        None
     }
 }
 
@@ -254,6 +298,22 @@ mod tests {
         let l1 = h.level_stats(0);
         assert_eq!(l1.hits, 1);
         assert_eq!(l1.misses, 1);
+    }
+
+    #[test]
+    fn core_caches_matches_cache_access() {
+        let mut a = hier();
+        let mut b = hier();
+        // Mixed cores and re-touches: both walks must agree event by event
+        // and leave identical residency behind.
+        let pattern: Vec<(u32, u64)> = (0u64..200).map(|i| ((i % 3) as u32, (i * 137) % 50 * 64)).collect();
+        for &(core, addr) in &pattern {
+            let via_handle = b.core_caches(CoreId(core)).access(addr);
+            assert_eq!(a.cache_access(CoreId(core), addr), via_handle);
+        }
+        for lvl in 0..3 {
+            assert_eq!(a.level_stats(lvl), b.level_stats(lvl));
+        }
     }
 
     #[test]

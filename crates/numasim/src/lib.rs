@@ -64,12 +64,14 @@ pub mod topology;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::access::{
-        Access, AccessMix, AccessStream, BlockCyclicStream, ChainStream, PointerChaseStream, RandomStream, SeqStream,
-        StridedStream, WithMlp, ZipStream,
+        Access, AccessMix, AccessRun, AccessStream, BlockCyclicStream, ChainStream, PointerChaseStream, RandomStream,
+        SeqStream, StridedStream, WithMlp, ZipStream,
     };
     pub use crate::bandwidth::{BandwidthModel, Resource};
     pub use crate::cache::CacheStats;
-    pub use crate::config::{CacheConfig, InterconnectConfig, LatencyConfig, MachineConfig, MemConfig};
+    pub use crate::config::{
+        CacheConfig, EngineConfig, ExecMode, InterconnectConfig, LatencyConfig, MachineConfig, MemConfig,
+    };
     pub use crate::engine::{AccessEvent, Engine, NullObserver, Observer, ThreadSpec};
     pub use crate::hierarchy::DataSource;
     pub use crate::memmap::{MemoryMap, ObjectHandle, ObjectId, PlacementPolicy};

@@ -291,6 +291,44 @@ impl MemoryMap {
         }
     }
 
+    /// Like [`MemoryMap::home_node`], but also returns the first address
+    /// *after* `addr` at which the answer could change: the end of the
+    /// page for page-granular policies (interleave, first-touch), of the
+    /// segment for segmented placement, or of the whole object otherwise.
+    /// Every address in `addr..end` has the same home for the same
+    /// `accessor`, letting a sequential miss stream skip the lookup until
+    /// it crosses `end`. First-touch pages are established exactly as
+    /// `home_node` would — the span never extends past the page, so no
+    /// page is established earlier than its first actual miss.
+    ///
+    /// # Panics
+    /// Panics if `addr` is outside every allocation.
+    #[inline]
+    pub fn home_node_span(&mut self, addr: u64, accessor: NodeId) -> (NodeId, u64) {
+        let idx = self.index_of(addr).unwrap_or_else(|| panic!("access to unallocated address {addr:#x}"));
+        let info = &mut self.objects[idx];
+        let off = addr - info.base;
+        let page = (off / info.page_size) as usize;
+        let obj_end = info.base + info.size;
+        let page_end = (info.base + (page as u64 + 1) * info.page_size).min(obj_end);
+        match &info.policy {
+            PlacementPolicy::Bind(n) => (*n, obj_end),
+            PlacementPolicy::Replicated => (accessor, obj_end),
+            PlacementPolicy::Interleave(nodes) => (nodes[page % nodes.len()], page_end),
+            PlacementPolicy::Segmented(segs) => {
+                let i = segs.partition_point(|&(end, _)| end <= off);
+                (segs[i].1, info.base + segs[i].0)
+            }
+            PlacementPolicy::FirstTouch => {
+                let slot = &mut info.first_touch[page];
+                if *slot == UNTOUCHED {
+                    *slot = accessor.0;
+                }
+                (NodeId(*slot), page_end)
+            }
+        }
+    }
+
     /// Read-only view of the home node, without establishing first touch.
     /// Untouched first-touch pages report `None` — the analogue of libnuma's
     /// "page not yet faulted in".
@@ -453,6 +491,36 @@ mod tests {
     fn home_node_panics_outside_allocations() {
         let mut m = mm();
         m.home_node(42, NodeId(0));
+    }
+
+    #[test]
+    fn home_node_span_agrees_and_bounds_are_tight() {
+        let mut m = mm();
+        let bind = m.alloc("bind", 3 * 4096, PlacementPolicy::Bind(NodeId(2)));
+        let il = m.alloc("il", 4 * 4096, PlacementPolicy::interleave_all(4));
+        let seg = m.alloc("seg", 1 << 20, PlacementPolicy::colocate_even(1 << 20, 4));
+        let ft = m.alloc("ft", 2 * 4096, PlacementPolicy::FirstTouch);
+        let rep = m.alloc("rep", 4096, PlacementPolicy::Replicated);
+        let mut check = |addr: u64, accessor: NodeId| {
+            let mut probe = m.clone();
+            let expect = probe.home_node(addr, accessor);
+            let (home, end) = m.home_node_span(addr, accessor);
+            assert_eq!(home, expect);
+            assert!(end > addr, "span must be non-empty");
+            // Every address within the span resolves identically.
+            for a in [addr, (addr + end) / 2, end - 1] {
+                assert_eq!(m.home_node(a, accessor), home, "span not uniform at {a:#x}");
+            }
+            end
+        };
+        assert_eq!(check(bind.at(0), NodeId(0)), bind.base + bind.size);
+        assert_eq!(check(il.at(4096 + 7), NodeId(0)), il.base + 2 * 4096);
+        assert_eq!(check(seg.at(0), NodeId(3)), seg.base + (1 << 18));
+        assert_eq!(check(ft.at(100), NodeId(3)), ft.base + 4096);
+        assert_eq!(check(rep.at(10), NodeId(1)), rep.base + rep.size);
+        // Establishing via span is indistinguishable from home_node.
+        assert_eq!(m.query_node(ft.at(0)), Some(NodeId(3)));
+        assert_eq!(m.query_node(ft.at(4096)), None, "next page untouched");
     }
 
     #[test]

@@ -33,6 +33,19 @@ impl AccessCounts {
         }
     }
 
+    /// Bump the counter for `source` by `n` (bulk path for uniform runs).
+    #[inline]
+    pub fn record_n(&mut self, source: DataSource, n: u64) {
+        match source {
+            DataSource::L1 => self.l1 += n,
+            DataSource::L2 => self.l2 += n,
+            DataSource::L3 => self.l3 += n,
+            DataSource::Lfb => self.lfb += n,
+            DataSource::LocalDram => self.local_dram += n,
+            DataSource::RemoteDram => self.remote_dram += n,
+        }
+    }
+
     /// Total events.
     pub fn total(&self) -> u64 {
         self.l1 + self.l2 + self.l3 + self.lfb + self.local_dram + self.remote_dram
@@ -54,7 +67,11 @@ impl AccessCounts {
 }
 
 /// Result of executing one phase on the engine.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (no float tolerance): the
+/// differential tests use it to prove the batched and reference execution
+/// modes are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Simulated cycles: the finish time of the slowest thread.
     pub cycles: f64,

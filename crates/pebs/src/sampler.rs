@@ -14,6 +14,7 @@
 use crate::sample::MemSample;
 use numasim::engine::{AccessEvent, Observer};
 use numasim::stats::RunStats;
+use numasim::topology::ThreadId;
 
 /// Sampler parameters.
 #[derive(Debug, Clone, Copy)]
@@ -126,6 +127,21 @@ impl AddressSampler {
             self.samples.len() as f64 / self.observed as f64
         }
     }
+
+    /// The countdown slot for `thread`, lazily initialised with the
+    /// per-thread phase — shared by `on_access`, `run_hint`, and `on_run`.
+    #[inline]
+    fn countdown_mut(&mut self, thread: u32) -> &mut u64 {
+        let tid = thread as usize;
+        if tid >= self.countdown.len() {
+            let old = self.countdown.len();
+            self.countdown.resize(tid + 1, 0);
+            for t in old..=tid {
+                self.countdown[t] = self.initial_countdown(t as u32);
+            }
+        }
+        &mut self.countdown[tid]
+    }
 }
 
 impl Observer for AddressSampler {
@@ -135,18 +151,11 @@ impl Observer for AddressSampler {
             return 0.0;
         }
         self.observed += 1;
-        let tid = ev.thread.0 as usize;
-        if tid >= self.countdown.len() {
-            let old = self.countdown.len();
-            self.countdown.resize(tid + 1, 0);
-            for t in old..=tid {
-                self.countdown[t] = self.initial_countdown(t as u32);
-            }
-        }
-        let c = &mut self.countdown[tid];
+        let period = self.cfg.period;
+        let c = self.countdown_mut(ev.thread.0);
         *c -= 1;
         if *c == 0 {
-            *c = self.cfg.period;
+            *c = period;
             if ev.latency >= self.cfg.latency_threshold {
                 let reported = ev.latency * self.jitter_factor(ev.addr, self.observed);
                 self.samples.push(MemSample {
@@ -173,6 +182,33 @@ impl Observer for AddressSampler {
 
     fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
+    }
+
+    /// The next `countdown - 1` events of `thread` are strictly below the
+    /// sampling period: they only decrement the countdown and bump the
+    /// observed counter, which [`AddressSampler::on_run`] reproduces with
+    /// plain arithmetic. The event that drives the countdown to zero must
+    /// still arrive via `on_access` (threshold check, jitter, recording).
+    #[inline]
+    fn run_hint(&mut self, thread: ThreadId) -> u64 {
+        if !self.enabled {
+            // Disabled: on_access ignores events entirely, so the engine
+            // may skip them all; on_run ignores the commit to match.
+            return u64::MAX;
+        }
+        *self.countdown_mut(thread.0) - 1
+    }
+
+    /// Bulk-commit `n` skipped below-period events of `thread`.
+    #[inline]
+    fn on_run(&mut self, thread: ThreadId, n: u64) {
+        if !self.enabled || n == 0 {
+            return;
+        }
+        self.observed += n;
+        let c = self.countdown_mut(thread.0);
+        debug_assert!(*c > n, "on_run consumed the sample point itself");
+        *c -= n;
     }
 }
 
@@ -320,6 +356,81 @@ mod tests {
         let got = s.samples().len() as u64;
         assert!(got >= expect - 1 && got <= expect + 1, "expected ~{expect} samples, got {got}");
         assert!(s.samples().iter().any(|m| m.source == DataSource::RemoteDram));
+    }
+
+    /// The run_hint/on_run fast path leaves the sampler in exactly the
+    /// state per-event delivery produces: same samples (with jitter, which
+    /// depends on the global observed counter), same counters.
+    #[test]
+    fn run_fast_path_matches_per_event_delivery() {
+        let cfg = SamplerConfig { period: 50, latency_threshold: 100.0, latency_jitter: 0.3, per_sample_cost: 0.0 };
+        let mk_ev = |thread: u32, i: u64| AccessEvent {
+            time: i as f64,
+            thread: ThreadId(thread),
+            core: CoreId(thread),
+            node: NodeId(0),
+            addr: 0x1000 + i * 64,
+            is_write: false,
+            // Alternate above/below threshold so suppression is exercised.
+            source: DataSource::LocalDram,
+            home: Some(NodeId(0)),
+            latency: if i.is_multiple_of(3) { 50.0 } else { 200.0 },
+        };
+        // Threads alternate in slices of 137 events, like engine rounds.
+        // The global event order is what both deliveries must agree on.
+        let slices: Vec<(u32, u64)> = (0..5000u64).map(|i| (((i / 137) % 2) as u32, i)).collect();
+        // Reference: every event via on_access.
+        let mut reference = AddressSampler::new(cfg);
+        for &(t, i) in &slices {
+            reference.on_access(&mk_ev(t, i));
+        }
+        // Fast path: follow the engine protocol — skip exactly `hint`
+        // events, committing skips before each delivered event and at
+        // each slice boundary (quiet persists across a thread's slices;
+        // pending does not).
+        let mut fast = AddressSampler::new(cfg);
+        let mut quiet = [0u64; 2];
+        let mut pending = 0u64;
+        let mut prev_thread = slices[0].0;
+        for &(t, i) in &slices {
+            if t != prev_thread {
+                if pending > 0 {
+                    fast.on_run(ThreadId(prev_thread), pending);
+                    pending = 0;
+                }
+                prev_thread = t;
+            }
+            let q = &mut quiet[t as usize];
+            if *q > 0 {
+                *q -= 1;
+                pending += 1;
+            } else {
+                if pending > 0 {
+                    fast.on_run(ThreadId(t), pending);
+                    pending = 0;
+                }
+                fast.on_access(&mk_ev(t, i));
+                *q = fast.run_hint(ThreadId(t));
+            }
+        }
+        if pending > 0 {
+            fast.on_run(ThreadId(prev_thread), pending);
+        }
+        assert_eq!(fast.samples(), reference.samples(), "sample logs must be bit-identical");
+        assert_eq!(fast.observed_accesses(), reference.observed_accesses());
+        assert_eq!(fast.suppressed_samples(), reference.suppressed_samples());
+        assert_eq!(fast.countdown, reference.countdown);
+    }
+
+    #[test]
+    fn disabled_sampler_hints_skip_everything() {
+        let mut s = AddressSampler::with_default_period();
+        s.set_enabled(false);
+        assert_eq!(s.run_hint(ThreadId(0)), u64::MAX);
+        s.on_run(ThreadId(0), 12345);
+        assert_eq!(s.observed_accesses(), 0, "disabled on_run must not count");
+        s.set_enabled(true);
+        assert_eq!(s.run_hint(ThreadId(0)), s.initial_countdown(0) - 1);
     }
 
     #[test]

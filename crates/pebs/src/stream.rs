@@ -14,6 +14,7 @@ use crate::ring::SampleRing;
 use crate::sampler::{AddressSampler, SamplerConfig};
 use numasim::engine::{AccessEvent, Observer};
 use numasim::stats::RunStats;
+use numasim::topology::ThreadId;
 
 /// An [`AddressSampler`] whose records land in a bounded [`SampleRing`].
 #[derive(Debug, Clone)]
@@ -73,6 +74,18 @@ impl Observer for StreamingSampler {
 
     fn set_enabled(&mut self, enabled: bool) {
         self.inner.set_enabled(enabled);
+    }
+
+    /// Forward the bulk fast path: the inner sampler's promise is valid
+    /// here too, since skipped events produce no ring traffic.
+    #[inline]
+    fn run_hint(&mut self, thread: ThreadId) -> u64 {
+        self.inner.run_hint(thread)
+    }
+
+    #[inline]
+    fn on_run(&mut self, thread: ThreadId, n: u64) {
+        self.inner.on_run(thread, n);
     }
 }
 

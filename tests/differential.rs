@@ -1,0 +1,221 @@
+//! Differential tests for the run-batched engine: [`ExecMode::Batched`]
+//! must reproduce [`ExecMode::Reference`] *bit-for-bit* — `RunStats`
+//! (including per-channel bytes), the PEBS sample log, and every sampler
+//! counter — for any interleaving of `next_run` sizes. No float
+//! tolerances anywhere in this file.
+
+use numasim::access::{Access, AccessMix, AccessRun, AccessStream, BlockCyclicStream, ChainStream, SeqStream, WithMlp};
+use numasim::config::{ExecMode, MachineConfig};
+use numasim::engine::{Engine, ThreadSpec};
+use numasim::memmap::{MemoryMap, PlacementPolicy};
+use numasim::stats::RunStats;
+use pebs::ring::SampleRing;
+use pebs::sample::MemSample;
+use pebs::sampler::{AddressSampler, SamplerConfig};
+use pebs::stream::StreamingSampler;
+use proptest::prelude::*;
+
+/// Wraps a stream and clips each `next_run` request to a cycling schedule
+/// of caps, so a single phase exercises many run-boundary shapes (and, via
+/// `u64::MAX` entries, the engine's own cap).
+struct ScheduledRuns {
+    inner: Box<dyn AccessStream>,
+    schedule: Vec<u64>,
+    next: usize,
+}
+
+impl ScheduledRuns {
+    fn new(inner: Box<dyn AccessStream>, schedule: Vec<u64>) -> Self {
+        assert!(!schedule.is_empty() && schedule.iter().all(|&c| c >= 1));
+        Self { inner, schedule, next: 0 }
+    }
+}
+
+impl AccessStream for ScheduledRuns {
+    fn next_access(&mut self) -> Option<Access> {
+        self.inner.next_access()
+    }
+
+    fn compute_cycles(&self) -> f64 {
+        self.inner.compute_cycles()
+    }
+
+    fn mlp(&self) -> Option<f64> {
+        self.inner.mlp()
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn next_run(&mut self, max: u64) -> Option<AccessRun> {
+        let cap = self.schedule[self.next].min(max);
+        self.next = (self.next + 1) % self.schedule.len();
+        self.inner.next_run(cap)
+    }
+}
+
+/// A contended multi-thread phase mixing everything the batcher has to get
+/// right: write mixes, reps (LFB events), per-segment compute (the
+/// headline bug), an MLP override, first-touch and interleaved placement.
+fn make_threads(cfg: &MachineConfig, mm: &mut MemoryMap, schedule: Option<&[u64]>) -> Vec<ThreadSpec> {
+    let a = mm.alloc("a", 8 << 20, PlacementPolicy::FirstTouch);
+    let b = mm.alloc("b", 2 << 20, PlacementPolicy::interleave_all(cfg.topology.num_nodes()));
+    let nthreads = 8u64;
+    let binding = cfg.topology.bind_threads(nthreads as usize, cfg.topology.num_nodes());
+    binding
+        .iter()
+        .enumerate()
+        .map(|(i, core)| {
+            let share = a.size / nthreads;
+            let seq = SeqStream::new(a.base + i as u64 * share, share, 1, AccessMix::write_every(3))
+                .with_compute(0.5 * i as f64)
+                .with_reps(4);
+            let blk = BlockCyclicStream::new(b.base, b.size, 4096, 8, i as u64, 1, AccessMix::read_only());
+            let chain: Box<dyn AccessStream> =
+                Box::new(ChainStream::new(vec![Box::new(seq), Box::new(WithMlp::new(blk, 2.0))]));
+            let stream: Box<dyn AccessStream> = match schedule {
+                Some(s) => Box::new(ScheduledRuns::new(chain, s.to_vec())),
+                None => chain,
+            };
+            ThreadSpec::new(i as u32, *core, stream)
+        })
+        .collect()
+}
+
+/// A sampler aggressive enough to take many samples, suppress some below
+/// the (jittered) threshold, and perturb thread clocks per sample.
+fn sampler() -> AddressSampler {
+    AddressSampler::new(SamplerConfig {
+        period: 23,
+        latency_threshold: 150.0,
+        latency_jitter: 0.3,
+        per_sample_cost: 40.0,
+    })
+}
+
+/// Everything observable from one run: engine stats plus sampler state.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    stats: RunStats,
+    samples: Vec<MemSample>,
+    observed: u64,
+    suppressed: u64,
+}
+
+fn run_sampled(exec: ExecMode, schedule: Option<&[u64]>) -> Outcome {
+    let mut cfg = MachineConfig::scaled();
+    cfg.engine.exec = exec;
+    let mut mm = MemoryMap::new(&cfg);
+    let threads = make_threads(&cfg, &mut mm, schedule);
+    let mut eng = Engine::new(&cfg, mm, sampler());
+    let stats = eng.run_phase(threads);
+    let (_, s) = eng.into_parts();
+    Outcome {
+        stats,
+        observed: s.observed_accesses(),
+        suppressed: s.suppressed_samples(),
+        samples: s.samples().to_vec(),
+    }
+}
+
+/// The tentpole guarantee: batched == reference, bit for bit, with a live
+/// PEBS sampler attached — `RunStats` (hence channel bytes), the full
+/// sample log, the observed-access counter (which salts latency jitter),
+/// and the suppression counter.
+#[test]
+fn batched_reproduces_reference_bit_for_bit() {
+    let reference = run_sampled(ExecMode::Reference, None);
+    assert!(!reference.samples.is_empty(), "phase must actually sample");
+    assert!(reference.suppressed > 0, "threshold must actually suppress");
+    let schedules: [Option<&[u64]>; 5] = [None, Some(&[1]), Some(&[7]), Some(&[64]), Some(&[1, 7, 64, u64::MAX])];
+    for schedule in schedules {
+        let batched = run_sampled(ExecMode::Batched, schedule);
+        assert_eq!(batched, reference, "batched run (schedule {schedule:?}) diverged");
+    }
+}
+
+/// Same guarantee through the streaming adapter: the ring's drained
+/// contents and overflow accounting match per-event delivery exactly.
+#[test]
+fn streaming_sampler_ring_is_identical_across_modes() {
+    let run = |exec: ExecMode| {
+        let mut cfg = MachineConfig::scaled();
+        cfg.engine.exec = exec;
+        let mut mm = MemoryMap::new(&cfg);
+        let threads = make_threads(&cfg, &mut mm, None);
+        let obs = StreamingSampler::new(
+            SamplerConfig { period: 23, latency_threshold: 150.0, latency_jitter: 0.3, per_sample_cost: 40.0 },
+            SampleRing::new(1 << 16),
+        );
+        let mut eng = Engine::new(&cfg, mm, obs);
+        let stats = eng.run_phase(threads);
+        let (_, s) = eng.into_parts();
+        let observed = s.observed_accesses();
+        let mut ring = s.into_ring();
+        let mut drained = Vec::new();
+        while let Some(sample) = ring.pop() {
+            drained.push(sample);
+        }
+        (stats, observed, ring.dropped(), drained)
+    };
+    let reference = run(ExecMode::Reference);
+    let batched = run(ExecMode::Batched);
+    assert!(!reference.3.is_empty(), "ring must carry samples");
+    assert_eq!(batched, reference);
+}
+
+/// Property: *any* interleaving of run sizes — including ones that chop
+/// runs mid-line-group or span segment boundaries — reproduces the
+/// reference access-for-access. Smaller machine so 64 cases stay cheap.
+fn run_tiny(exec: ExecMode, schedule: Option<&[u64]>) -> Outcome {
+    let mut cfg = MachineConfig::tiny();
+    cfg.engine.exec = exec;
+    let mut mm = MemoryMap::new(&cfg);
+    let a = mm.alloc("a", 256 << 10, PlacementPolicy::FirstTouch);
+    let b = mm.alloc("b", 128 << 10, PlacementPolicy::interleave_all(2));
+    let threads = (0..4u64)
+        .map(|i| {
+            let share = a.size / 4;
+            let seq = SeqStream::new(a.base + i * share, share, 1, AccessMix::write_every(3))
+                .with_compute(0.5 * i as f64)
+                .with_reps(4);
+            let blk = BlockCyclicStream::new(b.base, b.size, 4096, 4, i, 1, AccessMix::read_only());
+            let chain: Box<dyn AccessStream> =
+                Box::new(ChainStream::new(vec![Box::new(seq), Box::new(WithMlp::new(blk, 2.0))]));
+            let stream: Box<dyn AccessStream> = match schedule {
+                Some(s) => Box::new(ScheduledRuns::new(chain, s.to_vec())),
+                None => chain,
+            };
+            ThreadSpec::new(i as u32, numasim::topology::CoreId((i % 4) as u32), stream)
+        })
+        .collect();
+    let mut eng = Engine::new(&cfg, mm, sampler());
+    let stats = eng.run_phase(threads);
+    let (_, s) = eng.into_parts();
+    Outcome {
+        stats,
+        observed: s.observed_accesses(),
+        suppressed: s.suppressed_samples(),
+        samples: s.samples().to_vec(),
+    }
+}
+
+fn tiny_reference() -> &'static Outcome {
+    static REF: std::sync::OnceLock<Outcome> = std::sync::OnceLock::new();
+    REF.get_or_init(|| run_tiny(ExecMode::Reference, None))
+}
+
+fn arb_cap() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(1u64), Just(7), Just(64), Just(u64::MAX), 1u64..97]
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_run_schedules_match_reference(
+        schedule in proptest::collection::vec(arb_cap(), 1..6),
+    ) {
+        let batched = run_tiny(ExecMode::Batched, Some(&schedule));
+        prop_assert_eq!(&batched, tiny_reference(), "schedule {:?} diverged", schedule);
+    }
+}
