@@ -25,4 +25,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+echo "==> cargo bench --workspace --no-run (benches must compile)"
+cargo bench --workspace --no-run
+
+# Surface the recorded cache-walk ablation so perf regressions in the
+# fused span walk are visible in CI logs (BENCH_engine.json is refreshed
+# by crates/bench/src/bin/bench_engine.rs, not by this script).
+if [ -f BENCH_engine.json ]; then
+    walk=$(sed -n 's/.*"walk_share": \([0-9.]*\).*/\1/p' BENCH_engine.json)
+    fused=$(sed -n 's/.*"fused_s": \([0-9.]*\).*/\1/p' BENCH_engine.json)
+    unfused=$(sed -n 's/.*"unfused_s": \([0-9.]*\).*/\1/p' BENCH_engine.json)
+    echo "==> recorded walk ablation: fused ${fused:-?}s vs unfused ${unfused:-?}s (walk share ${walk:-?})"
+fi
+
 echo "==> ci.sh: all green"

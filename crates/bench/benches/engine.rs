@@ -93,5 +93,41 @@ fn exec_mode_speedup(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_throughput, multithreaded_contended, exec_mode_speedup);
+fn span_fusion_ablation(c: &mut Criterion) {
+    // The walk ablation: the batched engine with the span-fused cache walk
+    // against the same engine walking the tag array line by line
+    // (`span_fusion = false`, PR 3's hot path). Streaming reads over an
+    // 8 MiB interleaved array are the walk-dominated worst case; both
+    // variants are bit-identical (tests/differential.rs).
+    let mut g = c.benchmark_group("engine_span_fusion");
+    g.sample_size(10);
+    for fused in [true, false] {
+        let name = if fused { "fused" } else { "per_line" };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &fused, |b, &fused| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::scaled();
+                cfg.engine.exec = ExecMode::Batched;
+                cfg.engine.span_fusion = fused;
+                let mut mm = MemoryMap::new(&cfg);
+                let a = mm.alloc("a", 8 << 20, PlacementPolicy::interleave_all(4));
+                let binding = cfg.topology.bind_threads(8, 4);
+                let threads: Vec<ThreadSpec> = binding
+                    .iter()
+                    .enumerate()
+                    .map(|(t, core)| {
+                        let share = a.size / 8;
+                        let s =
+                            SeqStream::new(a.base + t as u64 * share, share, 2, AccessMix::read_only()).with_reps(8);
+                        ThreadSpec::new(t as u32, *core, Box::new(s))
+                    })
+                    .collect();
+                let mut eng = Engine::new(&cfg, mm, NullObserver);
+                eng.run_phase(threads).cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, multithreaded_contended, exec_mode_speedup, span_fusion_ablation);
 criterion_main!(benches);

@@ -1,7 +1,13 @@
 //! Batched-vs-reference engine speedup, measured where it matters: the
 //! quick training grid (serial collection) and `analyze_batch` over the
-//! same grid. Verifies bit-identity of everything it times, then writes
-//! the numbers as JSON (default `BENCH_engine.json`).
+//! same grid, plus the span-fusion walk ablation (`EngineConfig::
+//! span_fusion` on vs. off inside the batched engine). Verifies
+//! bit-identity of everything it times, then writes the numbers as JSON
+//! (default `BENCH_engine.json`).
+//!
+//! Every section is timed as one warmup run followed by seven measured
+//! runs; the report carries the median and the raw runs so jitter is
+//! visible instead of silently folded into a best-of statistic.
 //!
 //! ```text
 //! cargo run --release -p drbw-bench --bin bench_engine [out.json]
@@ -21,25 +27,34 @@ use drbw_core::{Case, DrBw, TrainingSet};
 use numasim::config::{ExecMode, MachineConfig};
 use std::time::Instant;
 
-fn mcfg(exec: ExecMode) -> MachineConfig {
+fn mcfg(exec: ExecMode, span_fusion: bool) -> MachineConfig {
     let mut m = MachineConfig::scaled();
     m.engine.exec = exec;
+    m.engine.span_fusion = span_fusion;
     m
 }
 
-/// Run `f` three times and report the fastest, which is the standard
-/// noise-robust statistic on a shared machine (slowdowns are one-sided).
-fn time<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-    let mut best: Option<(T, f64)> = None;
-    for _ in 0..3 {
+/// One warmup run (discarded) followed by seven measured runs. Returns the
+/// last run's value, the median wall time, and all seven raw times. The
+/// median is robust against one-sided shared-machine slowdowns without
+/// optimistically picking the single luckiest run the way best-of-N does.
+fn measure<T>(mut f: impl FnMut() -> T) -> (T, f64, Vec<f64>) {
+    let mut value = f();
+    let mut runs = Vec::with_capacity(7);
+    for _ in 0..7 {
         let t0 = Instant::now();
-        let v = f();
-        let s = t0.elapsed().as_secs_f64();
-        if best.as_ref().is_none_or(|(_, b)| s < *b) {
-            best = Some((v, s));
-        }
+        value = f();
+        runs.push(t0.elapsed().as_secs_f64());
     }
-    best.unwrap()
+    let mut sorted = runs.clone();
+    sorted.sort_by(f64::total_cmp);
+    (value, sorted[3], runs)
+}
+
+/// `{ "median_s": m, "runs_s": [...] }` for one timed section.
+fn section(median: f64, runs: &[f64]) -> String {
+    let rs: Vec<String> = runs.iter().map(|r| format!("{r:.3}")).collect();
+    format!("{{ \"median_s\": {median:.3}, \"runs_s\": [{}] }}", rs.join(", "))
 }
 
 fn env_secs(var: &str) -> Option<f64> {
@@ -51,8 +66,10 @@ fn main() {
     let specs = training::quick_training_specs();
 
     // 1. Serial collection of the quick training grid under each mode.
-    let (ref_set, grid_ref_s) = time(|| training::collect_training_set_serial(&mcfg(ExecMode::Reference), &specs));
-    let (bat_set, grid_bat_s) = time(|| training::collect_training_set_serial(&mcfg(ExecMode::Batched), &specs));
+    let (ref_set, grid_ref_s, grid_ref_runs) =
+        measure(|| training::collect_training_set_serial(&mcfg(ExecMode::Reference, true), &specs));
+    let (bat_set, grid_bat_s, grid_bat_runs) =
+        measure(|| training::collect_training_set_serial(&mcfg(ExecMode::Batched, true), &specs));
     assert_eq!(ref_set.len(), bat_set.len());
     for i in 0..ref_set.len() {
         assert_eq!(ref_set.label(i), bat_set.label(i), "label of instance {i}");
@@ -65,30 +82,46 @@ fn main() {
     );
 
     // 2. analyze_batch of the same grid's cases, single-threaded so the
-    //    ratio measures the inner loop, not the pool.
-    let run_batch = |exec: ExecMode| {
+    //    ratio measures the inner loop, not the pool. The batched engine is
+    //    run twice — with the span-fused cache walk and with it disabled —
+    //    which isolates how much of the batched runtime the per-line tag
+    //    walk was costing (the unfused run is PR 3's batched engine).
+    let run_batch = |exec: ExecMode, span_fusion: bool| {
         let tool = DrBw::builder()
-            .machine(mcfg(exec))
+            .machine(mcfg(exec, span_fusion))
             .training_set(TrainingSet::Quick)
             .threads(1)
             .build()
             .expect("quick grid trains");
         let cases: Vec<Case> = specs.iter().map(|s| Case::new(s.program.workload(), &s.rcfg)).collect();
-        time(move || tool.analyze_batch(&cases))
+        measure(move || tool.analyze_batch(&cases))
     };
-    let (ref_analyses, analyze_ref_s) = run_batch(ExecMode::Reference);
-    let (bat_analyses, analyze_bat_s) = run_batch(ExecMode::Batched);
-    assert_eq!(ref_analyses.len(), bat_analyses.len());
-    for (i, (r, b)) in ref_analyses.iter().zip(&bat_analyses).enumerate() {
-        assert_eq!(r.profile.samples, b.profile.samples, "case {i}: sample logs diverged");
-        assert_eq!(r.detection.mode(), b.detection.mode(), "case {i}: mode diverged");
-        assert_eq!(r.detection.contended_channels, b.detection.contended_channels, "case {i}: channels diverged");
+    let (ref_analyses, analyze_ref_s, analyze_ref_runs) = run_batch(ExecMode::Reference, true);
+    let (fus_analyses, analyze_fus_s, analyze_fus_runs) = run_batch(ExecMode::Batched, true);
+    let (unf_analyses, analyze_unf_s, analyze_unf_runs) = run_batch(ExecMode::Batched, false);
+    assert_eq!(ref_analyses.len(), fus_analyses.len());
+    assert_eq!(ref_analyses.len(), unf_analyses.len());
+    for (i, r) in ref_analyses.iter().enumerate() {
+        for (kind, b) in [("fused", &fus_analyses[i]), ("unfused", &unf_analyses[i])] {
+            assert_eq!(r.profile.samples, b.profile.samples, "case {i} ({kind}): sample logs diverged");
+            assert_eq!(r.detection.mode(), b.detection.mode(), "case {i} ({kind}): mode diverged");
+            assert_eq!(
+                r.detection.contended_channels, b.detection.contended_channels,
+                "case {i} ({kind}): channels diverged"
+            );
+        }
     }
-    let analyze_speedup = analyze_ref_s / analyze_bat_s;
+    let analyze_speedup = analyze_ref_s / analyze_fus_s;
+    let walk_speedup = analyze_unf_s / analyze_fus_s;
+    // Fraction of the unfused batched runtime that the span-fused walk
+    // removes: the share of the engine spent walking tags line by line.
+    let walk_share = 1.0 - analyze_fus_s / analyze_unf_s;
     eprintln!(
-        "analyze_batch ({} cases, 1 thread): reference {analyze_ref_s:.2}s, batched {analyze_bat_s:.2}s ({analyze_speedup:.2}x)",
+        "analyze_batch ({} cases, 1 thread): reference {analyze_ref_s:.2}s, fused {analyze_fus_s:.2}s \
+         ({analyze_speedup:.2}x), unfused {analyze_unf_s:.2}s",
         specs.len()
     );
+    eprintln!("walk ablation: fused vs unfused {walk_speedup:.2}x, walk share {:.1}%", walk_share * 100.0);
 
     let pair = |a: &str, b: &str, ka: &str, kb: &str| match (env_secs(a), env_secs(b)) {
         (Some(x), Some(y)) => {
@@ -101,26 +134,34 @@ fn main() {
         (Some(g), Some(a)) => format!(
             "{{ \"grid_s\": {g:.2}, \"analyze_s\": {a:.2}, \"batched_vs_seed_grid\": {:.2}, \"batched_vs_seed_analyze\": {:.2} }}",
             g / grid_bat_s,
-            a / analyze_bat_s
+            a / analyze_fus_s
         ),
         _ => "null".to_string(),
     };
     let unopt = pair("DRBW_UNOPT_REFERENCE_S", "DRBW_UNOPT_BATCHED_S", "reference_s", "batched_s");
     let json = format!(
         r#"{{
-  "bench": "engine batched vs reference (ExecMode)",
+  "bench": "engine batched vs reference (ExecMode) + span-fusion walk ablation",
   "machine": "MachineConfig::scaled",
   "grid_runs": {runs},
+  "protocol": "1 warmup + 7 measured runs per section, median reported",
   "bit_identical": true,
   "quick_grid_serial": {{
-    "reference_s": {grid_ref_s:.2},
-    "batched_s": {grid_bat_s:.2},
+    "reference": {grid_ref},
+    "batched": {grid_bat},
     "speedup": {grid_speedup:.2}
   }},
   "analyze_batch_1thread": {{
-    "reference_s": {analyze_ref_s:.2},
-    "batched_s": {analyze_bat_s:.2},
+    "reference": {analyze_ref},
+    "batched_fused": {analyze_fus},
+    "batched_unfused": {analyze_unf},
     "speedup": {analyze_speedup:.2}
+  }},
+  "walk_ablation": {{
+    "fused_s": {analyze_fus_s:.3},
+    "unfused_s": {analyze_unf_s:.3},
+    "fused_vs_unfused": {walk_speedup:.2},
+    "walk_share": {walk_share:.3}
   }},
   "seed_engine": {seed},
   "analyze_batch_unoptimized": {unopt},
@@ -128,6 +169,11 @@ fn main() {
 }}
 "#,
         runs = specs.len(),
+        grid_ref = section(grid_ref_s, &grid_ref_runs),
+        grid_bat = section(grid_bat_s, &grid_bat_runs),
+        analyze_ref = section(analyze_ref_s, &analyze_ref_runs),
+        analyze_fus = section(analyze_fus_s, &analyze_fus_runs),
+        analyze_unf = section(analyze_unf_s, &analyze_unf_runs),
     );
     std::fs::write(&out, &json).expect("write report");
     print!("{json}");

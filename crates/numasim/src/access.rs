@@ -168,6 +168,31 @@ pub trait AccessStream: Send {
     fn is_done(&self) -> bool {
         false
     }
+
+    /// Peek the maximal run [`AccessStream::next_run`] would return for an
+    /// unbounded `max`, without advancing any state; `None` when the
+    /// stream is drained or cannot describe its future as one run.
+    ///
+    /// Contract: when `Some(w)` is returned, an immediate `next_run(k)`
+    /// with `1 ≤ k ≤ w.len` must return exactly the first `k` accesses of
+    /// `w`. Purely advisory — the conservative default (`None`) opts out
+    /// of the engine's interleaved span fusion.
+    fn seq_window(&self) -> Option<AccessRun> {
+        None
+    }
+
+    /// Bulk-pull one *interleaved span*: `iters` whole round-robin
+    /// iterations over ≥ 2 concurrently live sequential lanes, advancing
+    /// the stream past all of them. On success, `lanes` holds one run per
+    /// lane in issue order, each of length `iters` and stride `line_step`,
+    /// and the return value is `iters`; the access sequence consumed is
+    /// exactly `lanes[0][0], lanes[1][0], …, lanes[0][1], lanes[1][1], …`.
+    /// Returns 0 — consuming nothing — when the stream is not an
+    /// interleaving of sequential lanes (the default).
+    fn next_zip(&mut self, _line_step: u64, _max_iters: u64, lanes: &mut Vec<AccessRun>) -> u64 {
+        lanes.clear();
+        0
+    }
 }
 
 /// Sequential scan over `[base, base + len)` with a fixed stride,
@@ -338,6 +363,26 @@ impl AccessStream for SeqStream {
     fn is_done(&self) -> bool {
         self.pass == self.passes
     }
+
+    fn seq_window(&self) -> Option<AccessRun> {
+        if self.pass == self.passes {
+            return None;
+        }
+        // Mirror of `next_run` with an unbounded `max`, minus the state
+        // advance: the same wrap/pass/write-ness caps apply.
+        let to_wrap = (self.len - self.cursor).div_ceil(self.stride);
+        let to_pass_end = self.steps_per_pass - self.step;
+        let (len, is_write) = self.mix.run_len(self.counter, to_wrap.min(to_pass_end));
+        Some(AccessRun {
+            base: self.base + self.cursor,
+            stride: self.stride,
+            len,
+            is_write,
+            reps: self.reps,
+            compute: self.compute,
+            mlp: self.mlp,
+        })
+    }
 }
 
 /// Boxed streams delegate every method — crucially including
@@ -367,6 +412,16 @@ impl<S: AccessStream + ?Sized> AccessStream for Box<S> {
     #[inline]
     fn is_done(&self) -> bool {
         (**self).is_done()
+    }
+
+    #[inline]
+    fn seq_window(&self) -> Option<AccessRun> {
+        (**self).seq_window()
+    }
+
+    #[inline]
+    fn next_zip(&mut self, line_step: u64, max_iters: u64, lanes: &mut Vec<AccessRun>) -> u64 {
+        (**self).next_zip(line_step, max_iters, lanes)
     }
 }
 
@@ -610,6 +665,54 @@ impl AccessStream for ZipStream {
 
     fn is_done(&self) -> bool {
         self.streams.iter().zip(&self.exhausted).all(|(s, &e)| e || s.is_done())
+    }
+
+    fn next_zip(&mut self, line_step: u64, max_iters: u64, lanes: &mut Vec<AccessRun>) -> u64 {
+        lanes.clear();
+        if self.live < 2 || max_iters == 0 {
+            return 0;
+        }
+        let n = self.streams.len();
+        // Peek pass: every live member must expose a line-strided window;
+        // the span length is the shortest one. Nothing has advanced yet,
+        // so any bail-out leaves the per-access interleaving untouched.
+        let mut iters = max_iters;
+        let mut idx = self.next;
+        for _ in 0..n {
+            let i = idx;
+            idx = (idx + 1) % n;
+            if self.exhausted[i] {
+                continue;
+            }
+            let Some(w) = self.streams[i].seq_window() else {
+                return 0;
+            };
+            if w.stride != line_step || w.len == 0 {
+                return 0;
+            }
+            iters = iters.min(w.len);
+        }
+        // Below a handful of iterations the lane setup costs more than the
+        // per-access path; the fallback is semantically identical.
+        if iters < 4 {
+            return 0;
+        }
+        // Commit pass: pull exactly `iters` lines from each live member in
+        // rotation order. Consuming whole iterations starting at `next`
+        // leaves the rotation cursor — and thus every future access —
+        // where `iters × live` single-access pulls would have left it.
+        let mut idx = self.next;
+        for _ in 0..n {
+            let i = idx;
+            idx = (idx + 1) % n;
+            if self.exhausted[i] {
+                continue;
+            }
+            let r = self.streams[i].next_run(iters).expect("seq_window promised a non-empty run");
+            debug_assert_eq!(r.len, iters, "seq_window window shrank under next_run");
+            lanes.push(r);
+        }
+        iters
     }
 }
 
@@ -1164,6 +1267,46 @@ mod tests {
                 assert_eq!(*c, expect, "run cost must come from the producing member");
             }
         }
+    }
+
+    #[test]
+    fn zip_next_zip_reproduces_per_access_order() {
+        // The interleaved-span contract: expanding the lanes returned by
+        // `next_zip` as lane0[i], lane1[i], lane2[i], lane0[i+1], ... must
+        // reproduce the per-access drain exactly — addresses, writeness,
+        // and reps — including across window caps (the write boundary in
+        // member c) and after the short member b drains.
+        let make = || {
+            ZipStream::new(vec![
+                Box::new(SeqStream::new(0, 64 * 40, 2, AccessMix::read_only()).with_reps(4)) as Box<dyn AccessStream>,
+                Box::new(SeqStream::new(1 << 20, 64 * 24, 1, AccessMix::read_only())),
+                Box::new(SeqStream::new(2 << 20, 64 * 40, 2, AccessMix::write_every(9)).with_reps(2)),
+            ])
+        };
+        let oracle: Vec<Access> = drain(make());
+        let mut zip = make();
+        let mut got: Vec<Access> = Vec::new();
+        let mut lanes = Vec::new();
+        loop {
+            let iters = zip.next_zip(64, 7, &mut lanes);
+            if iters > 0 {
+                assert!(lanes.iter().all(|l| l.len == iters), "every lane spans the same iterations");
+                for i in 0..iters {
+                    for l in &lanes {
+                        got.push(Access { addr: l.base + i * l.stride, is_write: l.is_write, reps: l.reps });
+                    }
+                }
+            } else {
+                let Some(a) = zip.next_access() else { break };
+                got.push(a);
+            }
+            assert!(got.len() <= oracle.len(), "zip expansion overshot the oracle");
+        }
+        assert!(got
+            .iter()
+            .zip(&oracle)
+            .all(|(g, o)| { g.addr == o.addr && g.is_write == o.is_write && g.reps == o.reps }));
+        assert_eq!(got.len(), oracle.len());
     }
 
     #[test]

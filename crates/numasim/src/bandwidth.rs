@@ -128,6 +128,22 @@ impl BandwidthModel {
         }
     }
 
+    /// Account `n` identical DRAM transfers of `bytes` each from `src` to
+    /// `home` — bit-identical to `n` sequential [`BandwidthModel::record_dram`]
+    /// calls (the byte accumulators collapse the add chain only where that
+    /// is exactly the same rounding; see [`crate::fp::bulk_add`]). The
+    /// fused span walk uses this to commit a whole all-miss line span in
+    /// O(1) instead of O(n) accumulator adds.
+    #[inline]
+    pub fn record_dram_n(&mut self, src: NodeId, home: NodeId, bytes: f64, n: u64) {
+        let h = home.0 as usize;
+        self.mc_bytes[h] = crate::fp::bulk_add(self.mc_bytes[h], bytes, n);
+        if src != home {
+            let idx = self.channel_index(src, home);
+            self.ch_bytes[idx] = crate::fp::bulk_add(self.ch_bytes[idx], bytes, n);
+        }
+    }
+
     /// Latency inflation factor for a DRAM access from `src` to `home`,
     /// based on the previous round: the worse of the home controller and
     /// (for remote accesses) the channel.
@@ -296,6 +312,30 @@ mod tests {
         m.end_round();
         let cfg = MachineConfig::scaled();
         assert_eq!(m.factor_for(NodeId(0), NodeId(1)), cfg.congestion.max_factor);
+    }
+
+    /// `record_dram_n` must be bit-identical to the per-access loop —
+    /// including the ragged byte totals repeated f64 adds produce — for
+    /// local and remote traffic, interleaved with other recordings and
+    /// across rounds.
+    #[test]
+    fn record_dram_n_matches_per_access_loop() {
+        let mut a = model();
+        let mut b = model();
+        let batches: [(u8, u8, u64); 5] = [(0, 1, 1000), (0, 0, 4097), (2, 1, 1), (0, 1, 63), (3, 3, 77)];
+        for _round in 0..3 {
+            for &(src, home, n) in &batches {
+                for _ in 0..n {
+                    a.record_dram(NodeId(src), NodeId(home), 64.0);
+                }
+                b.record_dram_n(NodeId(src), NodeId(home), 64.0, n);
+            }
+            a.end_round();
+            b.end_round();
+        }
+        assert_eq!(a.channel_bytes(), b.channel_bytes());
+        assert_eq!(a.mc_bytes_total(), b.mc_bytes_total());
+        assert_eq!(a.factor_for(NodeId(0), NodeId(1)), b.factor_for(NodeId(0), NodeId(1)));
     }
 
     #[test]

@@ -40,7 +40,12 @@ const INVALID: u64 = u64::MAX;
 
 /// A set-associative cache with true-LRU replacement, addressed by cache
 /// line number (byte address divided by line size).
-#[derive(Debug, Clone)]
+///
+/// Equality compares the complete replacement state (tags, recency heads)
+/// and the counters — two caches are equal exactly when no sequence of
+/// future accesses could distinguish them. The span-walk differential
+/// tests rely on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     /// Tags per set, a circular buffer in recency order: the MRU way of
     /// set `s` is `tags[s * assoc + heads[s]]`, and recency decreases
@@ -48,6 +53,12 @@ pub struct Cache {
     tags: Vec<u64>,
     /// Physical index of each set's MRU way.
     heads: Vec<u8>,
+    /// Per-set monotone upper bound on every tag ever installed (0 when
+    /// nothing was). Since it never decreases, `set_max[s] < first` proves
+    /// set `s` holds no tag in `[first, ∞)` — the O(sets) prefilter that
+    /// lets [`Cache::span_miss_prefix`] certify forward streaming without
+    /// scanning any ways.
+    set_max: Vec<u64>,
     assoc: usize,
     set_mask: u64,
     stats: CacheStats,
@@ -67,6 +78,7 @@ impl Cache {
         Self {
             tags: vec![INVALID; sets * assoc],
             heads: vec![0; sets],
+            set_max: vec![0; sets],
             assoc,
             set_mask: (sets - 1) as u64,
             stats: CacheStats::default(),
@@ -130,9 +142,45 @@ impl Cache {
             let lru = if head == 0 { self.assoc - 1 } else { head - 1 };
             ways[lru] = line;
             self.heads[set] = lru as u8;
+            if line > self.set_max[set] {
+                self.set_max[set] = line;
+            }
             self.stats.misses += 1;
             false
         }
+    }
+
+    /// Install `line` as a *proven* miss: the LRU way is overwritten and
+    /// becomes MRU, with no residency scan. Bit-identical to the miss arm
+    /// of [`Cache::access`] — callers must have established (e.g. via
+    /// [`Cache::span_miss_prefix`]) that `line` is not resident.
+    #[inline]
+    pub fn install_line(&mut self, line: u64) {
+        self.install_line_deferred(line);
+        self.stats.misses += 1;
+    }
+
+    /// [`Cache::install_line`] minus the miss counter, for hot loops that
+    /// bulk-charge stats afterwards via [`Cache::charge_misses`]. Counters
+    /// are plain integers, so deferring them is order-free.
+    #[inline]
+    pub(crate) fn install_line_deferred(&mut self, line: u64) {
+        debug_assert_ne!(line, INVALID, "line number reserved as invalid marker");
+        debug_assert!(!self.probe(line), "install_line on a resident line");
+        let set = self.set_of(line);
+        let head = self.heads[set] as usize;
+        let lru = if head == 0 { self.assoc - 1 } else { head - 1 };
+        self.tags[set * self.assoc + lru] = line;
+        self.heads[set] = lru as u8;
+        if line > self.set_max[set] {
+            self.set_max[set] = line;
+        }
+    }
+
+    /// Charge `n` misses deferred by [`Cache::install_line_deferred`].
+    #[inline]
+    pub(crate) fn charge_misses(&mut self, n: u64) {
+        self.stats.misses += n;
     }
 
     /// Whether `line` is resident, without touching LRU state or stats.
@@ -146,6 +194,7 @@ impl Cache {
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);
         self.heads.fill(0);
+        self.set_max.fill(0);
     }
 
     /// Hit/miss counters.
@@ -156,6 +205,241 @@ impl Cache {
     /// Reset counters (residency is kept).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Length of the longest prefix of the consecutive-line span
+    /// `[first, first + n)` that is provably *all misses* — exact, not
+    /// conservative: the returned prefix ends either at `n` or at the first
+    /// line of the span that would hit.
+    ///
+    /// The proof does not touch LRU state or stats, so callers may use it
+    /// purely as a read-only oracle. It rests on two facts about a span of
+    /// distinct consecutive lines processed with no interleaved accesses:
+    /// the span cannot hit on its own installs (all lines distinct), and a
+    /// resident tag that is itself the `i`-th span line of its set (1-based)
+    /// survives until it is reached iff fewer than `assoc - p` misses
+    /// precede it in that set, where `p` is its current recency position
+    /// (0 = MRU). Since exactly `i - 1` span misses precede it, the line
+    /// *hits* iff `i + p <= assoc` — which correctly recognises
+    /// footprint-over-capacity cyclic rescans (pass ≥ 2) as all-miss even
+    /// though the previous pass's tags still sit in every set.
+    pub fn span_miss_prefix(&self, first: u64, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        debug_assert!(first.checked_add(n).is_some(), "span overflows line space");
+        let sets = self.set_mask + 1;
+        // The span touches a contiguous (wrapping) stretch of sets, so its
+        // candidate tags form at most two contiguous slices of the tag
+        // array — scanned linearly (auto-vectorizable) for any resident
+        // tag inside the span. `INVALID` wraps to a huge offset and never
+        // matches.
+        // Prefilter on the per-set tag upper bounds: forward streaming —
+        // the dominant caller — never revisits lines, so every touched
+        // set's `set_max` sits below `first` and the span is certified
+        // all-miss after one `u64` compare per set instead of per way.
+        let s0 = (first & self.set_mask) as usize;
+        let w = n.min(sets) as usize;
+        let nsets = self.set_max.len();
+        // `m >= first` iff `m.wrapping_sub(first)` does not borrow, i.e.
+        // its sign bit is clear (both operands are < 2^63: lines carry a
+        // byte address divided by the line size). AND-reducing the raw
+        // differences and testing the accumulated sign bit keeps the loop
+        // to one subtract and one AND per element — pure SSE2-level u64
+        // arithmetic, which vectorizes on baseline x86-64 where a packed
+        // 64-bit *compare* (the naive formulation) does not.
+        let any_ge = |slice: &[u64]| {
+            slice.chunks(128).any(|chunk| {
+                let mut signs = u64::MAX;
+                for &m in chunk {
+                    signs &= m.wrapping_sub(first);
+                }
+                signs >> 63 == 0
+            })
+        };
+        let suspect = if s0 + w <= nsets {
+            any_ge(&self.set_max[s0..s0 + w])
+        } else {
+            any_ge(&self.set_max[s0..]) || any_ge(&self.set_max[..s0 + w - nsets])
+        };
+        if !suspect {
+            return n;
+        }
+        let start = (first & self.set_mask) as usize * self.assoc;
+        let len = (n.min(sets) as usize) * self.assoc;
+        // Quick scan for any resident tag *near* the span, widened from
+        // `n` to the next power of two `2^shift` so membership becomes a
+        // zero test on `off >> shift`. Zero-detect via `(x - 1) & !x`
+        // setting the sign bit only for `x == 0` keeps this loop, too, in
+        // vectorizable u64 arithmetic (sub/shift/and-not/or). Widening
+        // only admits tags in `[first + n, first + 2^shift)` — the lines
+        // the caller is *about* to stream through, which are essentially
+        // never resident — and a false positive is not an error: it just
+        // falls through to the exact `span_first_hit` walk below.
+        let shift = 64 - (n - 1).leading_zeros().min(63);
+        let any_near = |slice: &[u64]| {
+            slice.chunks(128).any(|chunk| {
+                let mut zero_signs = 0u64;
+                for &t in chunk {
+                    let x = t.wrapping_sub(first) >> shift;
+                    zero_signs |= x.wrapping_sub(1) & !x;
+                }
+                zero_signs >> 63 != 0
+            })
+        };
+        let found = if start + len <= self.tags.len() {
+            any_near(&self.tags[start..start + len])
+        } else {
+            let wrap = start + len - self.tags.len();
+            any_near(&self.tags[start..]) || any_near(&self.tags[..wrap])
+        };
+        if !found {
+            return n;
+        }
+        self.span_first_hit(first, n)
+    }
+
+    /// Exact earliest hit in the span `[first, first + n)`: the minimum
+    /// span offset of a resident tag satisfying the survival predicate
+    /// (see [`Cache::span_miss_prefix`]). Only called once the quick scan
+    /// has seen at least one resident tag in range.
+    fn span_first_hit(&self, first: u64, n: u64) -> u64 {
+        let sets = self.set_mask + 1;
+        let assoc = self.assoc as u64;
+        let mut best = n;
+        for k in 0..n.min(sets) {
+            let s = ((first + k) & self.set_mask) as usize;
+            let base = s * self.assoc;
+            let head = self.heads[s] as usize;
+            for w in 0..self.assoc {
+                let off = self.tags[base + w].wrapping_sub(first);
+                if off < n {
+                    // This tag is span line i = off/sets + 1 of its set, at
+                    // recency position p; it hits iff i + p <= assoc.
+                    let i = off / sets + 1;
+                    let mut p = (w + self.assoc - head) as u64;
+                    if p >= assoc {
+                        p -= assoc;
+                    }
+                    if i + p <= assoc {
+                        best = best.min(off);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Install the consecutive-line span `[first, first + n)` as `n`
+    /// misses in closed form: per touched set, the final circular-buffer
+    /// state after `m` sequential miss-installs is written directly — the
+    /// head retreats by `m mod assoc` and only the last `min(m, assoc)`
+    /// installed lines remain, in recency order. O(touched sets + writes)
+    /// instead of O(n) per-line installs, and bit-identical to them.
+    ///
+    /// The caller must have proven the span all-miss (via
+    /// [`Cache::span_miss_prefix`]); debug builds re-verify.
+    pub fn install_span(&mut self, first: u64, n: u64) {
+        debug_assert_eq!(self.span_miss_prefix(first, n), n, "install_span requires a proven all-miss span");
+        if n == 0 {
+            return;
+        }
+        let sets = self.set_mask + 1;
+        let assoc = self.assoc as u64;
+        if n < sets {
+            // Short spans — every L3 window in practice — give each
+            // touched set exactly one line: the head retreats one way
+            // onto it. Kept minimal; this bound is the walk's floor.
+            for k in 0..n {
+                let line = first + k;
+                let s = (line & self.set_mask) as usize;
+                let h = self.heads[s] as usize;
+                let h1 = if h == 0 { self.assoc - 1 } else { h - 1 };
+                self.tags[s * self.assoc + h1] = line;
+                self.heads[s] = h1 as u8;
+                if line > self.set_max[s] {
+                    self.set_max[s] = line;
+                }
+            }
+            self.stats.misses += n;
+            return;
+        }
+        // Per touched set, the span holds m = ceil((n - k) / sets) lines:
+        // q + 1 for the first n mod sets sets, q for the rest. Hoisting the
+        // two cases out of the loop keeps the per-set body division-free.
+        let q = n / sets;
+        let r = n % sets;
+        let retreat = [(assoc - q % assoc) % assoc, (assoc - (q + 1) % assoc) % assoc];
+        let fill = [q.min(assoc), (q + 1).min(assoc)];
+        for k in 0..n.min(sets) {
+            let s = ((first + k) & self.set_mask) as usize;
+            let extra = (k < r) as usize;
+            let m = q + extra as u64;
+            let base = s * self.assoc;
+            let h0 = self.heads[s] as u64;
+            let mut h1 = (h0 + retreat[extra]) as usize;
+            if h1 >= self.assoc {
+                h1 -= self.assoc;
+            }
+            let last = first + k + (m - 1) * sets;
+            // Walk the ways from the new head with one wrap and a running
+            // line counter — no division in the per-way loop. The counter
+            // may wrap below zero after the final write; it is unused then.
+            let mut w = h1;
+            let mut line = last;
+            for _ in 0..fill[extra] {
+                self.tags[base + w] = line;
+                w += 1;
+                if w == self.assoc {
+                    w = 0;
+                }
+                line = line.wrapping_sub(sets);
+            }
+            self.heads[s] = h1 as u8;
+            if last > self.set_max[s] {
+                self.set_max[s] = last;
+            }
+        }
+        self.stats.misses += n;
+    }
+
+    /// Access the consecutive-line span `[first, first + n)`, exactly as
+    /// `n` per-line [`Cache::access`] calls would: identical final tag and
+    /// head state, identical counters. All-miss stretches are committed in
+    /// closed form via [`Cache::install_span`]; around hits the walk falls
+    /// back to bounded per-line chunks before re-proving, so adversarial
+    /// hit/miss mixes stay O(n · assoc) overall.
+    ///
+    /// Returns the hit/miss delta of this span.
+    pub fn access_span(&mut self, first: u64, n: u64) -> CacheStats {
+        // Bounded per-line fallback between proofs: long enough to amortise
+        // a failed proof, short enough to re-enter the closed form quickly.
+        const FALLBACK_CHUNK: u64 = 32;
+        let mut delta = CacheStats::default();
+        let mut cur = first;
+        let mut rem = n;
+        while rem > 0 {
+            let p = self.span_miss_prefix(cur, rem);
+            if p > 0 {
+                self.install_span(cur, p);
+                delta.misses += p;
+                cur += p;
+                rem -= p;
+            }
+            if rem == 0 {
+                break;
+            }
+            for _ in 0..rem.min(FALLBACK_CHUNK) {
+                if self.access(cur) {
+                    delta.hits += 1;
+                } else {
+                    delta.misses += 1;
+                }
+                cur += 1;
+                rem -= 1;
+            }
+        }
+        delta
     }
 }
 
@@ -247,6 +531,102 @@ mod tests {
             assert!(c.access(line));
         }
         assert_eq!(c.stats().misses, 0);
+    }
+
+    /// Drive `oracle` per-line and return it for comparison against a
+    /// span-walked twin.
+    fn per_line(c: &mut Cache, first: u64, n: u64) -> CacheStats {
+        let mut d = CacheStats::default();
+        for line in first..first + n {
+            if c.access(line) {
+                d.hits += 1;
+            } else {
+                d.misses += 1;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn span_walk_matches_per_line_on_cold_cache() {
+        for (sets, assoc) in [(1, 1), (1, 4), (4, 2), (8, 4), (16, 8)] {
+            for n in [1u64, 3, 7, 32, 100, 257] {
+                let mut a = Cache::new(sets, assoc);
+                let mut b = a.clone();
+                let want = per_line(&mut a, 5, n);
+                assert_eq!(b.span_miss_prefix(5, n), n, "cold span must prove all-miss");
+                let got = b.access_span(5, n);
+                assert_eq!(got, want, "sets {sets} assoc {assoc} n {n}");
+                assert_eq!(a, b, "state diverged: sets {sets} assoc {assoc} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn span_walk_matches_per_line_on_cyclic_rescan() {
+        // Footprint 3x capacity: pass >= 2 re-walks sets full of the
+        // previous pass's tags, and the survival predicate must still prove
+        // all-miss (every resident is evicted before the scan reaches it).
+        let (sets, assoc) = (8u64, 4u64);
+        let n = sets * assoc * 3;
+        let mut a = Cache::new(sets as usize, assoc as usize);
+        let mut b = a.clone();
+        for _ in 0..3 {
+            let want = per_line(&mut a, 0, n);
+            assert_eq!(b.span_miss_prefix(0, n), n, "cyclic over-capacity pass must prove all-miss");
+            assert_eq!(b.access_span(0, n), want);
+            assert_eq!(a, b);
+        }
+        assert_eq!(b.stats().hits, 0);
+    }
+
+    #[test]
+    fn span_walk_matches_per_line_around_hits() {
+        // Resident sub-range in the middle of the span forces prove /
+        // fallback / re-prove transitions.
+        for warm in [(40u64, 8u64), (0, 32), (60, 1), (32, 16)] {
+            let mut a = Cache::new(8, 4);
+            let mut b = a.clone();
+            per_line(&mut a, warm.0, warm.1);
+            per_line(&mut b, warm.0, warm.1);
+            let want = per_line(&mut a, 0, 96);
+            assert_eq!(b.access_span(0, 96), want, "warm {warm:?}");
+            assert_eq!(a, b, "warm {warm:?}");
+        }
+    }
+
+    #[test]
+    fn span_prefix_stops_exactly_at_first_hit() {
+        // Lines 10..14 resident and recent in a single-set cache: a span
+        // from 6 misses 6..10, then hits 10.
+        let mut c = Cache::new(1, 8);
+        per_line(&mut c, 10, 4);
+        assert_eq!(c.span_miss_prefix(6, 20), 4);
+        // Deep (near-LRU) residents that the span's own misses would evict
+        // before reaching them are not hits: fill 8 ways, then a span that
+        // reaches line 10 only after 8 misses proves all-miss through it.
+        let mut c = Cache::new(1, 8);
+        per_line(&mut c, 10, 1);
+        per_line(&mut c, 100, 7); // line 10 is now LRU (p = 7)
+        assert_eq!(c.span_miss_prefix(2, 20), 20, "i + p = 9 + 7 > 8: line 10 evicted before reached");
+        let mut c = Cache::new(1, 8);
+        per_line(&mut c, 100, 7);
+        per_line(&mut c, 10, 1); // line 10 is MRU (p = 0)
+        assert_eq!(c.span_miss_prefix(2, 20), 20, "i + p = 9 + 0 > 8: line 10 still evicted");
+        assert_eq!(c.span_miss_prefix(3, 20), 7, "i + p = 8 + 0 = 8: line 10 survives and hits");
+    }
+
+    #[test]
+    fn install_span_state_is_exact_for_deep_wraps() {
+        // m >> assoc per set: only the last `assoc` installs survive, in
+        // recency order, with the head retreated by m mod assoc.
+        for n in [1u64, 4, 5, 9, 64, 1000, 1001, 1003] {
+            let mut a = Cache::new(4, 4);
+            let mut b = a.clone();
+            per_line(&mut a, 7, n);
+            b.install_span(7, n);
+            assert_eq!(a, b, "n = {n}");
+        }
     }
 
     #[test]

@@ -152,6 +152,12 @@ pub struct EngineConfig {
     pub default_mlp: f64,
     /// Inner-loop execution strategy (see [`ExecMode`]).
     pub exec: ExecMode,
+    /// Whether [`ExecMode::Batched`] may commit provably all-miss line
+    /// spans through the fused span-level cache walk
+    /// ([`crate::cache::Cache::install_span`]). Results are bit-identical
+    /// either way; the switch exists so benchmarks can ablate the fused
+    /// walk's contribution. Default: enabled.
+    pub span_fusion: bool,
 }
 
 /// Complete machine description handed to the [`crate::engine::Engine`].
@@ -204,7 +210,12 @@ impl MachineConfig {
                 ctrl_target: 0.92,
                 saturation: 0.85,
             },
-            engine: EngineConfig { round_cycles: 20_000.0, default_mlp: 4.0, exec: ExecMode::Batched },
+            engine: EngineConfig {
+                round_cycles: 20_000.0,
+                default_mlp: 4.0,
+                exec: ExecMode::Batched,
+                span_fusion: true,
+            },
         }
     }
 

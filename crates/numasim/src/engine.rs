@@ -25,7 +25,9 @@
 use crate::access::{AccessRun, AccessStream};
 use crate::bandwidth::BandwidthModel;
 use crate::config::{ExecMode, MachineConfig};
-use crate::hierarchy::{DataSource, Hierarchy};
+use crate::fp::bulk_add;
+
+use crate::hierarchy::{CoreCaches, DataSource, Hierarchy};
 use crate::memmap::MemoryMap;
 use crate::stats::{AccessCounts, RunStats};
 use crate::topology::{CoreId, NodeId, ThreadId};
@@ -157,7 +159,50 @@ struct ThreadCtx {
     lat_memo: f64,
     mlp_memo: f64,
     quot_memo: f64,
+    /// Lines to process per-line before the next fused-span attempt; set
+    /// after a failed all-miss proof so hit-heavy (cache-resident) phases
+    /// do not pay for repeated proof scans.
+    fuse_cooldown: u64,
+    /// Current backoff window: doubles on consecutive failed attempts up
+    /// to [`FUSE_BACKOFF_MAX`], resets on success.
+    fuse_backoff: u64,
+    /// In-flight interleaved span (see [`AccessStream::next_zip`]): one
+    /// pre-pulled sequential run per lane, in issue order. Empty when no
+    /// span is active. Draining these positions reproduces exactly the
+    /// single-access runs the stream would have handed out one by one.
+    zip_lanes: Vec<AccessRun>,
+    /// Iterations in the active span / next iteration index / next lane
+    /// index within that iteration.
+    zip_iters: u64,
+    zip_iter: u64,
+    zip_lane: usize,
+    /// Spans to drain per-line before the next interleaved proof attempt,
+    /// and its doubling backoff (failed proofs mean the lanes are cache
+    /// resident — hits are imminent for a while).
+    zip_cooldown: u32,
+    zip_backoff: u32,
 }
+
+/// Minimum provable span length worth committing through the fused walk;
+/// shorter proofs fall back to the per-line path (and trigger backoff).
+const FUSE_MIN: u64 = 4;
+/// Initial per-line backoff window after a failed fusion attempt.
+const FUSE_BACKOFF_MIN: u64 = 32;
+/// Backoff ceiling: caches whose spans keep hitting settle at one proof
+/// scan per this many lines, amortising it to noise.
+const FUSE_BACKOFF_MAX: u64 = 4096;
+/// Minimum interleaved iterations worth a per-lane proof; shorter spans
+/// drain through the per-line path.
+const ZIP_MIN: u64 = 4;
+/// Iteration cap per [`AccessStream::next_zip`] pull. Spans that outlive
+/// a round or the observer's quiet budget simply resume fusing at the
+/// next iteration boundary, so the cap only bounds buffered state.
+const ZIP_PULL_MAX: u64 = 4096;
+/// Span-granular backoff after a failed interleaved proof (spans are
+/// thousands of accesses, so the window stays small).
+const ZIP_BACKOFF_MIN: u32 = 1;
+/// Ceiling for the interleaved-proof backoff.
+const ZIP_BACKOFF_MAX: u32 = 8;
 
 /// The simulator. Owns the machine state (caches, bandwidth accounting,
 /// memory map) across phases; see [`Engine::run_phase`].
@@ -279,6 +324,14 @@ impl<O: Observer> Engine<O> {
                     lat_memo: f64::NAN,
                     mlp_memo: f64::NAN,
                     quot_memo: 0.0,
+                    fuse_cooldown: 0,
+                    fuse_backoff: FUSE_BACKOFF_MIN,
+                    zip_lanes: Vec::new(),
+                    zip_iters: 0,
+                    zip_iter: 0,
+                    zip_lane: 0,
+                    zip_cooldown: 0,
+                    zip_backoff: ZIP_BACKOFF_MIN,
                 }
             })
             .collect();
@@ -409,6 +462,8 @@ impl<O: Observer> Engine<O> {
         let lfb_latency = self.cfg.latency.lfb;
         let l1_latency = self.cfg.latency.l1;
         let line_bytes = self.cfg.cache.line_size as f64;
+        let line_step = self.cfg.cache.line_size;
+        let span_fusion = self.cfg.engine.span_fusion;
         let default_mlp = self.cfg.engine.default_mlp;
         let max_run = self.max_run;
         let mut counts = AccessCounts::default();
@@ -431,18 +486,176 @@ impl<O: Observer> Engine<O> {
                 let mut pending: u64 = 0;
                 'slice: while t.clock < round_end {
                     if t.run_pos == t.run.len {
-                        let Some(run) = t.stream.next_run(max_run) else {
-                            t.done = true;
-                            live -= 1;
-                            break 'slice;
-                        };
-                        t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
-                        t.run = run;
-                        t.run_pos = 0;
+                        if t.zip_iter < t.zip_iters {
+                            // An interleaved span is in flight. At an
+                            // iteration boundary a fused commit may absorb
+                            // whole iterations; whatever remains drains as
+                            // the exact single-access runs the stream
+                            // would have handed out.
+                            if span_fusion && t.zip_lane == 0 && t.zip_cooldown == 0 {
+                                zip_fuse(
+                                    cfg,
+                                    bw,
+                                    memmap,
+                                    &mut caches,
+                                    &mut counts,
+                                    t,
+                                    round_end,
+                                    line_bytes,
+                                    default_mlp,
+                                    &mut pending,
+                                );
+                                if t.zip_iter == t.zip_iters {
+                                    t.zip_iters = 0;
+                                    t.zip_iter = 0;
+                                    t.zip_lanes.clear();
+                                    continue 'slice;
+                                }
+                            }
+                            let lane = t.zip_lanes[t.zip_lane];
+                            let run = AccessRun { base: lane.base + t.zip_iter * lane.stride, len: 1, ..lane };
+                            t.zip_lane += 1;
+                            if t.zip_lane == t.zip_lanes.len() {
+                                t.zip_lane = 0;
+                                t.zip_iter += 1;
+                                if t.zip_iter == t.zip_iters {
+                                    t.zip_iters = 0;
+                                    t.zip_iter = 0;
+                                    t.zip_lanes.clear();
+                                }
+                            }
+                            t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
+                            t.run = run;
+                            t.run_pos = 0;
+                        } else {
+                            if span_fusion {
+                                let iters = t.stream.next_zip(line_step, ZIP_PULL_MAX, &mut t.zip_lanes);
+                                if iters > 0 {
+                                    t.zip_iters = iters;
+                                    t.zip_iter = 0;
+                                    t.zip_lane = 0;
+                                    t.zip_cooldown = t.zip_cooldown.saturating_sub(1);
+                                    continue 'slice;
+                                }
+                            }
+                            let Some(run) = t.stream.next_run(max_run) else {
+                                t.done = true;
+                                live -= 1;
+                                break 'slice;
+                            };
+                            t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
+                            t.run = run;
+                            t.run_pos = 0;
+                        }
                     }
                     let run = t.run;
                     let compute = run.compute;
                     while t.run_pos < run.len && t.clock < round_end {
+                        // Fused span walk: when the run hands over
+                        // consecutive lines and a prefix provably misses
+                        // all three levels, commit it in closed form
+                        // (DESIGN §8). The proof comes first and is
+                        // read-only; home-node resolution — which mutates
+                        // first-touch placement — happens per home span,
+                        // only once at least one of its lines is certain
+                        // to commit this round, exactly when the per-line
+                        // path would have resolved it.
+                        if span_fusion && t.fuse_cooldown == 0 && run.stride == line_step {
+                            let reps_total = run.reps as u64;
+                            let mut k_cap = (run.len - t.run_pos).min(t.quiet / reps_total);
+                            if k_cap >= FUSE_MIN {
+                                // Proving more lines than can commit before
+                                // `round_end` is wasted tag-scan work that
+                                // next round's proof repeats. Estimate the
+                                // fit from the memoized quotient; any cap
+                                // is sound — the loop simply proves the
+                                // next chunk afterwards.
+                                let per_line = reps_total as f64 * compute + t.quot_memo;
+                                if per_line > 0.0 {
+                                    let est = ((round_end - t.clock) / per_line) as u64 + 2;
+                                    k_cap = k_cap.min(est.max(FUSE_MIN));
+                                }
+                            }
+                            if k_cap >= FUSE_MIN {
+                                let addr0 = run.base + t.run_pos * run.stride;
+                                let line0 = caches.line_of(addr0);
+                                let k_miss = caches.span_miss_prefix(line0, k_cap);
+                                if k_miss >= FUSE_MIN {
+                                    t.fuse_backoff = FUSE_BACKOFF_MIN;
+                                    let nreps = reps_total - 1;
+                                    // LFB reps hide their latency: the
+                                    // per-line path advances the clock by
+                                    // this same addend.
+                                    let rep_delta = compute + 0.0;
+                                    let mut done = 0u64;
+                                    while done < k_miss && t.clock < round_end {
+                                        let addr = addr0 + done * run.stride;
+                                        let home = if addr >= t.span_start && addr < t.span_end {
+                                            t.span_home
+                                        } else {
+                                            let (h, end) = memmap.home_node_span(addr, t.node);
+                                            t.span_start = addr;
+                                            t.span_end = end;
+                                            t.span_home = h;
+                                            h
+                                        };
+                                        let span_lines = (t.span_end - addr).div_ceil(run.stride);
+                                        let k_seg = (k_miss - done).min(span_lines);
+                                        let (src, service) = if home == t.node {
+                                            (DataSource::LocalDram, cfg.latency.dram_local_service)
+                                        } else {
+                                            (DataSource::RemoteDram, cfg.latency.dram_remote_service)
+                                        };
+                                        // Congestion factors only change at
+                                        // round boundaries, so the latency —
+                                        // and the clock addend — is one
+                                        // value for the whole segment.
+                                        let f = bw.factor_for(t.node, home);
+                                        let latency = cfg.latency.dram_fixed + service * f;
+                                        let quot = if latency == t.lat_memo && t.mlp == t.mlp_memo {
+                                            t.quot_memo
+                                        } else {
+                                            let q = latency / t.mlp;
+                                            t.lat_memo = latency;
+                                            t.mlp_memo = t.mlp;
+                                            t.quot_memo = q;
+                                            q
+                                        };
+                                        let addend = compute + quot;
+                                        // Replay the reference clock line by
+                                        // line (two flops each) to find how
+                                        // many lines fit in the round.
+                                        let mut k_fit = 0u64;
+                                        let mut clock = t.clock;
+                                        while k_fit < k_seg && clock < round_end {
+                                            clock += addend;
+                                            if nreps > 0 && rep_delta != 0.0 {
+                                                clock = bulk_add(clock, rep_delta, nreps);
+                                            }
+                                            k_fit += 1;
+                                        }
+                                        caches.install_span(line0 + done, k_fit);
+                                        counts.record_n(src, k_fit);
+                                        if nreps > 0 {
+                                            counts.record_n(DataSource::Lfb, k_fit * nreps);
+                                        }
+                                        bw.record_dram_n(t.node, home, line_bytes, k_fit);
+                                        t.clock = clock;
+                                        t.quiet -= k_fit * reps_total;
+                                        pending += k_fit * reps_total;
+                                        t.run_pos += k_fit;
+                                        done += k_fit;
+                                    }
+                                    continue;
+                                }
+                                // Proof came up short: a hit is imminent.
+                                // Walk per-line for a while before paying
+                                // for another proof scan.
+                                t.fuse_cooldown = t.fuse_backoff;
+                                t.fuse_backoff = (t.fuse_backoff * 2).min(FUSE_BACKOFF_MAX);
+                            }
+                        }
+                        t.fuse_cooldown = t.fuse_cooldown.saturating_sub(1);
                         let addr = run.base + t.run_pos * run.stride;
                         t.run_pos += 1;
                         let (source, home, latency) = match caches.access(addr) {
@@ -569,34 +782,162 @@ impl<O: Observer> Engine<O> {
     }
 }
 
-/// Advance `clock` by `n` sequential additions of `delta`, collapsing the
-/// dependent add chain to one fused update whenever that is bit-identical.
-///
-/// The collapse is exact when every partial sum lies in `clock`'s binade
-/// and on its ulp grid: `delta` must be a non-negative exact multiple of
-/// that ulp and the end value must not reach the next power of two. Every
-/// intermediate sum is then exactly representable, so each sequential add
-/// would round to the same grid point the fused form lands on. Otherwise
-/// (small clocks, sub-ulp deltas, binade crossings) the literal chain runs.
-#[inline]
-fn bulk_add(clock: f64, delta: f64, n: u64) -> f64 {
-    debug_assert!(clock >= 0.0 && delta >= 0.0, "clocks and costs are non-negative");
-    let bits = clock.to_bits();
-    let exp = bits >> 52; // clock >= 0.0 always: no sign bit to strip.
-    if exp > 52 && exp < 0x7fe {
-        let ulp = f64::from_bits((exp - 52) << 52);
-        let binade_top = f64::from_bits((exp + 1) << 52);
-        let steps = delta / ulp; // exact: ulp is a power of two
-        let end = clock + n as f64 * delta;
-        if steps.fract() == 0.0 && end < binade_top {
-            return end;
+/// Fused commit of an interleaved span (see [`AccessStream::next_zip`]):
+/// prove that each lane's upcoming lines miss every cache level, then
+/// replay the per-line path's exact clock arithmetic, LRU installs, and
+/// bandwidth records in arrival order — with no tag scans, which the
+/// proofs have made redundant. Stops at the round boundary or the
+/// observer's quiet budget; the caller drains whatever is left through
+/// the per-line path. Advances `t.zip_iter`/`t.zip_lane` past the
+/// committed prefix.
+#[allow(clippy::too_many_arguments)] // the engine's split field borrows
+fn zip_fuse(
+    cfg: &MachineConfig,
+    bw: &mut BandwidthModel,
+    memmap: &mut MemoryMap,
+    caches: &mut CoreCaches<'_>,
+    counts: &mut AccessCounts,
+    t: &mut ThreadCtx,
+    round_end: f64,
+    line_bytes: f64,
+    default_mlp: f64,
+    pending: &mut u64,
+) {
+    const MAX_LANES: usize = 8;
+    let nl = t.zip_lanes.len();
+    if nl > MAX_LANES {
+        // Wider interleavings than any modelled kernel: drain per-line.
+        t.zip_cooldown = u32::MAX;
+        return;
+    }
+    let evts: u64 = t.zip_lanes.iter().map(|l| l.reps as u64).sum();
+    let mut k_cap = (t.zip_iters - t.zip_iter).min(t.quiet / evts);
+    if k_cap < ZIP_MIN {
+        // Not a proof failure — the quiet budget refreshes at the next
+        // per-line observer event, so don't back off.
+        return;
+    }
+    // Round-fit estimate from the memoized quotient; any cap is sound —
+    // the next iteration boundary proves the following chunk.
+    let per_iter: f64 = t.zip_lanes.iter().map(|l| l.reps as f64 * l.compute).sum::<f64>() + nl as f64 * t.quot_memo;
+    if per_iter > 0.0 {
+        let est = ((round_end - t.clock) / per_iter) as u64 + 2;
+        k_cap = k_cap.min(est.max(ZIP_MIN));
+    }
+    let mut first = [0u64; MAX_LANES];
+    for (i, l) in t.zip_lanes.iter().enumerate() {
+        // `stride == line_step`, so lane lines advance one per iteration.
+        first[i] = caches.line_of(l.base) + t.zip_iter;
+    }
+    // The per-lane all-miss proofs only stay valid under interleaved
+    // replay if no lane can touch a line another lane installs: require
+    // pairwise-disjoint line ranges.
+    let mut k = k_cap;
+    let disjoint = (0..nl).all(|i| (0..i).all(|j| first[i] + k <= first[j] || first[j] + k <= first[i]));
+    if disjoint {
+        for &f in first.iter().take(nl) {
+            k = k.min(caches.span_miss_prefix(f, k));
+            if k < ZIP_MIN {
+                break;
+            }
         }
     }
-    let mut c = clock;
-    for _ in 0..n {
-        c += delta;
+    if !disjoint || k < ZIP_MIN {
+        // A hit is imminent (or lanes alias): drain this span per-line
+        // and back off span-granular proof attempts for a while.
+        t.zip_cooldown = t.zip_backoff;
+        t.zip_backoff = (t.zip_backoff * 2).min(ZIP_BACKOFF_MAX);
+        return;
     }
-    c
+    t.zip_backoff = ZIP_BACKOFF_MIN;
+    // Per-lane, per-home-segment constants, resolved lazily so first-touch
+    // placement mutates exactly when the per-line path would resolve it.
+    // Counts and bandwidth are flushed per (lane, segment): grouping the
+    // per-channel byte adds by lane keeps every accumulator's operation
+    // sequence — and thus its rounding — identical to arrival order,
+    // because the addend is constant (see `BandwidthModel::record_dram_n`).
+    let mut home = [NodeId(0); MAX_LANES];
+    let mut seg_rem = [0u64; MAX_LANES];
+    let mut seg_done = [0u64; MAX_LANES];
+    let mut addend = [0f64; MAX_LANES];
+    let mut rep_delta = [0f64; MAX_LANES];
+    let mut nreps = [0u64; MAX_LANES];
+    let mut src = [DataSource::LocalDram; MAX_LANES];
+    let mut committed = [0u64; MAX_LANES];
+    let mut clock = t.clock;
+    let mut done = 0u64;
+    // Lanes of the final (partial) iteration that committed before the
+    // round ended; 0 when the replay stopped at an iteration boundary.
+    let mut partial = 0usize;
+    'replay: while done < k {
+        let mut i = 0;
+        while i < nl {
+            // The reference path re-checks the round boundary before each
+            // line (reps included), so the replay must stop mid-iteration
+            // exactly where it would.
+            if clock >= round_end {
+                partial = i;
+                break 'replay;
+            }
+            if seg_rem[i] == 0 {
+                let l = &t.zip_lanes[i];
+                if seg_done[i] > 0 {
+                    counts.record_n(src[i], seg_done[i]);
+                    bw.record_dram_n(t.node, home[i], line_bytes, seg_done[i]);
+                    committed[i] += seg_done[i];
+                    seg_done[i] = 0;
+                }
+                let addr = l.base + (t.zip_iter + done) * l.stride;
+                let (h, end) = memmap.home_node_span(addr, t.node);
+                home[i] = h;
+                seg_rem[i] = (end - addr).div_ceil(l.stride);
+                let (s, service) = if h == t.node {
+                    (DataSource::LocalDram, cfg.latency.dram_local_service)
+                } else {
+                    (DataSource::RemoteDram, cfg.latency.dram_remote_service)
+                };
+                src[i] = s;
+                // Congestion factors only change at round boundaries, and
+                // the replay never crosses one.
+                let f = bw.factor_for(t.node, h);
+                let latency = cfg.latency.dram_fixed + service * f;
+                let mlp = l.mlp.unwrap_or(default_mlp).max(1.0);
+                addend[i] = l.compute + latency / mlp;
+                nreps[i] = l.reps as u64 - 1;
+                // LFB reps: the fill latency is hidden, compute remains.
+                rep_delta[i] = l.compute;
+            }
+            clock += addend[i];
+            if nreps[i] > 0 && rep_delta[i] != 0.0 {
+                clock = bulk_add(clock, rep_delta[i], nreps[i]);
+            }
+            caches.install_line_deferred(first[i] + done);
+            seg_rem[i] -= 1;
+            seg_done[i] += 1;
+            i += 1;
+        }
+        done += 1;
+    }
+    let mut events = 0u64;
+    let mut lines = 0u64;
+    for i in 0..nl {
+        committed[i] += seg_done[i];
+        if seg_done[i] > 0 {
+            counts.record_n(src[i], seg_done[i]);
+            bw.record_dram_n(t.node, home[i], line_bytes, seg_done[i]);
+        }
+        if nreps[i] > 0 && committed[i] > 0 {
+            counts.record_n(DataSource::Lfb, committed[i] * nreps[i]);
+        }
+        lines += committed[i];
+        events += committed[i] * (nreps[i] + 1);
+    }
+    caches.charge_misses(lines);
+    t.quiet -= events;
+    *pending += events;
+    t.clock = clock;
+    t.zip_iter += done;
+    t.zip_lane = partial;
 }
 
 #[cfg(test)]
@@ -607,31 +948,6 @@ mod tests {
 
     fn scaled() -> MachineConfig {
         MachineConfig::scaled()
-    }
-
-    /// `bulk_add` must equal the literal add chain bit-for-bit on every
-    /// input, whether or not the fused fast path fires: clocks on and off
-    /// the ulp grid, non-dyadic deltas, binade crossings, tiny clocks.
-    #[test]
-    fn bulk_add_matches_sequential_chain() {
-        let chain = |mut c: f64, d: f64, n: u64| {
-            for _ in 0..n {
-                c += d;
-            }
-            c
-        };
-        let clocks = [0.0, 1.0, 3.5, 1000.123456, 1e6 + 1.0 / 3.0, (1u64 << 52) as f64 - 1.5];
-        let deltas = [0.5, 1.5, 4.0 / 3.0, 0.1, 2e-20, 7.25];
-        let reps = [1u64, 3, 7, 100, 4095];
-        for &c in &clocks {
-            for &d in &deltas {
-                for &n in &reps {
-                    let want = chain(c, d, n);
-                    let got = bulk_add(c, d, n);
-                    assert_eq!(got.to_bits(), want.to_bits(), "bulk_add({c}, {d}, {n}) = {got}, chain = {want}");
-                }
-            }
-        }
     }
 
     /// All-local streaming: one thread scanning an array bound to its node.
@@ -925,6 +1241,47 @@ mod tests {
             let batched = run(ExecMode::Batched, cap);
             assert_eq!(batched, reference, "batched (cap {cap:?}) diverged from reference");
         }
+    }
+
+    /// The fused span walk (streaming, LFB reps, first-touch and
+    /// interleaved placement — everything the fast path commits in closed
+    /// form) is bit-identical to reference mode and to batched mode with
+    /// fusion ablated off.
+    #[test]
+    fn span_fusion_is_bit_identical_and_ablatable() {
+        use crate::access::{BlockCyclicStream, ChainStream};
+        use crate::config::ExecMode;
+        let run = |exec: ExecMode, fusion: bool| {
+            let mut cfg = scaled();
+            cfg.engine.exec = exec;
+            cfg.engine.span_fusion = fusion;
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 8 << 20, PlacementPolicy::FirstTouch);
+            let b = mm.alloc("b", 2 << 20, PlacementPolicy::interleave_all(4));
+            let binding = cfg.topology.bind_threads(8, 4);
+            let threads: Vec<ThreadSpec> = binding
+                .iter()
+                .enumerate()
+                .map(|(i, core)| {
+                    let share = a.size / 8;
+                    // Line-stride read-only streams: maximal fusion, with
+                    // reps exercising the bulk LFB path inside spans.
+                    let seq = SeqStream::new(a.base + i as u64 * share, share, 1, AccessMix::read_only())
+                        .with_compute(0.5 * i as f64)
+                        .with_reps(4);
+                    let blk = BlockCyclicStream::new(b.base, b.size, 4096, 8, i as u64, 1, AccessMix::read_only());
+                    let chain = ChainStream::new(vec![Box::new(seq), Box::new(blk)]);
+                    ThreadSpec::new(i as u32, *core, Box::new(chain))
+                })
+                .collect();
+            let mut eng = Engine::new(&cfg, mm, NullObserver);
+            eng.run_phase(threads)
+        };
+        let reference = run(ExecMode::Reference, true);
+        let fused = run(ExecMode::Batched, true);
+        let unfused = run(ExecMode::Batched, false);
+        assert_eq!(fused, reference, "fused batched mode diverged from reference");
+        assert_eq!(unfused, reference, "fusion-off batched mode diverged from reference");
     }
 
     /// Pointer chasing (mlp 1) is slower per access than streaming (mlp 4)

@@ -1,0 +1,111 @@
+//! Exact floating-point batching primitives.
+//!
+//! The batched engine replaces chains of identical f64 additions (clock
+//! advances, per-line byte accounting) with fused updates — but only when
+//! the fused form is provably bit-identical to the sequential chain. This
+//! module holds the one primitive that decision rests on.
+
+/// Advance `acc` by `n` sequential additions of `delta`, collapsing runs of
+/// the dependent add chain to fused updates whenever that is bit-identical.
+///
+/// A run of `m` additions collapses exactly when every partial sum stays in
+/// `acc`'s binade and on its ulp grid: `delta` must be a non-negative exact
+/// multiple of that ulp (with `delta / ulp ≤ 2^53` so products stay exact)
+/// and the partial sums must not reach the next power of two. Every
+/// intermediate sum is then exactly representable, so each sequential add
+/// would round to the same grid point the fused form lands on. Crossing a
+/// binade takes one literal add, after which the (doubled) ulp grid is
+/// re-checked — so accumulators that grow through many binades (per-round
+/// byte counters) still collapse piecewise. Sub-ulp or off-grid deltas and
+/// tiny accumulators run the literal chain.
+#[inline]
+pub fn bulk_add(mut acc: f64, delta: f64, mut n: u64) -> f64 {
+    debug_assert!(acc >= 0.0 && delta >= 0.0, "accumulators and costs are non-negative");
+    if delta == 0.0 {
+        // Adding +0.0 never changes a non-negative value.
+        return acc;
+    }
+    while n > 0 {
+        let bits = acc.to_bits();
+        let exp = bits >> 52; // acc >= 0.0 always: no sign bit to strip.
+        if exp > 52 && exp < 0x7fe {
+            let ulp = f64::from_bits((exp - 52) << 52);
+            let steps = delta / ulp; // exact: ulp is a power of two
+            if steps.fract() == 0.0 && steps <= (1u64 << 53) as f64 {
+                let d = steps as u64; // delta = d * ulp, d >= 1
+                let a = (bits & ((1u64 << 52) - 1)) | (1u64 << 52); // acc = a * ulp
+                                                                    // Largest m with a + m*d < 2^53 (the binade top in ulps):
+                                                                    // all partial sums then stay exact on the grid.
+                let m = (((1u64 << 53) - 1 - a) / d).min(n);
+                if m > 0 {
+                    acc += m as f64 * delta; // m*d < 2^53: product and sum exact
+                    n -= m;
+                    continue;
+                }
+            }
+        }
+        acc += delta;
+        n -= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(mut c: f64, d: f64, n: u64) -> f64 {
+        for _ in 0..n {
+            c += d;
+        }
+        c
+    }
+
+    /// `bulk_add` must equal the literal add chain bit-for-bit on every
+    /// input, whether or not the fused fast path fires: accumulators on and
+    /// off the ulp grid, non-dyadic deltas, binade crossings, tiny values.
+    #[test]
+    fn bulk_add_matches_sequential_chain() {
+        let accs = [0.0, 1.0, 3.5, 64.0, 1000.123456, 1e6 + 1.0 / 3.0, (1u64 << 52) as f64 - 1.5];
+        let deltas = [0.0, 0.5, 1.5, 4.0 / 3.0, 0.1, 2e-20, 7.25, 64.0];
+        let reps = [1u64, 3, 7, 100, 4095];
+        for &c in &accs {
+            for &d in &deltas {
+                for &n in &reps {
+                    let want = chain(c, d, n);
+                    let got = bulk_add(c, d, n);
+                    assert_eq!(got.to_bits(), want.to_bits(), "bulk_add({c}, {d}, {n}) = {got}, chain = {want}");
+                }
+            }
+        }
+    }
+
+    /// The byte-accounting pattern: repeated adds of a power of two cross
+    /// binade after binade. The piecewise collapse must track the literal
+    /// chain through every crossing.
+    #[test]
+    fn bulk_add_tracks_binade_crossings() {
+        for start in [0.0, 64.0, 192.0, 1.0e9] {
+            for n in [1u64, 63, 64, 65, 1000, 100_000] {
+                let want = chain(start, 64.0, n);
+                let got = bulk_add(start, 64.0, n);
+                assert_eq!(got.to_bits(), want.to_bits(), "start {start}, n {n}");
+            }
+        }
+    }
+
+    /// Splitting a chain at any point composes: bulk_add(bulk_add(c, d, k),
+    /// d, n-k) == bulk_add(c, d, n). This is what lets callers commit spans
+    /// piecewise (round boundaries, home-span boundaries).
+    #[test]
+    fn bulk_add_composes_under_splits() {
+        let c = 20_000.0 + 1.0 / 3.0;
+        let d = 17.25;
+        let n = 513;
+        let whole = bulk_add(c, d, n);
+        for k in [0u64, 1, 7, 256, 512, 513] {
+            let split = bulk_add(bulk_add(c, d, k), d, n - k);
+            assert_eq!(split.to_bits(), whole.to_bits(), "split at {k}");
+        }
+    }
+}

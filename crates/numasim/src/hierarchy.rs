@@ -70,7 +70,11 @@ impl std::fmt::Display for DataSource {
 }
 
 /// The machine's cache hierarchy state.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every cache's full replacement state and counters
+/// (see [`Cache`]); the span-walk differential tests use it to prove the
+/// fused walk leaves residency bit-identical to the per-line walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hierarchy {
     l1: Vec<Cache>,
     l2: Vec<Cache>,
@@ -113,19 +117,9 @@ impl Hierarchy {
     /// map entirely.
     #[inline]
     pub fn cache_access(&mut self, core: CoreId, addr: u64) -> Option<DataSource> {
-        let line = self.line_of(addr);
-        let c = core.0 as usize;
-        if self.l1[c].access(line) {
-            return Some(DataSource::L1);
-        }
-        if self.l2[c].access(line) {
-            return Some(DataSource::L2);
-        }
-        let node = c / self.cores_per_node;
-        if self.l3[node].access(line) {
-            return Some(DataSource::L3);
-        }
-        None
+        // One walk, two entry points: delegate to the per-core handle so
+        // this path can never diverge from the fused span walk built on it.
+        self.core_caches(core).access(addr)
     }
 
     /// Walk the hierarchy for one load/store issued by `core` to a line
@@ -219,6 +213,78 @@ impl CoreCaches<'_> {
             return Some(DataSource::L3);
         }
         None
+    }
+
+    /// Cache line number of a byte address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Longest prefix of the consecutive-line span `[first_line,
+    /// first_line + n)` that provably misses *all three levels* — the
+    /// fused-walk counterpart of [`CoreCaches::access`] returning `None`
+    /// for every line. Read-only; see [`Cache::span_miss_prefix`].
+    ///
+    /// Each level's proof window is narrowed to the previous level's
+    /// prefix: within the result every line misses L1 (so reaches L2),
+    /// misses L2 (so reaches L3), and misses L3 — exactly the lines the
+    /// per-line walk would send to DRAM. Narrowing is what keeps each
+    /// level's survival predicate valid: it assumes every span line in its
+    /// window actually looks the level up, which holds because all those
+    /// lines missed the levels above.
+    pub fn span_miss_prefix(&self, first_line: u64, n: u64) -> u64 {
+        let k = self.l1.span_miss_prefix(first_line, n);
+        if k == 0 {
+            return 0;
+        }
+        let k = self.l2.span_miss_prefix(first_line, k);
+        if k == 0 {
+            return 0;
+        }
+        self.l3.span_miss_prefix(first_line, k)
+    }
+
+    /// Commit a proven all-miss span into all three levels (inclusive
+    /// fill), in closed form — bit-identical to `n` per-line DRAM-miss
+    /// walks. See [`Cache::install_span`].
+    pub fn install_span(&mut self, first_line: u64, n: u64) {
+        self.l1.install_span(first_line, n);
+        self.l2.install_span(first_line, n);
+        self.l3.install_span(first_line, n);
+    }
+
+    /// Commit a single proven-miss line into all three levels (inclusive
+    /// fill) — the one-line counterpart of [`CoreCaches::install_span`],
+    /// used where proven misses arrive interleaved rather than as one
+    /// consecutive span. See [`Cache::install_line`].
+    #[inline]
+    pub fn install_line(&mut self, line: u64) {
+        self.l1.install_line(line);
+        self.l2.install_line(line);
+        self.l3.install_line(line);
+    }
+
+    /// [`CoreCaches::install_line`] with the three per-level miss counters
+    /// deferred: the interleaved replay in the engine commits one line at
+    /// a time but knows the total up front, so it charges stats once per
+    /// span via [`CoreCaches::charge_misses`] instead of three
+    /// read-modify-writes per line. Counters are integers — bulk-charging
+    /// is exactly `n` deferred increments.
+    #[inline]
+    pub(crate) fn install_line_deferred(&mut self, line: u64) {
+        self.l1.install_line_deferred(line);
+        self.l2.install_line_deferred(line);
+        self.l3.install_line_deferred(line);
+    }
+
+    /// Charge `n` misses per level deferred by
+    /// [`CoreCaches::install_line_deferred`].
+    #[inline]
+    pub(crate) fn charge_misses(&mut self, n: u64) {
+        self.l1.charge_misses(n);
+        self.l2.charge_misses(n);
+        self.l3.charge_misses(n);
     }
 }
 
@@ -314,6 +380,40 @@ mod tests {
         for lvl in 0..3 {
             assert_eq!(a.level_stats(lvl), b.level_stats(lvl));
         }
+    }
+
+    /// The fused span walk must leave all three levels bit-identical to
+    /// the per-line walk, across warm L2/L3 state (re-scan after L1-sized
+    /// eviction) and sibling-core sharing.
+    #[test]
+    fn span_walk_matches_per_line_walk() {
+        let mut a = hier();
+        let mut b = hier();
+        let spans: [(u32, u64, u64); 6] =
+            [(0, 0, 200), (1, 100, 64), (0, 0, 200), (2, 300, 512), (0, 150, 33), (1, 0, 1)];
+        for &(core, first, n) in &spans {
+            for line in first..first + n {
+                a.cache_access(CoreId(core), line * 64);
+            }
+            let mut cc = b.core_caches(CoreId(core));
+            let mut cur = first;
+            let mut rem = n;
+            // The engine's consumption pattern: closed-form where provable,
+            // per-line otherwise.
+            while rem > 0 {
+                let k = cc.span_miss_prefix(cur, rem);
+                if k > 0 {
+                    cc.install_span(cur, k);
+                    cur += k;
+                    rem -= k;
+                } else {
+                    cc.access(cur * 64);
+                    cur += 1;
+                    rem -= 1;
+                }
+            }
+        }
+        assert_eq!(a, b, "span walk diverged from per-line walk");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod bandwidth;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod fp;
 pub mod hierarchy;
 pub mod memmap;
 pub mod stats;

@@ -5,10 +5,13 @@
 //! tolerances anywhere in this file.
 
 use numasim::access::{Access, AccessMix, AccessRun, AccessStream, BlockCyclicStream, ChainStream, SeqStream, WithMlp};
+use numasim::cache::{Cache, CacheStats};
 use numasim::config::{ExecMode, MachineConfig};
 use numasim::engine::{Engine, ThreadSpec};
+use numasim::hierarchy::Hierarchy;
 use numasim::memmap::{MemoryMap, PlacementPolicy};
 use numasim::stats::RunStats;
+use numasim::topology::CoreId;
 use pebs::ring::SampleRing;
 use pebs::sample::MemSample;
 use pebs::sampler::{AddressSampler, SamplerConfig};
@@ -217,5 +220,189 @@ proptest! {
     ) {
         let batched = run_tiny(ExecMode::Batched, Some(&schedule));
         prop_assert_eq!(&batched, tiny_reference(), "schedule {:?} diverged", schedule);
+    }
+}
+
+/// A fused-walk-heavy phase: line-stride read-only streams (maximal span
+/// fusion, LFB reps inside spans) over first-touch and interleaved
+/// placement, with the live sampler chopping spans at every sample point.
+/// Reference, fused-batched, and fusion-ablated batched must agree on
+/// everything observable.
+#[test]
+fn fused_streaming_phase_matches_reference_under_sampling() {
+    let run = |exec: ExecMode, fusion: bool| {
+        let mut cfg = MachineConfig::scaled();
+        cfg.engine.exec = exec;
+        cfg.engine.span_fusion = fusion;
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 8 << 20, PlacementPolicy::FirstTouch);
+        let b = mm.alloc("b", 2 << 20, PlacementPolicy::interleave_all(cfg.topology.num_nodes()));
+        let binding = cfg.topology.bind_threads(8, cfg.topology.num_nodes());
+        let threads: Vec<ThreadSpec> = binding
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let share = a.size / 8;
+                let seq = SeqStream::new(a.base + i as u64 * share, share, 1, AccessMix::read_only())
+                    .with_compute(0.5 * i as f64)
+                    .with_reps(4);
+                let blk = BlockCyclicStream::new(b.base, b.size, 4096, 8, i as u64, 1, AccessMix::read_only());
+                let chain: Box<dyn AccessStream> =
+                    Box::new(ChainStream::new(vec![Box::new(seq), Box::new(WithMlp::new(blk, 2.0))]));
+                ThreadSpec::new(i as u32, *core, chain)
+            })
+            .collect();
+        let mut eng = Engine::new(&cfg, mm, sampler());
+        let stats = eng.run_phase(threads);
+        let (_, s) = eng.into_parts();
+        Outcome {
+            stats,
+            observed: s.observed_accesses(),
+            suppressed: s.suppressed_samples(),
+            samples: s.samples().to_vec(),
+        }
+    };
+    let reference = run(ExecMode::Reference, true);
+    assert!(!reference.samples.is_empty(), "phase must actually sample");
+    let fused = run(ExecMode::Batched, true);
+    let unfused = run(ExecMode::Batched, false);
+    assert_eq!(fused, reference, "fused batched run diverged");
+    assert_eq!(unfused, reference, "fusion-ablated batched run diverged");
+}
+
+/// Zip-heavy phase (dotv-shaped): multi-lane `ZipStream`s whose `next_run`
+/// degrades to length-1 runs, so batched throughput rides on `next_zip` +
+/// the interleaved replay. Interleaved placement makes home segments end
+/// mid-span (segment-flush accounting), a shorter write lane drains early
+/// (live-set shrink mid-phase), and the sampler chops spans at every
+/// sample point. Reference, fused, and fusion-ablated must agree exactly.
+#[test]
+fn zipped_streams_match_reference_under_sampling() {
+    let run = |exec: ExecMode, fusion: bool| {
+        let mut cfg = MachineConfig::scaled();
+        cfg.engine.exec = exec;
+        cfg.engine.span_fusion = fusion;
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 4 << 20, PlacementPolicy::FirstTouch);
+        let b = mm.alloc("b", 4 << 20, PlacementPolicy::interleave_all(cfg.topology.num_nodes()));
+        let c = mm.alloc("c", 1 << 20, PlacementPolicy::interleave_all(2));
+        let binding = cfg.topology.bind_threads(8, cfg.topology.num_nodes());
+        let threads: Vec<ThreadSpec> = binding
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let (sa, sb, sc) = (a.size / 8, b.size / 8, c.size / 8);
+                let lanes: Vec<Box<dyn AccessStream>> = vec![
+                    Box::new(
+                        SeqStream::new(a.base + i as u64 * sa, sa, 2, AccessMix::read_only())
+                            .with_compute(0.25 * i as f64)
+                            .with_reps(4),
+                    ),
+                    Box::new(SeqStream::new(b.base + i as u64 * sb, sb, 2, AccessMix::read_only()).with_reps(4)),
+                    Box::new(SeqStream::new(c.base + i as u64 * sc, sc, 2, AccessMix::write_every(1)).with_reps(2)),
+                ];
+                ThreadSpec::new(i as u32, *core, Box::new(numasim::access::ZipStream::new(lanes)))
+            })
+            .collect();
+        // A longer period than `sampler()` so the observer's quiet budget
+        // lets interleaved spans commit (and cross the 4 KiB interleave
+        // boundary mid-span), while still sampling often enough to chop
+        // spans at many distinct points.
+        let obs = AddressSampler::new(SamplerConfig {
+            period: 997,
+            latency_threshold: 150.0,
+            latency_jitter: 0.3,
+            per_sample_cost: 40.0,
+        });
+        let mut eng = Engine::new(&cfg, mm, obs);
+        let stats = eng.run_phase(threads);
+        let (_, s) = eng.into_parts();
+        Outcome {
+            stats,
+            observed: s.observed_accesses(),
+            suppressed: s.suppressed_samples(),
+            samples: s.samples().to_vec(),
+        }
+    };
+    let reference = run(ExecMode::Reference, true);
+    assert!(!reference.samples.is_empty(), "phase must actually sample");
+    let fused = run(ExecMode::Batched, true);
+    let unfused = run(ExecMode::Batched, false);
+    assert_eq!(fused, reference, "fused batched zip run diverged");
+    assert_eq!(unfused, reference, "fusion-ablated batched zip run diverged");
+}
+
+/// Cache-layer differential oracle: `access_span` must equal per-line
+/// `access` — identical hit/miss deltas *and* identical tag/head state —
+/// over streaming, cyclic-rescan, random-single, and arbitrary mixed span
+/// patterns, on geometries from degenerate (one set) to L3-like.
+fn arb_span_pattern() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    let span = prop_oneof![
+        (0u64..64, 1u64..260),      // arbitrary span, often over-capacity
+        (0u64..512, Just(1u64)),    // single random lines
+        Just((0u64, 96u64)),        // cyclic rescan of one fixed range
+        (1000u64..1004, 32u64..70), // disjoint streaming region
+    ];
+    proptest::collection::vec(span, 1..12)
+}
+
+proptest! {
+    #[test]
+    fn cache_span_walk_matches_per_line_oracle(
+        geometry in prop_oneof![Just((1, 4)), Just((4, 2)), Just((8, 4)), Just((16, 8)), Just((64, 8))],
+        spans in arb_span_pattern(),
+    ) {
+        let (sets, assoc) = geometry;
+        let mut oracle = Cache::new(sets, assoc);
+        let mut subject = oracle.clone();
+        for &(first, n) in &spans {
+            let mut want = CacheStats::default();
+            for line in first..first + n {
+                if oracle.access(line) {
+                    want.hits += 1;
+                } else {
+                    want.misses += 1;
+                }
+            }
+            let got = subject.access_span(first, n);
+            prop_assert_eq!(got, want, "span ({}, {}) stats diverged", first, n);
+            prop_assert_eq!(&oracle, &subject, "span ({}, {}) left different cache state", first, n);
+        }
+    }
+
+    /// Same oracle one layer up: the three-level span walk driven the way
+    /// the engine drives it (prove, install, fall back per line), with
+    /// spans interleaved across cores sharing an L3.
+    #[test]
+    fn hierarchy_span_walk_matches_per_line_oracle(
+        ops in proptest::collection::vec((0u32..4, 0u64..800, 1u64..200), 1..10),
+    ) {
+        let cfg = MachineConfig::tiny();
+        let mut oracle = Hierarchy::new(&cfg);
+        let mut subject = Hierarchy::new(&cfg);
+        for &(core, first, n) in &ops {
+            for line in first..first + n {
+                oracle.cache_access(CoreId(core), line * 64);
+            }
+            let mut cc = subject.core_caches(CoreId(core));
+            let mut cur = first;
+            let mut rem = n;
+            while rem > 0 {
+                let k = cc.span_miss_prefix(cur, rem);
+                if k > 0 {
+                    cc.install_span(cur, k);
+                    cur += k;
+                    rem -= k;
+                } else {
+                    cc.access(cur * 64);
+                    cur += 1;
+                    rem -= 1;
+                }
+            }
+            // Tag/head state and per-level counters both sit behind
+            // `Hierarchy`'s equality, so any classification difference —
+            // not just a residency difference — fails here.
+            prop_assert_eq!(&oracle, &subject, "op ({}, {}, {}) diverged", core, first, n);
+        }
     }
 }
