@@ -28,6 +28,21 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo bench --workspace --no-run (benches must compile)"
 cargo bench --workspace --no-run
 
+echo "==> run-cache cold->warm smoke (table1_features twice, byte-identical)"
+smoke_cache=$(mktemp -d)
+DRBW_RUNCACHE_DIR="$smoke_cache" ./target/release/table1_features \
+    > "$smoke_cache/cold.out" 2> "$smoke_cache/cold.err"
+DRBW_RUNCACHE_DIR="$smoke_cache" ./target/release/table1_features \
+    > "$smoke_cache/warm.out" 2> "$smoke_cache/warm.err"
+diff "$smoke_cache/cold.out" "$smoke_cache/warm.out"
+warm_hits=$(sed -n 's/.*runcache: hits=\([0-9]*\).*/\1/p' "$smoke_cache/warm.err")
+if [ -z "${warm_hits}" ] || [ "${warm_hits}" -eq 0 ]; then
+    echo "run-cache smoke: warm pass reported no cache hits" >&2
+    exit 1
+fi
+echo "    warm hits: ${warm_hits}, stdout byte-identical"
+rm -rf "$smoke_cache"
+
 # Surface the recorded cache-walk ablation so perf regressions in the
 # fused span walk are visible in CI logs (BENCH_engine.json is refreshed
 # by crates/bench/src/bin/bench_engine.rs, not by this script).

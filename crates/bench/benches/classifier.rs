@@ -40,7 +40,7 @@ fn synth_samples(n: usize) -> Vec<MemSample> {
 }
 
 fn synth_dataset(rows: usize) -> Dataset {
-    let mut d = Dataset::binary(drbw_core::features::selected_names());
+    let mut d = Dataset::binary(drbw_core::features::selected_names().iter().map(|s| s.to_string()).collect());
     for i in 0..rows {
         let mut row = vec![0.0; NUM_SELECTED];
         let rmc = i % 3 == 0;

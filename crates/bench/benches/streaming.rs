@@ -43,7 +43,7 @@ fn synth_samples(n: usize) -> Vec<MemSample> {
 }
 
 fn classifier() -> ContentionClassifier {
-    let mut d = Dataset::binary(drbw_core::features::selected_names());
+    let mut d = Dataset::binary(drbw_core::features::selected_names().iter().map(|s| s.to_string()).collect());
     for i in 0..64 {
         let mut row = vec![0.0; NUM_SELECTED];
         let rmc = i % 2 == 0;

@@ -16,6 +16,7 @@
 //! model transfers across sampling mechanisms.
 
 use drbw_bench::sweep::train_classifier;
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache, workload, BenchError};
 use drbw_core::profiler::Profile;
 use drbw_core::Mode;
 use numasim::config::MachineConfig;
@@ -24,9 +25,8 @@ use pebs::mrk::{MrkConfig, MrkSampler};
 use pebs::sampler::{AddressSampler, SamplerConfig};
 use workloads::config::{cases_for, RunConfig, Variant};
 use workloads::ground_truth::GT_SPEEDUP_THRESHOLD;
-use workloads::runner::{run, run_observed};
+use workloads::runner::run_observed;
 use workloads::spec::Workload;
-use workloads::suite::by_name;
 
 fn profile_from(
     phases: Vec<workloads::runner::PhaseOutcome>,
@@ -58,19 +58,22 @@ fn collect(backend: &str, w: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConf
     }
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mcfg = MachineConfig::scaled();
     eprintln!("training the classifier on PEBS samples (as the paper does)...");
     let clf = train_classifier(&mcfg);
+    // The ground-truth probes memoize; the IBS/MRK collections cannot
+    // (only PEBS-shaped runs have cache keys) and run live below.
+    let cache = open_run_cache();
 
     // A contention-diverse case set.
     let names = ["Streamcluster", "IRSmk", "SP", "Blackscholes", "MG"];
     let mut cases = Vec::new();
     for name in names {
-        let w = by_name(name).unwrap();
+        let w = workload(name)?;
         for rcfg in cases_for(&w.inputs()) {
-            let base = run(w, &mcfg, &rcfg, None);
-            let inter = run(w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+            let base = memo_run(cache.as_deref(), w, &mcfg, &rcfg, None);
+            let inter = memo_run(cache.as_deref(), w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
             cases.push((name, rcfg, inter.speedup_over(&base) > GT_SPEEDUP_THRESHOLD));
         }
     }
@@ -82,7 +85,7 @@ fn main() {
         let (mut tp, mut tn, mut fp, mut fn_) = (0u32, 0u32, 0u32, 0u32);
         let mut nsamples = 0usize;
         for (name, rcfg, actual) in &cases {
-            let w = by_name(name).unwrap();
+            let w = workload(name)?;
             let p = collect(backend, w, &mcfg, rcfg);
             nsamples += p.samples.len();
             let detected = clf.classify_case(&p, 4).mode() == Mode::Rmc;
@@ -106,4 +109,6 @@ fn main() {
     println!("\n(a classifier trained on PEBS transfers to the other sampling mechanisms");
     println!(" essentially unchanged; IBS's threshold-free op sampling floods the batches");
     println!(" with cache hits and fewer memory records, costing it the odd borderline case)");
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

@@ -6,19 +6,21 @@
 //! trade-off that motivates the paper's choice.
 
 use drbw_bench::sweep::train_classifier;
-use drbw_core::profiler::profile_with;
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache, workload, BenchError};
+use drbw_core::profiler::profile_memo;
 use drbw_core::Mode;
 use numasim::config::MachineConfig;
 use pebs::sampler::SamplerConfig;
 use workloads::config::{cases_for, RunConfig, Variant};
 use workloads::ground_truth::GT_SPEEDUP_THRESHOLD;
-use workloads::runner::run;
-use workloads::suite::by_name;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mcfg = MachineConfig::scaled();
     eprintln!("training classifier (default period)...");
     let clf = train_classifier(&mcfg);
+    // Each period gets its own cache keys (the sampler config is hashed
+    // into the key), so a warm rerun of the whole sweep is all hits.
+    let cache = open_run_cache();
     // A reduced but contention-diverse set: one contended, one borderline,
     // one clean benchmark.
     let names = ["Streamcluster", "SP", "Blackscholes"];
@@ -26,10 +28,10 @@ fn main() {
     // Ground truth once per case (independent of sampling).
     let mut cases: Vec<(&str, RunConfig, bool)> = Vec::new();
     for name in names {
-        let w = by_name(name).unwrap();
+        let w = workload(name)?;
         for rcfg in cases_for(&w.inputs()) {
-            let base = run(w, &mcfg, &rcfg, None);
-            let inter = run(w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+            let base = memo_run(cache.as_deref(), w, &mcfg, &rcfg, None);
+            let inter = memo_run(cache.as_deref(), w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
             cases.push((name, rcfg, inter.speedup_over(&base) > GT_SPEEDUP_THRESHOLD));
         }
     }
@@ -42,8 +44,8 @@ fn main() {
         let (mut tp, mut tn, mut fp, mut fn_) = (0u32, 0u32, 0u32, 0u32);
         let mut samples = 0usize;
         for (name, rcfg, actual) in &cases {
-            let w = by_name(name).unwrap();
-            let p = profile_with(w, &mcfg, rcfg, scfg);
+            let w = workload(name)?;
+            let p = profile_memo(w, &mcfg, rcfg, scfg, cache.as_deref());
             samples += p.samples.len();
             let detected = clf.classify_case(&p, 4).mode() == Mode::Rmc;
             match (actual, detected) {
@@ -66,4 +68,6 @@ fn main() {
     println!("\n(expected: accuracy stays high down to a few hundred samples per run, then the");
     println!(" per-channel batches starve and detection destabilises; finer sampling only adds");
     println!(" overhead — the paper's 1/2000 sits on the flat part of the curve)");
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

@@ -16,37 +16,34 @@
 //!    whole-program detector could only say "contended somewhere".
 
 use drbw_bench::sweep::train_classifier;
+use drbw_bench::util::{open_run_cache, report_run_cache, workload, BenchError};
 use drbw_core::classifier::ContentionClassifier;
-use drbw_core::profiler::Profile;
+use drbw_core::profiler::{profile_memo, Profile};
 use numasim::config::MachineConfig;
 use numasim::topology::{ChannelId, NodeId};
-use pebs::sampler::{AddressSampler, SamplerConfig};
+use pebs::sampler::SamplerConfig;
+use runcache::RunCache;
 use workloads::config::{Input, RunConfig};
-use workloads::runner::run_observed;
-use workloads::suite::by_name;
 
-fn profile_on(mcfg: &MachineConfig, rcfg: &RunConfig) -> Profile {
-    let w = by_name("Streamcluster").unwrap();
-    let (phases, tracker, mut s) = run_observed(w, mcfg, rcfg, AddressSampler::new(SamplerConfig::default()));
-    let observed = phases.iter().filter(|p| !p.warmup).map(|p| p.stats.counts.total()).sum();
-    let samples = s.drain_samples();
-    Profile { samples, tracker, phases, observed_accesses: observed, wall: std::time::Duration::ZERO }
+fn profile_on(mcfg: &MachineConfig, rcfg: &RunConfig, cache: Option<&RunCache>) -> Result<Profile, BenchError> {
+    Ok(profile_memo(workload("Streamcluster")?, mcfg, rcfg, SamplerConfig::default(), cache))
 }
 
 fn verdicts(clf: &ContentionClassifier, p: &Profile) -> Vec<ChannelId> {
     clf.classify_case(p, 4).contended_channels
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mut mcfg = MachineConfig::scaled();
     eprintln!("training classifier on the symmetric machine...");
     let clf = train_classifier(&mcfg);
+    let cache = open_run_cache();
 
     // A light configuration: symmetric links handle it without contention.
     let rcfg = RunConfig::new(16, 4, Input::Large);
 
     println!("=== Channel-level localization under interconnect asymmetry ===\n");
-    let p = profile_on(&mcfg, &rcfg);
+    let p = profile_on(&mcfg, &rcfg, cache.as_deref())?;
     let base_verdicts = verdicts(&clf, &p);
     println!(
         "symmetric machine, Streamcluster {} (simLarge): contended channels = {:?}",
@@ -55,10 +52,11 @@ fn main() {
     );
 
     // Degrade N1->N0 to 40% of nominal (a weak or shared link).
-    let weak =
-        numasim::topology::Topology::new(4, 8, 2).channel_index(ChannelId { src: NodeId(1), dst: NodeId(0) }).unwrap();
+    let weak = numasim::topology::Topology::new(4, 8, 2)
+        .channel_index(ChannelId { src: NodeId(1), dst: NodeId(0) })
+        .ok_or_else(|| BenchError::new("channel N1->N0 missing from the 4-node topology"))?;
     mcfg.interconnect.overrides = vec![(weak, mcfg.interconnect.channel_bandwidth * 0.4)];
-    let p = profile_on(&mcfg, &rcfg);
+    let p = profile_on(&mcfg, &rcfg, cache.as_deref())?;
     let asym_verdicts = verdicts(&clf, &p);
     println!(
         "N1->N0 degraded to 40%:                                contended channels = {:?}",
@@ -79,4 +77,6 @@ fn main() {
             asym_verdicts.len()
         );
     }
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

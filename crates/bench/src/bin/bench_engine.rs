@@ -22,9 +22,11 @@
 //! an opt-level 0 build, the conditions the tier-1 suite used to run
 //! under.
 
+use drbw_bench::util::{write_text, BenchError};
 use drbw_core::training;
 use drbw_core::{Case, DrBw, TrainingSet};
 use numasim::config::{ExecMode, MachineConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn mcfg(exec: ExecMode, span_fusion: bool) -> MachineConfig {
@@ -61,7 +63,7 @@ fn env_secs(var: &str) -> Option<f64> {
     std::env::var(var).ok()?.parse().ok()
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".into());
     let specs = training::quick_training_specs();
 
@@ -123,6 +125,81 @@ fn main() {
     );
     eprintln!("walk ablation: fused vs unfused {walk_speedup:.2}x, walk share {:.1}%", walk_share * 100.0);
 
+    // 3. Run-cache cold vs warm over the same analyze_batch grid. The
+    //    tool is trained WITHOUT the run cache: quick-grid training uses
+    //    the same (workload, rcfg, default sampler) keys as the analyze
+    //    cases, so training through the cache would pre-warm every key
+    //    and there would be no cold measurement left. The cache is
+    //    attached afterwards — cold iterations each get a fresh empty
+    //    directory (simulate + encode + store), warm iterations share one
+    //    directory populated by the warmup pass (decode + verify only).
+    let mut tool = DrBw::builder()
+        .machine(mcfg(ExecMode::Batched, true))
+        .training_set(TrainingSet::Quick)
+        .threads(1)
+        .build()
+        .expect("quick grid trains");
+    let cases: Vec<Case> = specs.iter().map(|s| Case::new(s.program.workload(), &s.rcfg)).collect();
+    let cache_root = std::env::temp_dir().join(format!("drbw_bench_runcache_{}", std::process::id()));
+    let open_cache = |dir: &std::path::Path| {
+        runcache::RunCache::open(dir)
+            .map(Arc::new)
+            .map_err(|e| BenchError::new(format!("cannot open bench run cache at {}: {e}", dir.display())))
+    };
+    let mut cold_iter = 0u32;
+    let mut cold_caches = Vec::new();
+    for _ in 0..8 {
+        cold_caches.push(open_cache(&cache_root.join(format!("cold{}", cold_caches.len())))?);
+    }
+    let (cold_analyses, cache_cold_s, cache_cold_runs) = measure(|| {
+        tool.attach_run_cache(cold_caches[cold_iter as usize].clone());
+        cold_iter += 1;
+        tool.analyze_batch(&cases)
+    });
+    let warm_cache = open_cache(&cache_root.join("warm"))?;
+    tool.attach_run_cache(warm_cache.clone());
+    let (warm_analyses, cache_warm_s, cache_warm_runs) = measure(|| tool.analyze_batch(&cases));
+    let cache_speedup = cache_cold_s / cache_warm_s;
+    // Bit-identity of every cache-served artifact against the fresh
+    // batched simulation timed in section 2 (same machine, same cases).
+    assert_eq!(warm_analyses.len(), fus_analyses.len());
+    for (i, (w, f)) in warm_analyses.iter().zip(&fus_analyses).enumerate() {
+        assert_eq!(w.profile.samples, f.profile.samples, "case {i}: cached sample log diverged");
+        assert_eq!(w.profile.observed_accesses, f.profile.observed_accesses, "case {i}: observed diverged");
+        assert_eq!(w.profile.phases.len(), f.profile.phases.len(), "case {i}: phase count diverged");
+        for (pw, pf) in w.profile.phases.iter().zip(&f.profile.phases) {
+            assert_eq!(pw.name, pf.name, "case {i}: phase names diverged");
+            assert_eq!(pw.stats, pf.stats, "case {i}: cached RunStats diverged");
+        }
+        assert_eq!(w.detection.mode(), f.detection.mode(), "case {i}: cached verdict diverged");
+    }
+    for (i, (c, f)) in cold_analyses.iter().zip(&fus_analyses).enumerate() {
+        assert_eq!(c.profile.samples, f.profile.samples, "case {i}: cold-path sample log diverged");
+    }
+    let wm = warm_cache.metrics();
+    assert!(wm.hits > 0, "warm analyze_batch must be served from the cache");
+    assert_eq!(wm.corrupt, 0, "warm cache reported corrupt entries");
+    assert!(
+        cache_speedup >= 5.0,
+        "warm run cache must be >= 5x faster than cold (got {cache_speedup:.2}x: cold {cache_cold_s:.3}s, warm {cache_warm_s:.3}s)"
+    );
+    eprintln!(
+        "run cache ({} cases): cold {cache_cold_s:.2}s, warm {cache_warm_s:.2}s ({cache_speedup:.2}x), \
+         warm hits {} over {} measured iterations",
+        cases.len(),
+        wm.hits,
+        cache_warm_runs.len()
+    );
+    let run_cache_json = format!(
+        "{{\n    \"cold\": {},\n    \"warm\": {},\n    \"speedup\": {cache_speedup:.2},\n    \
+         \"warm_hits\": {},\n    \"warm_read_bytes\": {}\n  }}",
+        section(cache_cold_s, &cache_cold_runs),
+        section(cache_warm_s, &cache_warm_runs),
+        wm.hits,
+        wm.bytes_read,
+    );
+    std::fs::remove_dir_all(&cache_root).ok();
+
     let pair = |a: &str, b: &str, ka: &str, kb: &str| match (env_secs(a), env_secs(b)) {
         (Some(x), Some(y)) => {
             format!("{{ \"{ka}\": {x:.2}, \"{kb}\": {y:.2}, \"speedup\": {:.2} }}", x / y)
@@ -163,6 +240,7 @@ fn main() {
     "fused_vs_unfused": {walk_speedup:.2},
     "walk_share": {walk_share:.3}
   }},
+  "run_cache": {run_cache_json},
   "seed_engine": {seed},
   "analyze_batch_unoptimized": {unopt},
   "tier1_suite": {tier1}
@@ -175,7 +253,8 @@ fn main() {
         analyze_fus = section(analyze_fus_s, &analyze_fus_runs),
         analyze_unf = section(analyze_unf_s, &analyze_unf_runs),
     );
-    std::fs::write(&out, &json).expect("write report");
+    write_text(&out, &json)?;
     print!("{json}");
     eprintln!("wrote {out}");
+    Ok(())
 }

@@ -1,27 +1,28 @@
 //! Ad-hoc inspection of per-case features vs ground truth for calibration.
 
 use drbw_bench::sweep::train_classifier;
-use drbw_core::profiler::profile;
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache, workload, BenchError};
+use drbw_core::profiler::profile_memo;
 use drbw_core::training::case_features;
 use drbw_core::Mode;
 use numasim::config::MachineConfig;
+use pebs::sampler::SamplerConfig;
 use workloads::config::{cases_for, Variant};
-use workloads::runner::run;
-use workloads::suite::by_name;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "NW".into());
     let mcfg = MachineConfig::scaled();
     let clf = train_classifier(&mcfg);
-    let w = by_name(&name).expect("unknown benchmark");
+    let w = workload(&name)?;
+    let cache = open_run_cache();
     println!(
         "{:<22} {:>8} {:>8} {:>9} {:>9} {:>8} {:>6} {:>6}",
         "case", "gt_speed", "remote‰", "rem_lat", "avg_lat", "gt>50", "GT", "DRBW"
     );
     for rcfg in cases_for(&w.inputs()) {
-        let p = profile(w, &mcfg, &rcfg);
-        let base = run(w, &mcfg, &rcfg, None).cycles();
-        let inter = run(w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+        let p = profile_memo(w, &mcfg, &rcfg, SamplerConfig::default(), cache.as_deref());
+        let base = memo_run(cache.as_deref(), w, &mcfg, &rcfg, None).cycles();
+        let inter = memo_run(cache.as_deref(), w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
         let speedup = base / inter.cycles();
         let f = case_features(&p, 4);
         let det = clf.classify_case(&p, 4);
@@ -37,4 +38,6 @@ fn main() {
             if det.mode() == Mode::Rmc { "rmc" } else { "good" },
         );
     }
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

@@ -1,11 +1,10 @@
 //! Ad-hoc: per-phase cycles of a benchmark under each variant.
 
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache, workload, BenchError};
 use numasim::config::MachineConfig;
 use workloads::config::{Input, RunConfig, Variant};
-use workloads::runner::run;
-use workloads::suite::by_name;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "IRSmk".into());
     let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
@@ -17,10 +16,11 @@ fn main() {
         _ => Input::Medium,
     };
     let mcfg = MachineConfig::scaled();
-    let w = by_name(&name).expect("unknown benchmark");
+    let w = workload(&name)?;
+    let cache = open_run_cache();
     let rcfg = RunConfig::new(threads, nodes, input);
-    let base = run(w, &mcfg, &rcfg, None);
-    let inter = run(w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+    let base = memo_run(cache.as_deref(), w, &mcfg, &rcfg, None);
+    let inter = memo_run(cache.as_deref(), w, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
     println!("{} T{threads}-N{nodes} {}:", w.name(), input.name());
     for (i, p) in base.phases.iter().enumerate() {
         let ip = &inter.phases[i];
@@ -45,8 +45,8 @@ fn main() {
         o.phases.iter().flat_map(|p| p.stats.channel_max_rho.iter().cloned()).fold(0.0, f64::max)
     };
     println!("  max channel rho: base {:.2} inter {:.2}", rho(&base), rho(&inter));
-    let solve_b = base.phases.last().unwrap();
-    let solve_i = inter.phases.last().unwrap();
+    let solve_b = base.phases.last().ok_or_else(|| BenchError::new(format!("{} simulated zero phases", w.name())))?;
+    let solve_i = inter.phases.last().ok_or_else(|| BenchError::new(format!("{} simulated zero phases", w.name())))?;
     println!(
         "  solve channel GB: base {:?}",
         solve_b.stats.channel_bytes.iter().map(|b| (b / 1e6).round()).collect::<Vec<_>>()
@@ -71,4 +71,6 @@ fn main() {
         "  solve ch maxrho:  intr {:?}",
         solve_i.stats.channel_max_rho.iter().map(|b| (b * 100.0).round()).collect::<Vec<_>>()
     );
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

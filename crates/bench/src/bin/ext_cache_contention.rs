@@ -7,16 +7,19 @@
 //! case).
 
 use drbw_bench::sweep::train_classifier;
+use drbw_bench::util::{open_run_cache, report_run_cache};
 use drbw_core::cache_contention::{isolation_speedup, CacheContentionDetector};
-use drbw_core::profiler::profile;
+use drbw_core::profiler::profile_memo;
 use drbw_core::Mode;
 use numasim::config::MachineConfig;
 use numasim::topology::NodeId;
+use pebs::sampler::SamplerConfig;
 use workloads::config::{Input, RunConfig};
 use workloads::micro::CacheMix;
 
 fn main() {
     let mcfg = MachineConfig::scaled();
+    let cache = open_run_cache();
     eprintln!("training the cache-contention detector on the cachemix grid...");
     let cache_det = CacheContentionDetector::train(&mcfg);
     eprintln!("training the bandwidth classifier (for the cross-check)...");
@@ -33,7 +36,7 @@ fn main() {
             let per = workloads::micro::cachemix_bytes(input);
             let rcfg = RunConfig::new(threads, 1, input);
             let gt = isolation_speedup(&mcfg, threads, input) > 1.10;
-            let p = profile(&CacheMix, &mcfg, &rcfg);
+            let p = profile_memo(&CacheMix, &mcfg, &rcfg, SamplerConfig::default(), cache.as_deref());
             let cd = cache_det.detect_node(&p, NodeId(0)) == Mode::Rmc;
             let bd = bw.classify_case(&p, 4).mode() == Mode::Rmc;
             right += usize::from(cd == gt);
@@ -51,4 +54,5 @@ fn main() {
     println!("\ncache-contention detection accuracy vs isolation ground truth: {right}/{total}");
     println!("the bandwidth classifier never fires on these node-local cases — the two");
     println!("contention types are detected by orthogonal models, as §IX envisions.");
+    report_run_cache(cache.as_deref());
 }

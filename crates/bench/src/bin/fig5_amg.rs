@@ -6,13 +6,15 @@
 //! but *hurts* init and setup; co-locate matches the solver gain without
 //! the penalty, so it wins overall.
 
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache};
 use numasim::config::MachineConfig;
 use workloads::config::{paper_shapes, Input, RunConfig, Variant};
-use workloads::runner::run;
 use workloads::suite::Amg2006;
 
 fn main() {
     let mcfg = MachineConfig::scaled();
+    let cache = open_run_cache();
+    let run = |rcfg: &RunConfig| memo_run(cache.as_deref(), &Amg2006, &mcfg, rcfg, None);
     println!("=== Figure 5: AMG2006 per-phase speedups over baseline ===");
     println!(
         "{:<10} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
@@ -24,9 +26,9 @@ fn main() {
     );
     for (t, n) in paper_shapes() {
         let rcfg = RunConfig::new(t, n, Input::Medium);
-        let base = run(&Amg2006, &mcfg, &rcfg, None);
-        let inter = run(&Amg2006, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
-        let colo = run(&Amg2006, &mcfg, &rcfg.with_variant(Variant::CoLocate), None);
+        let base = run(&rcfg);
+        let inter = run(&rcfg.with_variant(Variant::InterleaveAll));
+        let colo = run(&rcfg.with_variant(Variant::CoLocate));
         let ph = |o: &workloads::runner::RunOutcome, name: &str| o.phase_cycles(name);
         let s = |o: &workloads::runner::RunOutcome, name: &str| ph(&base, name) / ph(o, name);
         println!(
@@ -44,4 +46,5 @@ fn main() {
     }
     println!("\n(paper: interleave ~1.5x in solver but <1 in init/setup; co-locate same solver");
     println!(" speedup without hurting the other phases, hence higher total speedups)");
+    report_run_cache(cache.as_deref());
 }

@@ -6,13 +6,15 @@
 //! nodes and few threads per node interleave can edge out co-locate, but
 //! co-locate wins clearly at fewer nodes.
 
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache};
 use numasim::config::MachineConfig;
 use workloads::config::{paper_shapes, Input, RunConfig, Variant};
-use workloads::runner::run;
 use workloads::suite::Irsmk;
 
 fn main() {
     let mcfg = MachineConfig::scaled();
+    let cache = open_run_cache();
+    let run = |rcfg: &RunConfig| memo_run(cache.as_deref(), &Irsmk, &mcfg, rcfg, None);
     println!("=== Figure 6: IRSmk speedups (interleave / co-locate) ===");
     println!("{:<10} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}", "", "small", "", "medium", "", "large", "");
     println!(
@@ -23,9 +25,9 @@ fn main() {
         let mut cells = Vec::new();
         for input in [Input::Small, Input::Medium, Input::Large] {
             let rcfg = RunConfig::new(t, n, input);
-            let base = run(&Irsmk, &mcfg, &rcfg, None);
-            let inter = run(&Irsmk, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
-            let colo = run(&Irsmk, &mcfg, &rcfg.with_variant(Variant::CoLocate), None);
+            let base = run(&rcfg);
+            let inter = run(&rcfg.with_variant(Variant::InterleaveAll));
+            let colo = run(&rcfg.with_variant(Variant::CoLocate));
             cells.push((inter.speedup_over(&base), colo.speedup_over(&base)));
         }
         println!(
@@ -41,4 +43,5 @@ fn main() {
     }
     println!("\n(paper: max ~6.2x; co-locate and interleave close at 4 nodes, co-locate much");
     println!(" better at 2 nodes; T16-N4 shows no significant speedup)");
+    report_run_cache(cache.as_deref());
 }

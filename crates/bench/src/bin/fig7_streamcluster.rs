@@ -7,13 +7,15 @@
 //! clearly better at 2 nodes / few threads, where interleave's extra
 //! remote accesses outweigh the contention it relieves.
 
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache};
 use numasim::config::MachineConfig;
 use workloads::config::{paper_shapes, Input, RunConfig, Variant};
-use workloads::runner::run;
 use workloads::suite::Streamcluster;
 
 fn main() {
     let mcfg = MachineConfig::scaled();
+    let cache = open_run_cache();
+    let run = |rcfg: &RunConfig| memo_run(cache.as_deref(), &Streamcluster, &mcfg, rcfg, None);
     println!("=== Figure 7: Streamcluster speedups (interleave / replicate) ===");
     println!("{:<10} | {:>8} {:>8} | {:>8} {:>8}", "", "simLarge", "", "native", "");
     println!("{:<10} | {:>8} {:>8} | {:>8} {:>8}", "config", "intl", "repl", "intl", "repl");
@@ -21,9 +23,9 @@ fn main() {
         let mut cells = Vec::new();
         for input in [Input::Large, Input::Native] {
             let rcfg = RunConfig::new(t, n, input);
-            let base = run(&Streamcluster, &mcfg, &rcfg, None);
-            let inter = run(&Streamcluster, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
-            let repl = run(&Streamcluster, &mcfg, &rcfg.with_variant(Variant::Replicate), None);
+            let base = run(&rcfg);
+            let inter = run(&rcfg.with_variant(Variant::InterleaveAll));
+            let repl = run(&rcfg.with_variant(Variant::Replicate));
             cells.push((inter.speedup_over(&base), repl.speedup_over(&base)));
         }
         println!(
@@ -37,4 +39,5 @@ fn main() {
     }
     println!("\n(paper: interleave ~ replicate at 3-4 nodes; replicate wins at 2 nodes / few");
     println!(" threads because interleave adds remote accesses where contention was mild)");
+    report_run_cache(cache.as_deref());
 }

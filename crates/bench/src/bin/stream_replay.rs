@@ -9,15 +9,17 @@
 //! Output goes to stdout and `results/stream_replay.txt`.
 
 use drbw_bench::sweep::train_tool;
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache, write_text, BenchError};
 use drbw_core::channels::ChannelBatches;
 use drbw_core::features::{selected_features, FeatureCtx};
 use drbw_stream::{replay, ReplayConfig, StreamConfig, StreamingDetector, WindowConfig};
 use numasim::config::MachineConfig;
 use pebs::sample::MemSample;
 use pebs::sampler::SamplerConfig;
+use runcache::RunCache;
 use std::fmt::Write as _;
 use workloads::config::{Input, RunConfig};
-use workloads::runner::{run, RunOutcome};
+use workloads::runner::RunOutcome;
 use workloads::spec::Workload;
 
 /// Contention onset in the sample timeline: the timestamp of the first
@@ -70,8 +72,9 @@ fn report(
     rcfg: &RunConfig,
     mcfg: &MachineConfig,
     detector: &mut StreamingDetector,
+    cache: Option<&RunCache>,
 ) {
-    let outcome = run(w, mcfg, rcfg, Some(SamplerConfig::default()));
+    let outcome = memo_run(cache, w, mcfg, rcfg, Some(SamplerConfig::default()));
     let run_end = outcome.samples.iter().map(|s| s.time).fold(0.0f64, f64::max);
     let rep = replay(&outcome, detector, ReplayConfig::default());
     let audited = audit_windows(&outcome, &rep.windows, mcfg.topology.num_nodes());
@@ -82,8 +85,8 @@ fn report(
     let batch_bytes = rep.batch_log_samples * sample_bytes;
 
     let mut lines = String::new();
-    writeln!(lines, "--- {label} ---").unwrap();
-    writeln!(
+    let _ = writeln!(lines, "--- {label} ---");
+    let _ = writeln!(
         lines,
         "run: {} {}T-{}N {:?}, {} samples over {:.1} Mcyc",
         w.name(),
@@ -92,27 +95,33 @@ fn report(
         rcfg.input,
         rep.batch_log_samples,
         run_end / 1e6
-    )
-    .unwrap();
-    writeln!(lines, "ring: offered {} dropped {} peak {}", rep.offered, rep.dropped, rep.peak_ring_len).unwrap();
-    writeln!(lines, "windows: {} closed, {} window-channel vectors bit-identical to batch", rep.windows.len(), audited)
-        .unwrap();
+    );
+    let _ = writeln!(lines, "ring: offered {} dropped {} peak {}", rep.offered, rep.dropped, rep.peak_ring_len);
+    let _ = writeln!(
+        lines,
+        "windows: {} closed, {} window-channel vectors bit-identical to batch",
+        rep.windows.len(),
+        audited
+    );
     match rep.metrics.first_rmc_verdict_cycles {
         Some(t) => {
-            let latency = rep.metrics.detection_latency_from(onset).unwrap();
-            writeln!(lines, "verdict: rmc at {:.2} Mcyc ({:.0}% into the run)", t / 1e6, 100.0 * t / run_end).unwrap();
-            writeln!(
+            // Onset can postdate the verdict only in degenerate replays;
+            // report a zero latency rather than dying mid-report.
+            let latency = rep.metrics.detection_latency_from(onset).unwrap_or(0.0);
+            let _ = writeln!(lines, "verdict: rmc at {:.2} Mcyc ({:.0}% into the run)", t / 1e6, 100.0 * t / run_end);
+            let _ = writeln!(
                 lines,
                 "detection latency: {:.2} Mcyc after first remote traffic at {:.2} Mcyc",
                 latency / 1e6,
                 onset / 1e6
-            )
-            .unwrap();
+            );
         }
-        None => writeln!(lines, "verdict: good for the whole run (no rmc window streak)").unwrap(),
+        None => {
+            let _ = writeln!(lines, "verdict: good for the whole run (no rmc window streak)");
+        }
     }
     for e in &rep.events {
-        writeln!(
+        let _ = writeln!(
             lines,
             "  event: {} on {}->{} (window {}, {:.2} Mcyc)",
             e.mode.name(),
@@ -120,34 +129,32 @@ fn report(
             e.channel.dst.0,
             e.window_index,
             e.at_cycles / 1e6
-        )
-        .unwrap();
+        );
     }
-    writeln!(
+    let _ = writeln!(
         lines,
         "memory ceiling: stream {:.1} KiB (ring peak {} samples + {} B detector state)",
         stream_bytes as f64 / 1024.0,
         rep.peak_retained_samples(),
         rep.detector_bytes
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         lines,
         "                batch  {:.1} KiB (full log, {} samples) — {:.1}x the stream ceiling",
         batch_bytes as f64 / 1024.0,
         rep.batch_log_samples,
         batch_bytes as f64 / stream_bytes as f64
-    )
-    .unwrap();
+    );
     print!("{lines}");
     out.push_str(&lines);
     out.push('\n');
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mcfg = MachineConfig::scaled();
     eprintln!("training (or loading) the DR-BW model...");
     let tool = train_tool(&mcfg);
+    let cache = open_run_cache();
     let mut out = String::new();
     out.push_str("=== Streaming replay: online detection vs the batch pipeline ===\n\n");
     println!("=== Streaming replay: online detection vs the batch pipeline ===\n");
@@ -163,17 +170,18 @@ fn main() {
         // ~12 tumbling windows per run keeps per-window traffic above the
         // classifier's minimum-sample guard while leaving the hysteresis
         // room to raise mid-run.
-        let probe = run(&sumv, &mcfg, &rcfg, None);
+        let probe = memo_run(cache.as_deref(), &sumv, &mcfg, &rcfg, None);
         let window = WindowConfig::tumbling((probe.cycles() / 10.0).max(1.0));
         let cfg = StreamConfig { record_windows: true, ..StreamConfig::new(mcfg.topology.num_nodes(), window) };
         let mut detector = StreamingDetector::new(tool.classifier().clone(), cfg);
-        report(&mut out, label, &sumv, &rcfg, &mcfg, &mut detector);
+        report(&mut out, label, &sumv, &rcfg, &mcfg, &mut detector, cache.as_deref());
         let expect_rmc = label.contains("contended");
         let detected = detector.metrics().first_rmc_verdict_cycles.is_some();
         assert_eq!(detected, expect_rmc, "unexpected verdict for {label}");
     }
 
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/stream_replay.txt", &out).expect("write results/stream_replay.txt");
+    write_text("results/stream_replay.txt", &out)?;
     eprintln!("wrote results/stream_replay.txt");
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

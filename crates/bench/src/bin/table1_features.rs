@@ -7,16 +7,19 @@
 //! `MEM_LOAD_UOPS_LLC_MISS_RETIRED.REMOTE_DRAM`-style count (our
 //! `raw_remote_dram_count` candidate) is *not* discriminative.
 
+use drbw_bench::util::{open_run_cache, report_run_cache, BenchError};
 use drbw_core::channels::ChannelBatches;
 use drbw_core::features::{candidate_features, candidate_names, FeatureCtx, NUM_SELECTED};
 use drbw_core::training::{training_specs, MicroProgram, TrainingSpec};
 use drbw_core::Mode;
 use mldt::stats::cohens_d;
 use numasim::config::MachineConfig;
+use pebs::sampler::SamplerConfig;
+use runcache::RunCache;
 
 /// Candidate feature values of one run's hottest channel.
-fn run_candidates(mcfg: &MachineConfig, spec: &TrainingSpec) -> Vec<f64> {
-    let p = drbw_core::profile(spec.program.workload(), mcfg, &spec.rcfg);
+fn run_candidates(mcfg: &MachineConfig, spec: &TrainingSpec, cache: Option<&RunCache>) -> Vec<f64> {
+    let p = drbw_core::profile_memo(spec.program.workload(), mcfg, &spec.rcfg, SamplerConfig::default(), cache);
     let batches = ChannelBatches::split(&p.samples, mcfg.topology.num_nodes());
     let ctx = FeatureCtx { duration_cycles: p.duration_cycles() };
     let hottest =
@@ -24,10 +27,11 @@ fn run_candidates(mcfg: &MachineConfig, spec: &TrainingSpec) -> Vec<f64> {
     candidate_features(hottest, &ctx)
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mcfg = MachineConfig::scaled();
     let names = candidate_names();
     let specs = training_specs();
+    let cache = open_run_cache();
 
     eprintln!("profiling {} mini-program runs for feature selection...", specs.len());
     // Collect per (program, mode, feature) samples.
@@ -39,7 +43,7 @@ fn main() {
         MicroProgram::Bandit => 3,
     };
     for spec in &specs {
-        let feats = run_candidates(&mcfg, spec);
+        let feats = run_candidates(&mcfg, spec, cache.as_deref());
         let slot = prog_index(spec.program) * 2 + spec.label.class_index();
         for (f, v) in feats.iter().enumerate() {
             values[slot][f].push(*v);
@@ -87,7 +91,10 @@ fn main() {
         let marker = if selected.contains(&i) { "(selected by the vote too)" } else { "(kept per Table I)" };
         println!("{:>2}  {:<28} {}", i + 1, name, marker);
     }
-    let raw_idx = names.iter().position(|n| n == "raw_remote_dram_count").unwrap();
+    let raw_idx = names
+        .iter()
+        .position(|n| *n == "raw_remote_dram_count")
+        .ok_or_else(|| BenchError::new("candidate list lost `raw_remote_dram_count`; feature table out of sync"))?;
     println!(
         "\nnote: `raw_remote_dram_count` {} the vote — the paper's finding that the raw\n\
          LLC_MISS_RETIRED.REMOTE_DRAM count is not discriminative ({:?} kernel effect sizes).",
@@ -99,4 +106,6 @@ fn main() {
 
     // Mark Mode as used in both branches for clippy friendliness.
     let _ = Mode::Good;
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

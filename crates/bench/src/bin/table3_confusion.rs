@@ -2,6 +2,7 @@
 //! (confusion matrix on the training data), Figure 3 (the learned decision
 //! tree), and the stratified 10-fold cross-validation accuracy.
 
+use drbw_bench::util::{open_run_cache, report_run_cache};
 use drbw_core::classifier::ContentionClassifier;
 use drbw_core::training;
 use mldt::crossval::stratified_kfold;
@@ -24,9 +25,11 @@ fn main() {
     println!("{:<24} {:>6} {:>6} {:>6}", "Full training data set", good_total, specs.len() - good_total, specs.len());
 
     eprintln!("collecting training data ({} profiled runs)...", specs.len());
+    let cache = open_run_cache();
     let t0 = std::time::Instant::now();
-    let data = training::collect_training_set(&mcfg, &specs);
+    let data = training::collect_training_set_cached(&mcfg, &specs, cache.as_deref());
     eprintln!("collected in {:.1}s", t0.elapsed().as_secs_f64());
+    report_run_cache(cache.as_deref());
 
     let cfg = TrainConfig::default();
     let clf = ContentionClassifier::train(&data, cfg);

@@ -11,14 +11,16 @@
 //! memory timing favourably); our simulated timing is deterministic, so
 //! overheads here are all small and positive.
 
+use drbw_bench::util::{memo_run, open_run_cache, report_run_cache, workload, BenchError};
 use numasim::config::MachineConfig;
 use pebs::sampler::SamplerConfig;
 use workloads::config::{Input, RunConfig};
-use workloads::runner::run;
-use workloads::suite::by_name;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mcfg = MachineConfig::scaled();
+    // The run cache is safe here: Table VII reports *simulated* cycles,
+    // which are deterministic, not host wall-clock.
+    let cache = open_run_cache();
     let cases = [
         ("IRSmk", 64, 4, Input::Large),
         ("AMG2006", 64, 4, Input::Medium),
@@ -31,14 +33,16 @@ fn main() {
     println!("{:<15} {:>16} {:>16} {:>9}", "code", "w/o prof (Mcyc)", "with prof (Mcyc)", "overhead");
     let mut sum = 0.0;
     for (name, t, n, input) in cases {
-        let w = by_name(name).unwrap();
+        let w = workload(name)?;
         let rcfg = RunConfig::new(t, n, input);
-        let base = run(w, &mcfg, &rcfg, None).cycles();
-        let prof = run(w, &mcfg, &rcfg, Some(SamplerConfig::default())).cycles();
+        let base = memo_run(cache.as_deref(), w, &mcfg, &rcfg, None).cycles();
+        let prof = memo_run(cache.as_deref(), w, &mcfg, &rcfg, Some(SamplerConfig::default())).cycles();
         let overhead = (prof - base) / base * 100.0;
         sum += overhead;
         println!("{:<15} {:>16.2} {:>16.2} {:>+8.1}%", name, base / 1e6, prof / 1e6, overhead);
     }
     println!("{:<15} {:>16} {:>16} {:>+8.1}%", "Average", "-", "-", sum / cases.len() as f64);
     println!("\n(paper: +0.9% to +10.0%, average +3.3%, with Streamcluster at -9.2%)");
+    report_run_cache(cache.as_deref());
+    Ok(())
 }

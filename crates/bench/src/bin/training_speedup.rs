@@ -6,15 +6,18 @@
 //! cargo run --release -p drbw-bench --bin training_speedup [threads]
 //! ```
 
+use drbw_bench::util::BenchError;
 use drbw_core::training;
 use numasim::config::MachineConfig;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let threads: usize =
         std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or_else(rayon::current_num_threads);
     let mcfg = MachineConfig::scaled();
     let specs = training::training_specs();
+    // Deliberately uncached: this binary measures real simulation
+    // wall-clock, which the run cache would turn into disk reads.
     eprintln!("grid: {} runs, {threads} worker threads", specs.len());
 
     let t0 = Instant::now();
@@ -22,7 +25,10 @@ fn main() {
     let serial_s = t0.elapsed().as_secs_f64();
     eprintln!("serial:   {serial_s:>7.2}s");
 
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| BenchError::new(format!("cannot build a {threads}-thread rayon pool: {e}")))?;
     let t0 = Instant::now();
     let parallel = pool.install(|| training::collect_training_set(&mcfg, &specs));
     let parallel_s = t0.elapsed().as_secs_f64();
@@ -35,4 +41,5 @@ fn main() {
     }
     println!("datasets bit-identical: yes ({} instances)", serial.len());
     println!("speedup: {:.2}x on {threads} threads", serial_s / parallel_s);
+    Ok(())
 }

@@ -9,3 +9,4 @@
 
 pub mod sweep;
 pub mod tables;
+pub mod util;

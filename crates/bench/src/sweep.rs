@@ -9,7 +9,6 @@ use std::io::Write as _;
 use std::path::Path;
 use workloads::config::{cases_for, RunConfig, Variant};
 use workloads::ground_truth::GT_SPEEDUP_THRESHOLD;
-use workloads::runner::run;
 use workloads::spec::Workload;
 
 /// Everything measured for one case of the sweep.
@@ -84,9 +83,18 @@ pub const MODEL_CACHE_PATH: &str = "results/drbw.model";
 /// Build the DR-BW tool the sweep runs on: load the cached model from
 /// [`MODEL_CACHE_PATH`] when present, otherwise train the full Table II
 /// grid in parallel and cache it. A malformed cache falls back to an
-/// uncached retrain with a warning.
+/// uncached retrain with a warning. The run cache selected by the
+/// environment (see [`crate::util::run_cache_dir`]) memoizes the training
+/// simulations and every run [`evaluate_benchmark`] performs.
 pub fn train_tool(mcfg: &MachineConfig) -> DrBw {
-    match DrBw::builder().machine(mcfg.clone()).model_cache(MODEL_CACHE_PATH).build() {
+    let builder = || {
+        let b = DrBw::builder().machine(mcfg.clone()).model_cache(MODEL_CACHE_PATH);
+        match crate::util::run_cache_dir() {
+            Some(dir) => b.run_cache(dir),
+            None => b,
+        }
+    };
+    match builder().build() {
         Ok(tool) => tool,
         Err(e) => {
             eprintln!("warning: model cache unusable ({e}); retraining without it");
@@ -116,12 +124,15 @@ pub fn evaluate_benchmark(tool: &DrBw, w: &dyn Workload) -> Vec<CaseRecord> {
     let cases: Vec<Case<'_>> = rcfgs.iter().map(|rcfg| Case::new(w, rcfg)).collect();
     let analyses = tool.analyze_batch(&cases);
     // Ground truth compares *unprofiled* executions (profiling perturbs
-    // the baseline by its per-sample cost).
+    // the baseline by its per-sample cost). Unprofiled runs memoize under
+    // their own cache keys (sampling tagged absent), so warm sweeps skip
+    // both halves.
+    let cache = tool.run_cache().map(|c| c.as_ref());
     let speedups: Vec<f64> = rcfgs
         .par_iter()
         .map(|rcfg| {
-            let base = run(w, mcfg, rcfg, None);
-            let inter = run(w, mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+            let base = crate::util::memo_run(cache, w, mcfg, rcfg, None);
+            let inter = crate::util::memo_run(cache, w, mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
             base.cycles() / inter.cycles()
         })
         .collect();
@@ -161,6 +172,7 @@ pub fn run_sweep(mcfg: &MachineConfig) -> Vec<CaseRecord> {
         );
         out.extend(records);
     }
+    crate::util::report_run_cache(tool.run_cache().map(|c| c.as_ref()));
     out
 }
 

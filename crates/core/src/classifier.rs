@@ -218,7 +218,7 @@ impl ContentionClassifier {
 /// Build an empty 13-feature `good`/`rmc` dataset (helper shared by
 /// training and the benchmark sweep).
 pub fn empty_feature_dataset() -> Dataset {
-    Dataset::binary(selected_names())
+    Dataset::binary(selected_names().iter().map(|s| s.to_string()).collect())
 }
 
 #[cfg(test)]

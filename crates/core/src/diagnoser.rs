@@ -23,11 +23,13 @@ use std::collections::HashMap;
 /// data, which DR-BW does not trace).
 pub const UNTRACKED: &str = "(untracked)";
 
-/// One object's (or site's) contribution to contention.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ObjectCf {
+/// One object's (or site's) contribution to contention. Borrows its
+/// label from the profile's allocation tracker (or [`UNTRACKED`]) — CF
+/// ranking allocates no strings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectCf<'a> {
     /// Object label (allocation-site label, or [`UNTRACKED`]).
-    pub label: String,
+    pub label: &'a str,
     /// Source line of the allocation site (0 for untracked).
     pub line: u32,
     /// Samples attributed on the channel(s) considered.
@@ -38,25 +40,26 @@ pub struct ObjectCf {
 
 /// CF ranking for one contended channel.
 #[derive(Debug, Clone)]
-pub struct ChannelDiagnosis {
+pub struct ChannelDiagnosis<'a> {
     /// The channel.
     pub channel: ChannelId,
     /// Objects ranked by CF, descending.
-    pub objects: Vec<ObjectCf>,
+    pub objects: Vec<ObjectCf<'a>>,
 }
 
-/// Full diagnosis of a case.
+/// Full diagnosis of a case, borrowing object labels from the profile it
+/// was computed over.
 #[derive(Debug, Clone, Default)]
-pub struct Diagnosis {
+pub struct Diagnosis<'a> {
     /// Per contended channel, ranked objects.
-    pub per_channel: Vec<ChannelDiagnosis>,
+    pub per_channel: Vec<ChannelDiagnosis<'a>>,
     /// Cross-channel CF ranking (§VI.A-b), descending.
-    pub overall: Vec<ObjectCf>,
+    pub overall: Vec<ObjectCf<'a>>,
 }
 
-impl Diagnosis {
+impl<'a> Diagnosis<'a> {
     /// The top root cause, if any samples were attributed.
-    pub fn top_object(&self) -> Option<&ObjectCf> {
+    pub fn top_object(&self) -> Option<&ObjectCf<'a>> {
         self.overall.first()
     }
 
@@ -68,7 +71,7 @@ impl Diagnosis {
 
 /// Turn site-keyed counts into a ranked CF list. Labels are resolved here,
 /// once per distinct site, rather than cloned per attributed sample.
-fn rank(counts: HashMap<Option<SiteId>, u64>, tracker: &AllocationTracker) -> Vec<ObjectCf> {
+fn rank(counts: HashMap<Option<SiteId>, u64>, tracker: &AllocationTracker) -> Vec<ObjectCf<'_>> {
     let total: u64 = counts.values().sum();
     let mut out: Vec<ObjectCf> = counts
         .into_iter()
@@ -76,15 +79,15 @@ fn rank(counts: HashMap<Option<SiteId>, u64>, tracker: &AllocationTracker) -> Ve
             let (label, line) = match site {
                 Some(s) => {
                     let info = tracker.site(s);
-                    (info.label.clone(), info.line)
+                    (info.label.as_str(), info.line)
                 }
-                None => (UNTRACKED.to_string(), 0),
+                None => (UNTRACKED, 0),
             };
             ObjectCf { label, line, samples, cf: if total == 0 { 0.0 } else { samples as f64 / total as f64 } }
         })
         .collect();
     // Descending CF; deterministic tie-break by label.
-    out.sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.label.cmp(&b.label)));
+    out.sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.label.cmp(b.label)));
     out
 }
 
@@ -100,7 +103,7 @@ fn rank(counts: HashMap<Option<SiteId>, u64>, tracker: &AllocationTracker) -> Ve
 /// entries in `contended` each count it) and tallied under its
 /// [`SiteId`]; labels are materialised only for the handful of ranked
 /// sites, not per sample.
-pub fn diagnose(profile: &Profile, contended: &[ChannelId]) -> Diagnosis {
+pub fn diagnose<'a>(profile: &'a Profile, contended: &[ChannelId]) -> Diagnosis<'a> {
     if contended.is_empty() {
         return Diagnosis::default();
     }

@@ -80,8 +80,10 @@ fn per_mille(count: usize, total: usize) -> f64 {
     }
 }
 
-/// Names of the 13 selected features, Table I order.
-pub fn selected_names() -> Vec<String> {
+/// Names of the 13 selected features, Table I order. `'static` — callers
+/// that need owned strings (dataset construction) convert at the edge;
+/// hot paths (benchmark headers, per-window reporting) borrow.
+pub fn selected_names() -> [&'static str; NUM_SELECTED] {
     [
         "ratio_latency_gt_1000",
         "ratio_latency_gt_500",
@@ -97,9 +99,6 @@ pub fn selected_names() -> Vec<String> {
         "num_lfb_samples",
         "avg_lfb_latency",
     ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect()
 }
 
 fn avg(sum: f64, n: usize) -> f64 {
@@ -315,22 +314,18 @@ pub fn selected_features(batch: &[MemSample], ctx: &FeatureCtx) -> [f64; NUM_SEL
 /// fraction, remote fraction, CPU spread, and the raw
 /// `MEM_LOAD_UOPS_LLC_MISS_RETIRED.REMOTE_DRAM`-style unnormalised remote
 /// count the paper calls out as *not* discriminative).
-pub fn candidate_names() -> Vec<String> {
-    let mut names = selected_names();
-    names.extend(
-        [
-            "num_l1_hit_samples",
-            "num_l2_hit_samples",
-            "num_l3_hit_samples",
-            "num_l3_miss_samples",
-            "write_sample_fraction",
-            "remote_fraction_of_dram",
-            "num_distinct_cpus",
-            "raw_remote_dram_count",
-        ]
-        .iter()
-        .map(|s| s.to_string()),
-    );
+pub fn candidate_names() -> Vec<&'static str> {
+    let mut names = selected_names().to_vec();
+    names.extend([
+        "num_l1_hit_samples",
+        "num_l2_hit_samples",
+        "num_l3_hit_samples",
+        "num_l3_miss_samples",
+        "write_sample_fraction",
+        "remote_fraction_of_dram",
+        "num_distinct_cpus",
+        "raw_remote_dram_count",
+    ]);
     names
 }
 

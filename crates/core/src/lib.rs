@@ -52,7 +52,7 @@ pub mod training;
 pub use classifier::{CaseResult, ContentionClassifier, Mode};
 pub use diagnoser::{diagnose, Diagnosis};
 pub use error::DrbwError;
-pub use profiler::{profile, profile_with, Profile};
+pub use profiler::{profile, profile_memo, profile_with, Profile};
 
 use mldt::tree::TrainConfig;
 use numasim::config::MachineConfig;
@@ -72,6 +72,7 @@ pub struct DrBw {
     machine: MachineConfig,
     sampler: SamplerConfig,
     pool: Option<rayon::ThreadPool>,
+    run_cache: Option<std::sync::Arc<runcache::RunCache>>,
 }
 
 /// Result of analysing one case end to end.
@@ -80,8 +81,16 @@ pub struct Analysis {
     pub profile: Profile,
     /// Per-channel detection and the case verdict.
     pub detection: CaseResult,
-    /// Root-cause diagnosis (empty if no channel is contended).
-    pub diagnosis: Diagnosis,
+}
+
+impl Analysis {
+    /// Root-cause diagnosis for the contended channels (empty when none
+    /// is). Computed on demand — batch sweeps that only read detections
+    /// never pay for the ranking — and the result borrows object labels
+    /// from this profile's allocation tracker instead of cloning them.
+    pub fn diagnosis(&self) -> Diagnosis<'_> {
+        diagnose(&self.profile, &self.detection.contended_channels)
+    }
 }
 
 /// One unit of batch work: a workload plus the run shape to profile it
@@ -144,6 +153,7 @@ pub struct DrBwBuilder {
     sampler: SamplerConfig,
     threads: Option<usize>,
     model_cache: Option<std::path::PathBuf>,
+    run_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for DrBwBuilder {
@@ -155,6 +165,7 @@ impl Default for DrBwBuilder {
             sampler: SamplerConfig::default(),
             threads: None,
             model_cache: None,
+            run_cache: None,
         }
     }
 }
@@ -213,6 +224,17 @@ impl DrBwBuilder {
         self
     }
 
+    /// Memoize simulated runs in a content-addressed on-disk cache rooted
+    /// at `dir` (created if needed). Training-grid runs and every
+    /// [`DrBw::analyze`] / [`DrBw::analyze_batch`] profile are then served
+    /// from disk when a verified entry exists — bit-identical to
+    /// re-simulating (see [`runcache`]) — and stored when not. Off by
+    /// default so timing experiments measure real simulation.
+    pub fn run_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.run_cache = Some(dir.into());
+        self
+    }
+
     /// Produce the configured tool: load the cached model when one exists,
     /// else run the training grid (in parallel) and cache the result.
     ///
@@ -233,21 +255,25 @@ impl DrBwBuilder {
             ),
             None => None,
         };
+        let run_cache = match &self.run_cache {
+            Some(dir) => Some(std::sync::Arc::new(runcache::RunCache::open(dir)?)),
+            None => None,
+        };
         if let Some(path) = &self.model_cache {
             if path.exists() {
                 let text = std::fs::read_to_string(path)?;
                 let classifier = ContentionClassifier::from_model_string(&text)?;
-                return Ok(DrBw { classifier, machine: self.machine, sampler: self.sampler, pool });
+                return Ok(DrBw { classifier, machine: self.machine, sampler: self.sampler, pool, run_cache });
             }
         }
         let specs = self.training_set.specs();
-        let collect = || training::collect_training_set(&self.machine, &specs);
+        let collect = || training::collect_training_set_cached(&self.machine, &specs, run_cache.as_deref());
         let data = match &pool {
             Some(p) => p.install(collect),
             None => collect(),
         };
         let classifier = ContentionClassifier::try_train(&data, self.train_cfg)?;
-        let tool = DrBw { classifier, machine: self.machine, sampler: self.sampler, pool };
+        let tool = DrBw { classifier, machine: self.machine, sampler: self.sampler, pool, run_cache };
         if let Some(path) = &self.model_cache {
             tool.save(path)?;
         }
@@ -264,7 +290,13 @@ impl DrBw {
     /// Wrap an already-trained classifier, with the default machine and
     /// sampler configuration.
     pub fn new(classifier: ContentionClassifier) -> Self {
-        Self { classifier, machine: MachineConfig::scaled(), sampler: SamplerConfig::default(), pool: None }
+        Self {
+            classifier,
+            machine: MachineConfig::scaled(),
+            sampler: SamplerConfig::default(),
+            pool: None,
+            run_cache: None,
+        }
     }
 
     /// Train DR-BW on the full §V mini-program training set (192 runs,
@@ -323,13 +355,26 @@ impl DrBw {
         &self.sampler
     }
 
-    /// Profile one case and run detection + diagnosis on it, under this
-    /// tool's machine and sampler configuration.
+    /// The content-addressed run cache, when one was configured with
+    /// [`DrBwBuilder::run_cache`] or [`DrBw::attach_run_cache`].
+    pub fn run_cache(&self) -> Option<&std::sync::Arc<runcache::RunCache>> {
+        self.run_cache.as_ref()
+    }
+
+    /// Attach (or share) a run cache after construction. Useful to give
+    /// several tools — or a tool plus direct [`runcache::run_memo`]
+    /// callers — one cache with combined hit/miss accounting.
+    pub fn attach_run_cache(&mut self, cache: std::sync::Arc<runcache::RunCache>) {
+        self.run_cache = Some(cache);
+    }
+
+    /// Profile one case and run detection on it, under this tool's machine
+    /// and sampler configuration (diagnosis is computed lazily by
+    /// [`Analysis::diagnosis`]).
     pub fn analyze(&self, workload: &dyn Workload, rcfg: &RunConfig) -> Analysis {
-        let profile = profile_with(workload, &self.machine, rcfg, self.sampler);
+        let profile = profiler::profile_memo(workload, &self.machine, rcfg, self.sampler, self.run_cache.as_deref());
         let detection = self.classifier.classify_case(&profile, self.machine.topology.num_nodes());
-        let diagnosis = diagnose(&profile, &detection.contended_channels);
-        Analysis { profile, detection, diagnosis }
+        Analysis { profile, detection }
     }
 
     /// Analyze a batch of cases in parallel, respecting the builder's

@@ -50,7 +50,24 @@ pub fn profile(workload: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConfig) 
 /// Profile with an explicit sampler configuration (the sampling-period
 /// ablation uses this).
 pub fn profile_with(workload: &dyn Workload, mcfg: &MachineConfig, rcfg: &RunConfig, scfg: SamplerConfig) -> Profile {
-    let out = runner::run(workload, mcfg, rcfg, Some(scfg));
+    profile_memo(workload, mcfg, rcfg, scfg, None)
+}
+
+/// [`profile_with`] through an optional content-addressed run cache: with
+/// `Some(cache)` a previously simulated run is served from disk
+/// (bit-identical to re-simulating — see [`runcache::run_memo`]); with
+/// `None` this is plain [`profile_with`].
+pub fn profile_memo(
+    workload: &dyn Workload,
+    mcfg: &MachineConfig,
+    rcfg: &RunConfig,
+    scfg: SamplerConfig,
+    cache: Option<&runcache::RunCache>,
+) -> Profile {
+    let out = match cache {
+        Some(cache) => runcache::run_memo(cache, workload, mcfg, rcfg, Some(scfg)),
+        None => runner::run(workload, mcfg, rcfg, Some(scfg)),
+    };
     Profile {
         samples: out.samples,
         tracker: out.tracker,

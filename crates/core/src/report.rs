@@ -76,7 +76,7 @@ mod tests {
         let det = CaseResult { channel_modes: vec![(ch, Mode::Rmc)], contended_channels: vec![ch] };
         let diag = Diagnosis {
             per_channel: vec![],
-            overall: vec![crate::diagnoser::ObjectCf { label: "block".into(), line: 42, samples: 90, cf: 0.9 }],
+            overall: vec![crate::diagnoser::ObjectCf { label: "block", line: 42, samples: 90, cf: 0.9 }],
         };
         let r = render("streamcluster", &empty_profile(), &det, &diag);
         assert!(r.contains("verdict: rmc"));

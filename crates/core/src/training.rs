@@ -158,12 +158,27 @@ pub fn case_features(profile: &Profile, nodes: usize) -> [f64; NUM_SELECTED] {
 /// result is always the features of `specs[i]` regardless of thread count
 /// or scheduling.
 pub fn collect_training_set(mcfg: &MachineConfig, specs: &[TrainingSpec]) -> Dataset {
+    collect_training_set_cached(mcfg, specs, None)
+}
+
+/// [`collect_training_set`] through an optional content-addressed run
+/// cache: repeated training-set generation (model retrains, ablations,
+/// cross-validation over the same grid) then re-reads the simulations
+/// instead of re-running them. Features are recomputed from the cached
+/// sample logs, which are bit-identical to fresh ones, so the dataset is
+/// too.
+pub fn collect_training_set_cached(
+    mcfg: &MachineConfig,
+    specs: &[TrainingSpec],
+    cache: Option<&runcache::RunCache>,
+) -> Dataset {
     use rayon::prelude::*;
     let nodes = mcfg.topology.num_nodes();
+    let scfg = pebs::sampler::SamplerConfig::default();
     let rows: Vec<(Vec<f64>, usize)> = specs
         .par_iter()
         .map(|spec| {
-            let p = profile(spec.program.workload(), mcfg, &spec.rcfg);
+            let p = crate::profiler::profile_memo(spec.program.workload(), mcfg, &spec.rcfg, scfg, cache);
             (case_features(&p, nodes).to_vec(), spec.label.class_index())
         })
         .collect();

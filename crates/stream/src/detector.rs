@@ -360,7 +360,7 @@ mod tests {
     /// A classifier whose tree splits on the remote count/latency
     /// features, like the paper's (synthetic training rows).
     fn classifier() -> ContentionClassifier {
-        let mut d = Dataset::binary(drbw_core::features::selected_names());
+        let mut d = Dataset::binary(drbw_core::features::selected_names().iter().map(|s| s.to_string()).collect());
         for i in 0..30 {
             let mut good = [0.0; NUM_SELECTED];
             good[REMOTE_COUNT] = 2.0 + (i % 5) as f64;

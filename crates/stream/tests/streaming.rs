@@ -26,7 +26,7 @@ use workloads::runner::run;
 /// A tiny two-feature classifier (remote share / remote latency), enough
 /// for the detector to run its real prediction path in property tests.
 fn synthetic_classifier() -> ContentionClassifier {
-    let mut d = Dataset::binary(drbw_core::features::selected_names());
+    let mut d = Dataset::binary(drbw_core::features::selected_names().iter().map(|s| s.to_string()).collect());
     for i in 0..20 {
         let mut good = [0.0; NUM_SELECTED];
         good[REMOTE_COUNT] = 10.0 + i as f64;

@@ -39,7 +39,8 @@ fn main() {
         .expect("the quick training grid always trains");
 
     println!("profiling {} at {} ({})...", workload.name(), rcfg.shape_label(), input.name());
-    let Analysis { detection, diagnosis, .. } = tool.analyze(workload, &rcfg);
+    let analysis = tool.analyze(workload, &rcfg);
+    let detection = &analysis.detection;
 
     println!("\nper-channel verdicts:");
     for (ch, mode) in &detection.channel_modes {
@@ -51,7 +52,7 @@ fn main() {
     }
 
     println!("\nroot causes (cross-channel Contribution Fraction):");
-    for o in diagnosis.overall.iter().take(8) {
+    for o in analysis.diagnosis().overall.iter().take(8) {
         println!("  {:<22} line {:>5}  CF {:>6.2}%", o.label, o.line, o.cf * 100.0);
     }
 

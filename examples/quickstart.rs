@@ -24,7 +24,10 @@ fn main() {
     let rcfg = RunConfig::new(32, 4, Input::Native);
     println!("profiling {} at {} (native input)...", workload.name(), rcfg.shape_label());
     let analysis = tool.analyze(workload, &rcfg);
-    println!("{}", report::render("streamcluster-native", &analysis.profile, &analysis.detection, &analysis.diagnosis));
+    println!(
+        "{}",
+        report::render("streamcluster-native", &analysis.profile, &analysis.detection, &analysis.diagnosis())
+    );
 
     // Batch mode: every shape of the scaling study, analyzed in parallel.
     let shapes: Vec<RunConfig> =

@@ -15,7 +15,10 @@
 //!   optimizations;
 //! * [`stream`] — the online counterpart of the batch pipeline: windowed
 //!   streaming ingestion, incremental feature extraction, live contention
-//!   verdicts with hysteresis, and top-K Contribution-Fraction sketches.
+//!   verdicts with hysteresis, and top-K Contribution-Fraction sketches;
+//! * [`runcache`] — content-addressed on-disk memoization of simulated
+//!   runs (columnar sample-log codec, hash-verified reads), so repeated
+//!   grids and regeneration loops read results instead of re-simulating.
 //!
 //! ## Quickstart
 //!
@@ -32,7 +35,7 @@
 //! let workload = drbw::workloads::suite::by_name("Streamcluster").unwrap();
 //! let analysis = tool.analyze(workload, &RunConfig::new(32, 4, Input::Native));
 //! println!("{}", drbw::core::report::render("streamcluster", &analysis.profile,
-//!     &analysis.detection, &analysis.diagnosis));
+//!     &analysis.detection, &analysis.diagnosis()));
 //! // Or sweep many cases at once on all cores:
 //! let shapes = [RunConfig::new(16, 2, Input::Large), RunConfig::new(64, 4, Input::Native)];
 //! let cases: Vec<Case> = shapes.iter().map(|r| Case::new(workload, r)).collect();
@@ -49,6 +52,7 @@ pub use drbw_stream as stream;
 pub use mldt;
 pub use numasim;
 pub use pebs;
+pub use runcache;
 pub use workloads;
 
 pub mod prelude {

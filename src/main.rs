@@ -103,7 +103,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let rcfg = RunConfig::new(threads, nodes, input);
     eprintln!("profiling {name} at {} ({})...", rcfg.shape_label(), input.name());
     let a = tool.analyze(workload, &rcfg);
-    print!("{}", report::render(&format!("{name} {}", rcfg.shape_label()), &a.profile, &a.detection, &a.diagnosis));
+    print!("{}", report::render(&format!("{name} {}", rcfg.shape_label()), &a.profile, &a.detection, &a.diagnosis()));
     ExitCode::SUCCESS
 }
 

@@ -101,8 +101,8 @@ fn drbw_facade_full_pipeline() {
     let w = by_name("AMG2006").unwrap();
     let analysis = tool.analyze(w, &RunConfig::new(32, 4, Input::Medium));
     assert_eq!(analysis.detection.mode(), Mode::Rmc);
-    assert_eq!(analysis.diagnosis.top_object().unwrap().label, "RAP_diag_j");
-    let rendered = drbw::core::report::render("amg", &analysis.profile, &analysis.detection, &analysis.diagnosis);
+    assert_eq!(analysis.diagnosis().top_object().unwrap().label, "RAP_diag_j");
+    let rendered = drbw::core::report::render("amg", &analysis.profile, &analysis.detection, &analysis.diagnosis());
     assert!(rendered.contains("RAP_diag_j"));
     assert!(rendered.contains("verdict: rmc"));
 }

@@ -59,7 +59,7 @@ fn analyze_batch_matches_single_analyses_in_order() {
         assert_eq!(got.profile.samples.len(), solo.profile.samples.len());
         assert_eq!(got.detection.mode(), solo.detection.mode());
         assert_eq!(got.detection.contended_channels, solo.detection.contended_channels);
-        assert_eq!(got.diagnosis.overall.len(), solo.diagnosis.overall.len());
+        assert_eq!(got.diagnosis().overall.len(), solo.diagnosis().overall.len());
     }
 }
 
