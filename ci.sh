@@ -43,6 +43,28 @@ fi
 echo "    warm hits: ${warm_hits}, stdout byte-identical"
 rm -rf "$smoke_cache"
 
+echo "==> autotune smoke (closed-loop example, cold->warm on one cache)"
+cargo build --release --example autotune
+tune_cache=$(mktemp -d)
+DRBW_RUNCACHE_DIR="$tune_cache" ./target/release/examples/autotune Streamcluster 32 4 \
+    > "$tune_cache/cold.out" 2>/dev/null
+warm_start=$SECONDS
+DRBW_RUNCACHE_DIR="$tune_cache" ./target/release/examples/autotune Streamcluster 32 4 \
+    > "$tune_cache/warm.out" 2>/dev/null
+warm_secs=$((SECONDS - warm_start))
+# A non-empty TuneReport: candidates evaluated and a verified verdict line.
+grep -q '^autotune: evaluated [1-9][0-9]* candidate' "$tune_cache/warm.out" || {
+    echo "autotune smoke: no candidate evaluations in the report" >&2
+    exit 1
+}
+diff "$tune_cache/cold.out" "$tune_cache/warm.out"
+if [ "$warm_secs" -ge 10 ]; then
+    echo "autotune smoke: warm pass took ${warm_secs}s (budget < 10s)" >&2
+    exit 1
+fi
+echo "    warm pass ${warm_secs}s, $(grep '^autotune:' "$tune_cache/warm.out")"
+rm -rf "$tune_cache"
+
 # Surface the recorded cache-walk ablation so perf regressions in the
 # fused span walk are visible in CI logs (BENCH_engine.json is refreshed
 # by crates/bench/src/bin/bench_engine.rs, not by this script).
@@ -51,6 +73,12 @@ if [ -f BENCH_engine.json ]; then
     fused=$(sed -n 's/.*"fused_s": \([0-9.]*\).*/\1/p' BENCH_engine.json)
     unfused=$(sed -n 's/.*"unfused_s": \([0-9.]*\).*/\1/p' BENCH_engine.json)
     echo "==> recorded walk ablation: fused ${fused:-?}s vs unfused ${unfused:-?}s (walk share ${walk:-?})"
+fi
+
+# Surface the recorded 21-program tuned-speedup summary (BENCH_tune.json
+# is refreshed by crates/bench/src/bin/table_tune.rs, not by this script).
+if [ -f BENCH_tune.json ]; then
+    echo "==> recorded autotune summary: $(grep -o '"summary": {[^}]*}' BENCH_tune.json)"
 fi
 
 echo "==> ci.sh: all green"

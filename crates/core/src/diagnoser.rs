@@ -67,6 +67,74 @@ impl<'a> Diagnosis<'a> {
     pub fn cf_of(&self, label: &str) -> f64 {
         self.overall.iter().find(|o| o.label == label).map_or(0.0, |o| o.cf)
     }
+
+    /// Detach from the profile: clone every ranked label into an
+    /// [`OwnedDiagnosis`]. The guided-optimization loop needs this — a
+    /// placement plan built from the verdict outlives the profile it was
+    /// diagnosed from (strings are cloned once per ranked site here, never
+    /// per sample).
+    pub fn into_owned(self) -> OwnedDiagnosis {
+        let own = |objects: Vec<ObjectCf<'a>>| -> Vec<OwnedObjectCf> {
+            objects
+                .into_iter()
+                .map(|o| OwnedObjectCf { label: o.label.to_string(), line: o.line, samples: o.samples, cf: o.cf })
+                .collect()
+        };
+        OwnedDiagnosis {
+            per_channel: self
+                .per_channel
+                .into_iter()
+                .map(|c| OwnedChannelDiagnosis { channel: c.channel, objects: own(c.objects) })
+                .collect(),
+            overall: own(self.overall),
+        }
+    }
+}
+
+/// [`ObjectCf`] with an owned label: one ranked root-cause object,
+/// detached from the profile's lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedObjectCf {
+    /// Object label (allocation-site label, or [`UNTRACKED`]).
+    pub label: String,
+    /// Source line of the allocation site (0 for untracked).
+    pub line: u32,
+    /// Samples attributed on the channel(s) considered.
+    pub samples: u64,
+    /// Contribution Fraction in `[0, 1]`.
+    pub cf: f64,
+}
+
+/// [`ChannelDiagnosis`] with owned labels.
+#[derive(Debug, Clone)]
+pub struct OwnedChannelDiagnosis {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Objects ranked by CF, descending.
+    pub objects: Vec<OwnedObjectCf>,
+}
+
+/// A [`Diagnosis`] detached from its profile via
+/// [`Diagnosis::into_owned`]: what the tuning loop carries across
+/// re-simulations.
+#[derive(Debug, Clone, Default)]
+pub struct OwnedDiagnosis {
+    /// Per contended channel, ranked objects.
+    pub per_channel: Vec<OwnedChannelDiagnosis>,
+    /// Cross-channel CF ranking, descending.
+    pub overall: Vec<OwnedObjectCf>,
+}
+
+impl OwnedDiagnosis {
+    /// The top root cause, if any samples were attributed.
+    pub fn top_object(&self) -> Option<&OwnedObjectCf> {
+        self.overall.first()
+    }
+
+    /// The overall CF of a labelled object (0 if absent).
+    pub fn cf_of(&self, label: &str) -> f64 {
+        self.overall.iter().find(|o| o.label == label).map_or(0.0, |o| o.cf)
+    }
 }
 
 /// Turn site-keyed counts into a ranked CF list. Labels are resolved here,
@@ -239,6 +307,23 @@ mod tests {
         assert_eq!(d.overall.len(), 1);
         assert_eq!(d.overall[0].samples, 2);
         assert_eq!(d.overall[0].line, 2158);
+    }
+
+    #[test]
+    fn into_owned_preserves_ranking_beyond_the_profile() {
+        let tracker = tracker_with(&[("hot", 10, 0x1000, 0x1000), ("cold", 20, 0x3000, 0x1000)]);
+        let mut samples = Vec::new();
+        for _ in 0..3 {
+            samples.push(sample(1, 0, 0x1500));
+        }
+        samples.push(sample(1, 0, 0x3500));
+        let p = make_profile(samples, tracker);
+        let owned = diagnose(&p, &[ch(1, 0)]).into_owned();
+        drop(p); // the whole point: the verdict outlives the profile
+        assert_eq!(owned.top_object().unwrap().label, "hot");
+        assert!((owned.cf_of("hot") - 0.75).abs() < 1e-12);
+        assert_eq!(owned.per_channel.len(), 1);
+        assert_eq!(owned.per_channel[0].objects[0].samples, 3);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod report;
 pub mod training;
 
 pub use classifier::{CaseResult, ContentionClassifier, Mode};
-pub use diagnoser::{diagnose, Diagnosis};
+pub use diagnoser::{diagnose, Diagnosis, OwnedDiagnosis};
 pub use error::DrbwError;
 pub use profiler::{profile, profile_memo, profile_with, Profile};
 

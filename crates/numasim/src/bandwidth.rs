@@ -231,6 +231,13 @@ impl BandwidthModel {
         self.ch_agg.iter().map(|a| a.rho_sum / r).collect()
     }
 
+    /// Time-averaged utilization of each memory controller — the signal the
+    /// guided-optimization weight search reads to size per-node headroom.
+    pub fn mc_avg_rho(&self) -> Vec<f64> {
+        let r = self.rounds.max(1) as f64;
+        self.mc_agg.iter().map(|a| a.rho_sum / r).collect()
+    }
+
     /// Channels whose peak utilization crossed the configured saturation
     /// threshold. **Reporting/debugging only** — the DR-BW classifier must
     /// detect contention from sample features, as on real hardware where no
@@ -426,5 +433,10 @@ mod tests {
         m.end_round(); // idle round, rho = 0
         let avg = m.channel_avg_rho()[0];
         assert!((avg - 0.5).abs() < 1e-9, "got {avg}");
+        // The loaded controller (node 1) shows the same time average at its
+        // own capacity scale; every other controller stays at zero.
+        let mc = m.mc_avg_rho();
+        assert!((mc[1] - 120_000.0 / (20.0 * 20_000.0) / 2.0).abs() < 1e-9, "got {}", mc[1]);
+        assert_eq!(mc[0], 0.0);
     }
 }

@@ -355,6 +355,7 @@ impl<O: Observer> Engine<O> {
             channel_max_rho: self.bw.channel_max_rho(),
             mc_max_rho: self.bw.mc_max_rho(),
             channel_avg_rho: self.bw.channel_avg_rho(),
+            mc_avg_rho: self.bw.mc_avg_rho(),
             rounds: self.bw.rounds(),
         };
         self.observer.on_phase_end(&stats);

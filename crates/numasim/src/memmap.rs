@@ -26,8 +26,82 @@ use crate::topology::NodeId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u32);
 
+/// Why a placement policy was rejected.
+///
+/// Returned by the validating constructors ([`PlacementPolicy::weighted`])
+/// and by [`MemoryMap::try_set_policy`]. The panicking entry points
+/// ([`MemoryMap::alloc`], [`MemoryMap::set_policy`]) panic with this
+/// error's `Display` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// An interleave (uniform or weighted) names no nodes.
+    EmptyNodes,
+    /// A policy names a node the machine does not have.
+    NonexistentNode(NodeId),
+    /// Weighted interleave got `nodes` and `weights` of different lengths.
+    WeightCountMismatch {
+        /// Number of nodes given.
+        nodes: usize,
+        /// Number of weights given.
+        weights: usize,
+    },
+    /// A weight of zero (use a smaller node list instead).
+    ZeroWeight {
+        /// Position of the offending weight.
+        index: usize,
+    },
+    /// The weight sum exceeds [`PlacementPolicy::MAX_WEIGHT_SUM`] (the
+    /// striping pattern is materialised per object, so its length is
+    /// bounded).
+    WeightSumTooLarge {
+        /// The rejected sum.
+        sum: u64,
+    },
+    /// A segmented policy has no segments.
+    EmptySegments,
+    /// Segment end offsets must strictly increase.
+    SegmentsNotIncreasing,
+    /// The last segment must end exactly at the object size.
+    SegmentsDontCover {
+        /// End offset of the last segment.
+        last_end: u64,
+        /// The object size the segments must reach.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::EmptyNodes => write!(f, "interleave over no nodes"),
+            PlacementError::NonexistentNode(n) => write!(f, "placement on nonexistent {n}"),
+            PlacementError::WeightCountMismatch { nodes, weights } => {
+                write!(f, "weighted interleave over {nodes} nodes with {weights} weights")
+            }
+            PlacementError::ZeroWeight { index } => write!(f, "zero weight at position {index}"),
+            PlacementError::WeightSumTooLarge { sum } => {
+                write!(f, "weight sum {sum} exceeds the {} pattern bound", PlacementPolicy::MAX_WEIGHT_SUM)
+            }
+            PlacementError::EmptySegments => write!(f, "empty segment list"),
+            PlacementError::SegmentsNotIncreasing => write!(f, "segment ends must strictly increase"),
+            PlacementError::SegmentsDontCover { last_end, size } => {
+                write!(f, "segments must cover the object exactly (end {last_end} of {size} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// Where the pages of an object live.
+///
+/// The enum is `#[non_exhaustive]`: downstream crates should prefer the
+/// accessor methods ([`PlacementPolicy::segments`],
+/// [`PlacementPolicy::bound_node`], [`PlacementPolicy::is_first_touch`],
+/// …) over matching, so new policies do not fan breakage out.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PlacementPolicy {
     /// Page homed on the node of the first accessor (Linux default).
     FirstTouch,
@@ -35,6 +109,20 @@ pub enum PlacementPolicy {
     Bind(NodeId),
     /// Pages round-robined over the given nodes (must be non-empty).
     Interleave(Vec<NodeId>),
+    /// Pages striped over `nodes` in proportion to `weights` — BWAP's
+    /// `numactl --weights=1,3 --interleave=0,2`. Within every window of
+    /// `sum(weights)` consecutive pages, node `i` owns exactly
+    /// `weights[i]` of them, spread by smooth weighted round-robin (not
+    /// clustered), and **equal weights degenerate to exactly the uniform
+    /// [`PlacementPolicy::Interleave`] page assignment**. Construct with
+    /// the validating [`PlacementPolicy::weighted`].
+    WeightedInterleave {
+        /// The nodes striped over (must be non-empty, all existing).
+        nodes: Vec<NodeId>,
+        /// Pages per node per striping cycle (same length as `nodes`,
+        /// all non-zero, sum ≤ [`PlacementPolicy::MAX_WEIGHT_SUM`]).
+        weights: Vec<u32>,
+    },
     /// Contiguous segments, each bound to a node. Entries are
     /// `(end_offset_exclusive, node)` with strictly increasing offsets; the
     /// last entry must cover the whole object.
@@ -46,9 +134,51 @@ pub enum PlacementPolicy {
 }
 
 impl PlacementPolicy {
-    /// Interleave over all `n` nodes.
+    /// Upper bound on the sum of weighted-interleave weights: the striping
+    /// pattern is materialised once per object, so its length is capped.
+    pub const MAX_WEIGHT_SUM: u64 = 4096;
+
+    /// Interleave over all `n` nodes. Thin alias for the uniform
+    /// [`PlacementPolicy::Interleave`] over nodes `0..n`.
     pub fn interleave_all(n: usize) -> Self {
         PlacementPolicy::Interleave((0..n as u8).map(NodeId).collect())
+    }
+
+    /// Weighted interleave over `nodes` with one weight per node.
+    ///
+    /// # Errors
+    /// [`PlacementError::EmptyNodes`] for an empty node list,
+    /// [`PlacementError::WeightCountMismatch`] when the lengths differ,
+    /// [`PlacementError::ZeroWeight`] for any zero weight, and
+    /// [`PlacementError::WeightSumTooLarge`] when the weights sum past
+    /// [`PlacementPolicy::MAX_WEIGHT_SUM`]. Node existence is checked at
+    /// allocation / [`MemoryMap::try_set_policy`] time, like every other
+    /// policy.
+    pub fn weighted(nodes: Vec<NodeId>, weights: Vec<u32>) -> Result<Self, PlacementError> {
+        if nodes.is_empty() {
+            return Err(PlacementError::EmptyNodes);
+        }
+        if nodes.len() != weights.len() {
+            return Err(PlacementError::WeightCountMismatch { nodes: nodes.len(), weights: weights.len() });
+        }
+        if let Some(index) = weights.iter().position(|&w| w == 0) {
+            return Err(PlacementError::ZeroWeight { index });
+        }
+        let sum: u64 = weights.iter().map(|&w| w as u64).sum();
+        if sum > Self::MAX_WEIGHT_SUM {
+            return Err(PlacementError::WeightSumTooLarge { sum });
+        }
+        Ok(PlacementPolicy::WeightedInterleave { nodes, weights })
+    }
+
+    /// Weighted interleave over nodes `0..weights.len()` — the common
+    /// "one weight per node of the machine" form.
+    ///
+    /// # Errors
+    /// As [`PlacementPolicy::weighted`].
+    pub fn weighted_all(weights: Vec<u32>) -> Result<Self, PlacementError> {
+        let nodes = (0..weights.len() as u8).map(NodeId).collect();
+        Self::weighted(nodes, weights)
     }
 
     /// Split `size` bytes into `n` equal segments, segment `i` on node `i` —
@@ -62,6 +192,96 @@ impl PlacementPolicy {
             segs.push((end, NodeId(i as u8)));
         }
         PlacementPolicy::Segmented(segs)
+    }
+
+    /// Whether this is first-touch placement.
+    pub fn is_first_touch(&self) -> bool {
+        matches!(self, PlacementPolicy::FirstTouch)
+    }
+
+    /// Whether this is per-node replication.
+    pub fn is_replicated(&self) -> bool {
+        matches!(self, PlacementPolicy::Replicated)
+    }
+
+    /// The single home node of a [`PlacementPolicy::Bind`], if that is what
+    /// this is.
+    pub fn bound_node(&self) -> Option<NodeId> {
+        match self {
+            PlacementPolicy::Bind(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The node list of a **uniform** interleave, if that is what this is.
+    pub fn interleave_nodes(&self) -> Option<&[NodeId]> {
+        match self {
+            PlacementPolicy::Interleave(nodes) => Some(nodes),
+            _ => None,
+        }
+    }
+
+    /// The `(nodes, weights)` of a weighted interleave, if that is what
+    /// this is.
+    pub fn weighted_nodes(&self) -> Option<(&[NodeId], &[u32])> {
+        match self {
+            PlacementPolicy::WeightedInterleave { nodes, weights } => Some((nodes, weights)),
+            _ => None,
+        }
+    }
+
+    /// The `(end_offset, node)` segments of a segmented placement, if that
+    /// is what this is.
+    pub fn segments(&self) -> Option<&[(u64, NodeId)]> {
+        match self {
+            PlacementPolicy::Segmented(segs) => Some(segs),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable description (for reports and tune traces).
+    pub fn describe(&self) -> String {
+        match self {
+            PlacementPolicy::FirstTouch => "first-touch".into(),
+            PlacementPolicy::Bind(n) => format!("bind({n})"),
+            PlacementPolicy::Interleave(nodes) => format!("interleave({} nodes)", nodes.len()),
+            PlacementPolicy::WeightedInterleave { weights, .. } => {
+                let w: Vec<String> = weights.iter().map(|w| w.to_string()).collect();
+                format!("weighted-interleave({})", w.join(":"))
+            }
+            PlacementPolicy::Segmented(segs) => format!("co-locate({} segments)", segs.len()),
+            PlacementPolicy::Replicated => "replicate".into(),
+        }
+    }
+
+    /// The weighted-interleave striping pattern: `sum(weights)` page slots,
+    /// slot `k` naming the node of pages `p` with `p % len == k`.
+    ///
+    /// Smooth weighted round-robin (the nginx/LVS scheduler): each step
+    /// every node's credit grows by its weight, the highest credit (ties:
+    /// first listed) takes the slot and pays the total back. Node `i` gets
+    /// exactly `weights[i]` slots per cycle, spread out rather than
+    /// clustered — and equal weights reproduce the node list in order,
+    /// which is exactly the uniform interleave assignment.
+    fn weighted_pattern(nodes: &[NodeId], weights: &[u32]) -> Vec<u8> {
+        let total: i64 = weights.iter().map(|&w| w as i64).sum();
+        let mut credit = vec![0i64; nodes.len()];
+        let mut out = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            for (c, &w) in credit.iter_mut().zip(weights) {
+                *c += w as i64;
+            }
+            // First index with the maximum credit.
+            let mut best = 0;
+            for i in 1..credit.len() {
+                if credit[i] > credit[best] {
+                    best = i;
+                }
+            }
+            credit[best] -= total;
+            out.push(nodes[best].0);
+        }
+        out
     }
 }
 
@@ -105,6 +325,10 @@ pub struct ObjectInfo {
     /// First-touch record: home node per page, `u8::MAX` = untouched.
     /// Only populated for [`PlacementPolicy::FirstTouch`].
     first_touch: Vec<u8>,
+    /// Materialised weighted-interleave striping pattern (page slot →
+    /// node), so `home_node` stays O(1). Only populated for
+    /// [`PlacementPolicy::WeightedInterleave`].
+    wil_pattern: Vec<u8>,
 }
 
 impl ObjectInfo {
@@ -169,7 +393,9 @@ impl MemoryMap {
         page_size: u64,
     ) -> ObjectHandle {
         assert!(size > 0, "zero-sized allocation for {label:?}");
-        self.validate_policy(&policy, size);
+        if let Err(e) = self.check_policy(&policy, size) {
+            panic!("invalid placement for {label:?}: {e}");
+        }
         // Align the base so page 0 of the object starts a fresh page, then
         // apply cache-set coloring: successive allocations are offset by a
         // varying number of lines so that same-sized arrays do not land on
@@ -182,48 +408,107 @@ impl MemoryMap {
         let base = self.next_addr.next_multiple_of(page_size) + color;
         self.next_addr = base + size;
         let id = ObjectId(self.objects.len() as u32);
-        let mut info = ObjectInfo { label: label.to_string(), base, size, policy, page_size, first_touch: Vec::new() };
-        if matches!(info.policy, PlacementPolicy::FirstTouch) {
+        let mut info = ObjectInfo {
+            label: label.to_string(),
+            base,
+            size,
+            policy,
+            page_size,
+            first_touch: Vec::new(),
+            wil_pattern: Vec::new(),
+        };
+        if info.policy.is_first_touch() {
             info.first_touch = vec![UNTOUCHED; info.page_count()];
+        }
+        if let Some((nodes, weights)) = info.policy.weighted_nodes() {
+            info.wil_pattern = PlacementPolicy::weighted_pattern(nodes, weights);
         }
         self.objects.push(info);
         self.bases.push(base);
         ObjectHandle { id, base, size }
     }
 
-    fn validate_policy(&self, policy: &PlacementPolicy, size: u64) {
+    /// Validate `policy` against this machine and an object of `size`
+    /// bytes, without applying it anywhere.
+    ///
+    /// # Errors
+    /// Any [`PlacementError`] the policy violates.
+    pub fn check_policy(&self, policy: &PlacementPolicy, size: u64) -> Result<(), PlacementError> {
+        let node_ok = |n: &NodeId| (n.0 as usize) < self.num_nodes;
         match policy {
-            PlacementPolicy::Bind(n) => assert!((n.0 as usize) < self.num_nodes, "bind to nonexistent {n}"),
+            PlacementPolicy::Bind(n) => {
+                if !node_ok(n) {
+                    return Err(PlacementError::NonexistentNode(*n));
+                }
+            }
             PlacementPolicy::Interleave(nodes) => {
-                assert!(!nodes.is_empty(), "interleave over no nodes");
-                assert!(nodes.iter().all(|n| (n.0 as usize) < self.num_nodes), "interleave over nonexistent node");
+                if nodes.is_empty() {
+                    return Err(PlacementError::EmptyNodes);
+                }
+                if let Some(n) = nodes.iter().find(|n| !node_ok(n)) {
+                    return Err(PlacementError::NonexistentNode(*n));
+                }
+            }
+            PlacementPolicy::WeightedInterleave { nodes, weights } => {
+                // Re-run the constructor's structural checks: the variant is
+                // publicly constructible (non_exhaustive does not seal it).
+                PlacementPolicy::weighted(nodes.clone(), weights.clone())?;
+                if let Some(n) = nodes.iter().find(|n| !node_ok(n)) {
+                    return Err(PlacementError::NonexistentNode(*n));
+                }
             }
             PlacementPolicy::Segmented(segs) => {
-                assert!(!segs.is_empty(), "empty segment list");
+                if segs.is_empty() {
+                    return Err(PlacementError::EmptySegments);
+                }
                 let mut prev = 0;
                 for &(end, n) in segs {
-                    assert!(end > prev, "segment ends must strictly increase");
-                    assert!((n.0 as usize) < self.num_nodes, "segment on nonexistent {n}");
+                    if end <= prev {
+                        return Err(PlacementError::SegmentsNotIncreasing);
+                    }
+                    if !node_ok(&n) {
+                        return Err(PlacementError::NonexistentNode(n));
+                    }
                     prev = end;
                 }
-                assert_eq!(prev, size, "segments must cover the object exactly");
+                if prev != size {
+                    return Err(PlacementError::SegmentsDontCover { last_end: prev, size });
+                }
             }
             PlacementPolicy::FirstTouch | PlacementPolicy::Replicated => {}
         }
+        Ok(())
+    }
+
+    /// Change an object's placement (the optimizations re-place data).
+    /// Resets any first-touch history for the object.
+    ///
+    /// # Errors
+    /// Any [`PlacementError`] the policy violates; the object is left
+    /// unchanged on error.
+    pub fn try_set_policy(&mut self, id: ObjectId, policy: PlacementPolicy) -> Result<(), PlacementError> {
+        let size = self.objects[id.0 as usize].size;
+        self.check_policy(&policy, size)?;
+        let info = &mut self.objects[id.0 as usize];
+        info.first_touch = if policy.is_first_touch() { vec![UNTOUCHED; info.page_count()] } else { Vec::new() };
+        info.wil_pattern = match policy.weighted_nodes() {
+            Some((nodes, weights)) => PlacementPolicy::weighted_pattern(nodes, weights),
+            None => Vec::new(),
+        };
+        info.policy = policy;
+        Ok(())
     }
 
     /// Change an object's placement (the optimizations re-place data).
     /// Resets any first-touch history for the object.
     ///
     /// # Panics
-    /// Panics if the policy is invalid.
+    /// Panics if the policy is invalid; see [`MemoryMap::try_set_policy`]
+    /// for the non-panicking form.
     pub fn set_policy(&mut self, id: ObjectId, policy: PlacementPolicy) {
-        let size = self.objects[id.0 as usize].size;
-        self.validate_policy(&policy, size);
-        let info = &mut self.objects[id.0 as usize];
-        info.first_touch =
-            if matches!(policy, PlacementPolicy::FirstTouch) { vec![UNTOUCHED; info.page_count()] } else { Vec::new() };
-        info.policy = policy;
+        if let Err(e) = self.try_set_policy(id, policy) {
+            panic!("invalid placement for object {}: {e}", id.0);
+        }
     }
 
     /// Forget all first-touch placements (fresh run on the same layout).
@@ -277,6 +562,7 @@ impl MemoryMap {
             PlacementPolicy::Bind(n) => *n,
             PlacementPolicy::Replicated => accessor,
             PlacementPolicy::Interleave(nodes) => nodes[page % nodes.len()],
+            PlacementPolicy::WeightedInterleave { .. } => NodeId(info.wil_pattern[page % info.wil_pattern.len()]),
             PlacementPolicy::Segmented(segs) => {
                 let i = segs.partition_point(|&(end, _)| end <= off);
                 segs[i].1
@@ -315,6 +601,9 @@ impl MemoryMap {
             PlacementPolicy::Bind(n) => (*n, obj_end),
             PlacementPolicy::Replicated => (accessor, obj_end),
             PlacementPolicy::Interleave(nodes) => (nodes[page % nodes.len()], page_end),
+            PlacementPolicy::WeightedInterleave { .. } => {
+                (NodeId(info.wil_pattern[page % info.wil_pattern.len()]), page_end)
+            }
             PlacementPolicy::Segmented(segs) => {
                 let i = segs.partition_point(|&(end, _)| end <= off);
                 (segs[i].1, info.base + segs[i].0)
@@ -341,6 +630,7 @@ impl MemoryMap {
             PlacementPolicy::Bind(n) => Some(*n),
             PlacementPolicy::Replicated => None,
             PlacementPolicy::Interleave(nodes) => Some(nodes[page % nodes.len()]),
+            PlacementPolicy::WeightedInterleave { .. } => Some(NodeId(info.wil_pattern[page % info.wil_pattern.len()])),
             PlacementPolicy::Segmented(segs) => {
                 let i = segs.partition_point(|&(end, _)| end <= off);
                 Some(segs[i].1)
@@ -534,6 +824,78 @@ mod tests {
     #[should_panic(expected = "zero-sized")]
     fn zero_alloc_rejected() {
         mm().alloc("z", 0, PlacementPolicy::FirstTouch);
+    }
+
+    #[test]
+    fn weighted_constructor_validates() {
+        let n = |i: u8| NodeId(i);
+        assert_eq!(PlacementPolicy::weighted(vec![], vec![]), Err(PlacementError::EmptyNodes));
+        assert_eq!(
+            PlacementPolicy::weighted(vec![n(0), n(1)], vec![1]),
+            Err(PlacementError::WeightCountMismatch { nodes: 2, weights: 1 })
+        );
+        assert_eq!(
+            PlacementPolicy::weighted(vec![n(0), n(1)], vec![1, 0]),
+            Err(PlacementError::ZeroWeight { index: 1 })
+        );
+        assert_eq!(
+            PlacementPolicy::weighted(vec![n(0), n(1)], vec![5000, 1]),
+            Err(PlacementError::WeightSumTooLarge { sum: 5001 })
+        );
+        assert!(PlacementPolicy::weighted(vec![n(0), n(2)], vec![1, 3]).is_ok());
+        // Node existence is a machine property, caught at apply time.
+        let mut m = mm();
+        let pol = PlacementPolicy::weighted(vec![n(9)], vec![1]).unwrap();
+        let a = m.alloc("a", 4096, PlacementPolicy::FirstTouch);
+        assert_eq!(m.try_set_policy(a.id, pol), Err(PlacementError::NonexistentNode(n(9))));
+        assert!(m.object(a.id).policy.is_first_touch(), "object unchanged on error");
+    }
+
+    #[test]
+    fn weighted_equal_weights_match_uniform_interleave() {
+        let mut m = mm();
+        let pages = 64u64;
+        let uni = m.alloc("uni", pages * 4096, PlacementPolicy::interleave_all(4));
+        let wil = m.alloc("wil", pages * 4096, PlacementPolicy::weighted_all(vec![7, 7, 7, 7]).unwrap());
+        for p in 0..pages {
+            assert_eq!(m.query_node(uni.at(p * 4096)), m.query_node(wil.at(p * 4096)), "page {p}");
+        }
+    }
+
+    #[test]
+    fn weighted_striping_is_deterministic_and_proportional() {
+        let mut m = mm();
+        // 1:3 over nodes {0, 2}: every 4-page window has one page on node 0
+        // and three on node 2, smooth-spread (node 2 first: higher weight).
+        let pol = PlacementPolicy::weighted(vec![NodeId(0), NodeId(2)], vec![1, 3]).unwrap();
+        let a = m.alloc("a", 16 * 4096, pol.clone());
+        let homes: Vec<u8> = (0..16).map(|p| m.home_node(a.at(p * 4096), NodeId(1)).0).collect();
+        assert_eq!(&homes[..4], &[2, 0, 2, 2], "smooth WRR order");
+        assert_eq!(&homes[4..8], &homes[..4], "pattern repeats per cycle");
+        for win in homes.chunks(4) {
+            assert_eq!(win.iter().filter(|&&h| h == 0).count(), 1);
+            assert_eq!(win.iter().filter(|&&h| h == 2).count(), 3);
+        }
+        // Same policy on a second allocation stripes identically.
+        let b = m.alloc("b", 16 * 4096, pol);
+        let homes_b: Vec<u8> = (0..16).map(|p| m.home_node(b.at(p * 4096), NodeId(1)).0).collect();
+        assert_eq!(homes, homes_b, "striping is a pure function of the policy");
+    }
+
+    #[test]
+    fn weighted_huge_pages_and_spans() {
+        let mut m = mm();
+        let pol = PlacementPolicy::weighted(vec![NodeId(0), NodeId(1)], vec![1, 2]).unwrap();
+        let a = m.alloc_huge("a", 6 << 20, pol);
+        // 2 MiB pages, cycle [1, 0, 1]: node 1 first (weight 2 wins the tie
+        // pattern), then 0, then 1 again.
+        assert_eq!(m.home_node(a.at(0), NodeId(3)), NodeId(1));
+        assert_eq!(m.home_node(a.at(2 << 20), NodeId(3)), NodeId(0));
+        assert_eq!(m.home_node(a.at(4 << 20), NodeId(3)), NodeId(1));
+        // Span is page-granular and agrees with home_node.
+        let (home, end) = m.home_node_span(a.at(7), NodeId(3));
+        assert_eq!(home, NodeId(1));
+        assert_eq!(end, a.base + (2 << 20));
     }
 
     #[test]

@@ -89,6 +89,8 @@ pub struct RunStats {
     pub mc_max_rho: Vec<f64>,
     /// Time-averaged utilization per channel.
     pub channel_avg_rho: Vec<f64>,
+    /// Time-averaged utilization per memory controller.
+    pub mc_avg_rho: Vec<f64>,
     /// Accounting rounds executed.
     pub rounds: u64,
 }
@@ -107,6 +109,30 @@ impl RunStats {
     /// Speedup of `self` relative to a `baseline` run of the same work.
     pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
         baseline.cycles / self.cycles
+    }
+
+    /// Inbound memory pressure per node: the worse of the node's own
+    /// controller utilization and its most loaded *incoming* interconnect
+    /// channel (time averages over the phase). This is what the guided
+    /// weight search equalises — a node is a bad place for more pages if
+    /// either the controller or any link feeding it is the bottleneck.
+    ///
+    /// Channels use the dense row-major `(src, dst)` order of
+    /// `Topology::channel_index`; an empty result means the run recorded no
+    /// per-controller aggregates.
+    pub fn node_pressure(&self) -> Vec<f64> {
+        let n = self.mc_avg_rho.len();
+        let mut p = self.mc_avg_rho.clone();
+        if n < 2 || self.channel_avg_rho.len() != n * (n - 1) {
+            return p;
+        }
+        for s in 0..n {
+            for d in (0..n).filter(|&d| d != s) {
+                let idx = s * (n - 1) + if d > s { d - 1 } else { d };
+                p[d] = p[d].max(self.channel_avg_rho[idx]);
+            }
+        }
+        p
     }
 }
 
@@ -142,11 +168,37 @@ mod tests {
             channel_max_rho: vec![],
             mc_max_rho: vec![],
             channel_avg_rho: vec![],
+            mc_avg_rho: vec![],
             rounds: 0,
         };
         let base = mk(1000.0);
         let opt = mk(250.0);
         assert_eq!(opt.speedup_over(&base), 4.0);
         assert_eq!(base.speedup_over(&base), 1.0);
+    }
+
+    #[test]
+    fn node_pressure_folds_inbound_channels() {
+        // 3 nodes, 6 channels in row-major (src, dst) order:
+        // 0→1, 0→2, 1→0, 1→2, 2→0, 2→1.
+        let s = RunStats {
+            cycles: 1.0,
+            thread_cycles: vec![],
+            counts: AccessCounts::default(),
+            channel_bytes: vec![],
+            mc_bytes: vec![],
+            channel_max_rho: vec![],
+            mc_max_rho: vec![],
+            channel_avg_rho: vec![0.9, 0.1, 0.2, 0.3, 0.1, 0.4],
+            mc_avg_rho: vec![0.5, 0.6, 0.05],
+            rounds: 1,
+        };
+        let p = s.node_pressure();
+        // Node 0: mc 0.5 vs inbound {1→0: 0.2, 2→0: 0.1}.
+        assert_eq!(p[0], 0.5);
+        // Node 1: mc 0.6 vs inbound {0→1: 0.9, 2→1: 0.4} → the hot link.
+        assert_eq!(p[1], 0.9);
+        // Node 2: mc 0.05 vs inbound {0→2: 0.1, 1→2: 0.3}.
+        assert_eq!(p[2], 0.3);
     }
 }

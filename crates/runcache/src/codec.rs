@@ -192,6 +192,7 @@ pub fn encode_stats(out: &mut Vec<u8>, s: &RunStats) {
     put_f64_vec(out, &s.channel_max_rho);
     put_f64_vec(out, &s.mc_max_rho);
     put_f64_vec(out, &s.channel_avg_rho);
+    put_f64_vec(out, &s.mc_avg_rho);
     put_varint(out, s.rounds);
 }
 
@@ -216,6 +217,7 @@ pub fn decode_stats(r: &mut Reader<'_>) -> Result<RunStats, CodecError> {
         channel_max_rho: get_f64_vec(r, "channel_max_rho")?,
         mc_max_rho: get_f64_vec(r, "mc_max_rho")?,
         channel_avg_rho: get_f64_vec(r, "channel_avg_rho")?,
+        mc_avg_rho: get_f64_vec(r, "mc_avg_rho")?,
         rounds: r.varint()?,
     })
 }
@@ -468,6 +470,7 @@ mod tests {
             channel_max_rho: vec![0.97; 12],
             mc_max_rho: vec![0.5; 4],
             channel_avg_rho: vec![0.25; 12],
+            mc_avg_rho: vec![0.75; 4],
             rounds: 42,
         };
         let mut buf = Vec::new();
@@ -483,6 +486,7 @@ mod tests {
         }
         assert_eq!(got.counts, s.counts);
         assert_eq!(got.channel_bytes, s.channel_bytes);
+        assert_eq!(got.mc_avg_rho, s.mc_avg_rho);
         assert_eq!(got.rounds, s.rounds);
     }
 

@@ -29,12 +29,16 @@
 use numasim::config::{ExecMode, MachineConfig};
 use pebs::sampler::SamplerConfig;
 use workloads::config::{Input, RunConfig, Variant};
+use workloads::plan::PlanAction;
 
 /// Version of the cached-run schema: the entry layout, the columnar codec,
 /// *and* the engine semantics the payload snapshots. Bump on any change to
 /// either — a version mismatch is treated as a miss, never a decode
 /// attempt.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `RunStats` gained `mc_avg_rho` (codec change) and `RunConfig`
+/// gained the guided-optimization placement plan (key change).
+pub const SCHEMA_VERSION: u32 = 2;
 
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 const LANE_A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325; // standard FNV-1a offset basis
@@ -234,6 +238,52 @@ fn hash_run_config(h: &mut KeyHasher, r: &RunConfig) {
         Variant::Replicate => 3,
     });
     h.u64(r.seed);
+    // The placement plan rewrites the memory map before execution, so it is
+    // as much a part of the outcome as the variant. `None` and an explicit
+    // empty plan hash differently from each other only via the tag —
+    // both leave the map untouched, but arguing their equivalence is not
+    // the key's job.
+    match &r.plan {
+        None => h.tag(0),
+        Some(plan) => {
+            h.tag(1);
+            h.u64(plan.len() as u64);
+            for entry in plan.entries() {
+                h.str(&entry.label);
+                hash_plan_action(h, &entry.action);
+            }
+        }
+    }
+}
+
+fn hash_plan_action(h: &mut KeyHasher, a: &PlanAction) {
+    match a {
+        PlanAction::Bind(n) => {
+            h.tag(0);
+            h.u64(n.0 as u64);
+        }
+        PlanAction::Interleave(nodes) => {
+            h.tag(1);
+            h.u64(nodes.len() as u64);
+            for n in nodes {
+                h.u64(n.0 as u64);
+            }
+        }
+        PlanAction::WeightedInterleave { nodes, weights } => {
+            h.tag(2);
+            h.u64(nodes.len() as u64);
+            for (n, w) in nodes.iter().zip(weights) {
+                h.u64(n.0 as u64);
+                h.u64(*w as u64);
+            }
+        }
+        PlanAction::ColocateEven { nodes } => {
+            h.tag(3);
+            h.u64(*nodes as u64);
+        }
+        PlanAction::Replicate => h.tag(4),
+        PlanAction::FirstTouch => h.tag(5),
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +321,42 @@ mod tests {
         assert_ne!(k0, RunKey::for_run(&mcfg, "Sumv", &rcfg.with_variant(Variant::InterleaveAll), Some(&scfg)));
         assert_ne!(k0, RunKey::for_run(&mcfg, "Sumv", &rcfg, Some(&SamplerConfig { period: 500, ..scfg })));
         assert_ne!(k0, RunKey::for_run(&mcfg, "Sumv", &rcfg, None));
+    }
+
+    #[test]
+    fn key_separates_placement_plans() {
+        use numasim::topology::NodeId;
+        use workloads::plan::PlacementPlan;
+        let mcfg = MachineConfig::scaled();
+        let rcfg = RunConfig::new(16, 2, Input::Small);
+        let k0 = RunKey::for_run(&mcfg, "Sumv", &rcfg, None);
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+
+        let uni = rcfg.with_plan(PlacementPlan::new().with("v", PlanAction::Interleave(nodes.clone())));
+        let k_uni = RunKey::for_run(&mcfg, "Sumv", &uni, None);
+        assert_ne!(k0, k_uni, "a plan must miss against the baseline");
+
+        // Same action, different object.
+        let other = rcfg.with_plan(PlacementPlan::new().with("w", PlanAction::Interleave(nodes.clone())));
+        assert_ne!(k_uni, RunKey::for_run(&mcfg, "Sumv", &other, None));
+
+        // Same nodes, weighted vs uniform — distinct even at equal weights
+        // (bit-identical outcome, but equivalence-arguing is not the key's
+        // job).
+        let wil = rcfg.with_plan(
+            PlacementPlan::new()
+                .with("v", PlanAction::WeightedInterleave { nodes: nodes.clone(), weights: vec![1, 1] }),
+        );
+        let k_wil = RunKey::for_run(&mcfg, "Sumv", &wil, None);
+        assert_ne!(k_uni, k_wil);
+
+        // Different weights.
+        let wil2 = rcfg
+            .with_plan(PlacementPlan::new().with("v", PlanAction::WeightedInterleave { nodes, weights: vec![1, 3] }));
+        assert_ne!(k_wil, RunKey::for_run(&mcfg, "Sumv", &wil2, None));
+
+        // Determinism.
+        assert_eq!(k_wil, RunKey::for_run(&mcfg, "Sumv", &wil, None));
     }
 
     #[test]

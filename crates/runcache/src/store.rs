@@ -279,6 +279,7 @@ mod tests {
             channel_max_rho: vec![0.5, 0.0],
             mc_max_rho: vec![0.9, 0.1],
             channel_avg_rho: vec![0.25, 0.0],
+            mc_avg_rho: vec![0.45, 0.05],
             rounds: 3,
         };
         let samples = (0..40u64)

@@ -1,0 +1,149 @@
+//! The tuner's output: the chosen plan, the measured speedup, and the
+//! full convergence trace of every placement the loop evaluated.
+
+use drbw_core::diagnoser::OwnedDiagnosis;
+use drbw_core::Mode;
+use workloads::plan::PlacementPlan;
+
+/// One evaluated placement: a candidate plan and its measured outcome.
+#[derive(Debug, Clone)]
+pub struct TuneStep {
+    /// The candidate plan that was simulated.
+    pub plan: PlacementPlan,
+    /// Human-readable description (object → action).
+    pub description: String,
+    /// Measured cycles under the plan.
+    pub cycles: f64,
+    /// Measured speedup over the baseline (`baseline / cycles`).
+    pub speedup: f64,
+}
+
+/// Result of one closed tuning loop: diagnose → plan → apply → re-simulate
+/// → verify. The chosen plan is the best *measured* candidate when it
+/// clears the acceptance threshold, else the no-op plan — so
+/// [`TuneReport::speedup`] is never below 1.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Program name.
+    pub workload: String,
+    /// The run's `Tt-Nn` shape label.
+    pub shape: String,
+    /// Detection verdict of the baseline profile.
+    pub detected: Mode,
+    /// Root-cause ranking the candidates were derived from (owned — it
+    /// outlives the profile).
+    pub diagnosis: OwnedDiagnosis,
+    /// Measured baseline cycles (no plan).
+    pub baseline_cycles: f64,
+    /// The chosen plan (empty = keep the program as written).
+    pub plan: PlacementPlan,
+    /// Measured cycles under the chosen plan (equals
+    /// [`TuneReport::baseline_cycles`] when the plan is empty).
+    pub tuned_cycles: f64,
+    /// Every candidate evaluated, in evaluation order.
+    pub trace: Vec<TuneStep>,
+    /// Total simulator evaluations (baseline + candidates).
+    pub evaluations: usize,
+}
+
+impl TuneReport {
+    /// Verified speedup of the chosen plan over the baseline (≥ 1 by the
+    /// no-op fallback).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_cycles / self.tuned_cycles
+    }
+
+    /// Whether the loop found (and kept) a placement that beat the
+    /// acceptance threshold.
+    pub fn improved(&self) -> bool {
+        !self.plan.is_empty()
+    }
+
+    /// The best candidate evaluated, accepted or not.
+    pub fn best_step(&self) -> Option<&TuneStep> {
+        self.trace.iter().min_by(|a, b| a.cycles.total_cmp(&b.cycles))
+    }
+
+    /// Render the report as a text block (one line per evaluated
+    /// candidate, best marked with `*`, verdict last).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} {} — detected {}, {} candidate evaluation(s)",
+            self.workload,
+            self.shape,
+            self.detected.name(),
+            self.trace.len()
+        );
+        if let Some(top) = self.diagnosis.top_object() {
+            let _ = writeln!(out, "  top object: {} (CF {:.2})", top.label, top.cf);
+        }
+        let _ = writeln!(out, "  baseline: {:.0} cycles", self.baseline_cycles);
+        let best = self.best_step().map(|s| s.cycles);
+        for step in &self.trace {
+            let mark = if Some(step.cycles) == best { '*' } else { ' ' };
+            let _ =
+                writeln!(out, "  {mark} {:<48} {:>12.0} cycles  x{:.3}", step.description, step.cycles, step.speedup);
+        }
+        let verdict = if self.improved() {
+            format!("tuned: {} — x{:.3} measured speedup", self.plan.describe(), self.speedup())
+        } else {
+            "tuned: no placement beat the baseline; keeping the program as written".to_string()
+        };
+        let _ = writeln!(out, "  {verdict}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::plan::PlanAction;
+
+    fn report() -> TuneReport {
+        let plan = PlacementPlan::new().with("v", PlanAction::Interleave(vec![numasim::topology::NodeId(0)]));
+        TuneReport {
+            workload: "Sumv".into(),
+            shape: "T32-N4".into(),
+            detected: Mode::Rmc,
+            diagnosis: OwnedDiagnosis::default(),
+            baseline_cycles: 2000.0,
+            plan: plan.clone(),
+            tuned_cycles: 1000.0,
+            trace: vec![
+                TuneStep {
+                    plan: PlacementPlan::new(),
+                    description: "v→colocate".into(),
+                    cycles: 1500.0,
+                    speedup: 2000.0 / 1500.0,
+                },
+                TuneStep { plan, description: "v→interleave".into(), cycles: 1000.0, speedup: 2.0 },
+            ],
+            evaluations: 3,
+        }
+    }
+
+    #[test]
+    fn speedup_and_render() {
+        let r = report();
+        assert!((r.speedup() - 2.0).abs() < 1e-12);
+        assert!(r.improved());
+        assert_eq!(r.best_step().unwrap().description, "v→interleave");
+        let text = r.render();
+        assert!(text.contains("Sumv T32-N4"), "header names the case: {text}");
+        assert!(text.contains("* v→interleave"), "best candidate is starred: {text}");
+        assert!(text.contains("x2.000"), "verified speedup rendered: {text}");
+    }
+
+    #[test]
+    fn no_op_report_is_honest() {
+        let mut r = report();
+        r.plan = PlacementPlan::new();
+        r.tuned_cycles = r.baseline_cycles;
+        assert!(!r.improved());
+        assert_eq!(r.speedup(), 1.0, "the no-op fallback never reports a slowdown");
+        assert!(r.render().contains("keeping the program as written"));
+    }
+}

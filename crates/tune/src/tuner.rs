@@ -1,0 +1,381 @@
+//! The closed guided-optimization loop: diagnose → plan → apply →
+//! re-simulate → verify.
+//!
+//! The [`Tune`] extension trait adds `tune()` to [`DrBw`]. One call runs
+//! the full loop for a case:
+//!
+//! 1. **Diagnose** — profile the baseline, detect per-channel contention,
+//!    and rank root-cause objects by Contribution Fraction (§VI). When
+//!    detection is clean and [`TuneConfig::opportunistic`] is on, the
+//!    ranking instead targets the channels that carried remote samples —
+//!    the verify step makes that safe.
+//! 2. **Plan** — for each ranked object, enumerate candidate placements:
+//!    co-locate, uniform interleave, weighted interleave, and (for
+//!    read-mostly objects) replicate.
+//! 3. **Apply + re-simulate** — each candidate becomes a
+//!    [`PlacementPlan`] carried by the [`RunConfig`]; the runner rewrites
+//!    the freshly built memory map and the engine re-simulates. With a run
+//!    cache attached, repeat evaluations are served from disk.
+//! 4. **Verify** — the measured cycles decide. Weighted-interleave weights
+//!    are refined from the *measured* per-node pressure of the previous
+//!    iterate (§"weight search"); the final plan is kept only if it beats
+//!    [`TuneConfig::min_speedup`], else the report carries the no-op plan,
+//!    so a tuned program is never slower than the original.
+
+use std::collections::HashMap;
+
+use drbw_core::diagnoser::{diagnose, UNTRACKED};
+use drbw_core::{DrBw, Profile};
+use numasim::topology::{ChannelId, NodeId};
+use workloads::config::RunConfig;
+use workloads::plan::{PlacementPlan, PlanAction};
+use workloads::runner::{self, RunOutcome};
+use workloads::spec::Workload;
+
+use crate::config::{CandidateKind, TuneConfig};
+use crate::report::{TuneReport, TuneStep};
+
+/// Extension trait implementing the guided-optimization loop on the
+/// assembled [`DrBw`] tool.
+pub trait Tune {
+    /// Run the closed diagnose → plan → re-simulate → verify loop for one
+    /// case and return the chosen plan with its measured speedup.
+    fn tune(&self, workload: &dyn Workload, rcfg: &RunConfig, cfg: &TuneConfig) -> TuneReport;
+}
+
+impl Tune for DrBw {
+    fn tune(&self, workload: &dyn Workload, rcfg: &RunConfig, cfg: &TuneConfig) -> TuneReport {
+        // 1. Diagnose: one profiled run under this tool's sampler.
+        let analysis = self.analyze(workload, rcfg);
+        let detected = analysis.detection.mode();
+        let channels = if !analysis.detection.contended_channels.is_empty() {
+            analysis.detection.contended_channels.clone()
+        } else if cfg.opportunistic {
+            busy_remote_channels(&analysis.profile)
+        } else {
+            Vec::new()
+        };
+        let diagnosis = diagnose(&analysis.profile, &channels).into_owned();
+        let writes = write_fractions(&analysis.profile);
+        drop(analysis); // the owned diagnosis outlives the profile
+
+        let mut lp = Loop {
+            cfg,
+            tool: self,
+            workload,
+            rcfg,
+            nodes: (0..rcfg.nodes).map(|i| NodeId(i as u8)).collect(),
+            baseline: 0.0,
+            trace: Vec::new(),
+            evaluations: 0,
+        };
+        lp.baseline = lp.run(None).cycles();
+
+        // Coarse remedy first: interleave every memory-map object. This is
+        // the only candidate that reaches *untracked* allocations (static
+        // data the profiler cannot attribute to a site, §VIII.F) — when
+        // those dominate the CF ranking, no per-object plan can name them.
+        if cfg.coarse_interleave && lp.nodes.len() >= 2 {
+            let built = workload.build(self.machine(), rcfg);
+            let mut labels: Vec<String> = Vec::new();
+            for (_, o) in built.mm.objects() {
+                if !labels.iter().any(|l| l == &o.label) {
+                    labels.push(o.label.clone());
+                }
+            }
+            let mut plan = PlacementPlan::new();
+            for label in labels {
+                plan.push(label, PlanAction::Interleave(lp.nodes.clone()));
+            }
+            if !plan.is_empty() {
+                let desc = format!("all-objects\u{2192}interleave({} nodes)", lp.nodes.len());
+                lp.eval(plan, desc);
+            }
+        }
+
+        // 2–4. Plan, apply, re-simulate, verify — per ranked object.
+        let mut targets: Vec<String> = diagnosis
+            .overall
+            .iter()
+            .filter(|o| o.label != UNTRACKED && o.cf >= cfg.min_cf)
+            .take(cfg.max_objects)
+            .map(|o| o.label.clone())
+            .collect();
+        if targets.is_empty() {
+            // No tracked object cleared the CF floor — try the top tracked
+            // labels anyway; the verify step discards useless plans, and a
+            // low-CF read-mostly object can still win big via replicate.
+            targets = diagnosis
+                .overall
+                .iter()
+                .filter(|o| o.label != UNTRACKED && o.cf > 0.0)
+                .take(cfg.max_objects)
+                .map(|o| o.label.clone())
+                .collect();
+        }
+        let mut winners: Vec<(String, PlanAction)> = Vec::new();
+        for label in &targets {
+            let write_frac = writes.get(label.as_str()).copied().unwrap_or(1.0);
+            if let Some((action, cycles)) = lp.tune_object(label, write_frac) {
+                if cycles < lp.baseline {
+                    winners.push((label.clone(), action));
+                }
+            }
+        }
+        // Combined plan: merge each object's best accepted action. Only
+        // worth an evaluation when two or more objects improved alone.
+        if winners.len() >= 2 {
+            let mut plan = PlacementPlan::new();
+            for (label, action) in &winners {
+                plan.push(label.clone(), action.clone());
+            }
+            let desc = format!("combined: {}", plan.describe());
+            lp.eval(plan, desc);
+        }
+
+        // Final verify: keep the best measured candidate only if it clears
+        // the acceptance threshold; otherwise fall back to the no-op plan.
+        let best = lp.trace.iter().min_by(|a, b| a.cycles.total_cmp(&b.cycles)).cloned();
+        let (plan, tuned_cycles) = match best {
+            Some(s) if lp.baseline / s.cycles >= cfg.min_speedup => (s.plan, s.cycles),
+            _ => (PlacementPlan::new(), lp.baseline),
+        };
+        TuneReport {
+            workload: workload.name().to_string(),
+            shape: rcfg.shape_label(),
+            detected,
+            diagnosis,
+            baseline_cycles: lp.baseline,
+            plan,
+            tuned_cycles,
+            trace: lp.trace,
+            evaluations: lp.evaluations,
+        }
+    }
+}
+
+/// Loop state: the case under tuning plus the growing convergence trace.
+struct Loop<'a> {
+    cfg: &'a TuneConfig,
+    tool: &'a DrBw,
+    workload: &'a dyn Workload,
+    rcfg: &'a RunConfig,
+    nodes: Vec<NodeId>,
+    baseline: f64,
+    trace: Vec<TuneStep>,
+    evaluations: usize,
+}
+
+impl Loop<'_> {
+    /// One unprofiled re-simulation, served from the tool's run cache when
+    /// one is attached.
+    fn run(&mut self, plan: Option<&PlacementPlan>) -> RunOutcome {
+        self.evaluations += 1;
+        let rcfg = match plan {
+            Some(p) => self.rcfg.with_plan(p.clone()),
+            None => self.rcfg.clone(),
+        };
+        match self.tool.run_cache() {
+            Some(cache) => runcache::run_memo(cache, self.workload, self.tool.machine(), &rcfg, None),
+            None => runner::run(self.workload, self.tool.machine(), &rcfg, None),
+        }
+    }
+
+    /// Evaluate a candidate plan and record it in the trace.
+    fn eval(&mut self, plan: PlacementPlan, description: String) -> (f64, RunOutcome) {
+        let out = self.run(Some(&plan));
+        let cycles = out.cycles();
+        self.trace.push(TuneStep { plan, description, cycles, speedup: self.baseline / cycles });
+        (cycles, out)
+    }
+
+    /// Evaluate a single-object action.
+    fn eval_action(&mut self, label: &str, action: PlanAction) -> (f64, RunOutcome) {
+        let description = format!("{label}\u{2192}{}", action.describe());
+        self.eval(PlacementPlan::new().with(label, action), description)
+    }
+
+    /// Try every configured candidate family on one object; return the
+    /// family's best action by measured cycles.
+    fn tune_object(&mut self, label: &str, write_frac: f64) -> Option<(PlanAction, f64)> {
+        let nodes = self.nodes.clone();
+        let mut best: Option<(PlanAction, f64)> = None;
+        let note = |best: &mut Option<(PlanAction, f64)>, action: PlanAction, cycles: f64| {
+            if best.as_ref().is_none_or(|(_, c)| cycles < *c) {
+                *best = Some((action, cycles));
+            }
+        };
+        let mut interleave_seed: Option<(f64, RunOutcome)> = None;
+        for kind in self.cfg.candidates.clone() {
+            match kind {
+                CandidateKind::Colocate => {
+                    let action = PlanAction::ColocateEven { nodes: nodes.len() };
+                    let (cycles, _) = self.eval_action(label, action.clone());
+                    note(&mut best, action, cycles);
+                }
+                CandidateKind::Interleave => {
+                    let action = PlanAction::Interleave(nodes.clone());
+                    let (cycles, out) = self.eval_action(label, action.clone());
+                    note(&mut best, action, cycles);
+                    interleave_seed = Some((cycles, out));
+                }
+                CandidateKind::Replicate => {
+                    if write_frac <= self.cfg.replicate_write_fraction {
+                        let action = PlanAction::Replicate;
+                        let (cycles, _) = self.eval_action(label, action.clone());
+                        note(&mut best, action, cycles);
+                    }
+                }
+                // Needs the uniform-interleave measurement as its seed;
+                // handled after the first pass.
+                CandidateKind::WeightedInterleave => {}
+            }
+        }
+        if self.cfg.candidates.contains(&CandidateKind::WeightedInterleave) && nodes.len() >= 2 {
+            // Seed the weight search from the measured uniform interleave
+            // (evaluating it first if the family was not configured).
+            let (mut cur_cycles, mut cur_out) = match interleave_seed {
+                Some(seed) => seed,
+                None => self.eval_action(label, PlanAction::Interleave(nodes.clone())),
+            };
+            let mut weights = vec![1u32; nodes.len()];
+            for _ in 0..self.cfg.max_iterations {
+                // Measured per-node pressure of the previous iterate drives
+                // the proposal: nodes above the mean shed pages, nodes with
+                // residual headroom take them.
+                let pressure = node_pressure_on(&cur_out, &nodes);
+                let next = propose_weights(&weights, &pressure, self.cfg.weight_grid);
+                if next == weights {
+                    break; // converged: the measurement asks for no shift
+                }
+                let action = PlanAction::WeightedInterleave { nodes: nodes.clone(), weights: next.clone() };
+                let (cycles, out) = self.eval_action(label, action.clone());
+                note(&mut best, action, cycles);
+                let improvement = (cur_cycles - cycles) / cur_cycles;
+                weights = next;
+                (cur_cycles, cur_out) = (cycles, out);
+                if improvement < self.cfg.min_improvement {
+                    break; // verified gain too small to keep iterating
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Per-label write fraction over the profile's attributed samples, for the
+/// replicate-only-read-mostly gate.
+fn write_fractions(profile: &Profile) -> HashMap<String, f64> {
+    let mut counts: HashMap<&str, (u64, u64)> = HashMap::new();
+    for s in &profile.samples {
+        let Some(site) = profile.tracker.attribute_site(s.addr) else { continue };
+        let entry = counts.entry(profile.tracker.site(site).label.as_str()).or_insert((0, 0));
+        entry.1 += 1;
+        if s.is_write {
+            entry.0 += 1;
+        }
+    }
+    counts.into_iter().map(|(label, (w, t))| (label.to_string(), w as f64 / t.max(1) as f64)).collect()
+}
+
+/// The channels that carried remote samples, busiest first (≥ 1% of remote
+/// traffic each) — the opportunistic-mode substitute for the detector's
+/// contended set.
+fn busy_remote_channels(profile: &Profile) -> Vec<ChannelId> {
+    let mut counts: HashMap<ChannelId, u64> = HashMap::new();
+    for s in &profile.samples {
+        let Some(home) = s.home else { continue };
+        if home != s.node {
+            *counts.entry(ChannelId { src: s.node, dst: home }).or_insert(0) += 1;
+        }
+    }
+    let total: u64 = counts.values().sum();
+    let floor = (total / 100).max(1);
+    let mut busy: Vec<(ChannelId, u64)> = counts.into_iter().filter(|&(_, c)| c >= floor).collect();
+    busy.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0.src.0, a.0.dst.0).cmp(&(b.0.src.0, b.0.dst.0))));
+    busy.into_iter().map(|(ch, _)| ch).collect()
+}
+
+/// Measured pressure per run node: fold the dominant measured phase's
+/// memory-controller and inbound-channel utilizations down to one
+/// saturation figure per node (see `RunStats::node_pressure`).
+fn node_pressure_on(outcome: &RunOutcome, nodes: &[NodeId]) -> Vec<f64> {
+    let dominant = outcome.phases.iter().filter(|p| !p.warmup).max_by(|a, b| a.stats.cycles.total_cmp(&b.stats.cycles));
+    let Some(phase) = dominant else { return vec![1.0; nodes.len()] };
+    let pressure = phase.stats.node_pressure();
+    nodes.iter().map(|n| pressure.get(n.0 as usize).copied().unwrap_or(0.0)).collect()
+}
+
+/// One multiplicative weight update: scale each node's weight by
+/// `mean(pressure) / pressure`, clamped to one octave per iteration, then
+/// round onto the integer grid (largest weight = `grid`) and divide out
+/// the gcd. Equal pressures return the input unchanged — the fixed point.
+fn propose_weights(current: &[u32], pressure: &[f64], grid: u32) -> Vec<u32> {
+    let n = current.len();
+    let mean = pressure.iter().sum::<f64>() / n as f64;
+    if mean.is_nan() || mean <= 1e-12 {
+        return current.to_vec(); // idle machine: nothing to rebalance
+    }
+    let mults: Vec<f64> = pressure.iter().map(|&p| (mean / p.max(1e-3 * mean)).clamp(0.5, 2.0)).collect();
+    if mults.iter().all(|m| (m - 1.0).abs() < 0.02) {
+        return current.to_vec(); // balanced already: exact fixed point
+    }
+    let scaled: Vec<f64> = current.iter().zip(&mults).map(|(&w, &m)| w as f64 * m).collect();
+    let max = scaled.iter().fold(0.0f64, |a, &b| a.max(b));
+    if max.is_nan() || max <= 0.0 {
+        return current.to_vec();
+    }
+    let mut next: Vec<u32> = scaled.iter().map(|&f| ((f * grid as f64 / max).round() as u32).clamp(1, grid)).collect();
+    let g = next.iter().copied().fold(0, gcd);
+    if g > 1 {
+        for w in &mut next {
+            *w /= g;
+        }
+    }
+    next
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_pressure_is_the_fixed_point() {
+        let w = propose_weights(&[1, 1, 1, 1], &[0.8, 0.8, 0.8, 0.8], 8);
+        assert_eq!(w, vec![1, 1, 1, 1], "balanced pressure proposes no shift");
+        let w = propose_weights(&[2, 3], &[0.5, 0.5], 8);
+        assert_eq!(w, vec![2, 3], "current ratio kept verbatim under equal pressure");
+    }
+
+    #[test]
+    fn pressured_node_sheds_pages() {
+        // Node 0 saturated, node 1 idle: weight mass moves to node 1.
+        let w = propose_weights(&[1, 1], &[1.0, 0.25], 8);
+        assert!(w[1] > w[0], "headroom node takes more pages: {w:?}");
+        // The shift is clamped to one octave per iteration.
+        assert!(w[1] as f64 / w[0] as f64 <= 4.0 + 1e-9, "per-iteration clamp holds: {w:?}");
+    }
+
+    #[test]
+    fn weights_stay_on_grid_and_coprime() {
+        let w = propose_weights(&[1, 1, 1, 1], &[1.0, 1.0, 0.5, 0.5], 8);
+        assert_eq!(w.len(), 4);
+        assert!(*w.iter().max().unwrap() <= 8);
+        assert!(w.iter().all(|&x| x >= 1));
+        let g = w.iter().copied().fold(0, gcd);
+        assert_eq!(g, 1, "gcd divided out: {w:?}");
+    }
+
+    #[test]
+    fn idle_measurement_changes_nothing() {
+        assert_eq!(propose_weights(&[3, 1], &[0.0, 0.0], 8), vec![3, 1]);
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end tests of the closed tuning loop: diagnose → plan → apply →
+//! re-simulate → verify on real simulated workloads.
+
+use drbw_core::classifier::ContentionClassifier;
+use drbw_core::{training, DrBw, TrainingSet};
+use drbw_tune::{Tune, TuneConfig};
+use mldt::tree::TrainConfig;
+use numasim::config::MachineConfig;
+use numasim::memmap::PlacementPolicy;
+use numasim::topology::NodeId;
+use workloads::config::{Input, RunConfig};
+use workloads::plan::PlanAction;
+use workloads::spec::{BuiltWorkload, Suite, Workload};
+use workloads::suite::common::{partitioned_scan, Builder, ScanParams};
+
+/// The contended micro of `engine.rs::contention_and_interleave_relief`:
+/// a 32 MiB array master-allocated on node 0, scanned partitioned by the
+/// run's threads — the canonical case interleaving relieves by > 1.5×.
+struct ContendedMicro;
+
+impl Workload for ContendedMicro {
+    fn name(&self) -> &'static str {
+        "ContendedMicro"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        vec![Input::Native]
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        let mut b = Builder::new(mcfg, run);
+        let a = b.alloc("a", 7, 32 << 20, PlacementPolicy::Bind(NodeId(0)));
+        let threads = partitioned_scan(&b, &[a], ScanParams::read(4, 1, 0.5));
+        b.phase("scan", threads);
+        b.finish()
+    }
+}
+
+/// The same scan with the array already split evenly across the nodes —
+/// nothing for the tuner to fix.
+struct BalancedMicro;
+
+impl Workload for BalancedMicro {
+    fn name(&self) -> &'static str {
+        "BalancedMicro"
+    }
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+    fn inputs(&self) -> Vec<Input> {
+        vec![Input::Native]
+    }
+    fn build(&self, mcfg: &MachineConfig, run: &RunConfig) -> BuiltWorkload {
+        let mut b = Builder::new(mcfg, run);
+        let size = 32u64 << 20;
+        let policy = b.colocate_policy(size);
+        let a = b.alloc("a", 7, size, policy);
+        let threads = partitioned_scan(&b, &[a], ScanParams::read(4, 1, 0.5));
+        b.phase("scan", threads);
+        b.finish()
+    }
+}
+
+fn tool() -> DrBw {
+    let mcfg = MachineConfig::scaled();
+    let data = training::quick_training_set(&mcfg);
+    DrBw::new(ContentionClassifier::train(&data, TrainConfig::default()))
+}
+
+#[test]
+fn closed_loop_recovers_interleave_relief() {
+    let tool = tool();
+    let rcfg = RunConfig::new(32, 4, Input::Native);
+    let report = tool.tune(&ContendedMicro, &rcfg, &TuneConfig::default());
+    assert!(report.improved(), "the loop must fix the contended micro:\n{}", report.render());
+    assert!(
+        report.speedup() > 1.5,
+        "interleave relief must be recovered, got x{:.3}\n{}",
+        report.speedup(),
+        report.render()
+    );
+    assert!(
+        report.plan.entries().iter().any(|e| e.label == "a"),
+        "the plan re-places the diagnosed array, got: {}",
+        report.plan.describe()
+    );
+    assert_eq!(report.diagnosis.top_object().unwrap().label, "a", "CF ranking names the root cause");
+    // Bookkeeping: one baseline + one evaluation per trace entry.
+    assert_eq!(report.evaluations, report.trace.len() + 1);
+    assert!(report.trace.iter().all(|s| s.cycles > 0.0 && s.speedup > 0.0));
+}
+
+#[test]
+fn no_op_fallback_never_reports_a_slowdown() {
+    let tool = tool();
+    let rcfg = RunConfig::new(32, 4, Input::Native);
+    let report = tool.tune(&BalancedMicro, &rcfg, &TuneConfig::default());
+    assert!(report.speedup() >= 1.0, "the fallback bounds speedup at 1, got x{:.3}", report.speedup());
+    assert!(report.tuned_cycles <= report.baseline_cycles);
+    if !report.improved() {
+        assert_eq!(report.tuned_cycles, report.baseline_cycles, "no-op verdict keeps the baseline cycles");
+        assert!(report.plan.is_empty());
+    }
+}
+
+#[test]
+fn weighted_interleave_wins_on_an_asymmetric_machine() {
+    // Channels *into node 3* run at 40% bandwidth (Lepers-style asymmetry):
+    // dense index s*(n-1) + (d>s ? d-1 : d) for d=3 gives 2, 5, 8.
+    let mut mcfg = MachineConfig::scaled();
+    let weak = 0.4 * mcfg.interconnect.channel_bandwidth;
+    mcfg.interconnect.overrides = vec![(2, weak), (5, weak), (8, weak)];
+    let tool = DrBw::builder()
+        .machine(mcfg)
+        .training_set(TrainingSet::Quick)
+        .build()
+        .expect("train on the asymmetric machine");
+    let rcfg = RunConfig::new(32, 4, Input::Native);
+    let report = tool.tune(&ContendedMicro, &rcfg, &TuneConfig::default());
+    assert!(report.improved(), "asymmetric contention must still be fixed:\n{}", report.render());
+
+    // The weight search must have explored non-uniform ratios that shed
+    // pages from the weak node...
+    let weighted: Vec<_> = report
+        .trace
+        .iter()
+        .filter_map(|s| {
+            s.plan.entries().iter().find_map(|e| match &e.action {
+                PlanAction::WeightedInterleave { nodes, weights } => Some((nodes.clone(), weights.clone())),
+                _ => None,
+            })
+        })
+        .collect();
+    assert!(!weighted.is_empty(), "weight search ran:\n{}", report.render());
+    let shed = weighted.iter().any(|(nodes, weights)| {
+        let max = *weights.iter().max().unwrap();
+        nodes.iter().zip(weights).any(|(n, &w)| n.0 == 3 && w < max)
+    });
+    assert!(shed, "some proposal under-weights the weak node: {weighted:?}\n{}", report.render());
+
+    // ...and the best weighted candidate must beat uniform interleave.
+    let best_weighted = report
+        .trace
+        .iter()
+        .filter(|s| s.description.contains("weighted-interleave"))
+        .map(|s| s.cycles)
+        .fold(f64::INFINITY, f64::min);
+    let uniform = report
+        .trace
+        .iter()
+        .filter(|s| s.description.contains("\u{2192}interleave("))
+        .map(|s| s.cycles)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_weighted < uniform,
+        "weighted ({best_weighted:.0}) must beat uniform ({uniform:.0}) on the asymmetric machine:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn run_cache_serves_repeat_tunes() {
+    let dir = std::env::temp_dir().join(format!("drbw-tune-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut tool = tool();
+    tool.attach_run_cache(std::sync::Arc::new(runcache::RunCache::open(&dir).expect("open cache")));
+    let rcfg = RunConfig::new(32, 4, Input::Native);
+    let cold = tool.tune(&ContendedMicro, &rcfg, &TuneConfig::default());
+    let stored = tool.run_cache().unwrap().metrics().stores;
+    assert!(stored > 0, "cold loop populates the cache");
+    let warm = tool.tune(&ContendedMicro, &rcfg, &TuneConfig::default());
+    let m = tool.run_cache().unwrap().metrics();
+    assert!(m.hits >= cold.evaluations as u64, "warm loop replays from disk: {m:?}");
+    assert_eq!(warm.plan, cold.plan, "cached replay chooses the identical plan");
+    assert_eq!(warm.tuned_cycles, cold.tuned_cycles, "cached cycles are bit-identical");
+    assert_eq!(warm.baseline_cycles, cold.baseline_cycles);
+    let _ = std::fs::remove_dir_all(&dir);
+}

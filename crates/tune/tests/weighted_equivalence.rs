@@ -1,0 +1,80 @@
+//! Property: weighted interleave with *equal* weights is bit-identical to
+//! uniform interleave — same node for every page, for any weight value,
+//! any node subset, and any object size. This is the invariant that makes
+//! the weight search's `1:1:…:1` starting point exactly the uniform
+//! interleave candidate it was seeded from.
+
+use numasim::config::MachineConfig;
+use numasim::memmap::{MemoryMap, PlacementPolicy};
+use numasim::topology::NodeId;
+use proptest::prelude::*;
+use workloads::plan::{PlacementPlan, PlanAction};
+
+const PAGE: u64 = 4096;
+
+proptest! {
+    /// For any node subset, any common weight, and any page count, the
+    /// weighted policy assigns every page to the same node as the uniform
+    /// one.
+    #[test]
+    fn equal_weights_assign_pages_like_uniform_interleave(
+        node_count in 2usize..5,
+        weight in 1u32..17,
+        pages in 1u64..513,
+    ) {
+        let nodes: Vec<NodeId> = (0..node_count).map(|i| NodeId(i as u8)).collect();
+        let mut m = MemoryMap::new(&MachineConfig::scaled());
+        let size = pages * PAGE;
+        let uni = m.alloc("uni", size, PlacementPolicy::Interleave(nodes.clone()));
+        let wil = m.alloc(
+            "wil",
+            size,
+            PlacementPolicy::weighted(nodes.clone(), vec![weight; node_count]).expect("equal weights are valid"),
+        );
+        for p in 0..pages {
+            prop_assert_eq!(
+                m.query_node(uni.at(p * PAGE)),
+                m.query_node(wil.at(p * PAGE)),
+                "page {} of {} over {} nodes at weight {}", p, pages, node_count, weight
+            );
+        }
+    }
+
+    /// The same equivalence holds end-to-end through the plan layer: a
+    /// `WeightedInterleave` plan entry with equal weights rewrites an
+    /// object onto exactly the pages a plain `Interleave` entry chooses.
+    #[test]
+    fn equal_weight_plans_apply_like_uniform_plans(
+        node_count in 2usize..5,
+        weight in 1u32..17,
+        pages in 1u64..513,
+    ) {
+        let nodes: Vec<NodeId> = (0..node_count).map(|i| NodeId(i as u8)).collect();
+        let mcfg = MachineConfig::scaled();
+        let size = pages * PAGE;
+
+        let mut uni = MemoryMap::new(&mcfg);
+        let a = uni.alloc("a", size, PlacementPolicy::Bind(NodeId(0)));
+        let touched = PlacementPlan::new()
+            .with("a", PlanAction::Interleave(nodes.clone()))
+            .apply(&mut uni)
+            .expect("interleave always resolves");
+        prop_assert_eq!(touched, 1);
+
+        let mut wil = MemoryMap::new(&mcfg);
+        let b = wil.alloc("a", size, PlacementPolicy::Bind(NodeId(0)));
+        let touched = PlacementPlan::new()
+            .with("a", PlanAction::WeightedInterleave { nodes: nodes.clone(), weights: vec![weight; node_count] })
+            .apply(&mut wil)
+            .expect("equal weights always resolve");
+        prop_assert_eq!(touched, 1);
+
+        for p in 0..pages {
+            prop_assert_eq!(
+                uni.query_node(a.at(p * PAGE)),
+                wil.query_node(b.at(p * PAGE)),
+                "page {} of {} over {} nodes at weight {}", p, pages, node_count, weight
+            );
+        }
+    }
+}

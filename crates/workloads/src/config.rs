@@ -64,12 +64,16 @@ pub struct RunConfig {
     pub variant: Variant,
     /// Base RNG seed; per-thread stream seeds derive from it.
     pub seed: u64,
+    /// Guided-optimization placement plan, applied by the runner after the
+    /// variant treatment. `None` and `Some(empty)` both mean "as written".
+    /// Part of the simulated outcome, so it enters the run-cache key.
+    pub plan: Option<crate::plan::PlacementPlan>,
 }
 
 impl RunConfig {
     /// A baseline run of the given shape.
     pub fn new(threads: usize, nodes: usize, input: Input) -> Self {
-        Self { threads, nodes, input, variant: Variant::Baseline, seed: 0x5EED }
+        Self { threads, nodes, input, variant: Variant::Baseline, seed: 0x5EED, plan: None }
     }
 
     /// Same configuration with a different variant.
@@ -80,6 +84,11 @@ impl RunConfig {
     /// Same configuration with a different seed.
     pub fn with_seed(&self, seed: u64) -> Self {
         Self { seed, ..self.clone() }
+    }
+
+    /// Same configuration with a placement plan for the runner to apply.
+    pub fn with_plan(&self, plan: crate::plan::PlacementPlan) -> Self {
+        Self { plan: Some(plan), ..self.clone() }
     }
 
     /// The paper's label for this shape, e.g. `T16-N4`.

@@ -28,10 +28,12 @@
 pub mod config;
 pub mod ground_truth;
 pub mod micro;
+pub mod plan;
 pub mod runner;
 pub mod spec;
 pub mod suite;
 
 pub use config::{Input, RunConfig, Variant};
+pub use plan::{PlacementPlan, PlanAction, PlanEntry};
 pub use runner::{run, RunOutcome};
 pub use spec::{BuiltWorkload, Phase, Workload};

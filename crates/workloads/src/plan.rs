@@ -1,0 +1,237 @@
+//! Placement plans: the actionable output of the guided-optimization loop.
+//!
+//! A [`PlacementPlan`] is a list of *symbolic* re-placement actions keyed by
+//! object label — "interleave `block` over nodes 0..4", "co-locate
+//! `RAP_diag_j`". It is symbolic because the diagnoser knows labels, not
+//! addresses: object sizes and ids only exist once the workload is built,
+//! so the runner resolves each [`PlanAction`] into a concrete
+//! [`PlacementPolicy`] against the freshly built [`MemoryMap`] right before
+//! execution. This is what lets a plan produced from one profile be
+//! re-applied on every candidate re-simulation of the tuning loop (and be
+//! hashed into the run-cache key, since it changes the simulated outcome).
+
+use numasim::memmap::{MemoryMap, ObjectId, PlacementError, PlacementPolicy};
+use numasim::topology::NodeId;
+
+/// One symbolic re-placement, resolved per object at apply time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanAction {
+    /// Bind every page to one node.
+    Bind(NodeId),
+    /// Uniform interleave over the given nodes.
+    Interleave(Vec<NodeId>),
+    /// Weighted interleave over `nodes` with `weights` pages per cycle —
+    /// validated against [`PlacementPolicy::weighted`] at apply time.
+    WeightedInterleave {
+        /// Nodes striped over.
+        nodes: Vec<NodeId>,
+        /// Pages per node per striping cycle.
+        weights: Vec<u32>,
+    },
+    /// Even contiguous segments over nodes `0..nodes` (the paper's
+    /// *co-locate* for an evenly divided iteration space).
+    ColocateEven {
+        /// Number of nodes to split over.
+        nodes: usize,
+    },
+    /// A read-only copy on every node (the paper's *replicate*).
+    Replicate,
+    /// Back to the Linux default (undo a previous action).
+    FirstTouch,
+}
+
+impl PlanAction {
+    /// Resolve into a concrete policy for an object of `size` bytes.
+    ///
+    /// # Errors
+    /// Any [`PlacementError`] of the underlying policy constructor.
+    pub fn resolve(&self, size: u64) -> Result<PlacementPolicy, PlacementError> {
+        Ok(match self {
+            PlanAction::Bind(n) => PlacementPolicy::Bind(*n),
+            PlanAction::Interleave(nodes) => {
+                if nodes.is_empty() {
+                    return Err(PlacementError::EmptyNodes);
+                }
+                PlacementPolicy::Interleave(nodes.clone())
+            }
+            PlanAction::WeightedInterleave { nodes, weights } => {
+                PlacementPolicy::weighted(nodes.clone(), weights.clone())?
+            }
+            PlanAction::ColocateEven { nodes } => {
+                if *nodes == 0 {
+                    return Err(PlacementError::EmptyNodes);
+                }
+                PlacementPolicy::colocate_even(size, *nodes)
+            }
+            PlanAction::Replicate => PlacementPolicy::Replicated,
+            PlanAction::FirstTouch => PlacementPolicy::FirstTouch,
+        })
+    }
+
+    /// Short human-readable form for reports and convergence traces.
+    pub fn describe(&self) -> String {
+        match self {
+            PlanAction::Bind(n) => format!("bind({n})"),
+            PlanAction::Interleave(nodes) => format!("interleave({} nodes)", nodes.len()),
+            PlanAction::WeightedInterleave { weights, .. } => {
+                let w: Vec<String> = weights.iter().map(|w| w.to_string()).collect();
+                format!("weighted-interleave({})", w.join(":"))
+            }
+            PlanAction::ColocateEven { nodes } => format!("co-locate({nodes} nodes)"),
+            PlanAction::Replicate => "replicate".into(),
+            PlanAction::FirstTouch => "first-touch".into(),
+        }
+    }
+}
+
+/// One labelled step of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEntry {
+    /// Label of the object(s) to re-place, as reported by the diagnoser
+    /// (every allocation carrying this label is re-placed).
+    pub label: String,
+    /// What to do with them.
+    pub action: PlanAction,
+}
+
+/// An ordered list of re-placements applied to a workload's memory map
+/// after build (and after the legacy [`crate::config::Variant`] treatment).
+/// Later entries win when labels repeat.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlacementPlan {
+    entries: Vec<PlanEntry>,
+}
+
+impl PlacementPlan {
+    /// The empty plan (applies nothing; the baseline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one step, builder style.
+    pub fn with(mut self, label: impl Into<String>, action: PlanAction) -> Self {
+        self.push(label, action);
+        self
+    }
+
+    /// Add one step.
+    pub fn push(&mut self, label: impl Into<String>, action: PlanAction) {
+        self.entries.push(PlanEntry { label: label.into(), action });
+    }
+
+    /// The steps, in application order.
+    pub fn entries(&self) -> &[PlanEntry] {
+        &self.entries
+    }
+
+    /// Whether the plan has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Apply every step to `mm`, resolving actions per matched object.
+    /// Returns how many objects were re-placed; labels matching no object
+    /// count zero (a plan diagnosed from one input can name arrays a
+    /// smaller input never allocates).
+    ///
+    /// # Errors
+    /// Any [`PlacementError`] from resolving or setting a policy; earlier
+    /// steps stay applied.
+    pub fn apply(&self, mm: &mut MemoryMap) -> Result<usize, PlacementError> {
+        let mut touched = 0;
+        for entry in &self.entries {
+            let targets: Vec<(ObjectId, u64)> =
+                mm.objects().filter(|(_, o)| o.label == entry.label).map(|(id, o)| (id, o.size)).collect();
+            for (id, size) in targets {
+                mm.try_set_policy(id, entry.action.resolve(size)?)?;
+                touched += 1;
+            }
+        }
+        Ok(touched)
+    }
+
+    /// One-line human-readable form, e.g. `block→replicate, a→interleave(4
+    /// nodes)`.
+    pub fn describe(&self) -> String {
+        if self.entries.is_empty() {
+            return "no-op".into();
+        }
+        let steps: Vec<String> =
+            self.entries.iter().map(|e| format!("{}\u{2192}{}", e.label, e.action.describe())).collect();
+        steps.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numasim::config::MachineConfig;
+
+    fn mm() -> MemoryMap {
+        MemoryMap::new(&MachineConfig::scaled())
+    }
+
+    #[test]
+    fn actions_resolve_to_policies() {
+        assert_eq!(PlanAction::Bind(NodeId(2)).resolve(100), Ok(PlacementPolicy::Bind(NodeId(2))));
+        assert_eq!(
+            PlanAction::ColocateEven { nodes: 4 }.resolve(1 << 20),
+            Ok(PlacementPolicy::colocate_even(1 << 20, 4))
+        );
+        assert_eq!(PlanAction::Replicate.resolve(1), Ok(PlacementPolicy::Replicated));
+        assert_eq!(PlanAction::Interleave(vec![]).resolve(1), Err(PlacementError::EmptyNodes));
+        assert!(matches!(
+            PlanAction::WeightedInterleave { nodes: vec![NodeId(0)], weights: vec![0] }.resolve(1),
+            Err(PlacementError::ZeroWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_rewrites_matching_labels_only() {
+        let mut m = mm();
+        let a = m.alloc("hot", 8 * 4096, PlacementPolicy::Bind(NodeId(0)));
+        let b = m.alloc("cold", 4096, PlacementPolicy::Bind(NodeId(0)));
+        let plan = PlacementPlan::new()
+            .with("hot", PlanAction::Interleave(vec![NodeId(0), NodeId(1)]))
+            .with("missing", PlanAction::Replicate);
+        assert_eq!(plan.apply(&mut m), Ok(1), "one object matched, the missing label is not an error");
+        assert!(m.object(a.id).policy.interleave_nodes().is_some());
+        assert_eq!(m.object(b.id).policy.bound_node(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn later_entries_win_and_sizes_resolve_per_object() {
+        let mut m = mm();
+        let small = m.alloc("arr", 4 * 4096, PlacementPolicy::FirstTouch);
+        let big = m.alloc("arr", 1 << 20, PlacementPolicy::FirstTouch);
+        let plan =
+            PlacementPlan::new().with("arr", PlanAction::Replicate).with("arr", PlanAction::ColocateEven { nodes: 4 });
+        assert_eq!(plan.apply(&mut m), Ok(4), "two objects, re-placed by both entries");
+        // Each object got segments covering its own size.
+        assert_eq!(m.object(small.id).policy.segments().unwrap().last().unwrap().0, 4 * 4096);
+        assert_eq!(m.object(big.id).policy.segments().unwrap().last().unwrap().0, 1 << 20);
+    }
+
+    #[test]
+    fn invalid_action_surfaces_placement_error() {
+        let mut m = mm();
+        m.alloc("x", 4096, PlacementPolicy::FirstTouch);
+        let plan = PlacementPlan::new().with("x", PlanAction::Bind(NodeId(200)));
+        assert_eq!(plan.apply(&mut m), Err(PlacementError::NonexistentNode(NodeId(200))));
+    }
+
+    #[test]
+    fn describe_reads_well() {
+        assert_eq!(PlacementPlan::new().describe(), "no-op");
+        let plan = PlacementPlan::new()
+            .with("block", PlanAction::WeightedInterleave { nodes: vec![NodeId(0), NodeId(2)], weights: vec![1, 3] });
+        assert_eq!(plan.describe(), "block\u{2192}weighted-interleave(1:3)");
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 1);
+    }
+}

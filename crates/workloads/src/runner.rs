@@ -90,6 +90,13 @@ fn execute<O: Observer>(
             mm.set_policy(id, PlacementPolicy::interleave_all(mcfg.topology.num_nodes()));
         }
     }
+    if let Some(plan) = &run.plan {
+        // Guided optimization: the tuner's per-object re-placements, on top
+        // of (and overriding) whatever the variant did.
+        if let Err(e) = plan.apply(&mut mm) {
+            panic!("placement plan invalid for {}: {e}", workload.name());
+        }
+    }
     let mut engine = Engine::new(mcfg, mm, observer);
     let mut phases = Vec::with_capacity(built.phases.len());
     for phase in built.phases {
@@ -180,6 +187,22 @@ mod tests {
         let inter = run(&Sumv, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
         // Master-allocated sumv at large input contends; interleave helps.
         assert!(inter.speedup_over(&base) > 1.1, "speedup {}", inter.speedup_over(&base));
+    }
+
+    #[test]
+    fn plan_application_matches_variant_treatment() {
+        // A plan interleaving sumv's only tracked array must reproduce the
+        // generic InterleaveAll variant exactly: same placement → identical
+        // simulated outcome.
+        let mcfg = MachineConfig::scaled();
+        let rcfg = RunConfig::new(32, 4, Input::Large);
+        let via_variant = run(&Sumv, &mcfg, &rcfg.with_variant(Variant::InterleaveAll), None);
+        let plan = crate::plan::PlacementPlan::new()
+            .with("v", crate::plan::PlanAction::Interleave((0..4).map(numasim::topology::NodeId).collect()));
+        let via_plan = run(&Sumv, &mcfg, &rcfg.with_plan(plan), None);
+        assert_eq!(via_plan.cycles(), via_variant.cycles());
+        let base = run(&Sumv, &mcfg, &rcfg, None);
+        assert!(via_plan.speedup_over(&base) > 1.1, "plan must deliver the interleave relief");
     }
 
     #[test]

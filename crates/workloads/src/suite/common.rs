@@ -304,7 +304,7 @@ mod tests {
         let (mcfg, run) = setup();
         let b = Builder::new(&mcfg, &run);
         let pol = b.colocate_policy(16 << 20);
-        let PlacementPolicy::Segmented(segs) = &pol else { panic!("expected segments") };
+        let segs = pol.segments().expect("expected segments");
         // 16 threads over 4 nodes: 4 consecutive shares per node.
         assert_eq!(segs.len(), 16);
         assert_eq!(segs[0].1, NodeId(0));
@@ -347,7 +347,7 @@ mod tests {
         assert_eq!(b.hot_policy(4096), PlacementPolicy::FirstTouch);
         let colo = run.with_variant(Variant::CoLocate);
         let b = Builder::new(&mcfg, &colo);
-        assert!(matches!(b.hot_policy(1 << 20), PlacementPolicy::Segmented(_)));
+        assert!(b.hot_policy(1 << 20).segments().is_some());
         let repl = run.with_variant(Variant::Replicate);
         let b = Builder::new(&mcfg, &repl);
         assert_eq!(b.hot_policy(4096), PlacementPolicy::Replicated);

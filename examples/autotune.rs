@@ -1,0 +1,49 @@
+//! Closed-loop guided optimization: DR-BW diagnoses a contended run, the
+//! autotuner proposes placements for the ranked objects, re-simulates each
+//! candidate, and keeps the best *verified* plan.
+//!
+//! ```text
+//! cargo run --release --example autotune [benchmark] [threads] [nodes]
+//! ```
+//!
+//! Defaults to Streamcluster on 32 threads / 4 nodes — the paper's §VIII.C
+//! case study, where interleaving the diagnosed `block` array relieves the
+//! contention. Set `DRBW_RUNCACHE_DIR=<dir>` to memoize the training grid
+//! and every candidate re-simulation (the CI smoke test runs this example
+//! twice against one cache directory; the warm pass replays from disk).
+
+use drbw::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "Streamcluster".into());
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let workload = drbw::workloads::suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name:?}; try one of:");
+        for w in drbw::workloads::suite::all_benchmarks() {
+            eprintln!("  {}", w.name());
+        }
+        std::process::exit(1);
+    });
+    let input = *workload.inputs().last().unwrap();
+    let rcfg = RunConfig::new(threads, nodes, input);
+
+    println!("training classifier (quick subset)...");
+    let mut builder = DrBw::builder().training_set(TrainingSet::Quick);
+    if let Some(dir) = std::env::var_os("DRBW_RUNCACHE_DIR") {
+        builder = builder.run_cache(std::path::PathBuf::from(dir));
+    }
+    let tool = builder.build().expect("the quick training grid always trains");
+
+    println!("tuning {} at {} ({})...\n", workload.name(), rcfg.shape_label(), input.name());
+    let report = tool.tune(workload, &rcfg, &TuneConfig::default());
+    print!("{}", report.render());
+    println!(
+        "\nautotune: evaluated {} candidate(s), chose `{}`, x{:.3} verified speedup",
+        report.trace.len(),
+        report.plan.describe(),
+        report.speedup()
+    );
+}

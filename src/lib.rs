@@ -18,7 +18,10 @@
 //!   verdicts with hysteresis, and top-K Contribution-Fraction sketches;
 //! * [`runcache`] — content-addressed on-disk memoization of simulated
 //!   runs (columnar sample-log codec, hash-verified reads), so repeated
-//!   grids and regeneration loops read results instead of re-simulating.
+//!   grids and regeneration loops read results instead of re-simulating;
+//! * [`tune`] — the guided-optimization autotuner: the closed diagnose →
+//!   plan → apply-placement → re-simulate → verify loop, with
+//!   weighted-interleave weight search over measured per-node pressure.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 
 pub use drbw_core as core;
 pub use drbw_stream as stream;
+pub use drbw_tune as tune;
 pub use mldt;
 pub use numasim;
 pub use pebs;
@@ -73,7 +77,11 @@ pub mod prelude {
     //!   implemented by every profiled program;
     //! * the streaming detector — [`StreamingDetector`], its
     //!   [`StreamConfig`] / [`WindowConfig`], and the [`VerdictEvent`]s it
-    //!   emits.
+    //!   emits;
+    //! * the autotuner — the [`Tune`] extension trait (adding
+    //!   [`Tune::tune`] to [`DrBw`]), its [`TuneConfig`], the
+    //!   [`TuneReport`] it returns, and the [`PlacementPlan`] /
+    //!   [`PlanAction`] placement vocabulary plans are written in.
     //!
     //! Anything rarer (feature indices, report rendering, heuristic
     //! baselines, the training grid) stays behind the full module paths,
@@ -83,10 +91,12 @@ pub mod prelude {
         Mode, Profile, TrainingSet,
     };
     pub use drbw_stream::{StreamConfig, StreamingDetector, VerdictEvent, WindowConfig};
+    pub use drbw_tune::{Tune, TuneConfig, TuneReport};
     pub use mldt::tree::TrainConfig;
     pub use numasim::config::MachineConfig;
     pub use pebs::sampler::SamplerConfig;
     pub use workloads::config::{Input, RunConfig, Variant};
+    pub use workloads::plan::{PlacementPlan, PlanAction};
     pub use workloads::spec::Workload;
 }
 
