@@ -65,6 +65,30 @@ fi
 echo "    warm pass ${warm_secs}s, $(grep '^autotune:' "$tune_cache/warm.out")"
 rm -rf "$tune_cache"
 
+echo "==> serve smoke (50 concurrent sessions through the analysis service)"
+serve_cache=$(mktemp -d)
+serve_start=$SECONDS
+DRBW_RUNCACHE_DIR="$serve_cache" ./target/release/serve_load --smoke \
+    --out "$serve_cache/BENCH_serve_smoke.json" > "$serve_cache/smoke.out"
+serve_secs=$((SECONDS - serve_start))
+# The binary hard-asserts >=1 rmc verdict per contended session, zero
+# drops, and version-stamped windows; here we only gate the budget and
+# sanity-check the snapshot it wrote.
+grep -q '"samples_dropped": 0' "$serve_cache/BENCH_serve_smoke.json" || {
+    echo "serve smoke: snapshot reports dropped samples" >&2
+    exit 1
+}
+grep -q '"sessions_closed": 50' "$serve_cache/BENCH_serve_smoke.json" || {
+    echo "serve smoke: snapshot did not close all 50 sessions" >&2
+    exit 1
+}
+if [ "$serve_secs" -ge 15 ]; then
+    echo "serve smoke: took ${serve_secs}s (budget < 15s)" >&2
+    exit 1
+fi
+echo "    ${serve_secs}s, $(grep -o '"verdicts": [0-9]*' "$serve_cache/BENCH_serve_smoke.json") across 50 sessions, zero drops"
+rm -rf "$serve_cache"
+
 # Surface the recorded cache-walk ablation so perf regressions in the
 # fused span walk are visible in CI logs (BENCH_engine.json is refreshed
 # by crates/bench/src/bin/bench_engine.rs, not by this script).

@@ -1,0 +1,261 @@
+//! Load harness for `drbw-serve`: one in-process [`AnalysisServer`]
+//! multiplexing hundreds to thousands of **simultaneously open** replayed
+//! sessions, fed from concurrent producer threads with blocking
+//! (backpressure-honouring) offers. Half the sessions replay a contended
+//! recorded run, half a quiet control; a model republish lands mid-run so
+//! every verdict's version stamp exercises the hot-swap path.
+//!
+//! Asserts: zero dropped samples under the default ring sizing, an `rmc`
+//! verdict on every contended session, no verdict on any quiet session,
+//! and every window version ∈ {1, 2}. Writes `BENCH_serve.json`
+//! (sessions, throughput, verdict p50/p99, the embedded
+//! [`drbw_serve::ServeMetrics::to_json`] snapshot).
+//!
+//! ```text
+//! cargo run --release -p drbw-bench --bin serve_load [--smoke] \
+//!     [--sessions N] [--out BENCH_serve.json]
+//! ```
+//!
+//! `--smoke` is the CI shape: 50 sessions, seconds end to end even with
+//! a cold run cache.
+
+use drbw_bench::sweep::train_tool;
+use drbw_bench::util::{memo_run, open_run_cache, write_text, BenchError};
+use drbw_core::Mode;
+use drbw_serve::{AnalysisServer, ServerConfig, SessionHandle};
+use drbw_stream::{StreamConfig, WindowConfig};
+use numasim::config::MachineConfig;
+use pebs::sample::MemSample;
+use pebs::sampler::SamplerConfig;
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::config::{Input, RunConfig};
+
+/// Samples each session replays (a stride-subsampled slice of the
+/// recorded run, preserving its time span and so its window grid).
+const SAMPLES_PER_SESSION: usize = 1000;
+
+/// Samples a producer feeds one session before moving to the next, so all
+/// of a producer's sessions advance together (they stay concurrently
+/// mid-stream, not sequentially replayed).
+const CHUNK: usize = 100;
+
+struct Args {
+    smoke: bool,
+    sessions: usize,
+    producers: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, BenchError> {
+    let mut args = Args { smoke: false, sessions: 1000, producers: 4, out: "BENCH_serve.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.sessions = 50;
+                args.producers = 2;
+            }
+            "--sessions" => {
+                let v = it.next().ok_or_else(|| BenchError::new("--sessions needs a value"))?;
+                args.sessions = v.parse().map_err(|e| BenchError::new(format!("bad --sessions {v}: {e}")))?;
+            }
+            "--out" => args.out = it.next().ok_or_else(|| BenchError::new("--out needs a value"))?,
+            other => return Err(BenchError::new(format!("unknown argument {other}"))),
+        }
+    }
+    if args.sessions < 2 {
+        return Err(BenchError::new("need at least 2 sessions (one contended, one quiet)"));
+    }
+    Ok(args)
+}
+
+/// Subsample `samples` to at most `limit` with an even stride, keeping
+/// the original (already time-sorted) timestamps.
+fn subsample(samples: &[MemSample], limit: usize) -> Vec<MemSample> {
+    let stride = samples.len().div_ceil(limit).max(1);
+    samples.iter().step_by(stride).copied().collect()
+}
+
+fn main() -> Result<(), BenchError> {
+    let args = parse_args()?;
+    let mcfg = MachineConfig::scaled();
+    eprintln!("training (or loading) the DR-BW model...");
+    let tool = train_tool(&mcfg);
+    let cache = open_run_cache();
+
+    // Recorded source runs, the same pair stream_replay studies: the
+    // contended rmc shape (every node streaming into node 0) and a quiet
+    // control that stays below the remote-traffic guards.
+    let hot_rcfg = RunConfig::new(32, 4, Input::Large);
+    let cold_rcfg = RunConfig::new(16, 4, Input::Medium);
+    let sumv = workloads::micro::Sumv;
+    eprintln!("recording source runs (memoized)...");
+    let hot_run = memo_run(cache.as_deref(), &sumv, &mcfg, &hot_rcfg, Some(SamplerConfig::default()));
+    let cold_run = memo_run(cache.as_deref(), &sumv, &mcfg, &cold_rcfg, Some(SamplerConfig::default()));
+    let hot_cycles = hot_run.cycles();
+    let hot = Arc::new(subsample(&hot_run.samples, SAMPLES_PER_SESSION));
+    let cold = Arc::new(subsample(&cold_run.samples, SAMPLES_PER_SESSION));
+    drop((hot_run, cold_run));
+
+    // ~10 tumbling windows across the contended replay (the quiet replay
+    // just sees however many fit its span).
+    let window = WindowConfig::tumbling((hot_cycles / 10.0).max(1.0));
+    let stream_cfg = StreamConfig { record_windows: true, ..StreamConfig::new(mcfg.topology.num_nodes(), window) };
+    let server = Arc::new(AnalysisServer::start(tool.classifier().clone(), ServerConfig::new(stream_cfg)));
+    if let Some(cache) = &cache {
+        server.attach_run_cache(Arc::clone(cache));
+    }
+
+    eprintln!(
+        "driving {} concurrent sessions ({} producers, {} samples/session, ring {})...",
+        args.sessions,
+        args.producers,
+        hot.len().max(cold.len()),
+        server.config().ring_capacity
+    );
+    let start = Instant::now();
+    // Every session opens before any feeding starts: the whole population
+    // is concurrently open for the duration of the run. Even ids replay
+    // the contended run, odd ids the quiet one.
+    let all: Vec<(bool, SessionHandle)> = (0..args.sessions).map(|i| (i % 2 == 0, server.open_session())).collect();
+    let mut per_producer: Vec<Vec<(bool, SessionHandle)>> = (0..args.producers).map(|_| Vec::new()).collect();
+    for (i, s) in all.into_iter().enumerate() {
+        per_producer[i % args.producers].push(s);
+    }
+
+    // Republish the (identical) model mid-run: verdicts before the swap
+    // stamp v1, after it v2 — the hot-swap proof without perturbing any
+    // expected verdict.
+    let swap_at = SAMPLES_PER_SESSION / 2;
+    let producers: Vec<_> = per_producer
+        .into_iter()
+        .enumerate()
+        .map(|(tid, sessions)| {
+            let (hot, cold, server) = (Arc::clone(&hot), Arc::clone(&cold), Arc::clone(&server));
+            std::thread::spawn(move || {
+                let mut cursor = 0usize;
+                let longest = hot.len().max(cold.len());
+                let mut swapped = tid != 0;
+                while cursor < longest {
+                    if !swapped && cursor >= swap_at {
+                        server.publish_model(server.registry().current().model().as_ref().clone());
+                        swapped = true;
+                    }
+                    for (contended, handle) in &sessions {
+                        let stream = if *contended { &hot } else { &cold };
+                        for s in stream.iter().skip(cursor).take(CHUNK) {
+                            handle.offer_blocking(s, None);
+                        }
+                    }
+                    cursor += CHUNK;
+                }
+                sessions.into_iter().map(|(c, h)| (c, h.finish())).collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    let mut reports = Vec::with_capacity(args.sessions);
+    for p in producers {
+        reports.extend(p.join().expect("producer thread panicked"));
+    }
+    let wall = start.elapsed();
+    let metrics = server.metrics();
+
+    // Hard assertions — the harness doubles as the CI smoke.
+    let mut contended_with_verdict = 0usize;
+    let mut quiet_sessions = 0usize;
+    let mut v1_events = 0u64;
+    let mut v2_events = 0u64;
+    let mut migrated_sessions = 0usize;
+    for (contended, r) in &reports {
+        assert_eq!(r.ring.dropped, 0, "blocking offers must never drop ({}): {:?}", r.id, r.ring);
+        assert_eq!(r.ring.popped, r.ring.offered, "every sample must be consumed ({})", r.id);
+        for e in &r.events {
+            match e.model_version {
+                1 => v1_events += 1,
+                2 => v2_events += 1,
+                v => panic!("event stamped with unpublished model version {v}"),
+            }
+        }
+        assert!(
+            r.model_versions.iter().all(|&v| v == 1 || v == 2),
+            "session {} classified with unpublished versions {:?}",
+            r.id,
+            r.model_versions
+        );
+        if r.model_versions.contains(&1) && r.model_versions.contains(&2) {
+            migrated_sessions += 1;
+        }
+        if *contended {
+            let raised = r.events.iter().any(|e| e.mode == Mode::Rmc);
+            if !raised && std::env::var_os("DRBW_SERVE_DEBUG").is_some() {
+                eprintln!("session {} windows: {:#?}", r.id, r.windows);
+            }
+            assert!(raised, "contended session {} raised no rmc verdict", r.id);
+            contended_with_verdict += 1;
+        } else {
+            quiet_sessions += 1;
+            assert!(r.events.is_empty(), "quiet session {} flipped: {:?}", r.id, r.events);
+        }
+    }
+    assert_eq!(metrics.samples_dropped, 0, "service-level drop accounting must agree");
+    assert_eq!(metrics.sessions_closed, args.sessions as u64);
+    assert_eq!((metrics.model_epoch, metrics.model_swaps), (2, 1), "exactly one mid-run republish");
+    assert!(
+        migrated_sessions > 0,
+        "no open session observed the mid-run swap (all {} stayed on one version)",
+        args.sessions
+    );
+
+    let throughput = metrics.samples_ingested as f64 / wall.as_secs_f64();
+    let json = format!(
+        r#"{{
+  "bench": "serve_load",
+  "mode": "{}",
+  "sessions": {},
+  "contended_sessions": {},
+  "quiet_sessions": {},
+  "producers": {},
+  "samples_per_session": {},
+  "wall_s": {:.3},
+  "throughput_samples_per_s": {:.0},
+  "verdict_p50_us": {:.1},
+  "verdict_p99_us": {:.1},
+  "events_on_v1": {},
+  "events_on_v2": {},
+  "sessions_migrated_v1_to_v2": {},
+  "serve": {}
+}}
+"#,
+        if args.smoke { "smoke" } else { "full" },
+        args.sessions,
+        contended_with_verdict,
+        quiet_sessions,
+        args.producers,
+        hot.len().max(cold.len()),
+        wall.as_secs_f64(),
+        throughput,
+        metrics.verdict_p50_us,
+        metrics.verdict_p99_us,
+        v1_events,
+        v2_events,
+        migrated_sessions,
+        metrics.to_json(),
+    );
+    write_text(&args.out, &json)?;
+    print!("{json}");
+    eprintln!(
+        "{} sessions, {:.2}s, {:.0} samples/s, p50 {:.0}us p99 {:.0}us — wrote {}",
+        args.sessions,
+        wall.as_secs_f64(),
+        throughput,
+        metrics.verdict_p50_us,
+        metrics.verdict_p99_us,
+        args.out
+    );
+    let server = Arc::into_inner(server).expect("all producer clones joined");
+    server.shutdown();
+    Ok(())
+}

@@ -46,6 +46,7 @@ pub mod error;
 pub mod features;
 pub mod heuristics;
 pub mod profiler;
+pub mod registry;
 pub mod report;
 pub mod training;
 
@@ -53,6 +54,7 @@ pub use classifier::{CaseResult, ContentionClassifier, Mode};
 pub use diagnoser::{diagnose, Diagnosis, OwnedDiagnosis};
 pub use error::DrbwError;
 pub use profiler::{profile, profile_memo, profile_with, Profile};
+pub use registry::{ModelHandle, ModelReader, ModelRegistry};
 
 use mldt::tree::TrainConfig;
 use numasim::config::MachineConfig;

@@ -1,0 +1,230 @@
+//! Read-mostly model registry with atomic hot-swap.
+//!
+//! A long-running analysis service classifies on many threads at once
+//! while an operator occasionally retrains and publishes a new model. The
+//! registry separates those rates: publishing is rare and takes a lock;
+//! the classify path is hot and takes none. Each published model gets a
+//! monotonically increasing **version** (plus a content-derived tree
+//! fingerprint), and the current version is mirrored into an atomic
+//! **epoch** word. A [`ModelReader`] caches the last [`ModelHandle`] it
+//! fetched and revalidates with a single atomic load per check — the
+//! epoch-pointer discipline of `ArcSwap`, built from safe primitives: the
+//! slot mutex is touched only on the (rare) epoch transition, never on
+//! the steady-state classify path.
+//!
+//! Versioned handles are what make hot-swap *observable*: a consumer pins
+//! the handle it started a window with, classifies the whole window on it,
+//! and stamps the verdict with the handle's version, so "every window was
+//! classified by exactly one model" is checkable after the fact.
+
+use crate::classifier::ContentionClassifier;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A versioned, cheaply clonable reference to one published classifier.
+#[derive(Debug, Clone)]
+pub struct ModelHandle {
+    version: u64,
+    fingerprint: u64,
+    model: Arc<ContentionClassifier>,
+}
+
+impl ModelHandle {
+    /// Registry-assigned publication version (1 for the registry's initial
+    /// model, increasing by one per publish).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Structural fingerprint of the underlying decision tree (see
+    /// [`mldt::tree::DecisionTree::fingerprint`]): two handles with equal
+    /// fingerprints classify identically even across save/load.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The classifier itself.
+    pub fn model(&self) -> &Arc<ContentionClassifier> {
+        &self.model
+    }
+}
+
+/// The shared registry: one current model, atomically hot-swappable.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    /// Version of the currently published model; readers revalidate
+    /// against this word without locking.
+    epoch: AtomicU64,
+    /// The current handle. Locked only by [`ModelRegistry::publish`] and
+    /// by readers refreshing after an epoch change.
+    slot: Mutex<ModelHandle>,
+}
+
+impl ModelRegistry {
+    /// A registry whose initial model is `classifier`, published as
+    /// version 1.
+    pub fn new(classifier: ContentionClassifier) -> Self {
+        let handle =
+            ModelHandle { version: 1, fingerprint: classifier.tree().fingerprint(), model: Arc::new(classifier) };
+        Self { epoch: AtomicU64::new(1), slot: Mutex::new(handle) }
+    }
+
+    /// The current publication version. One atomic load — this is the
+    /// only registry operation on the classify path.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Models published after the initial one.
+    pub fn swaps(&self) -> u64 {
+        self.epoch() - 1
+    }
+
+    /// A clone of the current handle (locks the slot; use a
+    /// [`ModelReader`] on hot paths).
+    pub fn current(&self) -> ModelHandle {
+        self.slot.lock().expect("model slot poisoned").clone()
+    }
+
+    /// Atomically publish `classifier` as the new current model and
+    /// return its handle. In-flight readers holding the previous handle
+    /// keep classifying on it (the `Arc` keeps it alive); they observe
+    /// the swap at their next epoch check.
+    pub fn publish(&self, classifier: ContentionClassifier) -> ModelHandle {
+        let mut slot = self.slot.lock().expect("model slot poisoned");
+        let handle = ModelHandle {
+            version: slot.version + 1,
+            fingerprint: classifier.tree().fingerprint(),
+            model: Arc::new(classifier),
+        };
+        *slot = handle.clone();
+        // The new handle must be visible before the epoch that announces
+        // it; readers load the epoch with Acquire.
+        self.epoch.store(handle.version, Ordering::Release);
+        handle
+    }
+}
+
+/// A per-consumer cache over a shared [`ModelRegistry`].
+///
+/// `handle()` costs one atomic load while the epoch is unchanged; only an
+/// actual swap pays the slot lock, once, to refetch.
+#[derive(Debug, Clone)]
+pub struct ModelReader {
+    registry: Arc<ModelRegistry>,
+    cached: ModelHandle,
+}
+
+impl ModelReader {
+    /// A reader over `registry`, pre-warmed with the current model.
+    pub fn new(registry: Arc<ModelRegistry>) -> Self {
+        let cached = registry.current();
+        Self { registry, cached }
+    }
+
+    /// The current handle, revalidated against the registry epoch.
+    pub fn handle(&mut self) -> &ModelHandle {
+        if self.registry.epoch() != self.cached.version {
+            self.cached = self.registry.current();
+        }
+        &self.cached
+    }
+
+    /// The last handle fetched, without revalidating.
+    pub fn cached(&self) -> &ModelHandle {
+        &self.cached
+    }
+
+    /// The registry this reader watches.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::empty_feature_dataset;
+    use crate::features::{NUM_SELECTED, REMOTE_COUNT, REMOTE_LATENCY};
+    use mldt::tree::TrainConfig;
+
+    fn classifier(split: f64) -> ContentionClassifier {
+        let mut d = empty_feature_dataset();
+        for i in 0..20 {
+            let mut good = [0.0; NUM_SELECTED];
+            good[REMOTE_COUNT] = split - 10.0 - (i % 5) as f64;
+            good[REMOTE_LATENCY] = 280.0;
+            d.push(good.to_vec(), 0);
+            let mut rmc = [0.0; NUM_SELECTED];
+            rmc[REMOTE_COUNT] = split + 10.0 + i as f64;
+            rmc[REMOTE_LATENCY] = 950.0;
+            d.push(rmc.to_vec(), 1);
+        }
+        ContentionClassifier::train(&d, TrainConfig::default())
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_versions_monotonically() {
+        let reg = ModelRegistry::new(classifier(100.0));
+        assert_eq!(reg.epoch(), 1);
+        assert_eq!(reg.current().version(), 1);
+        let v2 = reg.publish(classifier(200.0));
+        assert_eq!((v2.version(), reg.epoch(), reg.swaps()), (2, 2, 1));
+        let v3 = reg.publish(classifier(300.0));
+        assert_eq!((v3.version(), reg.epoch()), (3, 3));
+        assert_ne!(v2.fingerprint(), v3.fingerprint());
+    }
+
+    #[test]
+    fn reader_sees_swaps_only_at_revalidation() {
+        let reg = Arc::new(ModelRegistry::new(classifier(100.0)));
+        let mut reader = ModelReader::new(Arc::clone(&reg));
+        assert_eq!(reader.handle().version(), 1);
+        let pinned = reader.cached().clone();
+        reg.publish(classifier(200.0));
+        // The pinned handle still classifies on the old model.
+        let mut probe = [0.0; NUM_SELECTED];
+        probe[REMOTE_COUNT] = 150.0;
+        probe[REMOTE_LATENCY] = 950.0;
+        assert_eq!(pinned.model().predict(&probe), crate::Mode::Rmc, "old split at 100 says rmc");
+        assert_eq!(reader.cached().version(), 1, "no revalidation yet");
+        assert_eq!(reader.handle().version(), 2, "revalidation observes the swap");
+        assert_eq!(reader.handle().model().predict(&probe), crate::Mode::Good, "new split at 200 says good");
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_a_torn_handle() {
+        let reg = Arc::new(ModelRegistry::new(classifier(100.0)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut reader = ModelReader::new(reg);
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let h = reader.handle();
+                        assert!(h.version() >= last, "versions must be monotone per reader");
+                        assert_eq!(
+                            h.fingerprint(),
+                            h.model().tree().fingerprint(),
+                            "handle fields must belong to one publication"
+                        );
+                        last = h.version();
+                    }
+                    last
+                })
+            })
+            .collect();
+        for split in [200.0, 300.0, 400.0, 500.0] {
+            reg.publish(classifier(split));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader thread panicked");
+        }
+        assert_eq!(reg.epoch(), 5);
+    }
+}

@@ -281,6 +281,42 @@ impl DecisionTree {
     pub fn num_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
     }
+
+    /// A stable 64-bit structural fingerprint of the tree: FNV-1a over the
+    /// arena in index order (split feature/threshold bits/children, leaf
+    /// labels and class counts). Two trees predict identically whenever
+    /// their fingerprints match, so a model registry can use it as a
+    /// content-derived version tag that survives save/load round-trips.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.num_features as u64);
+        mix(self.num_classes as u64);
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { label, counts } => {
+                    mix(0);
+                    mix(*label as u64);
+                    mix(counts.len() as u64);
+                    for &c in counts {
+                        mix(c as u64);
+                    }
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    mix(1);
+                    mix(*feature as u64);
+                    mix(threshold.to_bits());
+                    mix(*left as u64);
+                    mix(*right as u64);
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +331,21 @@ mod tests {
             d.push(vec![100.0 + i as f64, (i % 3) as f64], 1);
         }
         d
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structure_sensitive() {
+        let d = separable();
+        let t = DecisionTree::train(&d, TrainConfig::default());
+        assert_eq!(t.fingerprint(), t.clone().fingerprint(), "fingerprint is a pure function of structure");
+        assert_eq!(t.fingerprint(), DecisionTree::train(&d, TrainConfig::default()).fingerprint());
+        // A structurally different tree (deeper data) fingerprints apart.
+        let mut d2 = Dataset::binary(vec!["f0".into(), "noise".into()]);
+        for i in 0..20 {
+            d2.push(vec![i as f64, (i % 7) as f64], (i % 2) as usize);
+        }
+        let t2 = DecisionTree::train(&d2, TrainConfig::default());
+        assert_ne!(t.fingerprint(), t2.fingerprint());
     }
 
     #[test]

@@ -9,9 +9,17 @@
 //! hardware buffer's own overwrite discipline). Either way, every sample
 //! ever offered is accounted for: `offered() == accepted() + dropped()`,
 //! and `accepted() == len() + popped()`.
+//!
+//! [`SampleRing`] itself is single-threaded (`&mut self`); for the
+//! service path — producer on one thread, per-session consumer on a shard
+//! worker — [`SharedSampleRing`] wraps one ring behind a mutex + condvar
+//! so it can be handed across threads with the same FIFO order and the
+//! same loss accounting.
 
 use crate::sample::MemSample;
 use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// What the ring does when a sample is offered while full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -155,6 +163,134 @@ impl SampleRing {
     }
 }
 
+/// Point-in-time snapshot of a shared ring's loss accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingCounters {
+    /// Samples ever offered.
+    pub offered: u64,
+    /// Samples lost to overflow (refused or evicted).
+    pub dropped: u64,
+    /// Samples the consumer has dequeued.
+    pub popped: u64,
+    /// Samples currently queued.
+    pub len: usize,
+    /// High-water mark of queued samples.
+    pub peak: usize,
+}
+
+impl RingCounters {
+    /// Samples accepted into the ring (`offered - dropped`).
+    pub fn accepted(&self) -> u64 {
+        self.offered - self.dropped
+    }
+}
+
+/// A [`SampleRing`] shareable across threads: cloned handles refer to the
+/// same bounded FIFO, producers `offer` on one thread while a consumer
+/// `pop`s on another, and the inner ring's accounting invariants hold at
+/// every instant (`offered == accepted + dropped`,
+/// `accepted == popped + len`, observed under the lock).
+///
+/// Blocking is opt-in: `offer`/`pop` never wait, `pop_wait` parks the
+/// consumer until a sample arrives or the timeout lapses.
+#[derive(Debug, Clone)]
+pub struct SharedSampleRing {
+    inner: Arc<SharedRingInner>,
+}
+
+#[derive(Debug)]
+struct SharedRingInner {
+    ring: Mutex<SampleRing>,
+    available: Condvar,
+}
+
+impl SharedSampleRing {
+    /// A shared ring holding at most `capacity` samples, rejecting the
+    /// newest on overflow.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, OverflowPolicy::RejectNewest)
+    }
+
+    /// A shared ring with an explicit overflow policy.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_policy(capacity: usize, policy: OverflowPolicy) -> Self {
+        Self {
+            inner: Arc::new(SharedRingInner {
+                ring: Mutex::new(SampleRing::with_policy(capacity, policy)),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SampleRing> {
+        // A poisoned ring means a holder panicked mid-operation; every
+        // SampleRing operation leaves the ring consistent at each
+        // statement boundary, so continuing is sound for accounting.
+        self.inner.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Offer one sample (producer side); wakes one parked consumer when
+    /// the sample lands in the queue.
+    pub fn offer(&self, s: MemSample) -> Offer {
+        let outcome = self.lock().offer(s);
+        if outcome != Offer::RejectedNewest {
+            self.inner.available.notify_one();
+        }
+        outcome
+    }
+
+    /// Dequeue the oldest queued sample without waiting.
+    pub fn pop(&self) -> Option<MemSample> {
+        self.lock().pop()
+    }
+
+    /// Dequeue, parking up to `timeout` for a producer. Returns `None`
+    /// only if the ring stayed empty for the whole wait.
+    pub fn pop_wait(&self, timeout: Duration) -> Option<MemSample> {
+        let mut ring = self.lock();
+        if let Some(s) = ring.pop() {
+            return Some(s);
+        }
+        let (mut ring, _timed_out) =
+            self.inner.available.wait_timeout_while(ring, timeout, |r| r.is_empty()).unwrap_or_else(|e| e.into_inner());
+        ring.pop()
+    }
+
+    /// Move up to `max` queued samples into `buf` (appended), returning
+    /// how many were moved. One lock acquisition for the whole batch —
+    /// the shard-worker drain path.
+    pub fn drain_into(&self, buf: &mut Vec<MemSample>, max: usize) -> usize {
+        let mut ring = self.lock();
+        let n = ring.len().min(max);
+        for _ in 0..n {
+            buf.push(ring.pop().expect("len-bounded pop"));
+        }
+        n
+    }
+
+    /// Consistent snapshot of the loss accounting.
+    pub fn counters(&self) -> RingCounters {
+        let ring = self.lock();
+        RingCounters {
+            offered: ring.offered(),
+            dropped: ring.dropped(),
+            popped: ring.popped(),
+            len: ring.len(),
+            peak: ring.peak_len(),
+        }
+    }
+
+    /// Maximum number of queued samples.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +372,144 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         SampleRing::new(0);
+    }
+
+    /// Producer thread with retry-on-reject, consumer thread draining: a
+    /// backpressured hand-off loses nothing and preserves FIFO order.
+    #[test]
+    fn cross_thread_handoff_with_backpressure_is_lossless_and_ordered() {
+        let ring = SharedSampleRing::new(8);
+        let n = 2000u64;
+        let producer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                for a in 0..n {
+                    // Backpressure: a refused offer is retried, so the
+                    // producer never outruns the consumer by more than the
+                    // ring capacity.
+                    while ring.offer(sample(a)) == Offer::RejectedNewest {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::with_capacity(n as usize);
+            while got.len() < n as usize {
+                match ring.pop_wait(Duration::from_millis(100)) {
+                    Some(s) => got.push(s.addr),
+                    None => std::thread::yield_now(),
+                }
+            }
+            (got, ring.counters())
+        });
+        producer.join().expect("producer panicked");
+        let (got, c) = consumer.join().expect("consumer panicked");
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "FIFO order must survive the thread hop");
+        // Retried rejections still count as offers+drops; the accepted
+        // stream is exactly what the consumer saw.
+        assert_eq!(c.accepted(), n);
+        assert_eq!(c.popped, n);
+        assert_eq!(c.len, 0);
+        assert_eq!(c.offered, n + c.dropped);
+        assert!(c.peak <= 8);
+    }
+
+    /// Saturation across threads: producers that never retry against slow
+    /// consumers. Every sample is accounted exactly once under both
+    /// overflow policies, for arbitrary capacities and load shapes.
+    #[test]
+    fn cross_thread_saturation_accounting_proptest() {
+        use proptest::prelude::*;
+        proptest::run_proptest("cross_thread_saturation_accounting_proptest", |rng| {
+            let capacity = (1usize..64).sample(rng);
+            let per_producer = (1usize..400).sample(rng);
+            let producers = (1usize..4).sample(rng);
+            let policy =
+                if (0usize..2).sample(rng) == 0 { OverflowPolicy::RejectNewest } else { OverflowPolicy::DropOldest };
+            let consume_every = (1usize..16).sample(rng);
+
+            let ring = SharedSampleRing::with_policy(capacity, policy);
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let ring = ring.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..per_producer {
+                            ring.offer(sample((p * per_producer + i) as u64));
+                        }
+                    })
+                })
+                .collect();
+            let consumer = {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    let mut polls = 0usize;
+                    loop {
+                        polls += 1;
+                        // A deliberately slow consumer: drain only every
+                        // `consume_every`-th poll so the ring saturates.
+                        if polls.is_multiple_of(consume_every) {
+                            while ring.pop().is_some() {
+                                seen += 1;
+                            }
+                        }
+                        let c = ring.counters();
+                        if c.offered == (producers * per_producer) as u64 && c.len == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    seen
+                })
+            };
+            for h in handles {
+                h.join().expect("producer panicked");
+            }
+            let seen = consumer.join().expect("consumer panicked");
+            let c = ring.counters();
+            let total = (producers * per_producer) as u64;
+            prop_assert_eq!(c.offered, total, "every offer must be counted");
+            prop_assert_eq!(c.accepted(), c.popped, "drained to empty: accepted == popped");
+            prop_assert_eq!(c.popped, seen, "consumer saw every accepted sample exactly once");
+            prop_assert_eq!(c.offered, c.dropped + c.popped, "no sample vanishes unaccounted");
+            prop_assert!(c.peak <= capacity, "queue never exceeds capacity");
+        });
+    }
+
+    /// Snapshot invariants hold at arbitrary instants while both sides
+    /// run (not just at quiescence).
+    #[test]
+    fn cross_thread_counters_are_consistent_mid_flight() {
+        let ring = SharedSampleRing::with_policy(16, OverflowPolicy::DropOldest);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let producer = {
+            let ring = ring.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut a = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    ring.offer(sample(a));
+                    a += 1;
+                }
+            })
+        };
+        let consumer = {
+            let ring = ring.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    ring.pop();
+                }
+            })
+        };
+        for _ in 0..2000 {
+            let c = ring.counters();
+            assert_eq!(c.offered, c.dropped + c.popped + c.len as u64, "snapshot torn: {c:?}");
+            assert!(c.len <= 16 && c.peak <= 16);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        producer.join().expect("producer panicked");
+        consumer.join().expect("consumer panicked");
     }
 }

@@ -15,7 +15,11 @@
 //!   sample logs and run statistics, bit-exact on round-trip;
 //! * [`store::RunCache`] — one file per key, atomic writes, hash-verified
 //!   reads that degrade to a recompute on *any* corruption or schema
-//!   version mismatch, with hit/miss/bytes counters;
+//!   version mismatch, with hit/miss/bytes counters. The store is safe
+//!   under concurrent use (lock-free readers, a per-key single-writer
+//!   lock-file protocol, optional size-capped LRU eviction via
+//!   [`store::StoreConfig`]) so a long-running service can share one
+//!   directory across threads and processes;
 //! * [`run_memo`] — the drop-in memoized form of
 //!   [`workloads::runner::run`].
 //!
@@ -29,7 +33,7 @@ pub mod key;
 pub mod store;
 
 pub use key::{KeyHasher, RunKey, SCHEMA_VERSION};
-pub use store::{CacheMetrics, CachedRun, RunCache};
+pub use store::{CacheMetrics, CachedRun, RunCache, StoreConfig};
 
 use std::time::Instant;
 use workloads::config::RunConfig;

@@ -1,5 +1,6 @@
 //! The on-disk store: one file per [`RunKey`], hash-verified reads,
-//! atomic writes, and `StreamMetrics`-style hit/miss instrumentation.
+//! atomic writes, and `StreamMetrics`-style hit/miss instrumentation —
+//! now safe under **concurrent** use from many threads *and* processes.
 //!
 //! ## Entry layout (little-endian)
 //!
@@ -18,17 +19,46 @@
 //! corruption) and the caller recomputes; a schema version mismatch is a
 //! miss counted as `version_mismatch`. The store never panics on foreign
 //! bytes and never serves a payload that fails any check.
+//!
+//! ## Concurrency model
+//!
+//! * **Readers are lock-free.** A lookup is one `read()` of the entry file
+//!   plus validation; it takes no store lock and never blocks on writers
+//!   (rename is atomic, so a reader sees either the old complete entry,
+//!   the new complete entry, or no entry). The only shared mutable state a
+//!   reader touches is the recency index, via a `try_lock` that is simply
+//!   skipped under contention.
+//! * **Writers follow a single-writer protocol per key.** Before writing,
+//!   a writer claims `<entry>.lock` with `O_EXCL` (`create_new`); a second
+//!   writer of the same key — another thread *or another process* — finds
+//!   the lock held, counts `lock_skips`, and returns without writing. The
+//!   store is content-addressed, so the skipped write would have produced
+//!   the same bytes; losing it costs nothing. Locks left behind by a
+//!   crashed writer are broken after [`StoreConfig::lock_stale`].
+//! * **Eviction is size-capped LRU.** With [`StoreConfig::max_bytes`] set,
+//!   each successful store updates a recency index (lazily rebuilt from
+//!   the directory on first use, ordered by file mtime) and evicts
+//!   least-recently-used entries until the cap holds. Eviction happens on
+//!   the writer side only; a reader that loses its entry mid-lookup just
+//!   sees a miss and recomputes.
 
 use crate::codec::{self, Reader};
 use crate::key::{RunKey, SCHEMA_VERSION};
 use numasim::stats::RunStats;
 use pebs::sample::MemSample;
-use std::io::{self, Write as _};
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"DRBWRUN\0";
 const HEADER_LEN: usize = 8 + 4 + 16 + 8 + 8;
+
+/// Process-wide counter making temp-file names unique across threads of
+/// one process (the pid alone distinguishes processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The memoized result of one simulated run, as stored on disk.
 ///
@@ -43,6 +73,24 @@ pub struct CachedRun {
     pub samples: Vec<MemSample>,
     /// Total simulated access events.
     pub observed_accesses: u64,
+}
+
+/// Store tuning knobs (the defaults reproduce the uncapped behaviour of
+/// the original single-process store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Evict least-recently-used entries once the store exceeds this many
+    /// bytes of entry files (`None` = unbounded).
+    pub max_bytes: Option<u64>,
+    /// Age after which another writer's `<entry>.lock` is presumed
+    /// abandoned (crashed writer) and broken.
+    pub lock_stale: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { max_bytes: None, lock_stale: Duration::from_secs(30) }
+    }
 }
 
 /// Counter snapshot returned by [`RunCache::metrics`].
@@ -62,18 +110,41 @@ pub struct CacheMetrics {
     pub bytes_read: u64,
     /// Bytes written by stores.
     pub bytes_written: u64,
+    /// Stores skipped because another writer held the key's lock (the
+    /// single-writer protocol; the concurrent writer produces the same
+    /// content-addressed bytes).
+    pub lock_skips: u64,
+    /// Entries evicted by the size-capped LRU.
+    pub evictions: u64,
+}
+
+impl CacheMetrics {
+    /// Warm-hit rate: the fraction of lookups served from disk
+    /// (`hits / (hits + misses)`; 0 before any lookup). The service's
+    /// headline cache metric.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for CacheMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "runcache: hits={} misses={} stores={} corrupt={} vmismatch={} read={}B written={}B",
+            "runcache: hits={} misses={} (rate {:.2}) stores={} corrupt={} vmismatch={} lockskips={} evict={} read={}B written={}B",
             self.hits,
             self.misses,
+            self.hit_rate(),
             self.stores,
             self.corrupt,
             self.version_mismatch,
+            self.lock_skips,
+            self.evictions,
             self.bytes_read,
             self.bytes_written
         )
@@ -89,30 +160,114 @@ struct Counters {
     version_mismatch: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    lock_skips: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The writer-side recency index: entry name → (bytes, recency tick).
+/// Rebuilt lazily from the directory (mtime order) the first time a
+/// writer needs it, then maintained incrementally.
+#[derive(Debug)]
+struct Lru {
+    entries: HashMap<String, (u64, u64)>,
+    total_bytes: u64,
+    tick: u64,
+}
+
+impl Lru {
+    fn scan(dir: &Path) -> Self {
+        let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !name.ends_with(".run") {
+                    continue;
+                }
+                if let Ok(meta) = entry.metadata() {
+                    let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    found.push((name, meta.len(), mtime));
+                }
+            }
+        }
+        found.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut lru = Lru { entries: HashMap::with_capacity(found.len()), total_bytes: 0, tick: 0 };
+        for (name, size, _) in found {
+            lru.tick += 1;
+            lru.total_bytes += size;
+            let tick = lru.tick;
+            lru.entries.insert(name, (size, tick));
+        }
+        lru
+    }
+
+    fn touch(&mut self, name: &str) {
+        if let Some((_, tick)) = self.entries.get_mut(name) {
+            self.tick += 1;
+            *tick = self.tick;
+        }
+    }
+
+    fn record(&mut self, name: String, size: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((old, t)) = self.entries.get_mut(&name) {
+            self.total_bytes = self.total_bytes - *old + size;
+            *old = size;
+            *t = tick;
+        } else {
+            self.total_bytes += size;
+            self.entries.insert(name, (size, tick));
+        }
+    }
+
+    /// The least-recently-used entry, if any.
+    fn coldest(&self) -> Option<(String, u64)> {
+        self.entries.iter().min_by_key(|(_, (_, tick))| *tick).map(|(name, (size, _))| (name.clone(), *size))
+    }
+
+    fn remove(&mut self, name: &str) {
+        if let Some((size, _)) = self.entries.remove(name) {
+            self.total_bytes -= size;
+        }
+    }
 }
 
 /// A content-addressed run cache rooted at one directory.
 ///
-/// Thread-safe: lookups and stores only touch the filesystem and relaxed
-/// atomic counters, so one cache can be shared across a rayon pool
-/// (training-set generation and `analyze_batch` do exactly that).
+/// Safe to share across a rayon pool *and* across independent processes
+/// pointed at the same directory: lookups are lock-free reads, stores use
+/// a per-key single-writer lock-file protocol (see the module docs).
 #[derive(Debug)]
 pub struct RunCache {
     dir: PathBuf,
+    cfg: StoreConfig,
     counters: Counters,
+    lru: Mutex<Option<Lru>>,
 }
 
 impl RunCache {
-    /// Open (creating if needed) a cache rooted at `dir`.
+    /// Open (creating if needed) an uncapped cache rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with(dir, StoreConfig::default())
+    }
+
+    /// Open (creating if needed) a cache with explicit store tuning —
+    /// the service path sets [`StoreConfig::max_bytes`] so an always-on
+    /// deployment cannot grow the store without bound.
+    pub fn open_with(dir: impl Into<PathBuf>, cfg: StoreConfig) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir, counters: Counters::default() })
+        Ok(Self { dir, cfg, counters: Counters::default(), lru: Mutex::new(None) })
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
     }
 
     /// Snapshot the hit/miss counters.
@@ -125,6 +280,8 @@ impl RunCache {
             version_mismatch: self.counters.version_mismatch.load(Ordering::Relaxed),
             bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+            lock_skips: self.counters.lock_skips.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -139,7 +296,9 @@ impl RunCache {
 
     /// Look up `key`. Returns the cached run on a verified hit; any
     /// absence, corruption, or version mismatch returns `None` (counted)
-    /// so the caller recomputes. Never panics on malformed entries.
+    /// so the caller recomputes. Never panics on malformed entries, never
+    /// blocks on concurrent writers or other readers (the recency bump is
+    /// a `try_lock`, skipped under contention).
     pub fn lookup(&self, key: &RunKey) -> Option<CachedRun> {
         let path = self.entry_path(key);
         let bytes = match std::fs::read(&path) {
@@ -153,6 +312,13 @@ impl RunCache {
             Ok(run) => {
                 self.bump(&self.counters.hits);
                 self.counters.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                // Best-effort recency: hits keep hot entries out of the
+                // evictor's way, but a reader never waits for the index.
+                if let Ok(mut guard) = self.lru.try_lock() {
+                    if let Some(lru) = guard.as_mut() {
+                        lru.touch(&key.file_name());
+                    }
+                }
                 Some(run)
             }
             Err(reject) => {
@@ -166,13 +332,26 @@ impl RunCache {
         }
     }
 
-    /// Store `run` under `key`, atomically (temp file + rename), so a
-    /// crashed or concurrent writer can never leave a half-entry behind
-    /// that a later reader would have to reject.
+    /// Store `run` under `key`.
+    ///
+    /// Writes go through the single-writer protocol: claim `<entry>.lock`
+    /// with `O_EXCL`, write a unique temp file, `rename` it over the entry
+    /// (atomic — a reader can never observe a half-entry), release the
+    /// lock. If another writer holds the lock, this store is **skipped**
+    /// (counted in [`CacheMetrics::lock_skips`]): the cache is
+    /// content-addressed, so the holder is writing the same bytes. A lock
+    /// older than [`StoreConfig::lock_stale`] is treated as abandoned and
+    /// broken.
     pub fn store(&self, key: &RunKey, run: &CachedRun) -> io::Result<()> {
+        let name = key.file_name();
+        let Some(_lock) = self.claim_writer_lock(&name)? else {
+            self.bump(&self.counters.lock_skips);
+            return Ok(());
+        };
         let bytes = encode_entry(key, run);
         let final_path = self.entry_path(key);
-        let tmp_path = self.dir.join(format!(".tmp-{}-{}", std::process::id(), key.file_name()));
+        let tmp_path =
+            self.dir.join(format!(".tmp-{}-{}-{}", std::process::id(), TMP_SEQ.fetch_add(1, Ordering::Relaxed), name));
         {
             let mut f = std::fs::File::create(&tmp_path)?;
             f.write_all(&bytes)?;
@@ -180,7 +359,68 @@ impl RunCache {
         std::fs::rename(&tmp_path, &final_path)?;
         self.bump(&self.counters.stores);
         self.counters.bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.account_and_evict(name, bytes.len() as u64);
         Ok(())
+    }
+
+    /// Claim the per-key writer lock. `Ok(Some(guard))` on success,
+    /// `Ok(None)` when another live writer holds it.
+    fn claim_writer_lock(&self, name: &str) -> io::Result<Option<LockGuard>> {
+        let path = self.dir.join(format!("{name}.lock"));
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(_) => return Ok(Some(LockGuard { path })),
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| mtime.elapsed().ok())
+                        .is_some_and(|age| age > self.cfg.lock_stale);
+                    if stale && attempt == 0 {
+                        // Abandoned by a crashed writer: break it and
+                        // retry the claim once (racing breakers are fine —
+                        // at most one wins the second create_new).
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Writer-side LRU bookkeeping: record the new entry, then evict the
+    /// coldest entries until the byte cap holds.
+    fn account_and_evict(&self, name: String, size: u64) {
+        let Some(cap) = self.cfg.max_bytes else { return };
+        let mut guard = self.lru.lock().unwrap_or_else(|e| e.into_inner());
+        let lru = guard.get_or_insert_with(|| Lru::scan(&self.dir));
+        lru.record(name.clone(), size);
+        while lru.total_bytes > cap && lru.entries.len() > 1 {
+            let Some((victim, _)) = lru.coldest() else { break };
+            if victim == name {
+                // Never evict the entry just written (it is the hottest by
+                // construction; this arm only fires if it alone exceeds
+                // the cap).
+                break;
+            }
+            let _ = std::fs::remove_file(self.dir.join(&victim));
+            lru.remove(&victim);
+            self.bump(&self.counters.evictions);
+        }
+    }
+}
+
+/// Removes the lock file when the writer is done (or panics).
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -258,6 +498,7 @@ mod tests {
     use numasim::hierarchy::DataSource;
     use numasim::stats::AccessCounts;
     use numasim::topology::{CoreId, NodeId, ThreadId};
+    use std::sync::Arc;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("drbw-runcache-test-{}-{tag}", std::process::id()));
@@ -269,7 +510,7 @@ mod tests {
         RunKey { hi: 0x1234_5678_9abc_def0 ^ n, lo: 0x0fed_cba9_8765_4321u64.wrapping_add(n) }
     }
 
-    fn run() -> CachedRun {
+    fn run_sized(n_samples: u64) -> CachedRun {
         let stats = RunStats {
             cycles: 1e6,
             thread_cycles: vec![9.5e5, 1e6],
@@ -282,7 +523,7 @@ mod tests {
             mc_avg_rho: vec![0.45, 0.05],
             rounds: 3,
         };
-        let samples = (0..40u64)
+        let samples = (0..n_samples)
             .map(|i| MemSample {
                 time: 100.0 + i as f64,
                 addr: 0x1000 + i * 64,
@@ -298,6 +539,10 @@ mod tests {
         CachedRun { phase_stats: vec![stats.clone(), stats], samples, observed_accesses: 197 }
     }
 
+    fn run() -> CachedRun {
+        run_sized(40)
+    }
+
     #[test]
     fn store_then_lookup_roundtrips() {
         let cache = RunCache::open(tmpdir("roundtrip")).unwrap();
@@ -308,6 +553,8 @@ mod tests {
         let m = cache.metrics();
         assert_eq!((m.hits, m.misses, m.stores, m.corrupt, m.version_mismatch), (1, 1, 1, 0, 0));
         assert!(m.bytes_written > 0 && m.bytes_read == m.bytes_written);
+        assert_eq!(m.hit_rate(), 0.5, "one hit, one miss");
+        assert_eq!((m.lock_skips, m.evictions), (0, 0));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -377,5 +624,138 @@ mod tests {
         assert!(cache.lookup(&k2).is_none());
         assert_eq!(cache.metrics().corrupt, 1);
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    /// The single-writer protocol: many writers — including *independent
+    /// `RunCache` instances on the same directory*, i.e. the two-process
+    /// case — racing on the same key never produce a torn or duplicated
+    /// entry, and concurrent readers never observe corruption.
+    #[test]
+    fn concurrent_same_key_writers_never_tear_or_duplicate() {
+        let dir = tmpdir("race");
+        let k = key(7);
+        let writers = 6;
+        let rounds = 12;
+        let barrier = Arc::new(std::sync::Barrier::new(writers + 1));
+        let handles: Vec<_> = (0..writers)
+            .map(|_| {
+                let dir = dir.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    // A distinct RunCache per writer: no shared in-process
+                    // state, so the only coordination is the lock file.
+                    let cache = RunCache::open(&dir).expect("open");
+                    barrier.wait();
+                    for _ in 0..rounds {
+                        cache.store(&k, &run()).expect("store never errors under contention");
+                    }
+                    cache.metrics()
+                })
+            })
+            .collect();
+        let reader = {
+            let dir = dir.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let cache = RunCache::open(&dir).expect("open");
+                barrier.wait();
+                let mut hits = 0u64;
+                for _ in 0..200 {
+                    if let Some(got) = cache.lookup(&k) {
+                        assert_eq!(got, run(), "a served entry must always be the full write");
+                        hits += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                (hits, cache.metrics())
+            })
+        };
+        let mut stores = 0u64;
+        let mut skips = 0u64;
+        for h in handles {
+            let m = h.join().expect("writer panicked");
+            stores += m.stores;
+            skips += m.lock_skips;
+        }
+        let (_, rm) = reader.join().expect("reader panicked");
+        assert_eq!(stores + skips, (writers * rounds) as u64, "every attempt stored or skipped");
+        assert!(stores >= 1, "at least one writer must win");
+        assert_eq!(rm.corrupt, 0, "a concurrent reader must never see a torn entry");
+        // Exactly one entry file, no leftover temp files or locks.
+        let leftovers: Vec<String> =
+            std::fs::read_dir(&dir).unwrap().flatten().map(|e| e.file_name().to_string_lossy().into_owned()).collect();
+        assert_eq!(leftovers, vec![k.file_name()], "no duplicates, temps, or stale locks: {leftovers:?}");
+        // The final entry decodes cleanly.
+        let cache = RunCache::open(&dir).unwrap();
+        assert_eq!(cache.lookup(&k).expect("entry must be intact"), run());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_writer_locks_are_broken() {
+        let dir = tmpdir("stale");
+        let cache =
+            RunCache::open_with(&dir, StoreConfig { lock_stale: Duration::from_millis(50), ..Default::default() })
+                .unwrap();
+        let k = key(8);
+        // A lock abandoned by a "crashed" writer.
+        std::fs::write(dir.join(format!("{}.lock", k.file_name())), b"").unwrap();
+        // Fresh lock: the store is skipped.
+        cache.store(&k, &run()).unwrap();
+        assert_eq!(cache.metrics().lock_skips, 1);
+        assert!(cache.lookup(&k).is_none());
+        // Stale lock: broken and the store proceeds.
+        std::thread::sleep(Duration::from_millis(80));
+        cache.store(&k, &run()).unwrap();
+        assert_eq!(cache.metrics().stores, 1);
+        assert_eq!(cache.lookup(&k).unwrap(), run());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Size-capped LRU: the store never exceeds its byte budget, evicts
+    /// coldest-first, and recent lookups protect entries from eviction.
+    #[test]
+    fn lru_eviction_respects_cap_and_recency() {
+        let dir = tmpdir("lru");
+        let one_entry = encode_entry(&key(0), &run_sized(10)).len() as u64;
+        let cache =
+            RunCache::open_with(&dir, StoreConfig { max_bytes: Some(3 * one_entry), ..Default::default() }).unwrap();
+        for n in 0..3 {
+            cache.store(&key(n), &run_sized(10)).unwrap();
+        }
+        assert_eq!(cache.metrics().evictions, 0, "three entries fit the cap exactly");
+        // Touch key 0 so key 1 is now the coldest, then overflow the cap.
+        assert!(cache.lookup(&key(0)).is_some());
+        cache.store(&key(3), &run_sized(10)).unwrap();
+        assert_eq!(cache.metrics().evictions, 1);
+        assert!(cache.lookup(&key(1)).is_none(), "the coldest entry was evicted");
+        assert!(cache.lookup(&key(0)).is_some(), "the recently-read entry survived");
+        assert!(cache.lookup(&key(3)).is_some(), "the just-written entry survived");
+        // On-disk usage stays within the cap.
+        let disk: u64 = std::fs::read_dir(&dir).unwrap().flatten().map(|e| e.metadata().unwrap().len()).sum();
+        assert!(disk <= 3 * one_entry, "disk {disk} exceeds cap {}", 3 * one_entry);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The LRU index is rebuilt from the directory: a capped cache opened
+    /// over pre-existing entries evicts them too.
+    #[test]
+    fn lru_scan_accounts_preexisting_entries() {
+        let dir = tmpdir("rescan");
+        let seed = RunCache::open(&dir).unwrap();
+        for n in 0..4 {
+            seed.store(&key(n), &run_sized(10)).unwrap();
+            // mtime granularity: make the recency order unambiguous.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let one_entry = encode_entry(&key(0), &run_sized(10)).len() as u64;
+        let capped =
+            RunCache::open_with(&dir, StoreConfig { max_bytes: Some(3 * one_entry), ..Default::default() }).unwrap();
+        capped.store(&key(9), &run_sized(10)).unwrap();
+        assert_eq!(capped.metrics().evictions, 2, "5 entries under a 3-entry cap");
+        assert!(capped.lookup(&key(0)).is_none(), "oldest pre-existing entry evicted first");
+        assert!(capped.lookup(&key(1)).is_none());
+        assert!(capped.lookup(&key(9)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,242 @@
+//! Service observability: lock-free counters, a log2 verdict-latency
+//! histogram, and the [`ServeMetrics`] snapshot with its one-line JSON
+//! rendering (the `BENCH_*.json` dialect) shared by the load harness and
+//! the CI smoke.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets (covers 1 ns .. ~584 years).
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram over power-of-two nanosecond buckets. Recording
+/// is one relaxed `fetch_add`; percentiles are read from a snapshot, so a
+/// quantile is accurate to within its bucket's 2x width — plenty for the
+/// p50/p99 the service reports.
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency observation.
+    pub(crate) fn record(&self, nanos: u64) {
+        let idx = if nanos == 0 { 0 } else { (63 - nanos.leading_zeros()) as usize };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile in nanoseconds (bucket upper bound — a guaranteed
+    /// ceiling on the true quantile), 0 when nothing was recorded.
+    pub(crate) fn quantile_nanos(&self, q: f64) -> f64 {
+        let snapshot: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &n) in snapshot.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 2f64.powi(idx as i32 + 1);
+            }
+        }
+        2f64.powi(BUCKETS as i32)
+    }
+
+    /// Mean latency in nanoseconds (exact, unlike the quantiles).
+    pub(crate) fn mean_nanos(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_nanos.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+/// Per-shard live counters, shared between the shard's worker (writes)
+/// and the metrics snapshot (reads). All relaxed: each field is an
+/// independent monotone counter or gauge.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    /// Samples currently queued across the shard's sessions (gauge).
+    pub depth: AtomicU64,
+    /// Samples the shard's detectors have consumed.
+    pub ingested: AtomicU64,
+    /// Stable-verdict transitions emitted by the shard's detectors.
+    pub verdicts: AtomicU64,
+    /// Windows classified by the shard's detectors.
+    pub windows: AtomicU64,
+}
+
+/// Server-wide ingress counters (session lifecycle and the offer path).
+#[derive(Debug, Default)]
+pub(crate) struct ServerStats {
+    pub sessions_opened: AtomicU64,
+    pub sessions_closed: AtomicU64,
+    /// Samples ever offered to any session.
+    pub offered: AtomicU64,
+    /// Samples accepted into a session queue.
+    pub enqueued: AtomicU64,
+    /// Samples lost to ring overflow (refused or evicted).
+    pub dropped: AtomicU64,
+}
+
+/// Point-in-time snapshot of the whole service, renderable as one line of
+/// JSON ([`ServeMetrics::to_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions finished (report delivered, detector back in the pool).
+    pub sessions_closed: u64,
+    /// Sessions currently open (`opened - closed`).
+    pub sessions_open: u64,
+    /// Samples ever offered to any session.
+    pub samples_offered: u64,
+    /// Samples accepted into session queues.
+    pub samples_enqueued: u64,
+    /// Samples lost to ring overflow (the backpressure account).
+    pub samples_dropped: u64,
+    /// Samples consumed by detectors.
+    pub samples_ingested: u64,
+    /// Stable-verdict transitions emitted across all sessions.
+    pub verdicts: u64,
+    /// Windows classified across all sessions.
+    pub windows_classified: u64,
+    /// Current model publication version (registry epoch).
+    pub model_epoch: u64,
+    /// Models published after the initial one.
+    pub model_swaps: u64,
+    /// Samples currently queued, per shard (the queue-depth gauge).
+    pub shard_depths: Vec<u64>,
+    /// Verdict latencies recorded (enqueue of the window-closing sample →
+    /// verdict emission).
+    pub verdict_latency_count: u64,
+    /// p50 verdict latency, microseconds (bucket ceiling).
+    pub verdict_p50_us: f64,
+    /// p99 verdict latency, microseconds (bucket ceiling).
+    pub verdict_p99_us: f64,
+    /// Mean verdict latency, microseconds (exact).
+    pub verdict_mean_us: f64,
+    /// Warm-hit rate of the attached run cache, when one is attached.
+    pub cache_hit_rate: Option<f64>,
+}
+
+impl ServeMetrics {
+    /// Render the snapshot as one line of JSON — the shared serializer
+    /// used verbatim by `BENCH_serve.json` and the CI smoke output.
+    pub fn to_json(&self) -> String {
+        let depths = self.shard_depths.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",");
+        let cache = match self.cache_hit_rate {
+            Some(r) => format!("{r:.4}"),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"sessions_opened\": {}, \"sessions_closed\": {}, \"sessions_open\": {}, ",
+                "\"samples_offered\": {}, \"samples_enqueued\": {}, \"samples_dropped\": {}, ",
+                "\"samples_ingested\": {}, \"verdicts\": {}, \"windows_classified\": {}, ",
+                "\"model_epoch\": {}, \"model_swaps\": {}, \"shard_depths\": [{}], ",
+                "\"verdict_latency_count\": {}, \"verdict_p50_us\": {:.1}, \"verdict_p99_us\": {:.1}, ",
+                "\"verdict_mean_us\": {:.1}, \"cache_hit_rate\": {}}}"
+            ),
+            self.sessions_opened,
+            self.sessions_closed,
+            self.sessions_open,
+            self.samples_offered,
+            self.samples_enqueued,
+            self.samples_dropped,
+            self.samples_ingested,
+            self.verdicts,
+            self.windows_classified,
+            self.model_epoch,
+            self.model_swaps,
+            depths,
+            self.verdict_latency_count,
+            self.verdict_p50_us,
+            self.verdict_p99_us,
+            self.verdict_mean_us,
+            cache,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_their_bucket() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000); // bucket [512, 1024) → ceiling 1024
+        }
+        h.record(1_000_000); // bucket ceiling 2^20
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_nanos(0.5), 1024.0);
+        assert_eq!(h.quantile_nanos(0.99), 1024.0);
+        assert_eq!(h.quantile_nanos(1.0), 2f64.powi(20));
+        assert!((h.mean_nanos() - (99.0 * 1000.0 + 1e6) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_nanos(0.99), 0.0);
+        assert_eq!(h.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn json_is_one_line_and_carries_every_field() {
+        let m = ServeMetrics {
+            sessions_opened: 50,
+            sessions_closed: 50,
+            sessions_open: 0,
+            samples_offered: 1000,
+            samples_enqueued: 990,
+            samples_dropped: 10,
+            samples_ingested: 990,
+            verdicts: 25,
+            windows_classified: 400,
+            model_epoch: 2,
+            model_swaps: 1,
+            shard_depths: vec![0, 3],
+            verdict_latency_count: 25,
+            verdict_p50_us: 128.0,
+            verdict_p99_us: 512.0,
+            verdict_mean_us: 97.3,
+            cache_hit_rate: Some(0.75),
+        };
+        let json = m.to_json();
+        assert!(!json.contains('\n'), "snapshot must render on one line");
+        for needle in [
+            "\"sessions_opened\": 50",
+            "\"samples_dropped\": 10",
+            "\"shard_depths\": [0,3]",
+            "\"verdict_p99_us\": 512.0",
+            "\"model_swaps\": 1",
+            "\"cache_hit_rate\": 0.7500",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let none = ServeMetrics { cache_hit_rate: None, ..m };
+        assert!(none.to_json().contains("\"cache_hit_rate\": null"));
+    }
+}

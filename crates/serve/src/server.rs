@@ -1,0 +1,473 @@
+//! The sharded analysis server.
+//!
+//! Sessions are pinned to shards by a session-id hash; each shard is one
+//! worker thread that exclusively owns its sessions' detectors, so every
+//! session's samples are classified in exactly the FIFO order they were
+//! accepted — deterministic per-session, parallel across shards. Workers
+//! pool detectors across sessions ([`drbw_stream::StreamingDetector::reset`]
+//! makes a recycled detector indistinguishable from a fresh one) and
+//! watch the shared [`ModelRegistry`] through a per-worker
+//! [`ModelReader`]: the steady-state classify path costs one atomic epoch
+//! load, and a published model reaches each detector at its own window
+//! boundary (in-flight windows finish on the model they started with).
+
+use crate::metrics::{LatencyHistogram, ServeMetrics, ServerStats, ShardStats};
+use crate::session::{SessionHandle, SessionId, SessionInner, SessionQueue, SessionReport};
+use drbw_core::classifier::ContentionClassifier;
+use drbw_core::registry::{ModelHandle, ModelReader, ModelRegistry};
+use drbw_stream::{StreamConfig, StreamingDetector};
+use pebs::alloc::SiteId;
+use pebs::ring::{OverflowPolicy, RingCounters, SampleRing};
+use pebs::sample::MemSample;
+use runcache::RunCache;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Detector geometry every session runs under (machine shape, window,
+    /// hysteresis, sketches). One geometry per server keeps the detector
+    /// pool universal: any recycled detector fits any session.
+    pub stream: StreamConfig,
+    /// Worker threads; sessions are hash-pinned to one of them.
+    pub shards: usize,
+    /// Per-session sample ring capacity (the backpressure bound).
+    pub ring_capacity: usize,
+    /// What a session ring does when full.
+    pub overflow: OverflowPolicy,
+    /// Samples a worker moves out of one session queue per lock
+    /// acquisition.
+    pub drain_batch: usize,
+    /// How long an idle worker parks before re-polling (it is woken early
+    /// by any offer, session open/close, or model publish on its shard).
+    pub idle_wait: Duration,
+}
+
+impl ServerConfig {
+    /// A config with the given detector geometry and service defaults:
+    /// one shard per available core (capped at 8), 1024-sample rings with
+    /// reject-newest backpressure.
+    pub fn new(stream: StreamConfig) -> Self {
+        let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        Self {
+            stream,
+            shards,
+            ring_capacity: 1024,
+            overflow: OverflowPolicy::RejectNewest,
+            drain_batch: 256,
+            idle_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Wakeup signal for one shard worker: producers raise it on any offer,
+/// open, close, or model publish; the worker consumes it (or times out)
+/// when it has drained everything.
+#[derive(Debug, Default)]
+pub(crate) struct ShardNotify {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ShardNotify {
+    pub(crate) fn raise(&self) {
+        let mut flag = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        *flag = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) {
+        let flag = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        let (mut flag, _) =
+            self.cv.wait_timeout_while(flag, timeout, |raised| !*raised).unwrap_or_else(|e| e.into_inner());
+        *flag = false;
+    }
+}
+
+/// One shard's shared state (worker on one side, `open_session` and the
+/// metrics snapshot on the other).
+#[derive(Debug)]
+struct ShardState {
+    stats: Arc<ShardStats>,
+    notify: Arc<ShardNotify>,
+    /// Sessions opened but not yet adopted by the worker.
+    inbox: Mutex<VecDeque<Arc<SessionInner>>>,
+}
+
+#[derive(Debug)]
+struct ServerInner {
+    cfg: ServerConfig,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    latency: LatencyHistogram,
+    shards: Vec<ShardState>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    cache: Mutex<Option<Arc<RunCache>>>,
+}
+
+/// The long-running analysis service: many concurrent profiling sessions
+/// multiplexed over shard workers, one hot-swappable model registry, one
+/// optional run cache whose warm-hit rate the metrics surface.
+#[derive(Debug)]
+pub struct AnalysisServer {
+    inner: Arc<ServerInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl AnalysisServer {
+    /// Start a server whose initial model is `classifier` (published as
+    /// registry version 1).
+    pub fn start(classifier: ContentionClassifier, cfg: ServerConfig) -> Self {
+        Self::start_with_registry(Arc::new(ModelRegistry::new(classifier)), cfg)
+    }
+
+    /// Start a server over an existing (possibly shared) registry.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards == 0`, `cfg.ring_capacity == 0`, or
+    /// `cfg.drain_batch == 0`.
+    pub fn start_with_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+        assert!(cfg.shards > 0, "a server needs at least one shard");
+        assert!(cfg.ring_capacity > 0, "session rings need capacity");
+        assert!(cfg.drain_batch > 0, "drain batch must be positive");
+        let shards = (0..cfg.shards)
+            .map(|_| ShardState {
+                stats: Arc::new(ShardStats::default()),
+                notify: Arc::new(ShardNotify::default()),
+                inbox: Mutex::new(VecDeque::new()),
+            })
+            .collect();
+        let inner = Arc::new(ServerInner {
+            cfg,
+            registry,
+            stats: Arc::new(ServerStats::default()),
+            latency: LatencyHistogram::new(),
+            shards,
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(None),
+        });
+        let workers = (0..cfg.shards)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("drbw-shard-{idx}"))
+                    .spawn(move || run_shard(inner, idx))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// The model registry (for sharing with other components).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.inner.registry
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
+    }
+
+    /// Attach a run cache so the metrics snapshot surfaces its warm-hit
+    /// rate alongside the service counters.
+    pub fn attach_run_cache(&self, cache: Arc<RunCache>) {
+        *self.inner.cache.lock().unwrap_or_else(|e| e.into_inner()) = Some(cache);
+    }
+
+    /// Atomically publish a retrained model. Already-running sessions
+    /// switch at their next window boundary; every verdict and window
+    /// stays stamped with the version that actually classified it.
+    pub fn publish_model(&self, classifier: ContentionClassifier) -> ModelHandle {
+        let handle = self.inner.registry.publish(classifier);
+        for shard in &self.inner.shards {
+            shard.notify.raise();
+        }
+        handle
+    }
+
+    /// Open a new session, pinned to a shard by its id hash. The handle
+    /// is the producer side; `finish()` returns the session's report.
+    pub fn open_session(&self) -> SessionHandle {
+        let id = SessionId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let shard_idx = (splitmix64(id.0) % self.inner.cfg.shards as u64) as usize;
+        let shard = &self.inner.shards[shard_idx];
+        let session = Arc::new(SessionInner {
+            id,
+            queue: Mutex::new(SessionQueue {
+                ring: SampleRing::with_policy(self.inner.cfg.ring_capacity, self.inner.cfg.overflow),
+                sites: VecDeque::new(),
+                enqueued_at: VecDeque::new(),
+                closed: false,
+            }),
+            report: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        shard.inbox.lock().unwrap_or_else(|e| e.into_inner()).push_back(Arc::clone(&session));
+        self.inner.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        shard.notify.raise();
+        SessionHandle {
+            inner: session,
+            notify: Arc::clone(&shard.notify),
+            server_stats: Arc::clone(&self.inner.stats),
+            shard_stats: Arc::clone(&shard.stats),
+            shard: shard_idx,
+        }
+    }
+
+    /// Snapshot the whole service.
+    pub fn metrics(&self) -> ServeMetrics {
+        let inner = &self.inner;
+        let rel = Ordering::Relaxed;
+        let opened = inner.stats.sessions_opened.load(rel);
+        let closed = inner.stats.sessions_closed.load(rel);
+        let cache_hit_rate =
+            inner.cache.lock().unwrap_or_else(|e| e.into_inner()).as_ref().map(|c| c.metrics().hit_rate());
+        ServeMetrics {
+            sessions_opened: opened,
+            sessions_closed: closed,
+            sessions_open: opened - closed,
+            samples_offered: inner.stats.offered.load(rel),
+            samples_enqueued: inner.stats.enqueued.load(rel),
+            samples_dropped: inner.stats.dropped.load(rel),
+            samples_ingested: inner.shards.iter().map(|s| s.stats.ingested.load(rel)).sum(),
+            verdicts: inner.shards.iter().map(|s| s.stats.verdicts.load(rel)).sum(),
+            windows_classified: inner.shards.iter().map(|s| s.stats.windows.load(rel)).sum(),
+            model_epoch: inner.registry.epoch(),
+            model_swaps: inner.registry.swaps(),
+            shard_depths: inner.shards.iter().map(|s| s.stats.depth.load(rel)).collect(),
+            verdict_latency_count: inner.latency.count(),
+            verdict_p50_us: inner.latency.quantile_nanos(0.5) / 1_000.0,
+            verdict_p99_us: inner.latency.quantile_nanos(0.99) / 1_000.0,
+            verdict_mean_us: inner.latency.mean_nanos() / 1_000.0,
+            cache_hit_rate,
+        }
+    }
+
+    /// Stop the service: workers drain whatever is queued, force-finalize
+    /// every session (open or not) so no `finish()` ever hangs, and exit.
+    /// Returns the final metrics snapshot. Dropping the server does the
+    /// same.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.stop_and_join();
+        self.metrics()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for shard in &self.inner.shards {
+            shard.notify.raise();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Sessions that raced into an inbox after its worker exited still
+        // get a (necessarily empty) report.
+        for shard in &self.inner.shards {
+            let stragglers: Vec<_> = shard.inbox.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+            for session in stragglers {
+                let ring = ring_counters(&session);
+                self.inner.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                session.deliver(SessionReport {
+                    id: session.id,
+                    events: Vec::new(),
+                    windows: Vec::new(),
+                    stream: Default::default(),
+                    ring,
+                    model_versions: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+impl Drop for AnalysisServer {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// SplitMix64 finalizer: spreads sequential session ids uniformly over
+/// shards.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn ring_counters(session: &SessionInner) -> RingCounters {
+    let q = session.lock_queue();
+    RingCounters {
+        offered: q.ring.offered(),
+        dropped: q.ring.dropped(),
+        popped: q.ring.popped(),
+        len: q.ring.len(),
+        peak: q.ring.peak_len(),
+    }
+}
+
+/// One session as the shard worker sees it.
+struct ActiveSession {
+    session: Arc<SessionInner>,
+    detector: StreamingDetector,
+    /// The last registry version requested on this detector (the swap may
+    /// still be pending its window boundary).
+    requested_version: u64,
+    /// Distinct versions the detector has classified with, first-use
+    /// order.
+    versions: Vec<u64>,
+    /// Verdict transitions already accounted to the shard counters.
+    transitions: u64,
+    /// Windows already accounted to the shard counters.
+    windows: u64,
+}
+
+/// The shard worker loop.
+fn run_shard(inner: Arc<ServerInner>, idx: usize) {
+    let rel = Ordering::Relaxed;
+    let shard = &inner.shards[idx];
+    let mut reader = ModelReader::new(Arc::clone(&inner.registry));
+    let mut active: Vec<ActiveSession> = Vec::new();
+    let mut pool: Vec<StreamingDetector> = Vec::new();
+    let mut batch: Vec<(MemSample, Option<SiteId>, Instant)> = Vec::new();
+    loop {
+        let shutting = inner.shutdown.load(Ordering::Acquire);
+        // Adopt newly opened sessions: recycle a pooled detector when one
+        // is free (reset has made it indistinguishable from fresh).
+        {
+            let mut inbox = shard.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            while let Some(session) = inbox.pop_front() {
+                let handle = reader.handle();
+                let (version, model) = (handle.version(), Arc::clone(handle.model()));
+                let detector = match pool.pop() {
+                    Some(mut d) => {
+                        d.swap_model(version, model); // idle detector: immediate
+                        d
+                    }
+                    None => StreamingDetector::with_model(model, version, inner.cfg.stream),
+                };
+                active.push(ActiveSession {
+                    session,
+                    detector,
+                    requested_version: version,
+                    versions: vec![version],
+                    transitions: 0,
+                    windows: 0,
+                });
+            }
+        }
+        // Propagate a freshly published model: one epoch load when nothing
+        // changed, a per-detector boundary-deferred swap when it did.
+        {
+            let handle = reader.handle();
+            let version = handle.version();
+            if active.iter().any(|a| a.requested_version != version) {
+                let model = Arc::clone(handle.model());
+                for a in active.iter_mut().filter(|a| a.requested_version != version) {
+                    a.detector.swap_model(version, Arc::clone(&model));
+                    a.requested_version = version;
+                }
+            }
+        }
+        let mut did_work = false;
+        let mut i = 0;
+        while i < active.len() {
+            batch.clear();
+            let closed_and_drained = {
+                let mut q = active[i].session.lock_queue();
+                let n = q.ring.len().min(inner.cfg.drain_batch);
+                for _ in 0..n {
+                    let s = q.ring.pop().expect("len-bounded pop");
+                    let site = q.sites.pop_front().unwrap_or(None);
+                    let at = q.enqueued_at.pop_front().unwrap_or_else(Instant::now);
+                    batch.push((s, site, at));
+                }
+                q.closed && q.ring.is_empty()
+            };
+            if !batch.is_empty() {
+                did_work = true;
+                shard.stats.depth.fetch_sub(batch.len() as u64, rel);
+                let a = &mut active[i];
+                for (s, site, at) in &batch {
+                    a.detector.ingest(s, *site);
+                    let used = a.detector.model_version();
+                    if *a.versions.last().expect("seeded at adoption") != used {
+                        a.versions.push(used);
+                    }
+                    let m = a.detector.metrics();
+                    if m.verdict_transitions > a.transitions {
+                        let newly = m.verdict_transitions - a.transitions;
+                        a.transitions = m.verdict_transitions;
+                        let nanos = at.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        for _ in 0..newly {
+                            inner.latency.record(nanos);
+                        }
+                        shard.stats.verdicts.fetch_add(newly, rel);
+                    }
+                    if m.windows_classified > a.windows {
+                        shard.stats.windows.fetch_add(m.windows_classified - a.windows, rel);
+                        a.windows = m.windows_classified;
+                    }
+                }
+                shard.stats.ingested.fetch_add(batch.len() as u64, rel);
+            } else if closed_and_drained || shutting {
+                // Finished (or force-finalized at shutdown): classify the
+                // tail, deliver the report, recycle the detector.
+                did_work = true;
+                let mut a = active.swap_remove(i);
+                finalize(&inner, &shard.stats, &mut a);
+                pool.push(a.detector);
+                continue; // swap_remove: re-inspect index i
+            }
+            i += 1;
+        }
+        if !did_work {
+            if shutting {
+                let inbox_empty = shard.inbox.lock().unwrap_or_else(|e| e.into_inner()).is_empty();
+                if active.is_empty() && inbox_empty {
+                    break;
+                }
+            } else {
+                shard.notify.wait(inner.cfg.idle_wait);
+            }
+        }
+    }
+}
+
+/// Flush the tail window, account the last verdicts/windows, deliver the
+/// report, and reset the detector for the pool.
+fn finalize(inner: &ServerInner, stats: &ShardStats, a: &mut ActiveSession) {
+    let rel = Ordering::Relaxed;
+    a.detector.flush();
+    let used = a.detector.model_version();
+    if *a.versions.last().expect("seeded at adoption") != used {
+        a.versions.push(used);
+    }
+    let m = a.detector.metrics();
+    if m.verdict_transitions > a.transitions {
+        // Flush-emitted verdicts have no single triggering enqueue; they
+        // count, but stay out of the latency histogram.
+        stats.verdicts.fetch_add(m.verdict_transitions - a.transitions, rel);
+    }
+    if m.windows_classified > a.windows {
+        stats.windows.fetch_add(m.windows_classified - a.windows, rel);
+    }
+    let ring = ring_counters(&a.session);
+    inner.stats.sessions_closed.fetch_add(1, rel);
+    a.session.deliver(SessionReport {
+        id: a.session.id,
+        events: a.detector.drain_events(),
+        windows: a.detector.drain_windows(),
+        stream: m,
+        ring,
+        model_versions: std::mem::take(&mut a.versions),
+    });
+    a.detector.reset();
+}

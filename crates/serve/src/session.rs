@@ -1,0 +1,200 @@
+//! Sessions: the client half of the service.
+//!
+//! A [`SessionHandle`] is the producer side of one profiling session: the
+//! client offers samples into a bounded [`SampleRing`] (the existing
+//! backpressure/drop accounting), a shard worker on the other side drains
+//! them into a pooled [`drbw_stream::StreamingDetector`], and `finish()`
+//! returns the [`SessionReport`] once the tail of the stream has been
+//! classified. Each sample rides with its allocation-site attribution and
+//! an enqueue timestamp (for verdict-latency accounting) in sidecar
+//! queues kept in lockstep with the ring under one mutex, so the ring's
+//! loss accounting (`offered == accepted + dropped`) stays authoritative
+//! for the whole triple.
+
+use crate::metrics::{ServerStats, ShardStats};
+use crate::server::ShardNotify;
+use drbw_stream::{StreamMetrics, VerdictEvent, WindowSummary};
+use pebs::alloc::SiteId;
+use pebs::ring::{Offer, RingCounters, SampleRing};
+use pebs::sample::MemSample;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Identifier of one profiling session (unique per server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The producer→worker queue: the sample ring plus sidecar site and
+/// timestamp queues, advanced in lockstep (a drop on the ring drops the
+/// same position's sidecar entries).
+#[derive(Debug)]
+pub(crate) struct SessionQueue {
+    pub ring: SampleRing,
+    pub sites: VecDeque<Option<SiteId>>,
+    pub enqueued_at: VecDeque<Instant>,
+    /// Set by `finish()`: no more offers; the worker finalizes once the
+    /// ring drains.
+    pub closed: bool,
+}
+
+/// Shared per-session state (handle on the client side, worker on the
+/// shard side).
+#[derive(Debug)]
+pub(crate) struct SessionInner {
+    pub id: SessionId,
+    pub queue: Mutex<SessionQueue>,
+    pub report: Mutex<Option<SessionReport>>,
+    pub done: Condvar,
+}
+
+impl SessionInner {
+    /// Poison-tolerant queue lock: every critical section leaves the
+    /// queue consistent at each statement boundary.
+    pub(crate) fn lock_queue(&self) -> MutexGuard<'_, SessionQueue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Deliver the final report and wake the waiting client.
+    pub(crate) fn deliver(&self, report: SessionReport) {
+        *self.report.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+        self.done.notify_all();
+    }
+}
+
+/// Everything one finished session produced.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The session.
+    pub id: SessionId,
+    /// Stable-verdict transitions, in emission order. Each event carries
+    /// the version of the model that classified its window.
+    pub events: Vec<VerdictEvent>,
+    /// Closed-window summaries (empty unless the server's
+    /// [`drbw_stream::StreamConfig::record_windows`] is set).
+    pub windows: Vec<WindowSummary>,
+    /// The detector's final counters.
+    pub stream: StreamMetrics,
+    /// The session ring's final loss accounting.
+    pub ring: RingCounters,
+    /// Distinct model versions this session's detector classified with,
+    /// in first-use order (length 1 when no swap landed mid-session).
+    pub model_versions: Vec<u64>,
+}
+
+/// Client handle to one open session. Dropping the handle without calling
+/// [`SessionHandle::finish`] abandons the session; the worker still
+/// drains and finalizes it, the report is just never read.
+#[derive(Debug)]
+pub struct SessionHandle {
+    pub(crate) inner: Arc<SessionInner>,
+    pub(crate) notify: Arc<ShardNotify>,
+    pub(crate) server_stats: Arc<ServerStats>,
+    pub(crate) shard_stats: Arc<ShardStats>,
+    pub(crate) shard: usize,
+}
+
+impl SessionHandle {
+    /// The session's id.
+    pub fn id(&self) -> SessionId {
+        self.inner.id
+    }
+
+    /// The shard this session is pinned to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Offer one sample (with its allocation-site attribution). The
+    /// outcome is the ring's: `RejectedNewest` is backpressure the caller
+    /// can react to, `EvictedOldest` means an older queued sample was
+    /// dropped in this one's favour. Every offer lands in the drop
+    /// accounting either way.
+    ///
+    /// # Panics
+    /// Panics if called after [`SessionHandle::finish`] began (impossible
+    /// through this API: `finish` consumes the handle).
+    pub fn offer(&self, s: &MemSample, site: Option<SiteId>) -> Offer {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.server_stats.offered.fetch_add(1, Relaxed);
+        let outcome = {
+            let mut q = self.inner.lock_queue();
+            assert!(!q.closed, "offer on a finished session");
+            let outcome = q.ring.offer(*s);
+            match outcome {
+                Offer::Accepted => {
+                    q.sites.push_back(site);
+                    q.enqueued_at.push_back(Instant::now());
+                }
+                Offer::EvictedOldest => {
+                    q.sites.pop_front();
+                    q.enqueued_at.pop_front();
+                    q.sites.push_back(site);
+                    q.enqueued_at.push_back(Instant::now());
+                }
+                Offer::RejectedNewest => {}
+            }
+            outcome
+        };
+        match outcome {
+            Offer::Accepted => {
+                self.server_stats.enqueued.fetch_add(1, Relaxed);
+                self.shard_stats.depth.fetch_add(1, Relaxed);
+            }
+            Offer::EvictedOldest => {
+                // One in, one out: depth unchanged, but a sample was lost.
+                self.server_stats.enqueued.fetch_add(1, Relaxed);
+                self.server_stats.dropped.fetch_add(1, Relaxed);
+            }
+            Offer::RejectedNewest => {
+                self.server_stats.dropped.fetch_add(1, Relaxed);
+            }
+        }
+        if outcome != Offer::RejectedNewest {
+            self.notify.raise();
+        }
+        outcome
+    }
+
+    /// Offer with backpressure honoured: a `RejectedNewest` outcome is
+    /// retried (yielding the CPU between attempts) until the sample is
+    /// queued, so a producer that can afford to wait never loses samples.
+    pub fn offer_blocking(&self, s: &MemSample, site: Option<SiteId>) {
+        loop {
+            match self.offer(s, site) {
+                Offer::RejectedNewest => std::thread::yield_now(),
+                _ => return,
+            }
+        }
+    }
+
+    /// Samples currently queued (the session's share of its shard's
+    /// queue depth).
+    pub fn queued(&self) -> usize {
+        self.inner.lock_queue().ring.len()
+    }
+
+    /// Close the session and block until the shard worker has classified
+    /// the stream's tail (flushing the final partial window), returning
+    /// the session's report.
+    pub fn finish(self) -> SessionReport {
+        {
+            let mut q = self.inner.lock_queue();
+            q.closed = true;
+        }
+        self.notify.raise();
+        let mut report = self.inner.report.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = report.take() {
+                return r;
+            }
+            report = self.inner.done.wait(report).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}

@@ -31,6 +31,7 @@ use numasim::topology::ChannelId;
 use pebs::alloc::SiteId;
 use pebs::sample::MemSample;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Attribution key for the live diagnosis sketches: the allocation site a
 /// remote sample touched, or `None` for untracked (static/stack) data.
@@ -82,6 +83,11 @@ pub struct VerdictEvent {
     pub window_index: u64,
     /// Cycle timestamp of that window's end boundary.
     pub at_cycles: f64,
+    /// Version of the model that classified the triggering window (0
+    /// until a versioned model is installed via
+    /// [`StreamingDetector::swap_model`] or
+    /// [`StreamingDetector::with_model`]).
+    pub model_version: u64,
 }
 
 /// One channel's state in a closed window.
@@ -110,6 +116,9 @@ pub struct WindowSummary {
     pub end_cycles: f64,
     /// Whether this window was cut short by [`StreamingDetector::flush`].
     pub partial: bool,
+    /// Version of the model that classified every channel of this window
+    /// (a window is never split across model versions).
+    pub model_version: u64,
     /// Per-channel features and raw verdicts, dense channel order.
     pub channels: Vec<ChannelWindow>,
 }
@@ -124,7 +133,15 @@ struct ChannelPane {
 /// The online contention detector.
 #[derive(Debug, Clone)]
 pub struct StreamingDetector {
-    classifier: ContentionClassifier,
+    /// The model classifying closed windows. Shared (`Arc`) so a service
+    /// can hand the same published model to thousands of detectors
+    /// without cloning trees.
+    classifier: Arc<ContentionClassifier>,
+    /// Version tag stamped on verdicts ([`VerdictEvent::model_version`]).
+    model_version: u64,
+    /// A model swap requested while a window was in flight; installed at
+    /// the next window boundary so no window mixes models.
+    pending_model: Option<(u64, Arc<ContentionClassifier>)>,
     cfg: StreamConfig,
     nch: usize,
     /// Grid index of the open pane (`None` until the first sample).
@@ -149,10 +166,23 @@ impl StreamingDetector {
     /// Panics if `cfg.nodes < 2`, a hysteresis threshold is zero, or the
     /// sketch capacity is zero.
     pub fn new(classifier: ContentionClassifier, cfg: StreamConfig) -> Self {
+        Self::with_model(Arc::new(classifier), 0, cfg)
+    }
+
+    /// A detector classifying with an already-shared `model`, stamping
+    /// verdicts with `version` (the service path: many detectors, one
+    /// published model).
+    ///
+    /// # Panics
+    /// Panics if `cfg.nodes < 2`, a hysteresis threshold is zero, or the
+    /// sketch capacity is zero.
+    pub fn with_model(model: Arc<ContentionClassifier>, version: u64, cfg: StreamConfig) -> Self {
         assert!(cfg.nodes >= 2, "channel association needs at least two nodes");
         let nch = cfg.nodes * (cfg.nodes - 1);
         Self {
-            classifier,
+            classifier: model,
+            model_version: version,
+            pending_model: None,
             cfg,
             nch,
             cur_pane: None,
@@ -176,6 +206,53 @@ impl StreamingDetector {
     /// The configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.cfg
+    }
+
+    /// Version of the model that will classify the next closed window.
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// Install a new classifier, stamped `version`, **at the next window
+    /// boundary**: a window already in flight finishes on the model it
+    /// started with, so no window is ever classified by two models. When
+    /// no window is in flight the swap is immediate. A second swap before
+    /// the boundary supersedes the first.
+    pub fn swap_model(&mut self, version: u64, model: Arc<ContentionClassifier>) {
+        if self.cur_pane.is_none() && self.sealed.is_empty() {
+            self.classifier = model;
+            self.model_version = version;
+            self.pending_model = None;
+        } else {
+            self.pending_model = Some((version, model));
+        }
+    }
+
+    /// Re-arm a pooled detector for a fresh session: equivalent to
+    /// constructing a new detector with the same config and model, but
+    /// reusing the per-channel accumulator, sketch, and hysteresis
+    /// allocations. A pending [`StreamingDetector::swap_model`] is
+    /// installed immediately (nothing is in flight any more).
+    pub fn reset(&mut self) {
+        self.cur_pane = None;
+        for pane in &mut self.open {
+            *pane = ChannelPane::default();
+        }
+        self.sealed.clear();
+        for h in &mut self.hysteresis {
+            *h = Hysteresis::new(self.cfg.hysteresis);
+        }
+        for s in &mut self.sketches {
+            s.clear();
+        }
+        self.metrics = StreamMetrics::default();
+        self.windows_closed = 0;
+        self.events.clear();
+        self.windows.clear();
+        if let Some((version, model)) = self.pending_model.take() {
+            self.classifier = model;
+            self.model_version = version;
+        }
     }
 
     /// Current metrics snapshot.
@@ -332,6 +409,7 @@ impl StreamingDetector {
                     mode: stable,
                     window_index: index,
                     at_cycles: end_cycles,
+                    model_version: self.model_version,
                 });
             }
             if self.cfg.record_windows {
@@ -344,7 +422,21 @@ impl StreamingDetector {
             }
         }
         if self.cfg.record_windows {
-            self.windows.push(WindowSummary { index, start_cycles, end_cycles, partial, channels });
+            self.windows.push(WindowSummary {
+                index,
+                start_cycles,
+                end_cycles,
+                partial,
+                model_version: self.model_version,
+                channels,
+            });
+        }
+        // The window boundary: a swap requested mid-window installs here,
+        // after the in-flight window classified on the model it started
+        // with and before the next window's samples accumulate.
+        if let Some((version, model)) = self.pending_model.take() {
+            self.classifier = model;
+            self.model_version = version;
         }
     }
 }
@@ -532,6 +624,90 @@ mod tests {
         det.ingest(&sample(50.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
         assert_eq!(det.metrics().late_samples, 1);
         assert_eq!(det.metrics().samples_ingested, 2);
+    }
+
+    /// A second classifier with the opposite bias: everything above a tiny
+    /// remote count is rmc (so the same stream classifies differently and
+    /// a swap is observable).
+    fn eager_classifier() -> ContentionClassifier {
+        let mut d = Dataset::binary(drbw_core::features::selected_names().iter().map(|s| s.to_string()).collect());
+        for i in 0..30 {
+            let mut good = [0.0; NUM_SELECTED];
+            good[REMOTE_COUNT] = 0.5;
+            good[REMOTE_COUNT + 1] = 100.0 + i as f64;
+            d.push(good.to_vec(), 0);
+            let mut rmc = [0.0; NUM_SELECTED];
+            rmc[REMOTE_COUNT] = 30.0 + i as f64;
+            rmc[REMOTE_COUNT + 1] = 200.0 + i as f64;
+            d.push(rmc.to_vec(), 1);
+        }
+        ContentionClassifier::train(&d, TrainConfig::default())
+    }
+
+    /// reset() must be indistinguishable from a fresh detector: same
+    /// events, same windows, same metrics over the same input.
+    #[test]
+    fn reset_is_equivalent_to_fresh() {
+        let cfg = StreamConfig { record_windows: true, ..StreamConfig::new(4, WindowConfig::sliding(1000.0, 2)) };
+        let mut fresh = StreamingDetector::new(classifier(), cfg);
+        let mut pooled = StreamingDetector::new(classifier(), cfg);
+        // Dirty the pooled detector with a different stream, then reset.
+        feed_contended(&mut pooled, 6, 48);
+        pooled.flush();
+        pooled.reset();
+        feed_contended(&mut fresh, 4, 64);
+        feed_contended(&mut pooled, 4, 64);
+        fresh.flush();
+        pooled.flush();
+        assert_eq!(fresh.metrics(), pooled.metrics(), "metrics diverged after reset");
+        assert_eq!(fresh.drain_events(), pooled.drain_events(), "events diverged after reset");
+        let (fw, pw) = (fresh.drain_windows(), pooled.drain_windows());
+        assert_eq!(fw.len(), pw.len());
+        for (a, b) in fw.iter().zip(&pw) {
+            assert_eq!(a.index, b.index);
+            assert_eq!((a.start_cycles, a.end_cycles, a.partial), (b.start_cycles, b.end_cycles, b.partial));
+            for (ca, cb) in a.channels.iter().zip(&b.channels) {
+                assert_eq!(ca.features, cb.features, "window {} diverged after reset", a.index);
+                assert_eq!((ca.traversed, ca.raw_mode), (cb.traversed, cb.raw_mode));
+            }
+        }
+        assert_eq!(fresh.retained_bytes(), pooled.retained_bytes());
+    }
+
+    /// A swap requested mid-window installs only at the window boundary:
+    /// the in-flight window classifies (and stamps) the old version, every
+    /// later window the new one — no window mixes models.
+    #[test]
+    fn swap_mid_window_defers_to_the_boundary() {
+        let cfg = StreamConfig { record_windows: true, ..StreamConfig::new(2, WindowConfig::tumbling(1000.0)) };
+        let mut det = StreamingDetector::with_model(Arc::new(classifier()), 1, cfg);
+        // Window 0 gets samples, then a swap request lands mid-window.
+        for i in 0..32 {
+            det.ingest(&sample(i as f64 * 30.0, 0, Some(1), DataSource::RemoteDram, 950.0), None);
+        }
+        det.swap_model(2, Arc::new(eager_classifier()));
+        assert_eq!(det.model_version(), 1, "swap must not take effect mid-window");
+        // Cross into windows 1 and 2: window 0 closes on v1, the rest on v2.
+        for w in 1..3 {
+            for i in 0..32 {
+                det.ingest(
+                    &sample(w as f64 * 1000.0 + i as f64 * 30.0, 0, Some(1), DataSource::RemoteDram, 950.0),
+                    None,
+                );
+            }
+        }
+        det.flush();
+        let windows = det.drain_windows();
+        assert_eq!(windows[0].model_version, 1, "in-flight window finishes on the model it started with");
+        assert!(windows[1..].iter().all(|w| w.model_version == 2), "later windows classify on the new model");
+        for e in det.drain_events() {
+            let w = &windows[e.window_index as usize];
+            assert_eq!(e.model_version, w.model_version, "event version matches its window's version");
+        }
+        // Idle detectors swap immediately.
+        det.reset();
+        det.swap_model(7, Arc::new(classifier()));
+        assert_eq!(det.model_version(), 7);
     }
 
     #[test]

@@ -75,6 +75,13 @@ impl<K: Eq + Hash + Copy + Ord> SpaceSaving<K> {
         self.total
     }
 
+    /// Forget every counter, keeping the capacity and the table's
+    /// allocation (for sketch reuse across pooled sessions).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.total = 0;
+    }
+
     /// Counters currently tracked (at most the capacity).
     pub fn len(&self) -> usize {
         self.counters.len()

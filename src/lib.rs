@@ -21,7 +21,10 @@
 //!   grids and regeneration loops read results instead of re-simulating;
 //! * [`tune`] — the guided-optimization autotuner: the closed diagnose →
 //!   plan → apply-placement → re-simulate → verify loop, with
-//!   weighted-interleave weight search over measured per-node pressure.
+//!   weighted-interleave weight search over measured per-node pressure;
+//! * [`serve`] — the deployment shape: a sharded, concurrent analysis
+//!   service multiplexing many profiling sessions over the streaming
+//!   pipeline, with atomic model hot-swap and a concurrent run cache.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@
 //! for the binaries regenerating every table and figure of the paper.
 
 pub use drbw_core as core;
+pub use drbw_serve as serve;
 pub use drbw_stream as stream;
 pub use drbw_tune as tune;
 pub use mldt;
@@ -81,15 +85,21 @@ pub mod prelude {
     //! * the autotuner — the [`Tune`] extension trait (adding
     //!   [`Tune::tune`] to [`DrBw`]), its [`TuneConfig`], the
     //!   [`TuneReport`] it returns, and the [`PlacementPlan`] /
-    //!   [`PlanAction`] placement vocabulary plans are written in.
+    //!   [`PlanAction`] placement vocabulary plans are written in;
+    //! * the analysis service — [`AnalysisServer`] with its
+    //!   [`ServerConfig`], the per-session [`SessionHandle`] /
+    //!   [`SessionReport`], the [`ServeMetrics`] snapshot, and the
+    //!   [`ModelRegistry`] / [`ModelReader`] hot-swap pair.
     //!
     //! Anything rarer (feature indices, report rendering, heuristic
     //! baselines, the training grid) stays behind the full module paths,
     //! e.g. [`crate::core::training`].
+    pub use drbw_core::registry::{ModelHandle, ModelReader, ModelRegistry};
     pub use drbw_core::{
         diagnose, profile, Analysis, Case, CaseResult, ContentionClassifier, Diagnosis, DrBw, DrBwBuilder, DrbwError,
         Mode, Profile, TrainingSet,
     };
+    pub use drbw_serve::{AnalysisServer, ServeMetrics, ServerConfig, SessionHandle, SessionReport};
     pub use drbw_stream::{StreamConfig, StreamingDetector, VerdictEvent, WindowConfig};
     pub use drbw_tune::{Tune, TuneConfig, TuneReport};
     pub use mldt::tree::TrainConfig;
