@@ -89,6 +89,30 @@ fi
 echo "    ${serve_secs}s, $(grep -o '"verdicts": [0-9]*' "$serve_cache/BENCH_serve_smoke.json") across 50 sessions, zero drops"
 rm -rf "$serve_cache"
 
+echo "==> multi-tenant smoke (victim/aggressor through the discrete-event scheduler)"
+tenant_cache=$(mktemp -d)
+tenant_start=$SECONDS
+DRBW_RUNCACHE_DIR="$tenant_cache" ./target/release/scenario_tenants \
+    > "$tenant_cache/smoke.out" 2>/dev/null
+tenant_secs=$((SECONDS - tenant_start))
+# The binary hard-asserts the control stays good and the contended run
+# raises rmc on the victim's 0->1 channel; here we gate the budget and
+# sanity-check the verdict lines it printed.
+grep -q 'verdict: rmc on 0->1' "$tenant_cache/smoke.out" || {
+    echo "multi-tenant smoke: no rmc verdict on the victim's channel" >&2
+    exit 1
+}
+grep -q 'control verdict: good; contended verdict: rmc (detected)' "$tenant_cache/smoke.out" || {
+    echo "multi-tenant smoke: summary line missing or wrong" >&2
+    exit 1
+}
+if [ "$tenant_secs" -ge 15 ]; then
+    echo "multi-tenant smoke: took ${tenant_secs}s (budget < 15s)" >&2
+    exit 1
+fi
+echo "    ${tenant_secs}s, $(grep 'victim slowdown' "$tenant_cache/smoke.out")"
+rm -rf "$tenant_cache"
+
 # Surface the recorded cache-walk ablation so perf regressions in the
 # fused span walk are visible in CI logs (BENCH_engine.json is refreshed
 # by crates/bench/src/bin/bench_engine.rs, not by this script).

@@ -103,7 +103,9 @@ fn main() -> Result<(), BenchError> {
     // just sees however many fit its span).
     let window = WindowConfig::tumbling((hot_cycles / 10.0).max(1.0));
     let stream_cfg = StreamConfig { record_windows: true, ..StreamConfig::new(mcfg.topology.num_nodes(), window) };
-    let server = Arc::new(AnalysisServer::start(tool.classifier().clone(), ServerConfig::new(stream_cfg)));
+    let server = Arc::new(
+        AnalysisServer::start(tool.classifier().clone(), ServerConfig::new(stream_cfg)).expect("start server"),
+    );
     if let Some(cache) = &cache {
         server.attach_run_cache(Arc::clone(cache));
     }
@@ -151,7 +153,7 @@ fn main() -> Result<(), BenchError> {
                     }
                     cursor += CHUNK;
                 }
-                sessions.into_iter().map(|(c, h)| (c, h.finish())).collect::<Vec<_>>()
+                sessions.into_iter().map(|(c, h)| (c, h.finish().expect("session report"))).collect::<Vec<_>>()
             })
         })
         .collect();

@@ -345,19 +345,7 @@ impl<O: Observer> Engine<O> {
     }
 
     fn finish_phase(&mut self, ctxs: &[ThreadCtx], counts: AccessCounts) -> RunStats {
-        let cycles = ctxs.iter().map(|t| t.clock).fold(0.0, f64::max);
-        let stats = RunStats {
-            cycles,
-            thread_cycles: ctxs.iter().map(|t| t.clock).collect(),
-            counts,
-            channel_bytes: self.bw.channel_bytes(),
-            mc_bytes: self.bw.mc_bytes_total(),
-            channel_max_rho: self.bw.channel_max_rho(),
-            mc_max_rho: self.bw.mc_max_rho(),
-            channel_avg_rho: self.bw.channel_avg_rho(),
-            mc_avg_rho: self.bw.mc_avg_rho(),
-            rounds: self.bw.rounds(),
-        };
+        let stats = collect_run_stats(&self.bw, ctxs.iter().map(|t| t.clock).collect(), counts);
         self.observer.on_phase_end(&stats);
         stats
     }
@@ -370,10 +358,6 @@ impl<O: Observer> Engine<O> {
         let mut ctxs = self.make_ctxs(threads);
         self.bw.reset();
         let round = self.cfg.engine.round_cycles;
-        let lfb_latency = self.cfg.latency.lfb;
-        let l1_latency = self.cfg.latency.l1;
-        let line_bytes = self.cfg.cache.line_size as f64;
-        let default_mlp = self.cfg.engine.default_mlp;
         let mut counts = AccessCounts::default();
         let mut round_end = round;
         let mut live = ctxs.len();
@@ -386,62 +370,22 @@ impl<O: Observer> Engine<O> {
                         live -= 1;
                         break;
                     };
-                    debug_assert_eq!(run.len, 1, "reference path requested single-access runs");
-                    let compute = run.compute;
-                    let mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
-                    let addr = run.base;
-                    let (source, home, latency) = match self.hierarchy.cache_access(t.core, addr) {
-                        Some(src) => (src, None, self.cfg.base_latency(src)),
-                        None => {
-                            let home = self.memmap.home_node(addr, t.node);
-                            let (src, service) = if home == t.node {
-                                (DataSource::LocalDram, self.cfg.latency.dram_local_service)
-                            } else {
-                                (DataSource::RemoteDram, self.cfg.latency.dram_remote_service)
-                            };
-                            let f = self.bw.factor_for(t.node, home);
-                            self.bw.record_dram(t.node, home, line_bytes);
-                            (src, Some(home), self.cfg.latency.dram_fixed + service * f)
-                        }
+                    let mut m = MachineMut {
+                        cfg: &self.cfg,
+                        hierarchy: &mut self.hierarchy,
+                        bw: &mut self.bw,
+                        memmap: &mut self.memmap,
                     };
-                    t.clock += compute + latency / mlp;
-                    counts.record(source);
-                    t.clock += self.observer.on_access(&AccessEvent {
-                        time: t.clock,
-                        thread: t.thread,
-                        core: t.core,
-                        node: t.node,
-                        addr,
-                        is_write: run.is_write,
-                        source,
-                        home,
-                        latency,
-                    });
-                    // Remaining element loads within the same line.
-                    for _ in 1..run.reps {
-                        let (rep_source, rep_latency, rep_home) = if source.is_dram() {
-                            // Satisfied by the in-flight fill: LFB.
-                            (DataSource::Lfb, lfb_latency, home)
-                        } else {
-                            // Line resident: they hit L1.
-                            (DataSource::L1, l1_latency, None)
-                        };
-                        // LFB latency is overlapped with the fill; L1 hits
-                        // are charged like any hit.
-                        t.clock += compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / mlp };
-                        counts.record(rep_source);
-                        t.clock += self.observer.on_access(&AccessEvent {
-                            time: t.clock,
-                            thread: t.thread,
-                            core: t.core,
-                            node: t.node,
-                            addr,
-                            is_write: run.is_write,
-                            source: rep_source,
-                            home: rep_home,
-                            latency: rep_latency,
-                        });
-                    }
+                    step_single_access(
+                        &mut m,
+                        &mut self.observer,
+                        &mut counts,
+                        t.thread,
+                        t.core,
+                        t.node,
+                        &mut t.clock,
+                        &run,
+                    );
                 }
             }
             self.bw.end_round();
@@ -780,6 +724,113 @@ impl<O: Observer> Engine<O> {
             round_end += round;
         }
         self.finish_phase(&ctxs, counts)
+    }
+}
+
+/// Split mutable borrows of the machine state every execution path works
+/// over: configuration, cache hierarchy, bandwidth model, and memory map.
+/// Groups what [`step_single_access`] needs so the reference inner loop
+/// and the discrete-event scheduler ([`crate::sched`]) share one access
+/// body.
+pub(crate) struct MachineMut<'a> {
+    pub cfg: &'a MachineConfig,
+    pub hierarchy: &'a mut Hierarchy,
+    pub bw: &'a mut BandwidthModel,
+    pub memmap: &'a mut MemoryMap,
+}
+
+/// Execute one single-access run (`run.len == 1`) for a thread: cache
+/// lookup, DRAM service with the current congestion factor, clock advance,
+/// observer delivery, and the trailing same-line reps. This is the
+/// reference-mode access body, shared verbatim with the scheduler's issue
+/// units so a single-tenant scenario reproduces
+/// [`crate::config::ExecMode::Reference`] bit-for-bit.
+#[allow(clippy::too_many_arguments)] // the engine's split field borrows
+pub(crate) fn step_single_access<O: Observer + ?Sized>(
+    m: &mut MachineMut<'_>,
+    observer: &mut O,
+    counts: &mut AccessCounts,
+    thread: ThreadId,
+    core: CoreId,
+    node: NodeId,
+    clock: &mut f64,
+    run: &AccessRun,
+) {
+    debug_assert_eq!(run.len, 1, "step_single_access requires single-access runs");
+    let cfg = m.cfg;
+    let compute = run.compute;
+    let mlp = run.mlp.unwrap_or(cfg.engine.default_mlp).max(1.0);
+    let addr = run.base;
+    let (source, home, latency) = match m.hierarchy.cache_access(core, addr) {
+        Some(src) => (src, None, cfg.base_latency(src)),
+        None => {
+            let home = m.memmap.home_node(addr, node);
+            let (src, service) = if home == node {
+                (DataSource::LocalDram, cfg.latency.dram_local_service)
+            } else {
+                (DataSource::RemoteDram, cfg.latency.dram_remote_service)
+            };
+            let f = m.bw.factor_for(node, home);
+            m.bw.record_dram(node, home, cfg.cache.line_size as f64);
+            (src, Some(home), cfg.latency.dram_fixed + service * f)
+        }
+    };
+    *clock += compute + latency / mlp;
+    counts.record(source);
+    *clock += observer.on_access(&AccessEvent {
+        time: *clock,
+        thread,
+        core,
+        node,
+        addr,
+        is_write: run.is_write,
+        source,
+        home,
+        latency,
+    });
+    // Remaining element loads within the same line.
+    for _ in 1..run.reps {
+        let (rep_source, rep_latency, rep_home) = if source.is_dram() {
+            // Satisfied by the in-flight fill: LFB.
+            (DataSource::Lfb, cfg.latency.lfb, home)
+        } else {
+            // Line resident: they hit L1.
+            (DataSource::L1, cfg.latency.l1, None)
+        };
+        // LFB latency is overlapped with the fill; L1 hits are charged
+        // like any hit.
+        *clock += compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / mlp };
+        counts.record(rep_source);
+        *clock += observer.on_access(&AccessEvent {
+            time: *clock,
+            thread,
+            core,
+            node,
+            addr,
+            is_write: run.is_write,
+            source: rep_source,
+            home: rep_home,
+            latency: rep_latency,
+        });
+    }
+}
+
+/// Assemble a phase's [`RunStats`] from the final per-thread clocks, the
+/// event counts, and the bandwidth model's aggregates (shared by the
+/// engine and [`crate::sched`]).
+pub(crate) fn collect_run_stats(bw: &BandwidthModel, thread_cycles: Vec<f64>, counts: AccessCounts) -> RunStats {
+    let cycles = thread_cycles.iter().copied().fold(0.0, f64::max);
+    RunStats {
+        cycles,
+        thread_cycles,
+        counts,
+        channel_bytes: bw.channel_bytes(),
+        mc_bytes: bw.mc_bytes_total(),
+        channel_max_rho: bw.channel_max_rho(),
+        mc_max_rho: bw.mc_max_rho(),
+        channel_avg_rho: bw.channel_avg_rho(),
+        mc_avg_rho: bw.mc_avg_rho(),
+        rounds: bw.rounds(),
     }
 }
 

@@ -19,7 +19,10 @@
 //!   ([`bandwidth`]) — this is what produces *bandwidth contention*;
 //! * an **execution engine** that advances simulated threads, bound to
 //!   cores, through their memory [`access`] streams in deterministic
-//!   round-robin rounds ([`engine`]).
+//!   round-robin rounds ([`engine`]);
+//! * a **discrete-event scheduler** over the same machine state that
+//!   co-schedules several independent tenants with staggered arrivals,
+//!   bursty phases, and mid-run core migration ([`sched`]).
 //!
 //! Addresses are synthetic: the simulator models *where* data lives and
 //! *how long* accesses take, not data values. Workloads are therefore
@@ -59,6 +62,7 @@ pub mod engine;
 pub mod fp;
 pub mod hierarchy;
 pub mod memmap;
+pub mod sched;
 pub mod stats;
 pub mod topology;
 
@@ -76,6 +80,7 @@ pub mod prelude {
     pub use crate::engine::{AccessEvent, Engine, NullObserver, Observer, ThreadSpec};
     pub use crate::hierarchy::DataSource;
     pub use crate::memmap::{MemoryMap, ObjectHandle, ObjectId, PlacementPolicy};
+    pub use crate::sched::{BurstConfig, Migration, ScenarioEngine, ScenarioStats, TenantId, TenantRun, TenantStats};
     pub use crate::stats::{AccessCounts, RunStats};
     pub use crate::topology::{ChannelId, CoreId, NodeId, ThreadId, Topology};
 }

@@ -1,0 +1,806 @@
+//! Discrete-event multi-tenant scheduler: co-resident workloads on one
+//! simulated machine.
+//!
+//! The closed-loop engine ([`crate::engine`]) advances one workload's
+//! threads round by round in a fixed nested loop. This module rebuilds
+//! that loop as a discrete-event scheduler so *several* independent thread
+//! groups ("tenants") can share the machine with staggered arrival times,
+//! bursty on/off phases, and mid-run core migration — the cross-tenant
+//! contention regime that hyperscale memory-subsystem studies report and
+//! that DR-BW's single-workload evaluation never sees.
+//!
+//! ## Component model
+//!
+//! A [`Component`] exposes [`Component::next_tick`] — the simulated time
+//! at which it next has work, or `None` once finished — and
+//! [`Component::tick`], which performs that work against the shared
+//! machine state carried in [`SchedCtx`]. The [`Scheduler`] repeatedly
+//! scans for the minimum pending wake time, advances the global clock to
+//! it, and fires every component whose wake time equals that minimum, in
+//! registration order (the deterministic tie-break). Two component kinds
+//! reproduce the engine's round model:
+//!
+//! * [`IssueUnit`] — one per software thread, bound to a core. At each
+//!   wake (a round boundary) it issues accesses until its private clock
+//!   crosses the boundary, exactly like one iteration of the reference
+//!   loop's `while clock < round_end` slice.
+//! * [`RoundBus`] — the memory-controller/channel aggregation. The
+//!   per-channel and per-controller byte counters live in
+//!   [`BandwidthModel`]; the bus fires at every round boundary *after*
+//!   all issue units and closes the accounting round
+//!   ([`BandwidthModel::end_round`]), deriving the congestion factors the
+//!   next round's accesses will observe.
+//!
+//! ## Clock discipline
+//!
+//! All wake times live on one grid: the left fold `b += round_cycles`
+//! starting from `round_cycles`, exactly the `round_end += round` sequence
+//! the engine computes. Every component derives its wake time by stepping
+//! that same fold from a value already on the grid, so equal boundaries
+//! are equal *bitwise* and the scheduler's `==` tie-match is exact — no
+//! epsilon comparisons anywhere. An issue unit whose clock overshot
+//! several rounds simply sleeps through the intervening boundaries (where
+//! the reference loop would test `clock < round_end` and do nothing), and
+//! the bus alone keeps the round accounting advancing.
+//!
+//! ## Single-tenant oracle
+//!
+//! A scenario with one tenant (arrival 0, no bursts, no migrations)
+//! issues the same access sequence, in the same order, with the same
+//! floating-point arithmetic as [`crate::config::ExecMode::Reference`] —
+//! the per-access body is literally the same function
+//! (`engine::step_single_access`). The differential suites
+//! (`tests/scheduler.rs` at the workspace root and the unit tests below)
+//! hold the scheduler to bit-for-bit equality on stats *and* sampled
+//! events.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::access::AccessStream;
+use crate::bandwidth::BandwidthModel;
+use crate::config::MachineConfig;
+use crate::engine::{collect_run_stats, step_single_access, MachineMut, Observer, ThreadSpec};
+use crate::hierarchy::Hierarchy;
+use crate::memmap::MemoryMap;
+use crate::stats::{AccessCounts, RunStats};
+use crate::topology::{CoreId, NodeId, ThreadId};
+
+/// Identifies a tenant — an independently arriving workload — within a
+/// scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+/// On/off duty cycle for a bursty tenant, relative to its arrival time:
+/// the tenant issues for `on_cycles`, idles for `off_cycles`, and repeats.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstConfig {
+    /// Length of each issuing window, in cycles (must be positive).
+    pub on_cycles: f64,
+    /// Length of each idle window between bursts, in cycles.
+    pub off_cycles: f64,
+}
+
+/// A scheduled mid-run core migration: at simulated time `at_cycles`,
+/// `thread` rebinds to core `to` (and to that core's NUMA node). Caches on
+/// the new core are whatever earlier residents left — a migrated thread
+/// starts cold, as on real hardware.
+#[derive(Debug, Clone, Copy)]
+pub struct Migration {
+    /// Simulated time at which the rebind takes effect.
+    pub at_cycles: f64,
+    /// The thread to rebind.
+    pub thread: ThreadId,
+    /// Destination core.
+    pub to: CoreId,
+}
+
+/// One tenant: a group of threads plus its arrival/burst/migration
+/// schedule. Thread ids must be unique across the whole scenario.
+pub struct TenantRun {
+    /// Tenant identity, stamped on per-tenant statistics.
+    pub tenant: TenantId,
+    /// The tenant's threads (cores, streams).
+    pub threads: Vec<ThreadSpec>,
+    /// Simulated time at which the tenant starts issuing.
+    pub arrival_cycles: f64,
+    /// Optional on/off duty cycle (applies to all the tenant's threads).
+    pub burst: Option<BurstConfig>,
+    /// Scheduled core migrations for this tenant's threads.
+    pub migrations: Vec<Migration>,
+}
+
+impl TenantRun {
+    /// A tenant arriving at time 0 with no bursts or migrations.
+    pub fn new(tenant: u32, threads: Vec<ThreadSpec>) -> Self {
+        Self { tenant: TenantId(tenant), threads, arrival_cycles: 0.0, burst: None, migrations: Vec::new() }
+    }
+
+    /// Stagger the tenant's arrival to `cycles`.
+    #[must_use]
+    pub fn arriving_at(mut self, cycles: f64) -> Self {
+        self.arrival_cycles = cycles;
+        self
+    }
+
+    /// Give the tenant an on/off duty cycle.
+    #[must_use]
+    pub fn bursty(mut self, on_cycles: f64, off_cycles: f64) -> Self {
+        self.burst = Some(BurstConfig { on_cycles, off_cycles });
+        self
+    }
+
+    /// Schedule a core migration for one of the tenant's threads.
+    #[must_use]
+    pub fn migrate(mut self, at_cycles: f64, thread: u32, to: CoreId) -> Self {
+        self.migrations.push(Migration { at_cycles, thread: ThreadId(thread), to });
+        self
+    }
+}
+
+/// The shared machine state a [`Component`] ticks against: split mutable
+/// borrows of the configuration, cache hierarchy, bandwidth model, memory
+/// map, and the phase observer.
+pub struct SchedCtx<'a> {
+    /// Machine configuration (read-only).
+    pub cfg: &'a MachineConfig,
+    /// Cache hierarchy (per-core L1/L2, per-node L3).
+    pub hierarchy: &'a mut Hierarchy,
+    /// Bandwidth accounting and congestion factors.
+    pub bw: &'a mut BandwidthModel,
+    /// Page placement / first-touch state.
+    pub memmap: &'a mut MemoryMap,
+    /// The phase observer (e.g. a PEBS sampler).
+    pub observer: &'a mut dyn Observer,
+}
+
+/// A discrete-event participant. See the [module docs](self) for the
+/// clock discipline components must follow: every wake time returned from
+/// [`Component::next_tick`] must lie on the round grid, computed by
+/// stepping `w += round_cycles` from a value already on it.
+pub trait Component {
+    /// The simulated time of this component's next tick, or `None` once it
+    /// has no further work.
+    fn next_tick(&self) -> Option<f64>;
+
+    /// Perform the work due at `now` (which equals the value `next_tick`
+    /// returned). Must advance `next_tick` strictly past `now` or return
+    /// `None` afterwards.
+    fn tick(&mut self, now: f64, ctx: &mut SchedCtx<'_>);
+}
+
+/// The discrete-event scheduler: a global simulated clock plus a min-scan
+/// over component wake times, firing ties in registration order.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    now: f64,
+    ticks: u64,
+}
+
+impl Scheduler {
+    /// A scheduler with its clock at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The global simulated clock (the time of the last fired event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total component ticks fired so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Run components to completion: repeatedly find the minimum pending
+    /// wake time, advance the clock, and fire every component whose wake
+    /// equals it, in slice order. Returns the number of ticks fired.
+    ///
+    /// Equality matching on `f64` wake times is deliberate and exact: all
+    /// participants compute wake times on the same additive grid (see the
+    /// [module docs](self)).
+    pub fn run(&mut self, components: &mut [&mut dyn Component], ctx: &mut SchedCtx<'_>) -> u64 {
+        let fired_before = self.ticks;
+        loop {
+            let mut t_min = f64::INFINITY;
+            let mut pending = false;
+            for c in components.iter() {
+                if let Some(t) = c.next_tick() {
+                    pending = true;
+                    if t < t_min {
+                        t_min = t;
+                    }
+                }
+            }
+            if !pending {
+                return self.ticks - fired_before;
+            }
+            debug_assert!(t_min >= self.now, "scheduler time went backwards: {t_min} < {}", self.now);
+            self.now = t_min;
+            for c in components.iter_mut() {
+                if c.next_tick() == Some(t_min) {
+                    c.tick(t_min, ctx);
+                    self.ticks += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread issue unit: replays one thread's slice of the engine's
+/// reference loop at each round boundary it is awake for, with optional
+/// burst gating and scheduled migrations applied between accesses.
+pub struct IssueUnit {
+    tenant: TenantId,
+    thread: ThreadId,
+    core: CoreId,
+    node: NodeId,
+    stream: Box<dyn AccessStream>,
+    clock: f64,
+    wake: Option<f64>,
+    round: f64,
+    burst: Option<BurstConfig>,
+    /// End of the current "on" window (start of the next idle window).
+    burst_off_at: f64,
+    /// This thread's migrations, sorted by time, and the next to apply.
+    migrations: Vec<Migration>,
+    mig_next: usize,
+    counts: AccessCounts,
+    live: Rc<Cell<usize>>,
+}
+
+/// Everything beyond the `ThreadSpec` that shapes one issue unit: which
+/// tenant it belongs to, where it starts, and its scheduled dynamics.
+struct UnitSetup {
+    tenant: TenantId,
+    node: NodeId,
+    arrival: f64,
+    burst: Option<BurstConfig>,
+    migrations: Vec<Migration>,
+}
+
+impl IssueUnit {
+    fn new(spec: ThreadSpec, setup: UnitSetup, round: f64, live: Rc<Cell<usize>>) -> Self {
+        let UnitSetup { tenant, node, arrival, burst, migrations } = setup;
+        // First wake: the first grid boundary strictly past the arrival
+        // clock, stepped on the same `+= round` fold the bus uses.
+        let mut w = round;
+        while w <= arrival {
+            w += round;
+        }
+        let burst_off_at = arrival + burst.map_or(f64::INFINITY, |b| b.on_cycles);
+        Self {
+            tenant,
+            thread: spec.thread,
+            core: spec.core,
+            node,
+            stream: spec.stream,
+            clock: arrival,
+            wake: Some(w),
+            round,
+            burst,
+            burst_off_at,
+            migrations,
+            mig_next: 0,
+            counts: AccessCounts::default(),
+            live,
+        }
+    }
+
+    /// The tenant this unit belongs to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The unit's thread id.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The unit's private clock (final finish time once done).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Events this unit has issued, by data source.
+    pub fn counts(&self) -> &AccessCounts {
+        &self.counts
+    }
+}
+
+impl Component for IssueUnit {
+    fn next_tick(&self) -> Option<f64> {
+        self.wake
+    }
+
+    fn tick(&mut self, now: f64, ctx: &mut SchedCtx<'_>) {
+        loop {
+            // Scenario gates; both reduce to no-ops for a plain tenant, so
+            // the single-tenant loop below is exactly the reference slice.
+            if let Some(b) = self.burst {
+                while self.clock >= self.burst_off_at {
+                    let idle_end = self.burst_off_at + b.off_cycles;
+                    if self.clock < idle_end {
+                        self.clock = idle_end;
+                    }
+                    self.burst_off_at += b.on_cycles + b.off_cycles;
+                }
+            }
+            while self.mig_next < self.migrations.len() && self.migrations[self.mig_next].at_cycles <= self.clock {
+                let to = self.migrations[self.mig_next].to;
+                self.core = to;
+                self.node = ctx.cfg.topology.node_of_core(to);
+                self.mig_next += 1;
+            }
+            if self.clock >= now {
+                break;
+            }
+            let Some(run) = self.stream.next_run(1) else {
+                self.wake = None;
+                self.live.set(self.live.get() - 1);
+                return;
+            };
+            let mut m = MachineMut { cfg: ctx.cfg, hierarchy: ctx.hierarchy, bw: ctx.bw, memmap: ctx.memmap };
+            step_single_access(
+                &mut m,
+                ctx.observer,
+                &mut self.counts,
+                self.thread,
+                self.core,
+                self.node,
+                &mut self.clock,
+                &run,
+            );
+        }
+        // Next boundary strictly past the clock, stepped on the grid from
+        // the boundary just processed.
+        let mut w = now;
+        while w <= self.clock {
+            w += self.round;
+        }
+        self.wake = Some(w);
+    }
+}
+
+/// The memory-controller/channel component: closes the bandwidth
+/// accounting round at every boundary (after all issue units have run
+/// their slices), and retires once no issue unit remains live — firing
+/// one final time in the boundary where the last unit finished, exactly
+/// like the reference loop's trailing `end_round`.
+pub struct RoundBus {
+    boundary: f64,
+    round: f64,
+    live: Rc<Cell<usize>>,
+    done: bool,
+}
+
+impl RoundBus {
+    fn new(round: f64, live: Rc<Cell<usize>>) -> Self {
+        Self { boundary: round, round, live, done: false }
+    }
+}
+
+impl Component for RoundBus {
+    fn next_tick(&self) -> Option<f64> {
+        if self.done {
+            None
+        } else {
+            Some(self.boundary)
+        }
+    }
+
+    fn tick(&mut self, now: f64, ctx: &mut SchedCtx<'_>) {
+        debug_assert_eq!(now, self.boundary);
+        ctx.bw.end_round();
+        self.boundary = now + self.round;
+        if self.live.get() == 0 {
+            self.done = true;
+        }
+    }
+}
+
+/// Per-tenant slice of a scenario's statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Which tenant.
+    pub tenant: TenantId,
+    /// Events issued by this tenant's threads, by data source.
+    pub counts: AccessCounts,
+    /// When the tenant's last thread finished (includes its arrival
+    /// offset and any idle burst windows).
+    pub finish_cycles: f64,
+    /// Final clock of each of the tenant's threads, in spec order.
+    pub thread_cycles: Vec<f64>,
+}
+
+/// A completed scenario: machine-wide [`RunStats`] (bit-identical to the
+/// reference engine for a single plain tenant) plus per-tenant slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioStats {
+    /// Machine-wide statistics over all tenants.
+    pub run: RunStats,
+    /// Per-tenant statistics, in scenario order.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Drives multi-tenant scenarios through the discrete-event scheduler.
+/// Owns the same machine state as [`crate::engine::Engine`] and persists
+/// it across scenarios (caches, first-touch placement), mirroring the
+/// engine's phase semantics.
+pub struct ScenarioEngine<O: Observer> {
+    cfg: MachineConfig,
+    hierarchy: Hierarchy,
+    bw: BandwidthModel,
+    memmap: MemoryMap,
+    observer: O,
+}
+
+impl<O: Observer> ScenarioEngine<O> {
+    /// Build a scenario engine for `cfg` over an allocated `memmap`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: &MachineConfig, memmap: MemoryMap, observer: O) -> Self {
+        cfg.validate();
+        Self { cfg: cfg.clone(), hierarchy: Hierarchy::new(cfg), bw: BandwidthModel::new(cfg), memmap, observer }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Read access to the memory map.
+    pub fn memmap(&self) -> &MemoryMap {
+        &self.memmap
+    }
+
+    /// Mutable access to the memory map (e.g. to re-place objects between
+    /// scenarios).
+    pub fn memmap_mut(&mut self) -> &mut MemoryMap {
+        &mut self.memmap
+    }
+
+    /// The observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer (e.g. to drain collected samples).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Flush all caches (cold-start the next scenario).
+    pub fn flush_caches(&mut self) {
+        self.hierarchy.flush();
+    }
+
+    /// Tear down, returning the memory map and observer.
+    pub fn into_parts(self) -> (MemoryMap, O) {
+        (self.memmap, self.observer)
+    }
+
+    /// Run one scenario to completion: every tenant's threads to stream
+    /// exhaustion. Bandwidth aggregates are reset at scenario start;
+    /// cache and placement state persist, as across engine phases.
+    ///
+    /// # Panics
+    /// Panics if the scenario is malformed: no tenants, a tenant with no
+    /// threads, out-of-range cores, duplicate thread ids across the
+    /// scenario, non-finite or negative arrivals, a non-positive burst
+    /// `on_cycles` or negative `off_cycles`, or a migration naming a
+    /// thread outside its tenant or an out-of-range core.
+    pub fn run(&mut self, tenants: Vec<TenantRun>) -> ScenarioStats {
+        assert!(!tenants.is_empty(), "scenario needs at least one tenant");
+        let topo = &self.cfg.topology;
+        let round = self.cfg.engine.round_cycles;
+        let n_units: usize = tenants.iter().map(|t| t.threads.len()).sum();
+        let live = Rc::new(Cell::new(n_units));
+
+        let mut units: Vec<IssueUnit> = Vec::with_capacity(n_units);
+        // (unit range, tenant id) per tenant, for the per-tenant rollup.
+        let mut tenant_ranges: Vec<(TenantId, usize, usize)> = Vec::with_capacity(tenants.len());
+        for run in tenants {
+            assert!(!run.threads.is_empty(), "tenant {:?} has no threads", run.tenant);
+            assert!(
+                run.arrival_cycles.is_finite() && run.arrival_cycles >= 0.0,
+                "tenant {:?} has invalid arrival {}",
+                run.tenant,
+                run.arrival_cycles
+            );
+            if let Some(b) = run.burst {
+                assert!(
+                    b.on_cycles.is_finite() && b.on_cycles > 0.0 && b.off_cycles.is_finite() && b.off_cycles >= 0.0,
+                    "tenant {:?} has invalid burst config {:?}",
+                    run.tenant,
+                    b
+                );
+            }
+            for m in &run.migrations {
+                assert!(
+                    m.at_cycles.is_finite() && m.at_cycles >= 0.0,
+                    "migration of {:?} at invalid time {}",
+                    m.thread,
+                    m.at_cycles
+                );
+                assert!(topo.core_in_range(m.to), "migration of {:?} to invalid {:?}", m.thread, m.to);
+                assert!(
+                    run.threads.iter().any(|s| s.thread == m.thread),
+                    "migration names {:?}, not a thread of tenant {:?}",
+                    m.thread,
+                    run.tenant
+                );
+            }
+            let start = units.len();
+            for spec in run.threads {
+                assert!(topo.core_in_range(spec.core), "thread {:?} bound to invalid {:?}", spec.thread, spec.core);
+                let node = topo.node_of_core(spec.core);
+                let mut migs: Vec<Migration> =
+                    run.migrations.iter().copied().filter(|m| m.thread == spec.thread).collect();
+                migs.sort_by(|a, b| a.at_cycles.total_cmp(&b.at_cycles));
+                let setup = UnitSetup {
+                    tenant: run.tenant,
+                    node,
+                    arrival: run.arrival_cycles,
+                    burst: run.burst,
+                    migrations: migs,
+                };
+                units.push(IssueUnit::new(spec, setup, round, Rc::clone(&live)));
+            }
+            tenant_ranges.push((run.tenant, start, units.len()));
+        }
+        {
+            let mut ids: Vec<u32> = units.iter().map(|u| u.thread.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), units.len(), "duplicate thread ids in scenario");
+        }
+
+        self.bw.reset();
+        let mut bus = RoundBus::new(round, Rc::clone(&live));
+        {
+            let mut components: Vec<&mut dyn Component> = units.iter_mut().map(|u| u as &mut dyn Component).collect();
+            components.push(&mut bus);
+            let mut ctx = SchedCtx {
+                cfg: &self.cfg,
+                hierarchy: &mut self.hierarchy,
+                bw: &mut self.bw,
+                memmap: &mut self.memmap,
+                observer: &mut self.observer,
+            };
+            let mut sched = Scheduler::new();
+            sched.run(&mut components, &mut ctx);
+        }
+
+        let mut total = AccessCounts::default();
+        for u in &units {
+            total.merge(&u.counts);
+        }
+        let run = collect_run_stats(&self.bw, units.iter().map(|u| u.clock).collect(), total);
+        let tenants = tenant_ranges
+            .into_iter()
+            .map(|(tenant, start, end)| {
+                let slice = &units[start..end];
+                let mut counts = AccessCounts::default();
+                for u in slice {
+                    counts.merge(&u.counts);
+                }
+                TenantStats {
+                    tenant,
+                    counts,
+                    finish_cycles: slice.iter().map(|u| u.clock).fold(0.0, f64::max),
+                    thread_cycles: slice.iter().map(|u| u.clock).collect(),
+                }
+            })
+            .collect();
+        self.observer.on_phase_end(&run);
+        ScenarioStats { run, tenants }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessMix, ChainStream, RandomStream, SeqStream};
+    use crate::config::ExecMode;
+    use crate::engine::{Engine, NullObserver};
+    use crate::memmap::PlacementPolicy;
+
+    fn scaled() -> MachineConfig {
+        MachineConfig::scaled()
+    }
+
+    /// A moderately irregular multi-thread workload over one memory map:
+    /// sequential writers chained with random readers, mixed reps/compute.
+    fn build_threads(mm: &mut MemoryMap, cfg: &MachineConfig, base_thread: u32, n: usize) -> Vec<ThreadSpec> {
+        let a = mm.alloc(if base_thread == 0 { "a" } else { "a2" }, 4 << 20, PlacementPolicy::FirstTouch);
+        let b = mm.alloc(
+            if base_thread == 0 { "b" } else { "b2" },
+            1 << 20,
+            PlacementPolicy::interleave_all(cfg.topology.num_nodes()),
+        );
+        let binding = cfg.topology.bind_threads(n, 4);
+        binding
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let share = a.size / n as u64;
+                let seq = SeqStream::new(a.base + i as u64 * share, share, 2, AccessMix::write_every(3))
+                    .with_compute(0.5 + i as f64)
+                    .with_reps(3);
+                let rnd = RandomStream::new(b.base, b.size, 5_000, i as u64, AccessMix::read_only());
+                let chain = ChainStream::new(vec![Box::new(seq), Box::new(rnd)]);
+                ThreadSpec::new(base_thread + i as u32, *core, Box::new(chain))
+            })
+            .collect()
+    }
+
+    /// The tentpole acceptance property, stats half: one plain tenant
+    /// through the scheduler reproduces `ExecMode::Reference` bit-for-bit
+    /// (the sampled-events half lives in `tests/scheduler.rs`).
+    #[test]
+    fn single_tenant_matches_reference_bit_for_bit() {
+        let mut cfg = scaled();
+        cfg.engine.exec = ExecMode::Reference;
+        let mut mm_ref = MemoryMap::new(&cfg);
+        let threads_ref = build_threads(&mut mm_ref, &cfg, 0, 8);
+        let mut eng = Engine::new(&cfg, mm_ref, NullObserver);
+        let reference = eng.run_phase(threads_ref);
+
+        let mut mm = MemoryMap::new(&cfg);
+        let threads = build_threads(&mut mm, &cfg, 0, 8);
+        let mut sceng = ScenarioEngine::new(&cfg, mm, NullObserver);
+        let scenario = sceng.run(vec![TenantRun::new(0, threads)]);
+
+        assert_eq!(scenario.run, reference, "scheduler diverged from the reference engine");
+        assert_eq!(scenario.tenants.len(), 1);
+        assert_eq!(scenario.tenants[0].counts, reference.counts);
+        assert_eq!(scenario.tenants[0].thread_cycles, reference.thread_cycles);
+    }
+
+    /// Two co-resident tenants: runs are deterministic, the global stats
+    /// roll up exactly from the per-tenant slices, and round accounting
+    /// stays consistent.
+    #[test]
+    fn two_tenants_are_deterministic_and_roll_up() {
+        let cfg = scaled();
+        let run = || {
+            let mut mm = MemoryMap::new(&cfg);
+            let t0 = build_threads(&mut mm, &cfg, 0, 4);
+            let t1 = build_threads(&mut mm, &cfg, 100, 4);
+            let mut eng = ScenarioEngine::new(&cfg, mm, NullObserver);
+            eng.run(vec![TenantRun::new(0, t0), TenantRun::new(1, t1).arriving_at(50_000.0)])
+        };
+        let s1 = run();
+        let s2 = run();
+        assert_eq!(s1, s2, "scenario runs are not deterministic");
+        let mut rolled = AccessCounts::default();
+        for t in &s1.tenants {
+            rolled.merge(&t.counts);
+        }
+        assert_eq!(rolled, s1.run.counts);
+        assert_eq!(s1.run.thread_cycles.len(), 8);
+        assert!(s1.run.rounds > 0);
+        // The late tenant cannot finish before it arrives.
+        assert!(s1.tenants[1].finish_cycles >= 50_000.0);
+    }
+
+    /// A bursty tenant does the same work but takes longer wall-clock than
+    /// the same tenant running unthrottled.
+    #[test]
+    fn bursty_tenant_finishes_later_with_equal_work() {
+        let cfg = scaled();
+        let run = |burst: Option<(f64, f64)>| {
+            let mut mm = MemoryMap::new(&cfg);
+            let threads = build_threads(&mut mm, &cfg, 0, 4);
+            let mut tenant = TenantRun::new(0, threads);
+            if let Some((on, off)) = burst {
+                tenant = tenant.bursty(on, off);
+            }
+            let mut eng = ScenarioEngine::new(&cfg, mm, NullObserver);
+            eng.run(vec![tenant])
+        };
+        let steady = run(None);
+        let bursty = run(Some((40_000.0, 40_000.0)));
+        assert_eq!(steady.run.counts, bursty.run.counts, "burst gating changed the work done");
+        assert!(
+            bursty.run.cycles > steady.run.cycles * 1.3,
+            "idle windows should stretch the run: bursty {} vs steady {}",
+            bursty.run.cycles,
+            steady.run.cycles
+        );
+    }
+
+    /// A mid-run migration from a local to a remote core flips the
+    /// locality of the tail of the scan.
+    #[test]
+    fn migration_moves_traffic_remote() {
+        let cfg = scaled();
+        let run = |migrate: bool| {
+            let mut mm = MemoryMap::new(&cfg);
+            let a = mm.alloc("a", 8 << 20, PlacementPolicy::Bind(NodeId(0)));
+            let stream = SeqStream::new(a.base, a.size, 1, AccessMix::read_only());
+            let mut tenant = TenantRun::new(0, vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]);
+            if migrate {
+                // Node 1's first core, partway through the scan.
+                let remote_core = CoreId(cfg.topology.cores_per_node() as u32);
+                tenant = tenant.migrate(100_000.0, 0, remote_core);
+            }
+            let mut eng = ScenarioEngine::new(&cfg, mm, NullObserver);
+            eng.run(vec![tenant])
+        };
+        let pinned = run(false);
+        let migrated = run(true);
+        assert_eq!(pinned.run.counts.remote_dram, 0);
+        assert!(migrated.run.counts.remote_dram > 0, "post-migration accesses should be remote");
+        assert!(migrated.run.counts.local_dram > 0, "pre-migration accesses stay local");
+        assert!(migrated.run.cycles > pinned.run.cycles, "remote tail should cost cycles");
+    }
+
+    /// Cross-tenant contention: a victim sharing channels with a
+    /// bandwidth-hog aggressor slows down relative to running alone.
+    #[test]
+    fn aggressor_tenant_slows_the_victim() {
+        let cfg = scaled();
+        let victim_tenant = |mm: &mut MemoryMap| {
+            let v = mm.alloc("victim", 4 << 20, PlacementPolicy::Bind(NodeId(0)));
+            let stream = SeqStream::new(v.base, v.size, 2, AccessMix::read_only()).with_compute(2.0);
+            TenantRun::new(0, vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))])
+        };
+        let alone = {
+            let mut mm = MemoryMap::new(&cfg);
+            let t = victim_tenant(&mut mm);
+            let mut eng = ScenarioEngine::new(&cfg, mm, NullObserver);
+            eng.run(vec![t])
+        };
+        let contended = {
+            let mut mm = MemoryMap::new(&cfg);
+            let t = victim_tenant(&mut mm);
+            let a = mm.alloc("aggressor", 48 << 20, PlacementPolicy::Bind(NodeId(0)));
+            let nthreads = 24usize;
+            let threads: Vec<ThreadSpec> = (0..nthreads)
+                .map(|i| {
+                    let share = a.size / nthreads as u64;
+                    let s = SeqStream::new(a.base + i as u64 * share, share, 4, AccessMix::read_only());
+                    // Aggressor cores on nodes 1..3: all their traffic is
+                    // remote into the victim's node-0 memory controller.
+                    let core = CoreId((cfg.topology.cores_per_node() * (1 + i / 8)) as u32 + (i % 8) as u32);
+                    ThreadSpec::new(100 + i as u32, core, Box::new(s))
+                })
+                .collect();
+            let mut eng = ScenarioEngine::new(&cfg, mm, NullObserver);
+            eng.run(vec![t, TenantRun::new(1, threads)])
+        };
+        let slowdown = contended.tenants[0].finish_cycles / alone.tenants[0].finish_cycles;
+        assert_eq!(alone.tenants[0].counts, contended.tenants[0].counts, "victim's work changed");
+        assert!(slowdown > 1.2, "aggressor should slow the victim, got {slowdown}x");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate thread ids")]
+    fn duplicate_thread_ids_across_tenants_rejected() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 1 << 20, PlacementPolicy::Bind(NodeId(0)));
+        let mk = || -> Box<dyn AccessStream> { Box::new(SeqStream::new(a.base, a.size, 1, AccessMix::read_only())) };
+        let t0 = TenantRun::new(0, vec![ThreadSpec::new(0, CoreId(0), mk())]);
+        let t1 = TenantRun::new(1, vec![ThreadSpec::new(0, CoreId(1), mk())]);
+        let mut eng = ScenarioEngine::new(&cfg, mm, NullObserver);
+        eng.run(vec![t0, t1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a thread of tenant")]
+    fn migration_of_foreign_thread_rejected() {
+        let cfg = scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let a = mm.alloc("a", 1 << 20, PlacementPolicy::Bind(NodeId(0)));
+        let stream = SeqStream::new(a.base, a.size, 1, AccessMix::read_only());
+        let tenant =
+            TenantRun::new(0, vec![ThreadSpec::new(0, CoreId(0), Box::new(stream))]).migrate(1_000.0, 7, CoreId(1));
+        let mut eng = ScenarioEngine::new(&cfg, mm, NullObserver);
+        eng.run(vec![tenant]);
+    }
+}

@@ -46,6 +46,16 @@ impl AccessCounts {
         }
     }
 
+    /// Fold another set of counts into this one (per-tenant rollups).
+    pub fn merge(&mut self, other: &AccessCounts) {
+        self.l1 += other.l1;
+        self.l2 += other.l2;
+        self.l3 += other.l3;
+        self.lfb += other.lfb;
+        self.local_dram += other.local_dram;
+        self.remote_dram += other.remote_dram;
+    }
+
     /// Total events.
     pub fn total(&self) -> u64 {
         self.l1 + self.l2 + self.l3 + self.lfb + self.local_dram + self.remote_dram

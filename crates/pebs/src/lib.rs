@@ -22,7 +22,10 @@
 //!   path: a bounded ring with explicit backpressure/drop accounting and
 //!   an observer adapter that feeds it, so a live consumer (the
 //!   `drbw-stream` detector) can watch a run without retaining its full
-//!   sample log.
+//!   sample log;
+//! * [`tenant::TenantMap`] attributes samples from a multi-tenant scenario
+//!   (see `numasim::sched`) back to the tenant that issued them, so a mixed
+//!   sample log can be partitioned per tenant for replay.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -35,6 +38,7 @@ pub mod ring;
 pub mod sample;
 pub mod sampler;
 pub mod stream;
+pub mod tenant;
 
 pub use alloc::{AllocId, AllocationTracker, SiteId};
 pub use ibs::{IbsConfig, IbsSampler};
@@ -43,3 +47,4 @@ pub use ring::{Offer, OverflowPolicy, SampleRing};
 pub use sample::MemSample;
 pub use sampler::{AddressSampler, SamplerConfig};
 pub use stream::StreamingSampler;
+pub use tenant::TenantMap;

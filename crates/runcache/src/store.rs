@@ -352,11 +352,19 @@ impl RunCache {
         let final_path = self.entry_path(key);
         let tmp_path =
             self.dir.join(format!(".tmp-{}-{}-{}", std::process::id(), TMP_SEQ.fetch_add(1, Ordering::Relaxed), name));
-        {
+        // Write + publish, deleting the temp file if anything fails
+        // mid-way — nothing sweeps the directory later, so a leaked temp
+        // would live (and count against the byte cap's scan) forever.
+        let written = (|| {
             let mut f = std::fs::File::create(&tmp_path)?;
             f.write_all(&bytes)?;
+            drop(f);
+            std::fs::rename(&tmp_path, &final_path)
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
         }
-        std::fs::rename(&tmp_path, &final_path)?;
         self.bump(&self.counters.stores);
         self.counters.bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.account_and_evict(name, bytes.len() as u64);
@@ -371,11 +379,18 @@ impl RunCache {
             match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(_) => return Ok(Some(LockGuard { path })),
                 Err(e) if e.kind() == ErrorKind::AlreadyExists => {
-                    let stale = std::fs::metadata(&path)
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|mtime| mtime.elapsed().ok())
-                        .is_some_and(|age| age > self.cfg.lock_stale);
+                    let stale = std::fs::metadata(&path).and_then(|m| m.modified()).ok().is_some_and(|mtime| {
+                        match mtime.elapsed() {
+                            Ok(age) => age > self.cfg.lock_stale,
+                            // A future mtime (clock skew, a touched
+                            // file) can never age out through
+                            // `elapsed()`; once the skew exceeds the
+                            // staleness window it cannot be a live
+                            // writer's lock — break it rather than
+                            // skipping this key's writes forever.
+                            Err(skew) => skew.duration() > self.cfg.lock_stale,
+                        }
+                    });
                     if stale && attempt == 0 {
                         // Abandoned by a crashed writer: break it and
                         // retry the claim once (racing breakers are fine —
@@ -756,6 +771,70 @@ mod tests {
         assert!(capped.lookup(&key(0)).is_none(), "oldest pre-existing entry evicted first");
         assert!(capped.lookup(&key(1)).is_none());
         assert!(capped.lookup(&key(9)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a `store()` that fails mid-write (here: `rename` loses
+    /// to a non-empty directory squatting on the entry path — a shape
+    /// that fails even for root, unlike a read-only cache dir) used to
+    /// leak its `.tmp-{pid}-{seq}` file forever; nothing ever swept the
+    /// directory. The error path must delete the temp.
+    #[test]
+    fn failed_store_does_not_leak_its_temp_file() {
+        let dir = tmpdir("tmpleak");
+        let cache = RunCache::open(&dir).unwrap();
+        let k = key(11);
+        // Squat a non-empty directory on the final entry path so the
+        // atomic publish rename fails after the temp is fully written.
+        let squat = cache.entry_path(&k);
+        std::fs::create_dir(&squat).unwrap();
+        std::fs::write(squat.join("occupied"), b"x").unwrap();
+        cache.store(&k, &run()).expect_err("rename over a non-empty directory must fail");
+        let temps: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(temps.is_empty(), "failed store leaked temp files: {temps:?}");
+        // The writer lock was released too: clearing the squatter lets
+        // the same key store normally.
+        std::fs::remove_dir_all(&squat).unwrap();
+        cache.store(&k, &run()).unwrap();
+        assert_eq!(cache.lookup(&k).unwrap(), run());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a writer lock whose mtime is in the *future* (clock
+    /// skew across machines, a touched file) made `mtime.elapsed()` fail,
+    /// which `claim_writer_lock` mapped to "fresh" — an unbreakable lock
+    /// that silently skipped every store of that key forever. Skew within
+    /// the staleness window is still honoured as a live writer's lock
+    /// (and counted in `lock_skips`); beyond it, the lock is broken.
+    #[test]
+    fn future_mtime_locks_become_stale_after_the_window() {
+        let dir = tmpdir("skew");
+        let cache = RunCache::open_with(&dir, StoreConfig { lock_stale: Duration::from_secs(1), ..Default::default() })
+            .unwrap();
+        let k = key(12);
+        let lock_path = dir.join(format!("{}.lock", k.file_name()));
+        let touch_ahead = |ahead: Duration| {
+            std::fs::write(&lock_path, b"").unwrap();
+            let f = std::fs::OpenOptions::new().write(true).open(&lock_path).unwrap();
+            f.set_modified(std::time::SystemTime::now() + ahead).unwrap();
+        };
+        // Mild skew (under the window): could be a live writer on a
+        // slightly-ahead clock — skip, don't break.
+        touch_ahead(Duration::from_millis(200));
+        cache.store(&k, &run()).unwrap();
+        assert_eq!(cache.metrics().lock_skips, 1);
+        assert!(cache.lookup(&k).is_none(), "mildly skewed lock must still be honoured");
+        // Absurd skew (beyond the window): no live writer stamps an hour
+        // into the future — break it and store.
+        touch_ahead(Duration::from_secs(3600));
+        cache.store(&k, &run()).unwrap();
+        assert_eq!(cache.metrics().stores, 1, "far-future lock must be broken, not honoured forever");
+        assert_eq!(cache.lookup(&k).unwrap(), run());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

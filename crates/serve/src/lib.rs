@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod error;
 pub mod metrics;
 pub mod server;
 pub mod session;
 
+pub use error::ServeError;
 pub use metrics::ServeMetrics;
 pub use server::{AnalysisServer, ServerConfig};
 pub use session::{SessionHandle, SessionId, SessionReport};
@@ -130,7 +132,7 @@ mod tests {
 
     #[test]
     fn contended_and_quiet_sessions_report_correctly() {
-        let server = AnalysisServer::start(classifier(), test_config(2));
+        let server = AnalysisServer::start(classifier(), test_config(2)).expect("start server");
         let hot = server.open_session();
         let cold = server.open_session();
         for s in contended_stream(4, 64) {
@@ -139,8 +141,8 @@ mod tests {
         for s in quiet_stream(4, 64) {
             cold.offer_blocking(&s, None);
         }
-        let hot_report = hot.finish();
-        let cold_report = cold.finish();
+        let hot_report = hot.finish().expect("report");
+        let cold_report = cold.finish().expect("report");
         assert!(
             hot_report.events.iter().any(|e| e.mode == Mode::Rmc),
             "contended session must raise rmc: {hot_report:?}"
@@ -174,7 +176,7 @@ mod tests {
             stream: StreamConfig { record_windows: true, ..StreamConfig::new(4, WindowConfig::tumbling(1000.0)) },
             ..test_config(1)
         };
-        let server = AnalysisServer::start(classifier(), cfg);
+        let server = AnalysisServer::start(classifier(), cfg).expect("start server");
         let mid = server.open_session();
         // Two windows on v1, then publish v2 mid-stream.
         for s in contended_stream(2, 48) {
@@ -195,7 +197,7 @@ mod tests {
             let shifted = MemSample { time: s.time + 2000.0, ..s };
             mid.offer_blocking(&shifted, None);
         }
-        let report = mid.finish();
+        let report = mid.finish().expect("report");
         let versions: Vec<u64> = report.windows.iter().map(|w| w.model_version).collect();
         assert!(!versions.is_empty());
         assert!(versions.windows(2).all(|p| p[0] <= p[1]), "window versions must be monotone: {versions:?}");
@@ -215,7 +217,7 @@ mod tests {
         for s in contended_stream(3, 48) {
             fresh.offer_blocking(&s, None);
         }
-        let fresh_report = fresh.finish();
+        let fresh_report = fresh.finish().expect("report");
         assert!(fresh_report.windows.iter().all(|w| w.model_version == 2));
         assert_eq!(fresh_report.model_versions, vec![2]);
         let m = server.shutdown();
@@ -227,20 +229,20 @@ mod tests {
     #[test]
     fn recycled_detectors_match_a_fresh_detector() {
         let cfg = test_config(1); // one shard → the second session reuses the pool
-        let server = AnalysisServer::start(classifier(), cfg);
+        let server = AnalysisServer::start(classifier(), cfg).expect("start server");
         // Dirty a detector with a contended session.
         let first = server.open_session();
         for s in contended_stream(5, 40) {
             first.offer_blocking(&s, None);
         }
-        let _ = first.finish();
+        let _ = first.finish().expect("report");
         // The second session gets the recycled detector.
         let second = server.open_session();
         let stream = contended_stream(4, 64);
         for s in &stream {
             second.offer_blocking(s, None);
         }
-        let report = second.finish();
+        let report = second.finish().expect("report");
         drop(server);
         // Reference: a fresh detector over the same stream.
         let mut fresh = StreamingDetector::with_model(Arc::new(classifier()), 1, cfg.stream);
@@ -258,14 +260,14 @@ mod tests {
     fn overflow_accounting_is_exact() {
         for policy in [OverflowPolicy::RejectNewest, OverflowPolicy::DropOldest] {
             let cfg = ServerConfig { ring_capacity: 4, overflow: policy, ..test_config(1) };
-            let server = AnalysisServer::start(classifier(), cfg);
+            let server = AnalysisServer::start(classifier(), cfg).expect("start server");
             let session = server.open_session();
             // Non-blocking offers into a 4-slot ring, much faster than the
             // worker needs to keep up: drops are expected and must balance.
             for s in contended_stream(6, 200) {
                 session.offer(&s, None);
             }
-            let report = session.finish();
+            let report = session.finish().expect("report");
             assert_eq!(report.ring.offered, 1200);
             assert_eq!(report.ring.len, 0, "finish drains the ring");
             assert_eq!(
@@ -288,7 +290,7 @@ mod tests {
     /// contended session raises a verdict.
     #[test]
     fn concurrent_sessions_across_shards_all_report() {
-        let server = Arc::new(AnalysisServer::start(classifier(), test_config(4)));
+        let server = Arc::new(AnalysisServer::start(classifier(), test_config(4)).expect("start server"));
         let sessions_per_thread = 12;
         let threads: Vec<_> = (0..3)
             .map(|tid| {
@@ -307,7 +309,11 @@ mod tests {
                             }
                         }
                     }
-                    handles.into_iter().enumerate().map(|(i, h)| ((tid + i) % 3 == 0, h.finish())).collect::<Vec<_>>()
+                    handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, h)| ((tid + i) % 3 == 0, h.finish().expect("report")))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -335,15 +341,77 @@ mod tests {
     /// straggling `finish()` still returns.
     #[test]
     fn shutdown_delivers_reports_for_open_sessions() {
-        let server = AnalysisServer::start(classifier(), test_config(2));
+        let server = AnalysisServer::start(classifier(), test_config(2)).expect("start server");
         let session = server.open_session();
         for s in contended_stream(4, 64) {
             session.offer_blocking(&s, None);
         }
         let m = server.shutdown();
         assert_eq!(m.sessions_closed, 1);
-        let report = session.finish(); // already delivered; returns at once
+        let report = session.finish().expect("report"); // already delivered; returns at once
         assert_eq!(report.stream.samples_ingested, 256, "shutdown drained the queue first");
         assert!(report.events.iter().any(|e| e.mode == Mode::Rmc));
+    }
+
+    /// Regression (spawn failure): pre-fix, a failed worker spawn panicked
+    /// out of `start` via `.expect("spawn shard worker")`, leaking the
+    /// shards already running. Now it is a typed error and the
+    /// already-spawned shards are joined cleanly first.
+    #[test]
+    fn spawn_failure_is_a_typed_error_with_clean_shutdown() {
+        let _arm = crate::server::test_fail::FailSpawn::at(2);
+        let before = thread_count();
+        let err = AnalysisServer::start(classifier(), test_config(4)).expect_err("third spawn must fail");
+        match err {
+            ServeError::SpawnFailed { shard, ref source } => {
+                assert_eq!(shard, 2);
+                assert_eq!(source.kind(), std::io::ErrorKind::WouldBlock);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(!err.to_string().is_empty());
+        // The two workers spawned before the failure were joined: no
+        // thread leak (give the OS a moment to reap).
+        for _ in 0..100 {
+            if thread_count() <= before {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(thread_count() <= before, "spawned shards must be shut down on start failure");
+    }
+
+    /// Live threads of this process (Linux procfs; falls back to 0 so the
+    /// leak assertion trivially passes on exotic platforms).
+    fn thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task").map(|d| d.count()).unwrap_or(0)
+    }
+
+    /// A sample whose node is far outside the configured topology: the
+    /// detector indexes per-channel state with it and panics.
+    fn malformed_sample() -> MemSample {
+        sample(10.0, 200, Some(0), DataSource::RemoteDram, 950.0)
+    }
+
+    /// Regression (worker panic): pre-fix, a panicking shard worker left
+    /// its sessions' reports undelivered, so `finish()` hung forever (and
+    /// shutdown saw the panic at `join`). Now every session owned by the
+    /// dead shard — and any opened on it afterwards — gets a typed
+    /// `WorkerPanicked` error, and the rest of the server keeps serving.
+    #[test]
+    fn worker_panic_fails_sessions_with_typed_error() {
+        let server = AnalysisServer::start(classifier(), test_config(1)).expect("start server");
+        let session = server.open_session();
+        session.offer_blocking(&malformed_sample(), None);
+        let err = session.finish().expect_err("worker died; no report is possible");
+        assert!(matches!(err, ServeError::WorkerPanicked { shard: 0 }), "wrong error: {err}");
+        // A session opened after the panic fails fast instead of hanging.
+        let late = server.open_session();
+        let err = late.finish().expect_err("dead shard must fail new sessions too");
+        assert!(matches!(err, ServeError::WorkerPanicked { shard: 0 }));
+        // Shutdown completes without surfacing the worker's panic.
+        let m = server.shutdown();
+        assert_eq!(m.sessions_opened, 2);
+        assert_eq!(m.sessions_closed, 2, "panicked-shard sessions still count as closed");
     }
 }

@@ -11,6 +11,7 @@
 //! load, and a published model reaches each detector at its own window
 //! boundary (in-flight windows finish on the model they started with).
 
+use crate::error::ServeError;
 use crate::metrics::{LatencyHistogram, ServeMetrics, ServerStats, ShardStats};
 use crate::session::{SessionHandle, SessionId, SessionInner, SessionQueue, SessionReport};
 use drbw_core::classifier::ContentionClassifier;
@@ -95,6 +96,10 @@ struct ShardState {
     notify: Arc<ShardNotify>,
     /// Sessions opened but not yet adopted by the worker.
     inbox: Mutex<VecDeque<Arc<SessionInner>>>,
+    /// Sessions the worker has adopted but not yet finalized — the panic
+    /// sweep delivers a typed error to these so no `finish()` ever hangs
+    /// on a dead worker.
+    adopted: Mutex<Vec<Arc<SessionInner>>>,
 }
 
 #[derive(Debug)]
@@ -121,16 +126,24 @@ pub struct AnalysisServer {
 impl AnalysisServer {
     /// Start a server whose initial model is `classifier` (published as
     /// registry version 1).
-    pub fn start(classifier: ContentionClassifier, cfg: ServerConfig) -> Self {
+    ///
+    /// # Errors
+    /// [`ServeError::SpawnFailed`] when the OS refuses a worker thread;
+    /// any shards spawned before the failure are shut down cleanly first.
+    pub fn start(classifier: ContentionClassifier, cfg: ServerConfig) -> Result<Self, ServeError> {
         Self::start_with_registry(Arc::new(ModelRegistry::new(classifier)), cfg)
     }
 
     /// Start a server over an existing (possibly shared) registry.
     ///
+    /// # Errors
+    /// [`ServeError::SpawnFailed`] when the OS refuses a worker thread;
+    /// any shards spawned before the failure are shut down cleanly first.
+    ///
     /// # Panics
     /// Panics if `cfg.shards == 0`, `cfg.ring_capacity == 0`, or
     /// `cfg.drain_batch == 0`.
-    pub fn start_with_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+    pub fn start_with_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Result<Self, ServeError> {
         assert!(cfg.shards > 0, "a server needs at least one shard");
         assert!(cfg.ring_capacity > 0, "session rings need capacity");
         assert!(cfg.drain_batch > 0, "drain batch must be positive");
@@ -139,6 +152,7 @@ impl AnalysisServer {
                 stats: Arc::new(ShardStats::default()),
                 notify: Arc::new(ShardNotify::default()),
                 inbox: Mutex::new(VecDeque::new()),
+                adopted: Mutex::new(Vec::new()),
             })
             .collect();
         let inner = Arc::new(ServerInner {
@@ -151,16 +165,22 @@ impl AnalysisServer {
             shutdown: AtomicBool::new(false),
             cache: Mutex::new(None),
         });
-        let workers = (0..cfg.shards)
-            .map(|idx| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("drbw-shard-{idx}"))
-                    .spawn(move || run_shard(inner, idx))
-                    .expect("spawn shard worker")
-            })
-            .collect();
-        Self { inner, workers }
+        let mut workers = Vec::with_capacity(cfg.shards);
+        for idx in 0..cfg.shards {
+            let worker = spawn_worker(&inner, idx);
+            match worker {
+                Ok(w) => workers.push(w),
+                Err(source) => {
+                    // Shut the already-spawned shards down cleanly before
+                    // reporting the failure.
+                    let mut partial = Self { inner, workers };
+                    partial.stop_and_join();
+                    partial.workers.clear();
+                    return Err(ServeError::SpawnFailed { shard: idx, source });
+                }
+            }
+        }
+        Ok(Self { inner, workers })
     }
 
     /// The model registry (for sharing with other components).
@@ -266,20 +286,27 @@ impl AnalysisServer {
             let _ = worker.join();
         }
         // Sessions that raced into an inbox after its worker exited still
-        // get a (necessarily empty) report.
-        for shard in &self.inner.shards {
+        // get a (necessarily empty) report; sessions a panicked worker
+        // left adopted get the typed error (first delivery wins, so this
+        // never clobbers a real report).
+        for (idx, shard) in self.inner.shards.iter().enumerate() {
             let stragglers: Vec<_> = shard.inbox.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
             for session in stragglers {
                 let ring = ring_counters(&session);
                 self.inner.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
-                session.deliver(SessionReport {
+                session.deliver(Ok(SessionReport {
                     id: session.id,
                     events: Vec::new(),
                     windows: Vec::new(),
                     stream: Default::default(),
                     ring,
                     model_versions: Vec::new(),
-                });
+                }));
+            }
+            let abandoned: Vec<_> = shard.adopted.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+            for session in abandoned {
+                self.inner.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                session.deliver(Err(ServeError::WorkerPanicked { shard: idx }));
             }
         }
     }
@@ -291,6 +318,17 @@ impl Drop for AnalysisServer {
             self.stop_and_join();
         }
     }
+}
+
+/// Spawn one shard worker. The test fail-point simulates the OS refusing
+/// the thread, which is otherwise unreachable in a test.
+fn spawn_worker(inner: &Arc<ServerInner>, idx: usize) -> std::io::Result<std::thread::JoinHandle<()>> {
+    #[cfg(test)]
+    if idx == test_fail::spawn_fail_at() {
+        return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "simulated spawn failure"));
+    }
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new().name(format!("drbw-shard-{idx}")).spawn(move || run_shard(inner, idx))
 }
 
 /// SplitMix64 finalizer: spreads sequential session ids uniformly over
@@ -329,8 +367,37 @@ struct ActiveSession {
     windows: u64,
 }
 
-/// The shard worker loop.
+/// The shard worker: the real loop behind a panic barrier. A panic (e.g.
+/// a malformed sample blowing up the detector) must not strand the
+/// shard's sessions — every adopted or queued session gets a typed
+/// [`ServeError::WorkerPanicked`], and the thread stays alive as a bare
+/// drain so sessions opened on this shard later fail fast instead of
+/// hanging in `finish()`.
 fn run_shard(inner: Arc<ServerInner>, idx: usize) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_shard_inner(&inner, idx)));
+    if result.is_err() {
+        let rel = Ordering::Relaxed;
+        let shard = &inner.shards[idx];
+        let fail_all = || {
+            let mut doomed: Vec<Arc<SessionInner>> =
+                shard.adopted.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+            doomed.extend(shard.inbox.lock().unwrap_or_else(|e| e.into_inner()).drain(..));
+            for session in doomed {
+                inner.stats.sessions_closed.fetch_add(1, rel);
+                session.deliver(Err(ServeError::WorkerPanicked { shard: idx }));
+            }
+        };
+        fail_all();
+        while !inner.shutdown.load(Ordering::Acquire) {
+            shard.notify.wait(inner.cfg.idle_wait);
+            fail_all();
+        }
+        fail_all();
+    }
+}
+
+/// The shard worker loop.
+fn run_shard_inner(inner: &ServerInner, idx: usize) {
     let rel = Ordering::Relaxed;
     let shard = &inner.shards[idx];
     let mut reader = ModelReader::new(Arc::clone(&inner.registry));
@@ -353,6 +420,7 @@ fn run_shard(inner: Arc<ServerInner>, idx: usize) {
                     }
                     None => StreamingDetector::with_model(model, version, inner.cfg.stream),
                 };
+                shard.adopted.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&session));
                 active.push(ActiveSession {
                     session,
                     detector,
@@ -422,7 +490,8 @@ fn run_shard(inner: Arc<ServerInner>, idx: usize) {
                 // tail, deliver the report, recycle the detector.
                 did_work = true;
                 let mut a = active.swap_remove(i);
-                finalize(&inner, &shard.stats, &mut a);
+                finalize(inner, &shard.stats, &mut a);
+                shard.adopted.lock().unwrap_or_else(|e| e.into_inner()).retain(|s| s.id != a.session.id);
                 pool.push(a.detector);
                 continue; // swap_remove: re-inspect index i
             }
@@ -461,13 +530,43 @@ fn finalize(inner: &ServerInner, stats: &ShardStats, a: &mut ActiveSession) {
     }
     let ring = ring_counters(&a.session);
     inner.stats.sessions_closed.fetch_add(1, rel);
-    a.session.deliver(SessionReport {
+    a.session.deliver(Ok(SessionReport {
         id: a.session.id,
         events: a.detector.drain_events(),
         windows: a.detector.drain_windows(),
         stream: m,
         ring,
         model_versions: std::mem::take(&mut a.versions),
-    });
+    }));
     a.detector.reset();
+}
+
+#[cfg(test)]
+pub(crate) mod test_fail {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Worker index at which `spawn_worker` simulates an OS failure
+    /// (`usize::MAX` = never).
+    static SPAWN_FAIL_AT: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+    pub(crate) fn spawn_fail_at() -> usize {
+        SPAWN_FAIL_AT.load(Ordering::Relaxed)
+    }
+
+    /// Arm the fail-point; disarms on drop so a panicking test cannot
+    /// poison the others.
+    pub(crate) struct FailSpawn;
+
+    impl FailSpawn {
+        pub(crate) fn at(idx: usize) -> Self {
+            SPAWN_FAIL_AT.store(idx, Ordering::Relaxed);
+            Self
+        }
+    }
+
+    impl Drop for FailSpawn {
+        fn drop(&mut self) {
+            SPAWN_FAIL_AT.store(usize::MAX, Ordering::Relaxed);
+        }
+    }
 }

@@ -11,6 +11,7 @@
 //! loss accounting (`offered == accepted + dropped`) stays authoritative
 //! for the whole triple.
 
+use crate::error::ServeError;
 use crate::metrics::{ServerStats, ShardStats};
 use crate::server::ShardNotify;
 use drbw_stream::{StreamMetrics, VerdictEvent, WindowSummary};
@@ -50,7 +51,7 @@ pub(crate) struct SessionQueue {
 pub(crate) struct SessionInner {
     pub id: SessionId,
     pub queue: Mutex<SessionQueue>,
-    pub report: Mutex<Option<SessionReport>>,
+    pub report: Mutex<Option<Result<SessionReport, ServeError>>>,
     pub done: Condvar,
 }
 
@@ -61,9 +62,15 @@ impl SessionInner {
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Deliver the final report and wake the waiting client.
-    pub(crate) fn deliver(&self, report: SessionReport) {
-        *self.report.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+    /// Deliver the final report (or the typed reason there is none) and
+    /// wake the waiting client. First delivery wins: a shutdown sweep
+    /// never overwrites a real report a worker already produced.
+    pub(crate) fn deliver(&self, report: Result<SessionReport, ServeError>) {
+        let mut slot = self.report.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(report);
+        }
+        drop(slot);
         self.done.notify_all();
     }
 }
@@ -183,7 +190,11 @@ impl SessionHandle {
     /// Close the session and block until the shard worker has classified
     /// the stream's tail (flushing the final partial window), returning
     /// the session's report.
-    pub fn finish(self) -> SessionReport {
+    ///
+    /// # Errors
+    /// [`ServeError::WorkerPanicked`] when the shard worker owning this
+    /// session died before it could produce a report.
+    pub fn finish(self) -> Result<SessionReport, ServeError> {
         {
             let mut q = self.inner.lock_queue();
             q.closed = true;

@@ -616,6 +616,37 @@ mod tests {
         assert_eq!(windows[0].channels[dense_index(2, 0, 1)].traversed, 4, "four panes of one sample each");
     }
 
+    /// Regression guard: an idle gap spanning *several* panes of a
+    /// sliding window must seal one empty pane per skipped grid index, so
+    /// the closed windows stay contiguous on the pane grid (one per
+    /// 250-cycle slide, none skipped, none duplicated) and the post-gap
+    /// windows blend pre- and post-gap panes with the right counts.
+    #[test]
+    fn multi_pane_gap_keeps_sliding_windows_contiguous() {
+        let cfg = StreamConfig { record_windows: true, ..StreamConfig::new(2, WindowConfig::sliding(1000.0, 4)) };
+        let mut det = StreamingDetector::new(classifier(), cfg);
+        // Panes 0 and 1 get one sample each...
+        det.ingest(&sample(10.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        det.ingest(&sample(260.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        // ...then the stream goes idle for seven panes: the next sample
+        // lands in pane 9, sealing panes 1..=8 in one ingest.
+        det.ingest(&sample(2260.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        // One more pane advance seals pane 9 (the post-gap sample's pane).
+        det.ingest(&sample(2510.0, 0, Some(1), DataSource::RemoteDram, 800.0), None);
+        let windows = det.drain_windows();
+        assert_eq!(windows.len(), 7, "panes 3..=9 each close one sliding window");
+        for (i, w) in windows.iter().enumerate() {
+            let end = 1000.0 + 250.0 * i as f64;
+            assert_eq!((w.start_cycles, w.end_cycles), (end - 1000.0, end), "window {i} off the pane grid");
+            assert!(!w.partial);
+        }
+        let traversed: Vec<usize> = windows.iter().map(|w| w.channels[dense_index(2, 0, 1)].traversed).collect();
+        // [0,1000) holds both pre-gap samples; [250,1250) only pane 1's;
+        // the fully-idle slides are empty; [1500,2500) holds pane 9's.
+        assert_eq!(traversed, vec![2, 1, 0, 0, 0, 0, 1]);
+        assert_eq!(det.metrics().late_samples, 0, "gap handling must not misfile in-order samples as late");
+    }
+
     #[test]
     fn late_samples_are_counted() {
         let cfg = StreamConfig::new(2, WindowConfig::tumbling(100.0));

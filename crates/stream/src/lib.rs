@@ -37,6 +37,6 @@ pub mod window;
 pub use detector::{ChannelWindow, SketchKey, StreamConfig, StreamingDetector, VerdictEvent, WindowSummary};
 pub use hysteresis::{Hysteresis, HysteresisConfig};
 pub use metrics::StreamMetrics;
-pub use replay::{replay, ReplayConfig, ReplayOutcome};
+pub use replay::{replay, replay_log, ReplayConfig, ReplayOutcome};
 pub use topk::{SpaceSaving, TopEntry};
 pub use window::WindowConfig;

@@ -12,6 +12,7 @@
 use crate::detector::{StreamingDetector, VerdictEvent, WindowSummary};
 use crate::metrics::StreamMetrics;
 use pebs::ring::{OverflowPolicy, SampleRing};
+use pebs::{AllocationTracker, MemSample};
 use workloads::runner::RunOutcome;
 
 /// Replay pacing and ring sizing.
@@ -73,16 +74,30 @@ impl ReplayOutcome {
 /// stream the detector is flushed so the trailing partial window is
 /// classified too.
 pub fn replay(outcome: &RunOutcome, detector: &mut StreamingDetector, cfg: ReplayConfig) -> ReplayOutcome {
+    replay_log(&outcome.samples, &outcome.tracker, detector, cfg)
+}
+
+/// Replay a bare sample log through `detector` under `cfg`.
+///
+/// Same semantics as [`replay`], but takes the log and tracker directly —
+/// the multi-tenant path uses this to replay one tenant's slice of a mixed
+/// scenario log (see `pebs::tenant::TenantMap::samples_of`).
+pub fn replay_log(
+    samples: &[MemSample],
+    tracker: &AllocationTracker,
+    detector: &mut StreamingDetector,
+    cfg: ReplayConfig,
+) -> ReplayOutcome {
     assert!(cfg.burst >= 1, "burst must be at least one sample");
-    let mut order: Vec<usize> = (0..outcome.samples.len()).collect();
-    order.sort_by(|&a, &b| outcome.samples[a].time.total_cmp(&outcome.samples[b].time));
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| samples[a].time.total_cmp(&samples[b].time));
     let mut ring = SampleRing::with_policy(cfg.ring_capacity, cfg.policy);
     for burst in order.chunks(cfg.burst) {
         for &i in burst {
-            ring.offer(outcome.samples[i]);
+            ring.offer(samples[i]);
         }
         while let Some(s) = ring.pop() {
-            let site = outcome.tracker.attribute_site(s.addr);
+            let site = tracker.attribute_site(s.addr);
             detector.ingest(&s, site);
         }
     }
@@ -95,6 +110,6 @@ pub fn replay(outcome: &RunOutcome, detector: &mut StreamingDetector, cfg: Repla
         dropped: ring.dropped(),
         peak_ring_len: ring.peak_len(),
         detector_bytes: detector.retained_bytes(),
-        batch_log_samples: outcome.samples.len(),
+        batch_log_samples: samples.len(),
     }
 }

@@ -30,10 +30,14 @@ pub mod ground_truth;
 pub mod micro;
 pub mod plan;
 pub mod runner;
+pub mod scenario;
 pub mod spec;
 pub mod suite;
 
 pub use config::{Input, RunConfig, Variant};
 pub use plan::{PlacementPlan, PlanAction, PlanEntry};
 pub use runner::{run, RunOutcome};
+pub use scenario::{
+    victim_aggressor, ArrivalProcess, Scenario, ScenarioOutcome, VictimAggressorConfig, AGGRESSOR_TENANT, VICTIM_TENANT,
+};
 pub use spec::{BuiltWorkload, Phase, Workload};

@@ -99,7 +99,7 @@ pub mod prelude {
         diagnose, profile, Analysis, Case, CaseResult, ContentionClassifier, Diagnosis, DrBw, DrBwBuilder, DrbwError,
         Mode, Profile, TrainingSet,
     };
-    pub use drbw_serve::{AnalysisServer, ServeMetrics, ServerConfig, SessionHandle, SessionReport};
+    pub use drbw_serve::{AnalysisServer, ServeError, ServeMetrics, ServerConfig, SessionHandle, SessionReport};
     pub use drbw_stream::{StreamConfig, StreamingDetector, VerdictEvent, WindowConfig};
     pub use drbw_tune::{Tune, TuneConfig, TuneReport};
     pub use mldt::tree::TrainConfig;

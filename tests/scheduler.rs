@@ -1,0 +1,206 @@
+//! Differential tests for the discrete-event scheduler: a scenario whose
+//! tenants jointly hold the threads of a single-workload phase — in the
+//! same global order, all arriving at time 0, with no bursts or
+//! migrations — must reproduce [`ExecMode::Reference`] *bit-for-bit*:
+//! `RunStats` (including per-channel bytes), the PEBS sample log, and
+//! every sampler counter. No float tolerances anywhere in this file.
+//!
+//! Only *contiguous, order-preserving* tenant splits are bit-identical:
+//! the sampler's latency jitter is salted on the global observed-access
+//! counter, so any reordering of threads reorders observation and changes
+//! which samples are suppressed. The proptest therefore ranges over
+//! arbitrary split masks, not arbitrary permutations.
+
+use numasim::access::{AccessMix, AccessStream, BlockCyclicStream, ChainStream, SeqStream, WithMlp};
+use numasim::config::{ExecMode, MachineConfig};
+use numasim::engine::{Engine, ThreadSpec};
+use numasim::memmap::{MemoryMap, PlacementPolicy};
+use numasim::sched::{ScenarioEngine, TenantRun};
+use numasim::stats::RunStats;
+use numasim::topology::CoreId;
+use pebs::sample::MemSample;
+use pebs::sampler::{AddressSampler, SamplerConfig};
+use proptest::prelude::*;
+
+/// The differential phase of `tests/differential.rs`: write mixes, reps
+/// (LFB events), per-segment compute, an MLP override, first-touch and
+/// interleaved placement, across all four sockets.
+fn make_threads(cfg: &MachineConfig, mm: &mut MemoryMap) -> Vec<ThreadSpec> {
+    let a = mm.alloc("a", 8 << 20, PlacementPolicy::FirstTouch);
+    let b = mm.alloc("b", 2 << 20, PlacementPolicy::interleave_all(cfg.topology.num_nodes()));
+    let nthreads = 8u64;
+    let binding = cfg.topology.bind_threads(nthreads as usize, cfg.topology.num_nodes());
+    binding
+        .iter()
+        .enumerate()
+        .map(|(i, core)| {
+            let share = a.size / nthreads;
+            let seq = SeqStream::new(a.base + i as u64 * share, share, 1, AccessMix::write_every(3))
+                .with_compute(0.5 * i as f64)
+                .with_reps(4);
+            let blk = BlockCyclicStream::new(b.base, b.size, 4096, 8, i as u64, 1, AccessMix::read_only());
+            let chain: Box<dyn AccessStream> =
+                Box::new(ChainStream::new(vec![Box::new(seq), Box::new(WithMlp::new(blk, 2.0))]));
+            ThreadSpec::new(i as u32, *core, chain)
+        })
+        .collect()
+}
+
+fn sampler() -> AddressSampler {
+    AddressSampler::new(SamplerConfig {
+        period: 23,
+        latency_threshold: 150.0,
+        latency_jitter: 0.3,
+        per_sample_cost: 40.0,
+    })
+}
+
+/// Everything observable from one run: engine stats plus sampler state.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    stats: RunStats,
+    samples: Vec<MemSample>,
+    observed: u64,
+    suppressed: u64,
+}
+
+fn run_reference() -> Outcome {
+    let mut cfg = MachineConfig::scaled();
+    cfg.engine.exec = ExecMode::Reference;
+    let mut mm = MemoryMap::new(&cfg);
+    let threads = make_threads(&cfg, &mut mm);
+    let mut eng = Engine::new(&cfg, mm, sampler());
+    let stats = eng.run_phase(threads);
+    let (_, s) = eng.into_parts();
+    Outcome {
+        stats,
+        observed: s.observed_accesses(),
+        suppressed: s.suppressed_samples(),
+        samples: s.samples().to_vec(),
+    }
+}
+
+/// Partition `threads` into contiguous tenant groups of the given sizes
+/// (order preserved) and run them through the scheduler.
+fn run_scheduled(cfg: &MachineConfig, mm: MemoryMap, threads: Vec<ThreadSpec>, split: &[usize]) -> Outcome {
+    assert_eq!(split.iter().sum::<usize>(), threads.len(), "split must cover every thread");
+    let mut tenants = Vec::new();
+    let mut iter = threads.into_iter();
+    for (tid, &n) in split.iter().enumerate() {
+        tenants.push(TenantRun::new(tid as u32, iter.by_ref().take(n).collect()));
+    }
+    let mut eng = ScenarioEngine::new(cfg, mm, sampler());
+    let stats = eng.run(tenants);
+    let (_, s) = eng.into_parts();
+    Outcome {
+        stats: stats.run,
+        observed: s.observed_accesses(),
+        suppressed: s.suppressed_samples(),
+        samples: s.samples().to_vec(),
+    }
+}
+
+/// The tentpole guarantee at the facade level: a single-tenant scenario —
+/// and any fixed contiguous multi-tenant split — reproduces the reference
+/// engine exactly, with a live PEBS sampler attached.
+#[test]
+fn scheduler_reproduces_reference_bit_for_bit() {
+    let reference = run_reference();
+    assert!(!reference.samples.is_empty(), "phase must actually sample");
+    assert!(reference.suppressed > 0, "threshold must actually suppress");
+    let splits: [&[usize]; 5] = [&[8], &[4, 4], &[1, 7], &[2, 3, 3], &[1, 1, 1, 1, 1, 1, 1, 1]];
+    for split in splits {
+        let cfg = MachineConfig::scaled();
+        let mut mm = MemoryMap::new(&cfg);
+        let threads = make_threads(&cfg, &mut mm);
+        let scheduled = run_scheduled(&cfg, mm, threads, split);
+        assert_eq!(scheduled, reference, "scheduled run (split {split:?}) diverged");
+    }
+}
+
+/// Per-tenant rollups must partition the global counts: no access is lost
+/// or double-counted across tenant boundaries.
+#[test]
+fn tenant_rollups_partition_the_global_counts() {
+    let cfg = MachineConfig::scaled();
+    let mut mm = MemoryMap::new(&cfg);
+    let threads = make_threads(&cfg, &mut mm);
+    let mut tenants = Vec::new();
+    let mut iter = threads.into_iter();
+    for (tid, n) in [(0u32, 3usize), (1, 5)] {
+        tenants.push(TenantRun::new(tid, iter.by_ref().take(n).collect()));
+    }
+    let mut eng = ScenarioEngine::new(&cfg, mm, numasim::engine::NullObserver);
+    let stats = eng.run(tenants);
+    let mut rollup = numasim::stats::AccessCounts::default();
+    for t in &stats.tenants {
+        rollup.merge(&t.counts);
+    }
+    assert_eq!(rollup, stats.run.counts);
+    let max_finish = stats.tenants.iter().map(|t| t.finish_cycles).fold(0.0f64, f64::max);
+    assert_eq!(max_finish, stats.run.cycles);
+}
+
+/// Smaller machine for the property test so 64 cases stay cheap.
+fn make_tiny_threads(mm: &mut MemoryMap) -> Vec<ThreadSpec> {
+    let a = mm.alloc("a", 256 << 10, PlacementPolicy::FirstTouch);
+    let b = mm.alloc("b", 128 << 10, PlacementPolicy::interleave_all(2));
+    (0..4u64)
+        .map(|i| {
+            let share = a.size / 4;
+            let seq = SeqStream::new(a.base + i * share, share, 1, AccessMix::write_every(3))
+                .with_compute(0.5 * i as f64)
+                .with_reps(4);
+            let blk = BlockCyclicStream::new(b.base, b.size, 4096, 4, i, 1, AccessMix::read_only());
+            let chain: Box<dyn AccessStream> =
+                Box::new(ChainStream::new(vec![Box::new(seq), Box::new(WithMlp::new(blk, 2.0))]));
+            ThreadSpec::new(i as u32, CoreId((i % 4) as u32), chain)
+        })
+        .collect()
+}
+
+fn tiny_reference() -> &'static Outcome {
+    static REF: std::sync::OnceLock<Outcome> = std::sync::OnceLock::new();
+    REF.get_or_init(|| {
+        let mut cfg = MachineConfig::tiny();
+        cfg.engine.exec = ExecMode::Reference;
+        let mut mm = MemoryMap::new(&cfg);
+        let threads = make_tiny_threads(&mut mm);
+        let mut eng = Engine::new(&cfg, mm, sampler());
+        let stats = eng.run_phase(threads);
+        let (_, s) = eng.into_parts();
+        Outcome {
+            stats,
+            observed: s.observed_accesses(),
+            suppressed: s.suppressed_samples(),
+            samples: s.samples().to_vec(),
+        }
+    })
+}
+
+/// A split mask over 4 threads: bit `i` set means "start a new tenant
+/// before thread `i+1`", covering every contiguous partition from one
+/// 4-thread tenant to four singletons.
+fn split_from_mask(mask: u8) -> Vec<usize> {
+    let mut split = vec![1usize];
+    for i in 0..3 {
+        if mask & (1 << i) != 0 {
+            split.push(1);
+        } else {
+            *split.last_mut().unwrap() += 1;
+        }
+    }
+    split
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_tenant_splits_match_reference(mask in 0u8..8) {
+        let split = split_from_mask(mask);
+        let cfg = MachineConfig::tiny();
+        let mut mm = MemoryMap::new(&cfg);
+        let threads = make_tiny_threads(&mut mm);
+        let scheduled = run_scheduled(&cfg, mm, threads, &split);
+        prop_assert_eq!(&scheduled, tiny_reference(), "split {:?} diverged", split);
+    }
+}
