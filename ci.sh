@@ -16,6 +16,14 @@ for manifest in crates/*/Cargo.toml shims/*/Cargo.toml Cargo.toml; do
 done
 echo "    total test wall time: $((SECONDS - suite_start))s"
 
+echo "==> ablation smoke matrix (differential + scheduler suites under env knobs)"
+for combo in "DRBW_NO_FUSE=1" "DRBW_NO_SIMD=1" "DRBW_SHARDS=1" "DRBW_SHARDS=4" \
+             "DRBW_NO_FUSE=1 DRBW_NO_SIMD=1 DRBW_SHARDS=4"; do
+    combo_start=$SECONDS
+    env $combo cargo test -q -p drbw --test differential --test scheduler > /dev/null
+    echo "    ${combo}: $((SECONDS - combo_start))s"
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -113,14 +121,18 @@ fi
 echo "    ${tenant_secs}s, $(grep 'victim slowdown' "$tenant_cache/smoke.out")"
 rm -rf "$tenant_cache"
 
-# Surface the recorded cache-walk ablation so perf regressions in the
-# fused span walk are visible in CI logs (BENCH_engine.json is refreshed
-# by crates/bench/src/bin/bench_engine.rs, not by this script).
+# Surface the recorded engine speedups so perf regressions are visible
+# in CI logs (BENCH_engine.json is refreshed by
+# crates/bench/src/bin/bench_engine.rs, not by this script).
 if [ -f BENCH_engine.json ]; then
     walk=$(sed -n 's/.*"walk_share": \([0-9.]*\).*/\1/p' BENCH_engine.json)
     fused=$(sed -n 's/.*"fused_s": \([0-9.]*\).*/\1/p' BENCH_engine.json)
     unfused=$(sed -n 's/.*"unfused_s": \([0-9.]*\).*/\1/p' BENCH_engine.json)
     echo "==> recorded walk ablation: fused ${fused:-?}s vs unfused ${unfused:-?}s (walk share ${walk:-?})"
+    speedup=$(grep -A5 '"analyze_batch_1thread"' BENCH_engine.json | sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p')
+    simd=$(sed -n 's/.*"simd_vs_scalar": \([0-9.]*\).*/\1/p' BENCH_engine.json)
+    shard41=$(sed -n 's/.*"shards_4_vs_1": \([0-9.]*\).*/\1/p' BENCH_engine.json)
+    echo "==> recorded speedups: analyze_batch_1thread ${speedup:-?}x vs reference, simd vs scalar ${simd:-?}x, shards 4-vs-1 ${shard41:-?}x"
 fi
 
 # Surface the recorded 21-program tuned-speedup summary (BENCH_tune.json

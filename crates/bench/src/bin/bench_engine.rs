@@ -1,9 +1,12 @@
 //! Batched-vs-reference engine speedup, measured where it matters: the
 //! quick training grid (serial collection) and `analyze_batch` over the
-//! same grid, plus the span-fusion walk ablation (`EngineConfig::
-//! span_fusion` on vs. off inside the batched engine). Verifies
-//! bit-identity of everything it times, then writes the numbers as JSON
-//! (default `BENCH_engine.json`).
+//! same grid, plus the ablation matrix — the span-fusion walk
+//! (`EngineConfig::span_fusion` on vs. off), the SIMD tag scans (widest
+//! detected path vs. the scalar twins in a `DRBW_NO_SIMD=1` subprocess,
+//! since the ISA is resolved once per process), the intra-run shard
+//! counts 1/2/4 (`EngineConfig::shards`), and a pool thread-count sweep.
+//! Verifies bit-identity of everything it times, then writes the numbers
+//! as JSON (default `BENCH_engine.json`).
 //!
 //! Every section is timed as one warmup run followed by seven measured
 //! runs; the report carries the median and the raw runs so jitter is
@@ -33,6 +36,10 @@ fn mcfg(exec: ExecMode, span_fusion: bool) -> MachineConfig {
     let mut m = MachineConfig::scaled();
     m.engine.exec = exec;
     m.engine.span_fusion = span_fusion;
+    // The presets default from DRBW_SHARDS / DRBW_NO_FUSE; the bench's
+    // sections control both knobs explicitly so one env setting cannot
+    // silently re-shape every other section.
+    m.engine.shards = 1;
     m
 }
 
@@ -63,7 +70,71 @@ fn env_secs(var: &str) -> Option<f64> {
     std::env::var(var).ok()?.parse().ok()
 }
 
+/// Builds the quick-grid tool and times `analyze_batch` exactly like the
+/// fused arm of section 2. Shared by the main flow and the `--inner-simd`
+/// subprocess (SIMD dispatch is resolved once per process from
+/// `DRBW_NO_SIMD`, so the scalar arm must run in its own process).
+fn timed_fused_analyze(shards: usize, threads: usize) -> (Vec<drbw_core::Analysis>, f64, Vec<f64>) {
+    let specs = training::quick_training_specs();
+    let mut m = mcfg(ExecMode::Batched, true);
+    m.engine.shards = shards;
+    let tool = DrBw::builder()
+        .machine(m)
+        .training_set(TrainingSet::Quick)
+        .threads(threads)
+        .build()
+        .expect("quick grid trains");
+    let cases: Vec<Case> = specs.iter().map(|s| Case::new(s.program.workload(), &s.rcfg)).collect();
+    measure(move || tool.analyze_batch(&cases))
+}
+
+/// `--inner-simd` subprocess body: one fused analyze section, result on
+/// stdout as a single machine-readable line.
+fn inner_simd() {
+    let (_, median, runs) = timed_fused_analyze(1, 1);
+    let rs: Vec<String> = runs.iter().map(|r| format!("{r:.6}")).collect();
+    println!("INNER simd_active={} median={median:.6} runs={}", numasim::simd::simd_active(), rs.join(","));
+}
+
+/// Re-runs this binary with `DRBW_NO_SIMD=1` and parses the inner line.
+fn spawn_scalar_arm() -> Result<(bool, f64, Vec<f64>), BenchError> {
+    let exe = std::env::current_exe().map_err(|e| BenchError::new(format!("current_exe: {e}")))?;
+    let out = std::process::Command::new(exe)
+        .arg("--inner-simd")
+        .env("DRBW_NO_SIMD", "1")
+        .output()
+        .map_err(|e| BenchError::new(format!("cannot spawn scalar arm: {e}")))?;
+    if !out.status.success() {
+        return Err(BenchError::new(format!("scalar arm failed: {}", String::from_utf8_lossy(&out.stderr))));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("INNER "))
+        .ok_or_else(|| BenchError::new(format!("scalar arm printed no INNER line: {stdout}")))?;
+    let mut active = None;
+    let mut median = None;
+    let mut runs = Vec::new();
+    for field in line.split_whitespace().skip(1) {
+        if let Some(v) = field.strip_prefix("simd_active=") {
+            active = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("median=") {
+            median = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("runs=") {
+            runs = v.split(',').filter_map(|r| r.parse().ok()).collect();
+        }
+    }
+    match (active, median) {
+        (Some(a), Some(m)) if !runs.is_empty() => Ok((a, m, runs)),
+        _ => Err(BenchError::new(format!("malformed inner line: {line}"))),
+    }
+}
+
 fn main() -> Result<(), BenchError> {
+    if std::env::args().nth(1).as_deref() == Some("--inner-simd") {
+        inner_simd();
+        return Ok(());
+    }
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".into());
     let specs = training::quick_training_specs();
 
@@ -200,6 +271,73 @@ fn main() -> Result<(), BenchError> {
     );
     std::fs::remove_dir_all(&cache_root).ok();
 
+    // 4. SIMD scan ablation. This process runs with the dispatchers'
+    //    default (widest detected path); the scalar arm re-executes this
+    //    binary under DRBW_NO_SIMD=1 because the ISA choice is fixed per
+    //    process. Both arms are the fused batched analyze of section 2.
+    let (simd_on_analyses, simd_on_s, simd_on_runs) = timed_fused_analyze(1, 1);
+    for (i, (a, f)) in simd_on_analyses.iter().zip(&fus_analyses).enumerate() {
+        assert_eq!(a.profile.samples, f.profile.samples, "case {i}: simd-arm sample log diverged");
+    }
+    let (scalar_active, simd_off_s, simd_off_runs) = spawn_scalar_arm()?;
+    assert!(!scalar_active, "DRBW_NO_SIMD arm still reports SIMD active");
+    let simd_speedup = simd_off_s / simd_on_s;
+    eprintln!(
+        "simd ablation (fused analyze, 1 thread): simd {simd_on_s:.2}s, scalar {simd_off_s:.2}s \
+         ({simd_speedup:.2}x, simd_active={})",
+        numasim::simd::simd_active()
+    );
+
+    // 5. Deterministic intra-run sharding. Shard counts are plain config
+    //    (not process-wide), so every arm runs in this process, and every
+    //    arm's output is asserted bit-identical to the fused section-2
+    //    run before its time is reported. On a single-core host the
+    //    sharded arms measure pure protocol overhead; the exactness
+    //    guarantee is what the section certifies.
+    let host_par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut shard_sections = Vec::new();
+    let mut shards1_s = 0.0f64;
+    let mut shards4_s = 0.0f64;
+    for shards in [1usize, 2, 4] {
+        let (analyses, s, runs) = timed_fused_analyze(shards, 1);
+        assert_eq!(analyses.len(), fus_analyses.len());
+        for (i, (a, f)) in analyses.iter().zip(&fus_analyses).enumerate() {
+            assert_eq!(a.profile.samples, f.profile.samples, "case {i} (shards={shards}): sample log diverged");
+            assert_eq!(a.detection.mode(), f.detection.mode(), "case {i} (shards={shards}): mode diverged");
+            assert_eq!(
+                a.detection.contended_channels, f.detection.contended_channels,
+                "case {i} (shards={shards}): channels diverged"
+            );
+        }
+        if shards == 1 {
+            shards1_s = s;
+        } else if shards == 4 {
+            shards4_s = s;
+        }
+        eprintln!("shard matrix: shards={shards} {s:.2}s (bit-identical to fused)");
+        shard_sections.push(format!("\"shards_{shards}\": {}", section(s, &runs)));
+    }
+    let shard_json = format!(
+        "{{\n    \"host_parallelism\": {host_par},\n    {},\n    \"shards_4_vs_1\": {:.2}\n  }}",
+        shard_sections.join(",\n    "),
+        shards1_s / shards4_s,
+    );
+
+    // 6. Thread-count sweep over the tool's analysis pool (fused batched,
+    //    unsharded): how the headline section scales when the *batch* is
+    //    parallelized instead of the individual simulation.
+    let mut sweep_sections = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (analyses, s, runs) = timed_fused_analyze(1, threads);
+        assert_eq!(analyses.len(), fus_analyses.len());
+        for (i, (a, f)) in analyses.iter().zip(&fus_analyses).enumerate() {
+            assert_eq!(a.profile.samples, f.profile.samples, "case {i} (threads={threads}): sample log diverged");
+        }
+        eprintln!("thread sweep: {threads} pool thread(s) {s:.2}s");
+        sweep_sections.push(format!("\"threads_{threads}\": {}", section(s, &runs)));
+    }
+    let sweep_json = format!("{{\n    {}\n  }}", sweep_sections.join(",\n    "));
+
     let pair = |a: &str, b: &str, ka: &str, kb: &str| match (env_secs(a), env_secs(b)) {
         (Some(x), Some(y)) => {
             format!("{{ \"{ka}\": {x:.2}, \"{kb}\": {y:.2}, \"speedup\": {:.2} }}", x / y)
@@ -207,19 +345,28 @@ fn main() -> Result<(), BenchError> {
         _ => "null".to_string(),
     };
     let tier1 = pair("DRBW_TIER1_BASELINE_S", "DRBW_TIER1_CURRENT_S", "baseline_s", "current_s");
-    let seed = match (env_secs("DRBW_SEED_GRID_S"), env_secs("DRBW_SEED_ANALYZE_S")) {
-        (Some(g), Some(a)) => format!(
-            "{{ \"grid_s\": {g:.2}, \"analyze_s\": {a:.2}, \"batched_vs_seed_grid\": {:.2}, \"batched_vs_seed_analyze\": {:.2} }}",
-            g / grid_bat_s,
-            a / analyze_fus_s
-        ),
-        _ => "null".to_string(),
+    // The pre-batching engine survives verbatim as `ExecMode::Reference`,
+    // so when no externally measured seed numbers are supplied the
+    // reference sections of this very run are the seed engine, measured
+    // on this machine — recorded as such instead of leaving the field
+    // null.
+    let (seed_grid_s, seed_analyze_s, seed_src) = match (env_secs("DRBW_SEED_GRID_S"), env_secs("DRBW_SEED_ANALYZE_S"))
+    {
+        (Some(g), Some(a)) => (g, a, "env"),
+        _ => (grid_ref_s, analyze_ref_s, "reference-mode proxy (seed engine retained as ExecMode::Reference)"),
     };
+    let seed = format!(
+        "{{ \"source\": \"{seed_src}\", \"grid_s\": {seed_grid_s:.2}, \"analyze_s\": {seed_analyze_s:.2}, \
+         \"batched_vs_seed_grid\": {:.2}, \"batched_vs_seed_analyze\": {:.2} }}",
+        seed_grid_s / grid_bat_s,
+        seed_analyze_s / analyze_fus_s
+    );
     let unopt = pair("DRBW_UNOPT_REFERENCE_S", "DRBW_UNOPT_BATCHED_S", "reference_s", "batched_s");
     let json = format!(
         r#"{{
   "bench": "engine batched vs reference (ExecMode) + span-fusion walk ablation",
   "machine": "MachineConfig::scaled",
+  "machine_note": "single-core shared host; absolute seconds drift 15-25% between sessions, so cross-session comparisons should use within-run ratios (reference / batched_fused), which are stable",
   "grid_runs": {runs},
   "protocol": "1 warmup + 7 measured runs per section, median reported",
   "bit_identical": true,
@@ -240,6 +387,14 @@ fn main() -> Result<(), BenchError> {
     "fused_vs_unfused": {walk_speedup:.2},
     "walk_share": {walk_share:.3}
   }},
+  "simd_ablation": {{
+    "simd_active": {simd_active},
+    "simd_on": {simd_on},
+    "simd_off_scalar": {simd_off},
+    "simd_vs_scalar": {simd_speedup:.2}
+  }},
+  "shard_matrix": {shard_json},
+  "analyze_thread_sweep": {sweep_json},
   "run_cache": {run_cache_json},
   "seed_engine": {seed},
   "analyze_batch_unoptimized": {unopt},
@@ -252,6 +407,9 @@ fn main() -> Result<(), BenchError> {
         analyze_ref = section(analyze_ref_s, &analyze_ref_runs),
         analyze_fus = section(analyze_fus_s, &analyze_fus_runs),
         analyze_unf = section(analyze_unf_s, &analyze_unf_runs),
+        simd_active = numasim::simd::simd_active(),
+        simd_on = section(simd_on_s, &simd_on_runs),
+        simd_off = section(simd_off_s, &simd_off_runs),
     );
     write_text(&out, &json)?;
     print!("{json}");

@@ -1,0 +1,48 @@
+//! Ad-hoc profiling loop: run one engine section of `bench_engine`
+//! repeatedly so an external profiler (gprofng, perf) sees only that
+//! section's hot path instead of the bench's reference oracle.
+//!
+//! ```text
+//! cargo run --release -p drbw-bench --bin dbg_profile [section] [iters]
+//! ```
+//!
+//! Sections: `analyze` (default; fused batched analyze_batch, 1 thread),
+//! `grid` (serial quick-grid collection, batched). The ablation
+//! environment knobs apply as everywhere: `DRBW_NO_SIMD`, `DRBW_SHARDS`.
+
+use drbw_bench::util::BenchError;
+use drbw_core::training;
+use drbw_core::{Case, DrBw, TrainingSet};
+use numasim::config::{ExecMode, MachineConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), BenchError> {
+    let section = std::env::args().nth(1).unwrap_or_else(|| "analyze".into());
+    let iters: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let mut mcfg = MachineConfig::scaled();
+    mcfg.engine.exec = ExecMode::Batched;
+    let specs = training::quick_training_specs();
+    let t0 = Instant::now();
+    match section.as_str() {
+        "grid" => {
+            for _ in 0..iters {
+                std::hint::black_box(training::collect_training_set_serial(&mcfg, &specs));
+            }
+        }
+        "analyze" => {
+            let tool = DrBw::builder()
+                .machine(mcfg)
+                .training_set(TrainingSet::Quick)
+                .threads(1)
+                .build()
+                .expect("quick grid trains");
+            let cases: Vec<Case> = specs.iter().map(|s| Case::new(s.program.workload(), &s.rcfg)).collect();
+            for _ in 0..iters {
+                std::hint::black_box(tool.analyze_batch(&cases));
+            }
+        }
+        other => return Err(BenchError::new(format!("unknown section {other}"))),
+    }
+    eprintln!("{section}: {iters} iters in {:.3}s", t0.elapsed().as_secs_f64());
+    Ok(())
+}

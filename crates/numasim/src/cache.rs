@@ -62,6 +62,12 @@ pub struct Cache {
     assoc: usize,
     set_mask: u64,
     stats: CacheStats,
+    /// Monotone count of tag installs, never reset (unlike `stats`). The
+    /// engine's miss-proof memos use it as an epoch: installs are the only
+    /// mutation that can *add* a member (evictions remove, hits reorder,
+    /// flushes clear), so a proven all-miss span stays proven while this
+    /// counter is unchanged.
+    installs: u64,
 }
 
 impl Cache {
@@ -82,7 +88,14 @@ impl Cache {
             assoc,
             set_mask: (sets - 1) as u64,
             stats: CacheStats::default(),
+            installs: 0,
         }
+    }
+
+    /// Install epoch: see the `installs` field.
+    #[inline]
+    pub(crate) fn installs(&self) -> u64 {
+        self.installs
     }
 
     /// Number of sets.
@@ -146,6 +159,7 @@ impl Cache {
                 self.set_max[set] = line;
             }
             self.stats.misses += 1;
+            self.installs += 1;
             false
         }
     }
@@ -175,6 +189,7 @@ impl Cache {
         if line > self.set_max[set] {
             self.set_max[set] = line;
         }
+        self.installs += 1;
     }
 
     /// Charge `n` misses deferred by [`Cache::install_line_deferred`].
@@ -227,6 +242,27 @@ impl Cache {
         if n == 0 {
             return 0;
         }
+        if self.span_absent(first, n) {
+            n
+        } else {
+            self.span_first_hit(first, n)
+        }
+    }
+
+    /// Whether provably *no* tag of `[first, first + n)` is resident — the
+    /// pure-membership fast path of [`Cache::span_miss_prefix`] (set-max
+    /// prefilter plus vector scan; never the exact recency walk). `false`
+    /// means "unproven", not "some line hits".
+    ///
+    /// Unlike the survival-based prefix, an absence certificate is
+    /// insensitive to recency: hits only reorder ways and evictions only
+    /// remove members, so the claim can be broken *solely* by an install.
+    /// That is the invariant behind the engine's proof memos (see
+    /// [`Cache::installs`]).
+    pub(crate) fn span_absent(&self, first: u64, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
         debug_assert!(first.checked_add(n).is_some(), "span overflows line space");
         let sets = self.set_mask + 1;
         // The span touches a contiguous (wrapping) stretch of sets, so its
@@ -243,60 +279,36 @@ impl Cache {
         let nsets = self.set_max.len();
         // `m >= first` iff `m.wrapping_sub(first)` does not borrow, i.e.
         // its sign bit is clear (both operands are < 2^63: lines carry a
-        // byte address divided by the line size). AND-reducing the raw
-        // differences and testing the accumulated sign bit keeps the loop
-        // to one subtract and one AND per element — pure SSE2-level u64
-        // arithmetic, which vectorizes on baseline x86-64 where a packed
-        // 64-bit *compare* (the naive formulation) does not.
-        let any_ge = |slice: &[u64]| {
-            slice.chunks(128).any(|chunk| {
-                let mut signs = u64::MAX;
-                for &m in chunk {
-                    signs &= m.wrapping_sub(first);
-                }
-                signs >> 63 == 0
-            })
-        };
+        // byte address divided by the line size). The borrow-sign AND
+        // reduction runs as explicit SSE2/AVX2 in [`crate::simd::any_ge`].
         let suspect = if s0 + w <= nsets {
-            any_ge(&self.set_max[s0..s0 + w])
+            crate::simd::any_ge(&self.set_max[s0..s0 + w], first)
         } else {
-            any_ge(&self.set_max[s0..]) || any_ge(&self.set_max[..s0 + w - nsets])
+            crate::simd::any_ge(&self.set_max[s0..], first)
+                || crate::simd::any_ge(&self.set_max[..s0 + w - nsets], first)
         };
         if !suspect {
-            return n;
+            return true;
         }
         let start = (first & self.set_mask) as usize * self.assoc;
         let len = (n.min(sets) as usize) * self.assoc;
         // Quick scan for any resident tag *near* the span, widened from
         // `n` to the next power of two `2^shift` so membership becomes a
-        // zero test on `off >> shift`. Zero-detect via `(x - 1) & !x`
-        // setting the sign bit only for `x == 0` keeps this loop, too, in
-        // vectorizable u64 arithmetic (sub/shift/and-not/or). Widening
-        // only admits tags in `[first + n, first + 2^shift)` — the lines
-        // the caller is *about* to stream through, which are essentially
-        // never resident — and a false positive is not an error: it just
-        // falls through to the exact `span_first_hit` walk below.
+        // zero test on `off >> shift` — run as explicit SSE2/AVX2
+        // zero-detect in [`crate::simd::any_near`]. Widening only admits
+        // tags in `[first + n, first + 2^shift)` — the lines the caller
+        // is *about* to stream through, which are essentially never
+        // resident — and a false positive is not an error: it just falls
+        // through to the exact `span_first_hit` walk below.
         let shift = 64 - (n - 1).leading_zeros().min(63);
-        let any_near = |slice: &[u64]| {
-            slice.chunks(128).any(|chunk| {
-                let mut zero_signs = 0u64;
-                for &t in chunk {
-                    let x = t.wrapping_sub(first) >> shift;
-                    zero_signs |= x.wrapping_sub(1) & !x;
-                }
-                zero_signs >> 63 != 0
-            })
-        };
         let found = if start + len <= self.tags.len() {
-            any_near(&self.tags[start..start + len])
+            crate::simd::any_near(&self.tags[start..start + len], first, shift)
         } else {
             let wrap = start + len - self.tags.len();
-            any_near(&self.tags[start..]) || any_near(&self.tags[..wrap])
+            crate::simd::any_near(&self.tags[start..], first, shift)
+                || crate::simd::any_near(&self.tags[..wrap], first, shift)
         };
-        if !found {
-            return n;
-        }
-        self.span_first_hit(first, n)
+        !found
     }
 
     /// Exact earliest hit in the span `[first, first + n)`: the minimum
@@ -305,6 +317,7 @@ impl Cache {
     /// has seen at least one resident tag in range.
     fn span_first_hit(&self, first: u64, n: u64) -> u64 {
         let sets = self.set_mask + 1;
+        let set_shift = sets.trailing_zeros(); // sets is a power of two
         let assoc = self.assoc as u64;
         let mut best = n;
         for k in 0..n.min(sets) {
@@ -316,7 +329,7 @@ impl Cache {
                 if off < n {
                     // This tag is span line i = off/sets + 1 of its set, at
                     // recency position p; it hits iff i + p <= assoc.
-                    let i = off / sets + 1;
+                    let i = (off >> set_shift) + 1;
                     let mut p = (w + self.assoc - head) as u64;
                     if p >= assoc {
                         p -= assoc;
@@ -328,6 +341,115 @@ impl Cache {
             }
         }
         best
+    }
+
+    /// Length of the longest prefix of the consecutive-line span
+    /// `[first, first + n)` that is provably *all hits* — exact: the
+    /// returned prefix ends either at `n` or at the first line that would
+    /// miss. Read-only (no LRU state or stats touched).
+    ///
+    /// The proof is residency alone: span lines are distinct and hits
+    /// never evict, so every initially-resident line of the prefix is
+    /// still resident when the ascending walk reaches it — an
+    /// all-resident prefix is an all-hit prefix. Per touched set, one way
+    /// scan builds a bitmask of which of the set's expected span lines
+    /// (`i`-th line has span offset `k + i·sets`) are resident; the first
+    /// clear bit across sets bounds the prefix. A span longer than the
+    /// cache's capacity is capped there first: line `capacity` of an
+    /// all-resident prefix cannot itself be resident (its set is full of
+    /// earlier span lines), so the cap loses nothing. O(touched sets ×
+    /// assoc).
+    pub fn span_hit_prefix(&self, first: u64, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        debug_assert!(first.checked_add(n).is_some(), "span overflows line space");
+        let sets = self.set_mask + 1;
+        let set_shift = sets.trailing_zeros(); // sets is a power of two
+        let n_eff = n.min(sets * self.assoc as u64);
+        let mut best = n_eff;
+        for k in 0..n_eff.min(sets) {
+            let s = ((first + k) & self.set_mask) as usize;
+            let base = s * self.assoc;
+            // This set holds span lines k, k + sets, k + 2·sets, …:
+            // m of them in the capped span, m <= assoc <= 32.
+            let m = (n_eff - k).div_ceil(sets);
+            let mut resident = 0u64;
+            for w in 0..self.assoc {
+                // Tags in set s with span offset < n_eff automatically
+                // have offset ≡ k (mod sets); INVALID wraps far outside.
+                let off = self.tags[base + w].wrapping_sub(first);
+                if off < n_eff {
+                    resident |= 1u64 << (off >> set_shift);
+                }
+            }
+            let missing = !resident & ((1u64 << m) - 1);
+            if missing != 0 {
+                best = best.min(k + missing.trailing_zeros() as u64 * sets);
+            }
+        }
+        best
+    }
+
+    /// Touch the consecutive-line span `[first, first + n)` as `n`
+    /// *proven* hits, bit-identical to `n` ascending [`Cache::access`]
+    /// calls that all hit: same final tags, heads, and counters (hits
+    /// never update `set_max`). Callers must have proven the span all-hit
+    /// via [`Cache::span_hit_prefix`]; debug builds re-verify.
+    ///
+    /// Sets are independent (a hit only rearranges its own set), so each
+    /// touched set replays its own lines in ascending order. The steady
+    /// state cyclic rescans reach — the set's span lines sitting in
+    /// consecutive slots walking backward from the head, each touch
+    /// hitting the LRU position — collapses to a head retreat with tags
+    /// untouched; any other arrangement replays the exact per-line hit
+    /// arm.
+    pub fn promote_span(&mut self, first: u64, n: u64) {
+        debug_assert_eq!(self.span_hit_prefix(first, n), n, "promote_span requires a proven all-hit span");
+        if n == 0 {
+            return;
+        }
+        let sets = self.set_mask + 1;
+        for k in 0..n.min(sets) {
+            let s = ((first + k) & self.set_mask) as usize;
+            let base = s * self.assoc;
+            let m = ((n - k).div_ceil(sets)) as usize; // <= assoc: all resident
+            let head0 = self.heads[s] as usize;
+            // Cyclic-rescan fast case: i-th span line at physical slot
+            // head0 - 1 - i (mod assoc) means every touch hits recency
+            // position assoc-1, so each is an O(1) head retreat.
+            let cyclic = (0..m).all(|i| {
+                let phys = (head0 + self.assoc - 1 - i) % self.assoc;
+                self.tags[base + phys] == first + k + i as u64 * sets
+            });
+            if cyclic {
+                self.heads[s] = ((head0 + self.assoc - m % self.assoc) % self.assoc) as u8;
+                continue;
+            }
+            for i in 0..m {
+                let line = first + k + i as u64 * sets;
+                // Replica of the hit arm of `access`.
+                let head = self.heads[s] as usize;
+                let ways = &mut self.tags[base..base + self.assoc];
+                if ways[head] == line {
+                    continue;
+                }
+                let phys = ways.iter().position(|&t| t == line).expect("promote_span line not resident");
+                let pos = (phys + self.assoc - head) % self.assoc;
+                if pos == self.assoc - 1 {
+                    self.heads[s] = phys as u8;
+                } else {
+                    let mut j = phys;
+                    while j != head {
+                        let prev = if j == 0 { self.assoc - 1 } else { j - 1 };
+                        ways[j] = ways[prev];
+                        j = prev;
+                    }
+                    ways[head] = line;
+                }
+            }
+        }
+        self.stats.hits += n;
     }
 
     /// Install the consecutive-line span `[first, first + n)` as `n`
@@ -362,6 +484,7 @@ impl Cache {
                 }
             }
             self.stats.misses += n;
+            self.installs += n;
             return;
         }
         // Per touched set, the span holds m = ceil((n - k) / sets) lines:
@@ -401,6 +524,7 @@ impl Cache {
             }
         }
         self.stats.misses += n;
+        self.installs += n;
     }
 
     /// Access the consecutive-line span `[first, first + n)`, exactly as
@@ -627,6 +751,86 @@ mod tests {
             b.install_span(7, n);
             assert_eq!(a, b, "n = {n}");
         }
+    }
+
+    #[test]
+    fn hit_span_matches_per_line_after_warmup() {
+        // A resident working set rescanned ascending: the hit proof must
+        // cover the whole span and the closed-form promote must leave
+        // state and counters bit-identical to per-line accesses. Repeat
+        // rescans exercise the cyclic fast case in steady state.
+        for (sets, assoc) in [(1usize, 1usize), (1, 4), (4, 2), (8, 4), (16, 8)] {
+            let cap = (sets * assoc) as u64;
+            for n in [1u64, 2, cap / 2 + 1, cap] {
+                let n = n.clamp(1, cap);
+                let mut a = Cache::new(sets, assoc);
+                per_line(&mut a, 5, n);
+                let mut b = a.clone();
+                for pass in 0..3 {
+                    assert_eq!(a.span_hit_prefix(5, n), n, "warm span must prove all-hit (pass {pass})");
+                    let want = per_line(&mut a, 5, n);
+                    assert_eq!(want.misses, 0);
+                    b.promote_span(5, n);
+                    assert_eq!(a, b, "sets {sets} assoc {assoc} n {n} pass {pass}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn promote_span_matches_per_line_on_scrambled_recency() {
+        // Warm the span, then disturb recency order with extra hits so the
+        // cyclic fast case cannot fire everywhere: the per-line hit-arm
+        // replica must keep state bit-identical.
+        for scramble in [[9u64, 5, 13], [21, 6, 6], [5, 17, 10]] {
+            let mut a = Cache::new(8, 4);
+            per_line(&mut a, 5, 24);
+            for &l in &scramble {
+                a.access(l);
+            }
+            let mut b = a.clone();
+            assert_eq!(a.span_hit_prefix(5, 24), 24);
+            let want = per_line(&mut a, 5, 24);
+            assert_eq!(want.misses, 0, "scramble {scramble:?}");
+            b.promote_span(5, 24);
+            assert_eq!(a, b, "scramble {scramble:?}");
+        }
+    }
+
+    #[test]
+    fn hit_prefix_stops_exactly_at_first_miss() {
+        // Lines 10..14 resident in a single-set cache: a span from 10 of
+        // length 8 hits 10..14 then misses 14.
+        let mut c = Cache::new(1, 8);
+        per_line(&mut c, 10, 4);
+        assert_eq!(c.span_hit_prefix(10, 8), 4);
+        assert_eq!(c.span_hit_prefix(10, 4), 4);
+        assert_eq!(c.span_hit_prefix(10, 3), 3);
+        // A hole mid-span bounds the prefix even with later residents.
+        let mut c = Cache::new(4, 4);
+        per_line(&mut c, 0, 16); // fills every set
+        assert_eq!(c.span_hit_prefix(0, 16), 16);
+        let mut d = c.clone();
+        d.access(100); // evicts LRU of set 0 = line 0
+        assert_eq!(d.span_hit_prefix(0, 16), 0);
+        let mut d = c.clone();
+        d.access(101); // evicts LRU of set 1 = line 1
+        assert_eq!(d.span_hit_prefix(0, 16), 1);
+        // Nothing resident: prefix is empty.
+        assert_eq!(Cache::new(4, 4).span_hit_prefix(0, 12), 0);
+    }
+
+    #[test]
+    fn hit_prefix_caps_at_capacity() {
+        // A span longer than the cache cannot be all-hit past capacity:
+        // with the whole cache holding the span's first 16 lines, the
+        // prefix is exactly 16 and line 16 would miss.
+        let mut c = Cache::new(4, 4);
+        per_line(&mut c, 0, 16);
+        assert_eq!(c.span_hit_prefix(0, 1000), 16);
+        let mut twin = c.clone();
+        assert!(c.access(15));
+        assert!(!twin.access(16));
     }
 
     #[test]

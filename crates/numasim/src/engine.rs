@@ -25,9 +25,9 @@
 use crate::access::{AccessRun, AccessStream};
 use crate::bandwidth::BandwidthModel;
 use crate::config::{ExecMode, MachineConfig};
-use crate::fp::bulk_add;
+use crate::fp::{bulk_add, bulk_line_chain, LineStep};
 
-use crate::hierarchy::{CoreCaches, DataSource, Hierarchy};
+use crate::hierarchy::{CoreCaches, DataSource, Hierarchy, MissProofMemo};
 use crate::memmap::MemoryMap;
 use crate::stats::{AccessCounts, RunStats};
 use crate::topology::{CoreId, NodeId, ThreadId};
@@ -133,15 +133,15 @@ impl ThreadSpec {
     }
 }
 
-struct ThreadCtx {
-    thread: ThreadId,
+pub(crate) struct ThreadCtx {
+    pub(crate) thread: ThreadId,
     core: CoreId,
-    node: NodeId,
+    pub(crate) node: NodeId,
     stream: Box<dyn AccessStream>,
-    clock: f64,
+    pub(crate) clock: f64,
     /// Effective mlp for the current run (resolved against the default).
     mlp: f64,
-    done: bool,
+    pub(crate) done: bool,
     /// Current (possibly partially consumed) run and the cursor into it.
     run: AccessRun,
     run_pos: u64,
@@ -181,7 +181,26 @@ struct ThreadCtx {
     /// resident — hits are imminent for a while).
     zip_cooldown: u32,
     zip_backoff: u32,
+    /// Cached absence frontiers of the sequential fused path (see
+    /// [`MissProofMemo`]).
+    fuse_proof: MissProofMemo,
+    /// Cached per-lane absence frontiers of the interleaved fused path.
+    zip_proof: [MissProofMemo; MAX_LANES],
+    /// Whether no other thread of the phase shares this thread's node —
+    /// and so its L3. Only then do L3 absence frontiers survive between
+    /// slices, making prove-ahead worthwhile at that level.
+    solo_l3: bool,
 }
+
+/// Lane cap for the interleaved fused path; wider interleavings than any
+/// modelled kernel drain per-line.
+const MAX_LANES: usize = 8;
+
+/// Lines a fused proof certifies past its commit window when it scans at
+/// all: the absence frontier survives the thread's own commits (installs
+/// land below it), so one pass over the tag arrays amortises over many
+/// rounds of commits instead of rescanning every round.
+const PROOF_AHEAD: u64 = 0;
 
 /// Minimum provable span length worth committing through the fused walk;
 /// shorter proofs fall back to the per-line path (and trigger backoff).
@@ -207,12 +226,12 @@ const ZIP_BACKOFF_MAX: u32 = 8;
 /// The simulator. Owns the machine state (caches, bandwidth accounting,
 /// memory map) across phases; see [`Engine::run_phase`].
 pub struct Engine<O: Observer> {
-    cfg: MachineConfig,
-    hierarchy: Hierarchy,
-    bw: BandwidthModel,
-    memmap: MemoryMap,
-    observer: O,
-    max_run: u64,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) bw: BandwidthModel,
+    pub(crate) memmap: MemoryMap,
+    pub(crate) observer: O,
+    pub(crate) max_run: u64,
 }
 
 impl<O: Observer> Engine<O> {
@@ -296,7 +315,7 @@ impl<O: Observer> Engine<O> {
         }
     }
 
-    fn make_ctxs(&self, threads: Vec<ThreadSpec>) -> Vec<ThreadCtx> {
+    pub(crate) fn make_ctxs(&self, threads: Vec<ThreadSpec>) -> Vec<ThreadCtx> {
         assert!(!threads.is_empty(), "phase needs at least one thread");
         let topo = &self.cfg.topology;
         let ctxs: Vec<ThreadCtx> = threads
@@ -332,9 +351,20 @@ impl<O: Observer> Engine<O> {
                     zip_lane: 0,
                     zip_cooldown: 0,
                     zip_backoff: ZIP_BACKOFF_MIN,
+                    fuse_proof: MissProofMemo::new(),
+                    zip_proof: [MissProofMemo::new(); MAX_LANES],
+                    solo_l3: true,
                 }
             })
             .collect();
+        let mut ctxs = ctxs;
+        // Whether each thread has the node's L3 to itself: siblings on the
+        // same node invalidate each other's L3 absence frontiers every
+        // slice, so proving ahead there is wasted scan work.
+        for i in 0..ctxs.len() {
+            ctxs[i].solo_l3 = !ctxs.iter().enumerate().any(|(j, c)| j != i && c.node == ctxs[i].node);
+        }
+        let ctxs = ctxs;
         {
             let mut ids: Vec<u32> = ctxs.iter().map(|c| c.thread.0).collect();
             ids.sort_unstable();
@@ -404,241 +434,423 @@ impl<O: Observer> Engine<O> {
         let mut ctxs = self.make_ctxs(threads);
         self.bw.reset();
         let round = self.cfg.engine.round_cycles;
-        let lfb_latency = self.cfg.latency.lfb;
-        let l1_latency = self.cfg.latency.l1;
-        let line_bytes = self.cfg.cache.line_size as f64;
-        let line_step = self.cfg.cache.line_size;
-        let span_fusion = self.cfg.engine.span_fusion;
-        let default_mlp = self.cfg.engine.default_mlp;
-        let max_run = self.max_run;
+        let consts = SliceConsts::new(&self.cfg, self.max_run);
         let mut counts = AccessCounts::default();
         let mut round_end = round;
         let mut live = ctxs.len();
 
         while live > 0 {
             for t in ctxs.iter_mut().filter(|t| !t.done) {
-                // Disjoint field borrows: the cache handle pins
-                // `self.hierarchy` for the slice while the bandwidth
-                // model, memory map, and observer stay independently
-                // borrowable.
-                let cfg = &self.cfg;
-                let bw = &mut self.bw;
-                let memmap = &mut self.memmap;
-                let observer = &mut self.observer;
-                let mut caches = self.hierarchy.core_caches(t.core);
-                // Events skipped under `quiet` in this slice, not yet
-                // committed to the observer.
-                let mut pending: u64 = 0;
-                'slice: while t.clock < round_end {
-                    if t.run_pos == t.run.len {
-                        if t.zip_iter < t.zip_iters {
-                            // An interleaved span is in flight. At an
-                            // iteration boundary a fused commit may absorb
-                            // whole iterations; whatever remains drains as
-                            // the exact single-access runs the stream
-                            // would have handed out.
-                            if span_fusion && t.zip_lane == 0 && t.zip_cooldown == 0 {
-                                zip_fuse(
-                                    cfg,
-                                    bw,
-                                    memmap,
-                                    &mut caches,
-                                    &mut counts,
-                                    t,
-                                    round_end,
-                                    line_bytes,
-                                    default_mlp,
-                                    &mut pending,
-                                );
-                                if t.zip_iter == t.zip_iters {
-                                    t.zip_iters = 0;
-                                    t.zip_iter = 0;
-                                    t.zip_lanes.clear();
-                                    continue 'slice;
-                                }
-                            }
-                            let lane = t.zip_lanes[t.zip_lane];
-                            let run = AccessRun { base: lane.base + t.zip_iter * lane.stride, len: 1, ..lane };
-                            t.zip_lane += 1;
-                            if t.zip_lane == t.zip_lanes.len() {
-                                t.zip_lane = 0;
-                                t.zip_iter += 1;
-                                if t.zip_iter == t.zip_iters {
-                                    t.zip_iters = 0;
-                                    t.zip_iter = 0;
-                                    t.zip_lanes.clear();
-                                }
-                            }
-                            t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
-                            t.run = run;
-                            t.run_pos = 0;
-                        } else {
-                            if span_fusion {
-                                let iters = t.stream.next_zip(line_step, ZIP_PULL_MAX, &mut t.zip_lanes);
-                                if iters > 0 {
-                                    t.zip_iters = iters;
-                                    t.zip_iter = 0;
-                                    t.zip_lane = 0;
-                                    t.zip_cooldown = t.zip_cooldown.saturating_sub(1);
-                                    continue 'slice;
-                                }
-                            }
-                            let Some(run) = t.stream.next_run(max_run) else {
-                                t.done = true;
-                                live -= 1;
-                                break 'slice;
+                let finished = run_thread_slice(
+                    &self.cfg,
+                    &consts,
+                    &mut self.hierarchy,
+                    &mut self.bw,
+                    &mut self.memmap,
+                    &mut self.observer,
+                    &mut counts,
+                    t,
+                    round_end,
+                );
+                if finished {
+                    live -= 1;
+                }
+            }
+            self.bw.end_round();
+            round_end += round;
+        }
+        self.finish_phase(&ctxs, counts)
+    }
+}
+
+impl<O: Observer + Clone + Send> Engine<O> {
+    /// Like [`Engine::run_phase`], but honoring
+    /// [`crate::config::EngineConfig::shards`]: in [`ExecMode::Batched`]
+    /// with `shards > 1` the phase runs through
+    /// [`Engine::run_phase_sharded`]; otherwise it falls through to the
+    /// classic single-host-thread loop. Results are bit-identical either
+    /// way. This is the production entry point (`drbw-workloads` drives
+    /// every phase through it); [`Engine::run_phase`] remains for
+    /// observers that are not `Clone + Send`.
+    pub fn run_phase_auto(&mut self, threads: Vec<ThreadSpec>) -> RunStats {
+        let shards = self.cfg.engine.shards;
+        if self.cfg.engine.exec == ExecMode::Batched && shards > 1 {
+            self.run_phase_sharded(threads, shards)
+        } else {
+            self.run_phase(threads)
+        }
+    }
+
+    /// Execute one phase with its per-core state partitioned over up to
+    /// `shards` host threads (bounded by the number of NUMA nodes that
+    /// have threads), merging at every round boundary in registration
+    /// order — bit-identical to [`Engine::run_phase`] in
+    /// [`ExecMode::Batched`] for every shard count. See [`crate::shard`]
+    /// for the partition/merge protocol and the observer contract.
+    ///
+    /// # Panics
+    /// Panics if thread specs are invalid (as [`Engine::run_phase`]), if
+    /// the observer violates the shard-local determinism contract, or on
+    /// a genuine same-round cross-shard first-touch race.
+    pub fn run_phase_sharded(&mut self, threads: Vec<ThreadSpec>, shards: usize) -> RunStats {
+        crate::shard::run_phase_sharded(self, threads, shards)
+    }
+}
+
+/// Per-phase constants of the batched inner loop, hoisted once so the
+/// per-slice body ([`run_thread_slice`]) shares them between the
+/// unsharded loop and the sharded round runner ([`crate::shard`]).
+pub(crate) struct SliceConsts {
+    lfb_latency: f64,
+    l1_latency: f64,
+    line_bytes: f64,
+    line_step: u64,
+    span_fusion: bool,
+    default_mlp: f64,
+    max_run: u64,
+}
+
+impl SliceConsts {
+    pub(crate) fn new(cfg: &MachineConfig, max_run: u64) -> Self {
+        Self {
+            lfb_latency: cfg.latency.lfb,
+            l1_latency: cfg.latency.l1,
+            line_bytes: cfg.cache.line_size as f64,
+            line_step: cfg.cache.line_size,
+            span_fusion: cfg.engine.span_fusion,
+            default_mlp: cfg.engine.default_mlp,
+            max_run,
+        }
+    }
+}
+
+/// One scheduling slice of thread `t` on the batched engine: advance it
+/// until its clock passes `round_end` or its stream ends, through the
+/// fused span walk, the interleaved (zip) path, and the per-line
+/// fallback. This body is shared verbatim by the unsharded loop
+/// ([`Engine::run_phase`] in [`ExecMode::Batched`]) and the sharded
+/// round runner ([`crate::shard`]) — which is what makes a sharded run
+/// bit-identical to the single-host-thread walk. Returns whether the
+/// thread finished (its stream ran dry this slice).
+#[allow(clippy::too_many_arguments)] // the engine's split field borrows
+pub(crate) fn run_thread_slice<O: Observer>(
+    cfg: &MachineConfig,
+    sc: &SliceConsts,
+    hierarchy: &mut Hierarchy,
+    bw: &mut BandwidthModel,
+    memmap: &mut MemoryMap,
+    observer: &mut O,
+    counts: &mut AccessCounts,
+    t: &mut ThreadCtx,
+    round_end: f64,
+) -> bool {
+    let &SliceConsts { lfb_latency, l1_latency, line_bytes, line_step, span_fusion, default_mlp, max_run } = sc;
+    let mut finished = false;
+    // Disjoint field borrows: the cache handle pins the hierarchy for the
+    // slice while the bandwidth model, memory map, and observer stay
+    // independently borrowable.
+    let mut caches = hierarchy.core_caches(t.core);
+    // Events skipped under `quiet` in this slice, not yet committed to
+    // the observer.
+    let mut pending: u64 = 0;
+    'slice: while t.clock < round_end {
+        if t.run_pos == t.run.len {
+            if t.zip_iter < t.zip_iters {
+                // An interleaved span is in flight. At an
+                // iteration boundary a fused commit may absorb
+                // whole iterations; whatever remains drains as
+                // the exact single-access runs the stream
+                // would have handed out.
+                if span_fusion && t.zip_lane == 0 && t.zip_cooldown == 0 {
+                    zip_fuse(cfg, bw, memmap, &mut caches, counts, t, round_end, line_bytes, default_mlp, &mut pending);
+                    if t.zip_iter == t.zip_iters {
+                        t.zip_iters = 0;
+                        t.zip_iter = 0;
+                        t.zip_lanes.clear();
+                        continue 'slice;
+                    }
+                }
+                let lane = t.zip_lanes[t.zip_lane];
+                let run = AccessRun { base: lane.base + t.zip_iter * lane.stride, len: 1, ..lane };
+                t.zip_lane += 1;
+                if t.zip_lane == t.zip_lanes.len() {
+                    t.zip_lane = 0;
+                    t.zip_iter += 1;
+                    if t.zip_iter == t.zip_iters {
+                        t.zip_iters = 0;
+                        t.zip_iter = 0;
+                        t.zip_lanes.clear();
+                    }
+                }
+                t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
+                t.run = run;
+                t.run_pos = 0;
+            } else {
+                if span_fusion {
+                    let iters = t.stream.next_zip(line_step, ZIP_PULL_MAX, &mut t.zip_lanes);
+                    if iters > 0 {
+                        t.zip_iters = iters;
+                        t.zip_iter = 0;
+                        t.zip_lane = 0;
+                        t.zip_cooldown = t.zip_cooldown.saturating_sub(1);
+                        continue 'slice;
+                    }
+                }
+                let Some(run) = t.stream.next_run(max_run) else {
+                    t.done = true;
+                    finished = true;
+                    break 'slice;
+                };
+                t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
+                t.run = run;
+                t.run_pos = 0;
+            }
+        }
+        let run = t.run;
+        let compute = run.compute;
+        while t.run_pos < run.len && t.clock < round_end {
+            // Fused span walk: when the run hands over
+            // consecutive lines and a prefix provably misses
+            // all three levels, commit it in closed form
+            // (DESIGN §8). The proof comes first and is
+            // read-only; home-node resolution — which mutates
+            // first-touch placement — happens per home span,
+            // only once at least one of its lines is certain
+            // to commit this round, exactly when the per-line
+            // path would have resolved it.
+            if span_fusion && t.fuse_cooldown == 0 && run.stride == line_step {
+                let reps_total = run.reps as u64;
+                let mut k_cap = (run.len - t.run_pos).min(t.quiet / reps_total);
+                if k_cap >= FUSE_MIN {
+                    // Proving more lines than can commit before
+                    // `round_end` is wasted tag-scan work that
+                    // next round's proof repeats. Estimate the
+                    // fit from the memoized quotient; any cap
+                    // is sound — the loop simply proves the
+                    // next chunk afterwards.
+                    let per_line = reps_total as f64 * compute + t.quot_memo;
+                    if per_line > 0.0 {
+                        let est = ((round_end - t.clock) / per_line) as u64 + 2;
+                        k_cap = k_cap.min(est.max(FUSE_MIN));
+                    }
+                }
+                if k_cap >= FUSE_MIN {
+                    let addr0 = run.base + t.run_pos * run.stride;
+                    let line0 = caches.line_of(addr0);
+                    // Memo-assisted proof: lines the cached
+                    // absence frontier still covers skip their
+                    // tag scans, and any scan proves ahead so
+                    // it amortises across rounds. L3 frontiers
+                    // only survive between slices when no
+                    // sibling shares the node, so prove ahead
+                    // there only then.
+                    let a = if t.solo_l3 { PROOF_AHEAD } else { 0 };
+                    let ahead = [a, a, a];
+                    let k_miss = caches.span_miss_prefix_memo(line0, k_cap, ahead, &mut t.fuse_proof);
+                    debug_assert_eq!(
+                        k_miss,
+                        caches.span_miss_prefix(line0, k_cap),
+                        "cached miss proof diverged from a fresh scan"
+                    );
+                    if k_miss >= FUSE_MIN {
+                        t.fuse_backoff = FUSE_BACKOFF_MIN;
+                        let nreps = reps_total - 1;
+                        // LFB reps hide their latency: the
+                        // per-line path advances the clock by
+                        // this same addend.
+                        let rep_delta = compute + 0.0;
+                        let mut done = 0u64;
+                        while done < k_miss && t.clock < round_end {
+                            let addr = addr0 + done * run.stride;
+                            let home = if addr >= t.span_start && addr < t.span_end {
+                                t.span_home
+                            } else {
+                                let (h, end) = memmap.home_node_span(addr, t.node);
+                                t.span_start = addr;
+                                t.span_end = end;
+                                t.span_home = h;
+                                h
                             };
-                            t.mlp = run.mlp.unwrap_or(default_mlp).max(1.0);
-                            t.run = run;
-                            t.run_pos = 0;
+                            let span_lines = (t.span_end - addr).div_ceil(run.stride);
+                            let k_seg = (k_miss - done).min(span_lines);
+                            let (src, service) = if home == t.node {
+                                (DataSource::LocalDram, cfg.latency.dram_local_service)
+                            } else {
+                                (DataSource::RemoteDram, cfg.latency.dram_remote_service)
+                            };
+                            // Congestion factors only change at
+                            // round boundaries, so the latency —
+                            // and the clock addend — is one
+                            // value for the whole segment.
+                            let f = bw.factor_for(t.node, home);
+                            let latency = cfg.latency.dram_fixed + service * f;
+                            let quot = if latency == t.lat_memo && t.mlp == t.mlp_memo {
+                                t.quot_memo
+                            } else {
+                                let q = latency / t.mlp;
+                                t.lat_memo = latency;
+                                t.mlp_memo = t.mlp;
+                                t.quot_memo = q;
+                                q
+                            };
+                            let addend = compute + quot;
+                            // Collapse the reference clock's
+                            // per-line replay to one closed-form
+                            // grid step per binade (bit-identical
+                            // — see `fp::bulk_line_chain`).
+                            let (k_fit, clock) = bulk_line_chain(t.clock, addend, rep_delta, nreps, k_seg, round_end);
+                            caches.install_span(line0 + done, k_fit);
+                            counts.record_n(src, k_fit);
+                            if nreps > 0 {
+                                counts.record_n(DataSource::Lfb, k_fit * nreps);
+                            }
+                            bw.record_dram_n(t.node, home, line_bytes, k_fit);
+                            t.clock = clock;
+                            t.quiet -= k_fit * reps_total;
+                            pending += k_fit * reps_total;
+                            t.run_pos += k_fit;
+                            done += k_fit;
+                        }
+                        // The commit's installs all sit below
+                        // `line0 + done`, so the unconsumed tail
+                        // of the proof survives the new epochs.
+                        t.fuse_proof.retire(caches.install_epochs(), line0 + done, u64::MAX);
+                        continue;
+                    }
+                    // Miss proof came up short: a hit is
+                    // imminent. Before falling back per-line,
+                    // try the hit-side closed form — a warm
+                    // rescan resolves whole spans at one cache
+                    // level, with no DRAM, bandwidth, or
+                    // first-touch involvement at all.
+                    if let Some((src, k_hit)) = caches.span_hit_prefix(line0, k_cap) {
+                        if k_hit >= FUSE_MIN {
+                            t.fuse_backoff = FUSE_BACKOFF_MIN;
+                            let nreps = reps_total - 1;
+                            let latency = cfg.base_latency(src);
+                            let quot = if latency == t.lat_memo && t.mlp == t.mlp_memo {
+                                t.quot_memo
+                            } else {
+                                let q = latency / t.mlp;
+                                t.lat_memo = latency;
+                                t.mlp_memo = t.mlp;
+                                t.quot_memo = q;
+                                q
+                            };
+                            let addend = compute + quot;
+                            // Cache-hit reps hit L1 and are
+                            // charged its latency — the same
+                            // per-rep addend every line.
+                            let rep_delta = compute + l1_latency / t.mlp;
+                            let (k_fit, clock) = bulk_line_chain(t.clock, addend, rep_delta, nreps, k_hit, round_end);
+                            caches.commit_hit_span(src, line0, k_fit);
+                            // The hit commit installs only the
+                            // span itself into the levels above
+                            // `src` — all below the frontier.
+                            t.fuse_proof.retire(caches.install_epochs(), line0 + k_fit, u64::MAX);
+                            counts.record_n(src, k_fit);
+                            if nreps > 0 {
+                                counts.record_n(DataSource::L1, k_fit * nreps);
+                            }
+                            t.clock = clock;
+                            t.quiet -= k_fit * reps_total;
+                            pending += k_fit * reps_total;
+                            t.run_pos += k_fit;
+                            continue;
                         }
                     }
-                    let run = t.run;
-                    let compute = run.compute;
-                    while t.run_pos < run.len && t.clock < round_end {
-                        // Fused span walk: when the run hands over
-                        // consecutive lines and a prefix provably misses
-                        // all three levels, commit it in closed form
-                        // (DESIGN §8). The proof comes first and is
-                        // read-only; home-node resolution — which mutates
-                        // first-touch placement — happens per home span,
-                        // only once at least one of its lines is certain
-                        // to commit this round, exactly when the per-line
-                        // path would have resolved it.
-                        if span_fusion && t.fuse_cooldown == 0 && run.stride == line_step {
-                            let reps_total = run.reps as u64;
-                            let mut k_cap = (run.len - t.run_pos).min(t.quiet / reps_total);
-                            if k_cap >= FUSE_MIN {
-                                // Proving more lines than can commit before
-                                // `round_end` is wasted tag-scan work that
-                                // next round's proof repeats. Estimate the
-                                // fit from the memoized quotient; any cap
-                                // is sound — the loop simply proves the
-                                // next chunk afterwards.
-                                let per_line = reps_total as f64 * compute + t.quot_memo;
-                                if per_line > 0.0 {
-                                    let est = ((round_end - t.clock) / per_line) as u64 + 2;
-                                    k_cap = k_cap.min(est.max(FUSE_MIN));
-                                }
-                            }
-                            if k_cap >= FUSE_MIN {
-                                let addr0 = run.base + t.run_pos * run.stride;
-                                let line0 = caches.line_of(addr0);
-                                let k_miss = caches.span_miss_prefix(line0, k_cap);
-                                if k_miss >= FUSE_MIN {
-                                    t.fuse_backoff = FUSE_BACKOFF_MIN;
-                                    let nreps = reps_total - 1;
-                                    // LFB reps hide their latency: the
-                                    // per-line path advances the clock by
-                                    // this same addend.
-                                    let rep_delta = compute + 0.0;
-                                    let mut done = 0u64;
-                                    while done < k_miss && t.clock < round_end {
-                                        let addr = addr0 + done * run.stride;
-                                        let home = if addr >= t.span_start && addr < t.span_end {
-                                            t.span_home
-                                        } else {
-                                            let (h, end) = memmap.home_node_span(addr, t.node);
-                                            t.span_start = addr;
-                                            t.span_end = end;
-                                            t.span_home = h;
-                                            h
-                                        };
-                                        let span_lines = (t.span_end - addr).div_ceil(run.stride);
-                                        let k_seg = (k_miss - done).min(span_lines);
-                                        let (src, service) = if home == t.node {
-                                            (DataSource::LocalDram, cfg.latency.dram_local_service)
-                                        } else {
-                                            (DataSource::RemoteDram, cfg.latency.dram_remote_service)
-                                        };
-                                        // Congestion factors only change at
-                                        // round boundaries, so the latency —
-                                        // and the clock addend — is one
-                                        // value for the whole segment.
-                                        let f = bw.factor_for(t.node, home);
-                                        let latency = cfg.latency.dram_fixed + service * f;
-                                        let quot = if latency == t.lat_memo && t.mlp == t.mlp_memo {
-                                            t.quot_memo
-                                        } else {
-                                            let q = latency / t.mlp;
-                                            t.lat_memo = latency;
-                                            t.mlp_memo = t.mlp;
-                                            t.quot_memo = q;
-                                            q
-                                        };
-                                        let addend = compute + quot;
-                                        // Replay the reference clock line by
-                                        // line (two flops each) to find how
-                                        // many lines fit in the round.
-                                        let mut k_fit = 0u64;
-                                        let mut clock = t.clock;
-                                        while k_fit < k_seg && clock < round_end {
-                                            clock += addend;
-                                            if nreps > 0 && rep_delta != 0.0 {
-                                                clock = bulk_add(clock, rep_delta, nreps);
-                                            }
-                                            k_fit += 1;
-                                        }
-                                        caches.install_span(line0 + done, k_fit);
-                                        counts.record_n(src, k_fit);
-                                        if nreps > 0 {
-                                            counts.record_n(DataSource::Lfb, k_fit * nreps);
-                                        }
-                                        bw.record_dram_n(t.node, home, line_bytes, k_fit);
-                                        t.clock = clock;
-                                        t.quiet -= k_fit * reps_total;
-                                        pending += k_fit * reps_total;
-                                        t.run_pos += k_fit;
-                                        done += k_fit;
-                                    }
-                                    continue;
-                                }
-                                // Proof came up short: a hit is imminent.
-                                // Walk per-line for a while before paying
-                                // for another proof scan.
-                                t.fuse_cooldown = t.fuse_backoff;
-                                t.fuse_backoff = (t.fuse_backoff * 2).min(FUSE_BACKOFF_MAX);
-                            }
-                        }
-                        t.fuse_cooldown = t.fuse_cooldown.saturating_sub(1);
-                        let addr = run.base + t.run_pos * run.stride;
-                        t.run_pos += 1;
-                        let (source, home, latency) = match caches.access(addr) {
-                            Some(src) => (src, None, cfg.base_latency(src)),
-                            None => {
-                                let home = if addr >= t.span_start && addr < t.span_end {
-                                    t.span_home
-                                } else {
-                                    let (h, end) = memmap.home_node_span(addr, t.node);
-                                    t.span_start = addr;
-                                    t.span_end = end;
-                                    t.span_home = h;
-                                    h
-                                };
-                                let (src, service) = if home == t.node {
-                                    (DataSource::LocalDram, cfg.latency.dram_local_service)
-                                } else {
-                                    (DataSource::RemoteDram, cfg.latency.dram_remote_service)
-                                };
-                                let f = bw.factor_for(t.node, home);
-                                bw.record_dram(t.node, home, line_bytes);
-                                (src, Some(home), cfg.latency.dram_fixed + service * f)
-                            }
-                        };
-                        // `latency / mlp` is usually the same division as
-                        // on the previous line; reusing the quotient is
-                        // exact and takes the divide off the clock chain.
-                        let quot = if latency == t.lat_memo && t.mlp == t.mlp_memo {
-                            t.quot_memo
-                        } else {
-                            let q = latency / t.mlp;
-                            t.lat_memo = latency;
-                            t.mlp_memo = t.mlp;
-                            t.quot_memo = q;
-                            q
-                        };
-                        t.clock += compute + quot;
-                        counts.record(source);
+                    // Both proofs short: walk per-line for a
+                    // while before paying for another scan.
+                    t.fuse_cooldown = t.fuse_backoff;
+                    t.fuse_backoff = (t.fuse_backoff * 2).min(FUSE_BACKOFF_MAX);
+                }
+            }
+            t.fuse_cooldown = t.fuse_cooldown.saturating_sub(1);
+            let addr = run.base + t.run_pos * run.stride;
+            t.run_pos += 1;
+            let (source, home, latency) = match caches.access(addr) {
+                Some(src) => (src, None, cfg.base_latency(src)),
+                None => {
+                    let home = if addr >= t.span_start && addr < t.span_end {
+                        t.span_home
+                    } else {
+                        let (h, end) = memmap.home_node_span(addr, t.node);
+                        t.span_start = addr;
+                        t.span_end = end;
+                        t.span_home = h;
+                        h
+                    };
+                    let (src, service) = if home == t.node {
+                        (DataSource::LocalDram, cfg.latency.dram_local_service)
+                    } else {
+                        (DataSource::RemoteDram, cfg.latency.dram_remote_service)
+                    };
+                    let f = bw.factor_for(t.node, home);
+                    bw.record_dram(t.node, home, line_bytes);
+                    (src, Some(home), cfg.latency.dram_fixed + service * f)
+                }
+            };
+            // `latency / mlp` is usually the same division as
+            // on the previous line; reusing the quotient is
+            // exact and takes the divide off the clock chain.
+            let quot = if latency == t.lat_memo && t.mlp == t.mlp_memo {
+                t.quot_memo
+            } else {
+                let q = latency / t.mlp;
+                t.lat_memo = latency;
+                t.mlp_memo = t.mlp;
+                t.quot_memo = q;
+                q
+            };
+            t.clock += compute + quot;
+            counts.record(source);
+            if t.quiet > 0 {
+                t.quiet -= 1;
+                pending += 1;
+            } else {
+                if pending > 0 {
+                    observer.on_run(t.thread, pending);
+                    pending = 0;
+                }
+                t.clock += observer.on_access(&AccessEvent {
+                    time: t.clock,
+                    thread: t.thread,
+                    core: t.core,
+                    node: t.node,
+                    addr,
+                    is_write: run.is_write,
+                    source,
+                    home,
+                    latency,
+                });
+                t.quiet = observer.run_hint(t.thread);
+            }
+            // Remaining element loads within the same line.
+            let nreps = run.reps as u64 - 1;
+            if nreps > 0 {
+                let (rep_source, rep_latency, rep_home) = if source.is_dram() {
+                    (DataSource::Lfb, lfb_latency, home)
+                } else {
+                    (DataSource::L1, l1_latency, None)
+                };
+                // Constant across the line's reps, so the
+                // per-rep clock advance is one dependent add.
+                let rep_delta = compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / t.mlp };
+                if t.quiet >= nreps {
+                    // Every rep is covered by the observer's
+                    // promise: bulk-count them. Adding 0.0
+                    // never changes a non-negative clock, so
+                    // the chain itself is skippable then.
+                    counts.record_n(rep_source, nreps);
+                    t.quiet -= nreps;
+                    pending += nreps;
+                    if rep_delta != 0.0 {
+                        t.clock = bulk_add(t.clock, rep_delta, nreps);
+                    }
+                } else {
+                    for _ in 0..nreps {
+                        t.clock += rep_delta;
+                        counts.record(rep_source);
                         if t.quiet > 0 {
                             t.quiet -= 1;
                             pending += 1;
@@ -654,77 +866,24 @@ impl<O: Observer> Engine<O> {
                                 node: t.node,
                                 addr,
                                 is_write: run.is_write,
-                                source,
-                                home,
-                                latency,
+                                source: rep_source,
+                                home: rep_home,
+                                latency: rep_latency,
                             });
                             t.quiet = observer.run_hint(t.thread);
                         }
-                        // Remaining element loads within the same line.
-                        let nreps = run.reps as u64 - 1;
-                        if nreps > 0 {
-                            let (rep_source, rep_latency, rep_home) = if source.is_dram() {
-                                (DataSource::Lfb, lfb_latency, home)
-                            } else {
-                                (DataSource::L1, l1_latency, None)
-                            };
-                            // Constant across the line's reps, so the
-                            // per-rep clock advance is one dependent add.
-                            let rep_delta =
-                                compute + if rep_source == DataSource::Lfb { 0.0 } else { rep_latency / t.mlp };
-                            if t.quiet >= nreps {
-                                // Every rep is covered by the observer's
-                                // promise: bulk-count them. Adding 0.0
-                                // never changes a non-negative clock, so
-                                // the chain itself is skippable then.
-                                counts.record_n(rep_source, nreps);
-                                t.quiet -= nreps;
-                                pending += nreps;
-                                if rep_delta != 0.0 {
-                                    t.clock = bulk_add(t.clock, rep_delta, nreps);
-                                }
-                            } else {
-                                for _ in 0..nreps {
-                                    t.clock += rep_delta;
-                                    counts.record(rep_source);
-                                    if t.quiet > 0 {
-                                        t.quiet -= 1;
-                                        pending += 1;
-                                    } else {
-                                        if pending > 0 {
-                                            observer.on_run(t.thread, pending);
-                                            pending = 0;
-                                        }
-                                        t.clock += observer.on_access(&AccessEvent {
-                                            time: t.clock,
-                                            thread: t.thread,
-                                            core: t.core,
-                                            node: t.node,
-                                            addr,
-                                            is_write: run.is_write,
-                                            source: rep_source,
-                                            home: rep_home,
-                                            latency: rep_latency,
-                                        });
-                                        t.quiet = observer.run_hint(t.thread);
-                                    }
-                                }
-                            }
-                        }
                     }
                 }
-                // Commit the slice's skipped events before any other
-                // thread's events reach the observer — this keeps global
-                // event ordering identical to per-event delivery.
-                if pending > 0 {
-                    observer.on_run(t.thread, pending);
-                }
             }
-            self.bw.end_round();
-            round_end += round;
         }
-        self.finish_phase(&ctxs, counts)
     }
+    // Commit the slice's skipped events before any other thread's events
+    // reach the observer — this keeps global event ordering identical to
+    // per-event delivery.
+    if pending > 0 {
+        observer.on_run(t.thread, pending);
+    }
+    finished
 }
 
 /// Split mutable borrows of the machine state every execution path works
@@ -855,7 +1014,6 @@ fn zip_fuse(
     default_mlp: f64,
     pending: &mut u64,
 ) {
-    const MAX_LANES: usize = 8;
     let nl = t.zip_lanes.len();
     if nl > MAX_LANES {
         // Wider interleavings than any modelled kernel: drain per-line.
@@ -885,10 +1043,28 @@ fn zip_fuse(
     // replay if no lane can touch a line another lane installs: require
     // pairwise-disjoint line ranges.
     let mut k = k_cap;
-    let disjoint = (0..nl).all(|i| (0..i).all(|j| first[i] + k <= first[j] || first[j] + k <= first[i]));
+    // The per-lane all-miss proofs only stay valid under interleaved
+    // replay if no lane can touch a line another lane installs. Check
+    // disjointness out to the prove-ahead horizon when it holds there
+    // (the usual case — lanes walk different objects), so the cached
+    // frontiers survive this call's commits; otherwise fall back to the
+    // commit window alone and clamp the memos to it.
+    #[allow(clippy::unnecessary_min_or_max)] // PROOF_AHEAD is a tuning const, currently 0
+    let wide = k_cap.max(PROOF_AHEAD);
+    let far = (0..nl).all(|i| (0..i).all(|j| first[i] + wide <= first[j] || first[j] + wide <= first[i]));
+    let horizon = if far { wide } else { k_cap };
+    let disjoint = far || (0..nl).all(|i| (0..i).all(|j| first[i] + k <= first[j] || first[j] + k <= first[i]));
     if disjoint {
-        for &f in first.iter().take(nl) {
-            k = k.min(caches.span_miss_prefix(f, k));
+        // L3 frontiers only survive between slices on a node with no
+        // sibling threads; elsewhere the extension probes are wasted.
+        let ahead = if t.solo_l3 { [horizon; 3] } else { [0; 3] };
+        for (i, &f) in first.iter().enumerate().take(nl) {
+            // Memo-assisted proof: the cached absence frontier skips the
+            // scans; when one happens it proves ahead (within the
+            // disjointness horizon) to amortise across rounds.
+            let ki = caches.span_miss_prefix_memo(f, k, ahead, &mut t.zip_proof[i]);
+            debug_assert_eq!(ki, caches.span_miss_prefix(f, k), "cached miss proof diverged from a fresh scan");
+            k = k.min(ki);
             if k < ZIP_MIN {
                 break;
             }
@@ -916,6 +1092,10 @@ fn zip_fuse(
     let mut nreps = [0u64; MAX_LANES];
     let mut src = [DataSource::LocalDram; MAX_LANES];
     let mut committed = [0u64; MAX_LANES];
+    // Per-lane memoized grid step: the lane costs are segment constants,
+    // so the clock's per-line replay collapses to one integer add per
+    // line in steady state (see `fp::LineStep`).
+    let mut steps = [LineStep::new(); MAX_LANES];
     let mut clock = t.clock;
     let mut done = 0u64;
     // Lanes of the final (partial) iteration that committed before the
@@ -958,11 +1138,10 @@ fn zip_fuse(
                 nreps[i] = l.reps as u64 - 1;
                 // LFB reps: the fill latency is hidden, compute remains.
                 rep_delta[i] = l.compute;
+                // New segment, new costs: the grid memo must re-key.
+                steps[i].invalidate();
             }
-            clock += addend[i];
-            if nreps[i] > 0 && rep_delta[i] != 0.0 {
-                clock = bulk_add(clock, rep_delta[i], nreps[i]);
-            }
+            clock = steps[i].advance_line(clock, addend[i], rep_delta[i], nreps[i]);
             caches.install_line_deferred(first[i] + done);
             seg_rem[i] -= 1;
             seg_done[i] += 1;
@@ -990,6 +1169,15 @@ fn zip_fuse(
     t.clock = clock;
     t.zip_iter += done;
     t.zip_lane = partial;
+    // Keep the unconsumed tails of the lane proofs: the replay's installs
+    // are exactly the committed lines — below each lane's own frontier,
+    // and outside every other lane's kept range by the disjointness check
+    // that sized `horizon`. Stale lanes beyond `nl` need no clearing:
+    // their epochs no longer match.
+    let epochs = caches.install_epochs();
+    for i in 0..nl {
+        t.zip_proof[i].retire(epochs, first[i] + committed[i], first[i] + horizon);
+    }
 }
 
 #[cfg(test)]

@@ -162,6 +162,26 @@ impl Hierarchy {
         NodeId((core.0 as usize / self.cores_per_node) as u8)
     }
 
+    /// Overwrite this hierarchy's caches for `node` (its shared L3 and the
+    /// L1/L2 of every core on it) with `src`'s. The sharded batched loop
+    /// runs each NUMA node's caches in a private [`Hierarchy`] clone —
+    /// nothing off-node ever touches them — and merges the owned nodes
+    /// back at phase end through this (see [`crate::shard`]).
+    ///
+    /// # Panics
+    /// Panics if the two hierarchies have different geometry or `node` is
+    /// out of range.
+    pub(crate) fn adopt_node_from(&mut self, src: &Hierarchy, node: NodeId) {
+        assert_eq!(self.cores_per_node, src.cores_per_node, "geometry mismatch");
+        assert_eq!(self.l1.len(), src.l1.len(), "geometry mismatch");
+        let n = node.0 as usize;
+        self.l3[n].clone_from(&src.l3[n]);
+        for c in n * self.cores_per_node..(n + 1) * self.cores_per_node {
+            self.l1[c].clone_from(&src.l1[c]);
+            self.l2[c].clone_from(&src.l2[c]);
+        }
+    }
+
     /// Flush every cache (used between independent runs sharing a machine).
     pub fn flush(&mut self) {
         for c in self.l1.iter_mut().chain(self.l2.iter_mut()).chain(self.l3.iter_mut()) {
@@ -245,6 +265,76 @@ impl CoreCaches<'_> {
         self.l3.span_miss_prefix(first_line, k)
     }
 
+    /// Install epochs of the three levels, oldest-first. A span proven
+    /// absent while the epochs read some value stays absent for as long
+    /// as they are unchanged: installs are the only mutation that can add
+    /// a cache member (see `Cache::installs`). [`MissProofMemo`] keys on
+    /// this to resume scanning from a cached frontier.
+    #[inline]
+    pub fn install_epochs(&self) -> [u64; 3] {
+        [self.l1.installs(), self.l2.installs(), self.l3.installs()]
+    }
+
+    /// Memo-assisted [`CoreCaches::span_miss_prefix`]: the same composed
+    /// prefix, but each level reuses its cached absence frontier and
+    /// scans only the window beyond it — proving up to `ahead` lines
+    /// past `first_line` when it scans at all, so one pass over the tag
+    /// array amortises across the many commits that stream through it.
+    ///
+    /// Every level's memo is re-keyed to its current epoch on the way
+    /// through (with an empty range when absence was refuted), so after
+    /// this call the whole memo is valid *now* — the precondition for
+    /// [`MissProofMemo::retire`] after the caller commits its installs.
+    pub fn span_miss_prefix_memo(&self, first_line: u64, n: u64, ahead: [u64; 3], memo: &mut MissProofMemo) -> u64 {
+        let mut k = n;
+        let levels: [&Cache; 3] = [self.l1, self.l2, self.l3];
+        for (l, c) in levels.into_iter().enumerate() {
+            let cur = c.installs();
+            let covered = memo.snap[l] == cur && first_line >= memo.start[l] && first_line < memo.end[l];
+            let proven = if covered { memo.end[l] - first_line } else { 0 };
+            if proven >= k {
+                continue;
+            }
+            // Certify absence over exactly the needed window first (the
+            // scan the memo-less proof would do), then extend the
+            // frontier with a *separate* probe of the lines ahead — so a
+            // refuted extension never costs the needed certificate, and
+            // each line's tags are scanned at most once between them.
+            if c.span_absent(first_line + proven, k - proven) {
+                let mut end = first_line + k;
+                let ext = ahead[l].saturating_sub(k);
+                // A refuted extension leaves a sticky frontier: a tag sat
+                // somewhere in the probed range, so re-probing before the
+                // window has moved past it would mostly refute again.
+                if ext > 0 && first_line >= memo.ext_skip[l] {
+                    if c.span_absent(first_line + k, ext) {
+                        end = first_line + k + ext;
+                    } else {
+                        memo.ext_skip[l] = first_line + ahead[l];
+                    }
+                }
+                memo.snap[l] = cur;
+                memo.start[l] = if covered { memo.start[l] } else { first_line };
+                memo.end[l] = end;
+                continue;
+            }
+            // Absence refuted: exact prefix over the remaining window.
+            // Survival-based claims are recency-sensitive (a hit could
+            // invalidate one without moving any install epoch), so they
+            // are never memoised — the level keeps an empty, freshly
+            // keyed range instead.
+            let ki = proven + c.span_miss_prefix(first_line + proven, k - proven);
+            memo.snap[l] = cur;
+            memo.start[l] = first_line + proven;
+            memo.end[l] = first_line + proven;
+            k = ki;
+            if k == 0 {
+                break;
+            }
+        }
+        k
+    }
+
     /// Commit a proven all-miss span into all three levels (inclusive
     /// fill), in closed form — bit-identical to `n` per-line DRAM-miss
     /// walks. See [`Cache::install_span`].
@@ -252,6 +342,64 @@ impl CoreCaches<'_> {
         self.l1.install_span(first_line, n);
         self.l2.install_span(first_line, n);
         self.l3.install_span(first_line, n);
+    }
+
+    /// Longest prefix of the consecutive-line span `[first_line,
+    /// first_line + n)` that provably resolves at one single cache level
+    /// for *every* line — the hit-side counterpart of
+    /// [`CoreCaches::span_miss_prefix`]. Returns the level and the prefix
+    /// length, or `None` when even the first line's level cannot be
+    /// proven uniform. Read-only.
+    ///
+    /// The composition narrows exactly like the miss proof: an L2-hit
+    /// prefix must first miss L1 (so the L2 window is L1's miss prefix),
+    /// an L3-hit prefix must miss L1 and L2. Each returned prefix is
+    /// exact *per level* — it ends at `n` or at the first line that
+    /// behaves differently at that level — so a warm rescan alternating
+    /// L1 hits and L2 hits still commits in closed-form pieces.
+    pub fn span_hit_prefix(&self, first_line: u64, n: u64) -> Option<(DataSource, u64)> {
+        let h1 = self.l1.span_hit_prefix(first_line, n);
+        if h1 > 0 {
+            return Some((DataSource::L1, h1));
+        }
+        // Line 0 misses L1 (the hit proof is exact), so the miss window
+        // below is non-empty whenever n > 0.
+        let m1 = self.l1.span_miss_prefix(first_line, n);
+        let h2 = self.l2.span_hit_prefix(first_line, m1);
+        if h2 > 0 {
+            return Some((DataSource::L2, h2));
+        }
+        let m2 = self.l2.span_miss_prefix(first_line, m1);
+        let h3 = self.l3.span_hit_prefix(first_line, m2);
+        if h3 > 0 {
+            return Some((DataSource::L3, h3));
+        }
+        None
+    }
+
+    /// Commit a span proven by [`CoreCaches::span_hit_prefix`] to resolve
+    /// wholly at `src`, bit-identical to `n` per-line walks: levels above
+    /// the hit install the line (inclusive fill, exactly the miss arm the
+    /// per-line walk runs), the hit level promotes, and levels below are
+    /// untouched. The caches are disjoint, so replaying each level's whole
+    /// span at once equals the per-line interleaving.
+    ///
+    /// # Panics
+    /// Panics if `src` is not one of the three cache levels.
+    pub fn commit_hit_span(&mut self, src: DataSource, first_line: u64, n: u64) {
+        match src {
+            DataSource::L1 => self.l1.promote_span(first_line, n),
+            DataSource::L2 => {
+                self.l1.install_span(first_line, n);
+                self.l2.promote_span(first_line, n);
+            }
+            DataSource::L3 => {
+                self.l1.install_span(first_line, n);
+                self.l2.install_span(first_line, n);
+                self.l3.promote_span(first_line, n);
+            }
+            other => panic!("commit_hit_span on non-cache source {other}"),
+        }
     }
 
     /// Commit a single proven-miss line into all three levels (inclusive
@@ -285,6 +433,59 @@ impl CoreCaches<'_> {
         self.l1.charge_misses(n);
         self.l2.charge_misses(n);
         self.l3.charge_misses(n);
+    }
+}
+
+/// Per-level memo of pure-absence miss proofs: lines `[start[l], end[l])`
+/// were proven absent from cache level `l` (see `Cache::span_absent`)
+/// while its install epoch read `snap[l]`. Absence is insensitive to
+/// recency — hits reorder, evictions remove, flushes clear — so the
+/// claim stays valid exactly until the level *installs*, and a thread
+/// whose own installs all land below the frontier can carry the claim
+/// across its commits via [`MissProofMemo::retire`]. Shared levels
+/// invalidate naturally: a sibling core's install moves the L3 epoch and
+/// only that level re-scans.
+#[derive(Debug, Clone, Copy)]
+pub struct MissProofMemo {
+    /// Install epoch each range was proven under; `u64::MAX` matches no
+    /// cache, so a fresh memo is invalid everywhere.
+    snap: [u64; 3],
+    start: [u64; 3],
+    end: [u64; 3],
+    /// Extension probes are skipped while the window start sits below
+    /// this line — set when a probe was refuted, so the (purely
+    /// advisory) widening is not re-attempted every commit against the
+    /// same resident tag.
+    ext_skip: [u64; 3],
+}
+
+impl Default for MissProofMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MissProofMemo {
+    /// A memo with no valid claims.
+    pub const fn new() -> Self {
+        Self { snap: [u64::MAX; 3], start: [0; 3], end: [0; 3], ext_skip: [0; 3] }
+    }
+
+    /// Advance the frontiers past a just-committed span ending at `below`
+    /// and re-key to the post-commit epochs `snap`.
+    ///
+    /// Sound only when (a) the memo was re-keyed by
+    /// [`CoreCaches::span_miss_prefix_memo`] since any foreign install,
+    /// and (b) every install since then lies below `below` or beyond
+    /// `horizon` — the fused paths' own commits satisfy (b) with
+    /// `horizon = u64::MAX`; the interleaved path passes the bound its
+    /// lane-disjointness check actually covered.
+    pub fn retire(&mut self, snap: [u64; 3], below: u64, horizon: u64) {
+        for (l, &s) in snap.iter().enumerate() {
+            self.snap[l] = s;
+            self.start[l] = self.start[l].max(below);
+            self.end[l] = self.end[l].min(horizon).max(self.start[l]);
+        }
     }
 }
 
@@ -414,6 +615,73 @@ mod tests {
             }
         }
         assert_eq!(a, b, "span walk diverged from per-line walk");
+    }
+
+    /// The hit-side closed form: spans resolving wholly in L1, L2 (after
+    /// L1-capacity eviction), and L3 (sibling-core sharing) must be
+    /// recognised at the right level, and committing them must leave all
+    /// three levels bit-identical to the per-line walk.
+    #[test]
+    fn hit_span_walk_matches_per_line_walk() {
+        let cfg = MachineConfig::tiny();
+        // tiny L1: 16 lines; L2: 128 lines; L3: 1024 lines.
+        let l1_lines = cfg.cache.l1.size / cfg.cache.line_size;
+        let l2_lines = cfg.cache.l2.size / cfg.cache.line_size;
+
+        // Drive both twins through the same schedule; b uses the proof +
+        // commit path wherever it fires.
+        let mut a = hier();
+        let mut b = hier();
+        let drive = |a: &mut Hierarchy, b: &mut Hierarchy, core: u32, first: u64, n: u64, want: Option<DataSource>| {
+            for line in first..first + n {
+                a.cache_access(CoreId(core), line * 64);
+            }
+            let mut cc = b.core_caches(CoreId(core));
+            let mut cur = first;
+            let mut rem = n;
+            while rem > 0 {
+                if let Some((src, k)) = cc.span_hit_prefix(cur, rem) {
+                    if let Some(w) = want {
+                        assert_eq!(src, w, "span [{cur}, +{rem}) proved at wrong level");
+                    }
+                    cc.commit_hit_span(src, cur, k);
+                    cur += k;
+                    rem -= k;
+                    continue;
+                }
+                let k = cc.span_miss_prefix(cur, rem);
+                if k > 0 {
+                    cc.install_span(cur, k);
+                    cur += k;
+                    rem -= k;
+                } else {
+                    cc.access(cur * 64);
+                    cur += 1;
+                    rem -= 1;
+                }
+            }
+        };
+
+        // Warm an L1-sized set, rescan: pure L1 hits.
+        drive(&mut a, &mut b, 0, 0, l1_lines, None);
+        drive(&mut a, &mut b, 0, 0, l1_lines, Some(DataSource::L1));
+        // Warm an L2-sized footprint (evicts L1), rescan: L2 hits with a
+        // leading stretch of L1 hits from the tail of the warmup.
+        drive(&mut a, &mut b, 0, 0, l2_lines, None);
+        drive(&mut a, &mut b, 0, 0, l2_lines / 2, Some(DataSource::L2));
+        // A sibling core on the same node reads what core 0 pulled into
+        // the shared L3: its private levels are cold, so L3 hits.
+        drive(&mut a, &mut b, 1, 0, l2_lines / 2, Some(DataSource::L3));
+        assert_eq!(a, b, "hit-span walk diverged from per-line walk");
+
+        // And an adversarial mixed schedule with no level expectations:
+        // overlapping spans from three cores across both nodes.
+        for &(core, first, n) in
+            &[(0u32, 0u64, 300u64), (1, 100, 64), (2, 0, 200), (0, 0, 300), (1, 90, 80), (2, 0, 200), (0, 5, 17)]
+        {
+            drive(&mut a, &mut b, core, first, n, None);
+        }
+        assert_eq!(a, b, "mixed hit/miss walk diverged from per-line walk");
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub mod fp;
 pub mod hierarchy;
 pub mod memmap;
 pub mod sched;
+pub mod shard;
+// The one crate module allowed to use `unsafe`: hand-written SIMD
+// intrinsics, each block carrying a SAFETY proof and a scalar twin
+// differential-tested against it.
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod stats;
 pub mod topology;
 

@@ -1,0 +1,376 @@
+//! Deterministic intra-run sharding: one simulation's per-core state
+//! partitioned across host threads, bit-identical to the
+//! single-host-thread batched walk for every shard count.
+//!
+//! ## Why sharding can be exact
+//!
+//! The batched engine's unit of work is a *thread slice*: one simulated
+//! thread advanced to the round boundary
+//! (`engine::run_thread_slice`). Within a round, slices of
+//! different threads interact only through four channels, and each one
+//! either cannot observe intra-round ordering or can be replayed:
+//!
+//! 1. **Caches.** L1/L2 are per core and the L3 is per node, so threads
+//!    on different NUMA nodes share *no* cache. Each shard owns a set of
+//!    nodes and runs their threads against a private [`Hierarchy`]
+//!    clone; at phase end the canonical hierarchy adopts each owned
+//!    node's caches back (`Hierarchy::adopt_node_from`).
+//! 2. **Bandwidth accounting.** Within a round the engine only *reads*
+//!    congestion factors (they change exclusively at
+//!    [`BandwidthModel::end_round`]) and *accumulates* byte demand. The
+//!    demand accumulators only ever receive whole cache lines, so every
+//!    partial sum is an exact integer and summing the shards' demands is
+//!    order-independent (`BandwidthModel::absorb_round_bytes`).
+//! 3. **First-touch placement.** Shard-private [`MemoryMap`] clones log
+//!    every placement they establish (`FirstTouchClaim`); the merge
+//!    re-establishes the union everywhere. Two shards touching the same
+//!    page from different nodes in one round is a genuine ordering race
+//!    the unsharded engine would resolve by global event order — that
+//!    case panics instead of silently diverging (real workloads
+//!    establish placement in a single-threaded init phase, like the
+//!    paper's master-alloc pattern, and never race).
+//! 4. **The observer.** Each shard drives a `ShardScribe`: a clone of
+//!    the real observer that answers `on_access`/`run_hint` from
+//!    shard-local state while logging the full call sequence. At each
+//!    round boundary the logs are replayed into the *canonical* observer
+//!    in global registration order, which reproduces exactly the call
+//!    sequence — and therefore the samples, counters, and jitter salts —
+//!    of the unsharded run. The clone's own recorded artifacts are
+//!    discarded.
+//!
+//! ## The observer contract
+//!
+//! Replay is sound for observers whose *feedback into the engine* — the
+//! `on_access` perturbation cost and the `run_hint` budget — depends
+//! only on per-thread state and the event itself. Globally-salted state
+//! (e.g. the PEBS sampler's latency jitter over its `observed` counter)
+//! may shape *recorded artifacts* freely: those are produced by the
+//! replay, which sees the global order. Every replayed call asserts that
+//! the canonical observer answers bit-identically to what the shard's
+//! clone returned, so a violating observer fails loudly rather than
+//! silently diverging.
+//!
+//! ## Round protocol
+//!
+//! Shards run under `std::thread::scope` with the caller's thread acting
+//! as shard 0's runner and the merger. Two barriers frame each round:
+//! after `start` every shard runs its threads' slices for the round;
+//! after `done` the merger (alone — the workers are parked at the next
+//! `start`) replays observer logs in registration order, folds byte
+//! demand into the canonical bandwidth model, closes the round, and
+//! redistributes the post-round model and first-touch claims to every
+//! shard. Node→shard assignment is a pure function of the thread specs
+//! (distinct nodes in ascending order, round-robin over shards), so runs
+//! are reproducible regardless of host scheduling.
+
+use crate::bandwidth::BandwidthModel;
+use crate::config::MachineConfig;
+use crate::engine::{
+    collect_run_stats, run_thread_slice, AccessEvent, Engine, Observer, SliceConsts, ThreadCtx, ThreadSpec,
+};
+use crate::hierarchy::Hierarchy;
+use crate::memmap::{FirstTouchClaim, MemoryMap};
+use crate::stats::{AccessCounts, RunStats};
+use crate::topology::{NodeId, ThreadId};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// One logged observer call (see [`ShardScribe`]). The scribe records
+/// the full call sequence so the round merge can replay it into the
+/// canonical observer verbatim.
+enum ObsRec {
+    /// An `on_access` delivery and the perturbation cost the shard's
+    /// clone returned (asserted against the canonical replay).
+    Ev { ev: AccessEvent, cost: f64 },
+    /// A `run_hint` query and the budget the clone granted.
+    Hint { thread: ThreadId, hint: u64 },
+    /// An `on_run` bulk commit of `n` skipped events.
+    Run { thread: ThreadId, n: u64 },
+}
+
+/// Shard-local observer: a clone of the real observer that supplies the
+/// engine's feedback (costs, budgets) from shard-local per-thread state
+/// while logging every call for the round merge's global-order replay.
+struct ShardScribe<O: Observer> {
+    inner: O,
+    recs: Vec<ObsRec>,
+}
+
+impl<O: Observer> Observer for ShardScribe<O> {
+    #[inline]
+    fn on_access(&mut self, ev: &AccessEvent) -> f64 {
+        let cost = self.inner.on_access(ev);
+        self.recs.push(ObsRec::Ev { ev: *ev, cost });
+        cost
+    }
+
+    #[inline]
+    fn run_hint(&mut self, thread: ThreadId) -> u64 {
+        let hint = self.inner.run_hint(thread);
+        self.recs.push(ObsRec::Hint { thread, hint });
+        hint
+    }
+
+    #[inline]
+    fn on_run(&mut self, thread: ThreadId, n: u64) {
+        self.inner.on_run(thread, n);
+        self.recs.push(ObsRec::Run { thread, n });
+    }
+
+    // `on_phase_end` and `set_enabled` are never routed through a scribe:
+    // the engine calls them on the canonical observer only.
+}
+
+/// Everything one shard owns: its threads (tagged with their global
+/// registration index), private clones of the mutable machine state, and
+/// the round's observer log.
+struct ShardState<O: Observer> {
+    /// `(global registration index, context)` in registration order.
+    ctxs: Vec<(usize, ThreadCtx)>,
+    hierarchy: Hierarchy,
+    bw: BandwidthModel,
+    memmap: MemoryMap,
+    scribe: ShardScribe<O>,
+    counts: AccessCounts,
+    /// Threads of this shard still running.
+    live: usize,
+    /// This shard's copy of the round boundary — the same `+= round`
+    /// recurrence as the unsharded loop, so the values are bit-identical.
+    round_end: f64,
+    /// This round's per-slice log extents, in execution order.
+    slices: Vec<(usize, Range<usize>)>,
+    /// NUMA nodes this shard owns (for the phase-end cache adoption).
+    nodes: Vec<NodeId>,
+}
+
+/// Run one round of a shard: every live thread gets one slice against
+/// the shard-private state, logging its observer traffic.
+fn run_shard_round<O: Observer>(cfg: &MachineConfig, sc: &SliceConsts, s: &mut ShardState<O>, round: f64) {
+    let ShardState { ctxs, hierarchy, bw, memmap, scribe, counts, live, round_end, slices, .. } = s;
+    for (gidx, t) in ctxs.iter_mut() {
+        if t.done {
+            continue;
+        }
+        let mark = scribe.recs.len();
+        let finished = run_thread_slice(cfg, sc, hierarchy, bw, memmap, scribe, counts, t, *round_end);
+        if finished {
+            *live -= 1;
+        }
+        if scribe.recs.len() > mark {
+            slices.push((*gidx, mark..scribe.recs.len()));
+        }
+    }
+    *round_end += round;
+}
+
+/// Replay one slice's observer log into the canonical observer,
+/// asserting that it answers exactly as the shard's clone did.
+fn replay<O: Observer>(observer: &mut O, recs: &[ObsRec]) {
+    for rec in recs {
+        match rec {
+            ObsRec::Ev { ev, cost } => {
+                let c = observer.on_access(ev);
+                assert!(
+                    c.to_bits() == cost.to_bits(),
+                    "observer broke the shard-local determinism contract: \
+                     perturbation {c} on replay vs {cost} in the shard"
+                );
+            }
+            ObsRec::Hint { thread, hint } => {
+                let h = observer.run_hint(*thread);
+                assert_eq!(
+                    h, *hint,
+                    "observer broke the shard-local determinism contract: \
+                     run_hint differs between replay and shard"
+                );
+            }
+            ObsRec::Run { thread, n } => observer.on_run(*thread, *n),
+        }
+    }
+}
+
+/// Lock ignoring poisoning: a panic in a shard is recorded and re-raised
+/// by the round protocol itself, after which no shard state is trusted
+/// anyway.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The sharded phase driver behind `Engine::run_phase_sharded`. See the
+/// module docs for the protocol.
+pub(crate) fn run_phase_sharded<O: Observer + Clone + Send>(
+    eng: &mut Engine<O>,
+    threads: Vec<ThreadSpec>,
+    shards: usize,
+) -> RunStats {
+    assert!(shards >= 1, "shards must be at least 1");
+    // Node→shard assignment: distinct nodes with threads, ascending,
+    // round-robin over the effective shard count. A pure function of the
+    // specs, so identical runs shard identically.
+    let mut nodes: Vec<NodeId> = threads.iter().map(|s| eng.cfg.topology.node_of_core(s.core)).collect();
+    nodes.sort_unstable_by_key(|n| n.0);
+    nodes.dedup();
+    let eff = shards.min(nodes.len());
+    if eff <= 1 {
+        // One shard is definitionally the unsharded walk.
+        return eng.run_phase(threads);
+    }
+
+    let ctxs = eng.make_ctxs(threads);
+    let nthreads = ctxs.len();
+    eng.bw.reset();
+    let round = eng.cfg.engine.round_cycles;
+    let consts = SliceConsts::new(&eng.cfg, eng.max_run);
+
+    // Split field borrows: workers share the config read-only while the
+    // merger mutates the canonical bandwidth model, memory map, and
+    // observer between rounds.
+    let cfg = &eng.cfg;
+    let hierarchy = &mut eng.hierarchy;
+    let bw = &mut eng.bw;
+    let memmap = &mut eng.memmap;
+    let observer = &mut eng.observer;
+
+    let mut states: Vec<ShardState<O>> = (0..eff)
+        .map(|i| ShardState {
+            ctxs: Vec::new(),
+            hierarchy: hierarchy.clone(),
+            bw: bw.clone(),
+            memmap: {
+                let mut m = memmap.clone();
+                m.set_claim_tracking(true);
+                m
+            },
+            scribe: ShardScribe { inner: observer.clone(), recs: Vec::new() },
+            counts: AccessCounts::default(),
+            live: 0,
+            round_end: round,
+            slices: Vec::new(),
+            nodes: nodes.iter().copied().enumerate().filter(|(p, _)| p % eff == i).map(|(_, n)| n).collect(),
+        })
+        .collect();
+    for (gidx, t) in ctxs.into_iter().enumerate() {
+        let si = nodes.iter().position(|&n| n == t.node).expect("ctx node is in the node list") % eff;
+        states[si].live += 1;
+        states[si].ctxs.push((gidx, t));
+    }
+
+    let slots: Vec<Mutex<ShardState<O>>> = states.into_iter().map(Mutex::new).collect();
+    let start = Barrier::new(eff);
+    let done = Barrier::new(eff);
+    let stop = AtomicBool::new(false);
+    // A panic anywhere — a shard's stream, the merge's replay asserts,
+    // the designed first-touch conflict — must not strand the barrier
+    // protocol. The panicking side records its payload, every side keeps
+    // hitting its barriers, and the merger re-raises after releasing the
+    // workers.
+    let failure: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let record_failure = |p: Box<dyn std::any::Any + Send>| {
+        lock(&failure).get_or_insert(p);
+    };
+    let run_round = |slot: &Mutex<ShardState<O>>| {
+        // Uncontended by protocol; the lock exists so the merger's
+        // access between rounds is compiler-checked.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_shard_round(cfg, &consts, &mut lock(slot), round);
+        }));
+        if let Err(p) = r {
+            record_failure(p);
+        }
+    };
+    std::thread::scope(|scope| {
+        for slot in slots.iter().skip(1) {
+            let (run_round, start, done, stop) = (&run_round, &start, &done, &stop);
+            scope.spawn(move || loop {
+                start.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                run_round(slot);
+                done.wait();
+            });
+        }
+        loop {
+            start.wait();
+            run_round(&slots[0]);
+            done.wait();
+            // ---- merge: workers are parked at the next `start` ----
+            let merge = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut guards: Vec<_> = slots.iter().map(lock).collect();
+                let mut live_total = 0usize;
+                let mut claims: Vec<FirstTouchClaim> = Vec::new();
+                let mut merged: Vec<(usize, usize, Range<usize>)> = Vec::new();
+                for (si, g) in guards.iter_mut().enumerate() {
+                    live_total += g.live;
+                    for (gidx, range) in g.slices.drain(..) {
+                        merged.push((gidx, si, range));
+                    }
+                    claims.extend(g.memmap.take_claims());
+                    // Exact integer sums: order-independent, so shard
+                    // order reproduces the interleaved accumulation.
+                    bw.absorb_round_bytes(&g.bw);
+                }
+                // Global registration order — each live thread ran
+                // exactly one slice, so this is the unsharded visit
+                // order.
+                merged.sort_unstable_by_key(|&(gidx, _, _)| gidx);
+                for &(_, si, ref range) in &merged {
+                    replay(observer, &guards[si].scribe.recs[range.clone()]);
+                }
+                // First-touch union: idempotent on the claiming shard,
+                // panics on a genuine same-round cross-shard race.
+                for c in &claims {
+                    memmap.establish_first_touch(*c);
+                    for g in guards.iter_mut() {
+                        g.memmap.establish_first_touch(*c);
+                    }
+                }
+                bw.end_round();
+                for g in guards.iter_mut() {
+                    g.scribe.recs.clear();
+                    g.bw.clone_from(bw);
+                }
+                live_total
+            }));
+            let live_total = match merge {
+                Ok(n) => n,
+                Err(p) => {
+                    record_failure(p);
+                    0
+                }
+            };
+            if live_total == 0 || lock(&failure).is_some() {
+                stop.store(true, Ordering::Release);
+                start.wait();
+                break;
+            }
+        }
+    });
+    if let Some(p) = failure.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        std::panic::resume_unwind(p);
+    }
+
+    // Phase assembly: adopt each shard's owned caches, collect clocks by
+    // registration index, and sum the (exact, commutative) event counts.
+    let mut clocks = vec![0.0f64; nthreads];
+    let mut counts = AccessCounts::default();
+    for slot in slots {
+        let s = slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for &n in &s.nodes {
+            hierarchy.adopt_node_from(&s.hierarchy, n);
+        }
+        for (gidx, t) in &s.ctxs {
+            clocks[*gidx] = t.clock;
+        }
+        counts.l1 += s.counts.l1;
+        counts.l2 += s.counts.l2;
+        counts.l3 += s.counts.l3;
+        counts.lfb += s.counts.lfb;
+        counts.local_dram += s.counts.local_dram;
+        counts.remote_dram += s.counts.remote_dram;
+    }
+    let stats = collect_run_stats(bw, clocks, counts);
+    observer.on_phase_end(&stats);
+    stats
+}

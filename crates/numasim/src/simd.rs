@@ -1,0 +1,371 @@
+//! Explicit SIMD kernels for the cache span walk.
+//!
+//! [`crate::cache::Cache::span_miss_prefix`] reduces its two hot scans to
+//! branch-free `u64` arithmetic precisely so they vectorize:
+//!
+//! * **`any_ge`** — is any element `>= first`? Since every tag and bound
+//!   is `< 2^63` (a byte address divided by the line size), `m >= first`
+//!   iff `m.wrapping_sub(first)` does not borrow, i.e. its sign bit is
+//!   clear. AND-reducing the raw differences and testing the accumulated
+//!   sign bit answers the question with one subtract and one AND per
+//!   element.
+//! * **`any_near`** — does any element `t` satisfy
+//!   `(t - first) >> shift == 0`, i.e. lie in `[first, first + 2^shift)`?
+//!   Zero-detect via `(x - 1) & !x`, whose sign bit is set only for
+//!   `x == 0`, OR-reduced over the slice.
+//!
+//! Both are pure boolean reductions over independent elements, so any
+//! grouping of the work — scalar chunks, 128-bit lanes, 256-bit lanes —
+//! computes the *same* answer: there is no floating point and no order
+//! dependence, which is what makes the SIMD paths trivially bit-identical
+//! to the scalar twins (property-tested below).
+//!
+//! This module hand-writes the kernels on `core::arch::x86_64` instead of
+//! hoping for autovectorization: SSE2 (the x86-64 baseline) has no packed
+//! 64-bit compare, but the borrow-sign and zero-detect formulations need
+//! only `sub`/`and`/`andnot`/`srl`/`movemask`, all SSE2. A wider AVX2
+//! path is selected by runtime detection. The scalar twins are always
+//! compiled (and exercised by tests on every target); non-x86-64 builds
+//! dispatch to them unconditionally, and setting the `DRBW_NO_SIMD`
+//! environment variable forces them at runtime for ablation.
+//!
+//! Scans early-exit per 128-element chunk: the common caller streams
+//! forward through a cold region, where the very first chunk usually
+//! decides the answer, but an L3 window can cover 32 K tag slots.
+
+/// Elements per early-exit chunk, matching the pre-SIMD scalar loops.
+const CHUNK: usize = 128;
+
+/// Instruction set selected once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Isa {
+    /// Portable scalar twins (non-x86-64, or `DRBW_NO_SIMD` set).
+    Scalar,
+    /// 128-bit baseline x86-64 path.
+    #[cfg(target_arch = "x86_64")]
+    Sse2,
+    /// 256-bit path, runtime-detected.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// The ISA the dispatchers use, resolved once: `DRBW_NO_SIMD` (any value
+/// but `0` or empty) forces scalar; otherwise the widest supported path.
+fn isa() -> Isa {
+    static ISA: std::sync::OnceLock<Isa> = std::sync::OnceLock::new();
+    *ISA.get_or_init(|| {
+        let disabled = std::env::var_os("DRBW_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0");
+        if disabled {
+            return Isa::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Isa::Avx2
+            } else {
+                // SSE2 is part of the x86-64 baseline: always present.
+                Isa::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Isa::Scalar
+    })
+}
+
+/// Whether the dispatchers are currently using a SIMD path (for bench
+/// reporting; `false` under `DRBW_NO_SIMD` or on non-x86-64 targets).
+pub fn simd_active() -> bool {
+    isa() != Isa::Scalar
+}
+
+/// True iff any element of `slice` is `>= first`, assuming every element
+/// and `first` are below `2^63` (as all line numbers and set bounds are).
+#[inline]
+pub fn any_ge(slice: &[u64], first: u64) -> bool {
+    match isa() {
+        Isa::Scalar => any_ge_scalar(slice, first),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally available on x86_64.
+        Isa::Sse2 => unsafe { any_ge_sse2(slice, first) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `isa()` returned Avx2 only after runtime detection.
+        Isa::Avx2 => unsafe { any_ge_avx2(slice, first) },
+    }
+}
+
+/// True iff any element `t` of `slice` satisfies
+/// `(t.wrapping_sub(first)) >> shift == 0`, i.e. lies in the widened
+/// window `[first, first + 2^shift)`. Requires `shift < 64`.
+#[inline]
+pub fn any_near(slice: &[u64], first: u64, shift: u32) -> bool {
+    debug_assert!(shift < 64, "shift must leave a non-empty window");
+    match isa() {
+        Isa::Scalar => any_near_scalar(slice, first, shift),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally available on x86_64.
+        Isa::Sse2 => unsafe { any_near_sse2(slice, first, shift) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `isa()` returned Avx2 only after runtime detection.
+        Isa::Avx2 => unsafe { any_near_avx2(slice, first, shift) },
+    }
+}
+
+/// Scalar twin of [`any_ge`]: the reference semantics every SIMD path
+/// must reproduce bit-for-bit.
+pub(crate) fn any_ge_scalar(slice: &[u64], first: u64) -> bool {
+    slice.chunks(CHUNK).any(|chunk| {
+        let mut signs = u64::MAX;
+        for &m in chunk {
+            signs &= m.wrapping_sub(first);
+        }
+        signs >> 63 == 0
+    })
+}
+
+/// Scalar twin of [`any_near`].
+pub(crate) fn any_near_scalar(slice: &[u64], first: u64, shift: u32) -> bool {
+    slice.chunks(CHUNK).any(|chunk| {
+        let mut zero_signs = 0u64;
+        for &t in chunk {
+            let x = t.wrapping_sub(first) >> shift;
+            zero_signs |= x.wrapping_sub(1) & !x;
+        }
+        zero_signs >> 63 != 0
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::CHUNK;
+    use core::arch::x86_64::*;
+
+    /// `_mm_movemask_epi8` bits for the sign bytes of the two u64 lanes
+    /// of a 128-bit vector (bytes 7 and 15).
+    const SIGNS_128: i32 = 0x8080;
+    /// `_mm256_movemask_epi8` bits for the sign bytes of the four u64
+    /// lanes of a 256-bit vector (bytes 7, 15, 23, 31).
+    const SIGNS_256: i32 = 0x8080_8080u32 as i32;
+
+    /// SSE2 [`super::any_ge`]: AND-reduce `m - first` over two lanes at a
+    /// time; a chunk is suspect iff either accumulated sign bit is clear.
+    ///
+    /// # Safety
+    /// Requires SSE2 (always present on x86_64).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn any_ge_sse2(slice: &[u64], first: u64) -> bool {
+        let vfirst = _mm_set1_epi64x(first as i64);
+        slice.chunks(CHUNK).any(|chunk| {
+            // SAFETY: intrinsics below read only through `loadu` (no
+            // alignment requirement) at `ptr..ptr + 2` for each pair
+            // yielded by `chunks_exact(2)`, which stays in bounds.
+            unsafe {
+                let mut acc = _mm_set1_epi64x(-1);
+                let pairs = chunk.chunks_exact(2);
+                let tail = pairs.remainder();
+                for pair in pairs {
+                    let v = _mm_loadu_si128(pair.as_ptr() as *const __m128i);
+                    acc = _mm_and_si128(acc, _mm_sub_epi64(v, vfirst));
+                }
+                let mut signs_clear = _mm_movemask_epi8(acc) & SIGNS_128 != SIGNS_128;
+                for &m in tail {
+                    signs_clear |= m.wrapping_sub(first) >> 63 == 0;
+                }
+                signs_clear
+            }
+        })
+    }
+
+    /// SSE2 [`super::any_near`]: `(x - 1) & !x` zero-detect, OR-reduced;
+    /// a chunk matches iff any accumulated sign bit is set.
+    ///
+    /// # Safety
+    /// Requires SSE2 (always present on x86_64). `shift < 64`.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn any_near_sse2(slice: &[u64], first: u64, shift: u32) -> bool {
+        let (vfirst, vshift, ones) =
+            (_mm_set1_epi64x(first as i64), _mm_cvtsi64_si128(shift as i64), _mm_set1_epi64x(1));
+        slice.chunks(CHUNK).any(|chunk| {
+            // SAFETY: as in `any_ge_sse2`, all loads are unaligned reads
+            // of in-bounds pairs from `chunks_exact(2)`.
+            unsafe {
+                let mut acc = _mm_setzero_si128();
+                let pairs = chunk.chunks_exact(2);
+                let tail = pairs.remainder();
+                for pair in pairs {
+                    let v = _mm_loadu_si128(pair.as_ptr() as *const __m128i);
+                    let x = _mm_srl_epi64(_mm_sub_epi64(v, vfirst), vshift);
+                    acc = _mm_or_si128(acc, _mm_andnot_si128(x, _mm_sub_epi64(x, ones)));
+                }
+                let mut found = _mm_movemask_epi8(acc) & SIGNS_128 != 0;
+                for &t in tail {
+                    let x = t.wrapping_sub(first) >> shift;
+                    found |= (x.wrapping_sub(1) & !x) >> 63 != 0;
+                }
+                found
+            }
+        })
+    }
+
+    /// AVX2 [`super::any_ge`]: four lanes per step.
+    ///
+    /// # Safety
+    /// Requires AVX2 (callers must have runtime-detected it).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn any_ge_avx2(slice: &[u64], first: u64) -> bool {
+        let vfirst = _mm256_set1_epi64x(first as i64);
+        slice.chunks(CHUNK).any(|chunk| {
+            // SAFETY: unaligned 256-bit loads over in-bounds quads from
+            // `chunks_exact(4)`.
+            unsafe {
+                let mut acc = _mm256_set1_epi64x(-1);
+                let quads = chunk.chunks_exact(4);
+                let tail = quads.remainder();
+                for quad in quads {
+                    let v = _mm256_loadu_si256(quad.as_ptr() as *const __m256i);
+                    acc = _mm256_and_si256(acc, _mm256_sub_epi64(v, vfirst));
+                }
+                let mut signs_clear = _mm256_movemask_epi8(acc) & SIGNS_256 != SIGNS_256;
+                for &m in tail {
+                    signs_clear |= m.wrapping_sub(first) >> 63 == 0;
+                }
+                signs_clear
+            }
+        })
+    }
+
+    /// AVX2 [`super::any_near`]: four lanes per step.
+    ///
+    /// # Safety
+    /// Requires AVX2 (callers must have runtime-detected it). `shift < 64`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn any_near_avx2(slice: &[u64], first: u64, shift: u32) -> bool {
+        let (vfirst, vshift, ones) =
+            (_mm256_set1_epi64x(first as i64), _mm_cvtsi64_si128(shift as i64), _mm256_set1_epi64x(1));
+        slice.chunks(CHUNK).any(|chunk| {
+            // SAFETY: unaligned 256-bit loads over in-bounds quads from
+            // `chunks_exact(4)`.
+            unsafe {
+                let mut acc = _mm256_setzero_si256();
+                let quads = chunk.chunks_exact(4);
+                let tail = quads.remainder();
+                for quad in quads {
+                    let v = _mm256_loadu_si256(quad.as_ptr() as *const __m256i);
+                    let x = _mm256_srl_epi64(_mm256_sub_epi64(v, vfirst), vshift);
+                    acc = _mm256_or_si256(acc, _mm256_andnot_si256(x, _mm256_sub_epi64(x, ones)));
+                }
+                let mut found = _mm256_movemask_epi8(acc) & SIGNS_256 != 0;
+                for &t in tail {
+                    let x = t.wrapping_sub(first) >> shift;
+                    found |= (x.wrapping_sub(1) & !x) >> 63 != 0;
+                }
+                found
+            }
+        })
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{any_ge_avx2, any_ge_sse2, any_near_avx2, any_near_sse2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain-definition oracle: the predicate each formulation encodes.
+    fn oracle_ge(slice: &[u64], first: u64) -> bool {
+        // The borrow-sign trick assumes operands below 2^63; the oracle
+        // mirrors that domain by comparing the wrapped difference's sign.
+        slice.iter().any(|&m| m.wrapping_sub(first) >> 63 == 0)
+    }
+
+    fn oracle_near(slice: &[u64], first: u64, shift: u32) -> bool {
+        slice.iter().any(|&t| t.wrapping_sub(first) >> shift == 0)
+    }
+
+    /// Deterministic pseudo-random u64s (splitmix64).
+    fn rand_vec(seed: u64, len: usize, mask: u64) -> Vec<u64> {
+        let mut z = seed;
+        (0..len)
+            .map(|_| {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (x ^ (x >> 31)) & mask
+            })
+            .collect()
+    }
+
+    /// Every compiled implementation against the oracle and each other,
+    /// over random slices of many lengths (exercising vector bodies and
+    /// scalar tails), boundary values, and the INVALID (u64::MAX) marker
+    /// real tag arrays contain.
+    #[test]
+    fn all_paths_agree_with_scalar_and_oracle() {
+        let mut cases: Vec<(Vec<u64>, u64, u32)> = Vec::new();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 127, 128, 129, 255, 256, 1000] {
+            for seed in [1u64, 42, 9999] {
+                // Values clustered near `first` so both outcomes occur.
+                let v = rand_vec(seed, len, 0xFFFF);
+                cases.push((v, 0x8000, 4));
+            }
+            // Full-range values including the sign-bit domain edge.
+            cases.push((rand_vec(7 + len as u64, len, u64::MAX >> 1), 1 << 62, 40));
+            // INVALID markers (u64::MAX) mixed in, as cold tag arrays have.
+            let mut v = rand_vec(len as u64 + 13, len, 0xFFF);
+            for (i, slot) in v.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *slot = u64::MAX;
+                }
+            }
+            cases.push((v, 0x800, 8));
+        }
+        // Exact-boundary probes: first-1, first, first + 2^shift - 1,
+        // first + 2^shift.
+        for val in [0x7FFu64, 0x800, 0x8FF, 0x900] {
+            cases.push((vec![val; 5], 0x800, 8));
+        }
+        for (v, first, shift) in &cases {
+            let (v, first, shift) = (v.as_slice(), *first, *shift);
+            assert_eq!(any_ge_scalar(v, first), oracle_ge(v, first), "ge scalar vs oracle");
+            assert_eq!(any_near_scalar(v, first, shift), oracle_near(v, first, shift), "near scalar vs oracle");
+            // Dispatcher (whatever ISA the host picked) == scalar.
+            assert_eq!(any_ge(v, first), any_ge_scalar(v, first), "ge dispatch vs scalar");
+            assert_eq!(any_near(v, first, shift), any_near_scalar(v, first, shift), "near dispatch vs scalar");
+            // Each intrinsic path directly, independent of DRBW_NO_SIMD.
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: SSE2 is unconditionally available on x86_64.
+                unsafe {
+                    assert_eq!(any_ge_sse2(v, first), any_ge_scalar(v, first), "ge sse2");
+                    assert_eq!(any_near_sse2(v, first, shift), any_near_scalar(v, first, shift), "near sse2");
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: AVX2 just runtime-detected.
+                    unsafe {
+                        assert_eq!(any_ge_avx2(v, first), any_ge_scalar(v, first), "ge avx2");
+                        assert_eq!(any_near_avx2(v, first, shift), any_near_scalar(v, first, shift), "near avx2");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The chunked early-exit must not change the answer: a matching
+    /// element is found no matter which chunk it sits in.
+    #[test]
+    fn chunk_boundaries_do_not_lose_matches() {
+        for pos in [0usize, 1, 63, 127, 128, 129, 300, 511] {
+            let mut v = vec![5u64; 512]; // all far below `first`
+            v[pos] = 0x4000; // the single element >= first
+            assert!(any_ge(&v, 0x4000), "match at {pos} missed");
+            assert!(any_ge_scalar(&v, 0x4000));
+            let mut w = vec![u64::MAX - 7; 512]; // wraps far outside window
+            w[pos] = 0x4002; // inside [0x4000, 0x4000 + 2^4)
+            assert!(any_near(&w, 0x4000, 4), "near match at {pos} missed");
+            assert!(any_near_scalar(&w, 0x4000, 4));
+        }
+        assert!(!any_ge(&[], 5));
+        assert!(!any_near(&[], 5, 3));
+    }
+}

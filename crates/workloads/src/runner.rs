@@ -73,7 +73,7 @@ impl RunOutcome {
     }
 }
 
-fn execute<O: Observer>(
+fn execute<O: Observer + Clone + Send>(
     workload: &dyn Workload,
     mcfg: &MachineConfig,
     run: &RunConfig,
@@ -103,7 +103,9 @@ fn execute<O: Observer>(
         if phase.warmup {
             engine.observer_mut().set_enabled(false);
         }
-        let stats = engine.run_phase(phase.threads);
+        // Honors `cfg.engine.shards` (and through it `DRBW_SHARDS`);
+        // results are bit-identical for every shard count.
+        let stats = engine.run_phase_auto(phase.threads);
         if phase.warmup {
             engine.observer_mut().set_enabled(true);
         }
@@ -117,7 +119,7 @@ fn execute<O: Observer>(
 /// IBM-MRK sampling backends). Returns the phase outcomes, the allocation
 /// tracker, and the observer itself (holding whatever it collected).
 /// Warmup phases disable the observer via [`Observer::set_enabled`].
-pub fn run_observed<O: Observer>(
+pub fn run_observed<O: Observer + Clone + Send>(
     workload: &dyn Workload,
     mcfg: &MachineConfig,
     run_cfg: &RunConfig,

@@ -107,12 +107,17 @@ struct Outcome {
 }
 
 fn run_sampled(exec: ExecMode, schedule: Option<&[u64]>) -> Outcome {
+    run_sampled_sharded(exec, schedule, 1)
+}
+
+fn run_sampled_sharded(exec: ExecMode, schedule: Option<&[u64]>, shards: usize) -> Outcome {
     let mut cfg = MachineConfig::scaled();
     cfg.engine.exec = exec;
+    cfg.engine.shards = shards;
     let mut mm = MemoryMap::new(&cfg);
     let threads = make_threads(&cfg, &mut mm, schedule);
     let mut eng = Engine::new(&cfg, mm, sampler());
-    let stats = eng.run_phase(threads);
+    let stats = eng.run_phase_auto(threads);
     let (_, s) = eng.into_parts();
     Outcome {
         stats,
@@ -135,6 +140,36 @@ fn batched_reproduces_reference_bit_for_bit() {
     for schedule in schedules {
         let batched = run_sampled(ExecMode::Batched, schedule);
         assert_eq!(batched, reference, "batched run (schedule {schedule:?}) diverged");
+    }
+}
+
+/// The sharding guarantee (ISSUE 9 acceptance): partitioning one
+/// simulation's nodes over N host threads reproduces the single-threaded
+/// reference **bit for bit** — `RunStats` (hence channel bytes), the full
+/// sample log (whose jitter is salted on the *global* observed counter),
+/// and both sampler counters — for every N, including N beyond the node
+/// count (clamped) and N=1 (delegates to the classic loop).
+#[test]
+fn sharded_runs_reproduce_reference_bit_for_bit() {
+    let reference = run_sampled(ExecMode::Reference, None);
+    assert!(!reference.samples.is_empty(), "phase must actually sample");
+    for shards in [1usize, 2, 3, 4, 8] {
+        let sharded = run_sampled_sharded(ExecMode::Batched, None, shards);
+        assert_eq!(sharded, reference, "sharded run (shards={shards}) diverged");
+    }
+}
+
+/// Sharding composes with run-schedule chopping: boundary-desynchronized
+/// slices inside each shard still merge back to the reference.
+#[test]
+fn sharded_runs_with_schedules_reproduce_reference() {
+    let reference = run_sampled(ExecMode::Reference, None);
+    let schedules: [&[u64]; 3] = [&[1], &[7], &[1, 7, 64, u64::MAX]];
+    for schedule in schedules {
+        for shards in [2usize, 4] {
+            let sharded = run_sampled_sharded(ExecMode::Batched, Some(schedule), shards);
+            assert_eq!(sharded, reference, "shards={shards} schedule {schedule:?} diverged");
+        }
     }
 }
 
@@ -172,8 +207,13 @@ fn streaming_sampler_ring_is_identical_across_modes() {
 /// runs mid-line-group or span segment boundaries — reproduces the
 /// reference access-for-access. Smaller machine so 64 cases stay cheap.
 fn run_tiny(exec: ExecMode, schedule: Option<&[u64]>) -> Outcome {
+    run_tiny_sharded(exec, schedule, 1)
+}
+
+fn run_tiny_sharded(exec: ExecMode, schedule: Option<&[u64]>, shards: usize) -> Outcome {
     let mut cfg = MachineConfig::tiny();
     cfg.engine.exec = exec;
+    cfg.engine.shards = shards;
     let mut mm = MemoryMap::new(&cfg);
     let a = mm.alloc("a", 256 << 10, PlacementPolicy::FirstTouch);
     let b = mm.alloc("b", 128 << 10, PlacementPolicy::interleave_all(2));
@@ -194,7 +234,7 @@ fn run_tiny(exec: ExecMode, schedule: Option<&[u64]>) -> Outcome {
         })
         .collect();
     let mut eng = Engine::new(&cfg, mm, sampler());
-    let stats = eng.run_phase(threads);
+    let stats = eng.run_phase_auto(threads);
     let (_, s) = eng.into_parts();
     Outcome {
         stats,
@@ -220,6 +260,17 @@ proptest! {
     ) {
         let batched = run_tiny(ExecMode::Batched, Some(&schedule));
         prop_assert_eq!(&batched, tiny_reference(), "schedule {:?} diverged", schedule);
+    }
+
+    /// Property: any shard count × any span-chopping schedule still merges
+    /// back to the reference bit for bit.
+    #[test]
+    fn arbitrary_shard_counts_and_splits_match_reference(
+        shards in 1usize..6,
+        schedule in proptest::collection::vec(arb_cap(), 1..6),
+    ) {
+        let sharded = run_tiny_sharded(ExecMode::Batched, Some(&schedule), shards);
+        prop_assert_eq!(&sharded, tiny_reference(), "shards {} schedule {:?} diverged", shards, schedule);
     }
 }
 
