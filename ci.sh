@@ -73,28 +73,44 @@ fi
 echo "    warm pass ${warm_secs}s, $(grep '^autotune:' "$tune_cache/warm.out")"
 rm -rf "$tune_cache"
 
-echo "==> serve smoke (50 concurrent sessions through the analysis service)"
+echo "==> serve smoke matrix (50 concurrent sessions; block/per-sample/no-SIMD arms)"
 serve_cache=$(mktemp -d)
-serve_start=$SECONDS
-DRBW_RUNCACHE_DIR="$serve_cache" ./target/release/serve_load --smoke \
-    --out "$serve_cache/BENCH_serve_smoke.json" > "$serve_cache/smoke.out"
-serve_secs=$((SECONDS - serve_start))
-# The binary hard-asserts >=1 rmc verdict per contended session, zero
-# drops, and version-stamped windows; here we only gate the budget and
-# sanity-check the snapshot it wrote.
-grep -q '"samples_dropped": 0' "$serve_cache/BENCH_serve_smoke.json" || {
-    echo "serve smoke: snapshot reports dropped samples" >&2
-    exit 1
-}
-grep -q '"sessions_closed": 50' "$serve_cache/BENCH_serve_smoke.json" || {
-    echo "serve smoke: snapshot did not close all 50 sessions" >&2
-    exit 1
-}
-if [ "$serve_secs" -ge 15 ]; then
-    echo "serve smoke: took ${serve_secs}s (budget < 15s)" >&2
-    exit 1
-fi
-echo "    ${serve_secs}s, $(grep -o '"verdicts": [0-9]*' "$serve_cache/BENCH_serve_smoke.json") across 50 sessions, zero drops"
+# Three arms over one warm run cache: the columnar block path (default),
+# the same with SIMD kernels ablated, and the legacy per-sample offer
+# shim. The binary hard-asserts >=1 rmc verdict per contended session,
+# zero drops, block-vs-per-sample bit identity, and version-stamped
+# windows; here we only gate the budget and sanity-check the snapshots.
+for arm in "block:" "block_no_simd:DRBW_NO_SIMD=1" "per_sample:--per-sample"; do
+    name=${arm%%:*}
+    opt=${arm#*:}
+    extra_env=""
+    extra_flag=""
+    case "$opt" in
+        *=*) extra_env=$opt ;;
+        --*) extra_flag=$opt ;;
+    esac
+    serve_start=$SECONDS
+    env DRBW_RUNCACHE_DIR="$serve_cache" $extra_env ./target/release/serve_load --smoke $extra_flag \
+        --out "$serve_cache/BENCH_serve_$name.json" > "$serve_cache/$name.out"
+    serve_secs=$((SECONDS - serve_start))
+    grep -q '"samples_dropped": 0' "$serve_cache/BENCH_serve_$name.json" || {
+        echo "serve smoke ($name): snapshot reports dropped samples" >&2
+        exit 1
+    }
+    grep -q '"sessions_closed": 50' "$serve_cache/BENCH_serve_$name.json" || {
+        echo "serve smoke ($name): snapshot did not close all 50 sessions" >&2
+        exit 1
+    }
+    grep -q '"bit_identity": true' "$serve_cache/BENCH_serve_$name.json" || {
+        echo "serve smoke ($name): snapshot missing the block bit-identity attestation" >&2
+        exit 1
+    }
+    if [ "$serve_secs" -ge 15 ]; then
+        echo "serve smoke ($name): took ${serve_secs}s (budget < 15s)" >&2
+        exit 1
+    fi
+    echo "    ${name}: ${serve_secs}s, $(grep -o '"verdicts": [0-9]*' "$serve_cache/BENCH_serve_$name.json") across 50 sessions, zero drops"
+done
 rm -rf "$serve_cache"
 
 echo "==> multi-tenant smoke (victim/aggressor through the discrete-event scheduler)"

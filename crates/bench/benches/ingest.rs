@@ -1,0 +1,179 @@
+//! Criterion: columnar ingestion vs the per-sample path it replaces, at
+//! each layer of the pipeline — the feature accumulator's lane kernels
+//! (`push_lanes` vs `push`), the streaming detector's block path
+//! (`ingest_block` vs `ingest`), and the block ring's pointer-swap
+//! handoff (`offer_block` vs per-sample `offer`). Every pair is
+//! semantically bit-identical (enforced by proptests elsewhere); these
+//! groups measure what that equivalence buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drbw_core::classifier::ContentionClassifier;
+use drbw_core::features::{FeatureAccumulator, NUM_SELECTED};
+use drbw_stream::{StreamConfig, StreamingDetector, WindowConfig};
+use mldt::dataset::Dataset;
+use mldt::tree::TrainConfig;
+use numasim::hierarchy::DataSource;
+use numasim::topology::{CoreId, NodeId, ThreadId};
+use pebs::alloc::SiteId;
+use pebs::ring::{BlockRing, OverflowPolicy};
+use pebs::sample::MemSample;
+use pebs::SampleBlock;
+
+/// Block capacity matching the ring default and the serve drain shape.
+const BLOCK: usize = 256;
+
+fn synth_samples(n: usize) -> Vec<MemSample> {
+    (0..n)
+        .map(|i| {
+            let node = (i % 4) as u8;
+            let home = ((i / 4) % 4) as u8;
+            MemSample {
+                time: i as f64 * 12.5,
+                addr: 0x1000_0000 + (i as u64) * 64,
+                cpu: CoreId(node as u32 * 8),
+                thread: ThreadId((i % 16) as u32),
+                node: NodeId(node),
+                source: match i % 5 {
+                    0 => DataSource::RemoteDram,
+                    1 => DataSource::LocalDram,
+                    2 => DataSource::Lfb,
+                    3 => DataSource::L1,
+                    _ => DataSource::L3,
+                },
+                home: (i % 5 < 3).then_some(NodeId(home)),
+                latency: 50.0 + (i % 700) as f64,
+                is_write: i % 7 == 0,
+            }
+        })
+        .collect()
+}
+
+fn blocks_of(samples: &[MemSample], capacity: usize) -> Vec<SampleBlock> {
+    samples
+        .chunks(capacity)
+        .map(|chunk| {
+            let mut b = SampleBlock::with_capacity(capacity);
+            for s in chunk {
+                b.push(s, Some(SiteId((s.addr % 31) as u32)));
+            }
+            b
+        })
+        .collect()
+}
+
+fn classifier() -> ContentionClassifier {
+    let mut d = Dataset::binary(drbw_core::features::selected_names().iter().map(|s| s.to_string()).collect());
+    for i in 0..64 {
+        let mut row = vec![0.0; NUM_SELECTED];
+        let rmc = i % 2 == 0;
+        row[5] = if rmc { 500.0 } else { 30.0 };
+        row[6] = if rmc { 800.0 + i as f64 } else { 290.0 };
+        d.push(row, rmc as usize);
+    }
+    ContentionClassifier::train(&d, TrainConfig::default())
+}
+
+fn accumulator(c: &mut Criterion) {
+    let samples = synth_samples(10_000);
+    let lats: Vec<f64> = samples.iter().map(|s| s.latency).collect();
+    let srcs: Vec<DataSource> = samples.iter().map(|s| s.source).collect();
+    let mut g = c.benchmark_group("ingest_accumulator");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("push_per_sample_10k", |b| {
+        b.iter(|| {
+            let mut acc = FeatureAccumulator::new();
+            for s in &samples {
+                acc.push(s);
+            }
+            acc
+        })
+    });
+    g.bench_function("push_lanes_10k", |b| {
+        b.iter(|| {
+            let mut acc = FeatureAccumulator::new();
+            for (l, s) in lats.chunks(BLOCK).zip(srcs.chunks(BLOCK)) {
+                acc.push_lanes(l, s);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn detector(c: &mut Criterion) {
+    let samples = synth_samples(10_000);
+    let blocks = blocks_of(&samples, BLOCK);
+    let clf = classifier();
+    let window = WindowConfig::tumbling(12_500.0);
+    let mut g = c.benchmark_group("ingest_detector");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function(BenchmarkId::new("ingest_10k", "per_sample"), |b| {
+        b.iter(|| {
+            let mut det = StreamingDetector::new(clf.clone(), StreamConfig::new(4, window));
+            for s in &samples {
+                det.ingest(s, Some(SiteId((s.addr % 31) as u32)));
+            }
+            det.flush();
+            det.metrics().windows_classified
+        })
+    });
+    g.bench_function(BenchmarkId::new("ingest_10k", "block"), |b| {
+        b.iter(|| {
+            let mut det = StreamingDetector::new(clf.clone(), StreamConfig::new(4, window));
+            for block in &blocks {
+                det.ingest_block(block);
+            }
+            det.flush();
+            det.metrics().windows_classified
+        })
+    });
+    g.finish();
+}
+
+fn ring(c: &mut Criterion) {
+    let samples = synth_samples(10_000);
+    let mut g = c.benchmark_group("ingest_ring");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function(BenchmarkId::new("offer_drain_10k", "per_sample"), |b| {
+        b.iter(|| {
+            let mut ring = BlockRing::with_policy(1024, OverflowPolicy::RejectNewest);
+            let mut popped = 0u64;
+            for chunk in samples.chunks(BLOCK) {
+                for s in chunk {
+                    ring.offer(*s, None);
+                }
+                while let Some((block, _)) = ring.pop_block() {
+                    popped += block.len() as u64;
+                    ring.recycle(block);
+                }
+            }
+            popped
+        })
+    });
+    g.bench_function(BenchmarkId::new("offer_drain_10k", "block"), |b| {
+        let template = blocks_of(&samples[..BLOCK], BLOCK).remove(0);
+        b.iter(|| {
+            let mut ring = BlockRing::with_policy(1024, OverflowPolicy::RejectNewest);
+            let mut shuttle = template.clone();
+            let mut popped = 0u64;
+            for _ in 0..(samples.len() / BLOCK) {
+                let (_, shell) = ring.offer_block(shuttle);
+                while let Some((block, _)) = ring.pop_block() {
+                    popped += block.len() as u64;
+                    ring.recycle(block);
+                }
+                shuttle = shell;
+                if shuttle.is_empty() {
+                    // Refill from the template lanes via clone: the shuttle
+                    // models a producer reusing its recycled shell.
+                    shuttle = template.clone();
+                }
+            }
+            popped
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, accumulator, detector, ring);
+criterion_main!(benches);

@@ -154,6 +154,36 @@ impl ExactSum {
         self.units = self.units.saturating_add(scaled as i128);
     }
 
+    /// Add a whole slice with a four-lane split reduction.
+    ///
+    /// Each value is converted exactly as [`ExactSum::push`] converts it;
+    /// the lane partial sums are then folded with the same integer
+    /// addition, so the result is bit-identical to pushing the elements
+    /// one at a time — associativity and commutativity of integer
+    /// addition make the grouping invisible. (The `saturating_add` is
+    /// associative too until a partial sum actually saturates, which
+    /// needs ~4.5 × 10¹⁵ accumulated cycle-units — orders of magnitude
+    /// beyond any window, and `debug_assert`ed unreachable here.)
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        let mut lanes = [0i128; 4];
+        let quads = xs.chunks_exact(4);
+        let tail = quads.remainder();
+        for quad in quads {
+            for (lane, &x) in lanes.iter_mut().zip(quad) {
+                debug_assert!(x.is_finite(), "latency sums are over finite values");
+                *lane = lane.saturating_add((x * EXACT_SCALE).round() as i128);
+            }
+        }
+        for (lane, &x) in lanes.iter_mut().zip(tail) {
+            debug_assert!(x.is_finite(), "latency sums are over finite values");
+            *lane = lane.saturating_add((x * EXACT_SCALE).round() as i128);
+        }
+        for lane in lanes {
+            debug_assert!(lane > i128::MIN && lane < i128::MAX, "lane sum saturated");
+            self.units = self.units.saturating_add(lane);
+        }
+    }
+
     /// Fold another sum into this one (exact: integer addition).
     pub fn merge(&mut self, other: &ExactSum) {
         self.units = self.units.saturating_add(other.units);
@@ -238,6 +268,42 @@ impl FeatureAccumulator {
             DataSource::LocalDram => self.local.push(s.latency),
             DataSource::Lfb => self.lfb.push(s.latency),
             _ => {}
+        }
+    }
+
+    /// Ingest a batch of samples given as parallel lanes: `lats[i]` and
+    /// `srcs[i]` describe sample `i` of a columnar
+    /// [`pebs::block::SampleBlock`] segment.
+    ///
+    /// Bit-identical to pushing the same samples in the same order with
+    /// [`FeatureAccumulator::push`]: the latency-bucket counts come from
+    /// the SIMD-dispatched [`numasim::simd::count_above`] (exact IEEE `>`
+    /// predicates, any grouping identical), the latency sums from the
+    /// lane-split [`ExactSum::push_slice`] (integer addition,
+    /// associative), the per-source state from an in-order scalar pass,
+    /// and the monitoring moments from in-order [`Welford`] pushes (the
+    /// one order-dependent piece, kept in stream order on purpose).
+    ///
+    /// # Panics
+    /// Panics if the lanes disagree in length.
+    pub fn push_lanes(&mut self, lats: &[f64], srcs: &[DataSource]) {
+        assert_eq!(lats.len(), srcs.len(), "lane lengths must agree");
+        self.total += lats.len();
+        self.lat_all.push_slice(lats);
+        for &l in lats {
+            self.moments.push(l);
+        }
+        let above = numasim::simd::count_above(lats, &LATENCY_THRESHOLDS);
+        for (a, b) in self.above.iter_mut().zip(above) {
+            *a += b;
+        }
+        for (&l, &src) in lats.iter().zip(srcs) {
+            match src {
+                DataSource::RemoteDram => self.remote.push(l),
+                DataSource::LocalDram => self.local.push(l),
+                DataSource::Lfb => self.lfb.push(l),
+                _ => {}
+            }
         }
     }
 
@@ -508,6 +574,44 @@ mod tests {
         m.merge(&FeatureAccumulator::from_batch(x));
         m.merge(&FeatureAccumulator::from_batch(y));
         assert_eq!(m.finalize(&CTX), whole, "merge order must not matter");
+    }
+
+    /// The columnar lane path must reach the exact accumulator state the
+    /// per-sample path reaches — including the order-dependent moments,
+    /// because `push_lanes` keeps the Welford pushes in stream order.
+    #[test]
+    fn push_lanes_is_bit_identical_to_per_sample_push() {
+        let batch = jittery_batch();
+        let mut per_sample = FeatureAccumulator::new();
+        for s in &batch {
+            per_sample.push(s);
+        }
+        // Lane ingestion in chunks of every awkward size, including a
+        // chunk larger than the batch.
+        for chunk in [1usize, 2, 3, 4, 5, 7, 31, 96, 97, 128] {
+            let mut lanes = FeatureAccumulator::new();
+            for part in batch.chunks(chunk) {
+                let lats: Vec<f64> = part.iter().map(|s| s.latency).collect();
+                let srcs: Vec<DataSource> = part.iter().map(|s| s.source).collect();
+                lanes.push_lanes(&lats, &srcs);
+            }
+            assert_eq!(lanes, per_sample, "chunk size {chunk}");
+            assert_eq!(lanes.finalize(&CTX), per_sample.finalize(&CTX));
+        }
+    }
+
+    #[test]
+    fn push_slice_matches_per_element_push() {
+        let vals = [1013.75, 3.0000001, 880.125, 42.625, 1999.99, 0.5, 77.25];
+        for take in 0..=vals.len() {
+            let mut one = ExactSum::new();
+            for &v in &vals[..take] {
+                one.push(v);
+            }
+            let mut slab = ExactSum::new();
+            slab.push_slice(&vals[..take]);
+            assert_eq!(one, slab, "len {take}");
+        }
     }
 
     #[test]

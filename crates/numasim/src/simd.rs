@@ -1,4 +1,4 @@
-//! Explicit SIMD kernels for the cache span walk.
+//! Explicit SIMD kernels for the cache span walk and sample ingestion.
 //!
 //! [`crate::cache::Cache::span_miss_prefix`] reduces its two hot scans to
 //! branch-free `u64` arithmetic precisely so they vectorize:
@@ -19,6 +19,14 @@
 //! computes the *same* answer: there is no floating point and no order
 //! dependence, which is what makes the SIMD paths trivially bit-identical
 //! to the scalar twins (property-tested below).
+//!
+//! * **`count_above`** — the ingestion-side kernel: per-threshold counts
+//!   of latencies strictly above each of `K` thresholds, feeding the
+//!   latency-bucket features of the streaming accumulator. Each count is
+//!   an integer sum of independent IEEE `>` predicates; `a > b` is exact
+//!   in IEEE 754 and NaN compares false under both the scalar operator
+//!   and the packed ordered compare, so here too every grouping of the
+//!   work produces the same counts bit-for-bit.
 //!
 //! This module hand-writes the kernels on `core::arch::x86_64` instead of
 //! hoping for autovectorization: SSE2 (the x86-64 baseline) has no packed
@@ -108,6 +116,38 @@ pub fn any_near(slice: &[u64], first: u64, shift: u32) -> bool {
         // SAFETY: `isa()` returned Avx2 only after runtime detection.
         Isa::Avx2 => unsafe { any_near_avx2(slice, first, shift) },
     }
+}
+
+/// Per-threshold counts of elements strictly above each threshold:
+/// `out[k] = |{ x in xs : x > thresholds[k] }|`.
+///
+/// This is the hot kernel behind the streaming accumulator's latency
+/// buckets: one pass over a latency lane produces all `K` bucket counts.
+/// The SIMD paths are bit-identical to the scalar twin because each
+/// count is an integer sum of independent, exact IEEE `>` predicates
+/// (ordered compares: NaN counts in no bucket on any path).
+#[inline]
+pub fn count_above<const K: usize>(xs: &[f64], thresholds: &[f64; K]) -> [usize; K] {
+    match isa() {
+        Isa::Scalar => count_above_scalar(xs, thresholds),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally available on x86_64.
+        Isa::Sse2 => unsafe { count_above_sse2(xs, thresholds) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `isa()` returned Avx2 only after runtime detection.
+        Isa::Avx2 => unsafe { count_above_avx2(xs, thresholds) },
+    }
+}
+
+/// Scalar twin of [`count_above`].
+pub(crate) fn count_above_scalar<const K: usize>(xs: &[f64], thresholds: &[f64; K]) -> [usize; K] {
+    let mut counts = [0usize; K];
+    for &x in xs {
+        for (count, &t) in counts.iter_mut().zip(thresholds) {
+            *count += (x > t) as usize;
+        }
+    }
+    counts
 }
 
 /// Scalar twin of [`any_ge`]: the reference semantics every SIMD path
@@ -206,6 +246,65 @@ mod x86 {
         })
     }
 
+    /// SSE2 [`super::count_above`]: two latencies per step, one packed
+    /// ordered `>` compare per threshold, popcounted movemasks.
+    ///
+    /// # Safety
+    /// Requires SSE2 (always present on x86_64).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn count_above_sse2<const K: usize>(xs: &[f64], thresholds: &[f64; K]) -> [usize; K] {
+        // SAFETY: all loads are unaligned (`loadu`) reads of in-bounds
+        // pairs yielded by `chunks_exact(2)`.
+        unsafe {
+            let vts: [__m128d; K] = core::array::from_fn(|k| _mm_set1_pd(thresholds[k]));
+            let mut counts = [0usize; K];
+            let pairs = xs.chunks_exact(2);
+            let tail = pairs.remainder();
+            for pair in pairs {
+                let v = _mm_loadu_pd(pair.as_ptr());
+                for (count, vt) in counts.iter_mut().zip(&vts) {
+                    *count += _mm_movemask_pd(_mm_cmpgt_pd(v, *vt)).count_ones() as usize;
+                }
+            }
+            for &x in tail {
+                for (count, &t) in counts.iter_mut().zip(thresholds) {
+                    *count += (x > t) as usize;
+                }
+            }
+            counts
+        }
+    }
+
+    /// AVX2 [`super::count_above`]: four latencies per step (the packed
+    /// compare itself needs only AVX, which AVX2 implies).
+    ///
+    /// # Safety
+    /// Requires AVX2 (callers must have runtime-detected it).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn count_above_avx2<const K: usize>(xs: &[f64], thresholds: &[f64; K]) -> [usize; K] {
+        // SAFETY: unaligned 256-bit loads over in-bounds quads from
+        // `chunks_exact(4)`.
+        unsafe {
+            let vts: [__m256d; K] = core::array::from_fn(|k| _mm256_set1_pd(thresholds[k]));
+            let mut counts = [0usize; K];
+            let quads = xs.chunks_exact(4);
+            let tail = quads.remainder();
+            for quad in quads {
+                let v = _mm256_loadu_pd(quad.as_ptr());
+                for (count, vt) in counts.iter_mut().zip(&vts) {
+                    let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(v, *vt);
+                    *count += _mm256_movemask_pd(gt).count_ones() as usize;
+                }
+            }
+            for &x in tail {
+                for (count, &t) in counts.iter_mut().zip(thresholds) {
+                    *count += (x > t) as usize;
+                }
+            }
+            counts
+        }
+    }
+
     /// AVX2 [`super::any_ge`]: four lanes per step.
     ///
     /// # Safety
@@ -265,7 +364,7 @@ mod x86 {
 }
 
 #[cfg(target_arch = "x86_64")]
-use x86::{any_ge_avx2, any_ge_sse2, any_near_avx2, any_near_sse2};
+use x86::{any_ge_avx2, any_ge_sse2, any_near_avx2, any_near_sse2, count_above_avx2, count_above_sse2};
 
 #[cfg(test)]
 mod tests {
@@ -345,6 +444,68 @@ mod tests {
                     unsafe {
                         assert_eq!(any_ge_avx2(v, first), any_ge_scalar(v, first), "ge avx2");
                         assert_eq!(any_near_avx2(v, first, shift), any_near_scalar(v, first, shift), "near avx2");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plain-definition oracle for [`count_above`].
+    fn oracle_count<const K: usize>(xs: &[f64], thresholds: &[f64; K]) -> [usize; K] {
+        let mut counts = [0usize; K];
+        for (k, &t) in thresholds.iter().enumerate() {
+            counts[k] = xs.iter().filter(|&&x| x > t).count();
+        }
+        counts
+    }
+
+    /// Every compiled `count_above` path against the oracle: random
+    /// latencies straddling the thresholds, exact-threshold values
+    /// (strictly-greater must exclude them), NaN and infinities, and a
+    /// length sweep exercising vector bodies and scalar tails.
+    #[test]
+    fn count_above_paths_agree_with_scalar_and_oracle() {
+        let thresholds = [1000.0f64, 500.0, 200.0, 100.0, 50.0];
+        let mut cases: Vec<Vec<f64>> = Vec::new();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 127, 128, 129, 255, 256, 1000] {
+            for seed in [1u64, 42, 9999] {
+                let v: Vec<f64> = rand_vec(seed, len, 0x7FF).into_iter().map(|u| u as f64).collect();
+                cases.push(v);
+            }
+            // Exact threshold hits, epsilon neighbours, and non-finite values.
+            let mut v: Vec<f64> = Vec::with_capacity(len);
+            for i in 0..len {
+                v.push(match i % 9 {
+                    0 => 1000.0,
+                    1 => 500.0,
+                    2 => 50.0,
+                    3 => f64::NAN,
+                    4 => f64::INFINITY,
+                    5 => f64::NEG_INFINITY,
+                    6 => 1000.0_f64.next_up(),
+                    7 => 50.0_f64.next_down(),
+                    _ => 0.0,
+                });
+            }
+            cases.push(v);
+        }
+        for xs in &cases {
+            let want = oracle_count(xs, &thresholds);
+            assert_eq!(count_above_scalar(xs, &thresholds), want, "scalar vs oracle");
+            assert_eq!(count_above(xs, &thresholds), want, "dispatch vs oracle");
+            // Also a different K, to cover the const-generic machinery.
+            let one = [250.0f64];
+            assert_eq!(count_above(xs, &one), oracle_count(xs, &one), "K=1 dispatch");
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: SSE2 is unconditionally available on x86_64.
+                unsafe {
+                    assert_eq!(count_above_sse2(xs, &thresholds), want, "sse2 vs oracle");
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: AVX2 just runtime-detected.
+                    unsafe {
+                        assert_eq!(count_above_avx2(xs, &thresholds), want, "avx2 vs oracle");
                     }
                 }
             }

@@ -1,0 +1,331 @@
+//! Columnar (structure-of-arrays) sample batches.
+//!
+//! The per-sample path moves one 72-byte [`MemSample`] struct at a time
+//! through ring → queue → accumulator; at millions of samples per second
+//! the per-element call, branch, and lock overhead dominates the actual
+//! feature arithmetic. A [`SampleBlock`] instead stores up to a fixed
+//! capacity of samples as parallel lanes — one `Vec` per field — so a
+//! whole batch moves through the pipeline by pointer swap (moving the
+//! `Vec`s, never re-copying elements) and the consumers can run lane
+//! kernels: SIMD latency-bucket counts, lane-split exact sums, and
+//! binary-search pane splitting over the time lane.
+//!
+//! A sample is copied **once**, at [`SampleBlock::push`], and never
+//! again: `pebs::ring::BlockRing` hands sealed blocks to the consumer by
+//! value, the consumer reads the lanes in place, and the emptied block is
+//! recycled back to the producer side.
+//!
+//! Blocks track whether their time lane is monotone non-decreasing
+//! ([`SampleBlock::is_sorted`], maintained on push). Sorted blocks let
+//! the streaming detector assign samples to window panes with a
+//! block-splitting binary search; unsorted blocks fall back to the
+//! per-sample path, so sortedness is a fast-path hint, never a
+//! correctness requirement.
+
+use crate::alloc::SiteId;
+use crate::sample::MemSample;
+use numasim::hierarchy::DataSource;
+use numasim::topology::{CoreId, NodeId, ThreadId};
+
+/// A fixed-capacity columnar batch of [`MemSample`]s plus an optional
+/// per-sample allocation-site attribution lane.
+///
+/// Lane `i` of every array describes the same sample; lanes always have
+/// equal length. See the [module docs](self) for why this layout exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleBlock {
+    capacity: usize,
+    sorted: bool,
+    time: Vec<f64>,
+    addr: Vec<u64>,
+    cpu: Vec<CoreId>,
+    thread: Vec<ThreadId>,
+    node: Vec<NodeId>,
+    source: Vec<DataSource>,
+    home: Vec<Option<NodeId>>,
+    latency: Vec<f64>,
+    is_write: Vec<bool>,
+    site: Vec<Option<SiteId>>,
+}
+
+impl SampleBlock {
+    /// An empty block that holds at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "block capacity must be positive");
+        Self {
+            capacity,
+            sorted: true,
+            time: Vec::with_capacity(capacity),
+            addr: Vec::with_capacity(capacity),
+            cpu: Vec::with_capacity(capacity),
+            thread: Vec::with_capacity(capacity),
+            node: Vec::with_capacity(capacity),
+            source: Vec::with_capacity(capacity),
+            home: Vec::with_capacity(capacity),
+            latency: Vec::with_capacity(capacity),
+            is_write: Vec::with_capacity(capacity),
+            site: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// A full block over an existing sample slice (sites all `None`) —
+    /// the bridge from batch logs into the block pipeline.
+    pub fn from_samples(samples: &[MemSample]) -> Self {
+        let mut block = Self::with_capacity(samples.len().max(1));
+        for s in samples {
+            let pushed = block.push(s, None);
+            debug_assert!(pushed, "capacity covers the whole slice");
+        }
+        block
+    }
+
+    /// Append one sample (the single copy of its life). Returns `false`
+    /// — and stores nothing — if the block is full.
+    pub fn push(&mut self, s: &MemSample, site: Option<SiteId>) -> bool {
+        if self.time.len() == self.capacity {
+            return false;
+        }
+        if let Some(&last) = self.time.last() {
+            // One compare maintains the sorted hint the pane-splitting
+            // binary search relies on.
+            self.sorted &= s.time >= last;
+        }
+        self.time.push(s.time);
+        self.addr.push(s.addr);
+        self.cpu.push(s.cpu);
+        self.thread.push(s.thread);
+        self.node.push(s.node);
+        self.source.push(s.source);
+        self.home.push(s.home);
+        self.latency.push(s.latency);
+        self.is_write.push(s.is_write);
+        self.site.push(site);
+        true
+    }
+
+    /// Samples currently stored.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the block holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Whether the next [`SampleBlock::push`] would be refused.
+    pub fn is_full(&self) -> bool {
+        self.time.len() == self.capacity
+    }
+
+    /// Maximum number of samples the block holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the time lane is monotone non-decreasing (maintained on
+    /// push; trivially true for an empty block).
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Drop all samples, keeping the lane allocations for reuse.
+    pub fn clear(&mut self) {
+        self.time.clear();
+        self.addr.clear();
+        self.cpu.clear();
+        self.thread.clear();
+        self.node.clear();
+        self.source.clear();
+        self.home.clear();
+        self.latency.clear();
+        self.is_write.clear();
+        self.site.clear();
+        self.sorted = true;
+    }
+
+    /// Reassemble sample `i` as a struct (the per-sample fallback path).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> MemSample {
+        MemSample {
+            time: self.time[i],
+            addr: self.addr[i],
+            cpu: self.cpu[i],
+            thread: self.thread[i],
+            node: self.node[i],
+            source: self.source[i],
+            home: self.home[i],
+            latency: self.latency[i],
+            is_write: self.is_write[i],
+        }
+    }
+
+    /// Allocation-site attribution of sample `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn site(&self, i: usize) -> Option<SiteId> {
+        self.site[i]
+    }
+
+    /// The time lane (simulated cycles, one entry per sample).
+    pub fn times(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// The address lane.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addr
+    }
+
+    /// The issuing-core lane.
+    pub fn cpus(&self) -> &[CoreId] {
+        &self.cpu
+    }
+
+    /// The issuing-thread lane.
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.thread
+    }
+
+    /// The issuing-node lane.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.node
+    }
+
+    /// The data-source lane.
+    pub fn sources(&self) -> &[DataSource] {
+        &self.source
+    }
+
+    /// The home-node lane (`None` when the page's home is unknown).
+    pub fn homes(&self) -> &[Option<NodeId>] {
+        &self.home
+    }
+
+    /// The latency lane (cycles).
+    pub fn latencies(&self) -> &[f64] {
+        &self.latency
+    }
+
+    /// The write-flag lane.
+    pub fn writes(&self) -> &[bool] {
+        &self.is_write
+    }
+
+    /// The allocation-site lane.
+    pub fn sites(&self) -> &[Option<SiteId>] {
+        &self.site
+    }
+
+    /// Iterate the block's samples as reassembled structs (tests and
+    /// fallback paths; the hot paths read lanes directly).
+    pub fn iter(&self) -> impl Iterator<Item = MemSample> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Heap bytes retained by the lane allocations (capacity, not len).
+    pub fn retained_bytes(&self) -> usize {
+        self.time.capacity() * std::mem::size_of::<f64>()
+            + self.addr.capacity() * std::mem::size_of::<u64>()
+            + self.cpu.capacity() * std::mem::size_of::<CoreId>()
+            + self.thread.capacity() * std::mem::size_of::<ThreadId>()
+            + self.node.capacity() * std::mem::size_of::<NodeId>()
+            + self.source.capacity() * std::mem::size_of::<DataSource>()
+            + self.home.capacity() * std::mem::size_of::<Option<NodeId>>()
+            + self.latency.capacity() * std::mem::size_of::<f64>()
+            + self.is_write.capacity() * std::mem::size_of::<bool>()
+            + self.site.capacity() * std::mem::size_of::<Option<SiteId>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(time: f64, addr: u64) -> MemSample {
+        MemSample {
+            time,
+            addr,
+            cpu: CoreId(1),
+            thread: ThreadId(2),
+            node: NodeId(0),
+            source: DataSource::RemoteDram,
+            home: Some(NodeId(1)),
+            latency: 321.5,
+            is_write: addr.is_multiple_of(2),
+        }
+    }
+
+    #[test]
+    fn push_get_roundtrips_every_field() {
+        let mut b = SampleBlock::with_capacity(4);
+        let s0 = sample(1.0, 10);
+        let s1 = sample(2.0, 11);
+        assert!(b.push(&s0, Some(SiteId(7))));
+        assert!(b.push(&s1, None));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(0), s0);
+        assert_eq!(b.get(1), s1);
+        assert_eq!(b.site(0), Some(SiteId(7)));
+        assert_eq!(b.site(1), None);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![s0, s1]);
+    }
+
+    #[test]
+    fn capacity_bounds_push() {
+        let mut b = SampleBlock::with_capacity(2);
+        assert!(b.push(&sample(1.0, 0), None));
+        assert!(b.push(&sample(2.0, 1), None));
+        assert!(b.is_full());
+        assert!(!b.push(&sample(3.0, 2), None), "a full block refuses");
+        assert_eq!(b.len(), 2, "the refused sample was not stored");
+    }
+
+    #[test]
+    fn sorted_hint_tracks_time_lane() {
+        let mut b = SampleBlock::with_capacity(8);
+        assert!(b.is_sorted(), "empty block is sorted");
+        b.push(&sample(5.0, 0), None);
+        b.push(&sample(5.0, 1), None); // ties keep sortedness
+        b.push(&sample(9.0, 2), None);
+        assert!(b.is_sorted());
+        b.push(&sample(3.0, 3), None); // regression breaks it
+        assert!(!b.is_sorted());
+        b.clear();
+        assert!(b.is_sorted(), "clear resets the hint");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_lane_allocations() {
+        let mut b = SampleBlock::with_capacity(16);
+        for i in 0..16 {
+            b.push(&sample(i as f64, i), None);
+        }
+        let retained = b.retained_bytes();
+        b.clear();
+        assert_eq!(b.retained_bytes(), retained, "recycling must not shed capacity");
+        assert_eq!(b.capacity(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SampleBlock::with_capacity(0);
+    }
+
+    #[test]
+    fn from_samples_preserves_order() {
+        let samples: Vec<_> = (0..5).map(|i| sample(i as f64, i)).collect();
+        let b = SampleBlock::from_samples(&samples);
+        assert_eq!(b.len(), 5);
+        assert!(b.is_sorted());
+        assert_eq!(b.iter().collect::<Vec<_>>(), samples);
+    }
+}

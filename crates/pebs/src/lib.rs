@@ -23,6 +23,10 @@
 //!   an observer adapter that feeds it, so a live consumer (the
 //!   `drbw-stream` detector) can watch a run without retaining its full
 //!   sample log;
+//! * [`block::SampleBlock`] and [`ring::BlockRing`] are the columnar hot
+//!   path: samples move in fixed-capacity structure-of-arrays blocks,
+//!   handed off by pointer swap so each sample is copied once at ring
+//!   entry and never again;
 //! * [`tenant::TenantMap`] attributes samples from a multi-tenant scenario
 //!   (see `numasim::sched`) back to the tenant that issued them, so a mixed
 //!   sample log can be partitioned per tenant for replay.
@@ -31,6 +35,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc;
+pub mod block;
 pub mod ibs;
 pub mod mrk;
 pub mod numa_api;
@@ -41,9 +46,10 @@ pub mod stream;
 pub mod tenant;
 
 pub use alloc::{AllocId, AllocationTracker, SiteId};
+pub use block::SampleBlock;
 pub use ibs::{IbsConfig, IbsSampler};
 pub use mrk::{MrkConfig, MrkSampler};
-pub use ring::{Offer, OverflowPolicy, SampleRing};
+pub use ring::{BlockOffer, BlockRing, Offer, OverflowPolicy, RingCounters, SampleRing};
 pub use sample::MemSample;
 pub use sampler::{AddressSampler, SamplerConfig};
 pub use stream::StreamingSampler;

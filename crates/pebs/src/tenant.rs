@@ -11,6 +11,7 @@
 use numasim::sched::{TenantId, TenantRun};
 use numasim::ThreadId;
 
+use crate::block::SampleBlock;
 use crate::sample::MemSample;
 
 /// Maps thread ids to the tenant that owns them.
@@ -101,6 +102,38 @@ impl TenantMap {
         }
         out
     }
+
+    /// Partition a mixed columnar block stream by tenant, preserving
+    /// per-tenant order — the block pipeline's [`TenantMap::partition`].
+    ///
+    /// Each sample is routed **once** from the input blocks into the
+    /// growing tail block of its tenant (the single copy the block
+    /// pipeline allows per hop); per-tenant output blocks are sized
+    /// `block_capacity` and a partial tail block is kept per tenant.
+    /// Samples from unmapped threads are dropped, sites travel with
+    /// their samples, and flattening a tenant's blocks yields exactly
+    /// what [`TenantMap::partition`] yields for the flattened input.
+    ///
+    /// # Panics
+    /// Panics if `block_capacity == 0`.
+    pub fn partition_blocks(&self, blocks: &[SampleBlock], block_capacity: usize) -> Vec<(TenantId, Vec<SampleBlock>)> {
+        assert!(block_capacity > 0, "block capacity must be positive");
+        let mut out: Vec<(TenantId, Vec<SampleBlock>)> = self.tenants().into_iter().map(|t| (t, Vec::new())).collect();
+        for block in blocks {
+            for i in 0..block.len() {
+                let Some(t) = self.tenant_of(block.threads()[i]) else { continue };
+                let entry = out.iter_mut().find(|(id, _)| *id == t).expect("tenants() covers every mapped tenant");
+                let needs_new = entry.1.last().is_none_or(|b| b.is_full());
+                if needs_new {
+                    entry.1.push(SampleBlock::with_capacity(block_capacity));
+                }
+                let tail = entry.1.last_mut().expect("tail block just ensured");
+                let pushed = tail.push(&block.get(i), block.site(i));
+                debug_assert!(pushed, "tail block has room by construction");
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +188,29 @@ mod tests {
         let victim = map.samples_of(TenantId(1), &log);
         assert_eq!(victim.len(), 1);
         assert_eq!(victim[0].time, 2.0);
+    }
+
+    /// Block partitioning must agree exactly with the per-sample
+    /// partition for every chunking of the input and output.
+    #[test]
+    fn partition_blocks_matches_per_sample_partition() {
+        let mut map = TenantMap::new();
+        map.assign(ThreadId(0), TenantId(0));
+        map.assign(ThreadId(1), TenantId(1));
+        map.assign(ThreadId(2), TenantId(0));
+        let log: Vec<MemSample> = (0..37).map(|i| sample(i % 4, i as f64)).collect(); // thread 3 unmapped
+        let want = map.partition(&log);
+        for (in_chunk, out_cap) in [(1usize, 1usize), (3, 2), (5, 7), (37, 4), (8, 64)] {
+            let blocks: Vec<SampleBlock> = log.chunks(in_chunk).map(SampleBlock::from_samples).collect();
+            let got = map.partition_blocks(&blocks, out_cap);
+            assert_eq!(got.len(), want.len());
+            for ((t_got, tenant_blocks), (t_want, tenant_samples)) in got.iter().zip(&want) {
+                assert_eq!(t_got, t_want);
+                let flat: Vec<MemSample> = tenant_blocks.iter().flat_map(|b| b.iter()).collect();
+                assert_eq!(&flat, tenant_samples, "in_chunk {in_chunk}, out_cap {out_cap}");
+                assert!(tenant_blocks.iter().all(|b| b.capacity() == out_cap));
+            }
+        }
     }
 
     #[test]

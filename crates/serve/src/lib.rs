@@ -9,9 +9,12 @@
 //!   each session's samples are classified in exactly their accepted FIFO
 //!   order), each owning a pool of recycled
 //!   [`drbw_stream::StreamingDetector`]s;
-//! * [`SessionHandle`] — the producer side: a bounded
-//!   [`pebs::ring::SampleRing`] per session gives real backpressure with
-//!   the ring's own drop accounting (`offered == accepted + dropped`);
+//! * [`SessionHandle`] — the producer side: a bounded columnar
+//!   [`pebs::ring::BlockRing`] per session gives real backpressure with
+//!   the ring's own drop accounting (`offered == dropped + popped + len`),
+//!   and whole [`pebs::SampleBlock`]s move producer→worker by pointer
+//!   swap ([`SessionHandle::offer_block_blocking`]) so a sample is copied
+//!   once at block entry and never again;
 //! * [`drbw_core::registry::ModelRegistry`] — atomic model hot-swap: one
 //!   epoch load on the steady-state classify path, and every window and
 //!   verdict stamped with the version of the exact model that classified
@@ -283,6 +286,40 @@ mod tests {
             assert_eq!(m.samples_dropped, report.ring.dropped);
             assert_eq!(m.samples_ingested, report.ring.popped);
         }
+    }
+
+    /// Satellite of the columnar pipeline: a blocking block producer
+    /// saturating a tiny ring loses nothing (zero drops), retains at most
+    /// the ring's capacity at any instant, and gets its emptied shells
+    /// recycled back (zero steady-state allocation).
+    #[test]
+    fn blocking_block_offers_saturate_without_drops_or_growth() {
+        let cfg = ServerConfig { ring_capacity: 32, ..test_config(1) };
+        let server = AnalysisServer::start(classifier(), cfg).expect("start server");
+        let session = server.open_session();
+        let stream = contended_stream(40, 500); // 20_000 samples through a 32-slot ring
+        let mut block = pebs::SampleBlock::with_capacity(16);
+        for s in &stream {
+            if block.is_full() {
+                block = session.offer_block_blocking(block);
+                assert!(block.is_empty(), "the recycled shell must come back empty");
+                assert_eq!(block.capacity(), 16, "the recycled shell keeps its capacity");
+            }
+            assert!(block.push(s, None));
+        }
+        let tail = session.offer_block_blocking(block);
+        assert!(tail.is_empty());
+        let report = session.finish().expect("report");
+        assert_eq!(report.ring.offered, 20_000);
+        assert_eq!(report.ring.dropped, 0, "blocking block offers lose nothing under saturation");
+        assert_eq!(report.ring.popped, 20_000);
+        assert_eq!(report.stream.samples_ingested, 20_000);
+        assert!(report.ring.peak <= 32, "retention bounded by the ring: {:?}", report.ring);
+        assert!(report.events.iter().any(|e| e.mode == Mode::Rmc));
+        let m = server.shutdown();
+        assert_eq!(m.samples_dropped, 0);
+        assert_eq!(m.samples_ingested, 20_000);
+        assert!(m.shard_depths.iter().all(|&d| d == 0));
     }
 
     /// Many sessions, several shards, producers on multiple threads: all

@@ -17,9 +17,8 @@ use crate::session::{SessionHandle, SessionId, SessionInner, SessionQueue, Sessi
 use drbw_core::classifier::ContentionClassifier;
 use drbw_core::registry::{ModelHandle, ModelReader, ModelRegistry};
 use drbw_stream::{StreamConfig, StreamingDetector};
-use pebs::alloc::SiteId;
-use pebs::ring::{OverflowPolicy, RingCounters, SampleRing};
-use pebs::sample::MemSample;
+use pebs::ring::{BlockRing, OverflowPolicy, RingCounters};
+use pebs::SampleBlock;
 use runcache::RunCache;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -219,13 +218,12 @@ impl AnalysisServer {
         let session = Arc::new(SessionInner {
             id,
             queue: Mutex::new(SessionQueue {
-                ring: SampleRing::with_policy(self.inner.cfg.ring_capacity, self.inner.cfg.overflow),
-                sites: VecDeque::new(),
-                enqueued_at: VecDeque::new(),
+                ring: BlockRing::with_policy(self.inner.cfg.ring_capacity, self.inner.cfg.overflow),
                 closed: false,
             }),
             report: Mutex::new(None),
             done: Condvar::new(),
+            space: Condvar::new(),
         });
         shard.inbox.lock().unwrap_or_else(|e| e.into_inner()).push_back(Arc::clone(&session));
         self.inner.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
@@ -341,14 +339,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 fn ring_counters(session: &SessionInner) -> RingCounters {
-    let q = session.lock_queue();
-    RingCounters {
-        offered: q.ring.offered(),
-        dropped: q.ring.dropped(),
-        popped: q.ring.popped(),
-        len: q.ring.len(),
-        peak: q.ring.peak_len(),
-    }
+    session.lock_queue().ring.counters()
 }
 
 /// One session as the shard worker sees it.
@@ -403,7 +394,7 @@ fn run_shard_inner(inner: &ServerInner, idx: usize) {
     let mut reader = ModelReader::new(Arc::clone(&inner.registry));
     let mut active: Vec<ActiveSession> = Vec::new();
     let mut pool: Vec<StreamingDetector> = Vec::new();
-    let mut batch: Vec<(MemSample, Option<SiteId>, Instant)> = Vec::new();
+    let mut blocks: Vec<(SampleBlock, Instant)> = Vec::new();
     loop {
         let shutting = inner.shutdown.load(Ordering::Acquire);
         // Adopt newly opened sessions: recycle a pooled detector when one
@@ -447,24 +438,29 @@ fn run_shard_inner(inner: &ServerInner, idx: usize) {
         let mut did_work = false;
         let mut i = 0;
         while i < active.len() {
-            batch.clear();
+            blocks.clear();
+            let a = &mut active[i];
             let closed_and_drained = {
-                let mut q = active[i].session.lock_queue();
-                let n = q.ring.len().min(inner.cfg.drain_batch);
-                for _ in 0..n {
-                    let s = q.ring.pop().expect("len-bounded pop");
-                    let site = q.sites.pop_front().unwrap_or(None);
-                    let at = q.enqueued_at.pop_front().unwrap_or_else(Instant::now);
-                    batch.push((s, site, at));
+                let mut q = a.session.lock_queue();
+                let mut taken = 0;
+                // Whole blocks, up to the drain batch: one lock covers
+                // hundreds of samples.
+                while taken < inner.cfg.drain_batch {
+                    let Some((block, at)) = q.ring.pop_block() else { break };
+                    taken += block.len();
+                    blocks.push((block, at));
                 }
                 q.closed && q.ring.is_empty()
             };
-            if !batch.is_empty() {
+            if !blocks.is_empty() {
+                // The lock is released: wake producers parked on the
+                // freed space before the (long) ingest.
+                a.session.space.notify_all();
                 did_work = true;
-                shard.stats.depth.fetch_sub(batch.len() as u64, rel);
-                let a = &mut active[i];
-                for (s, site, at) in &batch {
-                    a.detector.ingest(s, *site);
+                let total: u64 = blocks.iter().map(|(b, _)| b.len() as u64).sum();
+                shard.stats.depth.fetch_sub(total, rel);
+                for (block, at) in &blocks {
+                    a.detector.ingest_block(block);
                     let used = a.detector.model_version();
                     if *a.versions.last().expect("seeded at adoption") != used {
                         a.versions.push(used);
@@ -473,6 +469,10 @@ fn run_shard_inner(inner: &ServerInner, idx: usize) {
                     if m.verdict_transitions > a.transitions {
                         let newly = m.verdict_transitions - a.transitions;
                         a.transitions = m.verdict_transitions;
+                        // Latency is measured from the block's enqueue
+                        // stamp (its first sample's arrival) — the
+                        // conservative end of the per-sample stamps it
+                        // replaces.
                         let nanos = at.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                         for _ in 0..newly {
                             inner.latency.record(nanos);
@@ -484,7 +484,13 @@ fn run_shard_inner(inner: &ServerInner, idx: usize) {
                         a.windows = m.windows_classified;
                     }
                 }
-                shard.stats.ingested.fetch_add(batch.len() as u64, rel);
+                shard.stats.ingested.fetch_add(total, rel);
+                // Hand the emptied shells back for the producer side to
+                // refill — the steady state allocates nothing.
+                let mut q = a.session.lock_queue();
+                for (block, _) in blocks.drain(..) {
+                    q.ring.recycle(block);
+                }
             } else if closed_and_drained || shutting {
                 // Finished (or force-finalized at shutdown): classify the
                 // tail, deliver the report, recycle the detector.

@@ -1,26 +1,26 @@
 //! Sessions: the client half of the service.
 //!
 //! A [`SessionHandle`] is the producer side of one profiling session: the
-//! client offers samples into a bounded [`SampleRing`] (the existing
-//! backpressure/drop accounting), a shard worker on the other side drains
-//! them into a pooled [`drbw_stream::StreamingDetector`], and `finish()`
-//! returns the [`SessionReport`] once the tail of the stream has been
-//! classified. Each sample rides with its allocation-site attribution and
-//! an enqueue timestamp (for verdict-latency accounting) in sidecar
-//! queues kept in lockstep with the ring under one mutex, so the ring's
-//! loss accounting (`offered == accepted + dropped`) stays authoritative
-//! for the whole triple.
+//! client offers samples — one at a time or as whole columnar
+//! [`SampleBlock`]s — into a bounded [`pebs::ring::BlockRing`], a shard
+//! worker on the other side drains sealed blocks into a pooled
+//! [`drbw_stream::StreamingDetector`], and `finish()` returns the
+//! [`SessionReport`] once the tail of the stream has been classified.
+//! Allocation-site attributions ride in the blocks' site lane and the
+//! enqueue timestamp (for verdict-latency accounting) is stamped per
+//! block, so the ring's loss accounting
+//! (`offered == dropped + popped + len`) is authoritative for everything
+//! a sample carries — there are no sidecar queues to keep in lockstep.
 
 use crate::error::ServeError;
 use crate::metrics::{ServerStats, ShardStats};
 use crate::server::ShardNotify;
 use drbw_stream::{StreamMetrics, VerdictEvent, WindowSummary};
 use pebs::alloc::SiteId;
-use pebs::ring::{Offer, RingCounters, SampleRing};
+use pebs::ring::{BlockOffer, BlockRing, Offer, RingCounters};
 use pebs::sample::MemSample;
-use std::collections::VecDeque;
+use pebs::SampleBlock;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
 
 /// Identifier of one profiling session (unique per server).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,14 +32,11 @@ impl std::fmt::Display for SessionId {
     }
 }
 
-/// The producer→worker queue: the sample ring plus sidecar site and
-/// timestamp queues, advanced in lockstep (a drop on the ring drops the
-/// same position's sidecar entries).
+/// The producer→worker queue: the columnar block ring (sites and enqueue
+/// stamps travel inside the blocks).
 #[derive(Debug)]
 pub(crate) struct SessionQueue {
-    pub ring: SampleRing,
-    pub sites: VecDeque<Option<SiteId>>,
-    pub enqueued_at: VecDeque<Instant>,
+    pub ring: BlockRing,
     /// Set by `finish()`: no more offers; the worker finalizes once the
     /// ring drains.
     pub closed: bool,
@@ -53,6 +50,9 @@ pub(crate) struct SessionInner {
     pub queue: Mutex<SessionQueue>,
     pub report: Mutex<Option<Result<SessionReport, ServeError>>>,
     pub done: Condvar,
+    /// Raised by the worker after every drain: blocking producers wait
+    /// here for ring space instead of spinning.
+    pub space: Condvar,
 }
 
 impl SessionInner {
@@ -120,9 +120,10 @@ impl SessionHandle {
 
     /// Offer one sample (with its allocation-site attribution). The
     /// outcome is the ring's: `RejectedNewest` is backpressure the caller
-    /// can react to, `EvictedOldest` means an older queued sample was
-    /// dropped in this one's favour. Every offer lands in the drop
-    /// accounting either way.
+    /// can react to, `EvictedOldest` means an older queued **block** was
+    /// dropped in this one's favour (the ring evicts whole blocks, so one
+    /// eviction can drop several samples — all of them land in the drop
+    /// accounting).
     ///
     /// # Panics
     /// Panics if called after [`SessionHandle::finish`] began (impossible
@@ -130,24 +131,12 @@ impl SessionHandle {
     pub fn offer(&self, s: &MemSample, site: Option<SiteId>) -> Offer {
         use std::sync::atomic::Ordering::Relaxed;
         self.server_stats.offered.fetch_add(1, Relaxed);
-        let outcome = {
+        let (outcome, newly_dropped) = {
             let mut q = self.inner.lock_queue();
             assert!(!q.closed, "offer on a finished session");
-            let outcome = q.ring.offer(*s);
-            match outcome {
-                Offer::Accepted => {
-                    q.sites.push_back(site);
-                    q.enqueued_at.push_back(Instant::now());
-                }
-                Offer::EvictedOldest => {
-                    q.sites.pop_front();
-                    q.enqueued_at.pop_front();
-                    q.sites.push_back(site);
-                    q.enqueued_at.push_back(Instant::now());
-                }
-                Offer::RejectedNewest => {}
-            }
-            outcome
+            let before = q.ring.dropped();
+            let outcome = q.ring.offer(*s, site);
+            (outcome, q.ring.dropped() - before)
         };
         match outcome {
             Offer::Accepted => {
@@ -155,12 +144,15 @@ impl SessionHandle {
                 self.shard_stats.depth.fetch_add(1, Relaxed);
             }
             Offer::EvictedOldest => {
-                // One in, one out: depth unchanged, but a sample was lost.
+                // One in, a whole block out: the evicted samples leave the
+                // queue-depth gauge and enter the drop account.
                 self.server_stats.enqueued.fetch_add(1, Relaxed);
-                self.server_stats.dropped.fetch_add(1, Relaxed);
+                self.server_stats.dropped.fetch_add(newly_dropped, Relaxed);
+                self.shard_stats.depth.fetch_add(1, Relaxed);
+                self.shard_stats.depth.fetch_sub(newly_dropped, Relaxed);
             }
             Offer::RejectedNewest => {
-                self.server_stats.dropped.fetch_add(1, Relaxed);
+                self.server_stats.dropped.fetch_add(newly_dropped, Relaxed);
             }
         }
         if outcome != Offer::RejectedNewest {
@@ -169,16 +161,59 @@ impl SessionHandle {
         outcome
     }
 
-    /// Offer with backpressure honoured: a `RejectedNewest` outcome is
-    /// retried (yielding the CPU between attempts) until the sample is
-    /// queued, so a producer that can afford to wait never loses samples.
+    /// Offer with backpressure honoured: when the ring is full the call
+    /// parks on the session's space condvar (woken by the worker's next
+    /// drain) until the sample fits, so a producer that can afford to
+    /// wait never loses a sample — its own or, under a drop-oldest ring,
+    /// anyone else's.
     pub fn offer_blocking(&self, s: &MemSample, site: Option<SiteId>) {
-        loop {
-            match self.offer(s, site) {
-                Offer::RejectedNewest => std::thread::yield_now(),
-                _ => return,
+        use std::sync::atomic::Ordering::Relaxed;
+        self.server_stats.offered.fetch_add(1, Relaxed);
+        {
+            let mut q = self.inner.lock_queue();
+            assert!(!q.closed, "offer on a finished session");
+            while q.ring.is_full() {
+                q = self.inner.space.wait(q).unwrap_or_else(|e| e.into_inner());
             }
+            let outcome = q.ring.offer(*s, site);
+            debug_assert_eq!(outcome, Offer::Accepted, "space was just confirmed under the lock");
         }
+        self.server_stats.enqueued.fetch_add(1, Relaxed);
+        self.shard_stats.depth.fetch_add(1, Relaxed);
+        self.notify.raise();
+    }
+
+    /// Offer a whole columnar block, blocking until the ring has room for
+    /// all of it — one lock acquisition and at most one condvar wait per
+    /// *block* instead of per sample, and the samples move by pointer
+    /// swap. Returns an empty recycled shell (same capacity) for the
+    /// producer to refill, completing the zero-copy loop.
+    ///
+    /// # Panics
+    /// Panics if the block is larger than the session ring (it could
+    /// never fit) or if called after [`SessionHandle::finish`] began.
+    pub fn offer_block_blocking(&self, block: SampleBlock) -> SampleBlock {
+        use std::sync::atomic::Ordering::Relaxed;
+        let n = block.len();
+        if n == 0 {
+            return block;
+        }
+        self.server_stats.offered.fetch_add(n as u64, Relaxed);
+        let shell = {
+            let mut q = self.inner.lock_queue();
+            assert!(!q.closed, "offer on a finished session");
+            assert!(n <= q.ring.capacity(), "block of {n} samples cannot fit the session ring");
+            while q.ring.space() < n {
+                q = self.inner.space.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            let (outcome, shell) = q.ring.offer_block(block);
+            debug_assert_eq!(outcome, BlockOffer::Accepted, "space was just confirmed under the lock");
+            shell
+        };
+        self.server_stats.enqueued.fetch_add(n as u64, Relaxed);
+        self.shard_stats.depth.fetch_add(n as u64, Relaxed);
+        self.notify.raise();
+        shell
     }
 
     /// Samples currently queued (the session's share of its shard's

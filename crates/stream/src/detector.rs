@@ -27,8 +27,10 @@ use drbw_core::channels::{channel_at, dense_index};
 use drbw_core::classifier::{ContentionClassifier, MIN_REMOTE_SAMPLES, MIN_REMOTE_SHARE};
 use drbw_core::features::{FeatureAccumulator, FeatureCtx, NUM_SELECTED, REMOTE_COUNT};
 use drbw_core::{DrBw, Mode};
+use numasim::hierarchy::DataSource;
 use numasim::topology::ChannelId;
 use pebs::alloc::SiteId;
+use pebs::block::SampleBlock;
 use pebs::sample::MemSample;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -91,7 +93,7 @@ pub struct VerdictEvent {
 }
 
 /// One channel's state in a closed window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelWindow {
     /// The channel.
     pub channel: ChannelId,
@@ -106,7 +108,7 @@ pub struct ChannelWindow {
 
 /// Everything a closed window produced (recorded only when
 /// [`StreamConfig::record_windows`] is set).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowSummary {
     /// Window sequence number (0-based).
     pub index: u64,
@@ -128,6 +130,31 @@ pub struct WindowSummary {
 struct ChannelPane {
     acc: FeatureAccumulator,
     traversed: usize,
+}
+
+/// Per-route gather lanes for the block path: transient working memory,
+/// filled and drained within one [`StreamingDetector::ingest_block`]
+/// call, bounded by the largest block ever ingested.
+#[derive(Debug, Clone, Default)]
+struct RouteScratch {
+    lat: Vec<f64>,
+    src: Vec<DataSource>,
+}
+
+impl RouteScratch {
+    fn push(&mut self, lat: f64, src: DataSource) {
+        self.lat.push(lat);
+        self.src.push(src);
+    }
+
+    fn clear(&mut self) {
+        self.lat.clear();
+        self.src.clear();
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.lat.capacity() * std::mem::size_of::<f64>() + self.src.capacity() * std::mem::size_of::<DataSource>()
+    }
 }
 
 /// The online contention detector.
@@ -157,6 +184,12 @@ pub struct StreamingDetector {
     windows_closed: u64,
     events: Vec<VerdictEvent>,
     windows: Vec<WindowSummary>,
+    /// Per-channel gather lanes for remote-routed samples of one block
+    /// run (empty between `ingest_block` calls).
+    route_scratch: Vec<RouteScratch>,
+    /// Per-node gather lanes for context (non-remote) samples of one
+    /// block run (empty between `ingest_block` calls).
+    ctx_scratch: Vec<RouteScratch>,
 }
 
 impl StreamingDetector {
@@ -194,6 +227,8 @@ impl StreamingDetector {
             windows_closed: 0,
             events: Vec::new(),
             windows: Vec::new(),
+            route_scratch: vec![RouteScratch::default(); nch],
+            ctx_scratch: vec![RouteScratch::default(); cfg.nodes],
         }
     }
 
@@ -305,7 +340,9 @@ impl StreamingDetector {
         let sketches = self.nch * self.cfg.sketch_capacity * (std::mem::size_of::<(SketchKey, (u64, u64))>());
         let fixed = self.nch * std::mem::size_of::<Hysteresis>();
         let queued = self.events.capacity() * std::mem::size_of::<VerdictEvent>();
-        panes + sketches + fixed + queued
+        let scratch =
+            self.route_scratch.iter().chain(&self.ctx_scratch).map(RouteScratch::retained_bytes).sum::<usize>();
+        panes + sketches + fixed + queued + scratch
     }
 
     /// Ingest one sample, attributed to `site` when it hit tracked heap
@@ -345,6 +382,118 @@ impl StreamingDetector {
                     self.open[dense_index(self.cfg.nodes, a, d)].acc.push(s);
                 }
             }
+        }
+    }
+
+    /// Ingest a columnar block, equivalent to calling
+    /// [`StreamingDetector::ingest`] on each sample in order but paying
+    /// the pane lookup, node routing, and accumulator dispatch per *run*
+    /// instead of per sample.
+    ///
+    /// Sorted blocks (the common case — `SampleBlock` tracks the hint on
+    /// push) are split into pane runs by binary search over the time
+    /// lane, and each run's samples are gathered per channel and pushed
+    /// through the lane kernels ([`FeatureAccumulator::push_lanes`]).
+    /// Unsorted blocks fall back to the per-sample loop; sortedness is a
+    /// fast path, never a semantic fork.
+    ///
+    /// # Equivalence to the per-sample path
+    ///
+    /// Every finalized feature, verdict, metric counter, and sketch state
+    /// is bit-identical to per-sample ingestion: integer/fixed-point
+    /// accumulator state is associative, threshold counts are exact
+    /// per-element predicates, remote-routed channels receive their
+    /// samples in stream order, and sketch offers happen in stream order
+    /// during the gather pass. The only divergence is the *non-feature*
+    /// Welford moment state of context-routed (non-remote) channels,
+    /// which is folded through one per-node accumulator and merged —
+    /// order-sensitive in its last bits but never observable through
+    /// features, verdicts, or summaries.
+    pub fn ingest_block(&mut self, block: &SampleBlock) {
+        if block.is_empty() {
+            return;
+        }
+        if !block.is_sorted() {
+            for i in 0..block.len() {
+                self.ingest(&block.get(i), block.site(i));
+            }
+            return;
+        }
+        let times = block.times();
+        let mut lo = 0;
+        while lo < times.len() {
+            let pane = self.cfg.window.pane_index(self.cfg.origin_cycles, times[lo]);
+            // `pane_index` is monotone in time, so within a sorted block
+            // the samples of one pane form a contiguous run.
+            let hi =
+                lo + times[lo..].partition_point(|&t| self.cfg.window.pane_index(self.cfg.origin_cycles, t) == pane);
+            match self.cur_pane {
+                None => self.cur_pane = Some(pane),
+                Some(cur) if pane > cur => {
+                    for k in cur..pane {
+                        self.seal_pane(k, false);
+                    }
+                    self.cur_pane = Some(pane);
+                }
+                Some(cur) if pane < cur => {
+                    // Late run for a sealed pane: fold into the open one,
+                    // accounting every sample (mirrors `ingest`).
+                    self.metrics.late_samples += (hi - lo) as u64;
+                }
+                Some(_) => {}
+            }
+            self.metrics.samples_ingested += (hi - lo) as u64;
+            self.accumulate_run(block, lo, hi);
+            lo = hi;
+        }
+    }
+
+    /// Accumulate one same-pane run of a block into the open pane.
+    ///
+    /// Pass 1 routes each sample once into per-channel (remote) or
+    /// per-node (context) gather lanes — sketch offers happen here, in
+    /// stream order. Pass 2 drains each non-empty lane through the batch
+    /// kernels: remote channels get their exact per-channel sample order;
+    /// context samples fold through one per-node accumulator whose state
+    /// is merged into each of the node's outgoing channels (identical on
+    /// every finalized feature by associativity of the integer sums).
+    fn accumulate_run(&mut self, block: &SampleBlock, lo: usize, hi: usize) {
+        let nodes = block.nodes();
+        let homes = block.homes();
+        let lats = block.latencies();
+        let srcs = block.sources();
+        let sites = block.sites();
+        for i in lo..hi {
+            let a = nodes[i].0 as usize;
+            assert!(a < self.cfg.nodes, "sample from out-of-range node {a}");
+            match homes[i] {
+                Some(h) if h != nodes[i] => {
+                    let idx = dense_index(self.cfg.nodes, a, h.0 as usize);
+                    self.route_scratch[idx].push(lats[i], srcs[i]);
+                    self.sketches[idx].offer(sites[i]);
+                }
+                _ => self.ctx_scratch[a].push(lats[i], srcs[i]),
+            }
+        }
+        for idx in 0..self.nch {
+            if self.route_scratch[idx].lat.is_empty() {
+                continue;
+            }
+            let scratch = &self.route_scratch[idx];
+            self.open[idx].acc.push_lanes(&scratch.lat, &scratch.src);
+            self.open[idx].traversed += scratch.lat.len();
+            self.route_scratch[idx].clear();
+        }
+        for a in 0..self.cfg.nodes {
+            if self.ctx_scratch[a].lat.is_empty() {
+                continue;
+            }
+            let mut folded = FeatureAccumulator::new();
+            folded.push_lanes(&self.ctx_scratch[a].lat, &self.ctx_scratch[a].src);
+            for d in (0..self.cfg.nodes).filter(|&d| d != a) {
+                self.open[dense_index(self.cfg.nodes, a, d)].acc.merge(&folded);
+            }
+            self.ctx_scratch[a].clear();
         }
     }
 
@@ -751,5 +900,77 @@ mod tests {
         feed_contended(&mut det, 50, 32);
         det.drain_events();
         assert_eq!(det.retained_bytes(), early, "state must not grow with the stream");
+    }
+
+    /// A varied deterministic stream: all node/home/source routes, jittery
+    /// latencies, an idle gap, and a late (out-of-order) stretch.
+    fn mixed_stream(n: usize) -> Vec<(MemSample, SketchKey)> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0;
+        for i in 0..n {
+            t += 13.0 + (i % 7) as f64 * 5.5;
+            if i == n / 2 {
+                t += 3500.0; // idle gap closes empty panes
+            }
+            let node = (i % 4) as u8;
+            let home = match i % 5 {
+                0 => None,
+                1 => Some(node), // local: context route
+                _ => Some(((node as usize + 1 + i % 3) % 4) as u8),
+            };
+            let source = match i % 3 {
+                0 => DataSource::RemoteDram,
+                1 => DataSource::LocalDram,
+                _ => DataSource::Lfb,
+            };
+            let lat = 60.0 + (i % 97) as f64 * 11.25;
+            // A late stretch: samples for an already-sealed pane.
+            let time = if (0.55..0.58).contains(&(i as f64 / n as f64)) { t - 2600.0 } else { t };
+            let site = if i % 4 == 0 { Some(SiteId((i % 6) as u32)) } else { None };
+            out.push((sample(time, node, home, source, lat), site));
+        }
+        out
+    }
+
+    /// The tentpole's bit-identity contract: block ingestion — for every
+    /// chunking, including chunks whose internal time regression forces
+    /// the unsorted per-sample fallback — must match per-sample ingestion
+    /// on metrics, events, recorded window features, verdict state, and
+    /// sketch contents.
+    #[test]
+    fn ingest_block_is_bit_identical_to_per_sample_ingest() {
+        let cfg = StreamConfig {
+            record_windows: true,
+            sketch_capacity: 4,
+            ..StreamConfig::new(4, WindowConfig::sliding(1000.0, 2))
+        };
+        let stream = mixed_stream(700);
+        let mut per_sample = StreamingDetector::new(classifier(), cfg);
+        for (s, site) in &stream {
+            per_sample.ingest(s, *site);
+        }
+        per_sample.flush();
+        let want_events = per_sample.drain_events();
+        let want_windows = per_sample.drain_windows();
+        for chunk in [1usize, 2, 3, 5, 8, 37, 64, 256, 700] {
+            let mut blocked = StreamingDetector::new(classifier(), cfg);
+            for group in stream.chunks(chunk) {
+                let mut block = SampleBlock::with_capacity(chunk);
+                for (s, site) in group {
+                    assert!(block.push(s, *site));
+                }
+                blocked.ingest_block(&block);
+            }
+            blocked.flush();
+            assert_eq!(blocked.metrics(), per_sample.metrics(), "chunk {chunk}");
+            assert!(blocked.metrics().late_samples > 0, "stream must exercise the late path");
+            assert_eq!(blocked.drain_events(), want_events, "chunk {chunk}");
+            assert_eq!(blocked.drain_windows(), want_windows, "chunk {chunk}");
+            assert_eq!(blocked.contended_channels(), per_sample.contended_channels());
+            for i in 0..12 {
+                let c = channel_at(4, i);
+                assert_eq!(blocked.live_top(c, 8), per_sample.live_top(c, 8), "chunk {chunk} ch {c:?}");
+            }
+        }
     }
 }

@@ -2,16 +2,17 @@
 //!
 //! The batch pipeline retains the entire sample log, sorts it once, and
 //! classifies at end of run. This harness replays the same log through
-//! the streaming path — producer bursts into a bounded
-//! [`SampleRing`], consumer drains into the [`StreamingDetector`] —
-//! measuring what an online deployment would see: detection latency from
-//! contention onset, the ring's loss accounting, and the peak number of
-//! samples retained at any instant (ring high-water mark), to compare
-//! against the batch pipeline's full-log retention.
+//! the streaming path — producer bursts into a bounded columnar
+//! [`BlockRing`], consumer drains sealed [`pebs::SampleBlock`]s into the
+//! [`StreamingDetector`] — measuring what an online deployment would see:
+//! detection latency from contention onset, the ring's loss accounting,
+//! and the peak number of samples retained at any instant (ring
+//! high-water mark), to compare against the batch pipeline's full-log
+//! retention.
 
 use crate::detector::{StreamingDetector, VerdictEvent, WindowSummary};
 use crate::metrics::StreamMetrics;
-use pebs::ring::{OverflowPolicy, SampleRing};
+use pebs::ring::{BlockRing, OverflowPolicy};
 use pebs::{AllocationTracker, MemSample};
 use workloads::runner::RunOutcome;
 
@@ -91,14 +92,17 @@ pub fn replay_log(
     assert!(cfg.burst >= 1, "burst must be at least one sample");
     let mut order: Vec<usize> = (0..samples.len()).collect();
     order.sort_by(|&a, &b| samples[a].time.total_cmp(&samples[b].time));
-    let mut ring = SampleRing::with_policy(cfg.ring_capacity, cfg.policy);
+    let mut ring = BlockRing::with_policy(cfg.ring_capacity, cfg.policy);
     for burst in order.chunks(cfg.burst) {
         for &i in burst {
-            ring.offer(samples[i]);
+            // Site attribution is a pure range lookup, so it moves ahead
+            // of ring entry: the site rides the block's attribution lane
+            // and the consumer never touches the tracker.
+            ring.offer(samples[i], tracker.attribute_site(samples[i].addr));
         }
-        while let Some(s) = ring.pop() {
-            let site = tracker.attribute_site(s.addr);
-            detector.ingest(&s, site);
+        while let Some((block, _)) = ring.pop_block() {
+            detector.ingest_block(&block);
+            ring.recycle(block);
         }
     }
     detector.flush();
